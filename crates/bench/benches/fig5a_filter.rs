@@ -1,0 +1,53 @@
+//! Figure 5a: filter-query throughput, SamzaSQL vs native Samza.
+//!
+//! `SELECT STREAM * FROM Orders WHERE units > 50` over 100-byte messages on
+//! a 32-partition topic, swept over container counts. The paper's shape:
+//! SamzaSQL 30–40% below native (Avro→array→Avro conversions), sublinear
+//! container scaling at fixed partition count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use samzasql_bench::harness::{measure_native, measure_samzasql, EvalQuery};
+
+const MESSAGES: usize = 50_000;
+const PARTITIONS: u32 = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_filter");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(MESSAGES as u64));
+    for containers in [1u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("native", containers),
+            &containers,
+            |b, &cs| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        total += measure_native(EvalQuery::Filter, cs, PARTITIONS, MESSAGES).elapsed;
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("samzasql", containers),
+            &containers,
+            |b, &cs| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        total +=
+                            measure_samzasql(EvalQuery::Filter, cs, PARTITIONS, MESSAGES).elapsed;
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

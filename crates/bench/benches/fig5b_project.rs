@@ -1,0 +1,53 @@
+//! Figure 5b: projection-query throughput, SamzaSQL vs native Samza.
+//!
+//! `SELECT STREAM rowtime, productId, units FROM Orders`. Same shape story
+//! as Figure 5a: the SQL job pays message-format transformations; the native
+//! job builds the projected Avro record directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use samzasql_bench::harness::{measure_native, measure_samzasql, EvalQuery};
+
+const MESSAGES: usize = 50_000;
+const PARTITIONS: u32 = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_project");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(MESSAGES as u64));
+    for containers in [1u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("native", containers),
+            &containers,
+            |b, &cs| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        total +=
+                            measure_native(EvalQuery::Project, cs, PARTITIONS, MESSAGES).elapsed;
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("samzasql", containers),
+            &containers,
+            |b, &cs| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        total +=
+                            measure_samzasql(EvalQuery::Project, cs, PARTITIONS, MESSAGES).elapsed;
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 5c: stream-to-relation join throughput, SamzaSQL vs native Samza.
+//!
+//! Orders ⋈ Products via a bootstrap changelog. Paper shape: SamzaSQL about
+//! 2× slower — its KV cache round-trips values through the generic object
+//! serde (the Kryo stand-in) where the native job stores raw Avro bytes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use samzasql_bench::harness::{measure_native, measure_samzasql, EvalQuery};
+
+const MESSAGES: usize = 25_000;
+const PARTITIONS: u32 = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5c_join");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(MESSAGES as u64));
+    for containers in [1u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("native", containers),
+            &containers,
+            |b, &cs| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        total += measure_native(EvalQuery::Join, cs, PARTITIONS, MESSAGES).elapsed;
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("samzasql", containers),
+            &containers,
+            |b, &cs| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        total +=
+                            measure_samzasql(EvalQuery::Join, cs, PARTITIONS, MESSAGES).elapsed;
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

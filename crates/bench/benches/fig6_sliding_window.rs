@@ -1,0 +1,56 @@
+//! Figure 6: sliding-window operator throughput, SamzaSQL vs native Samza.
+//!
+//! Per-product `SUM(units)` over a 5-minute RANGE window. Paper shape: both
+//! implementations are dominated by key-value-store access (several store
+//! reads/writes per tuple through a serde), making the SQL layer's
+//! message-transformation overhead negligible — the two series sit close
+//! together, unlike Figures 5a–c.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use samzasql_bench::harness::{measure_native, measure_samzasql, EvalQuery};
+
+const MESSAGES: usize = 20_000;
+const PARTITIONS: u32 = 32;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_sliding_window");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(MESSAGES as u64));
+    for containers in [1u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("native", containers),
+            &containers,
+            |b, &cs| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        total += measure_native(EvalQuery::SlidingWindow, cs, PARTITIONS, MESSAGES)
+                            .elapsed;
+                    }
+                    total
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("samzasql", containers),
+            &containers,
+            |b, &cs| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        total +=
+                            measure_samzasql(EvalQuery::SlidingWindow, cs, PARTITIONS, MESSAGES)
+                                .elapsed;
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

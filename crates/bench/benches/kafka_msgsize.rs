@@ -1,0 +1,46 @@
+//! §5.1 message-size rationale: broker produce+consume throughput across
+//! message sizes. The Kafka benchmark the paper cites found 100-byte
+//! messages balance messages/second against MB/second; >1 KB messages cut
+//! msgs/s roughly 7× while raising MB/s toward saturation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use samzasql_kafka::{Broker, Message, TopicConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kafka_msgsize");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for size in [10usize, 100, 1_000, 10_000] {
+        let n = (5_000_000 / size).max(100);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("produce_consume", size), &size, |b, &sz| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let broker = Broker::new();
+                    broker.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+                    let payload = bytes::Bytes::from(vec![b'x'; sz]);
+                    let start = std::time::Instant::now();
+                    for _ in 0..n {
+                        broker.produce("t", 0, Message::new(payload.clone())).unwrap();
+                    }
+                    let mut off = 0;
+                    loop {
+                        let batch = broker.fetch("t", 0, off, 4096).unwrap();
+                        if batch.records.is_empty() {
+                            break;
+                        }
+                        off = batch.records.last().unwrap().offset + 1;
+                    }
+                    total += start.elapsed();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

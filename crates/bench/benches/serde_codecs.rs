@@ -1,0 +1,61 @@
+//! Ablation: the serde costs behind the paper's profiling claims.
+//!
+//! * `avro_*` vs `object_*`: §5.1 attributes the join's ~2× deficit to
+//!   "Kryo based Java object deserialization … more than two times slower
+//!   than Avro based deserialization". This bench isolates exactly that
+//!   codec gap on an Orders-shaped record.
+//! * `avro_array_roundtrip`: the extra `AvroToArray`/`ArrayToAvro` work the
+//!   SamzaSQL scan/insert operators add per message (Figure 4), responsible
+//!   for the 30–40% filter/project overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use samzasql_core::tuple::{array_to_record, record_to_array};
+use samzasql_serde::avro::AvroCodec;
+use samzasql_serde::object::ObjectCodec;
+use samzasql_serde::Value;
+use samzasql_workload::{orders_schema, OrdersGenerator, OrdersSpec};
+
+fn sample() -> Value {
+    OrdersGenerator::new(OrdersSpec::default()).next_value()
+}
+
+fn bench(c: &mut Criterion) {
+    let record = sample();
+    let avro = AvroCodec::new(orders_schema());
+    let object = ObjectCodec::new();
+    let avro_bytes = avro.encode(&record).unwrap();
+    let object_bytes = object.encode(&record).unwrap();
+    let names: Vec<String> = orders_schema()
+        .fields()
+        .unwrap()
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
+
+    let mut group = c.benchmark_group("serde_codecs");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("avro_encode", |b| b.iter(|| avro.encode(&record).unwrap()));
+    group.bench_function("object_encode", |b| b.iter(|| object.encode(&record).unwrap()));
+    group.bench_function("avro_decode", |b| b.iter(|| avro.decode(&avro_bytes).unwrap()));
+    group.bench_function("object_decode", |b| b.iter(|| object.decode(&object_bytes).unwrap()));
+    group.bench_function("avro_array_roundtrip", |b| {
+        b.iter(|| {
+            // The scan/insert extra work: decode → array → record → encode.
+            let rec = avro.decode(&avro_bytes).unwrap();
+            let tuple = record_to_array(rec).unwrap();
+            let back = array_to_record(&tuple, &names).unwrap();
+            avro.encode(&back).unwrap()
+        })
+    });
+    group.bench_function("avro_passthrough", |b| {
+        b.iter(|| {
+            // What the native filter does: decode to check, forward bytes.
+            let rec = avro.decode(&avro_bytes).unwrap();
+            (rec.field("units").cloned(), avro_bytes.clone())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

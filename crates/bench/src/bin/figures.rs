@@ -1,0 +1,182 @@
+//! Regenerate every table and figure of the SamzaSQL evaluation (§5).
+//!
+//! ```text
+//! cargo run -p samzasql-bench --release --bin figures -- --fig all
+//! cargo run -p samzasql-bench --release --bin figures -- --fig 5a --messages 500000
+//! ```
+//!
+//! Absolute numbers depend on the host; the paper's claims are about
+//! *shape*: SamzaSQL 30–40% below native on filter/project, ~2× below on
+//! join, roughly equal (KV-dominated) on sliding windows, and sublinear
+//! container scaling at a fixed partition count.
+
+use samzasql_bench::harness::{
+    measure_broker_msgsize, measure_native, measure_samzasql, measure_samzasql_direct, EvalQuery,
+};
+use samzasql_bench::usability::usability_table;
+
+struct Args {
+    fig: String,
+    messages: usize,
+    partitions: u32,
+    containers: Vec<u32>,
+}
+
+fn parse_args() -> Args {
+    let mut fig = "all".to_string();
+    let mut messages = 200_000;
+    let mut partitions = 32;
+    let mut containers = vec![1, 2, 4, 8];
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--fig" => {
+                fig = argv.get(i + 1).cloned().unwrap_or_else(|| "all".into());
+                i += 2;
+            }
+            "--messages" => {
+                messages = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(messages);
+                i += 2;
+            }
+            "--partitions" => {
+                partitions = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(partitions);
+                i += 2;
+            }
+            "--containers" => {
+                containers = argv
+                    .get(i + 1)
+                    .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
+                    .unwrap_or(containers);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { fig, messages, partitions, containers }
+}
+
+fn throughput_figure(query: EvalQuery, args: &Args) {
+    // KV-heavy workloads use fewer messages to keep runs short.
+    let n = match query {
+        EvalQuery::SlidingWindow => args.messages / 4,
+        EvalQuery::Join => args.messages / 2,
+        _ => args.messages,
+    }
+    .max(1_000);
+    println!(
+        "\n== Figure {}: {} throughput ({} msgs, {} partitions) ==",
+        query.figure(),
+        query.name(),
+        n,
+        args.partitions
+    );
+    println!("{}", query.sql());
+    println!(
+        "{:>11} {:>18} {:>18} {:>12}",
+        "containers", "native (msg/s)", "samzasql (msg/s)", "sql/native"
+    );
+    for &c in &args.containers {
+        let native = measure_native(query, c, args.partitions, n);
+        let sql = measure_samzasql(query, c, args.partitions, n);
+        println!(
+            "{:>11} {:>18.0} {:>18.0} {:>11.2}x",
+            c,
+            native.msgs_per_sec,
+            sql.msgs_per_sec,
+            sql.msgs_per_sec / native.msgs_per_sec
+        );
+    }
+    let expectation = match query {
+        EvalQuery::Filter | EvalQuery::Project => {
+            "paper: SamzaSQL 30-40% below native (ratio ~0.60-0.70), sublinear scaling"
+        }
+        EvalQuery::Join => "paper: SamzaSQL ~2x slower than native (ratio ~0.50)",
+        EvalQuery::SlidingWindow => {
+            "paper: both comparable; throughput dominated by key-value store access"
+        }
+    };
+    println!("  [{expectation}]");
+}
+
+fn msgsize_table() {
+    println!("\n== §5.1 message-size rationale (broker produce+consume) ==");
+    println!("{:>12} {:>16} {:>12}", "msg bytes", "messages/s", "MB/s");
+    for size in [10usize, 100, 1_000, 10_000] {
+        let (msgs, mb) = measure_broker_msgsize(size, 50_000_000);
+        println!("{:>12} {:>16.0} {:>12.1}", size, msgs, mb);
+    }
+    println!("  [paper: 100B messages balance msgs/s vs MB/s; >1KB messages cut msgs/s ~7x]");
+}
+
+fn ablation(args: &Args) {
+    // §7 future-work item 5, implemented and measured: a SamzaSQL-specific
+    // code path that avoids the AvroToArray/ArrayToAvro steps.
+    println!("\n== Ablation (§7 item 5): direct SamzaSQL Data API vs prototype path ==");
+    println!(
+        "{:>10} {:>16} {:>20} {:>18} {:>12}",
+        "query", "native (msg/s)", "samzasql-proto", "samzasql-direct", "direct/nat"
+    );
+    for q in [EvalQuery::Filter, EvalQuery::Project] {
+        let n = args.messages;
+        let native = measure_native(q, 1, args.partitions, n);
+        let proto = measure_samzasql(q, 1, args.partitions, n);
+        let direct = measure_samzasql_direct(q, 1, args.partitions, n);
+        println!(
+            "{:>10} {:>16.0} {:>20.0} {:>18.0} {:>11.2}x",
+            q.name(),
+            native.msgs_per_sec,
+            proto.msgs_per_sec,
+            direct.msgs_per_sec,
+            direct.msgs_per_sec / native.msgs_per_sec
+        );
+    }
+    println!(
+        "  [paper §7: removing the message-format transformations should bring \
+SamzaSQL close to the native API]"
+    );
+}
+
+fn usability() {
+    println!("\n== §5.1 usability: lines of code per query ==");
+    println!(
+        "{:>16} {:>10} {:>14} {:>22}",
+        "query", "SQL lines", "native lines", "paper (native Java)"
+    );
+    for row in usability_table() {
+        println!(
+            "{:>16} {:>10} {:>14} {:>22}",
+            row.query, row.sql_lines, row.native_lines, row.paper_native_lines
+        );
+    }
+    println!("  [paper: SQL expresses each query in a couple of lines]");
+}
+
+fn main() {
+    let args = parse_args();
+    match args.fig.as_str() {
+        "5a" => throughput_figure(EvalQuery::Filter, &args),
+        "5b" => throughput_figure(EvalQuery::Project, &args),
+        "5c" => throughput_figure(EvalQuery::Join, &args),
+        "6" => throughput_figure(EvalQuery::SlidingWindow, &args),
+        "msgsize" => msgsize_table(),
+        "usability" => usability(),
+        "ablation" => ablation(&args),
+        "all" => {
+            throughput_figure(EvalQuery::Filter, &args);
+            throughput_figure(EvalQuery::Project, &args);
+            throughput_figure(EvalQuery::Join, &args);
+            throughput_figure(EvalQuery::SlidingWindow, &args);
+            msgsize_table();
+            usability();
+            ablation(&args);
+        }
+        other => {
+            eprintln!("unknown figure {other}; use 5a|5b|5c|6|msgsize|usability|ablation|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Throughput harness for the §5.1 evaluation.
+//!
+//! Methodology mirrors the paper: a topic with a fixed number of partitions
+//! (32 in the paper) is preloaded with ~100-byte Avro messages; the query
+//! job is started with *k* containers; throughput = messages processed /
+//! wall-clock time. "The average throughput across containers was multiplied
+//! by the container count to get the job throughput" — here containers run
+//! as real threads in one process, so we measure the job directly.
+
+use crate::native::{NativeTaskFactory, NativeTaskKind, NATIVE_STORE};
+use samzasql_core::shell::SamzaSqlShell;
+use samzasql_kafka::partitioner::hash_bytes;
+use samzasql_kafka::{Broker, Message, TopicConfig};
+use samzasql_samza::{
+    ClusterSim, InputStreamConfig, JobConfig, OutputStreamConfig, StoreConfig,
+};
+use samzasql_serde::SerdeFormat;
+use samzasql_workload::{
+    orders_schema, products_schema, OrdersGenerator, OrdersSpec, ProductsGenerator, ProductsSpec,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The four evaluation queries of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalQuery {
+    /// Figure 5a.
+    Filter,
+    /// Figure 5b.
+    Project,
+    /// Figure 6.
+    SlidingWindow,
+    /// Figure 5c.
+    Join,
+}
+
+impl EvalQuery {
+    /// The exact SQL from §5.1.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            EvalQuery::Filter => "SELECT STREAM * FROM Orders WHERE units > 50",
+            EvalQuery::Project => "SELECT STREAM rowtime, productId, units FROM Orders",
+            EvalQuery::SlidingWindow => {
+                "SELECT STREAM rowtime, productId, units, \
+                 SUM(units) OVER (PARTITION BY productId ORDER BY rowtime \
+                 RANGE INTERVAL '5' MINUTE PRECEDING) unitsLastFiveMinutes FROM Orders"
+            }
+            EvalQuery::Join => {
+                "SELECT STREAM Orders.rowtime, Orders.orderId, Orders.productId, \
+                 Orders.units, Products.supplierId \
+                 FROM Orders JOIN Products ON Orders.productId = Products.productId"
+            }
+        }
+    }
+
+    /// Figure label in the paper.
+    pub fn figure(&self) -> &'static str {
+        match self {
+            EvalQuery::Filter => "5a",
+            EvalQuery::Project => "5b",
+            EvalQuery::Join => "5c",
+            EvalQuery::SlidingWindow => "6",
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvalQuery::Filter => "filter",
+            EvalQuery::Project => "project",
+            EvalQuery::Join => "join",
+            EvalQuery::SlidingWindow => "sliding-window",
+        }
+    }
+
+    fn needs_products(&self) -> bool {
+        *self == EvalQuery::Join
+    }
+}
+
+/// One throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputResult {
+    /// Input messages processed.
+    pub messages: u64,
+    pub elapsed: Duration,
+    pub msgs_per_sec: f64,
+}
+
+impl ThroughputResult {
+    fn new(messages: u64, elapsed: Duration) -> Self {
+        ThroughputResult {
+            messages,
+            elapsed,
+            msgs_per_sec: messages as f64 / elapsed.as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+/// Preload the workload: `orders` (and `products-changelog` for joins) onto
+/// a fresh broker. Returns the expected total input-message count.
+pub fn setup_workload(broker: &Broker, query: EvalQuery, partitions: u32, n: usize) -> u64 {
+    broker.create_topic("orders", TopicConfig::with_partitions(partitions)).unwrap();
+    let mut expected = n as u64;
+    if query.needs_products() {
+        broker
+            .create_topic("products-changelog", TopicConfig::with_partitions(partitions))
+            .unwrap();
+        let mut pg = ProductsGenerator::new(ProductsSpec::default());
+        let snapshot = pg.snapshot();
+        expected += snapshot.len() as u64;
+        for m in snapshot {
+            let p = hash_bytes(m.key.as_ref().expect("keyed")) % partitions;
+            broker.produce("products-changelog", p, m).unwrap();
+        }
+    }
+    let mut gen = OrdersGenerator::new(OrdersSpec::default());
+    for m in gen.messages(n) {
+        let p = hash_bytes(m.key.as_ref().expect("keyed")) % partitions;
+        broker.produce("orders", p, m).unwrap();
+    }
+    expected
+}
+
+fn wait_processed(check: impl Fn() -> u64, expected: u64, timeout: Duration) -> Duration {
+    let start = Instant::now();
+    loop {
+        if check() >= expected {
+            return start.elapsed();
+        }
+        assert!(
+            start.elapsed() < timeout,
+            "benchmark stalled: {}/{} processed",
+            check(),
+            expected
+        );
+        // A coarse poll keeps the measuring thread off the CPU (matters on
+        // low-core hosts where it competes with container threads).
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Measure SamzaSQL executing `query` with `containers` containers over `n`
+/// preloaded messages on a `partitions`-partition topic.
+pub fn measure_samzasql(
+    query: EvalQuery,
+    containers: u32,
+    partitions: u32,
+    n: usize,
+) -> ThroughputResult {
+    measure_samzasql_mode(query, containers, partitions, n, false)
+}
+
+/// Measure SamzaSQL with the direct data API enabled (§7 item 5 ablation:
+/// AvroToArray/ArrayToAvro removed from the generated job).
+pub fn measure_samzasql_direct(
+    query: EvalQuery,
+    containers: u32,
+    partitions: u32,
+    n: usize,
+) -> ThroughputResult {
+    measure_samzasql_mode(query, containers, partitions, n, true)
+}
+
+fn measure_samzasql_mode(
+    query: EvalQuery,
+    containers: u32,
+    partitions: u32,
+    n: usize,
+    direct_data_api: bool,
+) -> ThroughputResult {
+    let broker = Broker::new();
+    let expected = setup_workload(&broker, query, partitions, n);
+    let mut shell = SamzaSqlShell::new(broker.clone());
+    shell
+        .register_stream("Orders", "orders", orders_schema(), "rowtime")
+        .unwrap();
+    // Orders are produced keyed by productId — matching declaration avoids a
+    // repartition stage (the paper's jobs are likewise co-partitioned).
+    shell.set_partition_key("Orders", "productId").unwrap();
+    if query.needs_products() {
+        shell
+            .register_table("Products", "products-changelog", products_schema(), "productId")
+            .unwrap();
+    }
+    shell.default_containers = containers;
+    shell.direct_data_api = direct_data_api;
+
+    let start = Instant::now();
+    let handle = shell.submit(query.sql()).unwrap();
+    let _ = wait_processed(|| handle.processed(), expected, Duration::from_secs(600));
+    let elapsed = start.elapsed();
+    handle.stop().unwrap();
+    ThroughputResult::new(expected, elapsed)
+}
+
+/// Measure the hand-written native Samza job for the same query.
+pub fn measure_native(
+    query: EvalQuery,
+    containers: u32,
+    partitions: u32,
+    n: usize,
+) -> ThroughputResult {
+    let broker = Broker::new();
+    let expected = setup_workload(&broker, query, partitions, n);
+    broker.create_topic("native-output", TopicConfig::with_partitions(partitions)).unwrap();
+    let job = format!("native-{}", query.name());
+    let mut cfg = JobConfig::new(&job)
+        .input(InputStreamConfig::avro("orders"))
+        .output(OutputStreamConfig::avro("native-output"))
+        .containers(containers);
+    let kind = match query {
+        EvalQuery::Filter => NativeTaskKind::Filter,
+        EvalQuery::Project => NativeTaskKind::Project,
+        EvalQuery::Join => {
+            cfg = cfg
+                .input(InputStreamConfig::avro("products-changelog").bootstrap())
+                .store(StoreConfig::with_changelog(NATIVE_STORE, &job, SerdeFormat::Avro));
+            NativeTaskKind::Join { products_topic: "products-changelog".into() }
+        }
+        EvalQuery::SlidingWindow => {
+            cfg = cfg.store(StoreConfig::with_changelog(NATIVE_STORE, &job, SerdeFormat::Avro));
+            NativeTaskKind::SlidingWindow { window_ms: 300_000 }
+        }
+    };
+    let factory = NativeTaskFactory { kind, output: "native-output".into() };
+    let cluster = ClusterSim::single_node(broker.clone());
+
+    let start = Instant::now();
+    let handle = cluster.submit(cfg, Arc::new(factory)).unwrap();
+    let _ = wait_processed(|| handle.processed(), expected, Duration::from_secs(600));
+    let elapsed = start.elapsed();
+    handle.stop().unwrap();
+    ThroughputResult::new(expected, elapsed)
+}
+
+/// Broker message-size experiment (§5.1's rationale for 100-byte messages):
+/// produce-then-consume `total_bytes` worth of messages of `message_bytes`
+/// each; returns (messages/sec, MB/sec).
+pub fn measure_broker_msgsize(message_bytes: usize, total_bytes: usize) -> (f64, f64) {
+    let broker = Broker::new();
+    broker.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+    let n = (total_bytes / message_bytes).max(1);
+    let payload = vec![b'x'; message_bytes];
+    let start = Instant::now();
+    for _ in 0..n {
+        broker
+            .produce("t", 0, Message::new(bytes::Bytes::copy_from_slice(&payload)))
+            .unwrap();
+    }
+    let mut off = 0;
+    let mut consumed = 0usize;
+    while consumed < n {
+        let batch = broker.fetch("t", 0, off, 4096).unwrap();
+        if batch.records.is_empty() {
+            break;
+        }
+        for r in &batch.records {
+            off = r.offset + 1;
+            consumed += 1;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let msgs = n as f64 / secs;
+    let mb = (n * message_bytes) as f64 / 1_000_000.0 / secs;
+    (msgs, mb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small smoke runs keep CI fast; the figures binary uses larger N.
+    #[test]
+    fn samzasql_and_native_agree_on_filter_output() {
+        let n = 2_000;
+        let sq = measure_samzasql(EvalQuery::Filter, 1, 4, n);
+        let nv = measure_native(EvalQuery::Filter, 1, 4, n);
+        assert_eq!(sq.messages, n as u64);
+        assert_eq!(nv.messages, n as u64);
+        assert!(sq.msgs_per_sec > 0.0 && nv.msgs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn join_processes_orders_plus_relation() {
+        let n = 1_000;
+        let sq = measure_samzasql(EvalQuery::Join, 1, 4, n);
+        assert_eq!(sq.messages, n as u64 + 100, "orders + products snapshot");
+    }
+
+    #[test]
+    fn sliding_window_runs() {
+        let r = measure_samzasql(EvalQuery::SlidingWindow, 1, 2, 500);
+        assert_eq!(r.messages, 500);
+    }
+
+    #[test]
+    fn msgsize_experiment_runs() {
+        let (msgs_100, mb_100) = measure_broker_msgsize(100, 500_000);
+        let (msgs_10k, mb_10k) = measure_broker_msgsize(10_000, 500_000);
+        assert!(msgs_100 > msgs_10k, "small messages yield more msgs/s");
+        assert!(mb_10k > mb_100, "large messages yield more MB/s");
+    }
+}

@@ -1,0 +1,75 @@
+//! Core engine errors.
+
+use samzasql_kafka::KafkaError;
+use samzasql_planner::PlanError;
+use samzasql_samza::SamzaError;
+use samzasql_serde::SerdeError;
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors from the SamzaSQL engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    Plan(PlanError),
+    Samza(SamzaError),
+    Kafka(KafkaError),
+    Serde(SerdeError),
+    /// Runtime expression-evaluation failure.
+    Eval(String),
+    /// Operator-layer failure.
+    Operator(String),
+    /// Shell/executor misuse.
+    Shell(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Plan(e) => write!(f, "{e}"),
+            CoreError::Samza(e) => write!(f, "{e}"),
+            CoreError::Kafka(e) => write!(f, "{e}"),
+            CoreError::Serde(e) => write!(f, "{e}"),
+            CoreError::Eval(m) => write!(f, "evaluation error: {m}"),
+            CoreError::Operator(m) => write!(f, "operator error: {m}"),
+            CoreError::Shell(m) => write!(f, "shell error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<PlanError> for CoreError {
+    fn from(e: PlanError) -> Self {
+        CoreError::Plan(e)
+    }
+}
+
+impl From<SamzaError> for CoreError {
+    fn from(e: SamzaError) -> Self {
+        CoreError::Samza(e)
+    }
+}
+
+impl From<KafkaError> for CoreError {
+    fn from(e: KafkaError) -> Self {
+        CoreError::Kafka(e)
+    }
+}
+
+impl From<SerdeError> for CoreError {
+    fn from(e: SerdeError) -> Self {
+        CoreError::Serde(e)
+    }
+}
+
+impl From<CoreError> for SamzaError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::Samza(s) => s,
+            CoreError::Kafka(k) => SamzaError::Kafka(k),
+            CoreError::Serde(s) => SamzaError::Serde(s),
+            other => SamzaError::Task { task: "samzasql".into(), message: other.to_string() },
+        }
+    }
+}

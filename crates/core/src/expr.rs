@@ -1,0 +1,478 @@
+//! Expression compilation: the code-generation surrogate.
+//!
+//! The paper generates Java bytecode for expressions with Janino + Calcite's
+//! linq4j (§4.2). The Rust equivalent compiles each resolved [`ScalarExpr`]
+//! into a closure tree over array tuples: field indexes are resolved once at
+//! plan time, evaluation is a direct tree walk with no name lookups — the
+//! same runtime shape generated code has.
+//!
+//! SQL three-valued logic: NULL operands propagate to NULL results;
+//! comparisons against NULL are NULL (treated as false by filters); AND/OR
+//! implement Kleene logic.
+
+use crate::tuple::Tuple;
+use samzasql_planner::{BinOp, ScalarExpr, ScalarFunc};
+use samzasql_serde::{Schema, Value};
+use std::sync::Arc;
+
+/// A compiled expression: evaluate against a tuple, yielding a value.
+#[derive(Clone)]
+pub struct CompiledExpr {
+    eval: Arc<dyn Fn(&Tuple) -> Value + Send + Sync>,
+}
+
+impl CompiledExpr {
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Value {
+        (self.eval)(tuple)
+    }
+
+    /// Evaluate as a filter predicate: NULL ⇒ false.
+    pub fn eval_bool(&self, tuple: &Tuple) -> bool {
+        matches!(self.eval(tuple), Value::Boolean(true))
+    }
+
+    fn new(f: impl Fn(&Tuple) -> Value + Send + Sync + 'static) -> Self {
+        CompiledExpr { eval: Arc::new(f) }
+    }
+}
+
+impl std::fmt::Debug for CompiledExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CompiledExpr")
+    }
+}
+
+/// Compile a resolved expression.
+pub fn compile(expr: &ScalarExpr) -> CompiledExpr {
+    match expr {
+        ScalarExpr::InputRef { index, .. } => {
+            let i = *index;
+            CompiledExpr::new(move |t| t.get(i).cloned().unwrap_or(Value::Null))
+        }
+        ScalarExpr::Literal(v) => {
+            let v = v.clone();
+            CompiledExpr::new(move |_| v.clone())
+        }
+        ScalarExpr::Binary { op, left, right, ty } => {
+            let l = compile(left);
+            let r = compile(right);
+            let op = *op;
+            let ty = ty.clone();
+            CompiledExpr::new(move |t| eval_binary(op, &l.eval(t), &r.eval(t), &ty))
+        }
+        ScalarExpr::Not(e) => {
+            let inner = compile(e);
+            CompiledExpr::new(move |t| match inner.eval(t) {
+                Value::Boolean(b) => Value::Boolean(!b),
+                _ => Value::Null,
+            })
+        }
+        ScalarExpr::Neg(e) => {
+            let inner = compile(e);
+            CompiledExpr::new(move |t| match inner.eval(t) {
+                Value::Int(v) => Value::Int(-v),
+                Value::Long(v) => Value::Long(-v),
+                Value::Float(v) => Value::Float(-v),
+                Value::Double(v) => Value::Double(-v),
+                _ => Value::Null,
+            })
+        }
+        ScalarExpr::IsNull { expr, negated } => {
+            let inner = compile(expr);
+            let negated = *negated;
+            CompiledExpr::new(move |t| Value::Boolean(inner.eval(t).is_null() != negated))
+        }
+        ScalarExpr::Call { func, args, .. } => {
+            let compiled: Vec<CompiledExpr> = args.iter().map(compile).collect();
+            let func = *func;
+            CompiledExpr::new(move |t| {
+                let vals: Vec<Value> = compiled.iter().map(|c| c.eval(t)).collect();
+                eval_call(func, &vals)
+            })
+        }
+        ScalarExpr::FloorTime { expr, unit_millis } => {
+            let inner = compile(expr);
+            let unit = *unit_millis;
+            CompiledExpr::new(move |t| match inner.eval(t).as_i64() {
+                Some(ts) => Value::Timestamp(ts - ts.rem_euclid(unit)),
+                None => Value::Null,
+            })
+        }
+        ScalarExpr::Case { branches, else_result, .. } => {
+            let compiled: Vec<(CompiledExpr, CompiledExpr)> = branches
+                .iter()
+                .map(|(w, r)| (compile(w), compile(r)))
+                .collect();
+            let else_c = else_result.as_ref().map(|e| compile(e));
+            CompiledExpr::new(move |t| {
+                for (w, r) in &compiled {
+                    if w.eval_bool(t) {
+                        return r.eval(t);
+                    }
+                }
+                else_c.as_ref().map(|e| e.eval(t)).unwrap_or(Value::Null)
+            })
+        }
+        ScalarExpr::Cast { expr, ty } => {
+            let inner = compile(expr);
+            let ty = ty.clone();
+            CompiledExpr::new(move |t| cast_value(inner.eval(t), &ty))
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Value, r: &Value, result_ty: &Schema) -> Value {
+    use BinOp::*;
+    match op {
+        And => match (l.as_bool(), r.as_bool()) {
+            // Kleene logic: FALSE dominates NULL.
+            (Some(false), _) | (_, Some(false)) => Value::Boolean(false),
+            (Some(true), Some(true)) => Value::Boolean(true),
+            _ => Value::Null,
+        },
+        Or => match (l.as_bool(), r.as_bool()) {
+            (Some(true), _) | (_, Some(true)) => Value::Boolean(true),
+            (Some(false), Some(false)) => Value::Boolean(false),
+            _ => Value::Null,
+        },
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => match l.sql_cmp(r) {
+            None => Value::Null,
+            Some(ord) => {
+                use std::cmp::Ordering::*;
+                let b = match op {
+                    Eq => ord == Equal,
+                    NotEq => ord != Equal,
+                    Lt => ord == Less,
+                    LtEq => ord != Greater,
+                    Gt => ord == Greater,
+                    GtEq => ord != Less,
+                    _ => unreachable!(),
+                };
+                Value::Boolean(b)
+            }
+        },
+        Plus | Minus | Multiply | Divide | Modulo => {
+            if l.is_null() || r.is_null() {
+                return Value::Null;
+            }
+            match result_ty {
+                Schema::Double | Schema::Float => {
+                    let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                        return Value::Null;
+                    };
+                    let v = match op {
+                        Plus => a + b,
+                        Minus => a - b,
+                        Multiply => a * b,
+                        Divide => {
+                            if b == 0.0 {
+                                return Value::Null;
+                            }
+                            a / b
+                        }
+                        Modulo => {
+                            if b == 0.0 {
+                                return Value::Null;
+                            }
+                            a % b
+                        }
+                        _ => unreachable!(),
+                    };
+                    Value::Double(v)
+                }
+                _ => {
+                    let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) else {
+                        return Value::Null;
+                    };
+                    let v = match op {
+                        Plus => a.wrapping_add(b),
+                        Minus => a.wrapping_sub(b),
+                        Multiply => a.wrapping_mul(b),
+                        Divide => {
+                            if b == 0 {
+                                return Value::Null;
+                            }
+                            a / b
+                        }
+                        Modulo => {
+                            if b == 0 {
+                                return Value::Null;
+                            }
+                            a % b
+                        }
+                        _ => unreachable!(),
+                    };
+                    match result_ty {
+                        Schema::Int => Value::Int(v as i32),
+                        Schema::Timestamp => Value::Timestamp(v),
+                        _ => Value::Long(v),
+                    }
+                }
+            }
+        }
+        Like => match (l.as_str(), r.as_str()) {
+            (Some(s), Some(p)) => Value::Boolean(like_match(s, p)),
+            _ => Value::Null,
+        },
+    }
+}
+
+fn eval_call(func: ScalarFunc, args: &[Value]) -> Value {
+    match func {
+        ScalarFunc::Greatest => args
+            .iter()
+            .filter(|v| !v.is_null())
+            .cloned()
+            .reduce(|a, b| {
+                if a.sql_cmp(&b) == Some(std::cmp::Ordering::Less) {
+                    b
+                } else {
+                    a
+                }
+            })
+            .unwrap_or(Value::Null),
+        ScalarFunc::Least => args
+            .iter()
+            .filter(|v| !v.is_null())
+            .cloned()
+            .reduce(|a, b| {
+                if a.sql_cmp(&b) == Some(std::cmp::Ordering::Greater) {
+                    b
+                } else {
+                    a
+                }
+            })
+            .unwrap_or(Value::Null),
+        ScalarFunc::Abs => match args.first() {
+            Some(Value::Int(v)) => Value::Int(v.abs()),
+            Some(Value::Long(v)) => Value::Long(v.abs()),
+            Some(Value::Float(v)) => Value::Float(v.abs()),
+            Some(Value::Double(v)) => Value::Double(v.abs()),
+            _ => Value::Null,
+        },
+        ScalarFunc::Upper => match args.first().and_then(|v| v.as_str()) {
+            Some(s) => Value::String(s.to_uppercase()),
+            None => Value::Null,
+        },
+        ScalarFunc::Lower => match args.first().and_then(|v| v.as_str()) {
+            Some(s) => Value::String(s.to_lowercase()),
+            None => Value::Null,
+        },
+        ScalarFunc::Concat => {
+            let mut out = String::new();
+            for a in args {
+                match a {
+                    Value::Null => return Value::Null,
+                    Value::String(s) => out.push_str(s),
+                    other => out.push_str(&other.to_string()),
+                }
+            }
+            Value::String(out)
+        }
+        ScalarFunc::CharLength => match args.first().and_then(|v| v.as_str()) {
+            Some(s) => Value::Int(s.chars().count() as i32),
+            None => Value::Null,
+        },
+        ScalarFunc::Floor => match args.first() {
+            Some(Value::Double(v)) => Value::Double(v.floor()),
+            Some(Value::Float(v)) => Value::Float(v.floor()),
+            Some(v @ (Value::Int(_) | Value::Long(_) | Value::Timestamp(_))) => v.clone(),
+            _ => Value::Null,
+        },
+        ScalarFunc::Ceil => match args.first() {
+            Some(Value::Double(v)) => Value::Double(v.ceil()),
+            Some(Value::Float(v)) => Value::Float(v.ceil()),
+            Some(v @ (Value::Int(_) | Value::Long(_) | Value::Timestamp(_))) => v.clone(),
+            _ => Value::Null,
+        },
+    }
+}
+
+fn cast_value(v: Value, ty: &Schema) -> Value {
+    if v.is_null() {
+        return Value::Null;
+    }
+    match ty {
+        Schema::Int => v.as_i64().map(|x| Value::Int(x as i32)).unwrap_or(Value::Null),
+        Schema::Long => v.as_i64().map(Value::Long).unwrap_or_else(|| {
+            v.as_f64().map(|x| Value::Long(x as i64)).unwrap_or(Value::Null)
+        }),
+        Schema::Float => v.as_f64().map(|x| Value::Float(x as f32)).unwrap_or(Value::Null),
+        Schema::Double => v.as_f64().map(Value::Double).unwrap_or(Value::Null),
+        Schema::Timestamp => v.as_i64().map(Value::Timestamp).unwrap_or(Value::Null),
+        Schema::String => Value::String(v.to_string()),
+        Schema::Boolean => v.as_bool().map(Value::Boolean).unwrap_or(Value::Null),
+        _ => Value::Null,
+    }
+}
+
+/// SQL LIKE matcher: `%` any run, `_` one char. Linear-time two-pointer
+/// algorithm with backtracking on the last `%`.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_s) = (None::<usize>, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_s = si;
+            pi += 1;
+        } else if let Some(sp) = star {
+            pi = sp + 1;
+            star_s += 1;
+            si = star_s;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iref(i: usize, ty: Schema) -> ScalarExpr {
+        ScalarExpr::input(i, ty)
+    }
+
+    fn lit(v: Value) -> ScalarExpr {
+        ScalarExpr::Literal(v)
+    }
+
+    fn bin(op: BinOp, l: ScalarExpr, r: ScalarExpr, ty: Schema) -> ScalarExpr {
+        ScalarExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty }
+    }
+
+    #[test]
+    fn filter_predicate_units_gt_50() {
+        let e = bin(
+            BinOp::Gt,
+            iref(2, Schema::Int),
+            lit(Value::Int(50)),
+            Schema::Boolean,
+        );
+        let c = compile(&e);
+        assert!(c.eval_bool(&vec![Value::Timestamp(0), Value::Int(1), Value::Int(75)]));
+        assert!(!c.eval_bool(&vec![Value::Timestamp(0), Value::Int(1), Value::Int(25)]));
+        // NULL units ⇒ predicate NULL ⇒ filtered out.
+        assert!(!c.eval_bool(&vec![Value::Timestamp(0), Value::Int(1), Value::Null]));
+    }
+
+    #[test]
+    fn arithmetic_type_directed() {
+        let e = bin(
+            BinOp::Minus,
+            iref(0, Schema::Timestamp),
+            iref(1, Schema::Timestamp),
+            Schema::Long,
+        );
+        let c = compile(&e);
+        assert_eq!(
+            c.eval(&vec![Value::Timestamp(5_000), Value::Timestamp(2_000)]),
+            Value::Long(3_000)
+        );
+        let e = bin(BinOp::Divide, lit(Value::Int(7)), lit(Value::Int(2)), Schema::Int);
+        assert_eq!(compile(&e).eval(&vec![]), Value::Int(3));
+        let e = bin(BinOp::Divide, lit(Value::Int(7)), lit(Value::Int(0)), Schema::Int);
+        assert_eq!(compile(&e).eval(&vec![]), Value::Null, "div by zero is NULL");
+        let e = bin(
+            BinOp::Divide,
+            lit(Value::Double(7.0)),
+            lit(Value::Int(2)),
+            Schema::Double,
+        );
+        assert_eq!(compile(&e).eval(&vec![]), Value::Double(3.5));
+    }
+
+    #[test]
+    fn kleene_logic() {
+        let null = lit(Value::Null);
+        let tru = lit(Value::Boolean(true));
+        let fal = lit(Value::Boolean(false));
+        let and_nf = bin(BinOp::And, null.clone(), fal.clone(), Schema::Boolean);
+        assert_eq!(compile(&and_nf).eval(&vec![]), Value::Boolean(false));
+        let and_nt = bin(BinOp::And, null.clone(), tru.clone(), Schema::Boolean);
+        assert_eq!(compile(&and_nt).eval(&vec![]), Value::Null);
+        let or_nt = bin(BinOp::Or, null.clone(), tru, Schema::Boolean);
+        assert_eq!(compile(&or_nt).eval(&vec![]), Value::Boolean(true));
+        let or_nf = bin(BinOp::Or, null, fal, Schema::Boolean);
+        assert_eq!(compile(&or_nf).eval(&vec![]), Value::Null);
+    }
+
+    #[test]
+    fn greatest_picks_max_timestamp() {
+        // Listing 7: GREATEST(PacketsR1.rowtime, PacketsR2.rowtime).
+        let e = ScalarExpr::Call {
+            func: ScalarFunc::Greatest,
+            args: vec![iref(0, Schema::Timestamp), iref(1, Schema::Timestamp)],
+            ty: Schema::Timestamp,
+        };
+        let c = compile(&e);
+        assert_eq!(
+            c.eval(&vec![Value::Timestamp(5), Value::Timestamp(9)]),
+            Value::Timestamp(9)
+        );
+    }
+
+    #[test]
+    fn floor_time_rounds_down() {
+        let e = ScalarExpr::FloorTime {
+            expr: Box::new(iref(0, Schema::Timestamp)),
+            unit_millis: 3_600_000,
+        };
+        let c = compile(&e);
+        assert_eq!(c.eval(&vec![Value::Timestamp(3_999_999)]), Value::Timestamp(3_600_000));
+        assert_eq!(c.eval(&vec![Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn case_and_cast() {
+        let e = ScalarExpr::Case {
+            branches: vec![(
+                bin(BinOp::Gt, iref(0, Schema::Int), lit(Value::Int(10)), Schema::Boolean),
+                lit(Value::String("big".into())),
+            )],
+            else_result: Some(Box::new(lit(Value::String("small".into())))),
+            ty: Schema::String,
+        };
+        let c = compile(&e);
+        assert_eq!(c.eval(&vec![Value::Int(11)]), Value::String("big".into()));
+        assert_eq!(c.eval(&vec![Value::Int(3)]), Value::String("small".into()));
+
+        let e = ScalarExpr::Cast { expr: Box::new(iref(0, Schema::Int)), ty: Schema::String };
+        assert_eq!(compile(&e).eval(&vec![Value::Int(7)]), Value::String("7".into()));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(!like_match("hello", "h_l"));
+        assert!(!like_match("hello", "x%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            eval_call(ScalarFunc::Concat, &[Value::String("a".into()), Value::Int(1)]),
+            Value::String("a1".into())
+        );
+        assert_eq!(eval_call(ScalarFunc::Upper, &[Value::String("ab".into())]), Value::String("AB".into()));
+        assert_eq!(eval_call(ScalarFunc::CharLength, &[Value::String("héllo".into())]), Value::Int(5));
+    }
+}

@@ -1,0 +1,55 @@
+//! Filter operator: generated predicate over array tuples.
+
+use crate::error::Result;
+use crate::expr::CompiledExpr;
+use crate::ops::{OpCtx, Operator, Side};
+use crate::tuple::Tuple;
+
+/// Drops tuples whose predicate is not TRUE (SQL: NULL filters out).
+pub struct FilterOp {
+    predicate: CompiledExpr,
+}
+
+impl FilterOp {
+    pub fn new(predicate: CompiledExpr) -> Self {
+        FilterOp { predicate }
+    }
+}
+
+impl Operator for FilterOp {
+    fn process(&mut self, _side: Side, tuple: Tuple, _ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+        if self.predicate.eval_bool(&tuple) {
+            Ok(vec![tuple])
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FilterOp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::compile;
+    use samzasql_planner::{BinOp, ScalarExpr};
+    use samzasql_serde::{Schema, Value};
+
+    #[test]
+    fn passes_matching_tuples_only() {
+        let pred = compile(&ScalarExpr::Binary {
+            op: BinOp::Gt,
+            left: Box::new(ScalarExpr::input(0, Schema::Int)),
+            right: Box::new(ScalarExpr::Literal(Value::Int(50))),
+            ty: Schema::Boolean,
+        });
+        let mut op = FilterOp::new(pred);
+        let mut late = 0;
+        let mut ctx = OpCtx { store: None, late_discards: &mut late };
+        assert_eq!(op.process(Side::Single, vec![Value::Int(75)], &mut ctx).unwrap().len(), 1);
+        assert_eq!(op.process(Side::Single, vec![Value::Int(25)], &mut ctx).unwrap().len(), 0);
+        assert_eq!(op.process(Side::Single, vec![Value::Null], &mut ctx).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Project operator: generated projection expressions over array tuples.
+
+use crate::error::Result;
+use crate::expr::CompiledExpr;
+use crate::ops::{OpCtx, Operator, Side};
+use crate::tuple::Tuple;
+
+/// Produces one output tuple per input by evaluating the projection list.
+pub struct ProjectOp {
+    exprs: Vec<CompiledExpr>,
+}
+
+impl ProjectOp {
+    pub fn new(exprs: Vec<CompiledExpr>) -> Self {
+        ProjectOp { exprs }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn process(&mut self, _side: Side, tuple: Tuple, _ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+        Ok(vec![self.exprs.iter().map(|e| e.eval(&tuple)).collect()])
+    }
+
+    fn name(&self) -> &'static str {
+        "ProjectOp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::compile;
+    use samzasql_planner::ScalarExpr;
+    use samzasql_serde::{Schema, Value};
+
+    #[test]
+    fn reorders_and_computes() {
+        let exprs = vec![
+            compile(&ScalarExpr::input(1, Schema::Int)),
+            compile(&ScalarExpr::input(0, Schema::Timestamp)),
+        ];
+        let mut op = ProjectOp::new(exprs);
+        let mut late = 0;
+        let mut ctx = OpCtx { store: None, late_discards: &mut late };
+        let out = op
+            .process(Side::Single, vec![Value::Timestamp(9), Value::Int(1)], &mut ctx)
+            .unwrap();
+        assert_eq!(out, vec![vec![Value::Int(1), Value::Timestamp(9)]]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Sort/limit operator for bounded ("stream as table", §3.3) queries.
+//!
+//! Buffers all input, sorts at end-of-input, applies LIMIT. Only reachable
+//! from non-STREAM queries — the validator rejects ORDER BY on continuous
+//! streams.
+
+use crate::error::Result;
+use crate::expr::CompiledExpr;
+use crate::ops::{OpCtx, Operator, Side};
+use crate::tuple::Tuple;
+
+/// End-of-input sort with optional limit.
+pub struct SortOp {
+    keys: Vec<(CompiledExpr, bool)>,
+    limit: Option<u64>,
+    buffer: Vec<Tuple>,
+}
+
+impl SortOp {
+    pub fn new(keys: Vec<(CompiledExpr, bool)>, limit: Option<u64>) -> Self {
+        SortOp { keys, limit, buffer: Vec::new() }
+    }
+}
+
+impl Operator for SortOp {
+    fn process(&mut self, _side: Side, tuple: Tuple, _ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+        self.buffer.push(tuple);
+        Ok(Vec::new())
+    }
+
+    fn flush(&mut self, _ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+        let mut rows = std::mem::take(&mut self.buffer);
+        rows.sort_by(|a, b| {
+            for (key, asc) in &self.keys {
+                let (ka, kb) = (key.eval(a), key.eval(b));
+                let ord = ka.sql_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        if let Some(n) = self.limit {
+            rows.truncate(n as usize);
+        }
+        Ok(rows)
+    }
+
+    fn name(&self) -> &'static str {
+        "SortOp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::compile;
+    use samzasql_planner::ScalarExpr;
+    use samzasql_serde::{Schema, Value};
+
+    #[test]
+    fn sorts_desc_with_limit_at_flush() {
+        let key = compile(&ScalarExpr::input(0, Schema::Int));
+        let mut op = SortOp::new(vec![(key, false)], Some(2));
+        let mut late = 0;
+        let mut ctx = OpCtx { store: None, late_discards: &mut late };
+        for v in [3, 1, 4, 1, 5] {
+            assert!(op.process(Side::Single, vec![Value::Int(v)], &mut ctx).unwrap().is_empty());
+        }
+        let out = op.flush(&mut ctx).unwrap();
+        assert_eq!(out, vec![vec![Value::Int(5)], vec![Value::Int(4)]]);
+    }
+}

@@ -1,0 +1,430 @@
+//! The message router: "a DAG of streaming SQL operators responsible for
+//! flowing messages through query operators" (§4.2).
+//!
+//! The router is generated from the physical plan during task initialization
+//! (step two of two-step planning). Scans are the entry points (one per
+//! input topic); the stream-insert operator is the sink; everything in
+//! between is an [`Operator`] node with a parent edge (and a [`Side`] tag so
+//! binary joins know which input a tuple arrived on).
+
+use crate::error::{CoreError, Result};
+use crate::expr::compile;
+use crate::ops::acc::CompiledAgg;
+use crate::ops::filter::FilterOp;
+use crate::ops::insert::{EncodedOutput, InsertOp};
+use crate::ops::join_relation::StreamToRelationJoinOp;
+use crate::ops::join_stream::StreamToStreamJoinOp;
+use crate::ops::project::ProjectOp;
+use crate::ops::scan::ScanOp;
+use crate::ops::sort::SortOp;
+use crate::ops::window_agg::WindowAggOp;
+use crate::ops::window_sliding::SlidingWindowOp;
+use crate::ops::{OpCtx, Operator, Side};
+use crate::tuple::Tuple;
+use crate::udaf::UdafRegistry;
+use bytes::Bytes;
+use samzasql_planner::{PhysicalPlan, PlannedQuery, ScalarExpr};
+
+use samzasql_samza::KeyValueStore;
+use samzasql_serde::serde_api::build_serde;
+use samzasql_serde::{Schema, SerdeFormat};
+use std::collections::VecDeque;
+
+/// Everything the router needs to instantiate a query stage's operators.
+///
+/// For ordinary jobs this is derived 1:1 from a [`PlannedQuery`]; repartition
+/// splits (§7) produce one spec per stage with modified physical plans.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    pub sql: String,
+    pub physical: PhysicalPlan,
+    pub output_names: Vec<String>,
+    pub output_types: Vec<Schema>,
+    pub order_by: Vec<(ScalarExpr, bool)>,
+    pub limit: Option<u64>,
+    pub is_stream: bool,
+    /// Column keying output messages (repartition stages).
+    pub output_key: Option<usize>,
+    /// §7 future-work item 5, implemented: skip the `AvroToArray` /
+    /// `ArrayToAvro` steps by decoding/encoding array tuples directly
+    /// ("SamzaSQL Data API" codegen). Off by default — the prototype path.
+    pub direct_data_api: bool,
+}
+
+impl QuerySpec {
+    /// Derive the spec of a single-stage job from a planned query.
+    pub fn from_planned(planned: &PlannedQuery) -> QuerySpec {
+        QuerySpec {
+            sql: planned.sql.clone(),
+            physical: planned.physical.clone(),
+            output_names: planned.output_names.clone(),
+            output_types: planned.output_types.clone(),
+            order_by: planned.order_by.clone(),
+            limit: planned.limit,
+            is_stream: planned.is_stream,
+            output_key: None,
+            direct_data_api: false,
+        }
+    }
+
+    /// The output record schema.
+    pub fn output_schema(&self, record_name: &str) -> Schema {
+        Schema::Record {
+            name: record_name.to_string(),
+            fields: self
+                .output_names
+                .iter()
+                .zip(&self.output_types)
+                .map(|(n, t)| samzasql_serde::Field { name: n.clone(), schema: t.clone() })
+                .collect(),
+        }
+    }
+}
+
+/// Destination of a tuple: an operator node input, or the sink.
+type Dest = Option<(usize, Side)>;
+
+struct Entry {
+    topic: String,
+    scan: ScanOp,
+    dest: Dest,
+    /// Tuples from this entry feed a relation cache (tombstones apply).
+    is_relation: bool,
+}
+
+/// The generated operator DAG for one task.
+pub struct MessageRouter {
+    entries: Vec<Entry>,
+    nodes: Vec<Box<dyn Operator>>,
+    parents: Vec<Dest>,
+    insert: InsertOp,
+    late_discards: u64,
+    direct_data_api: bool,
+}
+
+impl MessageRouter {
+    /// Generate the router from a planned query (operator + router
+    /// generation of Figure 3's second step).
+    pub fn build(planned: &PlannedQuery, udafs: &UdafRegistry) -> Result<MessageRouter> {
+        Self::build_spec(&QuerySpec::from_planned(planned), udafs)
+    }
+
+    /// Generate the router from a stage spec.
+    pub fn build_spec(planned: &QuerySpec, udafs: &UdafRegistry) -> Result<MessageRouter> {
+        let mut insert = InsertOp::new(
+            build_serde(SerdeFormat::Avro, planned.output_schema("Output")),
+            planned.output_names.clone(),
+            output_ts_index(&planned.output_names, &planned.output_types),
+        );
+        if let Some(k) = planned.output_key {
+            insert = insert.with_key(k);
+        }
+        if planned.direct_data_api {
+            insert = insert.with_direct(samzasql_serde::avro::AvroCodec::new(
+                planned.output_schema("Output"),
+            ));
+        }
+        let mut router = MessageRouter {
+            entries: Vec::new(),
+            nodes: Vec::new(),
+            parents: Vec::new(),
+            insert,
+            late_discards: 0,
+            direct_data_api: false,
+        };
+        // Bounded queries may carry ORDER BY / LIMIT: a sort node at the root.
+        let root_dest: Dest = if !planned.order_by.is_empty() || planned.limit.is_some() {
+            let keys = planned
+                .order_by
+                .iter()
+                .map(|(e, asc)| (compile(e), *asc))
+                .collect();
+            Some((router.add_node(Box::new(SortOp::new(keys, planned.limit)), None), Side::Single))
+        } else {
+            None
+        };
+        router.direct_data_api = planned.direct_data_api;
+        router.build_plan(&planned.physical, root_dest, udafs)?;
+        Ok(router)
+    }
+
+    fn add_node(&mut self, op: Box<dyn Operator>, parent: Dest) -> usize {
+        self.nodes.push(op);
+        self.parents.push(parent);
+        self.nodes.len() - 1
+    }
+
+    fn build_plan(
+        &mut self,
+        plan: &PhysicalPlan,
+        dest: Dest,
+        udafs: &UdafRegistry,
+    ) -> Result<()> {
+        let op_id = format!("{}", self.nodes.len());
+        match plan {
+            PhysicalPlan::Scan { topic, types, format, .. } => {
+                let schema = Schema::Record {
+                    name: "Row".into(),
+                    fields: plan
+                        .output_names()
+                        .iter()
+                        .zip(types)
+                        .map(|(n, t)| samzasql_serde::Field { name: n.clone(), schema: t.clone() })
+                        .collect(),
+                };
+                let scan = if self.direct_data_api && *format == SerdeFormat::Avro {
+                    ScanOp::direct(samzasql_serde::avro::AvroCodec::new(schema), types.len())
+                } else {
+                    ScanOp::new(build_serde(*format, schema), types.len())
+                };
+                self.entries.push(Entry {
+                    topic: topic.clone(),
+                    scan,
+                    dest,
+                    is_relation: false,
+                });
+                Ok(())
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let id = self.add_node(Box::new(FilterOp::new(compile(predicate))), dest);
+                self.build_plan(input, Some((id, Side::Single)), udafs)
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                let compiled = exprs.iter().map(compile).collect();
+                let id = self.add_node(Box::new(ProjectOp::new(compiled)), dest);
+                self.build_plan(input, Some((id, Side::Single)), udafs)
+            }
+            PhysicalPlan::WindowAggregate { input, window, keys, aggs, .. } => {
+                let compiled_keys = keys.iter().map(compile).collect();
+                let compiled_aggs: Vec<CompiledAgg> = aggs
+                    .iter()
+                    .map(|a| CompiledAgg::new(a, udafs))
+                    .collect::<Result<_>>()?;
+                let id = self.add_node(
+                    Box::new(WindowAggOp::new(op_id, window.clone(), compiled_keys, compiled_aggs)),
+                    dest,
+                );
+                self.build_plan(input, Some((id, Side::Single)), udafs)
+            }
+            PhysicalPlan::SlidingWindow { input, partition_by, ts_index, range_ms, rows, aggs } => {
+                let compiled_keys = partition_by.iter().map(compile).collect();
+                let compiled_aggs: Vec<CompiledAgg> = aggs
+                    .iter()
+                    .map(|a| CompiledAgg::new(a, udafs))
+                    .collect::<Result<_>>()?;
+                let id = self.add_node(
+                    Box::new(SlidingWindowOp::new(
+                        op_id,
+                        compiled_keys,
+                        *ts_index,
+                        *range_ms,
+                        *rows,
+                        compiled_aggs,
+                    )),
+                    dest,
+                );
+                self.build_plan(input, Some((id, Side::Single)), udafs)
+            }
+            PhysicalPlan::StreamToStreamJoin { left, right, kind, equi, time_bound, residual } => {
+                if equi.len() != 1 {
+                    return Err(CoreError::Operator(
+                        "stream-to-stream joins support exactly one equi key".into(),
+                    ));
+                }
+                let (lk, rk) = equi[0];
+                let left_types = left.output_types();
+                let right_types = right.output_types();
+                let op = StreamToStreamJoinOp::new(
+                    op_id,
+                    *kind,
+                    compile(&ScalarExpr::input(lk, left_types[lk].clone())),
+                    compile(&ScalarExpr::input(rk, right_types[rk].clone())),
+                    time_bound.left_ts,
+                    time_bound.right_ts,
+                    time_bound.lower_ms,
+                    time_bound.upper_ms,
+                    residual.as_ref().map(compile),
+                )?;
+                let id = self.add_node(Box::new(op), dest);
+                self.build_plan(left, Some((id, Side::Left)), udafs)?;
+                self.build_plan(right, Some((id, Side::Right)), udafs)
+            }
+            PhysicalPlan::StreamToRelationJoin {
+                stream,
+                relation_topic,
+                relation_names,
+                relation_types,
+                relation_key,
+                equi,
+                stream_is_left,
+                kind,
+                residual,
+            } => {
+                let (sk, _) = equi[0];
+                let stream_types = stream.output_types();
+                let op = StreamToRelationJoinOp::new(
+                    op_id,
+                    compile(&ScalarExpr::input(sk, stream_types[sk].clone())),
+                    *relation_key,
+                    relation_names.clone(),
+                    *stream_is_left,
+                    *kind,
+                    residual.as_ref().map(compile),
+                );
+                let id = self.add_node(Box::new(op), dest);
+                // Relation changelog entry (bootstrap stream).
+                let rel_schema = Schema::Record {
+                    name: "Relation".into(),
+                    fields: relation_names
+                        .iter()
+                        .zip(relation_types)
+                        .map(|(n, t)| samzasql_serde::Field { name: n.clone(), schema: t.clone() })
+                        .collect(),
+                };
+                self.entries.push(Entry {
+                    topic: relation_topic.clone(),
+                    scan: ScanOp::new(build_serde(SerdeFormat::Avro, rel_schema), relation_types.len()),
+                    dest: Some((id, Side::Right)),
+                    is_relation: true,
+                });
+                self.build_plan(stream, Some((id, Side::Left)), udafs)
+            }
+            PhysicalPlan::Repartition { .. } => Err(CoreError::Operator(
+                "repartition stages must be split into separate jobs before router \
+                 generation (the shell does this)"
+                    .into(),
+            )),
+        }
+    }
+
+    /// Route one incoming message through the DAG; returns encoded outputs
+    /// for the job's output stream.
+    pub fn route(
+        &mut self,
+        topic: &str,
+        key: Option<&Bytes>,
+        payload: &Bytes,
+        store: Option<&mut KeyValueStore>,
+    ) -> Result<Vec<EncodedOutput>> {
+        let mut outputs = Vec::new();
+        let mut queue: VecDeque<(Dest, Tuple)> = VecDeque::new();
+        let mut store = store;
+
+        // Entry: decode via each scan bound to this topic.
+        for ei in 0..self.entries.len() {
+            if self.entries[ei].topic != topic {
+                continue;
+            }
+            match self.entries[ei].scan.decode(payload)? {
+                Some(tuple) => queue.push_back((self.entries[ei].dest, tuple)),
+                None => {
+                    // Tombstone: only meaningful for relation caches.
+                    if self.entries[ei].is_relation {
+                        if let (Some((node, side)), Some(k)) = (self.entries[ei].dest, key) {
+                            let mut ctx = OpCtx {
+                                store: store.as_deref_mut(),
+                                late_discards: &mut self.late_discards,
+                            };
+                            let outs = self.nodes[node].on_tombstone(side, k, &mut ctx)?;
+                            let parent = self.parents[node];
+                            for t in outs {
+                                queue.push_back((parent, t));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Propagate.
+        while let Some((dest, tuple)) = queue.pop_front() {
+            match dest {
+                None => outputs.push(self.insert.encode(&tuple)?),
+                Some((node, side)) => {
+                    let mut ctx = OpCtx {
+                        store: store.as_deref_mut(),
+                        late_discards: &mut self.late_discards,
+                    };
+                    let outs = self.nodes[node].process(side, tuple, &mut ctx)?;
+                    let parent = self.parents[node];
+                    for t in outs {
+                        queue.push_back((parent, t));
+                    }
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// End-of-input flush for bounded queries: flush every node child-first
+    /// so flushed tuples still traverse their downstream operators.
+    pub fn flush(&mut self, store: Option<&mut KeyValueStore>) -> Result<Vec<EncodedOutput>> {
+        let mut outputs = Vec::new();
+        let mut store = store;
+        for i in (0..self.nodes.len()).rev() {
+            let mut queue: VecDeque<(Dest, Tuple)> = VecDeque::new();
+            {
+                let mut ctx = OpCtx {
+                    store: store.as_deref_mut(),
+                    late_discards: &mut self.late_discards,
+                };
+                let outs = self.nodes[i].flush(&mut ctx)?;
+                let parent = self.parents[i];
+                for t in outs {
+                    queue.push_back((parent, t));
+                }
+            }
+            while let Some((dest, tuple)) = queue.pop_front() {
+                match dest {
+                    None => outputs.push(self.insert.encode(&tuple)?),
+                    Some((node, side)) => {
+                        let mut ctx = OpCtx {
+                            store: store.as_deref_mut(),
+                            late_discards: &mut self.late_discards,
+                        };
+                        let outs = self.nodes[node].process(side, tuple, &mut ctx)?;
+                        let parent = self.parents[node];
+                        for t in outs {
+                            queue.push_back((parent, t));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Topics this router consumes.
+    pub fn input_topics(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.topic.clone()).collect()
+    }
+
+    /// Tuples discarded as late so far.
+    pub fn late_discards(&self) -> u64 {
+        self.late_discards
+    }
+
+    /// Number of operator nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl std::fmt::Debug for MessageRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ops: Vec<&str> = self.nodes.iter().map(|n| n.name()).collect();
+        f.debug_struct("MessageRouter")
+            .field("entries", &self.input_topics())
+            .field("nodes", &ops)
+            .finish()
+    }
+}
+
+/// Find the timestamp column in the output, preferring a `rowtime` name,
+/// falling back to the first Timestamp-typed column.
+fn output_ts_index(names: &[String], types: &[Schema]) -> Option<usize> {
+    names
+        .iter()
+        .position(|n| n.eq_ignore_ascii_case("rowtime"))
+        .or_else(|| types.iter().position(|t| *t == Schema::Timestamp))
+}

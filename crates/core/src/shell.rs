@@ -1,0 +1,637 @@
+//! The SamzaSQL shell — the SqlLine/JDBC front door of Figure 2.
+//!
+//! The shell owns the catalog + planner, talks to the broker and the
+//! simulated YARN cluster, and performs **step one** of two-step planning
+//! (§4.2): plan the query, generate the Samza job configuration, store plan
+//! metadata (the SQL text, schema references) in the ZooKeeper-like metadata
+//! store, and submit the job. Tasks re-plan from that metadata at init.
+//!
+//! Two execution paths mirror the paper's data model (§3.3):
+//!
+//! * [`SamzaSqlShell::submit`] — `SELECT STREAM …`: a continuous job on the
+//!   cluster, observed through a [`QueryHandle`].
+//! * [`SamzaSqlShell::query`] — no `STREAM` keyword: the stream is read as a
+//!   bounded historical table; the query runs to completion synchronously
+//!   and returns its rows.
+
+use crate::error::{CoreError, Result};
+use crate::router::QuerySpec;
+use crate::task::{SamzaSqlTaskFactory, TaskPlanSource};
+use crate::udaf::{UdafRegistry, UserAggregate};
+use bytes::Bytes;
+use samzasql_kafka::{Broker, Message, TopicConfig};
+use samzasql_planner::{Catalog, ObjectKind, PhysicalPlan, PlannedQuery, Planner};
+use samzasql_samza::{
+    ClusterSim, Container, InputStreamConfig, JobConfig, JobHandle, JobModel, MetadataStore,
+    OutputStreamConfig, StoreConfig,
+};
+use samzasql_serde::avro::AvroCodec;
+use samzasql_serde::object::ObjectCodec;
+use samzasql_serde::{Schema, SerdeFormat, Value};
+use std::sync::Arc;
+
+/// The interactive entry point to SamzaSQL.
+pub struct SamzaSqlShell {
+    broker: Broker,
+    cluster: ClusterSim,
+    metadata: MetadataStore,
+    planner: Planner,
+    udafs: UdafRegistry,
+    query_counter: u64,
+    /// Containers per submitted streaming job.
+    pub default_containers: u32,
+    /// Compile queries with the direct SamzaSQL Data API (§7 item 5): skip
+    /// the AvroToArray/ArrayToAvro steps. Off by default (prototype path).
+    pub direct_data_api: bool,
+}
+
+impl SamzaSqlShell {
+    /// Shell over a broker with a single-node cluster.
+    pub fn new(broker: Broker) -> Self {
+        let cluster = ClusterSim::single_node(broker.clone());
+        Self::with_cluster(broker, cluster)
+    }
+
+    /// Shell over an explicit cluster simulation.
+    pub fn with_cluster(broker: Broker, cluster: ClusterSim) -> Self {
+        SamzaSqlShell {
+            broker,
+            cluster,
+            metadata: MetadataStore::new(),
+            planner: Planner::new(Catalog::new()),
+            udafs: UdafRegistry::new(),
+            query_counter: 0,
+            default_containers: 1,
+            direct_data_api: false,
+        }
+    }
+
+    /// The broker this shell talks to.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// The metadata store shared with tasks.
+    pub fn metadata(&self) -> &MetadataStore {
+        &self.metadata
+    }
+
+    /// The planner/catalog.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    // ------------------------------------------------------------- catalog
+
+    /// Register a stream (creating its topic with one partition if absent).
+    pub fn register_stream(
+        &mut self,
+        name: &str,
+        topic: &str,
+        schema: Schema,
+        timestamp_field: &str,
+    ) -> Result<()> {
+        self.broker.ensure_topic(topic, TopicConfig::with_partitions(1))?;
+        self.planner
+            .catalog_mut()
+            .register_stream(name, topic, schema, timestamp_field)?;
+        Ok(())
+    }
+
+    /// Register a table backed by a changelog topic, keyed (and partitioned)
+    /// by `key_column`.
+    pub fn register_table(
+        &mut self,
+        name: &str,
+        changelog_topic: &str,
+        schema: Schema,
+        key_column: &str,
+    ) -> Result<()> {
+        self.broker
+            .ensure_topic(changelog_topic, TopicConfig::with_partitions(1))?;
+        self.planner
+            .catalog_mut()
+            .register_table(name, changelog_topic, schema)?;
+        self.planner.catalog_mut().set_partition_key(name, key_column)?;
+        Ok(())
+    }
+
+    /// Declare the column a stream's producer partitions by (enables the
+    /// planner's repartition decision, §7).
+    pub fn set_partition_key(&mut self, name: &str, key_column: &str) -> Result<()> {
+        self.planner.catalog_mut().set_partition_key(name, key_column)?;
+        Ok(())
+    }
+
+    /// Register a user-defined aggregate function.
+    pub fn register_udaf(&mut self, name: &str, func: Arc<dyn UserAggregate>) {
+        self.udafs.register(name, func);
+    }
+
+    /// Execute DDL (`CREATE VIEW`).
+    pub fn execute_ddl(&mut self, sql: &str) -> Result<String> {
+        Ok(self.planner.execute_ddl(sql)?)
+    }
+
+    /// EXPLAIN a query.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        Ok(self.planner.explain(sql)?)
+    }
+
+    // ------------------------------------------------------------ producing
+
+    fn encode_for(&self, name: &str, value: &Value) -> Result<(String, Message)> {
+        let obj = self.planner.catalog().get(name)?;
+        let topic = obj
+            .topic
+            .clone()
+            .ok_or_else(|| CoreError::Shell(format!("{name} has no backing topic")))?;
+        let codec = AvroCodec::new(obj.schema.clone());
+        let payload = codec.encode(value)?;
+        let timestamp = obj
+            .timestamp_field
+            .as_deref()
+            .and_then(|f| value.field(f))
+            .and_then(|v| v.as_i64())
+            .unwrap_or(0);
+        let key = obj
+            .partition_key
+            .as_deref()
+            .and_then(|f| value.field(f))
+            .map(|v| ObjectCodec::new().encode(v))
+            .transpose()?;
+        Ok((topic, Message { key, value: payload, timestamp }))
+    }
+
+    /// Publish a tuple to a registered stream (Avro-encoded; keyed by the
+    /// stream's declared partition key when set).
+    pub fn produce(&self, stream: &str, value: Value) -> Result<()> {
+        let (topic, message) = self.encode_for(stream, &value)?;
+        let partitions = self.broker.partition_count(&topic)?;
+        let partition = match &message.key {
+            Some(k) => samzasql_kafka::partitioner::hash_bytes(k) % partitions,
+            None => 0,
+        };
+        self.broker.produce(&topic, partition, message)?;
+        Ok(())
+    }
+
+    /// Publish an upsert to a table's changelog.
+    pub fn produce_relation(&self, table: &str, value: Value) -> Result<()> {
+        self.produce(table, value)
+    }
+
+    /// Publish a deletion (tombstone) to a table's changelog.
+    pub fn delete_relation(&self, table: &str, key: &Value) -> Result<()> {
+        let obj = self.planner.catalog().get(table)?;
+        let topic = obj
+            .topic
+            .clone()
+            .ok_or_else(|| CoreError::Shell(format!("{table} has no backing topic")))?;
+        let key_bytes = ObjectCodec::new().encode(key)?;
+        let partitions = self.broker.partition_count(&topic)?;
+        let partition = samzasql_kafka::partitioner::hash_bytes(&key_bytes) % partitions;
+        self.broker.produce(
+            &topic,
+            partition,
+            Message { key: Some(key_bytes), value: Bytes::new(), timestamp: 0 },
+        )?;
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- execution
+
+    fn next_query_id(&mut self) -> u64 {
+        self.query_counter += 1;
+        self.query_counter
+    }
+
+    fn output_partitions(&self, physical: &PhysicalPlan) -> Result<u32> {
+        let mut max = 1;
+        for (topic, _) in physical.input_topics() {
+            max = max.max(self.broker.partition_count(&topic)?);
+        }
+        Ok(max)
+    }
+
+    /// Build the job configuration for one stage (the shell half of two-step
+    /// planning).
+    fn job_config(
+        &self,
+        job_name: &str,
+        spec: &QuerySpec,
+        output_topic: &str,
+        containers: u32,
+    ) -> JobConfig {
+        let mut cfg = JobConfig::new(job_name).containers(containers);
+        for (topic, bootstrap) in spec.physical.input_topics() {
+            let mut input = InputStreamConfig::avro(&topic);
+            if bootstrap {
+                input = input.bootstrap();
+            }
+            cfg = cfg.input(input);
+        }
+        cfg = cfg.output(OutputStreamConfig::avro(output_topic));
+        if spec.physical.needs_local_state() || !spec.order_by.is_empty() || spec.limit.is_some() {
+            cfg = cfg.store(StoreConfig::with_changelog(
+                crate::ops::STATE_STORE,
+                job_name,
+                SerdeFormat::Object,
+            ));
+        }
+        cfg
+    }
+
+    /// Plan and register everything for a query; returns per-stage
+    /// (job name, spec, source, output topic) plus the final output schema.
+    #[allow(clippy::type_complexity)]
+    fn prepare(
+        &mut self,
+        sql: &str,
+    ) -> Result<(PlannedQuery, Vec<(String, QuerySpec, TaskPlanSource, String)>, String)> {
+        let planned = self.planner.plan(sql)?;
+        let qid = self.next_query_id();
+        let job_base = format!("samzasql-q{qid}");
+        let output_topic = format!("{job_base}-output");
+        let out_partitions = self.output_partitions(&planned.physical)?;
+        self.broker
+            .ensure_topic(&output_topic, TopicConfig::with_partitions(out_partitions))?;
+        self.planner
+            .catalog()
+            .registry()
+            .register(&format!("{output_topic}-value"), planned.output_schema("Output"))
+            .map_err(CoreError::Serde)?;
+
+        let mut stages = Vec::new();
+        match split_repartition(&planned) {
+            Some((stage1, key_index, stage2_builder)) => {
+                // Intermediate topic carries the re-keyed stream (§7).
+                let inter_topic = format!("{job_base}-repartition");
+                self.broker
+                    .ensure_topic(&inter_topic, TopicConfig::with_partitions(out_partitions))?;
+                let stage2 = stage2_builder(&inter_topic);
+                let mut s1 = stage1;
+                s1.output_key = Some(key_index);
+                let job1 = format!("{job_base}-stage1");
+                let job2 = job_base.clone();
+                self.metadata.set(&format!("/jobs/{job1}/query"), sql);
+                self.metadata.set(&format!("/jobs/{job2}/query"), sql);
+                stages.push((
+                    job1,
+                    s1.clone(),
+                    TaskPlanSource::Fixed(Arc::new(s1)),
+                    inter_topic,
+                ));
+                stages.push((
+                    job2,
+                    stage2.clone(),
+                    TaskPlanSource::Fixed(Arc::new(stage2)),
+                    output_topic.clone(),
+                ));
+            }
+            None => {
+                let mut spec = QuerySpec::from_planned(&planned);
+                spec.direct_data_api = self.direct_data_api;
+                self.metadata.set(&format!("/jobs/{job_base}/query"), sql);
+                self.metadata
+                    .set(&format!("/jobs/{job_base}/output"), output_topic.clone());
+                let source = if self.direct_data_api {
+                    TaskPlanSource::Fixed(Arc::new(spec.clone()))
+                } else {
+                    TaskPlanSource::Replan { planner: Arc::new(self.planner.clone()) }
+                };
+                stages.push((job_base, spec, source, output_topic.clone()));
+            }
+        }
+        Ok((planned, stages, output_topic))
+    }
+
+    /// Submit a continuous (`SELECT STREAM`) query to the cluster.
+    pub fn submit(&mut self, sql: &str) -> Result<QueryHandle> {
+        let (planned, stages, output_topic) = self.prepare(sql)?;
+        if !planned.is_stream {
+            return Err(CoreError::Shell(
+                "query has no STREAM keyword; use query() for historical execution".into(),
+            ));
+        }
+        let containers = self.default_containers;
+        let udafs = Arc::new(self.udafs.clone());
+        let mut jobs = Vec::new();
+        for (job_name, spec, source, stage_output) in stages {
+            let cfg = self.job_config(&job_name, &spec, &stage_output, containers);
+            let factory = SamzaSqlTaskFactory {
+                job_name: job_name.clone(),
+                output_topic: stage_output,
+                metadata: self.metadata.clone(),
+                source,
+                udafs: udafs.clone(),
+            };
+            jobs.push(self.cluster.submit(cfg, Arc::new(factory))?);
+        }
+        Ok(QueryHandle {
+            jobs,
+            broker: self.broker.clone(),
+            output_topic,
+            output_schema: planned.output_schema("Output"),
+            positions: Vec::new(),
+            warnings: planned.warnings,
+        })
+    }
+
+    /// Execute a bounded (historical) query synchronously and return its
+    /// rows as records.
+    pub fn query(&mut self, sql: &str) -> Result<Vec<Value>> {
+        let (planned, stages, output_topic) = self.prepare(sql)?;
+        if planned.is_stream {
+            return Err(CoreError::Shell(
+                "continuous query; use submit() and a QueryHandle".into(),
+            ));
+        }
+        let udafs = Arc::new(self.udafs.clone());
+        for (job_name, spec, source, stage_output) in stages {
+            let cfg = self.job_config(&job_name, &spec, &stage_output, 1);
+            let factory = SamzaSqlTaskFactory {
+                job_name: job_name.clone(),
+                output_topic: stage_output,
+                metadata: self.metadata.clone(),
+                source,
+                udafs: udafs.clone(),
+            };
+            let model = JobModel::plan(&cfg, &self.broker)?;
+            for cm in &model.containers {
+                let mut container =
+                    Container::new(self.broker.clone(), cfg.clone(), cm.clone(), &factory)?;
+                container.run_until_caught_up()?;
+                // End of bounded input: flush window/sort state.
+                container.window_all()?;
+            }
+        }
+        // Drain the output topic.
+        let codec = AvroCodec::new(planned.output_schema("Output"));
+        let mut rows = Vec::new();
+        for p in 0..self.broker.partition_count(&output_topic)? {
+            let mut off = 0;
+            loop {
+                let batch = self.broker.fetch(&output_topic, p, off, 1024)?;
+                if batch.records.is_empty() {
+                    break;
+                }
+                for rec in batch.records {
+                    off = rec.offset + 1;
+                    rows.push(codec.decode(&rec.message.value)?);
+                }
+            }
+        }
+        // ORDER BY / LIMIT: each task sorted and limited its own partition
+        // slice; the shell (JDBC-driver side) does the global merge, like a
+        // single-threaded result-set merge.
+        if !planned.order_by.is_empty() {
+            let keys: Vec<(crate::expr::CompiledExpr, bool)> = planned
+                .order_by
+                .iter()
+                .map(|(e, asc)| (crate::expr::compile(e), *asc))
+                .collect();
+            rows.sort_by(|a, b| {
+                let ta = crate::tuple::record_to_array(a.clone()).unwrap_or_default();
+                let tb = crate::tuple::record_to_array(b.clone()).unwrap_or_default();
+                for (key, asc) in &keys {
+                    let ord = key
+                        .eval(&ta)
+                        .sql_cmp(&key.eval(&tb))
+                        .unwrap_or(std::cmp::Ordering::Equal);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        if let Some(n) = planned.limit {
+            rows.truncate(n as usize);
+        }
+        Ok(rows)
+    }
+}
+
+impl std::fmt::Debug for SamzaSqlShell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamzaSqlShell")
+            .field("catalog", &self.planner.catalog().names())
+            .field("queries", &self.query_counter)
+            .finish()
+    }
+}
+
+/// Handle to a running continuous query.
+pub struct QueryHandle {
+    jobs: Vec<JobHandle>,
+    broker: Broker,
+    output_topic: String,
+    output_schema: Schema,
+    /// Per-partition read positions into the output topic.
+    positions: Vec<u64>,
+    /// Planner warnings surfaced to the user.
+    pub warnings: Vec<String>,
+}
+
+impl QueryHandle {
+    /// The query's output topic (other jobs can consume it — Kappa-style
+    /// pipeline composition).
+    pub fn output_topic(&self) -> &str {
+        &self.output_topic
+    }
+
+    /// Messages processed so far across the query's jobs.
+    pub fn processed(&self) -> u64 {
+        self.jobs.iter().map(|j| j.processed()).sum()
+    }
+
+    /// Poll new output rows (decoded records), non-blocking.
+    pub fn poll_outputs(&mut self) -> Result<Vec<Value>> {
+        let partitions = self.broker.partition_count(&self.output_topic)?;
+        self.positions.resize(partitions as usize, 0);
+        let codec = AvroCodec::new(self.output_schema.clone());
+        let mut rows = Vec::new();
+        for p in 0..partitions {
+            let mut off = self.positions[p as usize];
+            loop {
+                let batch = self.broker.fetch(&self.output_topic, p, off, 1024)?;
+                if batch.records.is_empty() {
+                    break;
+                }
+                for rec in batch.records {
+                    off = rec.offset + 1;
+                    rows.push(codec.decode(&rec.message.value)?);
+                }
+            }
+            self.positions[p as usize] = off;
+        }
+        Ok(rows)
+    }
+
+    /// Block (polling) until at least `n` output rows arrived or `timeout`
+    /// elapsed; returns everything collected.
+    pub fn await_outputs(&mut self, n: usize, timeout: std::time::Duration) -> Result<Vec<Value>> {
+        let start = std::time::Instant::now();
+        let mut rows = Vec::new();
+        loop {
+            rows.extend(self.poll_outputs()?);
+            if rows.len() >= n || start.elapsed() > timeout {
+                return Ok(rows);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    /// Kill-and-restart a container of the query's (first) job — failure
+    /// injection for tests.
+    pub fn kill_container(&self, container_id: u32) -> Result<()> {
+        if let Some(job) = self.jobs.first() {
+            job.kill_container(container_id)?;
+        }
+        Ok(())
+    }
+
+    /// Stop the query's jobs.
+    pub fn stop(self) -> Result<()> {
+        for job in self.jobs {
+            job.stop()?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle").field("output_topic", &self.output_topic).finish()
+    }
+}
+
+/// Find a `Repartition` node; return stage 1 (the subplan below it, which
+/// becomes its own job writing key-partitioned output) plus the repartition
+/// key and a builder producing stage 2 (the original plan with the
+/// repartition subtree replaced by a scan of the intermediate topic).
+#[allow(clippy::type_complexity)]
+fn split_repartition(
+    planned: &PlannedQuery,
+) -> Option<(QuerySpec, usize, Box<dyn Fn(&str) -> QuerySpec + '_>)> {
+    fn find(plan: &PhysicalPlan) -> Option<(&PhysicalPlan, usize)> {
+        match plan {
+            PhysicalPlan::Repartition { input, key_index } => Some((input, *key_index)),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::WindowAggregate { input, .. }
+            | PhysicalPlan::SlidingWindow { input, .. } => find(input),
+            PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
+                find(left).or_else(|| find(right))
+            }
+            PhysicalPlan::StreamToRelationJoin { stream, .. } => find(stream),
+            PhysicalPlan::Scan { .. } => None,
+        }
+    }
+    fn replace(plan: &PhysicalPlan, scan: &PhysicalPlan) -> PhysicalPlan {
+        match plan {
+            PhysicalPlan::Repartition { .. } => scan.clone(),
+            PhysicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+                input: Box::new(replace(input, scan)),
+                predicate: predicate.clone(),
+            },
+            PhysicalPlan::Project { input, exprs, names } => PhysicalPlan::Project {
+                input: Box::new(replace(input, scan)),
+                exprs: exprs.clone(),
+                names: names.clone(),
+            },
+            PhysicalPlan::WindowAggregate { input, window, keys, key_names, aggs } => {
+                PhysicalPlan::WindowAggregate {
+                    input: Box::new(replace(input, scan)),
+                    window: window.clone(),
+                    keys: keys.clone(),
+                    key_names: key_names.clone(),
+                    aggs: aggs.clone(),
+                }
+            }
+            PhysicalPlan::SlidingWindow { input, partition_by, ts_index, range_ms, rows, aggs } => {
+                PhysicalPlan::SlidingWindow {
+                    input: Box::new(replace(input, scan)),
+                    partition_by: partition_by.clone(),
+                    ts_index: *ts_index,
+                    range_ms: *range_ms,
+                    rows: *rows,
+                    aggs: aggs.clone(),
+                }
+            }
+            PhysicalPlan::StreamToStreamJoin { left, right, kind, equi, time_bound, residual } => {
+                PhysicalPlan::StreamToStreamJoin {
+                    left: Box::new(replace(left, scan)),
+                    right: Box::new(replace(right, scan)),
+                    kind: *kind,
+                    equi: equi.clone(),
+                    time_bound: *time_bound,
+                    residual: residual.clone(),
+                }
+            }
+            PhysicalPlan::StreamToRelationJoin {
+                stream,
+                relation_topic,
+                relation_names,
+                relation_types,
+                relation_key,
+                equi,
+                stream_is_left,
+                kind,
+                residual,
+            } => PhysicalPlan::StreamToRelationJoin {
+                stream: Box::new(replace(stream, scan)),
+                relation_topic: relation_topic.clone(),
+                relation_names: relation_names.clone(),
+                relation_types: relation_types.clone(),
+                relation_key: *relation_key,
+                equi: equi.clone(),
+                stream_is_left: *stream_is_left,
+                kind: *kind,
+                residual: residual.clone(),
+            },
+            PhysicalPlan::Scan { .. } => plan.clone(),
+        }
+    }
+
+    let (below, key_index) = find(&planned.physical)?;
+    let names = below.output_names();
+    let types = below.output_types();
+    let ts_index = names
+        .iter()
+        .position(|n| n.eq_ignore_ascii_case("rowtime"))
+        .or_else(|| types.iter().position(|t| *t == Schema::Timestamp));
+    let stage1 = QuerySpec {
+        sql: planned.sql.clone(),
+        physical: below.clone(),
+        output_names: names.clone(),
+        output_types: types.clone(),
+        order_by: Vec::new(),
+        limit: None,
+        is_stream: planned.is_stream,
+        output_key: Some(key_index),
+        direct_data_api: false,
+    };
+    let planned_ref = planned;
+    let builder = Box::new(move |inter_topic: &str| {
+        let scan = PhysicalPlan::Scan {
+            topic: inter_topic.to_string(),
+            names: names.clone(),
+            types: types.clone(),
+            format: SerdeFormat::Avro,
+            bounded: !planned_ref.is_stream,
+            ts_index,
+        };
+        let mut spec = QuerySpec::from_planned(planned_ref);
+        spec.physical = replace(&planned_ref.physical, &scan);
+        spec
+    });
+    Some((stage1, key_index, builder))
+}
+
+// `ObjectKind` is referenced by downstream users via the shell module; keep
+// the re-export close to the catalog helpers.
+pub use samzasql_planner::ObjectKind as CatalogObjectKind;
+const _: Option<ObjectKind> = None;

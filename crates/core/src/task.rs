@@ -1,0 +1,162 @@
+//! The SamzaSQL stream task.
+//!
+//! One instance runs per partition (Samza's `GroupByPartition`). At `init` it
+//! performs **step two** of two-step planning (§4.2): it reads the streaming
+//! SQL query from the metadata store (the ZooKeeper stand-in), re-plans it
+//! with the same planner the shell used, and generates its operators and
+//! message router. `process` then routes every delivered message through the
+//! operator DAG and emits encoded results to the job's output stream.
+
+use crate::error::Result as CoreResult;
+use crate::ops::STATE_STORE;
+use crate::router::{MessageRouter, QuerySpec};
+use crate::udaf::UdafRegistry;
+use samzasql_planner::Planner;
+use samzasql_samza::{
+    IncomingMessageEnvelope, MessageCollector, MetadataStore, OutgoingMessageEnvelope,
+    Result as SamzaResult, SamzaError, StreamTask, TaskContext, TaskCoordinator, TaskFactory,
+};
+use std::sync::Arc;
+
+/// How a task obtains its query plan at init.
+#[derive(Clone)]
+pub enum TaskPlanSource {
+    /// Re-plan the SQL stored in the metadata store (normal jobs — the
+    /// faithful two-step flow).
+    Replan { planner: Arc<Planner> },
+    /// Use a fixed stage spec (repartition-split jobs, where a stage is not
+    /// expressible as standalone SQL).
+    Fixed(Arc<QuerySpec>),
+}
+
+/// The generated streaming task executing one query (stage).
+pub struct SamzaSqlTask {
+    job_name: String,
+    output_topic: String,
+    metadata: MetadataStore,
+    source: TaskPlanSource,
+    udafs: Arc<UdafRegistry>,
+    router: Option<MessageRouter>,
+    /// Bounded queries flush window/sort state when `window()` fires.
+    bounded: bool,
+}
+
+impl SamzaSqlTask {
+    pub fn new(
+        job_name: impl Into<String>,
+        output_topic: impl Into<String>,
+        metadata: MetadataStore,
+        source: TaskPlanSource,
+        udafs: Arc<UdafRegistry>,
+    ) -> Self {
+        SamzaSqlTask {
+            job_name: job_name.into(),
+            output_topic: output_topic.into(),
+            metadata,
+            source,
+            udafs,
+            router: None,
+            bounded: false,
+        }
+    }
+
+    fn send_outputs(
+        &self,
+        outputs: Vec<crate::ops::insert::EncodedOutput>,
+        collector: &mut MessageCollector,
+    ) {
+        for out in outputs {
+            let mut env = OutgoingMessageEnvelope::new(self.output_topic.clone(), out.payload)
+                .at(out.timestamp);
+            if let Some(k) = out.key {
+                env = env.keyed(k);
+            }
+            collector.send(env);
+        }
+    }
+
+    fn build_router(&mut self) -> CoreResult<()> {
+        // The metadata store must carry the query — the shell wrote it in
+        // step one. This is the handoff §4.2 describes.
+        let sql = self
+            .metadata
+            .get(&format!("/jobs/{}/query", self.job_name))
+            .ok_or_else(|| {
+                crate::error::CoreError::Shell(format!(
+                    "metadata store has no query for job {}",
+                    self.job_name
+                ))
+            })?;
+        let (router, bounded) = match &self.source {
+            TaskPlanSource::Replan { planner } => {
+                let planned = planner.plan(&sql)?;
+                (MessageRouter::build(&planned, &self.udafs)?, !planned.is_stream)
+            }
+            TaskPlanSource::Fixed(spec) => {
+                (MessageRouter::build_spec(spec, &self.udafs)?, !spec.is_stream)
+            }
+        };
+        self.bounded = bounded;
+        self.router = Some(router);
+        Ok(())
+    }
+}
+
+impl StreamTask for SamzaSqlTask {
+    fn init(&mut self, _ctx: &mut TaskContext) -> SamzaResult<()> {
+        self.build_router().map_err(SamzaError::from)
+    }
+
+    fn process(
+        &mut self,
+        envelope: &IncomingMessageEnvelope,
+        ctx: &mut TaskContext,
+        collector: &mut MessageCollector,
+        _coordinator: &mut TaskCoordinator,
+    ) -> SamzaResult<()> {
+        let router = self.router.as_mut().expect("init ran before process");
+        let store = ctx.store_mut(STATE_STORE).ok();
+        let outputs = router
+            .route(&envelope.tp.topic, envelope.key.as_ref(), &envelope.payload, store)
+            .map_err(SamzaError::from)?;
+        self.send_outputs(outputs, collector);
+        Ok(())
+    }
+
+    fn window(
+        &mut self,
+        ctx: &mut TaskContext,
+        collector: &mut MessageCollector,
+        _coordinator: &mut TaskCoordinator,
+    ) -> SamzaResult<()> {
+        if !self.bounded {
+            return Ok(());
+        }
+        let router = self.router.as_mut().expect("init ran before window");
+        let store = ctx.store_mut(STATE_STORE).ok();
+        let outputs = router.flush(store).map_err(SamzaError::from)?;
+        self.send_outputs(outputs, collector);
+        Ok(())
+    }
+}
+
+/// Factory creating one [`SamzaSqlTask`] per partition.
+pub struct SamzaSqlTaskFactory {
+    pub job_name: String,
+    pub output_topic: String,
+    pub metadata: MetadataStore,
+    pub source: TaskPlanSource,
+    pub udafs: Arc<UdafRegistry>,
+}
+
+impl TaskFactory for SamzaSqlTaskFactory {
+    fn create(&self, _partition: u32) -> Box<dyn StreamTask> {
+        Box::new(SamzaSqlTask::new(
+            self.job_name.clone(),
+            self.output_topic.clone(),
+            self.metadata.clone(),
+            self.source.clone(),
+            self.udafs.clone(),
+        ))
+    }
+}

@@ -1,0 +1,154 @@
+//! User-defined aggregates.
+//!
+//! §7 lists "a concrete API to define user defined aggregates" as future
+//! work; this module implements it. A [`UserAggregate`] carries its state as
+//! a [`Value`], which makes the state serializable through the generic
+//! object codec and therefore fault-tolerant for free (it lives in the same
+//! KV-store entries as built-in accumulators).
+
+use crate::error::{CoreError, Result};
+use samzasql_serde::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A user-defined aggregate function.
+///
+/// Implementations must be deterministic: replay after a failure re-applies
+/// the same inputs and must reproduce the same state.
+pub trait UserAggregate: Send + Sync {
+    /// Initial accumulator state.
+    fn init(&self) -> Value;
+    /// Fold one input value into the state.
+    fn accumulate(&self, state: Value, input: &Value) -> Value;
+    /// Final result from the state.
+    fn result(&self, state: &Value) -> Value;
+    /// Inverse of [`accumulate`](Self::accumulate) for sliding windows;
+    /// return `None` when not invertible (the window recomputes instead).
+    fn retract(&self, _state: Value, _input: &Value) -> Option<Value> {
+        None
+    }
+}
+
+/// Registry of UDAFs by (upper-cased) name.
+#[derive(Clone, Default)]
+pub struct UdafRegistry {
+    funcs: HashMap<String, Arc<dyn UserAggregate>>,
+}
+
+impl UdafRegistry {
+    pub fn new() -> Self {
+        UdafRegistry::default()
+    }
+
+    /// Register a UDAF; name matching is case-insensitive.
+    pub fn register(&mut self, name: &str, func: Arc<dyn UserAggregate>) {
+        self.funcs.insert(name.to_uppercase(), func);
+    }
+
+    /// Resolve a UDAF by name.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn UserAggregate>> {
+        self.funcs
+            .get(&name.to_uppercase())
+            .cloned()
+            .ok_or_else(|| CoreError::Operator(format!("unknown user-defined aggregate {name}")))
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.funcs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl std::fmt::Debug for UdafRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdafRegistry").field("funcs", &self.names()).finish()
+    }
+}
+
+/// Example UDAF used in tests and the docs: geometric-mean of positive
+/// inputs. State = record{sum_ln: double, count: long}.
+pub struct GeometricMean;
+
+impl UserAggregate for GeometricMean {
+    fn init(&self) -> Value {
+        Value::record(vec![("sum_ln", Value::Double(0.0)), ("count", Value::Long(0))])
+    }
+
+    fn accumulate(&self, state: Value, input: &Value) -> Value {
+        let Some(x) = input.as_f64() else { return state };
+        if x <= 0.0 {
+            return state;
+        }
+        let sum = state.field("sum_ln").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let count = state.field("count").and_then(|v| v.as_i64()).unwrap_or(0);
+        Value::record(vec![
+            ("sum_ln", Value::Double(sum + x.ln())),
+            ("count", Value::Long(count + 1)),
+        ])
+    }
+
+    fn result(&self, state: &Value) -> Value {
+        let sum = state.field("sum_ln").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let count = state.field("count").and_then(|v| v.as_i64()).unwrap_or(0);
+        if count == 0 {
+            Value::Null
+        } else {
+            Value::Double((sum / count as f64).exp())
+        }
+    }
+
+    fn retract(&self, state: Value, input: &Value) -> Option<Value> {
+        let x = input.as_f64()?;
+        if x <= 0.0 {
+            return Some(state);
+        }
+        let sum = state.field("sum_ln").and_then(|v| v.as_f64())?;
+        let count = state.field("count").and_then(|v| v.as_i64())?;
+        Some(Value::record(vec![
+            ("sum_ln", Value::Double(sum - x.ln())),
+            ("count", Value::Long(count - 1)),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_case_insensitively() {
+        let mut r = UdafRegistry::new();
+        r.register("geo_mean", Arc::new(GeometricMean));
+        assert!(r.get("GEO_MEAN").is_ok());
+        assert!(r.get("Geo_Mean").is_ok());
+        assert!(r.get("nope").is_err());
+        assert_eq!(r.names(), vec!["GEO_MEAN"]);
+    }
+
+    #[test]
+    fn geometric_mean_accumulates_and_retracts() {
+        let g = GeometricMean;
+        let mut state = g.init();
+        for v in [2.0, 8.0] {
+            state = g.accumulate(state, &Value::Double(v));
+        }
+        match g.result(&state) {
+            Value::Double(v) => assert!((v - 4.0).abs() < 1e-9, "gm(2,8)=4, got {v}"),
+            other => panic!("{other:?}"),
+        }
+        // Retract 8 → gm(2) = 2.
+        state = g.retract(state, &Value::Double(8.0)).unwrap();
+        match g.result(&state) {
+            Value::Double(v) => assert!((v - 2.0).abs() < 1e-9),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_state_yields_null() {
+        let g = GeometricMean;
+        assert_eq!(g.result(&g.init()), Value::Null);
+    }
+}

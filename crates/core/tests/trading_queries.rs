@@ -1,0 +1,110 @@
+//! Domain tests over the Asks/Bids trading streams (§3.2's remaining
+//! example schemas): stream-to-stream matching and per-ticker analytics.
+
+use samzasql_core::shell::SamzaSqlShell;
+use samzasql_kafka::{Broker, TopicConfig};
+use samzasql_serde::Value;
+use samzasql_workload::{trades_schema, TradesGenerator, TradesSpec};
+use std::time::Duration;
+
+fn trading_shell() -> (SamzaSqlShell, Broker) {
+    let broker = Broker::new();
+    broker.create_topic("asks", TopicConfig::with_partitions(2)).unwrap();
+    broker.create_topic("bids", TopicConfig::with_partitions(2)).unwrap();
+    let mut shell = SamzaSqlShell::new(broker.clone());
+    shell.register_stream("Asks", "asks", trades_schema("Asks"), "rowtime").unwrap();
+    shell.register_stream("Bids", "bids", trades_schema("Bids"), "rowtime").unwrap();
+    (shell, broker)
+}
+
+fn trade(ts: i64, id: i64, ticker: &str, shares: i32, price: f64) -> Value {
+    Value::record(vec![
+        ("rowtime", Value::Timestamp(ts)),
+        ("id", Value::Long(id)),
+        ("ticker", Value::String(ticker.to_string())),
+        ("shares", Value::Int(shares)),
+        ("price", Value::Double(price)),
+    ])
+}
+
+#[test]
+fn ask_bid_window_join_matches_same_ticker_within_window() {
+    let (mut shell, _broker) = trading_shell();
+    // Match asks and bids on ticker within a 1-second window; report spread.
+    let mut handle = shell
+        .submit(
+            "SELECT STREAM GREATEST(Asks.rowtime, Bids.rowtime) AS rowtime, \
+             Asks.ticker, Asks.price - Bids.price AS spread \
+             FROM Asks JOIN Bids ON \
+             Asks.rowtime BETWEEN Bids.rowtime - INTERVAL '1' SECOND \
+             AND Bids.rowtime + INTERVAL '1' SECOND \
+             AND Asks.ticker = Bids.ticker",
+        )
+        .unwrap();
+
+    shell.produce("Asks", trade(1_000, 1, "ORCL", 100, 101.5)).unwrap();
+    shell.produce("Bids", trade(1_400, 2, "ORCL", 100, 100.0)).unwrap(); // matches
+    shell.produce("Bids", trade(1_500, 3, "MSFT", 50, 200.0)).unwrap(); // wrong ticker
+    shell.produce("Bids", trade(9_000, 4, "ORCL", 10, 99.0)).unwrap(); // outside window
+
+    let rows = handle.await_outputs(1, Duration::from_secs(10)).unwrap();
+    assert_eq!(rows.len(), 1, "{rows:?}");
+    assert_eq!(rows[0].field("ticker"), Some(&Value::String("ORCL".into())));
+    assert_eq!(rows[0].field("spread"), Some(&Value::Double(1.5)));
+    handle.stop().unwrap();
+}
+
+#[test]
+fn per_ticker_vwap_style_analytics() {
+    let (mut shell, broker) = trading_shell();
+    // Generated workload: rolling per-ticker averages over the last minute.
+    let mut generator = TradesGenerator::new("Asks", TradesSpec::default());
+    for _ in 0..200 {
+        let m = generator.next_message();
+        let p = samzasql_kafka::partitioner::hash_bytes(m.key.as_ref().unwrap()) % 2;
+        broker.produce("asks", p, m).unwrap();
+    }
+    let mut handle = shell
+        .submit(
+            "SELECT STREAM rowtime, ticker, price, \
+             AVG(price) OVER (PARTITION BY ticker ORDER BY rowtime \
+             RANGE INTERVAL '1' MINUTE PRECEDING) avgPrice, \
+             MAX(price) OVER (PARTITION BY ticker ORDER BY rowtime \
+             RANGE INTERVAL '1' MINUTE PRECEDING) maxPrice \
+             FROM Asks",
+        )
+        .unwrap();
+    let rows = handle.await_outputs(200, Duration::from_secs(15)).unwrap();
+    assert_eq!(rows.len(), 200);
+    for r in &rows {
+        let price = r.field("price").unwrap().as_f64().unwrap();
+        let avg = r.field("avgPrice").unwrap().as_f64().unwrap();
+        let max = r.field("maxPrice").unwrap().as_f64().unwrap();
+        assert!(max >= price, "window max includes the current row: {r}");
+        assert!(avg <= max + 1e-9, "avg cannot exceed max: {r}");
+    }
+    handle.stop().unwrap();
+}
+
+#[test]
+fn bounded_top_trades_report() {
+    let (mut shell, broker) = trading_shell();
+    let mut generator = TradesGenerator::new("Asks", TradesSpec::default());
+    for _ in 0..100 {
+        let m = generator.next_message();
+        broker.produce("asks", 0, m).unwrap();
+    }
+    let rows = shell
+        .query(
+            "SELECT ticker, shares, price FROM Asks \
+             WHERE shares > 500 ORDER BY price DESC LIMIT 5",
+        )
+        .unwrap();
+    assert!(rows.len() <= 5);
+    let prices: Vec<f64> =
+        rows.iter().map(|r| r.field("price").unwrap().as_f64().unwrap()).collect();
+    assert!(prices.windows(2).all(|w| w[0] >= w[1]), "descending: {prices:?}");
+    for r in &rows {
+        assert!(r.field("shares").unwrap().as_i64().unwrap() > 500);
+    }
+}

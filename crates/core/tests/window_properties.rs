@@ -1,0 +1,173 @@
+//! Property tests over the window operators' core invariants.
+
+use proptest::prelude::*;
+use samzasql_core::expr::compile;
+use samzasql_core::ops::acc::CompiledAgg;
+use samzasql_core::ops::window_agg::WindowAggOp;
+use samzasql_core::ops::window_sliding::SlidingWindowOp;
+use samzasql_core::ops::{OpCtx, Operator, Side};
+use samzasql_core::udaf::UdafRegistry;
+use samzasql_planner::{AggCall, AggFunc, GroupWindow, ScalarExpr};
+use samzasql_samza::KeyValueStore;
+use samzasql_serde::{Schema, Value};
+
+fn agg(func: AggFunc, arg: Option<usize>) -> CompiledAgg {
+    CompiledAgg::new(
+        &AggCall {
+            func,
+            arg: arg.map(|i| {
+                ScalarExpr::input(i, if i == 0 { Schema::Timestamp } else { Schema::Int })
+            }),
+            distinct: false,
+            output_name: "a".into(),
+        },
+        &UdafRegistry::new(),
+    )
+    .unwrap()
+}
+
+/// Monotonically increasing timestamps with random gaps, plus units.
+fn ordered_orders() -> impl Strategy<Value = Vec<(i64, i32, i32)>> {
+    prop::collection::vec((0i64..50, 0i32..4, 1i32..100), 1..120).prop_map(|steps| {
+        let mut ts = 0i64;
+        steps
+            .into_iter()
+            .map(|(gap, product, units)| {
+                ts += gap;
+                (ts, product, units)
+            })
+            .collect()
+    })
+}
+
+fn tup(ts: i64, product: i32, units: i32) -> Vec<Value> {
+    vec![Value::Timestamp(ts), Value::Int(product), Value::Int(units)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tumbling COUNT(*) windows partition the input: emitted counts (after
+    /// flush) sum to the number of processed tuples, and each tuple falls in
+    /// exactly one window.
+    #[test]
+    fn tumbling_counts_partition_the_stream(orders in ordered_orders(), size in 1i64..40) {
+        let mut store = KeyValueStore::ephemeral("s");
+        let mut op = WindowAggOp::new(
+            "0",
+            GroupWindow::Tumble { ts_index: 0, size_ms: size },
+            vec![],
+            vec![agg(AggFunc::Start, Some(0)), agg(AggFunc::CountStar, None)],
+        );
+        let mut late = 0;
+        let mut out = Vec::new();
+        for (ts, p, u) in &orders {
+            let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+            out.extend(op.process(Side::Single, tup(*ts, *p, *u), &mut ctx).unwrap());
+        }
+        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        out.extend(op.flush(&mut ctx).unwrap());
+        let total: i64 = out.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        prop_assert_eq!(total as usize + late as usize, orders.len());
+        // Window starts are aligned and unique.
+        let mut starts: Vec<i64> = out.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let n = starts.len();
+        starts.sort_unstable();
+        starts.dedup();
+        prop_assert_eq!(starts.len(), n, "window starts unique");
+        prop_assert!(starts.iter().all(|s| s % size == 0), "aligned starts");
+    }
+
+    /// Hopping windows: each emitted count is ≤ total, and the per-window
+    /// counts equal a brute-force recount of tuples in [start, start+retain).
+    #[test]
+    fn hopping_counts_match_bruteforce(
+        orders in ordered_orders(),
+        emit in 1i64..20,
+        extra in 0i64..30,
+    ) {
+        let retain = emit + extra; // retain ≥ emit, not necessarily a multiple
+        let mut store = KeyValueStore::ephemeral("s");
+        let mut op = WindowAggOp::new(
+            "0",
+            GroupWindow::Hop { ts_index: 0, emit_ms: emit, retain_ms: retain, align_ms: 0 },
+            vec![],
+            vec![agg(AggFunc::Start, Some(0)), agg(AggFunc::CountStar, None)],
+        );
+        let mut late = 0;
+        let mut out = Vec::new();
+        for (ts, p, u) in &orders {
+            let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+            out.extend(op.process(Side::Single, tup(*ts, *p, *u), &mut ctx).unwrap());
+        }
+        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        out.extend(op.flush(&mut ctx).unwrap());
+        // Late discards only happen with out-of-order input; ours is ordered.
+        prop_assert_eq!(late, 0);
+        for r in &out {
+            let start = r[0].as_i64().unwrap();
+            let count = r[1].as_i64().unwrap();
+            let expected = orders
+                .iter()
+                .filter(|(ts, _, _)| *ts >= start && *ts < start + retain)
+                .count() as i64;
+            prop_assert_eq!(count, expected, "window [{}, {})", start, start + retain);
+        }
+    }
+
+    /// Sliding SUM equals a brute-force sum over the last `range` ms within
+    /// the same partition key, for every emitted row.
+    #[test]
+    fn sliding_sum_matches_bruteforce(orders in ordered_orders(), range in 1i64..60) {
+        let mut store = KeyValueStore::ephemeral("s");
+        let mut op = SlidingWindowOp::new(
+            "0",
+            vec![compile(&ScalarExpr::input(1, Schema::Int))],
+            0,
+            Some(range),
+            None,
+            vec![agg(AggFunc::Sum, Some(2))],
+        );
+        let mut late = 0;
+        let mut seen: Vec<(i64, i32, i32)> = Vec::new();
+        for (ts, p, u) in &orders {
+            seen.push((*ts, *p, *u));
+            let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+            let out = op.process(Side::Single, tup(*ts, *p, *u), &mut ctx).unwrap();
+            prop_assert_eq!(out.len(), 1, "one row out per row in");
+            let got = out[0][3].as_i64().unwrap();
+            let expected: i64 = seen
+                .iter()
+                .filter(|(t2, p2, _)| *p2 == *p && *t2 >= ts - range && *t2 <= *ts)
+                .map(|(_, _, u2)| *u2 as i64)
+                .sum();
+            prop_assert_eq!(got, expected, "at ts={} product={}", ts, p);
+        }
+    }
+
+    /// ROWS frames: the sum covers exactly the last N+1 rows of the key.
+    #[test]
+    fn rows_frame_matches_bruteforce(orders in ordered_orders(), rows in 0u64..8) {
+        let mut store = KeyValueStore::ephemeral("s");
+        let mut op = SlidingWindowOp::new(
+            "0",
+            vec![compile(&ScalarExpr::input(1, Schema::Int))],
+            0,
+            None,
+            Some(rows),
+            vec![agg(AggFunc::Sum, Some(2))],
+        );
+        let mut late = 0;
+        let mut per_key: std::collections::HashMap<i32, Vec<i64>> = Default::default();
+        for (ts, p, u) in &orders {
+            per_key.entry(*p).or_default().push(*u as i64);
+            let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+            let out = op.process(Side::Single, tup(*ts, *p, *u), &mut ctx).unwrap();
+            let got = out[0][3].as_i64().unwrap();
+            let hist = &per_key[p];
+            let take = (rows as usize + 1).min(hist.len());
+            let expected: i64 = hist[hist.len() - take..].iter().sum();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The broker: topic registry, produce/fetch entry points, group
+//! coordinator, and offset store.
+
+use crate::error::{KafkaError, Result};
+use crate::group::GroupCoordinator;
+use crate::log::FetchResult;
+use crate::message::{Message, TopicPartition};
+use crate::metrics::BrokerMetrics;
+use crate::offsets::OffsetStore;
+use crate::replication::{AckMode, ReplicaSet};
+use crate::throttle::IoThrottle;
+use crate::topic::{Topic, TopicConfig};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared handle to the in-process broker "cluster".
+///
+/// Cloning is cheap (an `Arc`); every producer, consumer, container, and the
+/// query shell hold clones of the same broker.
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<BrokerInner>,
+}
+
+struct BrokerInner {
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    replicas: Mutex<HashMap<TopicPartition, ReplicaSet>>,
+    offsets: OffsetStore,
+    groups: GroupCoordinator,
+    metrics: BrokerMetrics,
+    throttle: RwLock<Option<Arc<IoThrottle>>>,
+}
+
+impl Broker {
+    /// Create an empty broker.
+    pub fn new() -> Self {
+        Broker {
+            inner: Arc::new(BrokerInner {
+                topics: RwLock::new(HashMap::new()),
+                replicas: Mutex::new(HashMap::new()),
+                offsets: OffsetStore::new(),
+                groups: GroupCoordinator::new(),
+                metrics: BrokerMetrics::default(),
+                throttle: RwLock::new(None),
+            }),
+        }
+    }
+
+    /// Install an I/O throttle applied to all produce traffic (simulates the
+    /// EC2 burst-credit behaviour; off by default).
+    pub fn set_throttle(&self, throttle: Option<Arc<IoThrottle>>) {
+        *self.inner.throttle.write() = throttle;
+    }
+
+    /// Create a topic. Errors if it already exists.
+    pub fn create_topic(&self, name: impl Into<String>, config: TopicConfig) -> Result<Arc<Topic>> {
+        let name = name.into();
+        if config.partitions == 0 {
+            return Err(KafkaError::InvalidConfig(format!(
+                "topic {name} must have at least one partition"
+            )));
+        }
+        let mut topics = self.inner.topics.write();
+        if topics.contains_key(&name) {
+            return Err(KafkaError::TopicExists(name));
+        }
+        let topic = Arc::new(Topic::new(name.clone(), config.clone()));
+        {
+            let mut reps = self.inner.replicas.lock();
+            for p in 0..config.partitions {
+                reps.insert(
+                    TopicPartition::new(name.clone(), p),
+                    ReplicaSet::new(config.replication.clone()),
+                );
+            }
+        }
+        topics.insert(name, topic.clone());
+        Ok(topic)
+    }
+
+    /// Create the topic if absent, otherwise return the existing one.
+    pub fn ensure_topic(&self, name: impl Into<String>, config: TopicConfig) -> Result<Arc<Topic>> {
+        let name = name.into();
+        if let Some(t) = self.topic(&name) {
+            return Ok(t);
+        }
+        match self.create_topic(name.clone(), config) {
+            Ok(t) => Ok(t),
+            Err(KafkaError::TopicExists(_)) => {
+                Ok(self.topic(&name).expect("topic raced into existence"))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Look up a topic.
+    pub fn topic(&self, name: &str) -> Option<Arc<Topic>> {
+        self.inner.topics.read().get(name).cloned()
+    }
+
+    /// List all topic names (sorted, for determinism).
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Partition count of a topic.
+    pub fn partition_count(&self, topic: &str) -> Result<u32> {
+        self.topic(topic)
+            .map(|t| t.partition_count())
+            .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))
+    }
+
+    /// Append a message to a specific partition with default (leader) acks.
+    /// Returns the assigned offset.
+    pub fn produce(&self, topic: &str, partition: u32, message: Message) -> Result<u64> {
+        self.produce_with_acks(topic, partition, message, AckMode::Leader)
+    }
+
+    /// Append with an explicit ack mode; `acks=all` consults the simulated
+    /// in-sync replica set.
+    pub fn produce_with_acks(
+        &self,
+        topic: &str,
+        partition: u32,
+        message: Message,
+        acks: AckMode,
+    ) -> Result<u64> {
+        let t = self
+            .topic(topic)
+            .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
+        let log = t
+            .partition(partition)
+            .ok_or_else(|| KafkaError::UnknownPartition { topic: topic.to_string(), partition })?;
+        if acks == AckMode::All {
+            let reps = self.inner.replicas.lock();
+            if let Some(rs) = reps.get(&TopicPartition::new(topic, partition)) {
+                rs.check_ack(acks, topic, partition)?;
+            }
+        }
+        let bytes = message.payload_len() as u64;
+        if let Some(throttle) = self.inner.throttle.read().clone() {
+            // Benchmarks feed a wall-clock derived logical time; unit tests
+            // can interrogate the throttle directly. Debt is informational.
+            let _ = throttle.charge(bytes, 0.0);
+        }
+        let offset = log.write().append(message);
+        self.inner.metrics.record_produce(1, bytes);
+        Ok(offset)
+    }
+
+    /// Fetch up to `max_records` from `topic`/`partition` starting at
+    /// `offset`.
+    pub fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max_records: usize,
+    ) -> Result<FetchResult> {
+        let t = self
+            .topic(topic)
+            .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
+        let log = t
+            .partition(partition)
+            .ok_or_else(|| KafkaError::UnknownPartition { topic: topic.to_string(), partition })?;
+        let result = log.read().fetch(offset, max_records)?;
+        let bytes: u64 = result.records.iter().map(|r| r.message.payload_len() as u64).sum();
+        self.inner.metrics.record_fetch(result.records.len() as u64, bytes);
+        Ok(result)
+    }
+
+    /// Earliest retained offset of a partition.
+    pub fn start_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        let t = self
+            .topic(topic)
+            .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
+        let log = t
+            .partition(partition)
+            .ok_or_else(|| KafkaError::UnknownPartition { topic: topic.to_string(), partition })?;
+        let off = log.read().start_offset();
+        Ok(off)
+    }
+
+    /// Offset one past the newest record of a partition ("log end offset").
+    pub fn end_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        let t = self
+            .topic(topic)
+            .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
+        let log = t
+            .partition(partition)
+            .ok_or_else(|| KafkaError::UnknownPartition { topic: topic.to_string(), partition })?;
+        let off = log.read().end_offset();
+        Ok(off)
+    }
+
+    /// Advance the replication simulation for every partition (followers
+    /// catch up, ISR recomputed).
+    pub fn replication_tick(&self) {
+        let topics = self.inner.topics.read();
+        let mut reps = self.inner.replicas.lock();
+        for (tp, rs) in reps.iter_mut() {
+            if let Some(t) = topics.get(&tp.topic) {
+                if let Some(log) = t.partition(tp.partition) {
+                    rs.tick(log.read().end_offset());
+                }
+            }
+        }
+    }
+
+    /// Access the committed-offset store (consumer group offsets).
+    pub fn offsets(&self) -> &OffsetStore {
+        &self.inner.offsets
+    }
+
+    /// Access the consumer-group coordinator.
+    pub fn group_coordinator(&self) -> &GroupCoordinator {
+        &self.inner.groups
+    }
+
+    /// Broker traffic metrics.
+    pub fn metrics(&self) -> &BrokerMetrics {
+        &self.inner.metrics
+    }
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Broker::new()
+    }
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker").field("topics", &self.topic_names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::SegmentConfig;
+    use crate::replication::ReplicationConfig;
+
+    #[test]
+    fn create_and_lookup_topics() {
+        let b = Broker::new();
+        b.create_topic("a", TopicConfig::with_partitions(2)).unwrap();
+        assert!(b.topic("a").is_some());
+        assert!(b.topic("b").is_none());
+        assert_eq!(b.partition_count("a").unwrap(), 2);
+        assert!(matches!(
+            b.create_topic("a", TopicConfig::with_partitions(1)),
+            Err(KafkaError::TopicExists(_))
+        ));
+    }
+
+    #[test]
+    fn zero_partition_topic_rejected() {
+        let b = Broker::new();
+        assert!(matches!(
+            b.create_topic("bad", TopicConfig::with_partitions(0)),
+            Err(KafkaError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn ensure_topic_is_idempotent() {
+        let b = Broker::new();
+        let t1 = b.ensure_topic("t", TopicConfig::with_partitions(3)).unwrap();
+        let t2 = b.ensure_topic("t", TopicConfig::with_partitions(5)).unwrap();
+        assert_eq!(t1.partition_count(), 3);
+        assert_eq!(t2.partition_count(), 3, "second ensure must not recreate");
+    }
+
+    #[test]
+    fn produce_fetch_roundtrip() {
+        let b = Broker::new();
+        b.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+        let o1 = b.produce("t", 0, Message::new("a")).unwrap();
+        let o2 = b.produce("t", 0, Message::new("b")).unwrap();
+        assert_eq!((o1, o2), (0, 1));
+        let fetched = b.fetch("t", 0, 0, 10).unwrap();
+        assert_eq!(fetched.records.len(), 2);
+        assert_eq!(fetched.records[1].message.value.as_ref(), b"b");
+        assert_eq!(fetched.high_watermark, 2);
+    }
+
+    #[test]
+    fn produce_to_unknown_targets_errors() {
+        let b = Broker::new();
+        assert!(matches!(
+            b.produce("nope", 0, Message::new("x")),
+            Err(KafkaError::UnknownTopic(_))
+        ));
+        b.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+        assert!(matches!(
+            b.produce("t", 9, Message::new("x")),
+            Err(KafkaError::UnknownPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn acks_all_with_lagging_isr_fails_until_tick() {
+        let b = Broker::new();
+        let cfg = TopicConfig::with_partitions(1)
+            .segment(SegmentConfig::default())
+            .replication(ReplicationConfig {
+                replication_factor: 2,
+                min_insync_replicas: 2,
+                records_per_tick: 100,
+                max_lag_records: 1,
+            });
+        b.create_topic("t", cfg).unwrap();
+        // Push the follower behind by producing with leader acks.
+        for _ in 0..5 {
+            b.produce("t", 0, Message::new("x")).unwrap();
+        }
+        // Follower lag is 5 > 1 ... but ISR only updates on tick; first force it.
+        b.replication_tick(); // catches up fully (100 per tick)
+        assert!(b
+            .produce_with_acks("t", 0, Message::new("y"), AckMode::All)
+            .is_ok());
+    }
+
+    #[test]
+    fn metrics_track_traffic() {
+        let b = Broker::new();
+        b.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+        b.produce("t", 0, Message::new("abcd")).unwrap();
+        b.fetch("t", 0, 0, 10).unwrap();
+        let (mi, bi, mo, bo) = b.metrics().snapshot();
+        assert_eq!((mi, bi, mo, bo), (1, 4, 1, 4));
+    }
+}

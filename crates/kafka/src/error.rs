@@ -1,0 +1,61 @@
+//! Error types for the broker substrate.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, KafkaError>;
+
+/// Errors surfaced by broker, producer, and consumer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KafkaError {
+    /// The referenced topic does not exist on the broker.
+    UnknownTopic(String),
+    /// The referenced partition index is out of range for the topic.
+    UnknownPartition { topic: String, partition: u32 },
+    /// A topic with this name already exists.
+    TopicExists(String),
+    /// The requested offset is below the log start (it was retained away) or
+    /// past the log end.
+    OffsetOutOfRange {
+        topic: String,
+        partition: u32,
+        requested: u64,
+        start: u64,
+        end: u64,
+    },
+    /// Produce was rejected because not enough in-sync replicas acknowledged.
+    NotEnoughReplicas { topic: String, partition: u32 },
+    /// A consumer-group operation referenced an unknown group or member.
+    UnknownGroup(String),
+    /// A group member attempted an operation with a stale generation id.
+    StaleGeneration { group: String, expected: u64, actual: u64 },
+    /// Invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for KafkaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KafkaError::UnknownTopic(t) => write!(f, "unknown topic: {t}"),
+            KafkaError::UnknownPartition { topic, partition } => {
+                write!(f, "unknown partition {partition} of topic {topic}")
+            }
+            KafkaError::TopicExists(t) => write!(f, "topic already exists: {t}"),
+            KafkaError::OffsetOutOfRange { topic, partition, requested, start, end } => write!(
+                f,
+                "offset {requested} out of range for {topic}-{partition} (log spans [{start}, {end}))"
+            ),
+            KafkaError::NotEnoughReplicas { topic, partition } => {
+                write!(f, "not enough in-sync replicas for {topic}-{partition}")
+            }
+            KafkaError::UnknownGroup(g) => write!(f, "unknown consumer group: {g}"),
+            KafkaError::StaleGeneration { group, expected, actual } => write!(
+                f,
+                "stale generation for group {group}: expected {expected}, got {actual}"
+            ),
+            KafkaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KafkaError {}

@@ -1,0 +1,282 @@
+//! Consumer-group coordination: membership, rebalancing, and partition
+//! assignment.
+//!
+//! Samza's job coordinator performs its own partition→task placement, but the
+//! SamzaSQL shell and auxiliary consumers (e.g. the metadata tailer) use
+//! plain consumer groups, so the broker carries a coordinator with the two
+//! classic assignors.
+
+use crate::broker::Broker;
+use crate::error::{KafkaError, Result};
+use crate::message::TopicPartition;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Partition assignment strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Assignor {
+    /// Contiguous ranges of partitions per member, per topic (Kafka's
+    /// `RangeAssignor`, the default).
+    #[default]
+    Range,
+    /// Partitions dealt out one at a time across members
+    /// (`RoundRobinAssignor`).
+    RoundRobin,
+}
+
+/// A member's view of its group membership.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupMember {
+    pub group: String,
+    pub member_id: String,
+    pub generation: u64,
+    pub assignment: Vec<TopicPartition>,
+}
+
+#[derive(Debug, Default)]
+struct GroupState {
+    generation: u64,
+    members: BTreeSet<String>,
+    subscriptions: BTreeMap<String, Vec<String>>, // member -> topics
+    assignor: Assignor,
+    assignments: BTreeMap<String, Vec<TopicPartition>>,
+}
+
+/// Broker-side group coordinator.
+#[derive(Debug, Default)]
+pub struct GroupCoordinator {
+    groups: Mutex<BTreeMap<String, GroupState>>,
+}
+
+impl GroupCoordinator {
+    pub fn new() -> Self {
+        GroupCoordinator::default()
+    }
+
+    /// Join `group` subscribing to `topics`; triggers a rebalance and returns
+    /// the member's new assignment. Idempotent re-joins with the same
+    /// subscription still bump the generation (matching Kafka, where every
+    /// join triggers a rebalance).
+    pub fn join(
+        &self,
+        broker: &Broker,
+        group: &str,
+        member_id: &str,
+        topics: &[&str],
+        assignor: Assignor,
+    ) -> Result<GroupMember> {
+        let mut groups = self.groups.lock();
+        let state = groups.entry(group.to_string()).or_default();
+        state.assignor = assignor;
+        state.members.insert(member_id.to_string());
+        state
+            .subscriptions
+            .insert(member_id.to_string(), topics.iter().map(|s| s.to_string()).collect());
+        state.generation += 1;
+        Self::rebalance(broker, state)?;
+        Ok(GroupMember {
+            group: group.to_string(),
+            member_id: member_id.to_string(),
+            generation: state.generation,
+            assignment: state.assignments.get(member_id).cloned().unwrap_or_default(),
+        })
+    }
+
+    /// Leave a group, triggering a rebalance for the remaining members.
+    pub fn leave(&self, broker: &Broker, group: &str, member_id: &str) -> Result<()> {
+        let mut groups = self.groups.lock();
+        let state = groups
+            .get_mut(group)
+            .ok_or_else(|| KafkaError::UnknownGroup(group.to_string()))?;
+        state.members.remove(member_id);
+        state.subscriptions.remove(member_id);
+        state.assignments.remove(member_id);
+        state.generation += 1;
+        Self::rebalance(broker, state)?;
+        Ok(())
+    }
+
+    /// Fetch a member's current assignment, verifying its generation.
+    pub fn assignment(
+        &self,
+        group: &str,
+        member_id: &str,
+        generation: u64,
+    ) -> Result<Vec<TopicPartition>> {
+        let groups = self.groups.lock();
+        let state = groups
+            .get(group)
+            .ok_or_else(|| KafkaError::UnknownGroup(group.to_string()))?;
+        if state.generation != generation {
+            return Err(KafkaError::StaleGeneration {
+                group: group.to_string(),
+                expected: state.generation,
+                actual: generation,
+            });
+        }
+        Ok(state.assignments.get(member_id).cloned().unwrap_or_default())
+    }
+
+    /// Current generation of a group.
+    pub fn generation(&self, group: &str) -> Option<u64> {
+        self.groups.lock().get(group).map(|s| s.generation)
+    }
+
+    fn rebalance(broker: &Broker, state: &mut GroupState) -> Result<()> {
+        state.assignments.clear();
+        if state.members.is_empty() {
+            return Ok(());
+        }
+        // Union of subscribed topics, with their partitions.
+        let mut all_topics: BTreeSet<String> = BTreeSet::new();
+        for topics in state.subscriptions.values() {
+            all_topics.extend(topics.iter().cloned());
+        }
+        let members: Vec<String> = state.members.iter().cloned().collect();
+        match state.assignor {
+            Assignor::Range => {
+                // Per topic: split the partition space into contiguous ranges
+                // over the members subscribed to that topic.
+                for topic in &all_topics {
+                    let count = broker.partition_count(topic)?;
+                    let subscribed: Vec<&String> = members
+                        .iter()
+                        .filter(|m| {
+                            state.subscriptions.get(*m).is_some_and(|ts| ts.contains(topic))
+                        })
+                        .collect();
+                    if subscribed.is_empty() {
+                        continue;
+                    }
+                    let n = subscribed.len() as u32;
+                    let per = count / n;
+                    let extra = count % n;
+                    let mut next = 0u32;
+                    for (i, m) in subscribed.iter().enumerate() {
+                        let take = per + u32::from((i as u32) < extra);
+                        let parts = state.assignments.entry((*m).clone()).or_default();
+                        for p in next..next + take {
+                            parts.push(TopicPartition::new(topic.clone(), p));
+                        }
+                        next += take;
+                    }
+                }
+            }
+            Assignor::RoundRobin => {
+                // Deal every (topic, partition) across subscribed members.
+                let mut cursor = 0usize;
+                for topic in &all_topics {
+                    let count = broker.partition_count(topic)?;
+                    let subscribed: Vec<&String> = members
+                        .iter()
+                        .filter(|m| {
+                            state.subscriptions.get(*m).is_some_and(|ts| ts.contains(topic))
+                        })
+                        .collect();
+                    if subscribed.is_empty() {
+                        continue;
+                    }
+                    for p in 0..count {
+                        let m = subscribed[cursor % subscribed.len()];
+                        state
+                            .assignments
+                            .entry(m.clone())
+                            .or_default()
+                            .push(TopicPartition::new(topic.clone(), p));
+                        cursor += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::TopicConfig;
+
+    fn broker() -> Broker {
+        let b = Broker::new();
+        b.create_topic("t", TopicConfig::with_partitions(8)).unwrap();
+        b
+    }
+
+    #[test]
+    fn single_member_gets_everything() {
+        let b = broker();
+        let gc = b.group_coordinator();
+        let m = gc.join(&b, "g", "m1", &["t"], Assignor::Range).unwrap();
+        assert_eq!(m.assignment.len(), 8);
+        assert_eq!(m.generation, 1);
+    }
+
+    #[test]
+    fn range_assignor_splits_contiguously() {
+        let b = broker();
+        let gc = b.group_coordinator();
+        gc.join(&b, "g", "m1", &["t"], Assignor::Range).unwrap();
+        let m2 = gc.join(&b, "g", "m2", &["t"], Assignor::Range).unwrap();
+        let a1 = gc.assignment("g", "m1", m2.generation).unwrap();
+        let a2 = m2.assignment;
+        assert_eq!(a1.len(), 4);
+        assert_eq!(a2.len(), 4);
+        // Contiguity: each member's partitions are consecutive.
+        let ps1: Vec<u32> = a1.iter().map(|tp| tp.partition).collect();
+        assert!(ps1.windows(2).all(|w| w[1] == w[0] + 1), "{ps1:?}");
+        // Disjoint and complete.
+        let mut all: Vec<u32> =
+            a1.iter().chain(&a2).map(|tp| tp.partition).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn round_robin_deals_partitions() {
+        let b = broker();
+        let gc = b.group_coordinator();
+        gc.join(&b, "g", "m1", &["t"], Assignor::RoundRobin).unwrap();
+        gc.join(&b, "g", "m2", &["t"], Assignor::RoundRobin).unwrap();
+        gc.join(&b, "g", "m3", &["t"], Assignor::RoundRobin).unwrap();
+        let gen = gc.generation("g").unwrap();
+        let sizes: Vec<usize> = ["m1", "m2", "m3"]
+            .iter()
+            .map(|m| gc.assignment("g", m, gen).unwrap().len())
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 8);
+        assert!(sizes.iter().all(|s| (2..=3).contains(s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn leave_rebalances_remaining_members() {
+        let b = broker();
+        let gc = b.group_coordinator();
+        gc.join(&b, "g", "m1", &["t"], Assignor::Range).unwrap();
+        gc.join(&b, "g", "m2", &["t"], Assignor::Range).unwrap();
+        gc.leave(&b, "g", "m1").unwrap();
+        let gen = gc.generation("g").unwrap();
+        let a2 = gc.assignment("g", "m2", gen).unwrap();
+        assert_eq!(a2.len(), 8, "survivor takes over all partitions");
+    }
+
+    #[test]
+    fn stale_generation_is_rejected() {
+        let b = broker();
+        let gc = b.group_coordinator();
+        let m1 = gc.join(&b, "g", "m1", &["t"], Assignor::Range).unwrap();
+        gc.join(&b, "g", "m2", &["t"], Assignor::Range).unwrap();
+        assert!(matches!(
+            gc.assignment("g", "m1", m1.generation),
+            Err(KafkaError::StaleGeneration { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_group_errors() {
+        let b = broker();
+        let gc = b.group_coordinator();
+        assert!(matches!(gc.assignment("nope", "m", 1), Err(KafkaError::UnknownGroup(_))));
+        assert!(matches!(gc.leave(&b, "nope", "m"), Err(KafkaError::UnknownGroup(_))));
+    }
+}

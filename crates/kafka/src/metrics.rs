@@ -1,0 +1,64 @@
+//! Broker-side throughput counters.
+//!
+//! All counters are relaxed atomics: they are monotonically increasing
+//! statistics sampled by the benchmark harness, never used for
+//! synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing broker traffic.
+#[derive(Debug, Default)]
+pub struct BrokerMetrics {
+    messages_in: AtomicU64,
+    bytes_in: AtomicU64,
+    messages_out: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl BrokerMetrics {
+    pub fn record_produce(&self, messages: u64, bytes: u64) {
+        self.messages_in.fetch_add(messages, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn record_fetch(&self, messages: u64, bytes: u64) {
+        self.messages_out.fetch_add(messages, Ordering::Relaxed);
+        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn messages_in(&self) -> u64 {
+        self.messages_in.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    pub fn messages_out(&self) -> u64 {
+        self.messages_out.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all four counters (in-messages, in-bytes, out-messages,
+    /// out-bytes).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (self.messages_in(), self.bytes_in(), self.messages_out(), self.bytes_out())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = BrokerMetrics::default();
+        m.record_produce(2, 200);
+        m.record_produce(1, 100);
+        m.record_fetch(3, 300);
+        assert_eq!(m.snapshot(), (3, 300, 3, 300));
+    }
+}

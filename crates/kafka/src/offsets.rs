@@ -1,0 +1,89 @@
+//! Committed consumer-group offsets (the `__consumer_offsets` analogue).
+
+use crate::message::TopicPartition;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Durable-in-process store of (group, topic-partition) → committed offset.
+///
+/// The committed offset follows the Kafka convention: it is the offset of the
+/// *next* record the group should consume (one past the last processed one).
+#[derive(Debug, Default)]
+pub struct OffsetStore {
+    committed: RwLock<HashMap<(String, TopicPartition), u64>>,
+}
+
+impl OffsetStore {
+    pub fn new() -> Self {
+        OffsetStore::default()
+    }
+
+    /// Commit `offset` for `group` on `tp` (overwrites any previous commit).
+    pub fn commit(&self, group: &str, tp: TopicPartition, offset: u64) {
+        self.committed.write().insert((group.to_string(), tp), offset);
+    }
+
+    /// Fetch the committed offset, if any.
+    pub fn fetch(&self, group: &str, tp: &TopicPartition) -> Option<u64> {
+        self.committed.read().get(&(group.to_string(), tp.clone())).copied()
+    }
+
+    /// Drop all commits of a group (used when simulating group resets).
+    pub fn reset_group(&self, group: &str) {
+        self.committed.write().retain(|(g, _), _| g != group);
+    }
+
+    /// All commits of a group, sorted by topic-partition for determinism.
+    pub fn group_commits(&self, group: &str) -> Vec<(TopicPartition, u64)> {
+        let mut out: Vec<(TopicPartition, u64)> = self
+            .committed
+            .read()
+            .iter()
+            .filter(|((g, _), _)| g == group)
+            .map(|((_, tp), off)| (tp.clone(), *off))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_fetch_roundtrip() {
+        let s = OffsetStore::new();
+        let tp = TopicPartition::new("t", 0);
+        assert_eq!(s.fetch("g", &tp), None);
+        s.commit("g", tp.clone(), 42);
+        assert_eq!(s.fetch("g", &tp), Some(42));
+        s.commit("g", tp.clone(), 43);
+        assert_eq!(s.fetch("g", &tp), Some(43));
+    }
+
+    #[test]
+    fn groups_are_isolated() {
+        let s = OffsetStore::new();
+        let tp = TopicPartition::new("t", 0);
+        s.commit("g1", tp.clone(), 1);
+        s.commit("g2", tp.clone(), 2);
+        assert_eq!(s.fetch("g1", &tp), Some(1));
+        assert_eq!(s.fetch("g2", &tp), Some(2));
+        s.reset_group("g1");
+        assert_eq!(s.fetch("g1", &tp), None);
+        assert_eq!(s.fetch("g2", &tp), Some(2));
+    }
+
+    #[test]
+    fn group_commits_sorted() {
+        let s = OffsetStore::new();
+        s.commit("g", TopicPartition::new("t", 2), 20);
+        s.commit("g", TopicPartition::new("t", 0), 5);
+        let commits = s.group_commits("g");
+        assert_eq!(
+            commits,
+            vec![(TopicPartition::new("t", 0), 5), (TopicPartition::new("t", 2), 20)]
+        );
+    }
+}

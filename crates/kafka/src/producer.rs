@@ -1,0 +1,103 @@
+//! Producer client.
+
+use crate::broker::Broker;
+use crate::error::Result;
+use crate::message::Message;
+use crate::partitioner::Partitioner;
+use crate::replication::AckMode;
+
+/// Metadata returned for each produced record, like Kafka's `RecordMetadata`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordMetadata {
+    pub partition: u32,
+    pub offset: u64,
+}
+
+/// A producer bound to one broker with a partitioning strategy and ack mode.
+#[derive(Debug)]
+pub struct Producer {
+    broker: Broker,
+    partitioner: Partitioner,
+    acks: AckMode,
+}
+
+impl Producer {
+    /// Producer using key-hash partitioning (the Kafka default).
+    pub fn key_hash(broker: Broker) -> Self {
+        Producer { broker, partitioner: Partitioner::key_hash(), acks: AckMode::Leader }
+    }
+
+    /// Producer using round-robin partitioning.
+    pub fn round_robin(broker: Broker) -> Self {
+        Producer { broker, partitioner: Partitioner::round_robin(), acks: AckMode::Leader }
+    }
+
+    /// Producer with an explicit partitioner.
+    pub fn with_partitioner(broker: Broker, partitioner: Partitioner) -> Self {
+        Producer { broker, partitioner, acks: AckMode::Leader }
+    }
+
+    /// Override the acknowledgement mode (builder style).
+    pub fn acks(mut self, acks: AckMode) -> Self {
+        self.acks = acks;
+        self
+    }
+
+    /// Send a message; the partitioner picks the partition.
+    pub fn send(&self, topic: &str, message: Message) -> Result<RecordMetadata> {
+        let partitions = self.broker.partition_count(topic)?;
+        let partition = self.partitioner.partition(&message, partitions);
+        let offset = self.broker.produce_with_acks(topic, partition, message, self.acks)?;
+        Ok(RecordMetadata { partition, offset })
+    }
+
+    /// Send directly to an explicit partition, bypassing the partitioner.
+    pub fn send_to(&self, topic: &str, partition: u32, message: Message) -> Result<RecordMetadata> {
+        let offset = self.broker.produce_with_acks(topic, partition, message, self.acks)?;
+        Ok(RecordMetadata { partition, offset })
+    }
+
+    /// The broker this producer writes to.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::TopicConfig;
+
+    #[test]
+    fn keyed_sends_stick_to_one_partition() {
+        let b = Broker::new();
+        b.create_topic("t", TopicConfig::with_partitions(8)).unwrap();
+        let p = Producer::key_hash(b.clone());
+        let first = p.send("t", Message::keyed("k", "1")).unwrap().partition;
+        for i in 0..20 {
+            let md = p.send("t", Message::keyed("k", format!("{i}"))).unwrap();
+            assert_eq!(md.partition, first);
+        }
+        assert_eq!(b.end_offset("t", first).unwrap(), 21);
+    }
+
+    #[test]
+    fn send_to_overrides_partitioner() {
+        let b = Broker::new();
+        b.create_topic("t", TopicConfig::with_partitions(4)).unwrap();
+        let p = Producer::round_robin(b.clone());
+        let md = p.send_to("t", 3, Message::new("x")).unwrap();
+        assert_eq!(md, RecordMetadata { partition: 3, offset: 0 });
+    }
+
+    #[test]
+    fn offsets_increase_per_partition() {
+        let b = Broker::new();
+        b.create_topic("t", TopicConfig::with_partitions(2)).unwrap();
+        let p = Producer::with_partitioner(b, Partitioner::Fixed(1));
+        let offs: Vec<u64> = (0..3)
+            .map(|_| p.send("t", Message::new("x")).unwrap().offset)
+            .collect();
+        assert_eq!(offs, vec![0, 1, 2]);
+    }
+}

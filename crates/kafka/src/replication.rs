@@ -1,0 +1,196 @@
+//! Leader/follower replication simulation.
+//!
+//! The evaluation cluster in the paper replicates every Kafka topic; the
+//! semantics Samza depends on are (a) acknowledged writes survive a leader
+//! failure and (b) `acks=all` waits on the in-sync replica set. We model a
+//! replica set per partition as *offset trackers*: followers replicate by
+//! advancing their fetched offset toward the leader's end offset when
+//! [`ReplicaSet::tick`] runs. Data is stored once (in the leader log) since
+//! all replicas live in one process; what we simulate is the acknowledgement
+//! and ISR-membership protocol.
+
+use crate::error::{KafkaError, Result};
+
+/// How many acknowledgements a produce requires, mirroring Kafka's `acks`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckMode {
+    /// Fire and forget.
+    None,
+    /// Leader append suffices (Kafka `acks=1`).
+    #[default]
+    Leader,
+    /// All in-sync replicas must have replicated the record (`acks=all`).
+    All,
+}
+
+/// Replication settings for a topic.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Total replicas including the leader.
+    pub replication_factor: u32,
+    /// Minimum in-sync replicas for `acks=all` to succeed.
+    pub min_insync_replicas: u32,
+    /// How many records a follower catches up per tick.
+    pub records_per_tick: u64,
+    /// Followers more than this many records behind drop out of the ISR.
+    pub max_lag_records: u64,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            replication_factor: 1,
+            min_insync_replicas: 1,
+            records_per_tick: 1024,
+            max_lag_records: 4096,
+        }
+    }
+}
+
+/// Per-partition replica bookkeeping.
+#[derive(Debug)]
+pub struct ReplicaSet {
+    config: ReplicationConfig,
+    /// Replicated end offset of each follower (leader excluded).
+    follower_offsets: Vec<u64>,
+    /// ISR membership per follower.
+    in_sync: Vec<bool>,
+    /// Followers currently failed (they neither replicate nor rejoin the ISR).
+    failed: Vec<bool>,
+}
+
+impl ReplicaSet {
+    pub fn new(config: ReplicationConfig) -> Self {
+        let followers = config.replication_factor.saturating_sub(1) as usize;
+        ReplicaSet {
+            config,
+            follower_offsets: vec![0; followers],
+            in_sync: vec![true; followers],
+            failed: vec![false; followers],
+        }
+    }
+
+    /// Offsets replicated by every current ISR member (leader counts as
+    /// having everything). This is the committed "high watermark" under
+    /// `acks=all`.
+    pub fn committed_offset(&self, leader_end: u64) -> u64 {
+        self.follower_offsets
+            .iter()
+            .zip(&self.in_sync)
+            .filter(|(_, isr)| **isr)
+            .map(|(o, _)| *o)
+            .fold(leader_end, |acc, o| acc.min(o))
+    }
+
+    /// Current in-sync replica count (including the leader).
+    pub fn isr_count(&self) -> u32 {
+        1 + self.in_sync.iter().filter(|x| **x).count() as u32
+    }
+
+    /// Advance follower replication toward `leader_end`; recompute ISR
+    /// membership from lag. Failed followers neither advance nor rejoin.
+    pub fn tick(&mut self, leader_end: u64) {
+        for i in 0..self.follower_offsets.len() {
+            if self.failed[i] {
+                self.in_sync[i] = false;
+                continue;
+            }
+            let off = &mut self.follower_offsets[i];
+            *off = (*off + self.config.records_per_tick).min(leader_end);
+            self.in_sync[i] = leader_end - *off <= self.config.max_lag_records;
+        }
+    }
+
+    /// Check whether a produce at `leader_end` satisfies `mode`, given the
+    /// current ISR. `acks=all` additionally requires `min_insync_replicas`.
+    pub fn check_ack(&self, mode: AckMode, topic: &str, partition: u32) -> Result<()> {
+        match mode {
+            AckMode::None | AckMode::Leader => Ok(()),
+            AckMode::All => {
+                if self.isr_count() >= self.config.min_insync_replicas {
+                    Ok(())
+                } else {
+                    Err(KafkaError::NotEnoughReplicas {
+                        topic: topic.to_string(),
+                        partition,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Simulate a follower failure: it stops replicating; if `immediate`, it
+    /// also leaves the ISR at once (otherwise the next tick ejects it as lag
+    /// grows).
+    pub fn fail_follower(&mut self, idx: usize, immediate: bool) {
+        if let Some(f) = self.failed.get_mut(idx) {
+            *f = true;
+        }
+        if immediate {
+            if let Some(isr) = self.in_sync.get_mut(idx) {
+                *isr = false;
+            }
+        }
+    }
+
+    /// Restore a failed follower; it rejoins the ISR once caught up.
+    pub fn restore_follower(&mut self, idx: usize) {
+        if let Some(f) = self.failed.get_mut(idx) {
+            *f = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(rf: u32, min_isr: u32, per_tick: u64, max_lag: u64) -> ReplicaSet {
+        ReplicaSet::new(ReplicationConfig {
+            replication_factor: rf,
+            min_insync_replicas: min_isr,
+            records_per_tick: per_tick,
+            max_lag_records: max_lag,
+        })
+    }
+
+    #[test]
+    fn single_replica_always_acks() {
+        let r = rs(1, 1, 1, 1);
+        assert!(r.check_ack(AckMode::All, "t", 0).is_ok());
+        assert_eq!(r.committed_offset(100), 100);
+    }
+
+    #[test]
+    fn followers_catch_up_on_tick() {
+        let mut r = rs(3, 2, 10, 100);
+        r.tick(25);
+        assert_eq!(r.committed_offset(25), 10);
+        r.tick(25);
+        r.tick(25);
+        assert_eq!(r.committed_offset(25), 25);
+    }
+
+    #[test]
+    fn lagging_follower_leaves_isr() {
+        let mut r = rs(2, 2, 1, 5);
+        r.tick(100); // follower at 1, lag 99 > 5 -> out of ISR
+        assert_eq!(r.isr_count(), 1);
+        assert!(r.check_ack(AckMode::All, "t", 0).is_err());
+        // Leader acks still fine.
+        assert!(r.check_ack(AckMode::Leader, "t", 0).is_ok());
+    }
+
+    #[test]
+    fn failed_follower_freezes_then_recovers() {
+        let mut r = rs(2, 1, 50, 10);
+        r.tick(40); // caught up to 40
+        r.fail_follower(0, true);
+        r.tick(100);
+        assert_eq!(r.isr_count(), 1, "failed follower must not advance/rejoin");
+        r.restore_follower(0);
+        r.tick(100);
+        r.tick(100);
+        assert_eq!(r.isr_count(), 2, "restored follower catches up and rejoins ISR");
+    }
+}

@@ -1,0 +1,99 @@
+//! Integration: consumer groups driving manual-assignment consumers — join,
+//! consume a share, commit, rebalance, and resume from committed offsets.
+
+use samzasql_kafka::{Assignor, Broker, Consumer, Message, TopicConfig, TopicPartition};
+
+fn broker_with_data(partitions: u32, per_partition: u32) -> Broker {
+    let b = Broker::new();
+    b.create_topic("t", TopicConfig::with_partitions(partitions)).unwrap();
+    for p in 0..partitions {
+        for i in 0..per_partition {
+            b.produce("t", p, Message::new(format!("p{p}m{i}"))).unwrap();
+        }
+    }
+    b
+}
+
+#[test]
+fn two_members_split_and_consume_everything() {
+    let b = broker_with_data(4, 10);
+    let gc = b.group_coordinator();
+    gc.join(&b, "g", "m1", &["t"], Assignor::Range).unwrap();
+    let m2 = gc.join(&b, "g", "m2", &["t"], Assignor::Range).unwrap();
+    let gen = m2.generation;
+
+    let mut total = 0;
+    for member in ["m1", "m2"] {
+        let assignment = gc.assignment("g", member, gen).unwrap();
+        assert_eq!(assignment.len(), 2, "4 partitions over 2 members");
+        let mut consumer = Consumer::new(b.clone());
+        for tp in &assignment {
+            consumer.assign_at(tp.clone(), 0);
+        }
+        loop {
+            let records = consumer.poll(100);
+            if records.is_empty() {
+                break;
+            }
+            total += records.len();
+        }
+        // Commit final positions.
+        for tp in &assignment {
+            let pos = consumer.position(tp).unwrap();
+            b.offsets().commit("g", tp.clone(), pos);
+        }
+    }
+    assert_eq!(total, 40, "every record consumed exactly once across members");
+}
+
+#[test]
+fn rebalance_survivor_resumes_from_committed_offsets() {
+    let b = broker_with_data(2, 5);
+    let gc = b.group_coordinator();
+    gc.join(&b, "g", "m1", &["t"], Assignor::Range).unwrap();
+    let m2 = gc.join(&b, "g", "m2", &["t"], Assignor::Range).unwrap();
+
+    // Each member consumes 3 of its 5 records and commits.
+    for member in ["m1", "m2"] {
+        let assignment = gc.assignment("g", member, m2.generation).unwrap();
+        let tp = &assignment[0];
+        let mut c = Consumer::new(b.clone());
+        c.assign_at(tp.clone(), 0);
+        let got = c.poll(3);
+        assert_eq!(got.len(), 3);
+        b.offsets().commit("g", tp.clone(), c.position(tp).unwrap());
+    }
+
+    // m1 leaves; m2 takes over both partitions and resumes at the commits.
+    gc.leave(&b, "g", "m1").unwrap();
+    let gen = gc.generation("g").unwrap();
+    let assignment = gc.assignment("g", "m2", gen).unwrap();
+    assert_eq!(assignment.len(), 2);
+    let mut c = Consumer::new(b.clone());
+    let mut remaining = 0;
+    for tp in &assignment {
+        let committed = b.offsets().fetch("g", tp).unwrap_or(0);
+        assert_eq!(committed, 3, "resume point from the dead member's commit");
+        c.assign_at(tp.clone(), committed);
+    }
+    loop {
+        let records = c.poll(100);
+        if records.is_empty() {
+            break;
+        }
+        remaining += records.len();
+    }
+    assert_eq!(remaining, 4, "2 partitions × 2 uncommitted records each");
+}
+
+#[test]
+fn committed_offsets_are_per_group() {
+    let b = broker_with_data(1, 5);
+    let tp = TopicPartition::new("t", 0);
+    b.offsets().commit("analytics", tp.clone(), 5);
+    // A fresh group starts from the beginning regardless.
+    assert_eq!(b.offsets().fetch("audit", &tp), None);
+    let mut c = Consumer::new(b.clone());
+    c.assign_at(tp, 0);
+    assert_eq!(c.poll(100).len(), 5, "audit group reads the full history");
+}

@@ -1,0 +1,318 @@
+//! Abstract syntax tree for the SamzaSQL dialect.
+
+use crate::interval::TimeUnit;
+
+/// A parsed top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A (possibly streaming) query.
+    Query(Box<Query>),
+    /// `CREATE VIEW name [(col, …)] AS query` (§3.5).
+    CreateView { name: String, columns: Vec<String>, query: Box<Query> },
+    /// `EXPLAIN query` — surfaced by the shell to print plans.
+    Explain(Box<Query>),
+}
+
+impl Statement {
+    /// The inner query, when this statement has one.
+    pub fn as_query(&self) -> Option<&Query> {
+        match self {
+            Statement::Query(q) | Statement::Explain(q) => Some(q),
+            Statement::CreateView { query, .. } => Some(query),
+        }
+    }
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT STREAM …` — continuous query over arriving tuples (§3.3).
+    pub stream: bool,
+    /// `SELECT DISTINCT …`.
+    pub distinct: bool,
+    pub projections: Vec<SelectItem>,
+    pub from: TableRef,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    /// `ORDER BY` items (expr, ascending).
+    pub order_by: Vec<(Expr, bool)>,
+    /// `LIMIT n` — only meaningful for non-stream (historical) queries.
+    pub limit: Option<u64>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `rel.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// Join types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Right,
+    Full,
+}
+
+/// A FROM-clause relation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named stream, table, or view.
+    Named { name: String, alias: Option<String> },
+    /// A parenthesized subquery with an optional alias.
+    Subquery { query: Box<Query>, alias: Option<String> },
+    /// A join; window bounds for stream-to-stream joins live inside
+    /// `condition` (§3.8.1).
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        condition: Box<Expr>,
+    },
+}
+
+impl TableRef {
+    /// The effective name this relation binds in scope.
+    pub fn binding_name(&self) -> Option<&str> {
+        match self {
+            TableRef::Named { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Subquery { alias, .. } => alias.as_deref(),
+            TableRef::Join { .. } => None,
+        }
+    }
+}
+
+/// Binary operators in precedence order (lowest first is OR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Or,
+    And,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Multiply,
+    Divide,
+    Modulo,
+    Like,
+}
+
+impl BinaryOp {
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Or => "OR",
+            BinaryOp::And => "AND",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Plus => "+",
+            BinaryOp::Minus => "-",
+            BinaryOp::Multiply => "*",
+            BinaryOp::Divide => "/",
+            BinaryOp::Modulo => "%",
+            BinaryOp::Like => "LIKE",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Int(i64),
+    Decimal(f64),
+    String(String),
+    Bool(bool),
+    Null,
+    /// Interval normalized to milliseconds, with its source unit preserved
+    /// for printing.
+    Interval { millis: i64, from: TimeUnit, to: Option<TimeUnit>, text: String },
+    /// TIME literal normalized to milliseconds past midnight.
+    Time { millis: i64, text: String },
+}
+
+/// A window frame bound for OVER clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameBound {
+    /// `UNBOUNDED PRECEDING`
+    UnboundedPreceding,
+    /// `<expr> PRECEDING` — for RANGE frames the expr is typically an
+    /// interval (time window); for ROWS a count (tuple window).
+    Preceding(Box<Expr>),
+    /// `CURRENT ROW`
+    CurrentRow,
+}
+
+/// Frame unit: time-domain or tuple-domain windows (§3.7 "Grouping of rows is
+/// done based on a window expressed over the time domain or tuple domain").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameUnits {
+    Range,
+    Rows,
+}
+
+/// An OVER window specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSpec {
+    pub partition_by: Vec<Expr>,
+    pub order_by: Vec<(Expr, bool)>,
+    pub units: FrameUnits,
+    pub start: FrameBound,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Possibly qualified column reference: `units` or `Orders.units`.
+    Column { qualifier: Option<String>, name: String },
+    Literal(Literal),
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    /// Function call: scalar (`GREATEST`), aggregate (`SUM`, `COUNT`,
+    /// `START`, `END`), or windowing (`TUMBLE`, `HOP`, `FLOOR(x TO unit)`).
+    Function { name: String, args: Vec<Expr>, distinct: bool },
+    /// `COUNT(*)`.
+    CountStar,
+    /// `FLOOR(expr TO unit)` — time rounding (§3.5 example).
+    FloorTo { expr: Box<Expr>, unit: TimeUnit },
+    /// Analytic function over a window: `SUM(units) OVER (…)` (§3.7).
+    Over { func: Box<Expr>, window: WindowSpec },
+    /// `expr BETWEEN low AND high` (possibly `NOT BETWEEN`).
+    Between { expr: Box<Expr>, negated: bool, low: Box<Expr>, high: Box<Expr> },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `CASE WHEN … THEN … [ELSE …] END`.
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_result: Option<Box<Expr>>,
+    },
+    /// `CAST(expr AS type-name)`.
+    Cast { expr: Box<Expr>, type_name: String },
+    /// Parenthesized scalar subquery is out of dialect scope; `EXISTS` and
+    /// `IN` likewise — kept as explicit unsupported markers by the parser.
+    Nested(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for an unqualified column.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { qualifier: None, name: name.to_string() }
+    }
+
+    /// Shorthand for a qualified column.
+    pub fn qcol(qualifier: &str, name: &str) -> Expr {
+        Expr::Column { qualifier: Some(qualifier.to_string()), name: name.to_string() }
+    }
+
+    /// Walk the expression tree, calling `f` on every node (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Unary { expr, .. }
+            | Expr::FloorTo { expr, .. }
+            | Expr::IsNull { expr, .. }
+            | Expr::Cast { expr, .. }
+            | Expr::Nested(expr) => expr.visit(f),
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Over { func, window } => {
+                func.visit(f);
+                for p in &window.partition_by {
+                    p.visit(f);
+                }
+                for (o, _) in &window.order_by {
+                    o.visit(f);
+                }
+                if let FrameBound::Preceding(e) = &window.start {
+                    e.visit(f);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            Expr::Case { operand, branches, else_result } => {
+                if let Some(op) = operand {
+                    op.visit(f);
+                }
+                for (w, t) in branches {
+                    w.visit(f);
+                    t.visit(f);
+                }
+                if let Some(e) = else_result {
+                    e.visit(f);
+                }
+            }
+            Expr::Column { .. } | Expr::Literal(_) | Expr::CountStar => {}
+        }
+    }
+
+    /// All column references in the expression.
+    pub fn columns(&self) -> Vec<(Option<&str>, &str)> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Column { qualifier, name } = e {
+                out.push((qualifier.as_deref(), name.as_str()));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visit_reaches_all_columns() {
+        let e = Expr::Binary {
+            left: Box::new(Expr::col("a")),
+            op: BinaryOp::Plus,
+            right: Box::new(Expr::Function {
+                name: "GREATEST".into(),
+                args: vec![Expr::qcol("t", "b"), Expr::col("c")],
+                distinct: false,
+            }),
+        };
+        let cols = e.columns();
+        assert_eq!(cols, vec![(None, "a"), (Some("t"), "b"), (None, "c")]);
+    }
+
+    #[test]
+    fn binding_names() {
+        let named = TableRef::Named { name: "Orders".into(), alias: Some("o".into()) };
+        assert_eq!(named.binding_name(), Some("o"));
+        let plain = TableRef::Named { name: "Orders".into(), alias: None };
+        assert_eq!(plain.binding_name(), Some("Orders"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// A lexing or parsing failure, pointing at the offending position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+impl ParseError {
+    pub fn new(message: impl Into<String>, line: u32, column: u32) -> Self {
+        ParseError { message: message.into(), line, column }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new("unexpected token", 3, 14);
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected token");
+    }
+}

@@ -1,0 +1,205 @@
+//! INTERVAL and TIME literal parsing.
+//!
+//! The dialect supports the forms the paper uses:
+//!
+//! * `INTERVAL '2' HOUR` — single-unit value
+//! * `INTERVAL '1:30' HOUR TO MINUTE` — range form; the string carries one
+//!   colon-separated field per unit between the bounds
+//! * `INTERVAL '5' MINUTE`, `INTERVAL '2' SECOND`
+//! * `TIME '0:30'` — time-of-day used as a window alignment offset
+//!
+//! All normalize to milliseconds.
+
+use crate::error::{ParseError, Result};
+use crate::token::Keyword;
+
+/// A calendar/time unit usable in interval literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimeUnit {
+    Year,
+    Month,
+    Day,
+    Hour,
+    Minute,
+    Second,
+}
+
+impl TimeUnit {
+    /// Milliseconds per unit. Years/months use fixed civil approximations
+    /// (365 d / 30 d), which is what Calcite's `INTERVAL` arithmetic does for
+    /// sub-query windowing purposes.
+    pub fn millis(self) -> i64 {
+        match self {
+            TimeUnit::Year => 365 * 24 * 3_600_000,
+            TimeUnit::Month => 30 * 24 * 3_600_000,
+            TimeUnit::Day => 24 * 3_600_000,
+            TimeUnit::Hour => 3_600_000,
+            TimeUnit::Minute => 60_000,
+            TimeUnit::Second => 1_000,
+        }
+    }
+
+    /// Map from a lexer keyword.
+    pub fn from_keyword(k: Keyword) -> Option<TimeUnit> {
+        Some(match k {
+            Keyword::Year => TimeUnit::Year,
+            Keyword::Month => TimeUnit::Month,
+            Keyword::Day => TimeUnit::Day,
+            Keyword::Hour => TimeUnit::Hour,
+            Keyword::Minute => TimeUnit::Minute,
+            Keyword::Second => TimeUnit::Second,
+            _ => return None,
+        })
+    }
+
+    /// The next-finer unit, used to walk `HOUR TO MINUTE` ranges.
+    pub fn finer(self) -> Option<TimeUnit> {
+        Some(match self {
+            TimeUnit::Year => TimeUnit::Month,
+            TimeUnit::Month => TimeUnit::Day,
+            TimeUnit::Day => TimeUnit::Hour,
+            TimeUnit::Hour => TimeUnit::Minute,
+            TimeUnit::Minute => TimeUnit::Second,
+            TimeUnit::Second => return None,
+        })
+    }
+
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            TimeUnit::Year => "YEAR",
+            TimeUnit::Month => "MONTH",
+            TimeUnit::Day => "DAY",
+            TimeUnit::Hour => "HOUR",
+            TimeUnit::Minute => "MINUTE",
+            TimeUnit::Second => "SECOND",
+        }
+    }
+}
+
+/// Parse the body of `INTERVAL '<text>' <from> [TO <to>]` to milliseconds.
+pub fn parse_interval(text: &str, from: TimeUnit, to: Option<TimeUnit>, line: u32, col: u32) -> Result<i64> {
+    let err = |msg: String| ParseError::new(msg, line, col);
+    let (negative, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let to = to.unwrap_or(from);
+    if to < from {
+        return Err(err(format!(
+            "interval range {} TO {} is inverted",
+            from.name(),
+            to.name()
+        )));
+    }
+    // Collect the unit ladder from..=to.
+    let mut units = vec![from];
+    let mut u = from;
+    while u != to {
+        u = u
+            .finer()
+            .ok_or_else(|| err(format!("no unit finer than {}", u.name())))?;
+        units.push(u);
+    }
+    // Fields: leading unit may also carry a fractional seconds part when the
+    // finest unit is SECOND (e.g. '1.5' SECOND).
+    let fields: Vec<&str> = body.split(':').collect();
+    if fields.len() != units.len() {
+        return Err(err(format!(
+            "interval '{body}' has {} fields but {} units ({} TO {})",
+            fields.len(),
+            units.len(),
+            from.name(),
+            to.name()
+        )));
+    }
+    let mut total: f64 = 0.0;
+    for (field, unit) in fields.iter().zip(&units) {
+        let v: f64 = field
+            .parse()
+            .map_err(|_| err(format!("invalid interval field {field:?}")))?;
+        if v < 0.0 {
+            return Err(err("interval fields must be non-negative".into()));
+        }
+        total += v * unit.millis() as f64;
+    }
+    let ms = total.round() as i64;
+    Ok(if negative { -ms } else { ms })
+}
+
+/// Parse `TIME 'H:MM[:SS]'` to milliseconds past midnight.
+pub fn parse_time(text: &str, line: u32, col: u32) -> Result<i64> {
+    let err = |msg: String| ParseError::new(msg, line, col);
+    let parts: Vec<&str> = text.split(':').collect();
+    if parts.is_empty() || parts.len() > 3 {
+        return Err(err(format!("invalid TIME literal '{text}'")));
+    }
+    let mut ms: i64 = 0;
+    let scales = [3_600_000i64, 60_000, 1_000];
+    for (i, p) in parts.iter().enumerate() {
+        let v: i64 = p.parse().map_err(|_| err(format!("invalid TIME field {p:?}")))?;
+        if v < 0 {
+            return Err(err("TIME fields must be non-negative".into()));
+        }
+        if i > 0 && v >= 60 {
+            return Err(err(format!("TIME field {v} out of range")));
+        }
+        ms += v * scales[i];
+    }
+    Ok(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(text: &str, from: TimeUnit, to: Option<TimeUnit>) -> i64 {
+        parse_interval(text, from, to, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn single_unit_intervals() {
+        assert_eq!(iv("2", TimeUnit::Hour, None), 2 * 3_600_000);
+        assert_eq!(iv("5", TimeUnit::Minute, None), 300_000);
+        assert_eq!(iv("2", TimeUnit::Second, None), 2_000);
+        assert_eq!(iv("1", TimeUnit::Day, None), 86_400_000);
+    }
+
+    #[test]
+    fn range_interval_hour_to_minute() {
+        // The paper's Listing 5: INTERVAL '1:30' HOUR TO MINUTE = 90 min.
+        assert_eq!(
+            iv("1:30", TimeUnit::Hour, Some(TimeUnit::Minute)),
+            90 * 60_000
+        );
+    }
+
+    #[test]
+    fn fractional_seconds() {
+        assert_eq!(iv("1.5", TimeUnit::Second, None), 1_500);
+    }
+
+    #[test]
+    fn negative_interval() {
+        assert_eq!(iv("-2", TimeUnit::Hour, None), -2 * 3_600_000);
+    }
+
+    #[test]
+    fn field_count_mismatch_rejected() {
+        assert!(parse_interval("1:30", TimeUnit::Hour, None, 1, 1).is_err());
+        assert!(parse_interval("1", TimeUnit::Hour, Some(TimeUnit::Minute), 1, 1).is_err());
+    }
+
+    #[test]
+    fn inverted_range_rejected() {
+        assert!(parse_interval("1:1", TimeUnit::Minute, Some(TimeUnit::Hour), 1, 1).is_err());
+    }
+
+    #[test]
+    fn time_literals() {
+        assert_eq!(parse_time("0:30", 1, 1).unwrap(), 30 * 60_000);
+        assert_eq!(parse_time("2:15:30", 1, 1).unwrap(), 2 * 3_600_000 + 15 * 60_000 + 30_000);
+        assert!(parse_time("0:99", 1, 1).is_err());
+        assert!(parse_time("a:b", 1, 1).is_err());
+    }
+}

@@ -1,0 +1,353 @@
+//! Hand-written SQL lexer.
+
+use crate::error::{ParseError, Result};
+use crate::token::{Keyword, SpannedToken, Token};
+
+/// Tokenize `input` into a vector ending with an `Eof` token.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    column: u32,
+    input: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { chars: input.chars().collect(), pos: 0, line: 1, column: 1, input }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.line, self.column)
+    }
+
+    fn run(mut self) -> Result<Vec<SpannedToken>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments()?;
+            let (line, column) = (self.line, self.column);
+            let Some(c) = self.peek() else {
+                out.push(SpannedToken { token: Token::Eof, line, column });
+                return Ok(out);
+            };
+            let token = match c {
+                '(' => {
+                    self.bump();
+                    Token::LParen
+                }
+                ')' => {
+                    self.bump();
+                    Token::RParen
+                }
+                ',' => {
+                    self.bump();
+                    Token::Comma
+                }
+                '.' => {
+                    self.bump();
+                    Token::Dot
+                }
+                '*' => {
+                    self.bump();
+                    Token::Star
+                }
+                '+' => {
+                    self.bump();
+                    Token::Plus
+                }
+                '-' => {
+                    self.bump();
+                    Token::Minus
+                }
+                '/' => {
+                    self.bump();
+                    Token::Slash
+                }
+                '%' => {
+                    self.bump();
+                    Token::Percent
+                }
+                ';' => {
+                    self.bump();
+                    Token::Semicolon
+                }
+                '=' => {
+                    self.bump();
+                    Token::Eq
+                }
+                '<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('=') => {
+                            self.bump();
+                            Token::LtEq
+                        }
+                        Some('>') => {
+                            self.bump();
+                            Token::NotEq
+                        }
+                        _ => Token::Lt,
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::GtEq
+                    } else {
+                        Token::Gt
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::NotEq
+                    } else {
+                        return Err(self.error("expected '=' after '!'"));
+                    }
+                }
+                '\'' => self.lex_string()?,
+                '"' => self.lex_quoted_ident()?,
+                c if c.is_ascii_digit() => self.lex_number()?,
+                c if c.is_alphabetic() || c == '_' => self.lex_word(),
+                other => return Err(self.error(format!("unexpected character {other:?}"))),
+            };
+            out.push(SpannedToken { token, line, column });
+        }
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('-') if self.peek2() == Some('-') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some('*') if self.peek() == Some('/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Token> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('\'') => {
+                    if self.peek() == Some('\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(Token::String(s));
+                    }
+                }
+                Some(c) => s.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self) -> Result<Token> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(Token::Ident(s)),
+                Some(c) => s.push(c),
+                None => return Err(self.error("unterminated quoted identifier")),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Decimal part only when a digit follows the dot ("1." is "1" then ".").
+        if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            text.parse::<f64>()
+                .map(Token::Decimal)
+                .map_err(|_| self.error(format!("invalid decimal literal {text}")))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Number)
+                .map_err(|_| self.error(format!("integer literal out of range: {text}")))
+        }
+    }
+
+    fn lex_word(&mut self) -> Token {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let _ = self.input; // lifetime anchor
+        match Keyword::from_word(&word) {
+            Some(k) => Token::Keyword(k),
+            None => Token::Ident(word),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Keyword as K;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_simple_query() {
+        assert_eq!(
+            toks("SELECT STREAM * FROM Orders"),
+            vec![
+                Token::Keyword(K::Select),
+                Token::Keyword(K::Stream),
+                Token::Star,
+                Token::Keyword(K::From),
+                Token::Ident("Orders".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_and_numbers() {
+        assert_eq!(
+            toks("a >= 25 AND b <> 1.5"),
+            vec![
+                Token::Ident("a".into()),
+                Token::GtEq,
+                Token::Number(25),
+                Token::Keyword(K::And),
+                Token::Ident("b".into()),
+                Token::NotEq,
+                Token::Decimal(1.5),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Token::String("it's".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn lexes_interval_literal_tokens() {
+        assert_eq!(
+            toks("INTERVAL '1:30' HOUR TO MINUTE"),
+            vec![
+                Token::Keyword(K::Interval),
+                Token::String("1:30".into()),
+                Token::Keyword(K::Hour),
+                Token::Keyword(K::To),
+                Token::Keyword(K::Minute),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers_bypass_keywords() {
+        assert_eq!(toks("\"select\""), vec![Token::Ident("select".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT -- trailing\n/* block\ncomment */ 1"),
+            vec![Token::Keyword(K::Select), Token::Number(1), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let spanned = tokenize("SELECT\n  x").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].column), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].column), (2, 3));
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(tokenize("'abc").is_err());
+        assert!(tokenize("/* unclosed").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn dot_after_number_stays_separate_without_digits() {
+        // "Orders.rowtime" style paths must not eat the dot into a number.
+        assert_eq!(
+            toks("1.x"),
+            vec![Token::Number(1), Token::Dot, Token::Ident("x".into()), Token::Eof]
+        );
+    }
+}

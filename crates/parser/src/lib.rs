@@ -1,0 +1,41 @@
+//! # samzasql-parser
+//!
+//! A SQL lexer and recursive-descent parser implementing the SamzaSQL dialect:
+//! standard SQL plus the paper's streaming extensions (§3):
+//!
+//! * `SELECT STREAM …` — the primary extension; marks a continuous query.
+//! * `GROUP BY TUMBLE(ts, emit)` / `HOP(ts, emit, retain[, align])` —
+//!   hopping/tumbling windows, plus the `START`/`END` window-bound
+//!   aggregates.
+//! * Analytic functions with `OVER (PARTITION BY … ORDER BY … RANGE INTERVAL
+//!   '5' MINUTE PRECEDING)` — sliding windows (§3.7).
+//! * `INTERVAL '…' <unit> [TO <unit>]` and `TIME '…'` literals.
+//! * `FLOOR(ts TO HOUR)` time-rounding syntax.
+//! * `CREATE VIEW name [(cols)] AS query` (§3.5).
+//! * Joins whose window bounds live in the join condition (`BETWEEN …
+//!   PRECEDING/ FOLLOWING`-free; plain `BETWEEN x - INTERVAL … AND x +
+//!   INTERVAL …`), per §3.8.
+//!
+//! The parser produces a plain AST (`ast` module); validation and planning
+//! live in `samzasql-planner`.
+//!
+//! ```
+//! use samzasql_parser::parse_statement;
+//!
+//! let stmt = parse_statement(
+//!     "SELECT STREAM rowtime, productId, units FROM Orders WHERE units > 25"
+//! ).unwrap();
+//! assert!(stmt.as_query().unwrap().stream);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod interval;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use ast::{Expr, Literal, Query, SelectItem, Statement, TableRef};
+pub use error::{ParseError, Result};
+pub use parser::{parse_expression, parse_statement, Parser};

@@ -1,0 +1,613 @@
+//! Recursive-descent parser for the SamzaSQL dialect.
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::interval::{parse_interval, parse_time, TimeUnit};
+use crate::lexer::tokenize;
+use crate::token::{Keyword, SpannedToken, Token};
+
+/// Parse a single statement (a trailing semicolon is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.accept(&Token::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a standalone scalar expression (used by tests and the shell).
+pub fn parse_expression(sql: &str) -> Result<Expr> {
+    let mut p = Parser::new(sql)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// The parser state: a token buffer and a cursor.
+pub struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Tokenize and wrap.
+    pub fn new(sql: &str) -> Result<Parser> {
+        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].token
+    }
+
+    fn peek_at(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].token
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        (t.line, t.column)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let (line, column) = self.here();
+        ParseError::new(msg, line, column)
+    }
+
+    fn accept(&mut self, token: &Token) -> bool {
+        if self.peek() == token {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn accept_kw(&mut self, kw: Keyword) -> bool {
+        self.accept(&Token::Keyword(kw))
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<()> {
+        if self.accept(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {token}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<()> {
+        self.expect(&Token::Keyword(kw))
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected trailing input: {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ------------------------------------------------------------ statements
+
+    /// Parse one statement.
+    pub fn statement(&mut self) -> Result<Statement> {
+        if self.accept_kw(Keyword::Explain) {
+            return Ok(Statement::Explain(Box::new(self.query()?)));
+        }
+        if self.accept_kw(Keyword::Create) {
+            self.expect_kw(Keyword::View)?;
+            let name = self.ident()?;
+            let mut columns = Vec::new();
+            if self.accept(&Token::LParen) {
+                loop {
+                    columns.push(self.ident()?);
+                    if !self.accept(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            }
+            self.expect_kw(Keyword::As)?;
+            let query = Box::new(self.query()?);
+            return Ok(Statement::CreateView { name, columns, query });
+        }
+        Ok(Statement::Query(Box::new(self.query()?)))
+    }
+
+    /// Parse a SELECT query.
+    pub fn query(&mut self) -> Result<Query> {
+        self.expect_kw(Keyword::Select)?;
+        let stream = self.accept_kw(Keyword::Stream);
+        let distinct = if self.accept_kw(Keyword::Distinct) {
+            true
+        } else {
+            self.accept_kw(Keyword::All);
+            false
+        };
+        let mut projections = vec![self.select_item()?];
+        while self.accept(&Token::Comma) {
+            projections.push(self.select_item()?);
+        }
+        self.expect_kw(Keyword::From)?;
+        let from = self.table_ref()?;
+        let where_clause = if self.accept_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.accept_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.expr()?);
+            while self.accept(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.accept_kw(Keyword::Having) { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.accept_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.accept_kw(Keyword::Desc) {
+                    false
+                } else {
+                    self.accept_kw(Keyword::Asc);
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.accept_kw(Keyword::Limit) {
+            match self.bump() {
+                Token::Number(n) if n >= 0 => Some(n as u64),
+                other => return Err(self.error(format!("expected LIMIT count, found {other}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Query { stream, distinct, projections, from, where_clause, group_by, having, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.accept(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // rel.* — identifier, dot, star.
+        if matches!(self.peek(), Token::Ident(_))
+            && matches!(self.peek_at(1), Token::Dot)
+            && matches!(self.peek_at(2), Token::Star)
+        {
+            let rel = self.ident()?;
+            self.bump(); // dot
+            self.bump(); // star
+            return Ok(SelectItem::QualifiedWildcard(rel));
+        }
+        let expr = self.expr()?;
+        let alias = if self.accept_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if let Token::Ident(_) = self.peek() {
+            // Bare alias (e.g. `… unitsLastHour`).
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // ----------------------------------------------------------- table refs
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.table_primary()?;
+        loop {
+            let kind = if self.accept_kw(Keyword::Join) || self.accept_kw(Keyword::Inner) {
+                // `INNER` may be followed by JOIN; plain JOIN already consumed.
+                if matches!(self.tokens[self.pos.saturating_sub(1)].token, Token::Keyword(Keyword::Inner)) {
+                    self.expect_kw(Keyword::Join)?;
+                }
+                JoinKind::Inner
+            } else if self.accept_kw(Keyword::Left) {
+                self.accept_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Left
+            } else if self.accept_kw(Keyword::Right) {
+                self.accept_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Right
+            } else if self.accept_kw(Keyword::Full) {
+                self.accept_kw(Keyword::Outer);
+                self.expect_kw(Keyword::Join)?;
+                JoinKind::Full
+            } else {
+                return Ok(left);
+            };
+            let right = self.table_primary()?;
+            self.expect_kw(Keyword::On)?;
+            let condition = Box::new(self.expr()?);
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                condition,
+            };
+        }
+    }
+
+    fn table_primary(&mut self) -> Result<TableRef> {
+        if self.accept(&Token::LParen) {
+            let query = Box::new(self.query()?);
+            self.expect(&Token::RParen)?;
+            let alias = if self.accept_kw(Keyword::As) {
+                Some(self.ident()?)
+            } else if let Token::Ident(_) = self.peek() {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            return Ok(TableRef::Subquery { query, alias });
+        }
+        let name = self.ident()?;
+        let alias = if self.accept_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else if let Token::Ident(_) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef::Named { name, alias })
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    /// Parse an expression (entry at OR precedence).
+    pub fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.accept_kw(Keyword::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.accept_kw(Keyword::And) {
+            let right = self.not_expr()?;
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.accept_kw(Keyword::Not) {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // BETWEEN / NOT BETWEEN / IS [NOT] NULL / LIKE
+        if self.accept_kw(Keyword::Between) {
+            let low = self.additive()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                negated: false,
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if matches!(self.peek(), Token::Keyword(Keyword::Not))
+            && matches!(self.peek_at(1), Token::Keyword(Keyword::Between))
+        {
+            self.bump();
+            self.bump();
+            let low = self.additive()?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                negated: true,
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if self.accept_kw(Keyword::Is) {
+            let negated = self.accept_kw(Keyword::Not);
+            self.expect_kw(Keyword::Null)?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        if self.accept_kw(Keyword::Like) {
+            let right = self.additive()?;
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Like,
+                right: Box::new(right),
+            });
+        }
+        let op = match self.peek() {
+            Token::Eq => BinaryOp::Eq,
+            Token::NotEq => BinaryOp::NotEq,
+            Token::Lt => BinaryOp::Lt,
+            Token::LtEq => BinaryOp::LtEq,
+            Token::Gt => BinaryOp::Gt,
+            Token::GtEq => BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.additive()?;
+        Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) })
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinaryOp::Plus,
+                Token::Minus => BinaryOp::Minus,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinaryOp::Multiply,
+                Token::Slash => BinaryOp::Divide,
+                Token::Percent => BinaryOp::Modulo,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.accept(&Token::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+        }
+        if self.accept(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let (line, col) = self.here();
+        match self.peek().clone() {
+            Token::Number(n) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Int(n)))
+            }
+            Token::Decimal(d) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Decimal(d)))
+            }
+            Token::String(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            Token::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            Token::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            Token::Keyword(Keyword::Null) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            Token::Keyword(Keyword::Interval) => {
+                self.bump();
+                let text = match self.bump() {
+                    Token::String(s) => s,
+                    other => {
+                        return Err(self.error(format!("expected interval string, found {other}")))
+                    }
+                };
+                let from = self.time_unit()?;
+                let to = if self.accept_kw(Keyword::To) { Some(self.time_unit()?) } else { None };
+                let millis = parse_interval(&text, from, to, line, col)?;
+                Ok(Expr::Literal(Literal::Interval { millis, from, to, text }))
+            }
+            Token::Keyword(Keyword::Time) => {
+                self.bump();
+                let text = match self.bump() {
+                    Token::String(s) => s,
+                    other => return Err(self.error(format!("expected TIME string, found {other}"))),
+                };
+                let millis = parse_time(&text, line, col)?;
+                Ok(Expr::Literal(Literal::Time { millis, text }))
+            }
+            Token::Keyword(Keyword::Case) => self.case_expr(),
+            Token::Keyword(Keyword::Cast) => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let expr = self.expr()?;
+                self.expect_kw(Keyword::As)?;
+                let type_name = self.ident()?;
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Cast { expr: Box::new(expr), type_name })
+            }
+            Token::Keyword(Keyword::Exists) | Token::Keyword(Keyword::In) => {
+                Err(self.error("EXISTS/IN subqueries are not supported in this dialect"))
+            }
+            // END is a keyword (CASE … END) but the paper also defines an
+            // END(ts) aggregate for window bounds; disambiguate by the
+            // following '('.
+            Token::Keyword(Keyword::End) if matches!(self.peek_at(1), Token::LParen) => {
+                self.bump();
+                self.function_call("END".to_string())
+            }
+            Token::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Nested(Box::new(inner)))
+            }
+            Token::Ident(name) => {
+                self.bump();
+                if self.peek() == &Token::LParen {
+                    return self.function_call(name);
+                }
+                if self.accept(&Token::Dot) {
+                    let field = self.ident()?;
+                    return Ok(Expr::Column { qualifier: Some(name), name: field });
+                }
+                Ok(Expr::Column { qualifier: None, name })
+            }
+            other => Err(self.error(format!("unexpected token in expression: {other}"))),
+        }
+    }
+
+    fn time_unit(&mut self) -> Result<TimeUnit> {
+        match self.bump() {
+            Token::Keyword(k) => {
+                TimeUnit::from_keyword(k).ok_or_else(|| self.error(format!("expected time unit, found {k:?}")))
+            }
+            other => Err(self.error(format!("expected time unit, found {other}"))),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        self.expect_kw(Keyword::Case)?;
+        let operand = if matches!(self.peek(), Token::Keyword(Keyword::When)) {
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.accept_kw(Keyword::When) {
+            let cond = self.expr()?;
+            self.expect_kw(Keyword::Then)?;
+            let result = self.expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(self.error("CASE requires at least one WHEN branch"));
+        }
+        let else_result =
+            if self.accept_kw(Keyword::Else) { Some(Box::new(self.expr()?)) } else { None };
+        self.expect_kw(Keyword::End)?;
+        Ok(Expr::Case { operand, branches, else_result })
+    }
+
+    fn function_call(&mut self, name: String) -> Result<Expr> {
+        self.expect(&Token::LParen)?;
+        // COUNT(*)
+        if name.eq_ignore_ascii_case("count") && self.accept(&Token::Star) {
+            self.expect(&Token::RParen)?;
+            return self.maybe_over(Expr::CountStar);
+        }
+        let distinct = self.accept_kw(Keyword::Distinct);
+        let mut args = Vec::new();
+        if self.peek() != &Token::RParen {
+            args.push(self.expr()?);
+            // FLOOR(expr TO unit)
+            if name.eq_ignore_ascii_case("floor") && self.accept_kw(Keyword::To) {
+                let unit = self.time_unit()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::FloorTo { expr: Box::new(args.remove(0)), unit });
+            }
+            while self.accept(&Token::Comma) {
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(&Token::RParen)?;
+        self.maybe_over(Expr::Function { name: name.to_uppercase(), args, distinct })
+    }
+
+    fn maybe_over(&mut self, func: Expr) -> Result<Expr> {
+        if !self.accept_kw(Keyword::Over) {
+            return Ok(func);
+        }
+        self.expect(&Token::LParen)?;
+        let mut partition_by = Vec::new();
+        if self.accept_kw(Keyword::Partition) {
+            self.expect_kw(Keyword::By)?;
+            partition_by.push(self.expr()?);
+            while self.accept(&Token::Comma) {
+                partition_by.push(self.expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.accept_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let e = self.expr()?;
+                let asc = if self.accept_kw(Keyword::Desc) {
+                    false
+                } else {
+                    self.accept_kw(Keyword::Asc);
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let units = if self.accept_kw(Keyword::Range) {
+            FrameUnits::Range
+        } else if self.accept_kw(Keyword::Rows) {
+            FrameUnits::Rows
+        } else {
+            // No frame: default RANGE UNBOUNDED PRECEDING per SQL standard.
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Over {
+                func: Box::new(func),
+                window: WindowSpec {
+                    partition_by,
+                    order_by,
+                    units: FrameUnits::Range,
+                    start: FrameBound::UnboundedPreceding,
+                },
+            });
+        };
+        let start = if self.accept_kw(Keyword::Unbounded) {
+            self.expect_kw(Keyword::Preceding)?;
+            FrameBound::UnboundedPreceding
+        } else if self.accept_kw(Keyword::Current) {
+            self.expect_kw(Keyword::Row)?;
+            FrameBound::CurrentRow
+        } else {
+            let e = self.expr()?;
+            self.expect_kw(Keyword::Preceding)?;
+            FrameBound::Preceding(Box::new(e))
+        };
+        self.expect(&Token::RParen)?;
+        Ok(Expr::Over {
+            func: Box::new(func),
+            window: WindowSpec { partition_by, order_by, units, start },
+        })
+    }
+}

@@ -1,0 +1,212 @@
+//! AST → SQL text, for plan display, EXPLAIN output, and round-trip tests.
+
+use crate::ast::*;
+
+/// Render a statement back to SQL.
+pub fn print_statement(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Query(q) => print_query(q),
+        Statement::Explain(q) => format!("EXPLAIN {}", print_query(q)),
+        Statement::CreateView { name, columns, query } => {
+            let cols = if columns.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", columns.join(", "))
+            };
+            format!("CREATE VIEW {name}{cols} AS {}", print_query(query))
+        }
+    }
+}
+
+/// Render a query.
+pub fn print_query(q: &Query) -> String {
+    let mut s = String::from("SELECT ");
+    if q.stream {
+        s.push_str("STREAM ");
+    }
+    if q.distinct {
+        s.push_str("DISTINCT ");
+    }
+    let items: Vec<String> = q.projections.iter().map(print_select_item).collect();
+    s.push_str(&items.join(", "));
+    s.push_str(" FROM ");
+    s.push_str(&print_table_ref(&q.from));
+    if let Some(w) = &q.where_clause {
+        s.push_str(" WHERE ");
+        s.push_str(&print_expr(w));
+    }
+    if !q.group_by.is_empty() {
+        s.push_str(" GROUP BY ");
+        let items: Vec<String> = q.group_by.iter().map(print_expr).collect();
+        s.push_str(&items.join(", "));
+    }
+    if let Some(h) = &q.having {
+        s.push_str(" HAVING ");
+        s.push_str(&print_expr(h));
+    }
+    if !q.order_by.is_empty() {
+        s.push_str(" ORDER BY ");
+        let items: Vec<String> = q
+            .order_by
+            .iter()
+            .map(|(e, asc)| {
+                if *asc {
+                    print_expr(e)
+                } else {
+                    format!("{} DESC", print_expr(e))
+                }
+            })
+            .collect();
+        s.push_str(&items.join(", "));
+    }
+    if let Some(n) = q.limit {
+        s.push_str(&format!(" LIMIT {n}"));
+    }
+    s
+}
+
+fn print_select_item(item: &SelectItem) -> String {
+    match item {
+        SelectItem::Wildcard => "*".to_string(),
+        SelectItem::QualifiedWildcard(rel) => format!("{rel}.*"),
+        SelectItem::Expr { expr, alias } => match alias {
+            Some(a) => format!("{} AS {a}", print_expr(expr)),
+            None => print_expr(expr),
+        },
+    }
+}
+
+fn print_table_ref(t: &TableRef) -> String {
+    match t {
+        TableRef::Named { name, alias } => match alias {
+            Some(a) => format!("{name} AS {a}"),
+            None => name.clone(),
+        },
+        TableRef::Subquery { query, alias } => match alias {
+            Some(a) => format!("({}) AS {a}", print_query(query)),
+            None => format!("({})", print_query(query)),
+        },
+        TableRef::Join { left, right, kind, condition } => {
+            let kw = match kind {
+                JoinKind::Inner => "JOIN",
+                JoinKind::Left => "LEFT JOIN",
+                JoinKind::Right => "RIGHT JOIN",
+                JoinKind::Full => "FULL JOIN",
+            };
+            format!(
+                "{} {kw} {} ON {}",
+                print_table_ref(left),
+                print_table_ref(right),
+                print_expr(condition)
+            )
+        }
+    }
+}
+
+/// Render an expression.
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Column { qualifier: Some(q), name } => format!("{q}.{name}"),
+        Expr::Column { qualifier: None, name } => name.clone(),
+        Expr::Literal(l) => print_literal(l),
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => format!("NOT {}", print_expr(expr)),
+            UnaryOp::Neg => format!("-{}", print_expr(expr)),
+        },
+        Expr::Binary { left, op, right } => {
+            format!("{} {} {}", print_expr(left), op.symbol(), print_expr(right))
+        }
+        Expr::Function { name, args, distinct } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            let d = if *distinct { "DISTINCT " } else { "" };
+            format!("{name}({d}{})", args.join(", "))
+        }
+        Expr::CountStar => "COUNT(*)".to_string(),
+        Expr::FloorTo { expr, unit } => format!("FLOOR({} TO {})", print_expr(expr), unit.name()),
+        Expr::Over { func, window } => {
+            let mut s = format!("{} OVER (", print_expr(func));
+            let mut parts = Vec::new();
+            if !window.partition_by.is_empty() {
+                let items: Vec<String> = window.partition_by.iter().map(print_expr).collect();
+                parts.push(format!("PARTITION BY {}", items.join(", ")));
+            }
+            if !window.order_by.is_empty() {
+                let items: Vec<String> = window
+                    .order_by
+                    .iter()
+                    .map(|(e, asc)| {
+                        if *asc {
+                            print_expr(e)
+                        } else {
+                            format!("{} DESC", print_expr(e))
+                        }
+                    })
+                    .collect();
+                parts.push(format!("ORDER BY {}", items.join(", ")));
+            }
+            let units = match window.units {
+                FrameUnits::Range => "RANGE",
+                FrameUnits::Rows => "ROWS",
+            };
+            match &window.start {
+                FrameBound::UnboundedPreceding => {
+                    // Standard default frame is implied; print nothing when it
+                    // matches RANGE UNBOUNDED PRECEDING.
+                    if window.units == FrameUnits::Rows {
+                        parts.push(format!("{units} UNBOUNDED PRECEDING"));
+                    }
+                }
+                FrameBound::Preceding(e) => {
+                    parts.push(format!("{units} {} PRECEDING", print_expr(e)))
+                }
+                FrameBound::CurrentRow => parts.push(format!("{units} CURRENT ROW")),
+            }
+            s.push_str(&parts.join(" "));
+            s.push(')');
+            s
+        }
+        Expr::Between { expr, negated, low, high } => format!(
+            "{} {}BETWEEN {} AND {}",
+            print_expr(expr),
+            if *negated { "NOT " } else { "" },
+            print_expr(low),
+            print_expr(high)
+        ),
+        Expr::IsNull { expr, negated } => format!(
+            "{} IS {}NULL",
+            print_expr(expr),
+            if *negated { "NOT " } else { "" }
+        ),
+        Expr::Case { operand, branches, else_result } => {
+            let mut s = String::from("CASE");
+            if let Some(op) = operand {
+                s.push_str(&format!(" {}", print_expr(op)));
+            }
+            for (w, t) in branches {
+                s.push_str(&format!(" WHEN {} THEN {}", print_expr(w), print_expr(t)));
+            }
+            if let Some(e) = else_result {
+                s.push_str(&format!(" ELSE {}", print_expr(e)));
+            }
+            s.push_str(" END");
+            s
+        }
+        Expr::Cast { expr, type_name } => format!("CAST({} AS {type_name})", print_expr(expr)),
+        Expr::Nested(inner) => format!("({})", print_expr(inner)),
+    }
+}
+
+fn print_literal(l: &Literal) -> String {
+    match l {
+        Literal::Int(n) => n.to_string(),
+        Literal::Decimal(d) => d.to_string(),
+        Literal::String(s) => format!("'{}'", s.replace('\'', "''")),
+        Literal::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Literal::Null => "NULL".to_string(),
+        Literal::Interval { from, to, text, .. } => match to {
+            Some(t) => format!("INTERVAL '{text}' {} TO {}", from.name(), t.name()),
+            None => format!("INTERVAL '{text}' {}", from.name()),
+        },
+        Literal::Time { text, .. } => format!("TIME '{text}'"),
+    }
+}

@@ -1,0 +1,177 @@
+//! Tokens produced by the lexer.
+
+use std::fmt;
+
+/// SQL keywords recognized by the SamzaSQL dialect. Keywords are matched
+/// case-insensitively; identifiers that collide can be double-quoted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select, Stream, From, Where, Group, By, Having, As, Join, Inner, Left,
+    Right, Full, Outer, On, Create, View, And, Or, Not, Between, Is, Null,
+    True, False, Case, When, Then, Else, End, Interval, Time, To, Over,
+    Partition, Order, Asc, Desc, Range, Rows, Preceding, Following, Current,
+    Row, Unbounded, Distinct, All, Union, Like, In, Cast, Limit, Exists,
+    Year, Month, Day, Hour, Minute, Second, Explain, Insert, Into, Values,
+}
+
+impl Keyword {
+    /// Look up a keyword from an identifier-shaped word.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        use Keyword::*;
+        let upper = word.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "SELECT" => Select,
+            "STREAM" => Stream,
+            "FROM" => From,
+            "WHERE" => Where,
+            "GROUP" => Group,
+            "BY" => By,
+            "HAVING" => Having,
+            "AS" => As,
+            "JOIN" => Join,
+            "INNER" => Inner,
+            "LEFT" => Left,
+            "RIGHT" => Right,
+            "FULL" => Full,
+            "OUTER" => Outer,
+            "ON" => On,
+            "CREATE" => Create,
+            "VIEW" => View,
+            "AND" => And,
+            "OR" => Or,
+            "NOT" => Not,
+            "BETWEEN" => Between,
+            "IS" => Is,
+            "NULL" => Null,
+            "TRUE" => True,
+            "FALSE" => False,
+            "CASE" => Case,
+            "WHEN" => When,
+            "THEN" => Then,
+            "ELSE" => Else,
+            "END" => End,
+            "INTERVAL" => Interval,
+            "TIME" => Time,
+            "TO" => To,
+            "OVER" => Over,
+            "PARTITION" => Partition,
+            "ORDER" => Order,
+            "ASC" => Asc,
+            "DESC" => Desc,
+            "RANGE" => Range,
+            "ROWS" => Rows,
+            "PRECEDING" => Preceding,
+            "FOLLOWING" => Following,
+            "CURRENT" => Current,
+            "ROW" => Row,
+            "UNBOUNDED" => Unbounded,
+            "DISTINCT" => Distinct,
+            "ALL" => All,
+            "UNION" => Union,
+            "LIKE" => Like,
+            "IN" => In,
+            "CAST" => Cast,
+            "LIMIT" => Limit,
+            "EXISTS" => Exists,
+            "YEAR" => Year,
+            "MONTH" => Month,
+            "DAY" => Day,
+            "HOUR" => Hour,
+            "MINUTE" => Minute,
+            "SECOND" => Second,
+            "EXPLAIN" => Explain,
+            "INSERT" => Insert,
+            "INTO" => Into,
+            "VALUES" => Values,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(Keyword),
+    /// Unquoted identifier (original case preserved) or `"quoted"` identifier.
+    Ident(String),
+    /// Integer literal.
+    Number(i64),
+    /// Decimal literal.
+    Decimal(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    String(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Decimal(d) => write!(f, "{d}"),
+            Token::String(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    pub token: Token,
+    pub line: u32,
+    pub column: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(Keyword::from_word("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_word("StReAm"), Some(Keyword::Stream));
+        assert_eq!(Keyword::from_word("orders"), None);
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(Token::NotEq.to_string(), "<>");
+        assert_eq!(Token::String("a'b".into()).to_string(), "'a'b'");
+    }
+}

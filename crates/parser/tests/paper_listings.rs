@@ -1,0 +1,393 @@
+//! Parse every SQL listing from the paper (§3, §5.1) and check the shapes
+//! the planner depends on, plus round-trip printing stability.
+
+use samzasql_parser::ast::*;
+use samzasql_parser::interval::TimeUnit;
+use samzasql_parser::printer::print_statement;
+use samzasql_parser::{parse_statement, Statement};
+
+fn parse(sql: &str) -> Statement {
+    parse_statement(sql).unwrap_or_else(|e| panic!("failed to parse {sql:?}: {e}"))
+}
+
+fn query(sql: &str) -> Query {
+    match parse(sql) {
+        Statement::Query(q) => *q,
+        other => panic!("expected query, got {other:?}"),
+    }
+}
+
+/// Re-parsing the printed form must yield the same AST (print∘parse fixpoint).
+fn assert_roundtrip(sql: &str) {
+    let first = parse(sql);
+    let printed = print_statement(&first);
+    let second = parse_statement(&printed)
+        .unwrap_or_else(|e| panic!("printed SQL failed to re-parse: {printed:?}: {e}"));
+    assert_eq!(first, second, "round-trip changed the AST for {sql:?} -> {printed:?}");
+}
+
+#[test]
+fn listing1_select_all_from_stream() {
+    let q = query("SELECT STREAM * FROM Orders");
+    assert!(q.stream);
+    assert_eq!(q.projections, vec![SelectItem::Wildcard]);
+    assert_eq!(q.from, TableRef::Named { name: "Orders".into(), alias: None });
+    assert_roundtrip("SELECT STREAM * FROM Orders");
+}
+
+#[test]
+fn listing2_filter_projection() {
+    let sql = "SELECT STREAM rowtime, productId, units FROM Orders WHERE units > 25";
+    let q = query(sql);
+    assert_eq!(q.projections.len(), 3);
+    assert!(matches!(
+        q.where_clause,
+        Some(Expr::Binary { op: BinaryOp::Gt, .. })
+    ));
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn listing3_create_view_with_floor_and_aggregates() {
+    let sql = "CREATE VIEW HourlyOrderTotals (rowtime, productId, c, su) AS \
+               SELECT FLOOR(rowtime TO HOUR), productId, COUNT(*), SUM(units) \
+               FROM Orders \
+               GROUP BY FLOOR(rowtime TO HOUR), productId";
+    match parse(sql) {
+        Statement::CreateView { name, columns, query } => {
+            assert_eq!(name, "HourlyOrderTotals");
+            assert_eq!(columns, vec!["rowtime", "productId", "c", "su"]);
+            assert!(!query.stream);
+            assert_eq!(query.group_by.len(), 2);
+            assert!(matches!(
+                &query.projections[0],
+                SelectItem::Expr { expr: Expr::FloorTo { unit: TimeUnit::Hour, .. }, .. }
+            ));
+            assert!(matches!(&query.projections[2], SelectItem::Expr { expr: Expr::CountStar, .. }));
+        }
+        other => panic!("expected view: {other:?}"),
+    }
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn listing3_view_consumer_query() {
+    let sql = "SELECT STREAM rowtime, productId FROM HourlyOrderTotals WHERE c > 2 OR su > 10";
+    let q = query(sql);
+    assert!(matches!(q.where_clause, Some(Expr::Binary { op: BinaryOp::Or, .. })));
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn listing3_subquery_form() {
+    let sql = "SELECT STREAM rowtime, productId FROM (\
+               SELECT FLOOR(rowtime TO HOUR) AS rowtime, productId, \
+               COUNT(*) AS c, SUM(units) AS su \
+               FROM Orders GROUP BY FLOOR(rowtime TO HOUR), productId) \
+               WHERE c > 2 OR su > 10";
+    let q = query(sql);
+    match &q.from {
+        TableRef::Subquery { query: inner, alias } => {
+            assert!(alias.is_none());
+            assert_eq!(inner.group_by.len(), 2);
+            assert!(!inner.stream, "STREAM in subqueries has no effect / is absent here");
+        }
+        other => panic!("expected subquery: {other:?}"),
+    }
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn listing4_tumbling_window() {
+    let sql = "SELECT STREAM START(rowtime), COUNT(*) FROM Orders \
+               GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)";
+    let q = query(sql);
+    assert_eq!(q.group_by.len(), 1);
+    match &q.group_by[0] {
+        Expr::Function { name, args, .. } => {
+            assert_eq!(name, "TUMBLE");
+            assert_eq!(args.len(), 2);
+            assert!(matches!(
+                args[1],
+                Expr::Literal(Literal::Interval { millis: 3_600_000, .. })
+            ));
+        }
+        other => panic!("expected TUMBLE: {other:?}"),
+    }
+    match &q.projections[0] {
+        SelectItem::Expr { expr: Expr::Function { name, .. }, .. } => assert_eq!(name, "START"),
+        other => panic!("expected START(rowtime): {other:?}"),
+    }
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn listing5_hopping_window_with_alignment() {
+    let sql = "SELECT STREAM START(rowtime), COUNT(*) FROM Orders \
+               GROUP BY HOP(rowtime, INTERVAL '1:30' HOUR TO MINUTE, INTERVAL '2' HOUR, TIME '0:30')";
+    let q = query(sql);
+    match &q.group_by[0] {
+        Expr::Function { name, args, .. } => {
+            assert_eq!(name, "HOP");
+            assert_eq!(args.len(), 4);
+            // emit every 90 min
+            assert!(matches!(
+                args[1],
+                Expr::Literal(Literal::Interval { millis: 5_400_000, .. })
+            ));
+            // retain 2 h
+            assert!(matches!(
+                args[2],
+                Expr::Literal(Literal::Interval { millis: 7_200_000, .. })
+            ));
+            // align 30 min past the hour
+            assert!(matches!(args[3], Expr::Literal(Literal::Time { millis: 1_800_000, .. })));
+        }
+        other => panic!("expected HOP: {other:?}"),
+    }
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn listing6_sliding_window_analytic() {
+    let sql = "SELECT STREAM rowtime, productId, units, \
+               SUM(units) OVER (PARTITION BY productId ORDER BY rowtime \
+               RANGE INTERVAL '1' HOUR PRECEDING) unitsLastHour FROM Orders";
+    let q = query(sql);
+    match &q.projections[3] {
+        SelectItem::Expr { expr: Expr::Over { func, window }, alias } => {
+            assert_eq!(alias.as_deref(), Some("unitsLastHour"));
+            assert!(matches!(&**func, Expr::Function { name, .. } if name == "SUM"));
+            assert_eq!(window.partition_by.len(), 1);
+            assert_eq!(window.order_by.len(), 1);
+            assert_eq!(window.units, FrameUnits::Range);
+            match &window.start {
+                FrameBound::Preceding(e) => assert!(matches!(
+                    &**e,
+                    Expr::Literal(Literal::Interval { millis: 3_600_000, .. })
+                )),
+                other => panic!("expected interval frame: {other:?}"),
+            }
+        }
+        other => panic!("expected OVER: {other:?}"),
+    }
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn listing7_stream_to_stream_window_join() {
+    let sql = "SELECT STREAM \
+               GREATEST(PacketsR1.rowtime, PacketsR2.rowtime) AS rowtime, \
+               PacketsR1.sourcetime, PacketsR1.packetId, \
+               PacketsR2.rowtime - PacketsR1.rowtime AS timeToTravel \
+               FROM PacketsR1 JOIN PacketsR2 ON \
+               PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND \
+               AND PacketsR2.rowtime + INTERVAL '2' SECOND \
+               AND PacketsR1.packetId = PacketsR2.packetId";
+    let q = query(sql);
+    match &q.from {
+        TableRef::Join { kind: JoinKind::Inner, condition, .. } => {
+            // Top of the condition is AND(BETWEEN(...), Eq(...)).
+            match &**condition {
+                Expr::Binary { op: BinaryOp::And, left, right } => {
+                    assert!(matches!(&**left, Expr::Between { .. }));
+                    assert!(matches!(&**right, Expr::Binary { op: BinaryOp::Eq, .. }));
+                }
+                other => panic!("expected AND condition: {other:?}"),
+            }
+        }
+        other => panic!("expected join: {other:?}"),
+    }
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn listing8_stream_to_relation_join() {
+    let sql = "SELECT STREAM Orders.rowtime, Orders.orderId, Orders.productId, \
+               Orders.units, Products.supplierId \
+               FROM Orders JOIN Products ON Orders.productId = Products.productId";
+    let q = query(sql);
+    assert!(q.stream);
+    match &q.from {
+        TableRef::Join { left, right, .. } => {
+            assert_eq!(left.binding_name(), Some("Orders"));
+            assert_eq!(right.binding_name(), Some("Products"));
+        }
+        other => panic!("expected join: {other:?}"),
+    }
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn evaluation_filter_query() {
+    let q = query("SELECT STREAM * FROM Orders WHERE units > 50");
+    assert!(q.stream && q.where_clause.is_some());
+}
+
+#[test]
+fn evaluation_sliding_window_query() {
+    let sql = "SELECT STREAM rowtime, productId, units, \
+               SUM(units) OVER (PARTITION BY productId ORDER BY rowtime \
+               RANGE INTERVAL '5' MINUTE PRECEDING) unitsLastFiveMinutes FROM Orders";
+    let q = query(sql);
+    assert_eq!(q.projections.len(), 4);
+    assert_roundtrip(sql);
+}
+
+// ------------------------------------------------------- dialect behaviours
+
+#[test]
+fn having_clause_parses() {
+    let sql = "SELECT productId, COUNT(*) FROM Orders GROUP BY productId HAVING COUNT(*) > 2";
+    let q = query(sql);
+    assert!(q.having.is_some());
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn explain_statement() {
+    match parse("EXPLAIN SELECT STREAM * FROM Orders") {
+        Statement::Explain(q) => assert!(q.stream),
+        other => panic!("expected explain: {other:?}"),
+    }
+}
+
+#[test]
+fn case_expression() {
+    let sql = "SELECT CASE WHEN units > 10 THEN 'big' ELSE 'small' END FROM Orders";
+    let q = query(sql);
+    assert!(matches!(
+        &q.projections[0],
+        SelectItem::Expr { expr: Expr::Case { .. }, .. }
+    ));
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn operator_precedence() {
+    use samzasql_parser::parse_expression;
+    // a + b * c parses as a + (b * c)
+    let e = parse_expression("a + b * c").unwrap();
+    match e {
+        Expr::Binary { op: BinaryOp::Plus, right, .. } => {
+            assert!(matches!(*right, Expr::Binary { op: BinaryOp::Multiply, .. }))
+        }
+        other => panic!("{other:?}"),
+    }
+    // NOT binds tighter than AND
+    let e = parse_expression("NOT a AND b").unwrap();
+    assert!(matches!(e, Expr::Binary { op: BinaryOp::And, .. }));
+    // comparison binds tighter than AND, AND tighter than OR
+    let e = parse_expression("a = 1 OR b = 2 AND c = 3").unwrap();
+    match e {
+        Expr::Binary { op: BinaryOp::Or, right, .. } => {
+            assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }))
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn qualified_wildcard() {
+    let q = query("SELECT Orders.* FROM Orders");
+    assert_eq!(q.projections, vec![SelectItem::QualifiedWildcard("Orders".into())]);
+}
+
+#[test]
+fn table_alias_forms() {
+    let q = query("SELECT o.units FROM Orders AS o");
+    assert_eq!(q.from, TableRef::Named { name: "Orders".into(), alias: Some("o".into()) });
+    let q = query("SELECT o.units FROM Orders o");
+    assert_eq!(q.from, TableRef::Named { name: "Orders".into(), alias: Some("o".into()) });
+}
+
+#[test]
+fn rows_frame_tuple_domain_window() {
+    let sql = "SELECT SUM(units) OVER (PARTITION BY productId ORDER BY rowtime \
+               ROWS 10 PRECEDING) FROM Orders";
+    let q = query(sql);
+    match &q.projections[0] {
+        SelectItem::Expr { expr: Expr::Over { window, .. }, .. } => {
+            assert_eq!(window.units, FrameUnits::Rows);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn left_join_parses() {
+    let sql = "SELECT STREAM a.x FROM A a LEFT JOIN B b ON a.k = b.k";
+    let q = query(sql);
+    assert!(matches!(q.from, TableRef::Join { kind: JoinKind::Left, .. }));
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn order_by_and_limit_for_historical_queries() {
+    let sql = "SELECT units FROM Orders ORDER BY rowtime DESC LIMIT 10";
+    let q = query(sql);
+    assert!(!q.stream);
+    assert_eq!(q.order_by.len(), 1);
+    assert!(!q.order_by[0].1, "DESC");
+    assert_eq!(q.limit, Some(10));
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn errors_carry_positions() {
+    let err = parse_statement("SELECT STREAM FROM Orders").unwrap_err();
+    assert!(err.line >= 1 && err.column > 1, "{err}");
+    let err = parse_statement("SELECT * Orders").unwrap_err();
+    assert!(err.to_string().contains("expected"), "{err}");
+}
+
+#[test]
+fn unsupported_subquery_forms_are_explicit_errors() {
+    assert!(parse_statement("SELECT * FROM Orders WHERE EXISTS (SELECT 1 FROM X)").is_err());
+}
+
+#[test]
+fn end_keyword_doubles_as_window_bound_aggregate() {
+    // END(ts) from §3.6 must parse even though END also closes CASE.
+    let sql = "SELECT STREAM START(rowtime), END(rowtime), COUNT(*) FROM Orders \
+               GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)";
+    let q = query(sql);
+    match &q.projections[1] {
+        SelectItem::Expr { expr: Expr::Function { name, args, .. }, .. } => {
+            assert_eq!(name, "END");
+            assert_eq!(args.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_roundtrip(sql);
+}
+
+#[test]
+fn not_between() {
+    use samzasql_parser::parse_expression;
+    let e = parse_expression("x NOT BETWEEN 1 AND 5").unwrap();
+    assert!(matches!(e, Expr::Between { negated: true, .. }));
+}
+
+#[test]
+fn is_null_forms() {
+    use samzasql_parser::parse_expression;
+    assert!(matches!(
+        parse_expression("x IS NULL").unwrap(),
+        Expr::IsNull { negated: false, .. }
+    ));
+    assert!(matches!(
+        parse_expression("x IS NOT NULL").unwrap(),
+        Expr::IsNull { negated: true, .. }
+    ));
+}
+
+#[test]
+fn cast_expression() {
+    use samzasql_parser::parse_expression;
+    match parse_expression("CAST(units AS bigint)").unwrap() {
+        Expr::Cast { type_name, .. } => assert_eq!(type_name, "bigint"),
+        other => panic!("{other:?}"),
+    }
+}

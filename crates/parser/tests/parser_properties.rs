@@ -1,0 +1,98 @@
+//! Property tests for the parser: print∘parse is the identity on generated
+//! queries, and the lexer/parser never panic on arbitrary input.
+
+use proptest::prelude::*;
+use samzasql_parser::printer::print_statement;
+use samzasql_parser::{parse_statement, Statement};
+
+/// Generate random (valid) SELECT queries from a small grammar.
+fn query_strategy() -> impl Strategy<Value = String> {
+    let ident = prop_oneof![
+        Just("Orders".to_string()),
+        Just("rowtime".to_string()),
+        Just("productId".to_string()),
+        Just("units".to_string()),
+        Just("orderId".to_string()),
+    ];
+    let atom = prop_oneof![
+        ident.clone(),
+        (-1000i64..1000).prop_map(|n| n.to_string()),
+        Just("'text'".to_string()),
+        Just("TRUE".to_string()),
+        Just("NULL".to_string()),
+        Just("INTERVAL '5' MINUTE".to_string()),
+    ];
+    // Arithmetic-only expressions: used both in projections and (compared
+    // against 0) in WHERE, so no chained comparisons are generated.
+    let expr = (atom.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], atom)
+        .prop_map(|(l, op, r)| format!("{l} {op} {r}"));
+    let projection = prop::collection::vec(
+        prop_oneof![
+            ident.clone().prop_map(|i| i.to_string()),
+            expr.clone().prop_map(|e| format!("{e} AS x")),
+            Just("COUNT(*) AS c".to_string()),
+        ],
+        1..4,
+    )
+    .prop_map(|items| items.join(", "));
+    (any::<bool>(), projection, prop::option::of(expr), any::<bool>()).prop_map(
+        |(stream, proj, where_clause, group)| {
+            let mut q = String::from("SELECT ");
+            if stream && !group {
+                q.push_str("STREAM ");
+            }
+            if group {
+                q = "SELECT productId, COUNT(*) AS c".to_string();
+            } else {
+                q.push_str(&proj);
+            }
+            q.push_str(" FROM Orders");
+            if let Some(w) = where_clause {
+                q.push_str(&format!(" WHERE {w} > 0"));
+            }
+            if group {
+                q.push_str(" GROUP BY productId");
+            }
+            q
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print(parse(q)) re-parses to the same AST.
+    #[test]
+    fn print_parse_fixpoint(q in query_strategy()) {
+        let first: Statement = parse_statement(&q).unwrap();
+        let printed = print_statement(&first);
+        let second = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("printed form failed to parse: {printed:?}: {e}"));
+        prop_assert_eq!(first, second);
+    }
+
+    /// The parser returns Ok or Err but never panics, on arbitrary ASCII.
+    #[test]
+    fn parser_never_panics_on_ascii(input in "[ -~]{0,200}") {
+        let _ = parse_statement(&input);
+    }
+
+    /// Nor on arbitrary unicode.
+    #[test]
+    fn parser_never_panics_on_unicode(input in "\\PC{0,100}") {
+        let _ = parse_statement(&input);
+    }
+
+    /// Keyword case-insensitivity: upper/lower/mixed case parse identically
+    /// (identifiers preserved, keywords normalized).
+    #[test]
+    fn keyword_case_insensitive(upper in any::<bool>()) {
+        let sql = if upper {
+            "SELECT STREAM ROWTIME FROM Orders WHERE UNITS > 50"
+        } else {
+            "select stream ROWTIME from Orders where UNITS > 50"
+        };
+        let stmt = parse_statement(sql).unwrap();
+        prop_assert!(stmt.as_query().unwrap().stream);
+    }
+}

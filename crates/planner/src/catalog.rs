@@ -1,0 +1,239 @@
+//! The catalog: streams, tables, and views known to the planner.
+//!
+//! §3.2: SamzaSQL "depends on both the Kafka schema registry and Calcite's
+//! built-in JSON based schema descriptions to provide the query planner with
+//! the metadata necessary for query planning." The catalog wraps a
+//! [`SchemaRegistry`] and adds SamzaSQL-specific metadata: object kind,
+//! backing topic, the designated event-timestamp column (§3.1 requires one on
+//! every stream), and the stream's partitioning key (used to decide when a
+//! join needs repartitioning).
+
+use crate::error::{PlanError, Result};
+use samzasql_parser::ast::Query;
+use samzasql_serde::{Schema, SchemaRegistry};
+use std::collections::BTreeMap;
+
+/// What kind of relation a catalog object is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// A partitioned, append-only stream backed by a topic.
+    Stream,
+    /// A relation available as a changelog stream (bootstrap-joinable).
+    Table,
+    /// A named query (§3.5).
+    View,
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone)]
+pub struct CatalogObject {
+    pub name: String,
+    pub kind: ObjectKind,
+    /// Record schema of the object's tuples (empty for views, whose schema
+    /// derives from their definition).
+    pub schema: Schema,
+    /// Backing topic (streams: the stream topic; tables: the changelog).
+    pub topic: Option<String>,
+    /// Event-time column name (streams only; §3.1 requires it).
+    pub timestamp_field: Option<String>,
+    /// Column the producer partitions by, when known.
+    pub partition_key: Option<String>,
+    /// View definition.
+    pub view: Option<ViewDef>,
+}
+
+/// A stored view: optional column renames plus the defining query.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    pub columns: Vec<String>,
+    pub query: Query,
+}
+
+/// Name-insensitive catalog of relations.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    objects: BTreeMap<String, CatalogObject>,
+    registry: SchemaRegistry,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Create a catalog sharing an existing schema registry.
+    pub fn with_registry(registry: SchemaRegistry) -> Self {
+        Catalog { objects: BTreeMap::new(), registry }
+    }
+
+    /// The backing schema registry.
+    pub fn registry(&self) -> &SchemaRegistry {
+        &self.registry
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    fn insert(&mut self, obj: CatalogObject) -> Result<()> {
+        let key = Self::key(&obj.name);
+        if self.objects.contains_key(&key) {
+            return Err(PlanError::Catalog(format!("relation {} already exists", obj.name)));
+        }
+        if let (Some(topic), Schema::Record { .. }) = (&obj.topic, &obj.schema) {
+            self.registry
+                .register(&format!("{topic}-value"), obj.schema.clone())
+                .map_err(|e| PlanError::Catalog(e.to_string()))?;
+        }
+        self.objects.insert(key, obj);
+        Ok(())
+    }
+
+    /// Register a stream backed by `topic`, with its event-time column.
+    pub fn register_stream(
+        &mut self,
+        name: impl Into<String>,
+        topic: impl Into<String>,
+        schema: Schema,
+        timestamp_field: &str,
+    ) -> Result<()> {
+        let name = name.into();
+        if schema.field_index(timestamp_field).is_none() {
+            return Err(PlanError::Catalog(format!(
+                "stream {name}: timestamp field {timestamp_field} not in schema"
+            )));
+        }
+        self.insert(CatalogObject {
+            name,
+            kind: ObjectKind::Stream,
+            schema,
+            topic: Some(topic.into()),
+            timestamp_field: Some(timestamp_field.to_string()),
+            partition_key: None,
+            view: None,
+        })
+    }
+
+    /// Register a table available as a changelog stream.
+    pub fn register_table(
+        &mut self,
+        name: impl Into<String>,
+        changelog_topic: impl Into<String>,
+        schema: Schema,
+    ) -> Result<()> {
+        self.insert(CatalogObject {
+            name: name.into(),
+            kind: ObjectKind::Table,
+            schema,
+            topic: Some(changelog_topic.into()),
+            timestamp_field: None,
+            partition_key: None,
+            view: None,
+        })
+    }
+
+    /// Register a view over a parsed query.
+    pub fn register_view(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<String>,
+        query: Query,
+    ) -> Result<()> {
+        self.insert(CatalogObject {
+            name: name.into(),
+            kind: ObjectKind::View,
+            schema: Schema::Null,
+            topic: None,
+            timestamp_field: None,
+            partition_key: None,
+            view: Some(ViewDef { columns, query }),
+        })
+    }
+
+    /// Declare the partitioning column of an existing stream or table.
+    pub fn set_partition_key(&mut self, name: &str, key_column: &str) -> Result<()> {
+        let obj = self
+            .objects
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| PlanError::UnknownRelation(name.to_string()))?;
+        if obj.schema.field_index(key_column).is_none() {
+            return Err(PlanError::Catalog(format!(
+                "{name}: partition key {key_column} not in schema"
+            )));
+        }
+        obj.partition_key = Some(key_column.to_string());
+        Ok(())
+    }
+
+    /// Case-insensitive lookup.
+    pub fn get(&self, name: &str) -> Result<&CatalogObject> {
+        self.objects
+            .get(&Self::key(name))
+            .ok_or_else(|| PlanError::UnknownRelation(name.to_string()))
+    }
+
+    /// All object names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.objects.values().map(|o| o.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders_schema() -> Schema {
+        Schema::record(
+            "Orders",
+            vec![
+                ("rowtime", Schema::Timestamp),
+                ("productId", Schema::Int),
+                ("units", Schema::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+        assert_eq!(c.get("orders").unwrap().name, "Orders");
+        assert_eq!(c.get("ORDERS").unwrap().kind, ObjectKind::Stream);
+        assert!(c.get("missing").is_err());
+    }
+
+    #[test]
+    fn stream_requires_timestamp_field_in_schema() {
+        let mut c = Catalog::new();
+        assert!(matches!(
+            c.register_stream("Orders", "orders", orders_schema(), "nope"),
+            Err(PlanError::Catalog(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Catalog::new();
+        c.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+        assert!(c
+            .register_table("orders", "orders-changelog", orders_schema())
+            .is_err());
+    }
+
+    #[test]
+    fn registration_publishes_schema_to_registry() {
+        let mut c = Catalog::new();
+        c.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+        let reg = c.registry().latest("orders-value").unwrap();
+        assert_eq!(reg.schema, orders_schema());
+    }
+
+    #[test]
+    fn partition_key_must_exist() {
+        let mut c = Catalog::new();
+        c.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+        assert!(c.set_partition_key("Orders", "productId").is_ok());
+        assert!(c.set_partition_key("Orders", "ghost").is_err());
+        assert_eq!(c.get("Orders").unwrap().partition_key.as_deref(), Some("productId"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Planning and validation errors.
+
+use samzasql_parser::ParseError;
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, PlanError>;
+
+/// Errors from parsing, validation, or physical planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The SQL failed to parse.
+    Parse(ParseError),
+    /// Unknown stream/table/view.
+    UnknownRelation(String),
+    /// Unknown column, with the scope it was looked up in.
+    UnknownColumn { column: String, scope: String },
+    /// Ambiguous unqualified column.
+    AmbiguousColumn(String),
+    /// A type error in an expression.
+    Type(String),
+    /// Valid SQL that this dialect/engine does not support.
+    Unsupported(String),
+    /// Semantic violations (e.g. aggregates outside GROUP BY context).
+    Semantic(String),
+    /// Catalog registration problems.
+    Catalog(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Parse(e) => write!(f, "{e}"),
+            PlanError::UnknownRelation(r) => write!(f, "unknown stream or table: {r}"),
+            PlanError::UnknownColumn { column, scope } => {
+                write!(f, "unknown column {column} in {scope}")
+            }
+            PlanError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            PlanError::Type(msg) => write!(f, "type error: {msg}"),
+            PlanError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            PlanError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            PlanError::Catalog(msg) => write!(f, "catalog error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<ParseError> for PlanError {
+    fn from(e: ParseError) -> Self {
+        PlanError::Parse(e)
+    }
+}

@@ -1,0 +1,52 @@
+//! # samzasql-planner
+//!
+//! The Calcite-like query-planning substrate: catalog, validator, logical
+//! relational algebra, rule-based optimizer, and physical plans for the
+//! SamzaSQL operator layer.
+//!
+//! Planning follows the paper's pipeline (§4.2, Figure 3):
+//!
+//! ```text
+//! SQL text ──parse──▶ AST ──validate──▶ logical plan ──optimize──▶
+//!     optimized logical plan ──to_physical──▶ SamzaSQL physical plan
+//! ```
+//!
+//! The physical plan is a tree of relational operators (scan at the leaves;
+//! filter/project/window/join above; an insert at the root) that the
+//! `samzasql-core` crate turns into an operator DAG ("message router") inside
+//! each Samza task. Two-step planning works by shipping the *SQL text* plus
+//! catalog metadata through the metadata store and re-running this planner at
+//! task initialization — which is exactly what SamzaSQL does with ZooKeeper.
+//!
+//! ```
+//! use samzasql_planner::{Catalog, Planner};
+//! use samzasql_serde::Schema;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register_stream("Orders", "orders", Schema::record("Orders", vec![
+//!     ("rowtime", Schema::Timestamp),
+//!     ("productId", Schema::Int),
+//!     ("orderId", Schema::Long),
+//!     ("units", Schema::Int),
+//! ]), "rowtime").unwrap();
+//!
+//! let planner = Planner::new(catalog);
+//! let plan = planner.plan("SELECT STREAM * FROM Orders WHERE units > 50").unwrap();
+//! assert!(plan.is_stream);
+//! ```
+
+pub mod catalog;
+pub mod error;
+pub mod logical;
+pub mod physical;
+pub mod planner_api;
+pub mod rules;
+pub mod types;
+pub mod validator;
+
+pub use catalog::{Catalog, CatalogObject, ObjectKind};
+pub use error::{PlanError, Result};
+pub use logical::{AggCall, AggFunc, GroupWindow, LogicalPlan, TimeBound};
+pub use physical::PhysicalPlan;
+pub use planner_api::{PlannedQuery, Planner};
+pub use types::{BinOp, ScalarExpr, ScalarFunc};

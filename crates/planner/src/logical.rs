@@ -1,0 +1,448 @@
+//! Logical relational algebra.
+//!
+//! "The physical plan is a tree of relational algebra operators such as scan,
+//! filter, project and join where scan operators are at the leaf nodes"
+//! (§4.2) — this module is the logical counterpart the optimizer rewrites
+//! before physical conversion.
+
+use crate::catalog::ObjectKind;
+use crate::types::ScalarExpr;
+use samzasql_parser::ast::JoinKind;
+use samzasql_serde::Schema;
+
+/// Aggregate functions, including the paper's window-bound aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    /// `START(ts)` — window start bound (§3.6).
+    Start,
+    /// `END(ts)` — window end bound (§3.6).
+    End,
+    /// A user-defined aggregate resolved at runtime by name (the concrete
+    /// API the paper lists as future work; see `samzasql-core::udaf`).
+    UserDefined(String),
+}
+
+impl AggFunc {
+    /// Resolve a built-in by SQL name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            "AVG" => AggFunc::Avg,
+            "START" => AggFunc::Start,
+            "END" => AggFunc::End,
+            _ => return None,
+        })
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            AggFunc::CountStar => "COUNT(*)".into(),
+            AggFunc::Count => "COUNT".into(),
+            AggFunc::Sum => "SUM".into(),
+            AggFunc::Min => "MIN".into(),
+            AggFunc::Max => "MAX".into(),
+            AggFunc::Avg => "AVG".into(),
+            AggFunc::Start => "START".into(),
+            AggFunc::End => "END".into(),
+            AggFunc::UserDefined(n) => n.clone(),
+        }
+    }
+
+    /// Result type given the argument type.
+    pub fn result_type(&self, arg: Option<&Schema>) -> Schema {
+        match self {
+            AggFunc::CountStar | AggFunc::Count => Schema::Long,
+            AggFunc::Sum => match arg {
+                Some(Schema::Double) | Some(Schema::Float) => Schema::Double,
+                Some(Schema::Long) => Schema::Long,
+                _ => Schema::Long,
+            },
+            // MIN/MAX/AVG are NULL over an empty set, and a UDAF may return
+            // NULL — their columns are nullable. UDAFs return DOUBLE (typed
+            // UDAF registration is a possible extension).
+            AggFunc::Min | AggFunc::Max => arg.cloned().unwrap_or(Schema::Long).optional(),
+            AggFunc::Avg => Schema::Double.optional(),
+            AggFunc::Start | AggFunc::End => Schema::Timestamp,
+            AggFunc::UserDefined(_) => Schema::Double.optional(),
+        }
+    }
+}
+
+/// One aggregate call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    pub func: AggFunc,
+    /// Argument expression over the aggregate's input; `None` for COUNT(*).
+    pub arg: Option<ScalarExpr>,
+    pub distinct: bool,
+    /// Output column name.
+    pub output_name: String,
+}
+
+impl AggCall {
+    /// Result type of this call.
+    pub fn result_type(&self) -> Schema {
+        self.func.result_type(self.arg.as_ref().map(|a| a.ty()).as_ref())
+    }
+}
+
+/// Group-by window variants for streaming aggregates (§3.6).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupWindow {
+    /// Plain relational GROUP BY (bounded input, or FLOOR(ts TO unit) keys).
+    None,
+    /// `TUMBLE(ts, size)`.
+    Tumble { ts_index: usize, size_ms: i64 },
+    /// `HOP(ts, emit, retain, align)` — `retain` need not be a multiple of
+    /// `emit` (§3.6).
+    Hop { ts_index: usize, emit_ms: i64, retain_ms: i64, align_ms: i64 },
+}
+
+/// Sliding-window time bound extracted from a stream-to-stream join
+/// condition (§3.8.1): `left_ts BETWEEN right_ts - lower AND right_ts +
+/// upper`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeBound {
+    /// Index of the timestamp column in the LEFT input's own output space.
+    pub left_ts: usize,
+    /// Index of the timestamp column in the RIGHT input's own output space.
+    pub right_ts: usize,
+    /// Lower slack in milliseconds.
+    pub lower_ms: i64,
+    /// Upper slack in milliseconds.
+    pub upper_ms: i64,
+}
+
+/// The logical plan tree. Every node knows its output column names and
+/// types; input refs in expressions index that output space of the child.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    Scan {
+        object: String,
+        kind: ObjectKind,
+        topic: String,
+        names: Vec<String>,
+        types: Vec<Schema>,
+        /// Continuous (STREAM keyword) vs bounded historical scan (§3.3).
+        stream: bool,
+        /// Index of the event-time column, when present.
+        ts_index: Option<usize>,
+    },
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: ScalarExpr,
+    },
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<ScalarExpr>,
+        names: Vec<String>,
+    },
+    Aggregate {
+        input: Box<LogicalPlan>,
+        window: GroupWindow,
+        keys: Vec<ScalarExpr>,
+        key_names: Vec<String>,
+        aggs: Vec<AggCall>,
+    },
+    /// Analytic (OVER) sliding window: appends one column per agg call to the
+    /// input row (one row out per row in, §3.7).
+    SlidingWindow {
+        input: Box<LogicalPlan>,
+        partition_by: Vec<ScalarExpr>,
+        /// Index of the ORDER BY timestamp column in the input.
+        ts_index: usize,
+        /// RANGE frame in milliseconds (time domain) or ROWS count (tuple
+        /// domain); `None` bound means unbounded preceding.
+        range_ms: Option<i64>,
+        rows: Option<u64>,
+        aggs: Vec<AggCall>,
+    },
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        kind: JoinKind,
+        /// Equi-join key pairs as (left output index, right output index).
+        equi: Vec<(usize, usize)>,
+        /// Stream-to-stream window bound.
+        time_bound: Option<TimeBound>,
+        /// Residual non-equi predicate over the joined row.
+        residual: Option<ScalarExpr>,
+    },
+}
+
+impl LogicalPlan {
+    /// Output column names.
+    pub fn output_names(&self) -> Vec<String> {
+        match self {
+            LogicalPlan::Scan { names, .. } => names.clone(),
+            LogicalPlan::Filter { input, .. } => input.output_names(),
+            LogicalPlan::Project { names, .. } => names.clone(),
+            LogicalPlan::Aggregate { key_names, aggs, .. } => {
+                let mut out = key_names.clone();
+                out.extend(aggs.iter().map(|a| a.output_name.clone()));
+                out
+            }
+            LogicalPlan::SlidingWindow { input, aggs, .. } => {
+                let mut out = input.output_names();
+                out.extend(aggs.iter().map(|a| a.output_name.clone()));
+                out
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                let mut out = left.output_names();
+                out.extend(right.output_names());
+                out
+            }
+        }
+    }
+
+    /// Output column types.
+    pub fn output_types(&self) -> Vec<Schema> {
+        match self {
+            LogicalPlan::Scan { types, .. } => types.clone(),
+            LogicalPlan::Filter { input, .. } => input.output_types(),
+            LogicalPlan::Project { exprs, .. } => exprs.iter().map(|e| e.ty()).collect(),
+            LogicalPlan::Aggregate { keys, aggs, .. } => {
+                let mut out: Vec<Schema> = keys.iter().map(|k| k.ty()).collect();
+                out.extend(aggs.iter().map(|a| a.result_type()));
+                out
+            }
+            LogicalPlan::SlidingWindow { input, aggs, .. } => {
+                let mut out = input.output_types();
+                out.extend(aggs.iter().map(|a| a.result_type()));
+                out
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                let mut out = left.output_types();
+                out.extend(right.output_types());
+                out
+            }
+        }
+    }
+
+    /// Output arity.
+    pub fn arity(&self) -> usize {
+        self.output_names().len()
+    }
+
+    /// Whether this plan produces a continuous stream.
+    pub fn is_stream(&self) -> bool {
+        match self {
+            LogicalPlan::Scan { stream, .. } => *stream,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::SlidingWindow { input, .. } => input.is_stream(),
+            LogicalPlan::Join { left, right, .. } => left.is_stream() || right.is_stream(),
+        }
+    }
+
+    /// Index of the event-time column in the output, tracked through
+    /// projections (the "timestamp propagation" concern from §7).
+    pub fn timestamp_index(&self) -> Option<usize> {
+        match self {
+            LogicalPlan::Scan { ts_index, .. } => *ts_index,
+            LogicalPlan::Filter { input, .. } => input.timestamp_index(),
+            LogicalPlan::Project { input, exprs, .. } => {
+                let ts = input.timestamp_index()?;
+                exprs.iter().position(|e| matches!(e, ScalarExpr::InputRef { index, .. } if *index == ts))
+            }
+            LogicalPlan::Aggregate { window, .. } => match window {
+                // START() of the window is re-exposed via agg calls, not a
+                // pass-through column; conservatively report none unless the
+                // first agg is START.
+                GroupWindow::None => None,
+                _ => None,
+            },
+            LogicalPlan::SlidingWindow { input, .. } => input.timestamp_index(),
+            LogicalPlan::Join { left, right, .. } => {
+                left.timestamp_index().or_else(|| {
+                    right.timestamp_index().map(|i| left.arity() + i)
+                })
+            }
+        }
+    }
+
+    /// Multi-line indented plan rendering (EXPLAIN output).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { object, stream, topic, .. } => {
+                out.push_str(&format!(
+                    "{pad}Scan[{object}{}] topic={topic}\n",
+                    if *stream { ", stream" } else { ", bounded" }
+                ));
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!(
+                    "{pad}Filter[{}]\n",
+                    predicate.display(&input.output_names())
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            LogicalPlan::Project { input, exprs, names } => {
+                let inner = input.output_names();
+                let items: Vec<String> = exprs
+                    .iter()
+                    .zip(names)
+                    .map(|(e, n)| format!("{}={}", n, e.display(&inner)))
+                    .collect();
+                out.push_str(&format!("{pad}Project[{}]\n", items.join(", ")));
+                input.explain_into(depth + 1, out);
+            }
+            LogicalPlan::Aggregate { input, window, keys, aggs, .. } => {
+                let inner = input.output_names();
+                let keys: Vec<String> = keys.iter().map(|k| k.display(&inner)).collect();
+                let aggs: Vec<String> = aggs.iter().map(|a| a.func.name()).collect();
+                let w = match window {
+                    GroupWindow::None => "".to_string(),
+                    GroupWindow::Tumble { size_ms, .. } => format!(" tumble={size_ms}ms"),
+                    GroupWindow::Hop { emit_ms, retain_ms, .. } => {
+                        format!(" hop=emit:{emit_ms}ms,retain:{retain_ms}ms")
+                    }
+                };
+                out.push_str(&format!(
+                    "{pad}Aggregate[keys=({}) aggs=({}){w}]\n",
+                    keys.join(", "),
+                    aggs.join(", ")
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            LogicalPlan::SlidingWindow { input, range_ms, rows, aggs, .. } => {
+                let frame = match (range_ms, rows) {
+                    (Some(ms), _) => format!("range={ms}ms"),
+                    (None, Some(n)) => format!("rows={n}"),
+                    (None, None) => "unbounded".to_string(),
+                };
+                let aggs: Vec<String> = aggs.iter().map(|a| a.func.name()).collect();
+                out.push_str(&format!(
+                    "{pad}SlidingWindow[{frame} aggs=({})]\n",
+                    aggs.join(", ")
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            LogicalPlan::Join { left, right, kind, equi, time_bound, .. } => {
+                let tb = match time_bound {
+                    Some(b) => format!(" window=[-{}ms,+{}ms]", b.lower_ms, b.upper_ms),
+                    None => String::new(),
+                };
+                out.push_str(&format!("{pad}Join[{kind:?} on {equi:?}{tb}]\n"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(stream: bool) -> LogicalPlan {
+        LogicalPlan::Scan {
+            object: "Orders".into(),
+            kind: ObjectKind::Stream,
+            topic: "orders".into(),
+            names: vec!["rowtime".into(), "productId".into(), "units".into()],
+            types: vec![Schema::Timestamp, Schema::Int, Schema::Int],
+            stream,
+            ts_index: Some(0),
+        }
+    }
+
+    #[test]
+    fn output_shape_through_project() {
+        let p = LogicalPlan::Project {
+            input: Box::new(scan(true)),
+            exprs: vec![
+                ScalarExpr::input(2, Schema::Int),
+                ScalarExpr::input(0, Schema::Timestamp),
+            ],
+            names: vec!["units".into(), "rowtime".into()],
+        };
+        assert_eq!(p.output_names(), vec!["units", "rowtime"]);
+        assert_eq!(p.output_types(), vec![Schema::Int, Schema::Timestamp]);
+        assert_eq!(p.timestamp_index(), Some(1), "timestamp tracked through reorder");
+        assert!(p.is_stream());
+    }
+
+    #[test]
+    fn dropping_timestamp_loses_index() {
+        let p = LogicalPlan::Project {
+            input: Box::new(scan(true)),
+            exprs: vec![ScalarExpr::input(2, Schema::Int)],
+            names: vec!["units".into()],
+        };
+        assert_eq!(p.timestamp_index(), None);
+    }
+
+    #[test]
+    fn join_output_concatenates() {
+        let j = LogicalPlan::Join {
+            left: Box::new(scan(true)),
+            right: Box::new(scan(false)),
+            kind: JoinKind::Inner,
+            equi: vec![(1, 1)],
+            time_bound: None,
+            residual: None,
+        };
+        assert_eq!(j.arity(), 6);
+        assert!(j.is_stream(), "stream ⋈ bounded is a stream");
+    }
+
+    #[test]
+    fn agg_result_types() {
+        let count = AggCall {
+            func: AggFunc::CountStar,
+            arg: None,
+            distinct: false,
+            output_name: "c".into(),
+        };
+        assert_eq!(count.result_type(), Schema::Long);
+        let avg = AggCall {
+            func: AggFunc::Avg,
+            arg: Some(ScalarExpr::input(0, Schema::Int)),
+            distinct: false,
+            output_name: "a".into(),
+        };
+        assert_eq!(avg.result_type(), Schema::Double.optional());
+        let start = AggCall {
+            func: AggFunc::Start,
+            arg: Some(ScalarExpr::input(0, Schema::Timestamp)),
+            distinct: false,
+            output_name: "s".into(),
+        };
+        assert_eq!(start.result_type(), Schema::Timestamp);
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let f = LogicalPlan::Filter {
+            input: Box::new(scan(true)),
+            predicate: ScalarExpr::Binary {
+                op: crate::types::BinOp::Gt,
+                left: Box::new(ScalarExpr::input(2, Schema::Int)),
+                right: Box::new(ScalarExpr::Literal(samzasql_serde::Value::Int(50))),
+                ty: Schema::Boolean,
+            },
+        };
+        let text = f.explain();
+        assert!(text.contains("Filter[units > 50]"), "{text}");
+        assert!(text.contains("Scan[Orders, stream]"), "{text}");
+    }
+}

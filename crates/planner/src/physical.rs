@@ -1,0 +1,452 @@
+//! Physical plans: the SamzaSQL operator-layer tree.
+//!
+//! Conversion from the optimized logical plan decides *how* each relational
+//! operator executes on Samza:
+//!
+//! * stream-to-relation joins become bootstrap-stream joins against a local
+//!   KV cache (§4.4);
+//! * stream-to-stream joins become symmetric windowed joins keeping both
+//!   sides' recent tuples in local state (§3.8.1);
+//! * a [`PhysicalPlan::Repartition`] stage is inserted when a join needs the
+//!   stream keyed differently than the producer partitioned it — the paper
+//!   lists this as future work (§7); we implement the basic form.
+
+use crate::catalog::{Catalog, ObjectKind};
+use crate::error::{PlanError, Result};
+use crate::logical::{AggCall, GroupWindow, LogicalPlan, TimeBound};
+use crate::types::ScalarExpr;
+use samzasql_parser::ast::JoinKind;
+use samzasql_serde::{Schema, SerdeFormat};
+
+/// The physical operator tree executed inside each SamzaSQL task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Leaf: consume a topic, decode messages (Avro→array, Figure 4).
+    Scan {
+        topic: String,
+        names: Vec<String>,
+        types: Vec<Schema>,
+        format: SerdeFormat,
+        /// Bounded scans stop at the offset captured at job start (§3.3,
+        /// stream-as-table).
+        bounded: bool,
+        ts_index: Option<usize>,
+    },
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: ScalarExpr,
+    },
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<ScalarExpr>,
+        names: Vec<String>,
+    },
+    /// Hopping/tumbling aggregate operator ("streaming aggregate", §4.3).
+    WindowAggregate {
+        input: Box<PhysicalPlan>,
+        window: GroupWindow,
+        keys: Vec<ScalarExpr>,
+        key_names: Vec<String>,
+        aggs: Vec<AggCall>,
+    },
+    /// The sliding-window operator of Algorithm 1.
+    SlidingWindow {
+        input: Box<PhysicalPlan>,
+        partition_by: Vec<ScalarExpr>,
+        ts_index: usize,
+        range_ms: Option<i64>,
+        rows: Option<u64>,
+        aggs: Vec<AggCall>,
+    },
+    /// Symmetric windowed stream-to-stream join.
+    StreamToStreamJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        kind: JoinKind,
+        equi: Vec<(usize, usize)>,
+        time_bound: TimeBound,
+        residual: Option<ScalarExpr>,
+    },
+    /// Stream joined against a bootstrap-cached relation (§4.4).
+    StreamToRelationJoin {
+        stream: Box<PhysicalPlan>,
+        relation_topic: String,
+        relation_names: Vec<String>,
+        relation_types: Vec<Schema>,
+        /// Index of the relation's key column for the cache.
+        relation_key: usize,
+        /// Equi pairs as (stream output index, relation index).
+        equi: Vec<(usize, usize)>,
+        /// True when the stream is the left side of the original join
+        /// (controls output column order).
+        stream_is_left: bool,
+        kind: JoinKind,
+        residual: Option<ScalarExpr>,
+    },
+    /// Re-key the stream through an intermediate topic (§7 future work).
+    Repartition {
+        input: Box<PhysicalPlan>,
+        key_index: usize,
+    },
+}
+
+impl PhysicalPlan {
+    /// Output column names.
+    pub fn output_names(&self) -> Vec<String> {
+        match self {
+            PhysicalPlan::Scan { names, .. } => names.clone(),
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Repartition { input, .. } => {
+                input.output_names()
+            }
+            PhysicalPlan::Project { names, .. } => names.clone(),
+            PhysicalPlan::WindowAggregate { key_names, aggs, .. } => {
+                let mut out = key_names.clone();
+                out.extend(aggs.iter().map(|a| a.output_name.clone()));
+                out
+            }
+            PhysicalPlan::SlidingWindow { input, aggs, .. } => {
+                let mut out = input.output_names();
+                out.extend(aggs.iter().map(|a| a.output_name.clone()));
+                out
+            }
+            PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
+                let mut out = left.output_names();
+                out.extend(right.output_names());
+                out
+            }
+            PhysicalPlan::StreamToRelationJoin {
+                stream,
+                relation_names,
+                stream_is_left,
+                ..
+            } => {
+                if *stream_is_left {
+                    let mut out = stream.output_names();
+                    out.extend(relation_names.clone());
+                    out
+                } else {
+                    let mut out = relation_names.clone();
+                    out.extend(stream.output_names());
+                    out
+                }
+            }
+        }
+    }
+
+    /// Output column types.
+    pub fn output_types(&self) -> Vec<Schema> {
+        match self {
+            PhysicalPlan::Scan { types, .. } => types.clone(),
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Repartition { input, .. } => {
+                input.output_types()
+            }
+            PhysicalPlan::Project { exprs, .. } => exprs.iter().map(|e| e.ty()).collect(),
+            PhysicalPlan::WindowAggregate { keys, aggs, .. } => {
+                let mut out: Vec<Schema> = keys.iter().map(|k| k.ty()).collect();
+                out.extend(aggs.iter().map(|a| a.result_type()));
+                out
+            }
+            PhysicalPlan::SlidingWindow { input, aggs, .. } => {
+                let mut out = input.output_types();
+                out.extend(aggs.iter().map(|a| a.result_type()));
+                out
+            }
+            PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
+                let mut out = left.output_types();
+                out.extend(right.output_types());
+                out
+            }
+            PhysicalPlan::StreamToRelationJoin {
+                stream,
+                relation_types,
+                stream_is_left,
+                ..
+            } => {
+                if *stream_is_left {
+                    let mut out = stream.output_types();
+                    out.extend(relation_types.clone());
+                    out
+                } else {
+                    let mut out = relation_types.clone();
+                    out.extend(stream.output_types());
+                    out
+                }
+            }
+        }
+    }
+
+    /// Topics this plan consumes, with a bootstrap flag per topic.
+    pub fn input_topics(&self) -> Vec<(String, bool)> {
+        let mut out = Vec::new();
+        self.collect_topics(&mut out);
+        out
+    }
+
+    fn collect_topics(&self, out: &mut Vec<(String, bool)>) {
+        match self {
+            PhysicalPlan::Scan { topic, .. } => out.push((topic.clone(), false)),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::WindowAggregate { input, .. }
+            | PhysicalPlan::SlidingWindow { input, .. }
+            | PhysicalPlan::Repartition { input, .. } => input.collect_topics(out),
+            PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
+                left.collect_topics(out);
+                right.collect_topics(out);
+            }
+            PhysicalPlan::StreamToRelationJoin { stream, relation_topic, .. } => {
+                stream.collect_topics(out);
+                out.push((relation_topic.clone(), true));
+            }
+        }
+    }
+
+    /// True when the plan keeps task-local window/join state (needs a store).
+    pub fn needs_local_state(&self) -> bool {
+        match self {
+            PhysicalPlan::Scan { .. } => false,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Repartition { input, .. } => input.needs_local_state(),
+            PhysicalPlan::WindowAggregate { .. }
+            | PhysicalPlan::SlidingWindow { .. }
+            | PhysicalPlan::StreamToStreamJoin { .. }
+            | PhysicalPlan::StreamToRelationJoin { .. } => true,
+        }
+    }
+
+    /// Indented plan rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::Scan { topic, bounded, format, .. } => out.push_str(&format!(
+                "{pad}ScanOp[topic={topic}, format={format}{}]\n",
+                if *bounded { ", bounded" } else { "" }
+            )),
+            PhysicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!(
+                    "{pad}FilterOp[{}]\n",
+                    predicate.display(&input.output_names())
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::Project { input, exprs, names } => {
+                let inner = input.output_names();
+                let items: Vec<String> = exprs
+                    .iter()
+                    .zip(names)
+                    .map(|(e, n)| format!("{n}={}", e.display(&inner)))
+                    .collect();
+                out.push_str(&format!("{pad}ProjectOp[{}]\n", items.join(", ")));
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::WindowAggregate { input, window, aggs, .. } => {
+                let w = match window {
+                    GroupWindow::None => "relational".to_string(),
+                    GroupWindow::Tumble { size_ms, .. } => format!("tumble({size_ms}ms)"),
+                    GroupWindow::Hop { emit_ms, retain_ms, align_ms, .. } => {
+                        format!("hop(emit={emit_ms}ms, retain={retain_ms}ms, align={align_ms}ms)")
+                    }
+                };
+                let aggs: Vec<String> = aggs.iter().map(|a| a.func.name()).collect();
+                out.push_str(&format!("{pad}WindowAggregateOp[{w}, aggs=({})]\n", aggs.join(", ")));
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::SlidingWindow { input, range_ms, rows, aggs, .. } => {
+                let frame = match (range_ms, rows) {
+                    (Some(ms), _) => format!("range={ms}ms"),
+                    (None, Some(n)) => format!("rows={n}"),
+                    (None, None) => "unbounded".into(),
+                };
+                let aggs: Vec<String> = aggs.iter().map(|a| a.func.name()).collect();
+                out.push_str(&format!(
+                    "{pad}SlidingWindowOp[{frame}, aggs=({})]\n",
+                    aggs.join(", ")
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::StreamToStreamJoin { left, right, time_bound, equi, .. } => {
+                out.push_str(&format!(
+                    "{pad}StreamToStreamJoinOp[on {equi:?}, window=[-{}ms,+{}ms]]\n",
+                    time_bound.lower_ms, time_bound.upper_ms
+                ));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::StreamToRelationJoin { stream, relation_topic, equi, .. } => {
+                out.push_str(&format!(
+                    "{pad}StreamToRelationJoinOp[relation={relation_topic} (bootstrap), on {equi:?}]\n"
+                ));
+                stream.explain_into(depth + 1, out);
+            }
+            PhysicalPlan::Repartition { input, key_index } => {
+                out.push_str(&format!("{pad}RepartitionOp[key=#{key_index}]\n"));
+                input.explain_into(depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Convert an optimized logical plan to a physical plan.
+pub fn to_physical(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan> {
+    match plan {
+        LogicalPlan::Scan { object, topic, names, types, stream, ts_index, kind } => {
+            let _ = kind;
+            let _ = object;
+            Ok(PhysicalPlan::Scan {
+                topic: topic.clone(),
+                names: names.clone(),
+                types: types.clone(),
+                format: SerdeFormat::Avro,
+                bounded: !stream,
+                ts_index: *ts_index,
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => Ok(PhysicalPlan::Filter {
+            input: Box::new(to_physical(input, catalog)?),
+            predicate: predicate.clone(),
+        }),
+        LogicalPlan::Project { input, exprs, names } => Ok(PhysicalPlan::Project {
+            input: Box::new(to_physical(input, catalog)?),
+            exprs: exprs.clone(),
+            names: names.clone(),
+        }),
+        LogicalPlan::Aggregate { input, window, keys, key_names, aggs } => {
+            Ok(PhysicalPlan::WindowAggregate {
+                input: Box::new(to_physical(input, catalog)?),
+                window: window.clone(),
+                keys: keys.clone(),
+                key_names: key_names.clone(),
+                aggs: aggs.clone(),
+            })
+        }
+        LogicalPlan::SlidingWindow { input, partition_by, ts_index, range_ms, rows, aggs } => {
+            Ok(PhysicalPlan::SlidingWindow {
+                input: Box::new(to_physical(input, catalog)?),
+                partition_by: partition_by.clone(),
+                ts_index: *ts_index,
+                range_ms: *range_ms,
+                rows: *rows,
+                aggs: aggs.clone(),
+            })
+        }
+        LogicalPlan::Join { left, right, kind, equi, time_bound, residual } => {
+            plan_join(left, right, *kind, equi, *time_bound, residual.clone(), catalog)
+        }
+    }
+}
+
+/// True when the subtree is a relation (bounded table scan, possibly behind
+/// filters/projections) suitable for the bootstrap cache side of a join.
+fn relation_scan(plan: &LogicalPlan) -> Option<(&str, &Vec<String>, &Vec<Schema>)> {
+    match plan {
+        LogicalPlan::Scan { kind: ObjectKind::Table, topic, names, types, .. } => {
+            Some((topic, names, types))
+        }
+        _ => None,
+    }
+}
+
+fn plan_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    kind: JoinKind,
+    equi: &[(usize, usize)],
+    time_bound: Option<TimeBound>,
+    residual: Option<ScalarExpr>,
+    catalog: &Catalog,
+) -> Result<PhysicalPlan> {
+    let left_is_relation = relation_scan(left).is_some();
+    let right_is_relation = relation_scan(right).is_some();
+
+    match (left_is_relation, right_is_relation) {
+        (false, true) | (true, false) => {
+            let (stream_side, relation_side, stream_is_left) = if right_is_relation {
+                (left, right, true)
+            } else {
+                (right, left, false)
+            };
+            let (topic, names, types) =
+                relation_scan(relation_side).expect("checked relation side");
+            // Equi pairs normalized to (stream index, relation index).
+            let norm_equi: Vec<(usize, usize)> = if stream_is_left {
+                equi.to_vec()
+            } else {
+                equi.iter().map(|(l, r)| (*r, *l)).collect()
+            };
+            if norm_equi.len() != 1 {
+                return Err(PlanError::Unsupported(
+                    "stream-to-relation joins support exactly one equi key".into(),
+                ));
+            }
+            let (stream_key, relation_key) = norm_equi[0];
+            let mut stream_plan = to_physical(stream_side, catalog)?;
+            // Repartition when the stream's partitioning column is known and
+            // differs from the join key (§7 future work, implemented).
+            if let LogicalPlan::Scan { object, .. } = find_scan(stream_side) {
+                if let Ok(obj) = catalog.get(object) {
+                    if let Some(pk) = &obj.partition_key {
+                        let stream_names = stream_plan.output_names();
+                        let join_col = stream_names.get(stream_key).cloned().unwrap_or_default();
+                        if !pk.eq_ignore_ascii_case(&join_col) {
+                            stream_plan = PhysicalPlan::Repartition {
+                                input: Box::new(stream_plan),
+                                key_index: stream_key,
+                            };
+                        }
+                    }
+                }
+            }
+            Ok(PhysicalPlan::StreamToRelationJoin {
+                stream: Box::new(stream_plan),
+                relation_topic: topic.to_string(),
+                relation_names: names.clone(),
+                relation_types: types.clone(),
+                relation_key,
+                equi: norm_equi,
+                stream_is_left,
+                kind,
+                residual,
+            })
+        }
+        (false, false) => {
+            let tb = time_bound.ok_or_else(|| {
+                PlanError::Unsupported(
+                    "stream-to-stream joins require a sliding window in the join \
+                     condition (ts BETWEEN other - INTERVAL AND other + INTERVAL)"
+                        .into(),
+                )
+            })?;
+            Ok(PhysicalPlan::StreamToStreamJoin {
+                left: Box::new(to_physical(left, catalog)?),
+                right: Box::new(to_physical(right, catalog)?),
+                kind,
+                equi: equi.to_vec(),
+                time_bound: tb,
+                residual,
+            })
+        }
+        (true, true) => Err(PlanError::Unsupported(
+            "relation-to-relation joins are not executable as streaming jobs; \
+             stage one side as a stream".into(),
+        )),
+    }
+}
+
+/// The (leftmost) scan under a chain of unary nodes.
+fn find_scan(plan: &LogicalPlan) -> &LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::SlidingWindow { input, .. } => find_scan(input),
+        LogicalPlan::Join { left, .. } => find_scan(left),
+        scan => scan,
+    }
+}

@@ -1,0 +1,131 @@
+//! The planner façade: SQL text in, physical plan out.
+
+use crate::catalog::Catalog;
+use crate::error::{PlanError, Result};
+use crate::logical::LogicalPlan;
+use crate::physical::{to_physical, PhysicalPlan};
+use crate::rules::optimize;
+use crate::validator::validate_query;
+use samzasql_parser::{parse_statement, Statement};
+use samzasql_serde::Schema;
+
+/// The result of planning one query.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// Original SQL (shipped through the metadata store for step-two
+    /// planning at task init).
+    pub sql: String,
+    /// The optimized logical plan.
+    pub logical: LogicalPlan,
+    /// The physical plan the operator layer instantiates.
+    pub physical: PhysicalPlan,
+    /// Planner warnings (timestamp-propagation etc., §7).
+    pub warnings: Vec<String>,
+    /// Whether this is a continuous query.
+    pub is_stream: bool,
+    /// Output column names.
+    pub output_names: Vec<String>,
+    /// Output column types.
+    pub output_types: Vec<Schema>,
+    /// ORDER BY keys over the output (bounded queries only).
+    pub order_by: Vec<(crate::types::ScalarExpr, bool)>,
+    /// LIMIT (bounded queries only).
+    pub limit: Option<u64>,
+}
+
+impl PlannedQuery {
+    /// The output record schema, for registering the result topic.
+    pub fn output_schema(&self, record_name: &str) -> Schema {
+        Schema::Record {
+            name: record_name.to_string(),
+            fields: self
+                .output_names
+                .iter()
+                .zip(&self.output_types)
+                .map(|(n, t)| samzasql_serde::Field { name: n.clone(), schema: t.clone() })
+                .collect(),
+        }
+    }
+}
+
+/// The planner: a catalog plus the parse→validate→optimize→physical
+/// pipeline (Figure 3).
+#[derive(Debug, Clone)]
+pub struct Planner {
+    catalog: Catalog,
+}
+
+impl Planner {
+    pub fn new(catalog: Catalog) -> Self {
+        Planner { catalog }
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access (view registration, partition-key declarations).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Plan a SELECT statement end to end.
+    pub fn plan(&self, sql: &str) -> Result<PlannedQuery> {
+        let stmt = parse_statement(sql)?;
+        let query = match &stmt {
+            Statement::Query(q) | Statement::Explain(q) => q,
+            Statement::CreateView { .. } => {
+                return Err(PlanError::Semantic(
+                    "CREATE VIEW is a DDL statement; use execute_ddl".into(),
+                ))
+            }
+        };
+        let validation = validate_query(query, &self.catalog)?;
+        let logical = optimize(validation.plan);
+        let physical = to_physical(&logical, &self.catalog)?;
+        Ok(PlannedQuery {
+            sql: sql.to_string(),
+            output_names: logical.output_names(),
+            output_types: logical.output_types(),
+            logical,
+            physical,
+            warnings: validation.warnings,
+            is_stream: validation.is_stream,
+            order_by: validation.order_by,
+            limit: validation.limit,
+        })
+    }
+
+    /// Execute DDL: `CREATE VIEW` registers the view in the catalog (after
+    /// validating its body against the current catalog).
+    pub fn execute_ddl(&mut self, sql: &str) -> Result<String> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::CreateView { name, columns, query } => {
+                // Validate the body now so bad views fail at definition time.
+                validate_query(&query, &self.catalog)?;
+                self.catalog.register_view(name.clone(), columns, *query)?;
+                Ok(name)
+            }
+            _ => Err(PlanError::Semantic("execute_ddl only handles CREATE VIEW".into())),
+        }
+    }
+
+    /// EXPLAIN: the logical and physical plan renderings.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let planned = self.plan(sql)?;
+        let mut out = String::new();
+        out.push_str("== Logical plan ==\n");
+        out.push_str(&planned.logical.explain());
+        out.push_str("== Physical plan ==\n");
+        out.push_str(&planned.physical.explain());
+        if !planned.warnings.is_empty() {
+            out.push_str("== Warnings ==\n");
+            for w in &planned.warnings {
+                out.push_str(&format!("- {w}\n"));
+            }
+        }
+        Ok(out)
+    }
+}

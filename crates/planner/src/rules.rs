@@ -1,0 +1,582 @@
+//! Rule-based logical optimizer.
+//!
+//! §4.2: SamzaSQL applies "some generic optimizations bundled with Apache
+//! Calcite" on the logical plan. The equivalents here:
+//!
+//! * **constant folding** — evaluate constant subexpressions at plan time
+//! * **filter merging** — `Filter(Filter(x))` ⇒ one conjunctive filter
+//! * **predicate pushdown** — move filters below projections and into join
+//!   inputs, so SamzaSQL drops tuples before paying conversion costs
+//! * **projection merging** — collapse `Project(Project(x))`
+//! * **identity-projection removal** — drop projections that only renumber
+//!
+//! Rules run bottom-up to a fixpoint (bounded iterations).
+
+use crate::logical::LogicalPlan;
+use crate::types::{BinOp, ScalarExpr};
+use samzasql_serde::Value;
+
+/// Optimize a plan: apply all rules until nothing changes (or the iteration
+/// bound is hit).
+pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    let mut current = plan;
+    for _ in 0..16 {
+        let (next, changed) = rewrite(current);
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    current
+}
+
+fn rewrite(plan: LogicalPlan) -> (LogicalPlan, bool) {
+    // Recurse first (bottom-up).
+    let (plan, mut changed) = match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let (input, c) = rewrite(*input);
+            (LogicalPlan::Filter { input: Box::new(input), predicate }, c)
+        }
+        LogicalPlan::Project { input, exprs, names } => {
+            let (input, c) = rewrite(*input);
+            (LogicalPlan::Project { input: Box::new(input), exprs, names }, c)
+        }
+        LogicalPlan::Aggregate { input, window, keys, key_names, aggs } => {
+            let (input, c) = rewrite(*input);
+            (
+                LogicalPlan::Aggregate { input: Box::new(input), window, keys, key_names, aggs },
+                c,
+            )
+        }
+        LogicalPlan::SlidingWindow { input, partition_by, ts_index, range_ms, rows, aggs } => {
+            let (input, c) = rewrite(*input);
+            (
+                LogicalPlan::SlidingWindow {
+                    input: Box::new(input),
+                    partition_by,
+                    ts_index,
+                    range_ms,
+                    rows,
+                    aggs,
+                },
+                c,
+            )
+        }
+        LogicalPlan::Join { left, right, kind, equi, time_bound, residual } => {
+            let (l, cl) = rewrite(*left);
+            let (r, cr) = rewrite(*right);
+            (
+                LogicalPlan::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    kind,
+                    equi,
+                    time_bound,
+                    residual,
+                },
+                cl || cr,
+            )
+        }
+        leaf => (leaf, false),
+    };
+
+    // Apply one local rule if possible.
+    let (plan, applied) = apply_local(plan);
+    changed |= applied;
+    (plan, changed)
+}
+
+fn apply_local(plan: LogicalPlan) -> (LogicalPlan, bool) {
+    match plan {
+        // Constant-fold predicates and drop `WHERE TRUE`.
+        LogicalPlan::Filter { input, predicate } => {
+            let folded = fold(&predicate);
+            if let ScalarExpr::Literal(Value::Boolean(true)) = folded {
+                return (*input, true);
+            }
+            let fold_changed = folded != predicate;
+            // Merge stacked filters.
+            if let LogicalPlan::Filter { input: inner, predicate: p2 } = *input {
+                let merged = ScalarExpr::Binary {
+                    op: BinOp::And,
+                    left: Box::new(p2),
+                    right: Box::new(folded),
+                    ty: samzasql_serde::Schema::Boolean,
+                };
+                return (LogicalPlan::Filter { input: inner, predicate: merged }, true);
+            }
+            // Push below a projection: rewrite predicate in input space.
+            if let LogicalPlan::Project { input: inner, exprs, names } = *input {
+                if exprs.iter().all(is_pushable) {
+                    let pushed = folded.substitute(&exprs);
+                    return (
+                        LogicalPlan::Project {
+                            input: Box::new(LogicalPlan::Filter {
+                                input: inner,
+                                predicate: pushed,
+                            }),
+                            exprs,
+                            names,
+                        },
+                        true,
+                    );
+                }
+                return (
+                    LogicalPlan::Filter {
+                        input: Box::new(LogicalPlan::Project { input: inner, exprs, names }),
+                        predicate: folded,
+                    },
+                    fold_changed,
+                );
+            }
+            // Push into join sides when the conjunct only touches one side.
+            if let LogicalPlan::Join { left, right, kind, equi, time_bound, residual } = *input {
+                let larity = left.arity();
+                let total = larity + right.arity();
+                let mut conjuncts = Vec::new();
+                flatten_and(&folded, &mut conjuncts);
+                let mut left_preds = Vec::new();
+                let mut right_preds = Vec::new();
+                let mut kept = Vec::new();
+                for c in conjuncts {
+                    let refs = c.input_refs();
+                    if !refs.is_empty() && refs.iter().all(|i| *i < larity) {
+                        left_preds.push(c);
+                    } else if !refs.is_empty() && refs.iter().all(|i| *i >= larity && *i < total) {
+                        right_preds.push(c.remap_inputs(&|i| i - larity));
+                    } else {
+                        kept.push(c);
+                    }
+                }
+                if left_preds.is_empty() && right_preds.is_empty() {
+                    let joined = LogicalPlan::Join { left, right, kind, equi, time_bound, residual };
+                    return (
+                        LogicalPlan::Filter { input: Box::new(joined), predicate: folded },
+                        fold_changed,
+                    );
+                }
+                let new_left = wrap_filter(*left, left_preds);
+                let new_right = wrap_filter(*right, right_preds);
+                let joined = LogicalPlan::Join {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                    kind,
+                    equi,
+                    time_bound,
+                    residual,
+                };
+                return (wrap_filter(joined, kept), true);
+            }
+            (
+                LogicalPlan::Filter { input, predicate: folded },
+                fold_changed,
+            )
+        }
+        // Merge stacked projections; drop identity projections.
+        LogicalPlan::Project { input, exprs, names } => {
+            let folded: Vec<ScalarExpr> = exprs.iter().map(fold).collect();
+            let fold_changed = folded != exprs;
+            if let LogicalPlan::Project { input: inner, exprs: inner_exprs, .. } = *input {
+                let merged: Vec<ScalarExpr> =
+                    folded.iter().map(|e| e.substitute(&inner_exprs)).collect();
+                return (
+                    LogicalPlan::Project { input: inner, exprs: merged, names },
+                    true,
+                );
+            }
+            // Identity projection (same arity, ref i at position i, names
+            // unchanged) disappears.
+            let identity = folded.len() == input.arity()
+                && folded
+                    .iter()
+                    .enumerate()
+                    .all(|(i, e)| matches!(e, ScalarExpr::InputRef { index, .. } if *index == i))
+                && names == input.output_names();
+            if identity {
+                return (*input, true);
+            }
+            (LogicalPlan::Project { input, exprs: folded, names }, fold_changed)
+        }
+        other => (other, false),
+    }
+}
+
+fn wrap_filter(plan: LogicalPlan, preds: Vec<ScalarExpr>) -> LogicalPlan {
+    match preds.into_iter().reduce(|a, b| ScalarExpr::Binary {
+        op: BinOp::And,
+        left: Box::new(a),
+        right: Box::new(b),
+        ty: samzasql_serde::Schema::Boolean,
+    }) {
+        Some(p) => LogicalPlan::Filter { input: Box::new(plan), predicate: p },
+        None => plan,
+    }
+}
+
+fn flatten_and(expr: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
+    if let ScalarExpr::Binary { op: BinOp::And, left, right, .. } = expr {
+        flatten_and(left, out);
+        flatten_and(right, out);
+    } else {
+        out.push(expr.clone());
+    }
+}
+
+/// Projections that are safe to substitute a predicate through (cheap,
+/// deterministic expressions — everything in this dialect qualifies).
+fn is_pushable(_e: &ScalarExpr) -> bool {
+    true
+}
+
+/// Constant folding over a scalar expression.
+pub fn fold(expr: &ScalarExpr) -> ScalarExpr {
+    match expr {
+        ScalarExpr::Binary { op, left, right, ty } => {
+            let l = fold(left);
+            let r = fold(right);
+            if let (ScalarExpr::Literal(a), ScalarExpr::Literal(b)) = (&l, &r) {
+                if let Some(v) = fold_binary(*op, a, b) {
+                    return ScalarExpr::Literal(v);
+                }
+            }
+            // Boolean short circuits: TRUE AND x ⇒ x, FALSE OR x ⇒ x, …
+            match (op, &l, &r) {
+                (BinOp::And, ScalarExpr::Literal(Value::Boolean(true)), x)
+                | (BinOp::And, x, ScalarExpr::Literal(Value::Boolean(true)))
+                | (BinOp::Or, ScalarExpr::Literal(Value::Boolean(false)), x)
+                | (BinOp::Or, x, ScalarExpr::Literal(Value::Boolean(false))) => x.clone(),
+                (BinOp::And, ScalarExpr::Literal(Value::Boolean(false)), _)
+                | (BinOp::And, _, ScalarExpr::Literal(Value::Boolean(false))) => {
+                    ScalarExpr::Literal(Value::Boolean(false))
+                }
+                (BinOp::Or, ScalarExpr::Literal(Value::Boolean(true)), _)
+                | (BinOp::Or, _, ScalarExpr::Literal(Value::Boolean(true))) => {
+                    ScalarExpr::Literal(Value::Boolean(true))
+                }
+                _ => ScalarExpr::Binary {
+                    op: *op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    ty: ty.clone(),
+                },
+            }
+        }
+        ScalarExpr::Not(e) => {
+            let inner = fold(e);
+            match inner {
+                ScalarExpr::Literal(Value::Boolean(b)) => {
+                    ScalarExpr::Literal(Value::Boolean(!b))
+                }
+                ScalarExpr::Not(inner2) => *inner2,
+                other => ScalarExpr::Not(Box::new(other)),
+            }
+        }
+        ScalarExpr::Neg(e) => {
+            let inner = fold(e);
+            match &inner {
+                ScalarExpr::Literal(Value::Int(v)) => ScalarExpr::Literal(Value::Int(-v)),
+                ScalarExpr::Literal(Value::Long(v)) => ScalarExpr::Literal(Value::Long(-v)),
+                ScalarExpr::Literal(Value::Double(v)) => ScalarExpr::Literal(Value::Double(-v)),
+                _ => ScalarExpr::Neg(Box::new(inner)),
+            }
+        }
+        ScalarExpr::Case { branches, else_result, ty } => ScalarExpr::Case {
+            branches: branches.iter().map(|(w, t)| (fold(w), fold(t))).collect(),
+            else_result: else_result.as_ref().map(|e| Box::new(fold(e))),
+            ty: ty.clone(),
+        },
+        ScalarExpr::Call { func, args, ty } => ScalarExpr::Call {
+            func: *func,
+            args: args.iter().map(fold).collect(),
+            ty: ty.clone(),
+        },
+        ScalarExpr::FloorTime { expr, unit_millis } => {
+            let inner = fold(expr);
+            if let ScalarExpr::Literal(v) = &inner {
+                if let Some(ts) = v.as_i64() {
+                    return ScalarExpr::Literal(Value::Timestamp(
+                        ts - ts.rem_euclid(*unit_millis),
+                    ));
+                }
+            }
+            ScalarExpr::FloorTime { expr: Box::new(inner), unit_millis: *unit_millis }
+        }
+        ScalarExpr::IsNull { expr, negated } => {
+            let inner = fold(expr);
+            if let ScalarExpr::Literal(v) = &inner {
+                return ScalarExpr::Literal(Value::Boolean(v.is_null() != *negated));
+            }
+            ScalarExpr::IsNull { expr: Box::new(inner), negated: *negated }
+        }
+        ScalarExpr::Cast { expr, ty } => ScalarExpr::Cast {
+            expr: Box::new(fold(expr)),
+            ty: ty.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn fold_binary(op: BinOp, a: &Value, b: &Value) -> Option<Value> {
+    use BinOp::*;
+    if a.is_null() || b.is_null() {
+        // NULL propagates through comparisons/arithmetic (three-valued logic
+        // handled at runtime; folding keeps NULL).
+        return match op {
+            And | Or => None,
+            _ => Some(Value::Null),
+        };
+    }
+    match op {
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            let ord = a.sql_cmp(b)?;
+            let v = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                NotEq => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                LtEq => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Some(Value::Boolean(v))
+        }
+        Plus | Minus | Multiply | Divide | Modulo => {
+            // Integer arithmetic when both integral, else double.
+            match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) if !matches!(a, Value::Double(_) | Value::Float(_)) && !matches!(b, Value::Double(_) | Value::Float(_)) => {
+                    let v = match op {
+                        Plus => x.checked_add(y)?,
+                        Minus => x.checked_sub(y)?,
+                        Multiply => x.checked_mul(y)?,
+                        Divide => {
+                            if y == 0 {
+                                return None;
+                            }
+                            x / y
+                        }
+                        Modulo => {
+                            if y == 0 {
+                                return None;
+                            }
+                            x % y
+                        }
+                        _ => unreachable!(),
+                    };
+                    Some(Value::Long(v))
+                }
+                _ => {
+                    let (x, y) = (a.as_f64()?, b.as_f64()?);
+                    let v = match op {
+                        Plus => x + y,
+                        Minus => x - y,
+                        Multiply => x * y,
+                        Divide => x / y,
+                        Modulo => x % y,
+                        _ => unreachable!(),
+                    };
+                    Some(Value::Double(v))
+                }
+            }
+        }
+        And | Or => {
+            let (x, y) = (a.as_bool()?, b.as_bool()?);
+            Some(Value::Boolean(if op == And { x && y } else { x || y }))
+        }
+        Like => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ObjectKind;
+    use samzasql_serde::Schema;
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::Scan {
+            object: "Orders".into(),
+            kind: ObjectKind::Stream,
+            topic: "orders".into(),
+            names: vec!["rowtime".into(), "productId".into(), "units".into()],
+            types: vec![Schema::Timestamp, Schema::Int, Schema::Int],
+            stream: true,
+            ts_index: Some(0),
+        }
+    }
+
+    fn lit(v: i32) -> ScalarExpr {
+        ScalarExpr::Literal(Value::Int(v))
+    }
+
+    fn bin(op: BinOp, l: ScalarExpr, r: ScalarExpr, ty: Schema) -> ScalarExpr {
+        ScalarExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty }
+    }
+
+    #[test]
+    fn constant_folding_arithmetic_and_comparison() {
+        let e = bin(BinOp::Plus, lit(2), lit(3), Schema::Int);
+        assert_eq!(fold(&e), ScalarExpr::Literal(Value::Long(5)));
+        let e = bin(BinOp::Gt, lit(5), lit(3), Schema::Boolean);
+        assert_eq!(fold(&e), ScalarExpr::Literal(Value::Boolean(true)));
+    }
+
+    #[test]
+    fn boolean_short_circuits() {
+        let x = ScalarExpr::input(0, Schema::Boolean);
+        let e = bin(
+            BinOp::And,
+            ScalarExpr::Literal(Value::Boolean(true)),
+            x.clone(),
+            Schema::Boolean,
+        );
+        assert_eq!(fold(&e), x);
+        let e = bin(
+            BinOp::And,
+            ScalarExpr::Literal(Value::Boolean(false)),
+            ScalarExpr::input(0, Schema::Boolean),
+            Schema::Boolean,
+        );
+        assert_eq!(fold(&e), ScalarExpr::Literal(Value::Boolean(false)));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let e = bin(BinOp::Divide, lit(1), lit(0), Schema::Int);
+        assert!(matches!(fold(&e), ScalarExpr::Binary { .. }), "left for runtime to NULL");
+    }
+
+    #[test]
+    fn trivial_filter_removed() {
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan()),
+            predicate: bin(BinOp::Eq, lit(1), lit(1), Schema::Boolean),
+        };
+        let opt = optimize(plan);
+        assert!(matches!(opt, LogicalPlan::Scan { .. }));
+    }
+
+    #[test]
+    fn stacked_filters_merge() {
+        let pred = |i: usize| {
+            bin(BinOp::Gt, ScalarExpr::input(i, Schema::Int), lit(0), Schema::Boolean)
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Filter { input: Box::new(scan()), predicate: pred(1) }),
+            predicate: pred(2),
+        };
+        let opt = optimize(plan);
+        match opt {
+            LogicalPlan::Filter { input, predicate } => {
+                assert!(matches!(*input, LogicalPlan::Scan { .. }));
+                assert!(matches!(predicate, ScalarExpr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicate_pushdown_through_project() {
+        // Project(units) then Filter(units > 50) ⇒ Filter pushed to scan space.
+        let plan = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Project {
+                input: Box::new(scan()),
+                exprs: vec![ScalarExpr::input(2, Schema::Int)],
+                names: vec!["units".into()],
+            }),
+            predicate: bin(BinOp::Gt, ScalarExpr::input(0, Schema::Int), lit(50), Schema::Boolean),
+        };
+        let opt = optimize(plan);
+        match opt {
+            LogicalPlan::Project { input, .. } => match *input {
+                LogicalPlan::Filter { predicate, input: scan_input } => {
+                    assert!(matches!(*scan_input, LogicalPlan::Scan { .. }));
+                    assert_eq!(predicate.input_refs(), vec![2], "rewritten into scan space");
+                }
+                other => panic!("expected filter under project: {other:?}"),
+            },
+            other => panic!("expected project on top: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn projection_merge_collapses() {
+        let inner = LogicalPlan::Project {
+            input: Box::new(scan()),
+            exprs: vec![ScalarExpr::input(2, Schema::Int), ScalarExpr::input(0, Schema::Timestamp)],
+            names: vec!["units".into(), "rowtime".into()],
+        };
+        let outer = LogicalPlan::Project {
+            input: Box::new(inner),
+            exprs: vec![ScalarExpr::input(1, Schema::Timestamp)],
+            names: vec!["rowtime".into()],
+        };
+        let opt = optimize(outer);
+        match opt {
+            LogicalPlan::Project { input, exprs, .. } => {
+                assert!(matches!(*input, LogicalPlan::Scan { .. }));
+                assert_eq!(exprs[0].input_refs(), vec![0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn identity_projection_removed() {
+        let plan = LogicalPlan::Project {
+            input: Box::new(scan()),
+            exprs: vec![
+                ScalarExpr::input(0, Schema::Timestamp),
+                ScalarExpr::input(1, Schema::Int),
+                ScalarExpr::input(2, Schema::Int),
+            ],
+            names: vec!["rowtime".into(), "productId".into(), "units".into()],
+        };
+        assert!(matches!(optimize(plan), LogicalPlan::Scan { .. }));
+    }
+
+    #[test]
+    fn filter_pushes_into_join_sides() {
+        let join = LogicalPlan::Join {
+            left: Box::new(scan()),
+            right: Box::new(scan()),
+            kind: samzasql_parser::ast::JoinKind::Inner,
+            equi: vec![(1, 1)],
+            time_bound: None,
+            residual: None,
+        };
+        // Conjunct on left side (ref 2) and one spanning both (2 and 5).
+        let pred = bin(
+            BinOp::And,
+            bin(BinOp::Gt, ScalarExpr::input(2, Schema::Int), lit(0), Schema::Boolean),
+            bin(
+                BinOp::Eq,
+                ScalarExpr::input(2, Schema::Int),
+                ScalarExpr::input(5, Schema::Int),
+                Schema::Boolean,
+            ),
+            Schema::Boolean,
+        );
+        let plan = LogicalPlan::Filter { input: Box::new(join), predicate: pred };
+        let opt = optimize(plan);
+        // Expect: Filter(span) over Join(Filter(left-side) , scan).
+        match opt {
+            LogicalPlan::Filter { input, .. } => match *input {
+                LogicalPlan::Join { left, right, .. } => {
+                    assert!(matches!(*left, LogicalPlan::Filter { .. }));
+                    assert!(matches!(*right, LogicalPlan::Scan { .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn floor_time_folds_constants() {
+        let e = ScalarExpr::FloorTime {
+            expr: Box::new(ScalarExpr::Literal(Value::Timestamp(3_700_000))),
+            unit_millis: 3_600_000,
+        };
+        assert_eq!(fold(&e), ScalarExpr::Literal(Value::Timestamp(3_600_000)));
+    }
+}

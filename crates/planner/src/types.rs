@@ -1,0 +1,467 @@
+//! Resolved scalar expressions — the planner's `RexNode` analogue.
+//!
+//! The validator turns parser AST expressions (name-based) into
+//! [`ScalarExpr`]s whose column references are **positional input refs**,
+//! because SamzaSQL's operator layer evaluates expressions over tuples
+//! "represented as an array in memory" (§5.1). Every node carries its result
+//! type so downstream operators never re-infer.
+
+use crate::error::{PlanError, Result};
+use samzasql_serde::{Schema, Value};
+
+/// Binary operators after desugaring (BETWEEN is expanded away).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    And,
+    Or,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Multiply,
+    Divide,
+    Modulo,
+    Like,
+}
+
+impl BinOp {
+    /// True for comparison operators producing booleans.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// True for AND/OR.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// SQL spelling for plan display.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::Plus => "+",
+            BinOp::Minus => "-",
+            BinOp::Multiply => "*",
+            BinOp::Divide => "/",
+            BinOp::Modulo => "%",
+            BinOp::Like => "LIKE",
+        }
+    }
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// Maximum of its arguments (used for merged rowtimes in §3.8.1).
+    Greatest,
+    /// Minimum of its arguments.
+    Least,
+    Abs,
+    Upper,
+    Lower,
+    /// String concatenation.
+    Concat,
+    CharLength,
+    /// Numeric FLOOR/CEIL (the time-unit form is [`ScalarExpr::FloorTime`]).
+    Floor,
+    Ceil,
+}
+
+impl ScalarFunc {
+    /// Resolve by SQL name.
+    pub fn from_name(name: &str) -> Option<ScalarFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "GREATEST" => ScalarFunc::Greatest,
+            "LEAST" => ScalarFunc::Least,
+            "ABS" => ScalarFunc::Abs,
+            "UPPER" => ScalarFunc::Upper,
+            "LOWER" => ScalarFunc::Lower,
+            "CONCAT" => ScalarFunc::Concat,
+            "CHAR_LENGTH" | "CHARACTER_LENGTH" => ScalarFunc::CharLength,
+            "FLOOR" => ScalarFunc::Floor,
+            "CEIL" | "CEILING" => ScalarFunc::Ceil,
+            _ => return None,
+        })
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarFunc::Greatest => "GREATEST",
+            ScalarFunc::Least => "LEAST",
+            ScalarFunc::Abs => "ABS",
+            ScalarFunc::Upper => "UPPER",
+            ScalarFunc::Lower => "LOWER",
+            ScalarFunc::Concat => "CONCAT",
+            ScalarFunc::CharLength => "CHAR_LENGTH",
+            ScalarFunc::Floor => "FLOOR",
+            ScalarFunc::Ceil => "CEIL",
+        }
+    }
+}
+
+/// A resolved, typed scalar expression over positional inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Reference to input column `index` of type `ty`.
+    InputRef { index: usize, ty: Schema },
+    /// A constant.
+    Literal(Value),
+    Binary { op: BinOp, left: Box<ScalarExpr>, right: Box<ScalarExpr>, ty: Schema },
+    Not(Box<ScalarExpr>),
+    Neg(Box<ScalarExpr>),
+    IsNull { expr: Box<ScalarExpr>, negated: bool },
+    Call { func: ScalarFunc, args: Vec<ScalarExpr>, ty: Schema },
+    /// `FLOOR(ts TO unit)`: round a timestamp down to a unit boundary.
+    FloorTime { expr: Box<ScalarExpr>, unit_millis: i64 },
+    Case {
+        branches: Vec<(ScalarExpr, ScalarExpr)>,
+        else_result: Option<Box<ScalarExpr>>,
+        ty: Schema,
+    },
+    Cast { expr: Box<ScalarExpr>, ty: Schema },
+}
+
+impl ScalarExpr {
+    /// The static result type.
+    pub fn ty(&self) -> Schema {
+        match self {
+            ScalarExpr::InputRef { ty, .. } => ty.clone(),
+            ScalarExpr::Literal(v) => v.infer_schema(),
+            ScalarExpr::Binary { ty, .. } => ty.clone(),
+            ScalarExpr::Not(_) | ScalarExpr::IsNull { .. } => Schema::Boolean,
+            ScalarExpr::Neg(e) => e.ty(),
+            ScalarExpr::Call { ty, .. } => ty.clone(),
+            ScalarExpr::FloorTime { .. } => Schema::Timestamp,
+            ScalarExpr::Case { ty, .. } => ty.clone(),
+            ScalarExpr::Cast { ty, .. } => ty.clone(),
+        }
+    }
+
+    /// Shorthand input-ref constructor.
+    pub fn input(index: usize, ty: Schema) -> ScalarExpr {
+        ScalarExpr::InputRef { index, ty }
+    }
+
+    /// True when the expression references no inputs (a constant).
+    pub fn is_constant(&self) -> bool {
+        let mut constant = true;
+        self.visit(&mut |e| {
+            if matches!(e, ScalarExpr::InputRef { .. }) {
+                constant = false;
+            }
+        });
+        constant
+    }
+
+    /// Pre-order traversal.
+    pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a ScalarExpr)) {
+        f(self);
+        match self {
+            ScalarExpr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            ScalarExpr::Not(e) | ScalarExpr::Neg(e) => e.visit(f),
+            ScalarExpr::IsNull { expr, .. }
+            | ScalarExpr::FloorTime { expr, .. }
+            | ScalarExpr::Cast { expr, .. } => expr.visit(f),
+            ScalarExpr::Call { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            ScalarExpr::Case { branches, else_result, .. } => {
+                for (w, t) in branches {
+                    w.visit(f);
+                    t.visit(f);
+                }
+                if let Some(e) = else_result {
+                    e.visit(f);
+                }
+            }
+            ScalarExpr::InputRef { .. } | ScalarExpr::Literal(_) => {}
+        }
+    }
+
+    /// All referenced input indexes (sorted, deduped).
+    pub fn input_refs(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let ScalarExpr::InputRef { index, .. } = e {
+                out.push(*index);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Rewrite every input ref through `map` (used when pushing expressions
+    /// across projections or shifting join sides).
+    pub fn remap_inputs(&self, map: &dyn Fn(usize) -> usize) -> ScalarExpr {
+        match self {
+            ScalarExpr::InputRef { index, ty } => {
+                ScalarExpr::InputRef { index: map(*index), ty: ty.clone() }
+            }
+            ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            ScalarExpr::Binary { op, left, right, ty } => ScalarExpr::Binary {
+                op: *op,
+                left: Box::new(left.remap_inputs(map)),
+                right: Box::new(right.remap_inputs(map)),
+                ty: ty.clone(),
+            },
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.remap_inputs(map))),
+            ScalarExpr::Neg(e) => ScalarExpr::Neg(Box::new(e.remap_inputs(map))),
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.remap_inputs(map)),
+                negated: *negated,
+            },
+            ScalarExpr::Call { func, args, ty } => ScalarExpr::Call {
+                func: *func,
+                args: args.iter().map(|a| a.remap_inputs(map)).collect(),
+                ty: ty.clone(),
+            },
+            ScalarExpr::FloorTime { expr, unit_millis } => ScalarExpr::FloorTime {
+                expr: Box::new(expr.remap_inputs(map)),
+                unit_millis: *unit_millis,
+            },
+            ScalarExpr::Case { branches, else_result, ty } => ScalarExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(w, t)| (w.remap_inputs(map), t.remap_inputs(map)))
+                    .collect(),
+                else_result: else_result.as_ref().map(|e| Box::new(e.remap_inputs(map))),
+                ty: ty.clone(),
+            },
+            ScalarExpr::Cast { expr, ty } => ScalarExpr::Cast {
+                expr: Box::new(expr.remap_inputs(map)),
+                ty: ty.clone(),
+            },
+        }
+    }
+
+    /// Substitute each input ref with the given expressions (inlining across
+    /// a projection: ref *i* becomes `exprs[i]`).
+    pub fn substitute(&self, exprs: &[ScalarExpr]) -> ScalarExpr {
+        match self {
+            ScalarExpr::InputRef { index, .. } => exprs[*index].clone(),
+            ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
+            ScalarExpr::Binary { op, left, right, ty } => ScalarExpr::Binary {
+                op: *op,
+                left: Box::new(left.substitute(exprs)),
+                right: Box::new(right.substitute(exprs)),
+                ty: ty.clone(),
+            },
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.substitute(exprs))),
+            ScalarExpr::Neg(e) => ScalarExpr::Neg(Box::new(e.substitute(exprs))),
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.substitute(exprs)),
+                negated: *negated,
+            },
+            ScalarExpr::Call { func, args, ty } => ScalarExpr::Call {
+                func: *func,
+                args: args.iter().map(|a| a.substitute(exprs)).collect(),
+                ty: ty.clone(),
+            },
+            ScalarExpr::FloorTime { expr, unit_millis } => ScalarExpr::FloorTime {
+                expr: Box::new(expr.substitute(exprs)),
+                unit_millis: *unit_millis,
+            },
+            ScalarExpr::Case { branches, else_result, ty } => ScalarExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(w, t)| (w.substitute(exprs), t.substitute(exprs)))
+                    .collect(),
+                else_result: else_result.as_ref().map(|e| Box::new(e.substitute(exprs))),
+                ty: ty.clone(),
+            },
+            ScalarExpr::Cast { expr, ty } => ScalarExpr::Cast {
+                expr: Box::new(expr.substitute(exprs)),
+                ty: ty.clone(),
+            },
+        }
+    }
+
+    /// Render for plan display.
+    pub fn display(&self, names: &[String]) -> String {
+        match self {
+            ScalarExpr::InputRef { index, .. } => names
+                .get(*index)
+                .cloned()
+                .unwrap_or_else(|| format!("$[{index}]")),
+            ScalarExpr::Literal(v) => format!("{v}"),
+            ScalarExpr::Binary { op, left, right, .. } => {
+                format!("{} {} {}", left.display(names), op.symbol(), right.display(names))
+            }
+            ScalarExpr::Not(e) => format!("NOT {}", e.display(names)),
+            ScalarExpr::Neg(e) => format!("-{}", e.display(names)),
+            ScalarExpr::IsNull { expr, negated } => format!(
+                "{} IS {}NULL",
+                expr.display(names),
+                if *negated { "NOT " } else { "" }
+            ),
+            ScalarExpr::Call { func, args, .. } => {
+                let args: Vec<String> = args.iter().map(|a| a.display(names)).collect();
+                format!("{}({})", func.name(), args.join(", "))
+            }
+            ScalarExpr::FloorTime { expr, unit_millis } => {
+                format!("FLOOR_TIME({}, {unit_millis}ms)", expr.display(names))
+            }
+            ScalarExpr::Case { branches, else_result, .. } => {
+                let mut s = String::from("CASE");
+                for (w, t) in branches {
+                    s.push_str(&format!(" WHEN {} THEN {}", w.display(names), t.display(names)));
+                }
+                if let Some(e) = else_result {
+                    s.push_str(&format!(" ELSE {}", e.display(names)));
+                }
+                s.push_str(" END");
+                s
+            }
+            ScalarExpr::Cast { expr, ty } => {
+                format!("CAST({} AS {})", expr.display(names), ty.type_name())
+            }
+        }
+    }
+}
+
+/// True for types usable in arithmetic.
+pub fn is_numeric(s: &Schema) -> bool {
+    matches!(
+        s,
+        Schema::Int | Schema::Long | Schema::Float | Schema::Double | Schema::Timestamp
+    )
+}
+
+/// The widened result type of an arithmetic op over two numerics, honouring
+/// timestamp ± interval-as-long semantics.
+pub fn arithmetic_type(op: BinOp, left: &Schema, right: &Schema) -> Result<Schema> {
+    use Schema::*;
+    if !is_numeric(left) || !is_numeric(right) {
+        return Err(PlanError::Type(format!(
+            "operator {} requires numeric operands, got {} and {}",
+            op.symbol(),
+            left.type_name(),
+            right.type_name()
+        )));
+    }
+    Ok(match (left, right) {
+        // timestamp ± duration stays a timestamp; ts - ts is a duration.
+        (Timestamp, Timestamp) if op == BinOp::Minus => Long,
+        (Timestamp, _) | (_, Timestamp) => Timestamp,
+        (Double, _) | (_, Double) | (Float, _) | (_, Float) => Double,
+        (Long, _) | (_, Long) => Long,
+        _ => Int,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iref(i: usize) -> ScalarExpr {
+        ScalarExpr::input(i, Schema::Int)
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(ScalarExpr::Literal(Value::Int(1)).is_constant());
+        let e = ScalarExpr::Binary {
+            op: BinOp::Plus,
+            left: Box::new(ScalarExpr::Literal(Value::Int(1))),
+            right: Box::new(iref(0)),
+            ty: Schema::Int,
+        };
+        assert!(!e.is_constant());
+    }
+
+    #[test]
+    fn input_refs_collected_sorted() {
+        let e = ScalarExpr::Call {
+            func: ScalarFunc::Greatest,
+            args: vec![iref(3), iref(1), iref(3)],
+            ty: Schema::Int,
+        };
+        assert_eq!(e.input_refs(), vec![1, 3]);
+    }
+
+    #[test]
+    fn remap_shifts_refs() {
+        let e = ScalarExpr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(iref(0)),
+            right: Box::new(iref(2)),
+            ty: Schema::Boolean,
+        };
+        let shifted = e.remap_inputs(&|i| i + 10);
+        assert_eq!(shifted.input_refs(), vec![10, 12]);
+    }
+
+    #[test]
+    fn substitute_inlines_projection() {
+        // ref(0) > 5 where projection[0] = a + b (refs 1,2)
+        let pred = ScalarExpr::Binary {
+            op: BinOp::Gt,
+            left: Box::new(iref(0)),
+            right: Box::new(ScalarExpr::Literal(Value::Int(5))),
+            ty: Schema::Boolean,
+        };
+        let proj = vec![ScalarExpr::Binary {
+            op: BinOp::Plus,
+            left: Box::new(iref(1)),
+            right: Box::new(iref(2)),
+            ty: Schema::Int,
+        }];
+        let inlined = pred.substitute(&proj);
+        assert_eq!(inlined.input_refs(), vec![1, 2]);
+    }
+
+    #[test]
+    fn arithmetic_widening() {
+        assert_eq!(arithmetic_type(BinOp::Plus, &Schema::Int, &Schema::Int).unwrap(), Schema::Int);
+        assert_eq!(
+            arithmetic_type(BinOp::Plus, &Schema::Int, &Schema::Long).unwrap(),
+            Schema::Long
+        );
+        assert_eq!(
+            arithmetic_type(BinOp::Plus, &Schema::Long, &Schema::Double).unwrap(),
+            Schema::Double
+        );
+        assert_eq!(
+            arithmetic_type(BinOp::Minus, &Schema::Timestamp, &Schema::Timestamp).unwrap(),
+            Schema::Long,
+            "rowtime - rowtime is a duration (Listing 7's timeToTravel)"
+        );
+        assert_eq!(
+            arithmetic_type(BinOp::Minus, &Schema::Timestamp, &Schema::Long).unwrap(),
+            Schema::Timestamp
+        );
+        assert!(arithmetic_type(BinOp::Plus, &Schema::String, &Schema::Int).is_err());
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let e = ScalarExpr::Binary {
+            op: BinOp::Gt,
+            left: Box::new(iref(1)),
+            right: Box::new(ScalarExpr::Literal(Value::Int(50))),
+            ty: Schema::Boolean,
+        };
+        assert_eq!(e.display(&["rowtime".into(), "units".into()]), "units > 50");
+    }
+}

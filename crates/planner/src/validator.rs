@@ -1,0 +1,1339 @@
+//! Validation: name resolution, type checking, STREAM-keyword semantics, and
+//! AST → logical plan conversion.
+//!
+//! Dialect rules implemented here, with their paper anchors:
+//!
+//! * `SELECT STREAM` marks a continuous query; without it a stream is read
+//!   as "a table consisting of the history of the stream up to the point of
+//!   execution" (§3.3) — a bounded scan.
+//! * `STREAM` inside subqueries/views "has no effect. The query planner
+//!   discards the STREAM keyword and figures out whether the relations
+//!   referenced can be converted to streams or not" (§3.3): stream-ness is
+//!   inherited from the outermost query.
+//! * `TUMBLE`/`HOP` group-by windows with `START`/`END` bound aggregates
+//!   (§3.6); `retain` need not be a multiple of `emit`.
+//! * Analytic `OVER` sliding windows; the ORDER BY column must be the
+//!   stream's timestamp (§3.7, monotonicity assumption in §3.8.1).
+//! * Stream-to-stream joins carry their window in the join condition
+//!   (§3.8.1); equi keys and bounds are extracted here.
+//! * A projection that drops the timestamp column triggers a planner
+//!   warning — §7 lists these warnings as future work; we implement them.
+
+use crate::catalog::{Catalog, ObjectKind};
+use crate::error::{PlanError, Result};
+use crate::logical::{AggCall, AggFunc, GroupWindow, LogicalPlan, TimeBound};
+use crate::types::{arithmetic_type, is_numeric, BinOp, ScalarExpr, ScalarFunc};
+use samzasql_parser::ast::{
+    BinaryOp, Expr, FrameBound, FrameUnits, Literal, Query, SelectItem, TableRef,
+    UnaryOp, WindowSpec,
+};
+use samzasql_serde::{Schema, Value};
+
+/// A validated query: the logical plan plus planner warnings.
+#[derive(Debug, Clone)]
+pub struct Validation {
+    pub plan: LogicalPlan,
+    pub warnings: Vec<String>,
+    /// True when the query is continuous (outermost SELECT STREAM).
+    pub is_stream: bool,
+    /// ORDER BY keys resolved over the plan's output (bounded queries only).
+    pub order_by: Vec<(ScalarExpr, bool)>,
+    /// LIMIT for bounded queries.
+    pub limit: Option<u64>,
+}
+
+/// One visible column during name resolution.
+#[derive(Debug, Clone)]
+struct ScopeColumn {
+    qualifier: Option<String>,
+    name: String,
+    ty: Schema,
+}
+
+/// The set of visible columns for expression resolution.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    columns: Vec<ScopeColumn>,
+}
+
+impl Scope {
+    fn from_plan(plan: &LogicalPlan, qualifier: Option<&str>) -> Scope {
+        let names = plan.output_names();
+        let types = plan.output_types();
+        Scope {
+            columns: names
+                .into_iter()
+                .zip(types)
+                .map(|(name, ty)| ScopeColumn {
+                    qualifier: qualifier.map(|q| q.to_string()),
+                    name,
+                    ty,
+                })
+                .collect(),
+        }
+    }
+
+    fn concat(mut self, other: Scope) -> Scope {
+        self.columns.extend(other.columns);
+        self
+    }
+
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<(usize, Schema)> {
+        let mut hits = self.columns.iter().enumerate().filter(|(_, c)| {
+            c.name.eq_ignore_ascii_case(name)
+                && match qualifier {
+                    Some(q) => c
+                        .qualifier
+                        .as_deref()
+                        .is_some_and(|cq| cq.eq_ignore_ascii_case(q)),
+                    None => true,
+                }
+        });
+        let first = hits.next();
+        let second = hits.next();
+        match (first, second) {
+            (Some((i, c)), None) => Ok((i, c.ty.clone())),
+            (Some(_), Some(_)) => Err(PlanError::AmbiguousColumn(name.to_string())),
+            (None, _) => Err(PlanError::UnknownColumn {
+                column: match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.to_string(),
+                },
+                scope: self
+                    .columns
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            }),
+        }
+    }
+}
+
+/// Validate a query against a catalog.
+pub fn validate_query(query: &Query, catalog: &Catalog) -> Result<Validation> {
+    let mut v = Validator { catalog, warnings: Vec::new() };
+    let is_stream = query.stream;
+    let plan = v.query_plan(query, is_stream)?;
+    // Timestamp-propagation warning (§7): streaming plans whose output lost
+    // the event-time column cannot feed further time-based windows.
+    if is_stream && plan.timestamp_index().is_none() {
+        v.warnings.push(
+            "output drops the event timestamp column; time-based window \
+             aggregations on the derived stream will not be possible"
+                .to_string(),
+        );
+    }
+    // Resolve top-level ORDER BY over the plan's output space (already
+    // rejected for streams inside query_plan).
+    let out_scope = Scope::from_plan(&plan, None);
+    let mut order_by = Vec::new();
+    for (e, asc) in &query.order_by {
+        order_by.push((v.resolve(e, &out_scope)?, *asc));
+    }
+    Ok(Validation { plan, warnings: v.warnings, is_stream, order_by, limit: query.limit })
+}
+
+struct Validator<'a> {
+    catalog: &'a Catalog,
+    warnings: Vec<String>,
+}
+
+impl<'a> Validator<'a> {
+    // ------------------------------------------------------------- queries
+
+    fn query_plan(&mut self, query: &Query, streaming: bool) -> Result<LogicalPlan> {
+        let (mut plan, scope) = self.from_clause(&query.from, streaming)?;
+
+        // WHERE
+        if let Some(pred) = &query.where_clause {
+            let predicate = self.resolve(pred, &scope)?;
+            if predicate.ty() != Schema::Boolean {
+                return Err(PlanError::Type(format!(
+                    "WHERE predicate must be boolean, got {}",
+                    predicate.ty().type_name()
+                )));
+            }
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        }
+
+        let has_aggregates = !query.group_by.is_empty()
+            || query
+                .projections
+                .iter()
+                .any(|p| matches!(p, SelectItem::Expr { expr, .. } if contains_aggregate(expr)));
+        let has_over = query
+            .projections
+            .iter()
+            .any(|p| matches!(p, SelectItem::Expr { expr, .. } if contains_over(expr)));
+
+        if has_aggregates && has_over {
+            return Err(PlanError::Unsupported(
+                "mixing GROUP BY aggregates and OVER windows in one SELECT".into(),
+            ));
+        }
+
+        if has_aggregates {
+            plan = self.aggregate_query(query, plan, scope, streaming)?;
+        } else if has_over {
+            plan = self.sliding_window_query(query, plan, scope)?;
+        } else {
+            plan = self.plain_projection(query, plan, scope)?;
+            if query.having.is_some() {
+                return Err(PlanError::Semantic(
+                    "HAVING requires GROUP BY or aggregates".into(),
+                ));
+            }
+        }
+
+        if query.distinct {
+            if streaming {
+                return Err(PlanError::Unsupported(
+                    "SELECT DISTINCT on a stream (unbounded dedup state)".into(),
+                ));
+            }
+            // Bounded DISTINCT = group by every output column.
+            let names = plan.output_names();
+            let types = plan.output_types();
+            let keys: Vec<ScalarExpr> = types
+                .iter()
+                .enumerate()
+                .map(|(i, t)| ScalarExpr::input(i, t.clone()))
+                .collect();
+            plan = LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                window: GroupWindow::None,
+                keys,
+                key_names: names,
+                aggs: vec![],
+            };
+        }
+
+        if !query.order_by.is_empty() || query.limit.is_some() {
+            if streaming {
+                return Err(PlanError::Unsupported(
+                    "ORDER BY / LIMIT on a continuous stream query".into(),
+                ));
+            }
+            self.warnings.push(
+                "ORDER BY/LIMIT evaluated at end of bounded scan".to_string(),
+            );
+        }
+
+        Ok(plan)
+    }
+
+    #[allow(clippy::wrong_self_convention)] // "FROM clause", not a conversion
+    fn from_clause(&mut self, from: &TableRef, streaming: bool) -> Result<(LogicalPlan, Scope)> {
+        match from {
+            TableRef::Named { name, alias } => {
+                let obj = self.catalog.get(name)?;
+                let binding = alias.as_deref().unwrap_or(&obj.name).to_string();
+                match obj.kind {
+                    ObjectKind::View => {
+                        let view = obj.view.clone().expect("view object has definition");
+                        // STREAM inside views is ignored (§3.3); the view body
+                        // inherits stream-ness from the outer query.
+                        let mut plan = self.query_plan(&view.query, streaming)?;
+                        if !view.columns.is_empty() {
+                            let types = plan.output_types();
+                            if view.columns.len() != types.len() {
+                                return Err(PlanError::Semantic(format!(
+                                    "view {} declares {} columns but its query produces {}",
+                                    obj.name,
+                                    view.columns.len(),
+                                    types.len()
+                                )));
+                            }
+                            let exprs: Vec<ScalarExpr> = types
+                                .iter()
+                                .enumerate()
+                                .map(|(i, t)| ScalarExpr::input(i, t.clone()))
+                                .collect();
+                            plan = LogicalPlan::Project {
+                                input: Box::new(plan),
+                                exprs,
+                                names: view.columns.clone(),
+                            };
+                        }
+                        let scope = Scope::from_plan(&plan, Some(&binding));
+                        Ok((plan, scope))
+                    }
+                    ObjectKind::Stream | ObjectKind::Table => {
+                        let fields = obj.schema.fields().ok_or_else(|| {
+                            PlanError::Catalog(format!("{} has a non-record schema", obj.name))
+                        })?;
+                        let names: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let types: Vec<Schema> =
+                            fields.iter().map(|f| f.schema.clone()).collect();
+                        let ts_index = obj
+                            .timestamp_field
+                            .as_deref()
+                            .and_then(|t| obj.schema.field_index(t));
+                        let plan = LogicalPlan::Scan {
+                            object: obj.name.clone(),
+                            kind: obj.kind,
+                            topic: obj
+                                .topic
+                                .clone()
+                                .ok_or_else(|| PlanError::Catalog(format!("{} has no topic", obj.name)))?,
+                            names,
+                            types,
+                            // Tables are never continuous scans; streams are
+                            // continuous exactly when the outer query streams.
+                            stream: streaming && obj.kind == ObjectKind::Stream,
+                            ts_index,
+                        };
+                        let scope = Scope::from_plan(&plan, Some(&binding));
+                        Ok((plan, scope))
+                    }
+                }
+            }
+            TableRef::Subquery { query, alias } => {
+                // Inner STREAM ignored; stream-ness inherited (§3.3).
+                let plan = self.query_plan(query, streaming)?;
+                let scope = Scope::from_plan(&plan, alias.as_deref());
+                Ok((plan, scope))
+            }
+            TableRef::Join { left, right, kind, condition } => {
+                let (lplan, lscope) = self.from_clause(left, streaming)?;
+                let (rplan, rscope) = self.from_clause(right, streaming)?;
+                let larity = lplan.arity();
+                let scope = lscope.concat(rscope);
+                let cond = self.resolve(condition, &scope)?;
+                let (equi, time_bound, residual) =
+                    decompose_join_condition(&cond, larity, &lplan, &rplan)?;
+                if equi.is_empty() {
+                    return Err(PlanError::Unsupported(
+                        "joins require at least one equality condition".into(),
+                    ));
+                }
+                let plan = LogicalPlan::Join {
+                    left: Box::new(lplan),
+                    right: Box::new(rplan),
+                    kind: *kind,
+                    equi,
+                    time_bound,
+                    residual,
+                };
+                Ok((plan, scope))
+            }
+        }
+    }
+
+    // ----------------------------------------------------- plain projection
+
+    fn plain_projection(
+        &mut self,
+        query: &Query,
+        input: LogicalPlan,
+        scope: Scope,
+    ) -> Result<LogicalPlan> {
+        // Pure `SELECT *` keeps the input as-is (scan already shapes it).
+        if query.projections.len() == 1 && matches!(query.projections[0], SelectItem::Wildcard) {
+            return Ok(input);
+        }
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        for item in &query.projections {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, c) in scope.columns.iter().enumerate() {
+                        exprs.push(ScalarExpr::input(i, c.ty.clone()));
+                        names.push(c.name.clone());
+                    }
+                }
+                SelectItem::QualifiedWildcard(rel) => {
+                    let mut any = false;
+                    for (i, c) in scope.columns.iter().enumerate() {
+                        if c.qualifier.as_deref().is_some_and(|q| q.eq_ignore_ascii_case(rel)) {
+                            exprs.push(ScalarExpr::input(i, c.ty.clone()));
+                            names.push(c.name.clone());
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        return Err(PlanError::UnknownRelation(rel.clone()));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let resolved = self.resolve(expr, &scope)?;
+                    names.push(alias.clone().unwrap_or_else(|| derive_name(expr, exprs.len())));
+                    exprs.push(resolved);
+                }
+            }
+        }
+        Ok(LogicalPlan::Project { input: Box::new(input), exprs, names })
+    }
+
+    // --------------------------------------------------- aggregate queries
+
+    fn aggregate_query(
+        &mut self,
+        query: &Query,
+        input: LogicalPlan,
+        scope: Scope,
+        streaming: bool,
+    ) -> Result<LogicalPlan> {
+        // Split GROUP BY into a window spec and ordinary keys.
+        let mut window = GroupWindow::None;
+        let mut keys: Vec<ScalarExpr> = Vec::new();
+        let mut key_names: Vec<String> = Vec::new();
+        let mut key_sources: Vec<Expr> = Vec::new();
+        for g in &query.group_by {
+            match g {
+                Expr::Function { name, args, .. }
+                    if name.eq_ignore_ascii_case("TUMBLE") || name.eq_ignore_ascii_case("HOP") =>
+                {
+                    if window != GroupWindow::None {
+                        return Err(PlanError::Semantic(
+                            "at most one TUMBLE/HOP window per GROUP BY".into(),
+                        ));
+                    }
+                    window = self.window_spec(name, args, &scope, &input)?;
+                }
+                other => {
+                    let k = self.resolve(other, &scope)?;
+                    key_names.push(derive_name(other, keys.len()));
+                    keys.push(k);
+                    key_sources.push(other.clone());
+                }
+            }
+        }
+        if streaming && window == GroupWindow::None {
+            // Plain GROUP BY over an unbounded stream only terminates per
+            // window; FLOOR(rowtime TO HOUR) keys act as an hourly tumbling
+            // window (Listing 3), which the planner recognizes.
+            let floor_key = keys.iter().position(|k| matches!(k, ScalarExpr::FloorTime { .. }));
+            match floor_key {
+                Some(i) => {
+                    let ScalarExpr::FloorTime { expr, unit_millis } = keys[i].clone() else {
+                        unreachable!()
+                    };
+                    if let ScalarExpr::InputRef { index, .. } = *expr {
+                        window = GroupWindow::Tumble { ts_index: index, size_ms: unit_millis };
+                    }
+                }
+                None => {
+                    return Err(PlanError::Unsupported(
+                        "streaming GROUP BY requires a TUMBLE/HOP window or a \
+                         FLOOR(ts TO unit) key"
+                            .into(),
+                    ));
+                }
+            }
+        }
+
+        // Resolve each projection into either a key reference or agg calls.
+        let mut aggs: Vec<AggCall> = Vec::new();
+        let mut out_exprs: Vec<ScalarExpr> = Vec::new();
+        let mut out_names: Vec<String> = Vec::new();
+        let key_count = keys.len();
+        for item in &query.projections {
+            let (expr, alias) = match item {
+                SelectItem::Expr { expr, alias } => (expr, alias.clone()),
+                _ => {
+                    return Err(PlanError::Semantic(
+                        "SELECT * is not valid with GROUP BY".into(),
+                    ))
+                }
+            };
+            let out = self.resolve_in_agg_context(
+                expr,
+                &scope,
+                &keys,
+                key_count,
+                &mut aggs,
+                &window,
+                &input,
+            )?;
+            out_names.push(alias.unwrap_or_else(|| derive_name(expr, out_exprs.len())));
+            out_exprs.push(out);
+        }
+
+        let agg_plan = LogicalPlan::Aggregate {
+            input: Box::new(input),
+            window,
+            keys,
+            key_names: key_names.clone(),
+            aggs: aggs.clone(),
+        };
+
+        // HAVING over the aggregate output space.
+        let mut plan = agg_plan;
+        if let Some(h) = &query.having {
+            let agg_scope = Scope::from_plan(&plan, None);
+            // HAVING may also name aggregates structurally (COUNT(*) > 2):
+            // resolve against keys ++ agg outputs.
+            let predicate = self.resolve_having(h, &agg_scope, &key_sources, &scope, &plan)?;
+            if predicate.ty() != Schema::Boolean {
+                return Err(PlanError::Type("HAVING predicate must be boolean".into()));
+            }
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        }
+
+        // Final projection arranging outputs.
+        Ok(LogicalPlan::Project { input: Box::new(plan), exprs: out_exprs, names: out_names })
+    }
+
+    fn window_spec(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        scope: &Scope,
+        input: &LogicalPlan,
+    ) -> Result<GroupWindow> {
+        let ts_index = match args.first() {
+            Some(e) => match self.resolve(e, scope)? {
+                ScalarExpr::InputRef { index, ty } => {
+                    if ty != Schema::Timestamp && ty != Schema::Long {
+                        return Err(PlanError::Type(format!(
+                            "{name} timestamp argument must be a timestamp column, got {}",
+                            ty.type_name()
+                        )));
+                    }
+                    index
+                }
+                _ => {
+                    return Err(PlanError::Semantic(format!(
+                        "{name}'s first argument must be a timestamp column"
+                    )))
+                }
+            },
+            None => return Err(PlanError::Semantic(format!("{name} requires arguments"))),
+        };
+        if input.timestamp_index() != Some(ts_index) {
+            self.warnings.push(format!(
+                "{name} is windowing on a column that is not the declared stream timestamp"
+            ));
+        }
+        let interval_arg = |e: &Expr, what: &str| -> Result<i64> {
+            match e {
+                Expr::Literal(Literal::Interval { millis, .. }) => Ok(*millis),
+                Expr::Literal(Literal::Time { millis, .. }) => Ok(*millis),
+                other => Err(PlanError::Semantic(format!(
+                    "{name} {what} must be an INTERVAL/TIME literal, got {other:?}"
+                ))),
+            }
+        };
+        if name.eq_ignore_ascii_case("TUMBLE") {
+            if args.len() != 2 {
+                return Err(PlanError::Semantic("TUMBLE(ts, size) takes 2 arguments".into()));
+            }
+            let size_ms = interval_arg(&args[1], "size")?;
+            if size_ms <= 0 {
+                return Err(PlanError::Semantic("TUMBLE size must be positive".into()));
+            }
+            Ok(GroupWindow::Tumble { ts_index, size_ms })
+        } else {
+            // HOP(ts, emit) | HOP(ts, emit, retain) | HOP(ts, emit, retain, align)
+            if !(2..=4).contains(&args.len()) {
+                return Err(PlanError::Semantic(
+                    "HOP takes 2 to 4 arguments: HOP(ts, emit[, retain[, align]])".into(),
+                ));
+            }
+            let emit_ms = interval_arg(&args[1], "emit interval")?;
+            let retain_ms =
+                if args.len() >= 3 { interval_arg(&args[2], "retain interval")? } else { emit_ms };
+            let align_ms = if args.len() == 4 { interval_arg(&args[3], "alignment")? } else { 0 };
+            if emit_ms <= 0 || retain_ms <= 0 {
+                return Err(PlanError::Semantic("HOP intervals must be positive".into()));
+            }
+            Ok(GroupWindow::Hop { ts_index, emit_ms, retain_ms, align_ms })
+        }
+    }
+
+    /// Resolve a projection expression in aggregate context: group-key
+    /// subexpressions become key refs, aggregate calls append to `aggs` and
+    /// become agg output refs, anything else must compose those.
+    #[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
+    fn resolve_in_agg_context(
+        &mut self,
+        expr: &Expr,
+        scope: &Scope,
+        keys: &[ScalarExpr],
+        key_count: usize,
+        aggs: &mut Vec<AggCall>,
+        window: &GroupWindow,
+        input: &LogicalPlan,
+    ) -> Result<ScalarExpr> {
+        // Aggregate call?
+        if let Some(call) = self.try_aggregate_call(expr, scope, window, aggs.len())? {
+            // Deduplicate identical calls.
+            let idx = aggs
+                .iter()
+                .position(|a| a.func == call.func && a.arg == call.arg && a.distinct == call.distinct)
+                .unwrap_or_else(|| {
+                    aggs.push(call.clone());
+                    aggs.len() - 1
+                });
+            return Ok(ScalarExpr::input(key_count + idx, aggs[idx].result_type()));
+        }
+        // Group key (structurally equal after resolution)?
+        if let Ok(resolved) = self.resolve(expr, scope) {
+            if let Some(i) = keys.iter().position(|k| *k == resolved) {
+                return Ok(ScalarExpr::input(i, keys[i].ty()));
+            }
+            if resolved.is_constant() {
+                return Ok(resolved);
+            }
+        }
+        // Compose recursively over operators.
+        match expr {
+            Expr::Binary { left, op, right } => {
+                let l =
+                    self.resolve_in_agg_context(left, scope, keys, key_count, aggs, window, input)?;
+                let r = self
+                    .resolve_in_agg_context(right, scope, keys, key_count, aggs, window, input)?;
+                self.typed_binary(*op, l, r)
+            }
+            Expr::Nested(inner) => {
+                self.resolve_in_agg_context(inner, scope, keys, key_count, aggs, window, input)
+            }
+            Expr::Unary { op: UnaryOp::Neg, expr } => {
+                let e =
+                    self.resolve_in_agg_context(expr, scope, keys, key_count, aggs, window, input)?;
+                Ok(ScalarExpr::Neg(Box::new(e)))
+            }
+            other => Err(PlanError::Semantic(format!(
+                "projection {other:?} is neither a GROUP BY key nor an aggregate"
+            ))),
+        }
+    }
+
+    /// Recognize an aggregate call and resolve its argument.
+    fn try_aggregate_call(
+        &mut self,
+        expr: &Expr,
+        scope: &Scope,
+        window: &GroupWindow,
+        ordinal: usize,
+    ) -> Result<Option<AggCall>> {
+        let (func, args, distinct) = match expr {
+            Expr::CountStar => (AggFunc::CountStar, &[][..], false),
+            Expr::Function { name, args, distinct } => match AggFunc::from_name(name) {
+                Some(f) => (f, args.as_slice(), *distinct),
+                // Names that are neither built-in aggregates nor scalar
+                // functions resolve as user-defined aggregates at runtime
+                // (the UDAF API the paper lists as future work).
+                None if ScalarFunc::from_name(name).is_none() => (
+                    AggFunc::UserDefined(name.to_uppercase()),
+                    args.as_slice(),
+                    *distinct,
+                ),
+                None => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        if matches!(func, AggFunc::Start | AggFunc::End) && *window == GroupWindow::None {
+            return Err(PlanError::Semantic(
+                "START/END are only valid with a TUMBLE/HOP window".into(),
+            ));
+        }
+        let arg = match (func.clone(), args) {
+            (AggFunc::CountStar, _) => None,
+            (_, [a]) => Some(self.resolve(a, scope)?),
+            (f, _) => {
+                return Err(PlanError::Semantic(format!(
+                    "{} takes exactly one argument",
+                    f.name()
+                )))
+            }
+        };
+        if let (AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max, Some(a)) =
+            (&func, &arg)
+        {
+            if !is_numeric(&a.ty()) && !matches!(a.ty(), Schema::String) {
+                return Err(PlanError::Type(format!(
+                    "{} argument must be numeric, got {}",
+                    func.name(),
+                    a.ty().type_name()
+                )));
+            }
+        }
+        Ok(Some(AggCall {
+            output_name: format!("{}_{ordinal}", func.name().replace("(*)", "_star")),
+            func,
+            arg,
+            distinct,
+        }))
+    }
+
+    /// Resolve HAVING: names in the aggregate output first, then structural
+    /// aggregate matches (e.g. `COUNT(*) > 2` after `SELECT COUNT(*)`).
+    fn resolve_having(
+        &mut self,
+        expr: &Expr,
+        agg_scope: &Scope,
+        _key_sources: &[Expr],
+        input_scope: &Scope,
+        agg_plan: &LogicalPlan,
+    ) -> Result<ScalarExpr> {
+        // Try plain resolution against the aggregate's output columns.
+        if let Ok(r) = self.resolve(expr, agg_scope) {
+            return Ok(r);
+        }
+        // Structural: match aggregate calls against plan aggs.
+        let LogicalPlan::Aggregate { keys, aggs, .. } = agg_plan else {
+            return Err(PlanError::Semantic("HAVING without aggregate".into()));
+        };
+        match expr {
+            Expr::Binary { left, op, right } => {
+                let l = self.resolve_having(left, agg_scope, _key_sources, input_scope, agg_plan)?;
+                let r =
+                    self.resolve_having(right, agg_scope, _key_sources, input_scope, agg_plan)?;
+                self.typed_binary(*op, l, r)
+            }
+            Expr::Nested(inner) => {
+                self.resolve_having(inner, agg_scope, _key_sources, input_scope, agg_plan)
+            }
+            Expr::CountStar | Expr::Function { .. } => {
+                let window = GroupWindow::None;
+                if let Some(call) = self.try_aggregate_call(expr, input_scope, &window, 0)? {
+                    if let Some(i) = aggs
+                        .iter()
+                        .position(|a| a.func == call.func && a.arg == call.arg)
+                    {
+                        return Ok(ScalarExpr::input(keys.len() + i, aggs[i].result_type()));
+                    }
+                }
+                Err(PlanError::Semantic(format!(
+                    "HAVING references an aggregate not in the SELECT list: {expr:?}"
+                )))
+            }
+            other => Err(PlanError::Semantic(format!("cannot resolve HAVING term {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------ sliding (OVER) windows
+
+    fn sliding_window_query(
+        &mut self,
+        query: &Query,
+        input: LogicalPlan,
+        scope: Scope,
+    ) -> Result<LogicalPlan> {
+        // Gather distinct window specs in order of appearance.
+        let mut specs: Vec<WindowSpec> = Vec::new();
+        for item in &query.projections {
+            if let SelectItem::Expr { expr, .. } = item {
+                expr.visit(&mut |e| {
+                    if let Expr::Over { window, .. } = e {
+                        if !specs.contains(window) {
+                            specs.push(window.clone());
+                        }
+                    }
+                });
+            }
+        }
+
+        // Chain one SlidingWindow node per distinct spec; each appends its
+        // agg columns. Record, per (spec, func-expr) pair, the output index.
+        let mut plan = input;
+        let input_arity = scope.columns.len();
+        let mut over_outputs: Vec<(WindowSpec, Expr, usize)> = Vec::new();
+        let mut appended = 0usize;
+        for spec in &specs {
+            let partition_by: Vec<ScalarExpr> = spec
+                .partition_by
+                .iter()
+                .map(|e| self.resolve(e, &scope))
+                .collect::<Result<_>>()?;
+            // ORDER BY must be the timestamp column (monotonic, §3.8.1).
+            if spec.order_by.len() != 1 {
+                return Err(PlanError::Unsupported(
+                    "OVER windows require exactly one ORDER BY column".into(),
+                ));
+            }
+            let ts_index = match self.resolve(&spec.order_by[0].0, &scope)? {
+                ScalarExpr::InputRef { index, ty } => {
+                    if ty != Schema::Timestamp {
+                        self.warnings.push(
+                            "OVER window ordered by a non-timestamp column".to_string(),
+                        );
+                    }
+                    index
+                }
+                _ => {
+                    return Err(PlanError::Unsupported(
+                        "OVER ORDER BY must be a plain column".into(),
+                    ))
+                }
+            };
+            let (range_ms, rows) = match (&spec.units, &spec.start) {
+                (FrameUnits::Range, FrameBound::Preceding(e)) => match &**e {
+                    Expr::Literal(Literal::Interval { millis, .. }) => (Some(*millis), None),
+                    other => {
+                        return Err(PlanError::Semantic(format!(
+                            "RANGE frame requires an INTERVAL literal, got {other:?}"
+                        )))
+                    }
+                },
+                (FrameUnits::Rows, FrameBound::Preceding(e)) => match &**e {
+                    Expr::Literal(Literal::Int(n)) if *n >= 0 => (None, Some(*n as u64)),
+                    other => {
+                        return Err(PlanError::Semantic(format!(
+                            "ROWS frame requires a non-negative integer, got {other:?}"
+                        )))
+                    }
+                },
+                (_, FrameBound::UnboundedPreceding) => (None, None),
+                (_, FrameBound::CurrentRow) => (Some(0), None),
+            };
+
+            // Collect agg calls for this spec from all projections.
+            let mut aggs: Vec<AggCall> = Vec::new();
+            for item in &query.projections {
+                if let SelectItem::Expr { expr, .. } = item {
+                    collect_over_calls(expr, spec, &mut |func_expr| {
+                        if over_outputs
+                            .iter()
+                            .any(|(s, e, _)| s == spec && e == func_expr)
+                        {
+                            return Ok(());
+                        }
+                        let call = self
+                            .try_aggregate_call(func_expr, &scope, &GroupWindow::Tumble { ts_index: 0, size_ms: 1 }, aggs.len())?
+                            .ok_or_else(|| {
+                                PlanError::Semantic(format!(
+                                    "OVER applies to aggregate functions, got {func_expr:?}"
+                                ))
+                            })?;
+                        over_outputs.push((
+                            spec.clone(),
+                            func_expr.clone(),
+                            input_arity + appended + aggs.len(),
+                        ));
+                        aggs.push(call);
+                        Ok(())
+                    })?;
+                }
+            }
+            appended += aggs.len();
+            plan = LogicalPlan::SlidingWindow {
+                input: Box::new(plan),
+                partition_by,
+                ts_index,
+                range_ms,
+                rows,
+                aggs,
+            };
+        }
+
+        // Final projection over input columns + appended agg columns.
+        let full_names = plan.output_names();
+        let full_types = plan.output_types();
+        let full_scope = Scope {
+            columns: scope
+                .columns
+                .iter()
+                .cloned()
+                .chain(full_names[input_arity..].iter().zip(&full_types[input_arity..]).map(
+                    |(n, t)| ScopeColumn { qualifier: None, name: n.clone(), ty: t.clone() },
+                ))
+                .collect(),
+        };
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        for item in &query.projections {
+            match item {
+                SelectItem::Wildcard => {
+                    for (i, c) in scope.columns.iter().enumerate() {
+                        exprs.push(ScalarExpr::input(i, c.ty.clone()));
+                        names.push(c.name.clone());
+                    }
+                }
+                SelectItem::QualifiedWildcard(rel) => {
+                    for (i, c) in scope.columns.iter().enumerate() {
+                        if c.qualifier.as_deref().is_some_and(|q| q.eq_ignore_ascii_case(rel)) {
+                            exprs.push(ScalarExpr::input(i, c.ty.clone()));
+                            names.push(c.name.clone());
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let resolved =
+                        self.resolve_with_over(expr, &full_scope, &over_outputs, &full_types)?;
+                    names.push(alias.clone().unwrap_or_else(|| derive_name(expr, exprs.len())));
+                    exprs.push(resolved);
+                }
+            }
+        }
+        Ok(LogicalPlan::Project { input: Box::new(plan), exprs, names })
+    }
+
+    /// Resolve an expression where OVER subtrees map to appended columns.
+    fn resolve_with_over(
+        &mut self,
+        expr: &Expr,
+        scope: &Scope,
+        over_outputs: &[(WindowSpec, Expr, usize)],
+        types: &[Schema],
+    ) -> Result<ScalarExpr> {
+        if let Expr::Over { func, window } = expr {
+            let idx = over_outputs
+                .iter()
+                .find(|(s, e, _)| s == window && e == &**func)
+                .map(|(_, _, i)| *i)
+                .ok_or_else(|| PlanError::Semantic("unresolved OVER expression".into()))?;
+            return Ok(ScalarExpr::input(idx, types[idx].clone()));
+        }
+        match expr {
+            Expr::Binary { left, op, right } => {
+                let l = self.resolve_with_over(left, scope, over_outputs, types)?;
+                let r = self.resolve_with_over(right, scope, over_outputs, types)?;
+                self.typed_binary(*op, l, r)
+            }
+            Expr::Nested(inner) => self.resolve_with_over(inner, scope, over_outputs, types),
+            other => self.resolve(other, scope),
+        }
+    }
+
+    // -------------------------------------------------- expression resolver
+
+    fn resolve(&mut self, expr: &Expr, scope: &Scope) -> Result<ScalarExpr> {
+        match expr {
+            Expr::Column { qualifier, name } => {
+                let (index, ty) = scope.resolve(qualifier.as_deref(), name)?;
+                Ok(ScalarExpr::InputRef { index, ty })
+            }
+            Expr::Literal(l) => Ok(ScalarExpr::Literal(literal_value(l))),
+            Expr::Unary { op, expr } => {
+                let inner = self.resolve(expr, scope)?;
+                match op {
+                    UnaryOp::Not => {
+                        if inner.ty() != Schema::Boolean {
+                            return Err(PlanError::Type("NOT requires a boolean".into()));
+                        }
+                        Ok(ScalarExpr::Not(Box::new(inner)))
+                    }
+                    UnaryOp::Neg => {
+                        if !is_numeric(&inner.ty()) {
+                            return Err(PlanError::Type("negation requires a numeric".into()));
+                        }
+                        Ok(ScalarExpr::Neg(Box::new(inner)))
+                    }
+                }
+            }
+            Expr::Binary { left, op, right } => {
+                let l = self.resolve(left, scope)?;
+                let r = self.resolve(right, scope)?;
+                self.typed_binary(*op, l, r)
+            }
+            Expr::Between { expr, negated, low, high } => {
+                // Desugar: e BETWEEN a AND b ⇒ e >= a AND e <= b.
+                let e = self.resolve(expr, scope)?;
+                let lo = self.resolve(low, scope)?;
+                let hi = self.resolve(high, scope)?;
+                let ge = self.typed_binop(BinOp::GtEq, e.clone(), lo)?;
+                let le = self.typed_binop(BinOp::LtEq, e, hi)?;
+                let both = ScalarExpr::Binary {
+                    op: BinOp::And,
+                    left: Box::new(ge),
+                    right: Box::new(le),
+                    ty: Schema::Boolean,
+                };
+                Ok(if *negated { ScalarExpr::Not(Box::new(both)) } else { both })
+            }
+            Expr::IsNull { expr, negated } => {
+                let inner = self.resolve(expr, scope)?;
+                Ok(ScalarExpr::IsNull { expr: Box::new(inner), negated: *negated })
+            }
+            Expr::FloorTo { expr, unit } => {
+                let inner = self.resolve(expr, scope)?;
+                if !matches!(inner.ty(), Schema::Timestamp | Schema::Long) {
+                    return Err(PlanError::Type(format!(
+                        "FLOOR(… TO {}) requires a timestamp",
+                        unit.name()
+                    )));
+                }
+                Ok(ScalarExpr::FloorTime {
+                    expr: Box::new(inner),
+                    unit_millis: unit.millis(),
+                })
+            }
+            Expr::Function { name, args, .. } => {
+                if AggFunc::from_name(name).is_some() {
+                    return Err(PlanError::Semantic(format!(
+                        "aggregate {name} is not valid here (needs GROUP BY or OVER)"
+                    )));
+                }
+                let func = ScalarFunc::from_name(name).ok_or_else(|| {
+                    PlanError::Unsupported(format!("unknown function {name}"))
+                })?;
+                let args: Vec<ScalarExpr> =
+                    args.iter().map(|a| self.resolve(a, scope)).collect::<Result<_>>()?;
+                let ty = scalar_func_type(func, &args)?;
+                Ok(ScalarExpr::Call { func, args, ty })
+            }
+            Expr::CountStar => Err(PlanError::Semantic(
+                "COUNT(*) is not valid here (needs GROUP BY or OVER)".into(),
+            )),
+            Expr::Case { operand, branches, else_result } => {
+                let mut resolved_branches = Vec::new();
+                for (w, t) in branches {
+                    let cond = match operand {
+                        Some(op) => {
+                            let lhs = self.resolve(op, scope)?;
+                            let rhs = self.resolve(w, scope)?;
+                            self.typed_binop(BinOp::Eq, lhs, rhs)?
+                        }
+                        None => {
+                            let c = self.resolve(w, scope)?;
+                            if c.ty() != Schema::Boolean {
+                                return Err(PlanError::Type(
+                                    "CASE WHEN condition must be boolean".into(),
+                                ));
+                            }
+                            c
+                        }
+                    };
+                    resolved_branches.push((cond, self.resolve(t, scope)?));
+                }
+                let else_resolved = match else_result {
+                    Some(e) => Some(Box::new(self.resolve(e, scope)?)),
+                    None => None,
+                };
+                let ty = resolved_branches
+                    .first()
+                    .map(|(_, t)| t.ty())
+                    .unwrap_or(Schema::Null);
+                Ok(ScalarExpr::Case { branches: resolved_branches, else_result: else_resolved, ty })
+            }
+            Expr::Cast { expr, type_name } => {
+                let inner = self.resolve(expr, scope)?;
+                let ty = parse_type_name(type_name)?;
+                Ok(ScalarExpr::Cast { expr: Box::new(inner), ty })
+            }
+            Expr::Over { .. } => Err(PlanError::Semantic(
+                "OVER windows are only valid in the SELECT list".into(),
+            )),
+            Expr::Nested(inner) => self.resolve(inner, scope),
+        }
+    }
+
+    fn typed_binary(&mut self, op: BinaryOp, l: ScalarExpr, r: ScalarExpr) -> Result<ScalarExpr> {
+        self.typed_binop(convert_binop(op), l, r)
+    }
+
+    fn typed_binop(&mut self, op: BinOp, l: ScalarExpr, r: ScalarExpr) -> Result<ScalarExpr> {
+        let ty = if op.is_logical() {
+            if l.ty() != Schema::Boolean || r.ty() != Schema::Boolean {
+                return Err(PlanError::Type(format!(
+                    "{} requires boolean operands",
+                    op.symbol()
+                )));
+            }
+            Schema::Boolean
+        } else if op.is_comparison() {
+            let (lt, rt) = (l.ty(), r.ty());
+            let comparable = lt == rt
+                || (is_numeric(&lt) && is_numeric(&rt))
+                || matches!((&lt, &rt), (Schema::Optional(a), b) if **a == *b)
+                || matches!((&lt, &rt), (a, Schema::Optional(b)) if *a == **b);
+            if !comparable {
+                return Err(PlanError::Type(format!(
+                    "cannot compare {} with {}",
+                    lt.type_name(),
+                    rt.type_name()
+                )));
+            }
+            Schema::Boolean
+        } else if op == BinOp::Like {
+            if l.ty() != Schema::String || r.ty() != Schema::String {
+                return Err(PlanError::Type("LIKE requires string operands".into()));
+            }
+            Schema::Boolean
+        } else {
+            arithmetic_type(op, &l.ty(), &r.ty())?
+        };
+        Ok(ScalarExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty })
+    }
+}
+
+// ----------------------------------------------------------------- helpers
+
+fn convert_binop(op: BinaryOp) -> BinOp {
+    match op {
+        BinaryOp::Or => BinOp::Or,
+        BinaryOp::And => BinOp::And,
+        BinaryOp::Eq => BinOp::Eq,
+        BinaryOp::NotEq => BinOp::NotEq,
+        BinaryOp::Lt => BinOp::Lt,
+        BinaryOp::LtEq => BinOp::LtEq,
+        BinaryOp::Gt => BinOp::Gt,
+        BinaryOp::GtEq => BinOp::GtEq,
+        BinaryOp::Plus => BinOp::Plus,
+        BinaryOp::Minus => BinOp::Minus,
+        BinaryOp::Multiply => BinOp::Multiply,
+        BinaryOp::Divide => BinOp::Divide,
+        BinaryOp::Modulo => BinOp::Modulo,
+        BinaryOp::Like => BinOp::Like,
+    }
+}
+
+fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Int(n) => {
+            if let Ok(i) = i32::try_from(*n) {
+                Value::Int(i)
+            } else {
+                Value::Long(*n)
+            }
+        }
+        Literal::Decimal(d) => Value::Double(*d),
+        Literal::String(s) => Value::String(s.clone()),
+        Literal::Bool(b) => Value::Boolean(*b),
+        Literal::Null => Value::Null,
+        Literal::Interval { millis, .. } | Literal::Time { millis, .. } => Value::Long(*millis),
+    }
+}
+
+fn parse_type_name(name: &str) -> Result<Schema> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "int" | "integer" => Schema::Int,
+        "bigint" | "long" => Schema::Long,
+        "float" | "real" => Schema::Float,
+        "double" => Schema::Double,
+        "varchar" | "string" | "char" => Schema::String,
+        "boolean" | "bool" => Schema::Boolean,
+        "timestamp" => Schema::Timestamp,
+        other => return Err(PlanError::Unsupported(format!("CAST to {other}"))),
+    })
+}
+
+fn scalar_func_type(func: ScalarFunc, args: &[ScalarExpr]) -> Result<Schema> {
+    match func {
+        ScalarFunc::Greatest | ScalarFunc::Least => {
+            if args.is_empty() {
+                return Err(PlanError::Semantic(format!("{} needs arguments", func.name())));
+            }
+            Ok(args[0].ty())
+        }
+        ScalarFunc::Abs | ScalarFunc::Floor | ScalarFunc::Ceil => {
+            let ty = args
+                .first()
+                .map(|a| a.ty())
+                .ok_or_else(|| PlanError::Semantic(format!("{} needs one argument", func.name())))?;
+            if !is_numeric(&ty) {
+                return Err(PlanError::Type(format!("{} requires a numeric", func.name())));
+            }
+            Ok(ty)
+        }
+        ScalarFunc::Upper | ScalarFunc::Lower | ScalarFunc::Concat => Ok(Schema::String),
+        ScalarFunc::CharLength => Ok(Schema::Int),
+    }
+}
+
+fn derive_name(expr: &Expr, ordinal: usize) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::FloorTo { expr, .. } => derive_name(expr, ordinal),
+        Expr::Function { name, .. } => format!("{}_{ordinal}", name.to_lowercase()),
+        Expr::CountStar => format!("count_{ordinal}"),
+        _ => format!("EXPR${ordinal}"),
+    }
+}
+
+fn contains_aggregate(expr: &Expr) -> bool {
+    let mut found = false;
+    expr.visit(&mut |e| match e {
+        Expr::CountStar => found = true,
+        Expr::Function { name, .. }
+            if AggFunc::from_name(name).is_some()
+                && !name.eq_ignore_ascii_case("TUMBLE")
+                && !name.eq_ignore_ascii_case("HOP") =>
+        {
+            found = true
+        }
+        _ => {}
+    });
+    // OVER expressions contain aggregates syntactically but are handled by
+    // the sliding-window path; exclude them.
+    if found && contains_over(expr) {
+        let mut outside = false;
+        check_agg_outside_over(expr, &mut outside);
+        return outside;
+    }
+    found
+}
+
+fn check_agg_outside_over(expr: &Expr, found: &mut bool) {
+    match expr {
+        Expr::Over { .. } => {} // don't descend
+        Expr::CountStar => *found = true,
+        Expr::Function { name, args, .. } => {
+            if AggFunc::from_name(name).is_some() {
+                *found = true;
+            }
+            for a in args {
+                check_agg_outside_over(a, found);
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            check_agg_outside_over(left, found);
+            check_agg_outside_over(right, found);
+        }
+        Expr::Nested(e) | Expr::Unary { expr: e, .. } => check_agg_outside_over(e, found),
+        _ => {}
+    }
+}
+
+fn contains_over(expr: &Expr) -> bool {
+    let mut found = false;
+    expr.visit(&mut |e| {
+        if matches!(e, Expr::Over { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Call `f` on every `Over` function expression using exactly `spec`.
+fn collect_over_calls(
+    expr: &Expr,
+    spec: &WindowSpec,
+    f: &mut dyn FnMut(&Expr) -> Result<()>,
+) -> Result<()> {
+    match expr {
+        Expr::Over { func, window } if window == spec => f(func),
+        Expr::Over { .. } => Ok(()),
+        Expr::Binary { left, right, .. } => {
+            collect_over_calls(left, spec, f)?;
+            collect_over_calls(right, spec, f)
+        }
+        Expr::Nested(e) | Expr::Unary { expr: e, .. } => collect_over_calls(e, spec, f),
+        _ => Ok(()),
+    }
+}
+
+/// Split a resolved join condition into equi pairs, an optional time bound,
+/// and a residual predicate (§3.8.1 window-in-condition form).
+#[allow(clippy::type_complexity)]
+fn decompose_join_condition(
+    cond: &ScalarExpr,
+    left_arity: usize,
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+) -> Result<(Vec<(usize, usize)>, Option<TimeBound>, Option<ScalarExpr>)> {
+    let mut conjuncts = Vec::new();
+    flatten_and(cond, &mut conjuncts);
+    let mut equi = Vec::new();
+    let mut residual: Vec<ScalarExpr> = Vec::new();
+    let mut lower: Option<(usize, usize, i64)> = None; // (l_ts, r_ts, slack)
+    let mut upper: Option<(usize, usize, i64)> = None;
+
+    for c in conjuncts {
+        // left.col = right.col ?
+        if let ScalarExpr::Binary { op: BinOp::Eq, left: l, right: r, .. } = &c {
+            if let (
+                ScalarExpr::InputRef { index: a, .. },
+                ScalarExpr::InputRef { index: b, .. },
+            ) = (&**l, &**r)
+            {
+                if *a < left_arity && *b >= left_arity {
+                    equi.push((*a, *b - left_arity));
+                    continue;
+                }
+                if *b < left_arity && *a >= left_arity {
+                    equi.push((*b, *a - left_arity));
+                    continue;
+                }
+            }
+        }
+        // ts >= other_ts - INTERVAL / ts <= other_ts + INTERVAL (from the
+        // desugared BETWEEN).
+        if let Some((l_ts, r_ts, slack, is_lower)) = match_time_bound(&c, left_arity) {
+            if is_lower {
+                lower = Some((l_ts, r_ts, slack));
+            } else {
+                upper = Some((l_ts, r_ts, slack));
+            }
+            continue;
+        }
+        residual.push(c);
+    }
+
+    let time_bound = match (lower, upper) {
+        (Some((l_ts, r_ts, lo)), Some((l2, r2, hi))) if l_ts == l2 && r_ts == r2 => {
+            // Sanity: both referenced columns should be the timestamp columns.
+            let _ = (left, right);
+            Some(TimeBound { left_ts: l_ts, right_ts: r_ts, lower_ms: lo, upper_ms: hi })
+        }
+        (None, None) => None,
+        _ => {
+            return Err(PlanError::Unsupported(
+                "stream-to-stream join window must bound the timestamp from both sides \
+                 (ts BETWEEN other - INTERVAL AND other + INTERVAL)"
+                    .into(),
+            ))
+        }
+    };
+    let residual = residual.into_iter().reduce(|a, b| ScalarExpr::Binary {
+        op: BinOp::And,
+        left: Box::new(a),
+        right: Box::new(b),
+        ty: Schema::Boolean,
+    });
+    Ok((equi, time_bound, residual))
+}
+
+fn flatten_and(expr: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
+    if let ScalarExpr::Binary { op: BinOp::And, left, right, .. } = expr {
+        flatten_and(left, out);
+        flatten_and(right, out);
+    } else {
+        out.push(expr.clone());
+    }
+}
+
+/// Match `ts >= other ± k` / `ts <= other ± k` patterns; returns
+/// (left-side ts index, right-side ts index, slack ms, is_lower_bound).
+fn match_time_bound(expr: &ScalarExpr, left_arity: usize) -> Option<(usize, usize, i64, bool)> {
+    let ScalarExpr::Binary { op, left, right, .. } = expr else {
+        return None;
+    };
+    let (a, rhs, is_lower) = match op {
+        BinOp::GtEq => (&**left, &**right, true),
+        BinOp::LtEq => (&**left, &**right, false),
+        _ => return None,
+    };
+    let ScalarExpr::InputRef { index: ts_a, ty: ty_a } = a else {
+        return None;
+    };
+    if *ty_a != Schema::Timestamp {
+        return None;
+    }
+    // rhs: other_ts ± const
+    let (other, slack) = match rhs {
+        ScalarExpr::Binary { op: BinOp::Minus, left: l, right: r, .. } => {
+            match (&**l, &**r) {
+                (ScalarExpr::InputRef { index, ty }, ScalarExpr::Literal(v))
+                    if *ty == Schema::Timestamp =>
+                {
+                    (*index, v.as_i64()?)
+                }
+                _ => return None,
+            }
+        }
+        ScalarExpr::Binary { op: BinOp::Plus, left: l, right: r, .. } => match (&**l, &**r) {
+            (ScalarExpr::InputRef { index, ty }, ScalarExpr::Literal(v))
+                if *ty == Schema::Timestamp =>
+            {
+                (*index, v.as_i64()?)
+            }
+            _ => return None,
+        },
+        ScalarExpr::InputRef { index, ty } if *ty == Schema::Timestamp => (*index, 0),
+        _ => return None,
+    };
+    // Normalize so the tuple is (left-side index, right-side index).
+    if *ts_a < left_arity && other >= left_arity {
+        Some((*ts_a, other - left_arity, slack, is_lower))
+    } else if *ts_a >= left_arity && other < left_arity {
+        // Mirrored orientation: other side's bound. Flip lower/upper.
+        Some((other, *ts_a - left_arity, slack, !is_lower))
+    } else {
+        None
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests: the planner must return Ok or a structured error — never
+//! panic — for arbitrary parseable queries, and optimization must preserve
+//! the plan's output shape.
+
+use proptest::prelude::*;
+use samzasql_planner::{Catalog, Planner};
+use samzasql_serde::Schema;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register_stream(
+        "Orders",
+        "orders",
+        Schema::record(
+            "Orders",
+            vec![
+                ("rowtime", Schema::Timestamp),
+                ("productId", Schema::Int),
+                ("orderId", Schema::Long),
+                ("units", Schema::Int),
+            ],
+        ),
+        "rowtime",
+    )
+    .unwrap();
+    c.register_table(
+        "Products",
+        "products-changelog",
+        Schema::record(
+            "Products",
+            vec![("productId", Schema::Int), ("supplierId", Schema::Int)],
+        ),
+    )
+    .unwrap();
+    c
+}
+
+/// Random query fragments, many valid, some semantically wrong — the planner
+/// must handle all without panicking.
+fn sql_strategy() -> impl Strategy<Value = String> {
+    let col = prop_oneof![
+        Just("rowtime"),
+        Just("productId"),
+        Just("orderId"),
+        Just("units"),
+        Just("ghost"), // unknown column: must error cleanly
+    ];
+    let stream = prop_oneof![Just("STREAM "), Just("")];
+    let predicate = (col.clone(), -100i64..100).prop_map(|(c, n)| format!("{c} > {n}"));
+    (
+        stream,
+        prop::collection::vec(col, 1..4),
+        prop::option::of(predicate),
+        any::<bool>(),
+    )
+        .prop_map(|(stream, cols, pred, agg)| {
+            let mut q = format!("SELECT {stream}");
+            if agg {
+                q.push_str("productId, COUNT(*), SUM(units)");
+            } else {
+                q.push_str(&cols.join(", "));
+            }
+            q.push_str(" FROM Orders");
+            if let Some(p) = pred {
+                q.push_str(&format!(" WHERE {p}"));
+            }
+            if agg {
+                q.push_str(" GROUP BY productId");
+            }
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn planning_never_panics(sql in sql_strategy()) {
+        let planner = Planner::new(catalog());
+        let _ = planner.plan(&sql);
+    }
+
+    /// When planning succeeds, the output names/types agree in arity, the
+    /// EXPLAIN renders, and physical output shape equals logical shape.
+    #[test]
+    fn successful_plans_are_internally_consistent(sql in sql_strategy()) {
+        let planner = Planner::new(catalog());
+        if let Ok(p) = planner.plan(&sql) {
+            prop_assert_eq!(p.output_names.len(), p.output_types.len());
+            prop_assert!(!p.output_names.is_empty());
+            prop_assert_eq!(p.physical.output_names(), p.output_names.clone());
+            prop_assert_eq!(p.physical.output_types(), p.output_types.clone());
+            let text = planner.explain(&sql).unwrap();
+            prop_assert!(text.contains("ScanOp"));
+        }
+    }
+
+    /// Join planning with arbitrary equality directions never panics and
+    /// extracts a bootstrap join when it succeeds.
+    #[test]
+    fn join_condition_orientations(flip in any::<bool>(), extra in any::<bool>()) {
+        let cond = if flip {
+            "Products.productId = Orders.productId"
+        } else {
+            "Orders.productId = Products.productId"
+        };
+        let residual = if extra { " AND Orders.units > 5" } else { "" };
+        let sql = format!(
+            "SELECT STREAM Orders.rowtime, Products.supplierId \
+             FROM Orders JOIN Products ON {cond}{residual}"
+        );
+        let planner = Planner::new(catalog());
+        let planned = planner.plan(&sql).unwrap();
+        prop_assert!(planned.physical.explain().contains("StreamToRelationJoinOp"));
+    }
+}

@@ -1,0 +1,495 @@
+//! End-to-end planning tests: every paper query through parse → validate →
+//! optimize → physical, checking plan shapes and dialect semantics.
+
+use samzasql_planner::{
+    Catalog, GroupWindow, LogicalPlan, PhysicalPlan, PlanError, Planner,
+};
+use samzasql_serde::Schema;
+
+/// The paper's example catalog (§3.2): Orders/Packets/Asks/Bids streams and
+/// Products/Suppliers tables.
+fn paper_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register_stream(
+        "Orders",
+        "orders",
+        Schema::record(
+            "Orders",
+            vec![
+                ("rowtime", Schema::Timestamp),
+                ("productId", Schema::Int),
+                ("orderId", Schema::Long),
+                ("units", Schema::Int),
+            ],
+        ),
+        "rowtime",
+    )
+    .unwrap();
+    c.register_table(
+        "Products",
+        "products-changelog",
+        Schema::record(
+            "Products",
+            vec![
+                ("productId", Schema::Int),
+                ("name", Schema::String),
+                ("supplierId", Schema::Int),
+            ],
+        ),
+    )
+    .unwrap();
+    c.register_table(
+        "Suppliers",
+        "suppliers-changelog",
+        Schema::record(
+            "Suppliers",
+            vec![
+                ("supplierId", Schema::Int),
+                ("name", Schema::String),
+                ("location", Schema::String),
+            ],
+        ),
+    )
+    .unwrap();
+    for packets in ["PacketsR1", "PacketsR2"] {
+        c.register_stream(
+            packets,
+            packets.to_lowercase(),
+            Schema::record(
+                packets,
+                vec![
+                    ("rowtime", Schema::Timestamp),
+                    ("sourcetime", Schema::Timestamp),
+                    ("packetId", Schema::Long),
+                ],
+            ),
+            "rowtime",
+        )
+        .unwrap();
+    }
+    for trades in ["Asks", "Bids"] {
+        c.register_stream(
+            trades,
+            trades.to_lowercase(),
+            Schema::record(
+                trades,
+                vec![
+                    ("rowtime", Schema::Timestamp),
+                    ("id", Schema::Long),
+                    ("ticker", Schema::String),
+                    ("shares", Schema::Int),
+                    ("price", Schema::Double),
+                ],
+            ),
+            "rowtime",
+        )
+        .unwrap();
+    }
+    c
+}
+
+fn planner() -> Planner {
+    Planner::new(paper_catalog())
+}
+
+#[test]
+fn select_star_is_bare_streaming_scan() {
+    let p = planner().plan("SELECT STREAM * FROM Orders").unwrap();
+    assert!(p.is_stream);
+    assert!(matches!(p.logical, LogicalPlan::Scan { stream: true, .. }));
+    assert_eq!(p.output_names, vec!["rowtime", "productId", "orderId", "units"]);
+}
+
+#[test]
+fn absence_of_stream_keyword_scans_history() {
+    let p = planner().plan("SELECT * FROM Orders").unwrap();
+    assert!(!p.is_stream);
+    assert!(matches!(p.physical, PhysicalPlan::Scan { bounded: true, .. }));
+}
+
+#[test]
+fn eval_filter_query_plan_shape() {
+    let p = planner().plan("SELECT STREAM * FROM Orders WHERE units > 50").unwrap();
+    match &p.physical {
+        PhysicalPlan::Filter { input, predicate } => {
+            assert!(matches!(**input, PhysicalPlan::Scan { bounded: false, .. }));
+            assert_eq!(predicate.display(&["rowtime".into(), "productId".into(), "orderId".into(), "units".into()]), "units > 50");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn eval_project_query_plan_shape() {
+    let p = planner()
+        .plan("SELECT STREAM rowtime, productId, units FROM Orders")
+        .unwrap();
+    match &p.physical {
+        PhysicalPlan::Project { names, .. } => {
+            assert_eq!(names, &vec!["rowtime", "productId", "units"]);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(p.warnings.is_empty(), "timestamp kept, no warning: {:?}", p.warnings);
+}
+
+#[test]
+fn timestamp_drop_produces_warning() {
+    let p = planner().plan("SELECT STREAM productId, units FROM Orders").unwrap();
+    assert!(
+        p.warnings.iter().any(|w| w.contains("timestamp")),
+        "expected §7 timestamp warning: {:?}",
+        p.warnings
+    );
+}
+
+#[test]
+fn eval_sliding_window_query_plan_shape() {
+    let p = planner()
+        .plan(
+            "SELECT STREAM rowtime, productId, units, \
+             SUM(units) OVER (PARTITION BY productId ORDER BY rowtime \
+             RANGE INTERVAL '5' MINUTE PRECEDING) unitsLastFiveMinutes FROM Orders",
+        )
+        .unwrap();
+    match &p.physical {
+        PhysicalPlan::Project { input, names, .. } => {
+            assert_eq!(names[3], "unitsLastFiveMinutes");
+            match &**input {
+                PhysicalPlan::SlidingWindow { range_ms, partition_by, .. } => {
+                    assert_eq!(*range_ms, Some(300_000));
+                    assert_eq!(partition_by.len(), 1);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(p.output_types[3], Schema::Long, "SUM(int) widens to long");
+}
+
+#[test]
+fn eval_join_query_uses_bootstrap_relation_join() {
+    let p = planner()
+        .plan(
+            "SELECT STREAM Orders.rowtime, Orders.orderId, Orders.productId, \
+             Orders.units, Products.supplierId \
+             FROM Orders JOIN Products ON Orders.productId = Products.productId",
+        )
+        .unwrap();
+    match &p.physical {
+        PhysicalPlan::Project { input, .. } => match &**input {
+            PhysicalPlan::StreamToRelationJoin {
+                relation_topic,
+                stream_is_left,
+                equi,
+                ..
+            } => {
+                assert_eq!(relation_topic, "products-changelog");
+                assert!(stream_is_left);
+                assert_eq!(equi, &vec![(1, 0)], "stream productId -> relation productId");
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(p.output_names, vec!["rowtime", "orderId", "productId", "units", "supplierId"]);
+}
+
+#[test]
+fn packet_join_extracts_window_bounds() {
+    let p = planner()
+        .plan(
+            "SELECT STREAM GREATEST(PacketsR1.rowtime, PacketsR2.rowtime) AS rowtime, \
+             PacketsR1.sourcetime, PacketsR1.packetId, \
+             PacketsR2.rowtime - PacketsR1.rowtime AS timeToTravel \
+             FROM PacketsR1 JOIN PacketsR2 ON \
+             PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '2' SECOND \
+             AND PacketsR2.rowtime + INTERVAL '2' SECOND \
+             AND PacketsR1.packetId = PacketsR2.packetId",
+        )
+        .unwrap();
+    match &p.physical {
+        PhysicalPlan::Project { input, .. } => match &**input {
+            PhysicalPlan::StreamToStreamJoin { time_bound, equi, .. } => {
+                assert_eq!(time_bound.lower_ms, 2_000);
+                assert_eq!(time_bound.upper_ms, 2_000);
+                assert_eq!(equi, &vec![(2, 2)], "packetId = packetId");
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(p.output_types[3], Schema::Long, "timeToTravel is a duration");
+}
+
+#[test]
+fn stream_to_stream_join_without_window_rejected() {
+    let err = planner()
+        .plan(
+            "SELECT STREAM PacketsR1.packetId FROM PacketsR1 JOIN PacketsR2 \
+             ON PacketsR1.packetId = PacketsR2.packetId",
+        )
+        .unwrap_err();
+    assert!(matches!(err, PlanError::Unsupported(_)), "{err}");
+}
+
+#[test]
+fn tumbling_window_aggregate_plans() {
+    let p = planner()
+        .plan(
+            "SELECT STREAM START(rowtime), COUNT(*) FROM Orders \
+             GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)",
+        )
+        .unwrap();
+    fn find_agg(plan: &PhysicalPlan) -> Option<&PhysicalPlan> {
+        match plan {
+            PhysicalPlan::WindowAggregate { .. } => Some(plan),
+            PhysicalPlan::Project { input, .. } | PhysicalPlan::Filter { input, .. } => {
+                find_agg(input)
+            }
+            _ => None,
+        }
+    }
+    match find_agg(&p.physical) {
+        Some(PhysicalPlan::WindowAggregate { window, aggs, .. }) => {
+            assert_eq!(*window, GroupWindow::Tumble { ts_index: 0, size_ms: 3_600_000 });
+            assert_eq!(aggs.len(), 2, "START + COUNT(*)");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn hopping_window_with_alignment_plans() {
+    let p = planner()
+        .plan(
+            "SELECT STREAM START(rowtime), COUNT(*) FROM Orders \
+             GROUP BY HOP(rowtime, INTERVAL '1:30' HOUR TO MINUTE, INTERVAL '2' HOUR, TIME '0:30')",
+        )
+        .unwrap();
+    let text = p.physical.explain();
+    assert!(
+        text.contains("hop(emit=5400000ms, retain=7200000ms, align=1800000ms)"),
+        "{text}"
+    );
+}
+
+#[test]
+fn floor_key_becomes_tumbling_window_on_streams() {
+    // Listing 3's hourly totals: FLOOR(rowtime TO HOUR) keys act as a
+    // one-hour tumbling window when streaming.
+    let p = planner()
+        .plan(
+            "SELECT STREAM FLOOR(rowtime TO HOUR) AS rowtime, productId, \
+             COUNT(*) AS c, SUM(units) AS su \
+             FROM Orders GROUP BY FLOOR(rowtime TO HOUR), productId",
+        )
+        .unwrap();
+    let text = p.physical.explain();
+    assert!(text.contains("tumble(3600000ms)"), "{text}");
+    assert_eq!(p.output_names, vec!["rowtime", "productId", "c", "su"]);
+}
+
+#[test]
+fn views_expand_and_ignore_inner_stream_keyword() {
+    let mut pl = planner();
+    pl.execute_ddl(
+        "CREATE VIEW HourlyOrderTotals (rowtime, productId, c, su) AS \
+         SELECT FLOOR(rowtime TO HOUR), productId, COUNT(*), SUM(units) \
+         FROM Orders GROUP BY FLOOR(rowtime TO HOUR), productId",
+    )
+    .unwrap();
+    let p = pl
+        .plan("SELECT STREAM rowtime, productId FROM HourlyOrderTotals WHERE c > 2 OR su > 10")
+        .unwrap();
+    assert!(p.is_stream, "stream-ness flows into the view body");
+    let text = p.logical.explain();
+    assert!(text.contains("Scan[Orders, stream]"), "view expanded to its base stream: {text}");
+    assert!(text.contains("Aggregate"), "{text}");
+}
+
+#[test]
+fn subquery_form_matches_view_form() {
+    let p_view = {
+        let mut pl = planner();
+        pl.execute_ddl(
+            "CREATE VIEW V (rowtime, productId, c, su) AS \
+             SELECT FLOOR(rowtime TO HOUR), productId, COUNT(*), SUM(units) \
+             FROM Orders GROUP BY FLOOR(rowtime TO HOUR), productId",
+        )
+        .unwrap();
+        pl.plan("SELECT STREAM rowtime, productId FROM V WHERE c > 2 OR su > 10").unwrap()
+    };
+    let p_sub = planner()
+        .plan(
+            "SELECT STREAM rowtime, productId FROM (\
+             SELECT FLOOR(rowtime TO HOUR) AS rowtime, productId, \
+             COUNT(*) AS c, SUM(units) AS su \
+             FROM Orders GROUP BY FLOOR(rowtime TO HOUR), productId) \
+             WHERE c > 2 OR su > 10",
+        )
+        .unwrap();
+    assert_eq!(p_view.logical, p_sub.logical, "views and subqueries plan identically");
+}
+
+#[test]
+fn having_resolves_against_aggregates() {
+    let p = planner()
+        .plan(
+            "SELECT productId, COUNT(*) FROM Orders GROUP BY productId HAVING COUNT(*) > 2",
+        )
+        .unwrap();
+    let text = p.logical.explain();
+    assert!(text.contains("Filter"), "HAVING becomes a filter above the aggregate: {text}");
+}
+
+#[test]
+fn predicate_pushdown_happens() {
+    // Filter over projection: optimizer pushes it below.
+    let p = planner()
+        .plan("SELECT STREAM rowtime, units FROM (SELECT STREAM rowtime, productId, units FROM Orders) WHERE units > 10")
+        .unwrap();
+    let text = p.logical.explain();
+    let filter_pos = text.find("Filter").expect("has filter");
+    let project_pos = text.find("Project").expect("has project");
+    assert!(filter_pos > project_pos, "filter below project after pushdown:\n{text}");
+}
+
+#[test]
+fn unknown_references_error_cleanly() {
+    assert!(matches!(
+        planner().plan("SELECT STREAM * FROM Nope"),
+        Err(PlanError::UnknownRelation(_))
+    ));
+    assert!(matches!(
+        planner().plan("SELECT STREAM ghost FROM Orders"),
+        Err(PlanError::UnknownColumn { .. })
+    ));
+    assert!(matches!(
+        planner().plan("SELECT STREAM o.rowtime FROM Orders o JOIN Products p ON o.productId = p.productId WHERE productId > 0"),
+        Err(PlanError::AmbiguousColumn(_))
+    ));
+}
+
+#[test]
+fn type_errors_are_caught() {
+    assert!(matches!(
+        planner().plan("SELECT STREAM * FROM Orders WHERE units + 1"),
+        Err(PlanError::Type(_))
+    ));
+    assert!(matches!(
+        planner().plan("SELECT STREAM * FROM Orders WHERE rowtime > 'abc'"),
+        Err(PlanError::Type(_))
+    ));
+}
+
+#[test]
+fn streaming_group_by_without_window_rejected() {
+    assert!(matches!(
+        planner().plan("SELECT STREAM productId, COUNT(*) FROM Orders GROUP BY productId"),
+        Err(PlanError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn bounded_group_by_without_window_allowed() {
+    // Without STREAM it is a historical relational aggregate (§3.3).
+    let p = planner()
+        .plan("SELECT productId, COUNT(*) FROM Orders GROUP BY productId")
+        .unwrap();
+    assert!(!p.is_stream);
+    assert!(p.physical.explain().contains("relational"), "{}", p.physical.explain());
+}
+
+#[test]
+fn order_by_rejected_on_streams_allowed_bounded() {
+    assert!(planner()
+        .plan("SELECT STREAM * FROM Orders ORDER BY rowtime")
+        .is_err());
+    assert!(planner().plan("SELECT * FROM Orders ORDER BY rowtime LIMIT 5").is_ok());
+}
+
+#[test]
+fn relation_to_relation_join_rejected() {
+    let err = planner()
+        .plan(
+            "SELECT STREAM Products.name FROM Products JOIN Suppliers \
+             ON Products.supplierId = Suppliers.supplierId",
+        )
+        .unwrap_err();
+    assert!(matches!(err, PlanError::Unsupported(_)), "{err}");
+}
+
+#[test]
+fn repartition_inserted_when_partition_key_differs() {
+    let mut pl = planner();
+    pl.catalog_mut().set_partition_key("Orders", "orderId").unwrap();
+    let p = pl
+        .plan(
+            "SELECT STREAM Orders.rowtime, Products.supplierId \
+             FROM Orders JOIN Products ON Orders.productId = Products.productId",
+        )
+        .unwrap();
+    assert!(p.physical.explain().contains("RepartitionOp"), "{}", p.physical.explain());
+
+    // And when the keys match, no repartition.
+    let mut pl2 = planner();
+    pl2.catalog_mut().set_partition_key("Orders", "productId").unwrap();
+    let p2 = pl2
+        .plan(
+            "SELECT STREAM Orders.rowtime, Products.supplierId \
+             FROM Orders JOIN Products ON Orders.productId = Products.productId",
+        )
+        .unwrap();
+    assert!(!p2.physical.explain().contains("RepartitionOp"));
+}
+
+#[test]
+fn explain_renders_both_plans() {
+    let text = planner().explain("SELECT STREAM * FROM Orders WHERE units > 50").unwrap();
+    assert!(text.contains("== Logical plan =="));
+    assert!(text.contains("== Physical plan =="));
+    assert!(text.contains("FilterOp"));
+}
+
+#[test]
+fn input_topics_and_state_detection() {
+    let p = planner()
+        .plan(
+            "SELECT STREAM Orders.rowtime, Products.supplierId \
+             FROM Orders JOIN Products ON Orders.productId = Products.productId",
+        )
+        .unwrap();
+    let topics = p.physical.input_topics();
+    assert_eq!(
+        topics,
+        vec![("orders".to_string(), false), ("products-changelog".to_string(), true)]
+    );
+    assert!(p.physical.needs_local_state());
+
+    let p2 = planner().plan("SELECT STREAM * FROM Orders WHERE units > 50").unwrap();
+    assert!(!p2.physical.needs_local_state());
+}
+
+#[test]
+fn multiple_over_windows_in_one_select() {
+    let p = planner()
+        .plan(
+            "SELECT STREAM rowtime, productId, \
+             SUM(units) OVER (PARTITION BY productId ORDER BY rowtime RANGE INTERVAL '5' MINUTE PRECEDING) w5, \
+             SUM(units) OVER (PARTITION BY productId ORDER BY rowtime RANGE INTERVAL '1' HOUR PRECEDING) w60 \
+             FROM Orders",
+        )
+        .unwrap();
+    assert_eq!(p.output_names, vec!["rowtime", "productId", "w5", "w60"]);
+    // Two chained sliding-window nodes.
+    let text = p.physical.explain();
+    assert_eq!(text.matches("SlidingWindowOp").count(), 2, "{text}");
+}
+
+#[test]
+fn select_distinct_rejected_on_stream_allowed_bounded() {
+    assert!(planner().plan("SELECT STREAM DISTINCT productId FROM Orders").is_err());
+    assert!(planner().plan("SELECT DISTINCT productId FROM Orders").is_ok());
+}

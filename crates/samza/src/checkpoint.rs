@@ -1,0 +1,167 @@
+//! Checkpointing input positions to a checkpoint stream.
+//!
+//! §2: on failure "Samza … ensures streams will be replayed from the last
+//! known checkpointed partition offset." Checkpoints are written to a
+//! per-job checkpoint topic keyed by task name; recovery reads the topic and
+//! keeps the newest checkpoint per task (Kafka's log-compaction read
+//! semantics, done client-side).
+
+use crate::error::Result;
+use bytes::Bytes;
+use samzasql_kafka::{Broker, Message, TopicConfig, TopicPartition};
+use std::collections::BTreeMap;
+
+/// Input positions of one task at one commit: topic-partition → next offset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Checkpoint {
+    pub offsets: BTreeMap<TopicPartition, u64>,
+}
+
+impl Checkpoint {
+    /// Serialize to a compact text form: `topic,partition,offset` lines.
+    /// (The paper's Samza stores checkpoints as JSON; a line format keeps
+    /// this substrate dependency-free.)
+    fn encode(&self) -> Bytes {
+        let mut s = String::new();
+        for (tp, off) in &self.offsets {
+            s.push_str(&format!("{},{},{}\n", tp.topic, tp.partition, off));
+        }
+        Bytes::from(s)
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Checkpoint> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut offsets = BTreeMap::new();
+        for line in text.lines() {
+            let mut parts = line.split(',');
+            let topic = parts.next()?;
+            let partition: u32 = parts.next()?.parse().ok()?;
+            let offset: u64 = parts.next()?.parse().ok()?;
+            offsets.insert(TopicPartition::new(topic, partition), offset);
+        }
+        Some(Checkpoint { offsets })
+    }
+}
+
+/// Writes and reads checkpoints for one job.
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    broker: Broker,
+    topic: String,
+}
+
+impl CheckpointManager {
+    /// Create the manager, ensuring the single-partition checkpoint topic
+    /// exists (Samza's `__samza_checkpoint_<job>` analogue).
+    pub fn new(broker: Broker, job_name: &str) -> Result<Self> {
+        let topic = format!("__checkpoint_{job_name}");
+        broker.ensure_topic(&topic, TopicConfig::with_partitions(1))?;
+        Ok(CheckpointManager { broker, topic })
+    }
+
+    /// Append a checkpoint for `task_name`.
+    pub fn write(&self, task_name: &str, checkpoint: &Checkpoint) -> Result<()> {
+        self.broker.produce(
+            &self.topic,
+            0,
+            Message::keyed(task_name.to_string(), checkpoint.encode()),
+        )?;
+        Ok(())
+    }
+
+    /// Read the newest checkpoint for `task_name`, scanning the topic.
+    pub fn read_last(&self, task_name: &str) -> Result<Option<Checkpoint>> {
+        let mut offset = self.broker.start_offset(&self.topic, 0)?;
+        let mut latest = None;
+        loop {
+            let batch = self.broker.fetch(&self.topic, 0, offset, 1024)?;
+            if batch.records.is_empty() {
+                break;
+            }
+            for rec in &batch.records {
+                offset = rec.offset + 1;
+                if rec.message.key.as_deref() == Some(task_name.as_bytes()) {
+                    latest = Checkpoint::decode(&rec.message.value);
+                }
+            }
+        }
+        Ok(latest)
+    }
+
+    /// Newest checkpoints for every task in the job.
+    pub fn read_all(&self) -> Result<BTreeMap<String, Checkpoint>> {
+        let mut offset = self.broker.start_offset(&self.topic, 0)?;
+        let mut out = BTreeMap::new();
+        loop {
+            let batch = self.broker.fetch(&self.topic, 0, offset, 1024)?;
+            if batch.records.is_empty() {
+                break;
+            }
+            for rec in &batch.records {
+                offset = rec.offset + 1;
+                if let (Some(key), Some(cp)) =
+                    (rec.message.key.as_ref(), Checkpoint::decode(&rec.message.value))
+                {
+                    if let Ok(name) = std::str::from_utf8(key) {
+                        out.insert(name.to_string(), cp);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(pairs: &[(&str, u32, u64)]) -> Checkpoint {
+        Checkpoint {
+            offsets: pairs
+                .iter()
+                .map(|(t, p, o)| (TopicPartition::new(*t, *p), *o))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = cp(&[("orders", 0, 42), ("products", 3, 7)]);
+        assert_eq!(Checkpoint::decode(&c.encode()), Some(c));
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let broker = Broker::new();
+        let mgr = CheckpointManager::new(broker, "job").unwrap();
+        mgr.write("Partition 0", &cp(&[("t", 0, 1)])).unwrap();
+        mgr.write("Partition 0", &cp(&[("t", 0, 9)])).unwrap();
+        mgr.write("Partition 1", &cp(&[("t", 1, 5)])).unwrap();
+        assert_eq!(mgr.read_last("Partition 0").unwrap(), Some(cp(&[("t", 0, 9)])));
+        assert_eq!(mgr.read_last("Partition 1").unwrap(), Some(cp(&[("t", 1, 5)])));
+        assert_eq!(mgr.read_last("Partition 2").unwrap(), None);
+    }
+
+    #[test]
+    fn read_all_collects_latest_per_task() {
+        let broker = Broker::new();
+        let mgr = CheckpointManager::new(broker, "job").unwrap();
+        mgr.write("a", &cp(&[("t", 0, 1)])).unwrap();
+        mgr.write("b", &cp(&[("t", 1, 2)])).unwrap();
+        mgr.write("a", &cp(&[("t", 0, 3)])).unwrap();
+        let all = mgr.read_all().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all["a"], cp(&[("t", 0, 3)]));
+        assert_eq!(all["b"], cp(&[("t", 1, 2)]));
+    }
+
+    #[test]
+    fn managers_for_different_jobs_are_isolated() {
+        let broker = Broker::new();
+        let m1 = CheckpointManager::new(broker.clone(), "j1").unwrap();
+        let m2 = CheckpointManager::new(broker, "j2").unwrap();
+        m1.write("t", &cp(&[("x", 0, 1)])).unwrap();
+        assert_eq!(m2.read_last("t").unwrap(), None);
+    }
+}

@@ -1,0 +1,327 @@
+//! Cluster simulation: nodes, per-job application masters, container
+//! placement, and failure injection.
+//!
+//! The paper deploys Samza on YARN; each job gets an application master that
+//! "makes scheduling and resource management decisions on behalf of its job"
+//! (§2, *Masterless Design*). Here a [`ClusterSim`] holds a set of nodes with
+//! container capacities. Submitting a job plans its [`JobModel`], places one
+//! thread per container on a node with free capacity, and returns a
+//! [`JobHandle`]. Killing a container drops its thread and all in-memory
+//! state, then the job's AM reschedules it on another node — the replacement
+//! container restores state from changelogs and resumes from the last
+//! checkpoint, which is exactly the recovery path §4.3 describes.
+
+use crate::config::JobConfig;
+use crate::container::Container;
+use crate::coordinator::JobModel;
+use crate::error::{Result, SamzaError};
+use crate::task::TaskFactory;
+use parking_lot::Mutex;
+use samzasql_kafka::Broker;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Capacity description of one simulated node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    pub name: String,
+    /// Maximum containers this node can host.
+    pub container_slots: u32,
+}
+
+impl NodeConfig {
+    pub fn new(name: impl Into<String>, container_slots: u32) -> Self {
+        NodeConfig { name: name.into(), container_slots }
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    config: NodeConfig,
+    used_slots: u32,
+}
+
+struct RunningContainer {
+    node_index: usize,
+    stop: Arc<AtomicBool>,
+    /// Crash flag: exit immediately without the final commit.
+    crash: Arc<AtomicBool>,
+    thread: Option<JoinHandle<Result<()>>>,
+    /// Messages processed by this container incarnation plus predecessors.
+    processed: Arc<AtomicU64>,
+    /// Incarnation counter (bumps on every restart).
+    generation: u32,
+}
+
+struct JobState {
+    config: JobConfig,
+    model: JobModel,
+    factory: Arc<dyn TaskFactory>,
+    containers: HashMap<u32, RunningContainer>,
+}
+
+/// Handle to a submitted job: observe progress, inject failures, stop it.
+#[derive(Clone)]
+pub struct JobHandle {
+    cluster: ClusterSim,
+    job_name: String,
+}
+
+/// The simulated cluster (nodes + jobs). Cloneable shared handle.
+#[derive(Clone)]
+pub struct ClusterSim {
+    inner: Arc<Mutex<ClusterState>>,
+    broker: Broker,
+}
+
+struct ClusterState {
+    nodes: Vec<Node>,
+    jobs: HashMap<String, JobState>,
+}
+
+impl ClusterSim {
+    /// Create a cluster over `broker` with the given nodes.
+    pub fn new(broker: Broker, nodes: Vec<NodeConfig>) -> Self {
+        ClusterSim {
+            inner: Arc::new(Mutex::new(ClusterState {
+                nodes: nodes.into_iter().map(|config| Node { config, used_slots: 0 }).collect(),
+                jobs: HashMap::new(),
+            })),
+            broker,
+        }
+    }
+
+    /// A single-node cluster with ample capacity — the common test setup.
+    pub fn single_node(broker: Broker) -> Self {
+        ClusterSim::new(broker, vec![NodeConfig::new("node-0", 1024)])
+    }
+
+    /// Submit a job: plan its model, place containers, start their threads.
+    pub fn submit(&self, config: JobConfig, factory: Arc<dyn TaskFactory>) -> Result<JobHandle> {
+        let model = JobModel::plan(&config, &self.broker)?;
+        let mut st = self.inner.lock();
+        if st.jobs.contains_key(&config.name) {
+            return Err(SamzaError::Cluster(format!("job {} already running", config.name)));
+        }
+        let mut job = JobState {
+            config: config.clone(),
+            model: model.clone(),
+            factory,
+            containers: HashMap::new(),
+        };
+        for cm in &model.containers {
+            let node_index = Self::find_slot(&mut st.nodes).ok_or_else(|| {
+                SamzaError::Cluster(format!(
+                    "no node capacity for container {} of job {}",
+                    cm.container_id, config.name
+                ))
+            })?;
+            let rc = Self::launch(
+                &self.broker,
+                &job.config,
+                &job.model,
+                cm.container_id,
+                &*job.factory,
+                node_index,
+                0,
+                Arc::new(AtomicU64::new(0)),
+            )?;
+            job.containers.insert(cm.container_id, rc);
+        }
+        let name = config.name.clone();
+        st.jobs.insert(name.clone(), job);
+        Ok(JobHandle { cluster: self.clone(), job_name: name })
+    }
+
+    fn find_slot(nodes: &mut [Node]) -> Option<usize> {
+        let idx = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.used_slots < n.config.container_slots)
+            .min_by_key(|(_, n)| n.used_slots)
+            .map(|(i, _)| i)?;
+        nodes[idx].used_slots += 1;
+        Some(idx)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        broker: &Broker,
+        config: &JobConfig,
+        model: &JobModel,
+        container_id: u32,
+        factory: &dyn TaskFactory,
+        node_index: usize,
+        generation: u32,
+        processed: Arc<AtomicU64>,
+    ) -> Result<RunningContainer> {
+        let cm = model
+            .containers
+            .iter()
+            .find(|c| c.container_id == container_id)
+            .expect("container id from model")
+            .clone();
+        let mut container = Container::new(broker.clone(), config.clone(), cm, factory)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let crash = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let crash2 = crash.clone();
+        let processed2 = processed.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("{}-c{}-g{}", config.name, container_id, generation))
+            .spawn(move || -> Result<()> {
+                container.init()?;
+                while !stop2.load(Ordering::Relaxed) && !crash2.load(Ordering::Relaxed) {
+                    let n = container.step()?;
+                    processed2.fetch_add(n, Ordering::Relaxed);
+                    if n == 0 {
+                        // Idle: yield instead of spinning hot.
+                        std::thread::yield_now();
+                    }
+                }
+                if !crash2.load(Ordering::Relaxed) {
+                    container.commit_all()?;
+                }
+                Ok(())
+            })
+            .expect("spawn container thread");
+        Ok(RunningContainer { node_index, stop, crash, thread: Some(thread), processed, generation })
+    }
+
+    /// Kill a container (simulated node/process failure): its thread is
+    /// stopped *without* a final commit, its in-memory state discarded, and a
+    /// replacement container is scheduled, restoring from changelog +
+    /// checkpoint.
+    pub fn kill_and_restart_container(&self, job_name: &str, container_id: u32) -> Result<()> {
+        // Phase 1: take the dying container out under the lock.
+        let (crash, thread, processed, node_index, generation) = {
+            let mut st = self.inner.lock();
+            let job = st
+                .jobs
+                .get_mut(job_name)
+                .ok_or_else(|| SamzaError::Cluster(format!("unknown job {job_name}")))?;
+            let rc = job.containers.remove(&container_id).ok_or_else(|| {
+                SamzaError::Cluster(format!("unknown container {container_id} of {job_name}"))
+            })?;
+            st.nodes[rc.node_index].used_slots -= 1;
+            (rc.crash, rc.thread, rc.processed, rc.node_index, rc.generation)
+        };
+        // Abrupt kill: the crash flag makes the thread exit WITHOUT its
+        // final commit, so uncheckpointed progress is genuinely lost and
+        // must be replayed by the replacement. Heap state drops with the
+        // container.
+        crash.store(true, Ordering::Relaxed);
+        if let Some(t) = thread {
+            let _ = t.join();
+        }
+        let _ = node_index;
+        // Phase 2: reschedule on (possibly another) node.
+        let mut st = self.inner.lock();
+        let st_ref = &mut *st;
+        let job = st_ref
+            .jobs
+            .get_mut(job_name)
+            .ok_or_else(|| SamzaError::Cluster(format!("job {job_name} vanished")))?;
+        let new_node = Self::find_slot(&mut st_ref.nodes)
+            .ok_or_else(|| SamzaError::Cluster("no capacity for restart".into()))?;
+        let rc = Self::launch(
+            &self.broker,
+            &job.config,
+            &job.model,
+            container_id,
+            &*job.factory,
+            new_node,
+            generation + 1,
+            processed,
+        )?;
+        job.containers.insert(container_id, rc);
+        Ok(())
+    }
+
+    /// Stop a job cleanly: signal every container, join threads, free slots.
+    pub fn stop_job(&self, job_name: &str) -> Result<()> {
+        let containers = {
+            let mut st = self.inner.lock();
+            let job = st
+                .jobs
+                .remove(job_name)
+                .ok_or_else(|| SamzaError::Cluster(format!("unknown job {job_name}")))?;
+            for rc in job.containers.values() {
+                st.nodes[rc.node_index].used_slots -= 1;
+            }
+            job.containers
+        };
+        for (_, mut rc) in containers {
+            rc.stop.store(true, Ordering::Relaxed);
+            if let Some(t) = rc.thread.take() {
+                t.join()
+                    .map_err(|_| SamzaError::Cluster("container thread panicked".into()))??;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total messages processed by a job so far (across restarts).
+    pub fn job_processed(&self, job_name: &str) -> u64 {
+        let st = self.inner.lock();
+        st.jobs
+            .get(job_name)
+            .map(|j| j.containers.values().map(|c| c.processed.load(Ordering::Relaxed)).sum())
+            .unwrap_or(0)
+    }
+
+    /// Names of running jobs, sorted.
+    pub fn running_jobs(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.lock().jobs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Used slots per node (diagnostics).
+    pub fn node_usage(&self) -> Vec<(String, u32, u32)> {
+        self.inner
+            .lock()
+            .nodes
+            .iter()
+            .map(|n| (n.config.name.clone(), n.used_slots, n.config.container_slots))
+            .collect()
+    }
+
+    /// The broker this cluster executes against.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+}
+
+impl JobHandle {
+    /// Messages processed so far.
+    pub fn processed(&self) -> u64 {
+        self.cluster.job_processed(&self.job_name)
+    }
+
+    /// Kill + restart one container.
+    pub fn kill_container(&self, container_id: u32) -> Result<()> {
+        self.cluster.kill_and_restart_container(&self.job_name, container_id)
+    }
+
+    /// Stop the job and join its containers.
+    pub fn stop(self) -> Result<()> {
+        self.cluster.stop_job(&self.job_name)
+    }
+
+    /// Job name.
+    pub fn name(&self) -> &str {
+        &self.job_name
+    }
+}
+
+impl std::fmt::Debug for ClusterSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSim")
+            .field("jobs", &self.running_jobs())
+            .field("nodes", &self.node_usage())
+            .finish()
+    }
+}

@@ -1,0 +1,237 @@
+//! Job configuration — the runtime analogue of Samza's property file.
+//!
+//! §2: "Samza's deployment unit consists of a job package and a property
+//! based configuration file. The configuration file specifies the streaming
+//! task implementation, input and output configurations, Serdes … local
+//! storage configurations." SamzaSQL generates this configuration from the
+//! physical plan at the shell and ships plan metadata through the metadata
+//! store; the `properties` map carries those opaque entries.
+
+use crate::error::{Result, SamzaError};
+use samzasql_serde::SerdeFormat;
+use std::collections::BTreeMap;
+
+/// One input stream of a job.
+#[derive(Debug, Clone)]
+pub struct InputStreamConfig {
+    pub topic: String,
+    /// Message format of the stream.
+    pub format: SerdeFormat,
+    /// Schema-registry subject carrying the stream's schema.
+    pub schema_subject: String,
+    /// Bootstrap streams are fully drained before other inputs deliver.
+    pub bootstrap: bool,
+}
+
+impl InputStreamConfig {
+    pub fn avro(topic: impl Into<String>) -> Self {
+        let topic = topic.into();
+        InputStreamConfig {
+            schema_subject: format!("{topic}-value"),
+            topic,
+            format: SerdeFormat::Avro,
+            bootstrap: false,
+        }
+    }
+
+    /// Mark this input as a bootstrap stream.
+    pub fn bootstrap(mut self) -> Self {
+        self.bootstrap = true;
+        self
+    }
+}
+
+/// One output stream of a job.
+#[derive(Debug, Clone)]
+pub struct OutputStreamConfig {
+    pub topic: String,
+    pub format: SerdeFormat,
+    pub schema_subject: String,
+}
+
+impl OutputStreamConfig {
+    pub fn avro(topic: impl Into<String>) -> Self {
+        let topic = topic.into();
+        OutputStreamConfig {
+            schema_subject: format!("{topic}-value"),
+            topic,
+            format: SerdeFormat::Avro,
+        }
+    }
+}
+
+/// Configuration of one task-local key-value store.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    pub name: String,
+    /// Serde applied to keys at the storage boundary.
+    pub key_format: SerdeFormat,
+    /// Serde applied to values at the storage boundary. SamzaSQL's generated
+    /// jobs use [`SerdeFormat::Object`] here (the Kryo analogue, §5.1);
+    /// native jobs use Avro.
+    pub value_format: SerdeFormat,
+    /// Changelog topic for fault tolerance; `None` disables restore.
+    pub changelog_topic: Option<String>,
+}
+
+impl StoreConfig {
+    /// A store with changelog named `{job}-{store}-changelog` by convention.
+    pub fn with_changelog(name: impl Into<String>, job: &str, value_format: SerdeFormat) -> Self {
+        let name = name.into();
+        StoreConfig {
+            changelog_topic: Some(format!("{job}-{name}-changelog")),
+            key_format: SerdeFormat::Object,
+            value_format,
+            name,
+        }
+    }
+
+    /// An in-memory store without fault tolerance.
+    pub fn ephemeral(name: impl Into<String>, value_format: SerdeFormat) -> Self {
+        StoreConfig {
+            name: name.into(),
+            key_format: SerdeFormat::Object,
+            value_format,
+            changelog_topic: None,
+        }
+    }
+}
+
+/// Full job configuration.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    pub name: String,
+    pub inputs: Vec<InputStreamConfig>,
+    pub outputs: Vec<OutputStreamConfig>,
+    pub stores: Vec<StoreConfig>,
+    /// Number of containers the job's tasks are packed into.
+    pub container_count: u32,
+    /// Commit (checkpoint) every N processed messages per task.
+    pub commit_interval_messages: u64,
+    /// Invoke `StreamTask::window` every N processed messages per task
+    /// (0 = never). A message-count trigger keeps simulated runs
+    /// deterministic where wall-clock timers would not be.
+    pub window_interval_messages: u64,
+    /// Opaque properties (SamzaSQL plan metadata references, etc.).
+    pub properties: BTreeMap<String, String>,
+}
+
+impl JobConfig {
+    pub fn new(name: impl Into<String>) -> Self {
+        JobConfig {
+            name: name.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            stores: Vec::new(),
+            container_count: 1,
+            commit_interval_messages: 1024,
+            window_interval_messages: 0,
+            properties: BTreeMap::new(),
+        }
+    }
+
+    pub fn input(mut self, input: InputStreamConfig) -> Self {
+        self.inputs.push(input);
+        self
+    }
+
+    pub fn output(mut self, output: OutputStreamConfig) -> Self {
+        self.outputs.push(output);
+        self
+    }
+
+    pub fn store(mut self, store: StoreConfig) -> Self {
+        self.stores.push(store);
+        self
+    }
+
+    pub fn containers(mut self, count: u32) -> Self {
+        self.container_count = count;
+        self
+    }
+
+    pub fn property(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.properties.insert(key.into(), value.into());
+        self
+    }
+
+    /// Validate structural invariants before submission.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(SamzaError::Config("job name must not be empty".into()));
+        }
+        if self.inputs.is_empty() {
+            return Err(SamzaError::Config(format!("job {} has no inputs", self.name)));
+        }
+        if self.container_count == 0 {
+            return Err(SamzaError::Config(format!(
+                "job {} must have at least one container",
+                self.name
+            )));
+        }
+        if self.inputs.iter().all(|i| i.bootstrap) {
+            return Err(SamzaError::Config(format!(
+                "job {}: all inputs are bootstrap streams; nothing to process after bootstrap",
+                self.name
+            )));
+        }
+        let mut store_names: Vec<&str> = self.stores.iter().map(|s| s.name.as_str()).collect();
+        store_names.sort_unstable();
+        store_names.dedup();
+        if store_names.len() != self.stores.len() {
+            return Err(SamzaError::Config(format!(
+                "job {}: duplicate store names",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> JobConfig {
+        JobConfig::new("j").input(InputStreamConfig::avro("orders"))
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        assert!(base().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_name_and_inputs_rejected() {
+        assert!(JobConfig::new("").input(InputStreamConfig::avro("t")).validate().is_err());
+        assert!(JobConfig::new("j").validate().is_err());
+    }
+
+    #[test]
+    fn zero_containers_rejected() {
+        assert!(base().containers(0).validate().is_err());
+    }
+
+    #[test]
+    fn all_bootstrap_inputs_rejected() {
+        let cfg = JobConfig::new("j").input(InputStreamConfig::avro("rel").bootstrap());
+        assert!(cfg.validate().is_err());
+        // A bootstrap plus a regular input is the valid join shape.
+        let cfg = cfg.input(InputStreamConfig::avro("orders"));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_stores_rejected() {
+        let cfg = base()
+            .store(StoreConfig::ephemeral("s", SerdeFormat::Avro))
+            .store(StoreConfig::ephemeral("s", SerdeFormat::Object));
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn changelog_naming_convention() {
+        let s = StoreConfig::with_changelog("win", "myjob", SerdeFormat::Object);
+        assert_eq!(s.changelog_topic.as_deref(), Some("myjob-win-changelog"));
+    }
+}

@@ -1,0 +1,394 @@
+//! The container: runs a set of task instances against the broker.
+//!
+//! One container = one thread in the cluster simulation. The container owns
+//! the per-task consumer positions, enforces bootstrap-stream priority,
+//! flushes collectors to the producer, triggers window calls, and commits
+//! checkpoints. Killing a container loses all its in-memory state — exactly
+//! the failure the changelog/checkpoint machinery recovers from.
+
+use crate::checkpoint::{Checkpoint, CheckpointManager};
+use crate::config::JobConfig;
+use crate::coordinator::ContainerModel;
+use crate::error::Result;
+use crate::kv::KeyValueStore;
+use crate::system::{IncomingMessageEnvelope, MessageCollector};
+use crate::task::{StreamTask, TaskContext, TaskCoordinator, TaskFactory};
+use samzasql_kafka::{Broker, KafkaError, Message, TopicConfig, TopicPartition};
+use samzasql_kafka::partitioner::hash_bytes;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How many records a task fetches from one partition per step.
+const FETCH_BATCH: usize = 256;
+
+struct TaskInstance {
+    ctx: TaskContext,
+    task: Box<dyn StreamTask>,
+    /// Next offset to fetch per input partition.
+    positions: BTreeMap<TopicPartition, u64>,
+    /// Bootstrap partitions not yet drained to their captured target.
+    bootstrap_pending: BTreeMap<TopicPartition, u64>,
+    /// Rotation cursor across input partitions.
+    rotation: usize,
+    processed_since_commit: u64,
+    processed_since_window: u64,
+    shutdown: bool,
+}
+
+/// Point-in-time view of a container's progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContainerMetricsSnapshot {
+    pub messages_processed: u64,
+    pub messages_sent: u64,
+    pub commits: u64,
+    pub window_calls: u64,
+}
+
+/// A running (or runnable) container.
+pub struct Container {
+    broker: Broker,
+    config: JobConfig,
+    model: ContainerModel,
+    checkpoints: CheckpointManager,
+    tasks: Vec<TaskInstance>,
+    initialized: bool,
+}
+
+impl Container {
+    /// Build a container for `model`. Tasks are created via the factory but
+    /// not yet initialized; call [`init`](Self::init) (or any run method,
+    /// which initializes lazily).
+    pub fn new(
+        broker: Broker,
+        config: JobConfig,
+        model: ContainerModel,
+        factory: &dyn TaskFactory,
+    ) -> Result<Self> {
+        let checkpoints = CheckpointManager::new(broker.clone(), &config.name)?;
+        let mut tasks = Vec::with_capacity(model.tasks.len());
+        for tm in &model.tasks {
+            let ctx = TaskContext::new(tm.task_name.clone(), tm.partition, tm.input_partitions.clone());
+            tasks.push(TaskInstance {
+                task: factory.create(tm.partition),
+                ctx,
+                positions: BTreeMap::new(),
+                bootstrap_pending: BTreeMap::new(),
+                rotation: 0,
+                processed_since_commit: 0,
+                processed_since_window: 0,
+                shutdown: false,
+            });
+        }
+        Ok(Container { broker, config, model, checkpoints, tasks, initialized: false })
+    }
+
+    /// Initialize every task: create + restore stores, position inputs from
+    /// checkpoints, capture bootstrap targets, then call `StreamTask::init`.
+    pub fn init(&mut self) -> Result<()> {
+        if self.initialized {
+            return Ok(());
+        }
+        // Ensure changelog topics exist with one partition per task
+        // (changelog partition == task partition, Samza's convention). The
+        // job's task count is the max partition count across its inputs —
+        // computed from input metadata, NOT from this container's task
+        // subset, so whichever container initializes first creates the topic
+        // at full width.
+        let mut job_partitions = 1u32;
+        for input in &self.config.inputs {
+            job_partitions = job_partitions.max(self.broker.partition_count(&input.topic)?);
+        }
+        for store_cfg in &self.config.stores {
+            if let Some(clog) = &store_cfg.changelog_topic {
+                self.broker
+                    .ensure_topic(clog, TopicConfig::with_partitions(job_partitions))?;
+            }
+        }
+        let bootstrap_topics: BTreeSet<&str> = self
+            .config
+            .inputs
+            .iter()
+            .filter(|i| i.bootstrap)
+            .map(|i| i.topic.as_str())
+            .collect();
+
+        for ti in &mut self.tasks {
+            // Stores: create, then restore from changelog.
+            for store_cfg in &self.config.stores {
+                let mut store = match &store_cfg.changelog_topic {
+                    Some(clog) => KeyValueStore::with_changelog(
+                        store_cfg.name.clone(),
+                        self.broker.clone(),
+                        clog.clone(),
+                        ti.ctx.partition,
+                    ),
+                    None => KeyValueStore::ephemeral(store_cfg.name.clone()),
+                };
+                store.restore()?;
+                ti.ctx.register_store(store);
+            }
+            // Positions: checkpoint for regular inputs; log start for
+            // bootstrap inputs (they are always re-read in full so the task
+            // can rebuild derived caches).
+            let checkpoint = self.checkpoints.read_last(&ti.ctx.task_name)?;
+            for tp in &ti.ctx.input_partitions {
+                let is_bootstrap = bootstrap_topics.contains(tp.topic.as_str());
+                let start = self.broker.start_offset(&tp.topic, tp.partition)?;
+                let pos = if is_bootstrap {
+                    start
+                } else {
+                    checkpoint
+                        .as_ref()
+                        .and_then(|c| c.offsets.get(tp).copied())
+                        .unwrap_or(start)
+                        .max(start)
+                };
+                ti.positions.insert(tp.clone(), pos);
+                if is_bootstrap {
+                    let target = self.broker.end_offset(&tp.topic, tp.partition)?;
+                    if target > pos {
+                        ti.bootstrap_pending.insert(tp.clone(), target);
+                    }
+                }
+            }
+            ti.task.init(&mut ti.ctx)?;
+        }
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Run one scheduling step: each task polls a batch (bootstrap inputs
+    /// first) and processes it. Returns the number of messages processed
+    /// across all tasks.
+    pub fn step(&mut self) -> Result<u64> {
+        self.init()?;
+        let mut processed = 0u64;
+        for idx in 0..self.tasks.len() {
+            processed += self.step_task(idx)?;
+        }
+        Ok(processed)
+    }
+
+    fn step_task(&mut self, idx: usize) -> Result<u64> {
+        let commit_interval = self.config.commit_interval_messages;
+        let window_interval = self.config.window_interval_messages;
+        // Cheap Arc-backed clones so the task borrow below doesn't conflict.
+        let broker = self.broker.clone();
+        let checkpoints = self.checkpoints.clone();
+        let ti = &mut self.tasks[idx];
+        if ti.shutdown {
+            return Ok(0);
+        }
+
+        // Choose which partitions may deliver: pending bootstrap partitions
+        // exclusively, until all are drained (§2, Bootstrap Streams).
+        let candidates: Vec<TopicPartition> = if ti.bootstrap_pending.is_empty() {
+            ti.ctx.input_partitions.clone()
+        } else {
+            ti.bootstrap_pending.keys().cloned().collect()
+        };
+        if candidates.is_empty() {
+            return Ok(0);
+        }
+
+        let mut batch: Vec<IncomingMessageEnvelope> = Vec::new();
+        let n = candidates.len();
+        for i in 0..n {
+            let tp = &candidates[(ti.rotation + i) % n];
+            let pos = *ti.positions.get(tp).expect("assigned partition");
+            let fetched = match broker.fetch(&tp.topic, tp.partition, pos, FETCH_BATCH) {
+                Ok(f) => f,
+                Err(KafkaError::OffsetOutOfRange { start, .. }) => {
+                    ti.positions.insert(tp.clone(), start);
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            for rec in fetched.records {
+                batch.push(IncomingMessageEnvelope {
+                    tp: tp.clone(),
+                    offset: rec.offset,
+                    timestamp: rec.timestamp,
+                    key: rec.message.key,
+                    payload: rec.message.value,
+                });
+            }
+            if batch.len() >= FETCH_BATCH {
+                break;
+            }
+        }
+        ti.rotation = (ti.rotation + 1) % n;
+
+        let mut collector = MessageCollector::new();
+        let mut coordinator = TaskCoordinator::default();
+        let mut processed = 0u64;
+        let task_partition = ti.ctx.partition;
+        for envelope in &batch {
+            ti.task.process(envelope, &mut ti.ctx, &mut collector, &mut coordinator)?;
+            // Positions advance as messages are *processed*, so a mid-batch
+            // checkpoint never claims unprocessed input.
+            ti.positions.insert(envelope.tp.clone(), envelope.offset + 1);
+            processed += 1;
+            ti.processed_since_commit += 1;
+            ti.processed_since_window += 1;
+            ti.ctx.metrics.record_processed(1);
+            if window_interval > 0 && ti.processed_since_window >= window_interval {
+                ti.processed_since_window = 0;
+                ti.task.window(&mut ti.ctx, &mut collector, &mut coordinator)?;
+                ti.ctx.metrics.record_window();
+            }
+            // Commit when the interval elapses or the task asked for it:
+            // flush pending output first, then checkpoint positions.
+            if coordinator.take_commit()
+                || (commit_interval > 0 && ti.processed_since_commit >= commit_interval)
+            {
+                ti.processed_since_commit = 0;
+                // Samza's commit sequence: flush pending output, flush state
+                // changelogs, then checkpoint input positions.
+                Self::flush_outputs(&broker, &mut collector, &ti.ctx, task_partition)?;
+                ti.ctx.flush_changelogs()?;
+                let cp = Checkpoint { offsets: ti.positions.clone() };
+                checkpoints.write(&ti.ctx.task_name, &cp)?;
+                ti.ctx.metrics.record_commit();
+            }
+        }
+
+        // Flush whatever remains buffered after the batch.
+        Self::flush_outputs(&broker, &mut collector, &ti.ctx, task_partition)?;
+
+        // Bootstrap bookkeeping: a pending partition is done once its
+        // position reaches the end offset captured at init.
+        ti.bootstrap_pending
+            .retain(|tp, target| ti.positions.get(tp).is_none_or(|pos| pos < target));
+        if coordinator.shutdown_requested() {
+            ti.shutdown = true;
+        }
+        Ok(processed)
+    }
+
+    /// Send everything the collector buffered, routing by explicit partition,
+    /// key hash, or (keyless) the task's own partition — which preserves
+    /// input partitioning on derived streams.
+    fn flush_outputs(
+        broker: &Broker,
+        collector: &mut MessageCollector,
+        ctx: &TaskContext,
+        task_partition: u32,
+    ) -> Result<()> {
+        let outgoing = collector.drain();
+        ctx.metrics.record_sent(outgoing.len() as u64);
+        for env in outgoing {
+            let partition = match env.partition {
+                Some(p) => p,
+                None => {
+                    let count = broker.partition_count(&env.topic)?;
+                    match &env.key {
+                        Some(k) => hash_bytes(k) % count,
+                        None => task_partition % count,
+                    }
+                }
+            };
+            broker.produce(
+                &env.topic,
+                partition,
+                Message { key: env.key, value: env.payload, timestamp: env.timestamp },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Run steps until every task's inputs are fully drained (no lag), then
+    /// commit all tasks. Intended for finite test/bench workloads.
+    pub fn run_until_caught_up(&mut self) -> Result<u64> {
+        self.init()?;
+        let mut total = 0u64;
+        loop {
+            let processed = self.step()?;
+            total += processed;
+            if self.tasks.iter().all(|t| t.shutdown) {
+                break;
+            }
+            if processed == 0 && self.total_lag()? == 0 {
+                break;
+            }
+        }
+        self.commit_all()?;
+        Ok(total)
+    }
+
+    /// Invoke `StreamTask::window` on every task once and flush the
+    /// resulting output. Used by bounded (historical) SamzaSQL queries to
+    /// trigger end-of-input flushing after the inputs are drained.
+    pub fn window_all(&mut self) -> Result<()> {
+        self.init()?;
+        let broker = self.broker.clone();
+        for ti in &mut self.tasks {
+            let mut collector = MessageCollector::new();
+            let mut coordinator = TaskCoordinator::default();
+            ti.task.window(&mut ti.ctx, &mut collector, &mut coordinator)?;
+            ti.ctx.metrics.record_window();
+            let task_partition = ti.ctx.partition;
+            Self::flush_outputs(&broker, &mut collector, &ti.ctx, task_partition)?;
+        }
+        Ok(())
+    }
+
+    /// Force a checkpoint of every task now (state changelogs flushed
+    /// first, like the periodic commit).
+    pub fn commit_all(&mut self) -> Result<()> {
+        for ti in &mut self.tasks {
+            ti.ctx.flush_changelogs()?;
+            let cp = Checkpoint { offsets: ti.positions.clone() };
+            self.checkpoints.write(&ti.ctx.task_name, &cp)?;
+            ti.ctx.metrics.record_commit();
+        }
+        Ok(())
+    }
+
+    /// Unprocessed records across all tasks and inputs.
+    pub fn total_lag(&self) -> Result<u64> {
+        let mut lag = 0u64;
+        for ti in &self.tasks {
+            for (tp, pos) in &ti.positions {
+                lag += self.broker.end_offset(&tp.topic, tp.partition)?.saturating_sub(*pos);
+            }
+        }
+        Ok(lag)
+    }
+
+    /// Aggregate metrics across the container's tasks.
+    pub fn metrics(&self) -> ContainerMetricsSnapshot {
+        let mut snap = ContainerMetricsSnapshot::default();
+        for ti in &self.tasks {
+            snap.messages_processed += ti.ctx.metrics.messages_processed();
+            snap.messages_sent += ti.ctx.metrics.messages_sent();
+            snap.commits += ti.ctx.metrics.commits();
+            snap.window_calls += ti.ctx.metrics.window_calls();
+        }
+        snap
+    }
+
+    /// Number of tasks whose bootstrap phase is still pending.
+    pub fn tasks_bootstrapping(&self) -> usize {
+        self.tasks.iter().filter(|t| !t.bootstrap_pending.is_empty()).count()
+    }
+
+    /// The container id within the job.
+    pub fn container_id(&self) -> u32 {
+        self.model.container_id
+    }
+
+    /// Access a task's context by partition (test/diagnostic hook).
+    pub fn task_context(&self, partition: u32) -> Option<&TaskContext> {
+        self.tasks.iter().find(|t| t.ctx.partition == partition).map(|t| &t.ctx)
+    }
+}
+
+impl std::fmt::Debug for Container {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Container")
+            .field("job", &self.config.name)
+            .field("id", &self.model.container_id)
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}

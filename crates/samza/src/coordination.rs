@@ -1,0 +1,164 @@
+//! ZooKeeper-like hierarchical metadata store.
+//!
+//! §4.2: during job-configuration generation "some of the metadata such as
+//! message schemas and the streaming query are stored in Zookeeper and
+//! references to those configurations are added to the job configuration.
+//! SamzaSQL tasks then read actual values for configurations from
+//! Zookeeper." This store carries that handoff in-process: path-addressed
+//! string values with children listing and version counters.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A stored entry: value plus a monotonically increasing version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetadataEntry {
+    pub value: String,
+    pub version: u64,
+}
+
+/// Shared, thread-safe, path-addressed metadata store.
+#[derive(Clone, Default)]
+pub struct MetadataStore {
+    nodes: Arc<RwLock<BTreeMap<String, MetadataEntry>>>,
+}
+
+impl MetadataStore {
+    pub fn new() -> Self {
+        MetadataStore::default()
+    }
+
+    fn normalize(path: &str) -> String {
+        let trimmed = path.trim_matches('/');
+        format!("/{trimmed}")
+    }
+
+    /// Set a value at a path, creating or overwriting; returns new version.
+    pub fn set(&self, path: &str, value: impl Into<String>) -> u64 {
+        let path = Self::normalize(path);
+        let mut nodes = self.nodes.write();
+        let version = nodes.get(&path).map_or(1, |e| e.version + 1);
+        nodes.insert(path, MetadataEntry { value: value.into(), version });
+        version
+    }
+
+    /// Get the value at a path.
+    pub fn get(&self, path: &str) -> Option<String> {
+        self.nodes.read().get(&Self::normalize(path)).map(|e| e.value.clone())
+    }
+
+    /// Get the full entry (value + version).
+    pub fn get_entry(&self, path: &str) -> Option<MetadataEntry> {
+        self.nodes.read().get(&Self::normalize(path)).cloned()
+    }
+
+    /// Compare-and-set: succeeds only when the current version matches.
+    pub fn compare_and_set(&self, path: &str, expected_version: u64, value: impl Into<String>) -> bool {
+        let path = Self::normalize(path);
+        let mut nodes = self.nodes.write();
+        match nodes.get(&path) {
+            Some(e) if e.version == expected_version => {
+                let version = e.version + 1;
+                nodes.insert(path, MetadataEntry { value: value.into(), version });
+                true
+            }
+            None if expected_version == 0 => {
+                nodes.insert(path, MetadataEntry { value: value.into(), version: 1 });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Delete a path; returns whether it existed.
+    pub fn delete(&self, path: &str) -> bool {
+        self.nodes.write().remove(&Self::normalize(path)).is_some()
+    }
+
+    /// Immediate children of a path (one extra path segment), sorted.
+    pub fn children(&self, path: &str) -> Vec<String> {
+        let prefix = {
+            let p = Self::normalize(path);
+            if p == "/" {
+                "/".to_string()
+            } else {
+                format!("{p}/")
+            }
+        };
+        let nodes = self.nodes.read();
+        let mut kids: Vec<String> = nodes
+            .keys()
+            .filter_map(|k| {
+                let rest = k.strip_prefix(&prefix)?;
+                if rest.is_empty() {
+                    None
+                } else {
+                    Some(rest.split('/').next().expect("nonempty").to_string())
+                }
+            })
+            .collect();
+        kids.dedup();
+        kids
+    }
+}
+
+impl std::fmt::Debug for MetadataStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetadataStore")
+            .field("paths", &self.nodes.read().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_normalizes_paths() {
+        let m = MetadataStore::new();
+        m.set("jobs/q1/query", "SELECT 1");
+        assert_eq!(m.get("/jobs/q1/query").as_deref(), Some("SELECT 1"));
+        assert_eq!(m.get("jobs/q1/query/").as_deref(), Some("SELECT 1"));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn versions_increment() {
+        let m = MetadataStore::new();
+        assert_eq!(m.set("a", "1"), 1);
+        assert_eq!(m.set("a", "2"), 2);
+        assert_eq!(m.get_entry("a").unwrap().version, 2);
+    }
+
+    #[test]
+    fn compare_and_set_enforces_version() {
+        let m = MetadataStore::new();
+        assert!(m.compare_and_set("a", 0, "init"), "create at version 0");
+        assert!(!m.compare_and_set("a", 0, "stale"));
+        assert!(m.compare_and_set("a", 1, "next"));
+        assert_eq!(m.get("a").as_deref(), Some("next"));
+    }
+
+    #[test]
+    fn children_lists_one_level() {
+        let m = MetadataStore::new();
+        m.set("/jobs/q1/query", "x");
+        m.set("/jobs/q1/schema", "y");
+        m.set("/jobs/q2/query", "z");
+        m.set("/other", "w");
+        assert_eq!(m.children("/jobs"), vec!["q1".to_string(), "q2".to_string()]);
+        assert_eq!(m.children("/jobs/q1"), vec!["query".to_string(), "schema".to_string()]);
+        assert_eq!(m.children("/jobs/q3"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn delete_removes_entry() {
+        let m = MetadataStore::new();
+        m.set("a", "1");
+        assert!(m.delete("a"));
+        assert!(!m.delete("a"));
+        assert_eq!(m.get("a"), None);
+    }
+}

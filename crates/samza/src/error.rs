@@ -1,0 +1,51 @@
+//! Runtime error type.
+
+use samzasql_kafka::KafkaError;
+use samzasql_serde::SerdeError;
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, SamzaError>;
+
+/// Errors surfaced by the stream-processing runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamzaError {
+    /// Underlying broker failure.
+    Kafka(KafkaError),
+    /// Message (de)serialization failure.
+    Serde(SerdeError),
+    /// Job configuration problems detected before execution.
+    Config(String),
+    /// A task referenced a store that was not configured.
+    UnknownStore(String),
+    /// Task-level processing failure (poison message, user-code error).
+    Task { task: String, message: String },
+    /// Cluster simulation errors (no capacity, unknown job, …).
+    Cluster(String),
+}
+
+impl fmt::Display for SamzaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamzaError::Kafka(e) => write!(f, "kafka: {e}"),
+            SamzaError::Serde(e) => write!(f, "serde: {e}"),
+            SamzaError::Config(msg) => write!(f, "config: {msg}"),
+            SamzaError::UnknownStore(name) => write!(f, "unknown store: {name}"),
+            SamzaError::Task { task, message } => write!(f, "task {task}: {message}"),
+            SamzaError::Cluster(msg) => write!(f, "cluster: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SamzaError {}
+
+impl From<KafkaError> for SamzaError {
+    fn from(e: KafkaError) -> Self {
+        SamzaError::Kafka(e)
+    }
+}
+
+impl From<SerdeError> for SamzaError {
+    fn from(e: SerdeError) -> Self {
+        SamzaError::Serde(e)
+    }
+}

@@ -1,0 +1,425 @@
+//! Fault-tolerant task-local key-value storage.
+//!
+//! §2: "Each streaming task in a Samza job has managed local storage … The
+//! state is modeled as a stream and Samza manages the snapshotting and
+//! restoration by replaying the state stream in case of a task failure."
+//!
+//! The store keeps **serialized bytes**, exactly like Samza's RocksDB-backed
+//! store: every `put` pays value serialization, every `get` pays
+//! deserialization (through [`TypedStore`]). On top of that, a configurable
+//! **storage-engine cost model** charges checksum work per access — RocksDB
+//! computes WAL/block checksums and does memtable/block work on every
+//! operation, and that per-access engine cost is what makes Figure 6's
+//! sliding-window throughput "dominated by access to the key-value store"
+//! for *both* SamzaSQL and native jobs. The model is real computation over
+//! the stored bytes (FNV passes), not a timer; disable it with
+//! [`KeyValueStore::set_engine_cost_passes`]`(0)`.
+//!
+//! Every mutation is mirrored to a changelog topic partition; restoring a
+//! store means replaying that partition from the beginning (deletes are
+//! tombstones: a null/empty value). Changelog writes are **buffered** and
+//! flushed by the container during commit, immediately before the input
+//! checkpoint is written — so restored state is always consistent with the
+//! checkpointed input positions and replay after a crash recomputes the same
+//! results (the determinism §4.3 claims). This mirrors Samza's commit
+//! sequence (flush state, then checkpoint).
+
+use crate::error::Result;
+use bytes::Bytes;
+use samzasql_kafka::{Broker, Message};
+use samzasql_serde::{BoxedSerde, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Read/write counters for a store, used to confirm KV-dominance claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreMetricsSnapshot {
+    pub gets: u64,
+    pub puts: u64,
+    pub deletes: u64,
+    pub range_scans: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreMetrics {
+    gets: AtomicU64,
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    range_scans: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+/// Byte-level ordered key-value store with optional changelog.
+pub struct KeyValueStore {
+    name: String,
+    data: BTreeMap<Vec<u8>, Bytes>,
+    /// Changelog destination: (broker, topic, partition).
+    changelog: Option<(Broker, String, u32)>,
+    /// Mutations not yet flushed to the changelog (key, value-or-tombstone).
+    pending: Vec<(Vec<u8>, Bytes)>,
+    /// Checksum passes per access (storage-engine cost model); 0 disables.
+    engine_cost_passes: u32,
+    metrics: Arc<StoreMetrics>,
+}
+
+/// Default checksum passes, calibrated so one access over a ~100-byte value
+/// costs on the order of RocksDB memtable work.
+pub const DEFAULT_ENGINE_COST_PASSES: u32 = 12;
+
+/// One FNV-1a pass over a byte slice (the checksum primitive of the engine
+/// cost model). Public so benchmarks can calibrate.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl KeyValueStore {
+    /// Create an ephemeral store (no changelog).
+    pub fn ephemeral(name: impl Into<String>) -> Self {
+        KeyValueStore {
+            name: name.into(),
+            data: BTreeMap::new(),
+            changelog: None,
+            pending: Vec::new(),
+            engine_cost_passes: DEFAULT_ENGINE_COST_PASSES,
+            metrics: Arc::new(StoreMetrics::default()),
+        }
+    }
+
+    /// Create a store whose mutations are mirrored to
+    /// `changelog_topic`/`partition` on `broker`.
+    pub fn with_changelog(
+        name: impl Into<String>,
+        broker: Broker,
+        changelog_topic: impl Into<String>,
+        partition: u32,
+    ) -> Self {
+        KeyValueStore {
+            name: name.into(),
+            data: BTreeMap::new(),
+            changelog: Some((broker, changelog_topic.into(), partition)),
+            pending: Vec::new(),
+            engine_cost_passes: DEFAULT_ENGINE_COST_PASSES,
+            metrics: Arc::new(StoreMetrics::default()),
+        }
+    }
+
+    /// Configure the storage-engine cost model (0 disables it).
+    pub fn set_engine_cost_passes(&mut self, passes: u32) {
+        self.engine_cost_passes = passes;
+    }
+
+    /// Charge the engine cost for one access. RocksDB's per-operation cost
+    /// is dominated by *fixed* work — memtable skiplist traversal, WAL
+    /// record framing, block handling — plus a checksum over the touched
+    /// block, so the model hashes a fixed-size block per pass (value size
+    /// contributes only via the real byte copies elsewhere). Folded into a
+    /// black-box read so the work is not optimized away.
+    #[inline]
+    fn engine_cost(&self, bytes: &[u8]) {
+        const BLOCK: [u8; 256] = [0xA5; 256];
+        let mut acc = fnv1a(&bytes[..bytes.len().min(32)]);
+        for _ in 0..self.engine_cost_passes {
+            acc = acc.wrapping_add(fnv1a(&BLOCK));
+        }
+        std::hint::black_box(acc);
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Get the serialized value for a key.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.metrics.gets.fetch_add(1, Ordering::Relaxed);
+        let v = self.data.get(key).cloned();
+        if let Some(ref b) = v {
+            self.metrics.bytes_read.fetch_add(b.len() as u64, Ordering::Relaxed);
+            self.engine_cost(b); // block-checksum verification
+        }
+        v
+    }
+
+    /// Put a serialized value; the changelog entry is buffered until
+    /// [`flush_changelog`](Self::flush_changelog).
+    pub fn put(&mut self, key: &[u8], value: Bytes) -> Result<()> {
+        self.metrics.puts.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .bytes_written
+            .fetch_add((key.len() + value.len()) as u64, Ordering::Relaxed);
+        if self.changelog.is_some() {
+            self.pending.push((key.to_vec(), value.clone()));
+        }
+        self.engine_cost(&value); // WAL checksum + memtable work
+        self.data.insert(key.to_vec(), value);
+        Ok(())
+    }
+
+    /// Delete a key; buffers a tombstone (empty value) for the changelog.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.metrics.deletes.fetch_add(1, Ordering::Relaxed);
+        if self.changelog.is_some() {
+            self.pending.push((key.to_vec(), Bytes::new()));
+        }
+        self.data.remove(key);
+        Ok(())
+    }
+
+    /// Flush buffered mutations to the changelog topic. Called by the
+    /// container at commit time, just before the checkpoint write, so the
+    /// durable state never runs ahead of the checkpointed input positions.
+    pub fn flush_changelog(&mut self) -> Result<()> {
+        let Some((broker, topic, partition)) = self.changelog.clone() else {
+            self.pending.clear();
+            return Ok(());
+        };
+        for (key, value) in self.pending.drain(..) {
+            broker.produce(
+                &topic,
+                partition,
+                Message { key: Some(Bytes::from(key)), value, timestamp: 0 },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Number of unflushed changelog entries (diagnostics).
+    pub fn pending_changelog(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Iterate keys in `[from, to)` in order, yielding `(key, value)` pairs.
+    pub fn range(&self, from: &[u8], to: &[u8]) -> Vec<(Vec<u8>, Bytes)> {
+        self.metrics.range_scans.fetch_add(1, Ordering::Relaxed);
+        let mut read = 0u64;
+        let out: Vec<(Vec<u8>, Bytes)> = self
+            .data
+            .range(from.to_vec()..to.to_vec())
+            .map(|(k, v)| {
+                read += v.len() as u64;
+                (k.clone(), v.clone())
+            })
+            .collect();
+        self.metrics.bytes_read.fetch_add(read, Ordering::Relaxed);
+        out
+    }
+
+    /// Full scan in key order.
+    pub fn all(&self) -> Vec<(Vec<u8>, Bytes)> {
+        self.metrics.range_scans.fetch_add(1, Ordering::Relaxed);
+        self.data.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Replay the changelog partition from the beginning, rebuilding state.
+    /// Used on task restart; the in-memory map is rebuilt exactly.
+    pub fn restore(&mut self) -> Result<u64> {
+        let Some((broker, topic, partition)) = self.changelog.clone() else {
+            return Ok(0);
+        };
+        self.data.clear();
+        let mut offset = broker.start_offset(&topic, partition)?;
+        let mut applied = 0u64;
+        loop {
+            let batch = broker.fetch(&topic, partition, offset, 1024)?;
+            if batch.records.is_empty() {
+                break;
+            }
+            for rec in &batch.records {
+                offset = rec.offset + 1;
+                let key = rec.message.key.clone().unwrap_or_default().to_vec();
+                if rec.message.value.is_empty() {
+                    self.data.remove(&key);
+                } else {
+                    self.data.insert(key, rec.message.value.clone());
+                }
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Access the store's counters.
+    pub fn metrics(&self) -> StoreMetricsSnapshot {
+        StoreMetricsSnapshot {
+            gets: self.metrics.gets.load(Ordering::Relaxed),
+            puts: self.metrics.puts.load(Ordering::Relaxed),
+            deletes: self.metrics.deletes.load(Ordering::Relaxed),
+            range_scans: self.metrics.range_scans.load(Ordering::Relaxed),
+            bytes_written: self.metrics.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.metrics.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for KeyValueStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyValueStore")
+            .field("name", &self.name)
+            .field("len", &self.data.len())
+            .field("changelog", &self.changelog.as_ref().map(|(_, t, p)| format!("{t}-{p}")))
+            .finish()
+    }
+}
+
+/// Typed view over a [`KeyValueStore`] that serializes keys and values
+/// through configured serdes on every access — the cost model that matters.
+pub struct TypedStore<'a> {
+    store: &'a mut KeyValueStore,
+    key_serde: BoxedSerde,
+    value_serde: BoxedSerde,
+}
+
+impl<'a> TypedStore<'a> {
+    pub fn new(store: &'a mut KeyValueStore, key_serde: BoxedSerde, value_serde: BoxedSerde) -> Self {
+        TypedStore { store, key_serde, value_serde }
+    }
+
+    /// Serialize the key, look it up, deserialize the value.
+    pub fn get(&self, key: &Value) -> Result<Option<Value>> {
+        let kb = self.key_serde.serialize(key)?;
+        match self.store.get(&kb) {
+            Some(vb) => Ok(Some(self.value_serde.deserialize(&vb)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Serialize key and value, store the bytes.
+    pub fn put(&mut self, key: &Value, value: &Value) -> Result<()> {
+        let kb = self.key_serde.serialize(key)?;
+        let vb = self.value_serde.serialize(value)?;
+        self.store.put(&kb, vb)
+    }
+
+    /// Serialize the key, delete the entry.
+    pub fn delete(&mut self, key: &Value) -> Result<()> {
+        let kb = self.key_serde.serialize(key)?;
+        self.store.delete(&kb)
+    }
+
+    /// Scan a key range (serialized-key order), deserializing each value.
+    pub fn range(&self, from: &Value, to: &Value) -> Result<Vec<(Bytes, Value)>> {
+        let fb = self.key_serde.serialize(from)?;
+        let tb = self.key_serde.serialize(to)?;
+        self.store
+            .range(&fb, &tb)
+            .into_iter()
+            .map(|(k, v)| Ok((Bytes::from(k), self.value_serde.deserialize(&v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samzasql_kafka::TopicConfig;
+    use samzasql_serde::serde_api::build_serde;
+    use samzasql_serde::{Schema, SerdeFormat};
+
+    #[test]
+    fn basic_crud_and_order() {
+        let mut s = KeyValueStore::ephemeral("s");
+        s.put(b"b", Bytes::from_static(b"2")).unwrap();
+        s.put(b"a", Bytes::from_static(b"1")).unwrap();
+        s.put(b"c", Bytes::from_static(b"3")).unwrap();
+        assert_eq!(s.get(b"a").unwrap().as_ref(), b"1");
+        assert_eq!(s.len(), 3);
+        s.delete(b"b").unwrap();
+        assert!(s.get(b"b").is_none());
+        let keys: Vec<Vec<u8>> = s.all().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn range_is_half_open() {
+        let mut s = KeyValueStore::ephemeral("s");
+        for k in ["a", "b", "c", "d"] {
+            s.put(k.as_bytes(), Bytes::from_static(b"x")).unwrap();
+        }
+        let got: Vec<Vec<u8>> = s.range(b"b", b"d").into_iter().map(|(k, _)| k).collect();
+        assert_eq!(got, vec![b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn metrics_count_accesses() {
+        let mut s = KeyValueStore::ephemeral("s");
+        s.put(b"k", Bytes::from_static(b"vvvv")).unwrap();
+        s.get(b"k");
+        s.get(b"missing");
+        s.range(b"a", b"z");
+        s.delete(b"k").unwrap();
+        let m = s.metrics();
+        assert_eq!((m.puts, m.gets, m.range_scans, m.deletes), (1, 2, 1, 1));
+        assert_eq!(m.bytes_written, 5);
+        assert!(m.bytes_read >= 4);
+    }
+
+    #[test]
+    fn changelog_restore_rebuilds_state_including_deletes() {
+        let broker = Broker::new();
+        broker.create_topic("clog", TopicConfig::with_partitions(2)).unwrap();
+        let mut s = KeyValueStore::with_changelog("s", broker.clone(), "clog", 1);
+        s.put(b"a", Bytes::from_static(b"1")).unwrap();
+        s.put(b"b", Bytes::from_static(b"2")).unwrap();
+        s.put(b"a", Bytes::from_static(b"1b")).unwrap();
+        s.delete(b"b").unwrap();
+        assert_eq!(s.pending_changelog(), 4, "writes buffered until flush");
+        s.flush_changelog().unwrap();
+        assert_eq!(s.pending_changelog(), 0);
+
+        // Simulate a fresh task on another node: new store, same changelog.
+        let mut restored = KeyValueStore::with_changelog("s", broker.clone(), "clog", 1);
+        let applied = restored.restore().unwrap();
+        assert_eq!(applied, 4);
+        assert_eq!(restored.get(b"a").unwrap().as_ref(), b"1b");
+        assert!(restored.get(b"b").is_none());
+        assert_eq!(restored.len(), 1);
+        // Partition 0 untouched.
+        assert_eq!(broker.end_offset("clog", 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn typed_store_roundtrips_through_serdes() {
+        let schema = Schema::record("R", vec![("id", Schema::Int), ("name", Schema::String)]);
+        let mut s = KeyValueStore::ephemeral("s");
+        let mut t = TypedStore::new(
+            &mut s,
+            build_serde(SerdeFormat::Object, Schema::Int),
+            build_serde(SerdeFormat::Avro, schema),
+        );
+        let key = Value::Int(7);
+        let val = Value::record(vec![("id", Value::Int(7)), ("name", Value::String("x".into()))]);
+        t.put(&key, &val).unwrap();
+        assert_eq!(t.get(&key).unwrap(), Some(val));
+        assert_eq!(t.get(&Value::Int(8)).unwrap(), None);
+        t.delete(&key).unwrap();
+        assert_eq!(t.get(&key).unwrap(), None);
+    }
+
+    #[test]
+    fn ephemeral_restore_is_noop() {
+        let mut s = KeyValueStore::ephemeral("s");
+        s.put(b"k", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(s.restore().unwrap(), 0);
+        // Ephemeral restore clears nothing (no changelog to rebuild from).
+        assert_eq!(s.get(b"k").unwrap().as_ref(), b"v");
+    }
+}

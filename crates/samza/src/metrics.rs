@@ -1,0 +1,77 @@
+//! Task-level throughput counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, monotonic counters for one task. Cloneable so the benchmark
+/// harness can sample while the container thread runs.
+#[derive(Debug, Clone, Default)]
+pub struct TaskMetrics {
+    inner: Arc<TaskMetricsInner>,
+}
+
+#[derive(Debug, Default)]
+struct TaskMetricsInner {
+    messages_processed: AtomicU64,
+    messages_sent: AtomicU64,
+    process_errors: AtomicU64,
+    commits: AtomicU64,
+    window_calls: AtomicU64,
+}
+
+impl TaskMetrics {
+    pub fn record_processed(&self, n: u64) {
+        self.inner.messages_processed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_sent(&self, n: u64) {
+        self.inner.messages_sent.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_error(&self) {
+        self.inner.process_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_commit(&self) {
+        self.inner.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_window(&self) {
+        self.inner.window_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn messages_processed(&self) -> u64 {
+        self.inner.messages_processed.load(Ordering::Relaxed)
+    }
+
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.messages_sent.load(Ordering::Relaxed)
+    }
+
+    pub fn process_errors(&self) -> u64 {
+        self.inner.process_errors.load(Ordering::Relaxed)
+    }
+
+    pub fn commits(&self) -> u64 {
+        self.inner.commits.load(Ordering::Relaxed)
+    }
+
+    pub fn window_calls(&self) -> u64 {
+        self.inner.window_calls.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_shared_across_clones() {
+        let m = TaskMetrics::default();
+        let m2 = m.clone();
+        m.record_processed(3);
+        m2.record_sent(2);
+        assert_eq!(m2.messages_processed(), 3);
+        assert_eq!(m.messages_sent(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Cluster-simulation tests: job submission, parallel containers, failure
+//! injection with state restore, and job isolation.
+
+use samzasql_kafka::{Broker, Message, TopicConfig};
+use samzasql_samza::{
+    ClusterSim, IncomingMessageEnvelope, InputStreamConfig, JobConfig, MessageCollector,
+    NodeConfig, OutputStreamConfig, OutgoingMessageEnvelope, Result, StoreConfig, StreamTask,
+    TaskContext, TaskCoordinator, TaskFactory,
+};
+use samzasql_serde::SerdeFormat;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Echo;
+impl StreamTask for Echo {
+    fn process(
+        &mut self,
+        envelope: &IncomingMessageEnvelope,
+        _ctx: &mut TaskContext,
+        collector: &mut MessageCollector,
+        _coordinator: &mut TaskCoordinator,
+    ) -> Result<()> {
+        collector.send(OutgoingMessageEnvelope::new("out", envelope.payload.clone()));
+        Ok(())
+    }
+}
+
+struct EchoFactory;
+impl TaskFactory for EchoFactory {
+    fn create(&self, _partition: u32) -> Box<dyn StreamTask> {
+        Box::new(Echo)
+    }
+}
+
+fn wait_for<F: Fn() -> bool>(cond: F, timeout: Duration, what: &str) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn count_topic(broker: &Broker, topic: &str) -> u64 {
+    let parts = broker.partition_count(topic).unwrap();
+    (0..parts).map(|p| broker.end_offset(topic, p).unwrap()).sum()
+}
+
+#[test]
+fn submitted_job_processes_live_traffic() {
+    let broker = Broker::new();
+    broker.create_topic("in", TopicConfig::with_partitions(4)).unwrap();
+    broker.create_topic("out", TopicConfig::with_partitions(4)).unwrap();
+    let cluster = ClusterSim::single_node(broker.clone());
+    let cfg = JobConfig::new("echo")
+        .input(InputStreamConfig::avro("in"))
+        .output(OutputStreamConfig::avro("out"))
+        .containers(2);
+    let handle = cluster.submit(cfg, Arc::new(EchoFactory)).unwrap();
+
+    for i in 0..200u32 {
+        broker.produce("in", i % 4, Message::new(format!("{i}"))).unwrap();
+    }
+    wait_for(
+        || handle.processed() >= 200,
+        Duration::from_secs(10),
+        "200 messages processed",
+    );
+    handle.stop().unwrap();
+    assert_eq!(count_topic(&broker, "out"), 200);
+}
+
+#[test]
+fn duplicate_job_submission_rejected() {
+    let broker = Broker::new();
+    broker.create_topic("in", TopicConfig::with_partitions(1)).unwrap();
+    let cluster = ClusterSim::single_node(broker);
+    let cfg = JobConfig::new("dup").input(InputStreamConfig::avro("in"));
+    let h = cluster.submit(cfg.clone(), Arc::new(EchoFactory)).unwrap();
+    assert!(cluster.submit(cfg, Arc::new(EchoFactory)).is_err());
+    h.stop().unwrap();
+}
+
+#[test]
+fn capacity_limits_are_enforced() {
+    let broker = Broker::new();
+    broker.create_topic("in", TopicConfig::with_partitions(4)).unwrap();
+    let cluster = ClusterSim::new(broker, vec![NodeConfig::new("tiny", 1)]);
+    let cfg = JobConfig::new("big")
+        .input(InputStreamConfig::avro("in"))
+        .containers(4);
+    assert!(cluster.submit(cfg, Arc::new(EchoFactory)).is_err());
+}
+
+#[test]
+fn jobs_are_isolated() {
+    // Two jobs; stopping one leaves the other running (masterless design).
+    let broker = Broker::new();
+    broker.create_topic("in1", TopicConfig::with_partitions(1)).unwrap();
+    broker.create_topic("in2", TopicConfig::with_partitions(1)).unwrap();
+    broker.create_topic("out", TopicConfig::with_partitions(1)).unwrap();
+    let cluster = ClusterSim::single_node(broker.clone());
+    let h1 = cluster
+        .submit(
+            JobConfig::new("j1")
+                .input(InputStreamConfig::avro("in1"))
+                .output(OutputStreamConfig::avro("out")),
+            Arc::new(EchoFactory),
+        )
+        .unwrap();
+    let h2 = cluster
+        .submit(
+            JobConfig::new("j2")
+                .input(InputStreamConfig::avro("in2"))
+                .output(OutputStreamConfig::avro("out")),
+            Arc::new(EchoFactory),
+        )
+        .unwrap();
+    h1.stop().unwrap();
+    broker.produce("in2", 0, Message::new("still alive")).unwrap();
+    wait_for(|| h2.processed() >= 1, Duration::from_secs(10), "j2 processes after j1 stops");
+    assert_eq!(cluster.running_jobs(), vec!["j2".to_string()]);
+    h2.stop().unwrap();
+}
+
+/// Stateful counter task used to verify state restoration across a kill.
+struct Counter;
+impl StreamTask for Counter {
+    fn process(
+        &mut self,
+        envelope: &IncomingMessageEnvelope,
+        ctx: &mut TaskContext,
+        collector: &mut MessageCollector,
+        _coordinator: &mut TaskCoordinator,
+    ) -> Result<()> {
+        let key = envelope.key.clone().expect("keyed input");
+        let store = ctx.store_mut("c")?;
+        let n = store
+            .get(&key)
+            .map(|b| u64::from_le_bytes(b.as_ref().try_into().expect("8")))
+            .unwrap_or(0)
+            + 1;
+        store.put(&key, bytes::Bytes::copy_from_slice(&n.to_le_bytes()))?;
+        collector.send(
+            OutgoingMessageEnvelope::new("out", format!("{n}")).keyed(key),
+        );
+        Ok(())
+    }
+}
+
+struct CounterFactory;
+impl TaskFactory for CounterFactory {
+    fn create(&self, _partition: u32) -> Box<dyn StreamTask> {
+        Box::new(Counter)
+    }
+}
+
+#[test]
+fn kill_and_restart_restores_state_and_resumes() {
+    let broker = Broker::new();
+    broker.create_topic("in", TopicConfig::with_partitions(1)).unwrap();
+    broker.create_topic("out", TopicConfig::with_partitions(1)).unwrap();
+    let cluster = ClusterSim::new(
+        broker.clone(),
+        vec![NodeConfig::new("n0", 4), NodeConfig::new("n1", 4)],
+    );
+    let mut cfg = JobConfig::new("counter")
+        .input(InputStreamConfig::avro("in"))
+        .output(OutputStreamConfig::avro("out"))
+        .store(StoreConfig::with_changelog("c", "counter", SerdeFormat::Object));
+    // Commit often so the kill loses little (but possibly some) progress.
+    cfg.commit_interval_messages = 1;
+    let handle = cluster.submit(cfg, Arc::new(CounterFactory)).unwrap();
+
+    for _ in 0..50 {
+        broker.produce("in", 0, Message::keyed("k", "x")).unwrap();
+    }
+    wait_for(|| handle.processed() >= 50, Duration::from_secs(10), "first 50 processed");
+
+    handle.kill_container(0).unwrap();
+
+    for _ in 0..50 {
+        broker.produce("in", 0, Message::keyed("k", "x")).unwrap();
+    }
+    wait_for(|| handle.processed() >= 100, Duration::from_secs(10), "remaining 50 processed");
+    handle.stop().unwrap();
+
+    // The final count must be exactly 100: the restored store continued from
+    // the changelog; replayed messages (if the kill lost a commit) re-derive
+    // the same per-message counts because state and input replay from the
+    // same consistent point (§4.3's determinism claim).
+    let mut last = None;
+    let mut off = 0;
+    loop {
+        let batch = broker.fetch("out", 0, off, 1024).unwrap();
+        if batch.records.is_empty() {
+            break;
+        }
+        for r in batch.records {
+            off = r.offset + 1;
+            last = Some(String::from_utf8(r.message.value.to_vec()).unwrap());
+        }
+    }
+    assert_eq!(last.as_deref(), Some("100"));
+}
+
+#[test]
+fn killed_container_moves_to_least_loaded_node() {
+    let broker = Broker::new();
+    broker.create_topic("in", TopicConfig::with_partitions(1)).unwrap();
+    let cluster = ClusterSim::new(
+        broker.clone(),
+        vec![NodeConfig::new("n0", 2), NodeConfig::new("n1", 2)],
+    );
+    let handle = cluster
+        .submit(
+            JobConfig::new("mover").input(InputStreamConfig::avro("in")),
+            Arc::new(EchoFactory),
+        )
+        .unwrap();
+    let before: u32 = cluster.node_usage().iter().map(|(_, used, _)| used).sum();
+    handle.kill_container(0).unwrap();
+    let after: u32 = cluster.node_usage().iter().map(|(_, used, _)| used).sum();
+    assert_eq!(before, after, "restart keeps total slot usage constant");
+    handle.stop().unwrap();
+    let freed: u32 = cluster.node_usage().iter().map(|(_, used, _)| used).sum();
+    assert_eq!(freed, 0, "stop frees all slots");
+}

@@ -1,0 +1,46 @@
+//! Serde error types.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, SerdeError>;
+
+/// Errors produced while encoding/decoding values or resolving schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerdeError {
+    /// The value does not conform to the schema it is being encoded with.
+    SchemaMismatch { expected: String, found: String },
+    /// The byte stream ended prematurely or contains invalid data.
+    Corrupt(String),
+    /// A varint exceeded the width of its target type.
+    VarintOverflow,
+    /// Invalid UTF-8 in a decoded string.
+    InvalidUtf8,
+    /// Registry lookups.
+    UnknownSubject(String),
+    UnknownSchemaId(u32),
+    /// Schema evolution rejected by the compatibility check.
+    IncompatibleSchema { subject: String, reason: String },
+    /// JSON (de)serialization failure.
+    Json(String),
+}
+
+impl fmt::Display for SerdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerdeError::SchemaMismatch { expected, found } => {
+                write!(f, "schema mismatch: expected {expected}, found {found}")
+            }
+            SerdeError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            SerdeError::VarintOverflow => write!(f, "varint overflow"),
+            SerdeError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            SerdeError::UnknownSubject(s) => write!(f, "unknown registry subject: {s}"),
+            SerdeError::UnknownSchemaId(id) => write!(f, "unknown schema id: {id}"),
+            SerdeError::IncompatibleSchema { subject, reason } => {
+                write!(f, "incompatible schema for subject {subject}: {reason}")
+            }
+            SerdeError::Json(msg) => write!(f, "json error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SerdeError {}

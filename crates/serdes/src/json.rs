@@ -1,0 +1,209 @@
+//! JSON codec.
+//!
+//! SamzaSQL "is architected to support various data formats such as Avro or
+//! JSON … using pluggable extensions" (§1). The JSON codec is schema-assisted
+//! on decode (JSON numbers are ambiguous between int/long/double; the schema
+//! disambiguates) and schema-free on encode.
+
+use crate::error::{Result, SerdeError};
+use crate::schema::Schema;
+use crate::value::Value;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Encode/decode values as JSON text, guided by a schema on the way in.
+#[derive(Debug, Clone)]
+pub struct JsonCodec {
+    schema: Schema,
+}
+
+impl JsonCodec {
+    pub fn new(schema: Schema) -> Self {
+        JsonCodec { schema }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Encode a value to JSON bytes. Records become objects; field order
+    /// follows the record.
+    pub fn encode(&self, value: &Value) -> Result<Bytes> {
+        let j = to_json(value);
+        serde_json::to_vec(&j)
+            .map(Bytes::from)
+            .map_err(|e| SerdeError::Json(e.to_string()))
+    }
+
+    /// Decode JSON bytes against the codec's schema.
+    pub fn decode(&self, bytes: &[u8]) -> Result<Value> {
+        let j: serde_json::Value =
+            serde_json::from_slice(bytes).map_err(|e| SerdeError::Json(e.to_string()))?;
+        from_json(&self.schema, &j)
+    }
+}
+
+fn to_json(value: &Value) -> serde_json::Value {
+    use serde_json::Value as J;
+    match value {
+        Value::Null => J::Null,
+        Value::Boolean(b) => J::Bool(*b),
+        Value::Int(v) => J::from(*v),
+        Value::Long(v) | Value::Timestamp(v) => J::from(*v),
+        Value::Float(v) => serde_json::Number::from_f64(f64::from(*v))
+            .map(J::Number)
+            .unwrap_or(J::Null),
+        Value::Double(v) => serde_json::Number::from_f64(*v).map(J::Number).unwrap_or(J::Null),
+        Value::String(s) => J::String(s.clone()),
+        Value::Bytes(b) => {
+            // Hex-string representation: JSON has no binary type.
+            J::String(b.iter().map(|x| format!("{x:02x}")).collect())
+        }
+        Value::Array(items) => J::Array(items.iter().map(to_json).collect()),
+        Value::Map(m) => {
+            J::Object(m.iter().map(|(k, v)| (k.clone(), to_json(v))).collect())
+        }
+        Value::Record(fields) => {
+            J::Object(fields.iter().map(|(k, v)| (k.clone(), to_json(v))).collect())
+        }
+    }
+}
+
+fn from_json(schema: &Schema, j: &serde_json::Value) -> Result<Value> {
+    use serde_json::Value as J;
+    let mismatch = || SerdeError::SchemaMismatch {
+        expected: schema.type_name(),
+        found: format!("{j}"),
+    };
+    match schema {
+        Schema::Null => matches!(j, J::Null).then_some(Value::Null).ok_or_else(mismatch),
+        Schema::Boolean => j.as_bool().map(Value::Boolean).ok_or_else(mismatch),
+        Schema::Int => j
+            .as_i64()
+            .and_then(|v| i32::try_from(v).ok())
+            .map(Value::Int)
+            .ok_or_else(mismatch),
+        Schema::Long => j.as_i64().map(Value::Long).ok_or_else(mismatch),
+        Schema::Timestamp => j.as_i64().map(Value::Timestamp).ok_or_else(mismatch),
+        Schema::Float => j.as_f64().map(|v| Value::Float(v as f32)).ok_or_else(mismatch),
+        Schema::Double => j.as_f64().map(Value::Double).ok_or_else(mismatch),
+        Schema::String => j.as_str().map(|s| Value::String(s.to_string())).ok_or_else(mismatch),
+        Schema::Bytes => {
+            let s = j.as_str().ok_or_else(mismatch)?;
+            if s.len() % 2 != 0 {
+                return Err(mismatch());
+            }
+            let mut out = Vec::with_capacity(s.len() / 2);
+            for i in (0..s.len()).step_by(2) {
+                let byte =
+                    u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| mismatch())?;
+                out.push(byte);
+            }
+            Ok(Value::Bytes(Bytes::from(out)))
+        }
+        Schema::Optional(inner) => {
+            if j.is_null() {
+                Ok(Value::Null)
+            } else {
+                from_json(inner, j)
+            }
+        }
+        Schema::Array(inner) => {
+            let items = j.as_array().ok_or_else(mismatch)?;
+            items.iter().map(|x| from_json(inner, x)).collect::<Result<Vec<_>>>().map(Value::Array)
+        }
+        Schema::Map(inner) => {
+            let obj = j.as_object().ok_or_else(mismatch)?;
+            let mut m = BTreeMap::new();
+            for (k, v) in obj {
+                m.insert(k.clone(), from_json(inner, v)?);
+            }
+            Ok(Value::Map(m))
+        }
+        Schema::Record { fields, .. } => {
+            let obj = j.as_object().ok_or_else(mismatch)?;
+            let mut out = Vec::with_capacity(fields.len());
+            for f in fields {
+                match obj.get(&f.name) {
+                    Some(v) => out.push((f.name.clone(), from_json(&f.schema, v)?)),
+                    None if matches!(f.schema, Schema::Optional(_)) => {
+                        out.push((f.name.clone(), Value::Null))
+                    }
+                    None => {
+                        return Err(SerdeError::SchemaMismatch {
+                            expected: format!("field {}", f.name),
+                            found: "missing".into(),
+                        })
+                    }
+                }
+            }
+            Ok(Value::Record(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders_schema() -> Schema {
+        Schema::record(
+            "Orders",
+            vec![
+                ("rowtime", Schema::Timestamp),
+                ("productId", Schema::Int),
+                ("units", Schema::Int),
+                ("note", Schema::String.optional()),
+            ],
+        )
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let codec = JsonCodec::new(orders_schema());
+        let v = Value::record(vec![
+            ("rowtime", Value::Timestamp(5)),
+            ("productId", Value::Int(1)),
+            ("units", Value::Int(2)),
+            ("note", Value::String("hi".into())),
+        ]);
+        let bytes = codec.encode(&v).unwrap();
+        assert_eq!(codec.decode(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn missing_optional_field_decodes_null() {
+        let codec = JsonCodec::new(orders_schema());
+        let v = codec
+            .decode(br#"{"rowtime": 1, "productId": 2, "units": 3}"#)
+            .unwrap();
+        assert_eq!(v.field("note"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        let codec = JsonCodec::new(orders_schema());
+        assert!(codec.decode(br#"{"rowtime": 1}"#).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        let codec = JsonCodec::new(Schema::Int);
+        assert!(codec.decode(br#""text""#).is_err());
+    }
+
+    #[test]
+    fn bytes_hex_roundtrip() {
+        let codec = JsonCodec::new(Schema::Bytes);
+        let v = Value::Bytes(Bytes::from_static(&[0xde, 0xad]));
+        let bytes = codec.encode(&v).unwrap();
+        assert_eq!(std::str::from_utf8(&bytes).unwrap(), "\"dead\"");
+        assert_eq!(codec.decode(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        let codec = JsonCodec::new(Schema::Int);
+        assert!(matches!(codec.decode(b"{nope"), Err(SerdeError::Json(_))));
+    }
+}

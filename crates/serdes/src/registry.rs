@@ -1,0 +1,187 @@
+//! Schema registry (Confluent-style, in process).
+//!
+//! §3.2: "SamzaSQL … depends on both the Kafka schema registry and Calcite's
+//! built-in JSON based schema descriptions to provide the query planner with
+//! the metadata necessary for query planning."
+//!
+//! Subjects map to a version history of schemas; registration enforces
+//! backward compatibility (new readers can decode old data) and returns a
+//! globally unique schema id.
+
+use crate::error::{Result, SerdeError};
+use crate::schema::Schema;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registered schema: id, subject, version, and the schema itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisteredSchema {
+    pub id: u32,
+    pub subject: String,
+    pub version: u32,
+    pub schema: Schema,
+}
+
+#[derive(Default)]
+struct RegistryState {
+    by_id: HashMap<u32, RegisteredSchema>,
+    by_subject: HashMap<String, Vec<u32>>, // subject -> ids in version order
+    next_id: u32,
+}
+
+/// Thread-safe, shareable schema registry.
+#[derive(Clone, Default)]
+pub struct SchemaRegistry {
+    state: Arc<RwLock<RegistryState>>,
+}
+
+impl SchemaRegistry {
+    pub fn new() -> Self {
+        SchemaRegistry::default()
+    }
+
+    /// Register `schema` under `subject`. Re-registering the latest schema is
+    /// idempotent (returns the existing registration). Otherwise the schema
+    /// must be backward compatible with the latest version.
+    pub fn register(&self, subject: &str, schema: Schema) -> Result<RegisteredSchema> {
+        let mut st = self.state.write();
+        if let Some(ids) = st.by_subject.get(subject) {
+            if let Some(latest_id) = ids.last() {
+                let latest = st.by_id[latest_id].clone();
+                if latest.schema == schema {
+                    return Ok(latest);
+                }
+                schema.is_backward_compatible_with(&latest.schema).map_err(|e| match e {
+                    SerdeError::IncompatibleSchema { reason, .. } => {
+                        SerdeError::IncompatibleSchema { subject: subject.to_string(), reason }
+                    }
+                    other => other,
+                })?;
+            }
+        }
+        st.next_id += 1;
+        let id = st.next_id;
+        let version = st.by_subject.get(subject).map_or(0, |v| v.len()) as u32 + 1;
+        let reg = RegisteredSchema { id, subject: subject.to_string(), version, schema };
+        st.by_id.insert(id, reg.clone());
+        st.by_subject.entry(subject.to_string()).or_default().push(id);
+        Ok(reg)
+    }
+
+    /// Latest schema of a subject.
+    pub fn latest(&self, subject: &str) -> Result<RegisteredSchema> {
+        let st = self.state.read();
+        let ids = st
+            .by_subject
+            .get(subject)
+            .ok_or_else(|| SerdeError::UnknownSubject(subject.to_string()))?;
+        let id = ids.last().expect("subject never empty");
+        Ok(st.by_id[id].clone())
+    }
+
+    /// Look up a schema by id.
+    pub fn by_id(&self, id: u32) -> Result<RegisteredSchema> {
+        self.state
+            .read()
+            .by_id
+            .get(&id)
+            .cloned()
+            .ok_or(SerdeError::UnknownSchemaId(id))
+    }
+
+    /// All versions of a subject, oldest first.
+    pub fn versions(&self, subject: &str) -> Result<Vec<RegisteredSchema>> {
+        let st = self.state.read();
+        let ids = st
+            .by_subject
+            .get(subject)
+            .ok_or_else(|| SerdeError::UnknownSubject(subject.to_string()))?;
+        Ok(ids.iter().map(|id| st.by_id[id].clone()).collect())
+    }
+
+    /// All registered subjects, sorted.
+    pub fn subjects(&self) -> Vec<String> {
+        let mut s: Vec<String> = self.state.read().by_subject.keys().cloned().collect();
+        s.sort();
+        s
+    }
+}
+
+impl std::fmt::Debug for SchemaRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchemaRegistry").field("subjects", &self.subjects()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v1() -> Schema {
+        Schema::record("Orders", vec![("rowtime", Schema::Timestamp), ("units", Schema::Int)])
+    }
+
+    fn v2() -> Schema {
+        Schema::record(
+            "Orders",
+            vec![
+                ("rowtime", Schema::Timestamp),
+                ("units", Schema::Int),
+                ("note", Schema::String.optional()),
+            ],
+        )
+    }
+
+    #[test]
+    fn register_and_fetch() {
+        let r = SchemaRegistry::new();
+        let reg = r.register("orders-value", v1()).unwrap();
+        assert_eq!(reg.version, 1);
+        assert_eq!(r.latest("orders-value").unwrap(), reg);
+        assert_eq!(r.by_id(reg.id).unwrap(), reg);
+    }
+
+    #[test]
+    fn reregistering_same_schema_is_idempotent() {
+        let r = SchemaRegistry::new();
+        let a = r.register("s", v1()).unwrap();
+        let b = r.register("s", v1()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(r.versions("s").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn compatible_evolution_bumps_version() {
+        let r = SchemaRegistry::new();
+        r.register("s", v1()).unwrap();
+        let reg2 = r.register("s", v2()).unwrap();
+        assert_eq!(reg2.version, 2);
+        assert_eq!(r.versions("s").unwrap().len(), 2);
+        assert_eq!(r.latest("s").unwrap().schema, v2());
+    }
+
+    #[test]
+    fn incompatible_evolution_rejected() {
+        let r = SchemaRegistry::new();
+        r.register("s", v1()).unwrap();
+        let bad = Schema::record("Orders", vec![("rowtime", Schema::Timestamp)]);
+        let err = r.register("s", bad).unwrap_err();
+        assert!(matches!(err, SerdeError::IncompatibleSchema { ref subject, .. } if subject == "s"));
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let r = SchemaRegistry::new();
+        assert!(matches!(r.latest("x"), Err(SerdeError::UnknownSubject(_))));
+        assert!(matches!(r.by_id(99), Err(SerdeError::UnknownSchemaId(99))));
+    }
+
+    #[test]
+    fn ids_are_globally_unique_across_subjects() {
+        let r = SchemaRegistry::new();
+        let a = r.register("s1", v1()).unwrap();
+        let b = r.register("s2", v1()).unwrap();
+        assert_ne!(a.id, b.id);
+    }
+}

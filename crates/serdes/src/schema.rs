@@ -1,0 +1,225 @@
+//! Schema model: the type vocabulary of SamzaSQL tuples.
+//!
+//! §3.1: "SamzaSQL supports primitive column types (integers, floating point
+//! numbers, generic strings, dates and booleans) and nestable collection
+//! types — array, map and object."
+
+use crate::error::{Result, SerdeError};
+
+/// One field of a record schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub schema: Schema,
+}
+
+/// A SamzaSQL schema. `Timestamp` is a distinct logical type over a long
+/// (milliseconds), because SamzaSQL gives the event-time column special
+/// treatment in planning and windowing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Schema {
+    Null,
+    Boolean,
+    Int,
+    Long,
+    Float,
+    Double,
+    String,
+    Bytes,
+    /// Event-time milliseconds; encodes like `Long`.
+    Timestamp,
+    /// An optional ("nullable union") of the inner schema.
+    Optional(Box<Schema>),
+    /// Homogeneous list.
+    Array(Box<Schema>),
+    /// String-keyed map.
+    Map(Box<Schema>),
+    /// Named record ("object") with ordered fields.
+    Record { name: String, fields: Vec<Field> },
+}
+
+impl Schema {
+    /// Convenience constructor for record schemas.
+    pub fn record(name: impl Into<String>, fields: Vec<(&str, Schema)>) -> Schema {
+        Schema::Record {
+            name: name.into(),
+            fields: fields
+                .into_iter()
+                .map(|(n, s)| Field { name: n.to_string(), schema: s })
+                .collect(),
+        }
+    }
+
+    /// Make this schema optional (idempotent).
+    pub fn optional(self) -> Schema {
+        match self {
+            s @ Schema::Optional(_) => s,
+            s => Schema::Optional(Box::new(s)),
+        }
+    }
+
+    /// Record fields, if this is a record.
+    pub fn fields(&self) -> Option<&[Field]> {
+        match self {
+            Schema::Record { fields, .. } => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Index of a record field by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields()?.iter().position(|f| f.name == name)
+    }
+
+    /// Field schema by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields()?.iter().find(|f| f.name == name)
+    }
+
+    /// Record name, if this is a record.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Schema::Record { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Human-readable type name used in error messages.
+    pub fn type_name(&self) -> String {
+        match self {
+            Schema::Null => "null".into(),
+            Schema::Boolean => "boolean".into(),
+            Schema::Int => "int".into(),
+            Schema::Long => "long".into(),
+            Schema::Float => "float".into(),
+            Schema::Double => "double".into(),
+            Schema::String => "string".into(),
+            Schema::Bytes => "bytes".into(),
+            Schema::Timestamp => "timestamp".into(),
+            Schema::Optional(inner) => format!("optional<{}>", inner.type_name()),
+            Schema::Array(inner) => format!("array<{}>", inner.type_name()),
+            Schema::Map(inner) => format!("map<{}>", inner.type_name()),
+            Schema::Record { name, .. } => format!("record<{name}>"),
+        }
+    }
+
+    /// Backward-compatibility check used by the registry: every field of
+    /// `old` must exist in `self` with an identical schema, and any fields
+    /// added by `self` must be optional (so old data can still be read).
+    /// Non-record schemas must match exactly.
+    pub fn is_backward_compatible_with(&self, old: &Schema) -> Result<()> {
+        match (self, old) {
+            (
+                Schema::Record { fields: new_fields, .. },
+                Schema::Record { fields: old_fields, .. },
+            ) => {
+                for of in old_fields {
+                    match new_fields.iter().find(|nf| nf.name == of.name) {
+                        Some(nf) if nf.schema == of.schema => {}
+                        Some(nf) => {
+                            return Err(SerdeError::IncompatibleSchema {
+                                subject: String::new(),
+                                reason: format!(
+                                    "field {} changed type from {} to {}",
+                                    of.name,
+                                    of.schema.type_name(),
+                                    nf.schema.type_name()
+                                ),
+                            })
+                        }
+                        None => {
+                            return Err(SerdeError::IncompatibleSchema {
+                                subject: String::new(),
+                                reason: format!("field {} was removed", of.name),
+                            })
+                        }
+                    }
+                }
+                for nf in new_fields {
+                    let added = !old_fields.iter().any(|of| of.name == nf.name);
+                    if added && !matches!(nf.schema, Schema::Optional(_)) {
+                        return Err(SerdeError::IncompatibleSchema {
+                            subject: String::new(),
+                            reason: format!("added field {} must be optional", nf.name),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            (a, b) if a == b => Ok(()),
+            (a, b) => Err(SerdeError::IncompatibleSchema {
+                subject: String::new(),
+                reason: format!("{} is not compatible with {}", a.type_name(), b.type_name()),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders() -> Schema {
+        Schema::record(
+            "Orders",
+            vec![
+                ("rowtime", Schema::Timestamp),
+                ("productId", Schema::Int),
+                ("orderId", Schema::Long),
+                ("units", Schema::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn field_lookup() {
+        let s = orders();
+        assert_eq!(s.field_index("productId"), Some(1));
+        assert_eq!(s.field_index("nope"), None);
+        assert_eq!(s.field("units").unwrap().schema, Schema::Int);
+        assert_eq!(s.name(), Some("Orders"));
+    }
+
+    #[test]
+    fn optional_is_idempotent() {
+        let s = Schema::Int.optional().optional();
+        assert_eq!(s, Schema::Optional(Box::new(Schema::Int)));
+    }
+
+    #[test]
+    fn compatible_addition_must_be_optional() {
+        let old = orders();
+        let mut with_extra = orders();
+        if let Schema::Record { fields, .. } = &mut with_extra {
+            fields.push(Field { name: "note".into(), schema: Schema::String });
+        }
+        assert!(with_extra.is_backward_compatible_with(&old).is_err());
+        if let Schema::Record { fields, .. } = &mut with_extra {
+            fields.last_mut().unwrap().schema = Schema::String.optional();
+        }
+        assert!(with_extra.is_backward_compatible_with(&old).is_ok());
+    }
+
+    #[test]
+    fn removed_or_retyped_fields_are_incompatible() {
+        let old = orders();
+        let removed = Schema::record("Orders", vec![("rowtime", Schema::Timestamp)]);
+        assert!(removed.is_backward_compatible_with(&old).is_err());
+        let retyped = Schema::record(
+            "Orders",
+            vec![
+                ("rowtime", Schema::Timestamp),
+                ("productId", Schema::Long),
+                ("orderId", Schema::Long),
+                ("units", Schema::Int),
+            ],
+        );
+        assert!(retyped.is_backward_compatible_with(&old).is_err());
+    }
+
+    #[test]
+    fn type_names_are_descriptive() {
+        assert_eq!(Schema::Array(Box::new(Schema::Int)).type_name(), "array<int>");
+        assert_eq!(orders().type_name(), "record<Orders>");
+    }
+}

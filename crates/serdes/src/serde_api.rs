@@ -1,0 +1,115 @@
+//! The pluggable Serde API (Samza's `Serde` interface).
+//!
+//! Samza "provides a message serialization and deserialization API called
+//! *Serde* … to support different message formats" (§2). Runtime components
+//! hold a [`BoxedSerde`] and neither know nor care which format is behind it.
+
+use crate::avro::AvroCodec;
+use crate::error::Result;
+use crate::json::JsonCodec;
+use crate::object::ObjectCodec;
+use crate::schema::Schema;
+use crate::value::Value;
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Object-safe serializer/deserializer for [`Value`]s.
+pub trait Serde: Send + Sync {
+    /// Serialize a value to bytes.
+    fn serialize(&self, value: &Value) -> Result<Bytes>;
+    /// Deserialize bytes back to a value.
+    fn deserialize(&self, bytes: &[u8]) -> Result<Value>;
+    /// Format name for configuration and diagnostics.
+    fn format(&self) -> SerdeFormat;
+}
+
+/// Shareable serde handle.
+pub type BoxedSerde = Arc<dyn Serde>;
+
+/// The built-in formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SerdeFormat {
+    Avro,
+    Json,
+    Object,
+}
+
+impl std::fmt::Display for SerdeFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerdeFormat::Avro => write!(f, "avro"),
+            SerdeFormat::Json => write!(f, "json"),
+            SerdeFormat::Object => write!(f, "object"),
+        }
+    }
+}
+
+impl Serde for AvroCodec {
+    fn serialize(&self, value: &Value) -> Result<Bytes> {
+        self.encode(value)
+    }
+    fn deserialize(&self, bytes: &[u8]) -> Result<Value> {
+        self.decode(bytes)
+    }
+    fn format(&self) -> SerdeFormat {
+        SerdeFormat::Avro
+    }
+}
+
+impl Serde for JsonCodec {
+    fn serialize(&self, value: &Value) -> Result<Bytes> {
+        self.encode(value)
+    }
+    fn deserialize(&self, bytes: &[u8]) -> Result<Value> {
+        self.decode(bytes)
+    }
+    fn format(&self) -> SerdeFormat {
+        SerdeFormat::Json
+    }
+}
+
+impl Serde for ObjectCodec {
+    fn serialize(&self, value: &Value) -> Result<Bytes> {
+        self.encode(value)
+    }
+    fn deserialize(&self, bytes: &[u8]) -> Result<Value> {
+        self.decode(bytes)
+    }
+    fn format(&self) -> SerdeFormat {
+        SerdeFormat::Object
+    }
+}
+
+/// Build a serde of the requested format over `schema` (ignored by the
+/// schema-free object codec).
+pub fn build_serde(format: SerdeFormat, schema: Schema) -> BoxedSerde {
+    match format {
+        SerdeFormat::Avro => Arc::new(AvroCodec::new(schema)),
+        SerdeFormat::Json => Arc::new(JsonCodec::new(schema)),
+        SerdeFormat::Object => Arc::new(ObjectCodec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_formats_roundtrip_through_trait_object() {
+        let schema = Schema::record("R", vec![("a", Schema::Int), ("b", Schema::String)]);
+        let v = Value::record(vec![("a", Value::Int(1)), ("b", Value::String("x".into()))]);
+        for format in [SerdeFormat::Avro, SerdeFormat::Json, SerdeFormat::Object] {
+            let serde = build_serde(format, schema.clone());
+            assert_eq!(serde.format(), format);
+            let bytes = serde.serialize(&v).unwrap();
+            assert_eq!(serde.deserialize(&bytes).unwrap(), v, "format {format}");
+        }
+    }
+
+    #[test]
+    fn format_display_names() {
+        assert_eq!(SerdeFormat::Avro.to_string(), "avro");
+        assert_eq!(SerdeFormat::Json.to_string(), "json");
+        assert_eq!(SerdeFormat::Object.to_string(), "object");
+    }
+}

@@ -1,0 +1,83 @@
+//! # samzasql-workload
+//!
+//! Synthetic workload generators for the SamzaSQL evaluation (§5.1):
+//!
+//! * **Orders** stream — `(rowtime, productId, orderId, units)` padded with
+//!   "a random string to each record" so every message is ~100 bytes, the
+//!   size the Kafka benchmark cited by the paper found to balance msgs/s
+//!   against MB/s.
+//! * **Products** relation — `(productId, name, supplierId)` plus its
+//!   changelog stream.
+//! * **PacketsR1/R2** — correlated packet observations at two routers with a
+//!   configurable network delay, for the stream-to-stream join (Listing 7).
+//! * **Asks/Bids** — the trading streams from §3.2's schema examples.
+//!
+//! Everything is deterministic under a seed; generators produce both decoded
+//! [`samzasql_serde::Value`] records and Avro-encoded messages ready for the broker.
+
+pub mod orders;
+pub mod packets;
+pub mod products;
+pub mod rate;
+pub mod trades;
+
+pub use orders::{OrdersGenerator, OrdersSpec};
+pub use packets::{PacketPair, PacketsGenerator, PacketsSpec};
+pub use products::{ProductsGenerator, ProductsSpec};
+pub use rate::RateLimiter;
+pub use trades::{TradesGenerator, TradesSpec};
+
+use samzasql_serde::Schema;
+
+/// Schema of the Orders stream (§3.2), with the padding column that brings
+/// messages to the benchmark's ~100-byte size.
+pub fn orders_schema() -> Schema {
+    Schema::record(
+        "Orders",
+        vec![
+            ("rowtime", Schema::Timestamp),
+            ("productId", Schema::Int),
+            ("orderId", Schema::Long),
+            ("units", Schema::Int),
+            ("pad", Schema::String),
+        ],
+    )
+}
+
+/// Schema of the Products relation (§3.2).
+pub fn products_schema() -> Schema {
+    Schema::record(
+        "Products",
+        vec![
+            ("productId", Schema::Int),
+            ("name", Schema::String),
+            ("supplierId", Schema::Int),
+        ],
+    )
+}
+
+/// Schema of the PacketsR1/PacketsR2 streams (§3.2).
+pub fn packets_schema(name: &str) -> Schema {
+    Schema::record(
+        name,
+        vec![
+            ("rowtime", Schema::Timestamp),
+            ("sourcetime", Schema::Timestamp),
+            ("packetId", Schema::Long),
+        ],
+    )
+}
+
+/// Schema of the Asks/Bids streams (§3.2).
+pub fn trades_schema(name: &str) -> Schema {
+    Schema::record(
+        name,
+        vec![
+            ("rowtime", Schema::Timestamp),
+            ("id", Schema::Long),
+            ("ticker", Schema::String),
+            ("shares", Schema::Int),
+            ("price", Schema::Double),
+        ],
+    )
+}

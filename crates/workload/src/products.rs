@@ -1,0 +1,126 @@
+//! Products relation generator (changelog-stream form, §4.4).
+
+use crate::products_schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use samzasql_kafka::Message;
+use samzasql_serde::avro::AvroCodec;
+use samzasql_serde::object::ObjectCodec;
+use samzasql_serde::Value;
+
+/// Parameters of the Products relation.
+#[derive(Debug, Clone)]
+pub struct ProductsSpec {
+    pub seed: u64,
+    /// Number of products; ids are `0..products`.
+    pub products: i32,
+    /// Number of distinct suppliers.
+    pub suppliers: i32,
+}
+
+impl Default for ProductsSpec {
+    fn default() -> Self {
+        ProductsSpec { seed: 7, products: 100, suppliers: 10 }
+    }
+}
+
+/// Generates the initial snapshot of the relation as changelog records,
+/// plus random updates.
+pub struct ProductsGenerator {
+    spec: ProductsSpec,
+    rng: StdRng,
+    codec: AvroCodec,
+    key_codec: ObjectCodec,
+}
+
+impl ProductsGenerator {
+    pub fn new(spec: ProductsSpec) -> Self {
+        ProductsGenerator {
+            rng: StdRng::seed_from_u64(spec.seed),
+            codec: AvroCodec::new(products_schema()),
+            key_codec: ObjectCodec::new(),
+            spec,
+        }
+    }
+
+    /// One product row.
+    pub fn row(&mut self, product_id: i32) -> Value {
+        let supplier = self.rng.gen_range(0..self.spec.suppliers);
+        Value::record(vec![
+            ("productId", Value::Int(product_id)),
+            ("name", Value::String(format!("product-{product_id}"))),
+            ("supplierId", Value::Int(supplier)),
+        ])
+    }
+
+    fn to_message(&self, row: &Value) -> Message {
+        let key = self
+            .key_codec
+            .encode(row.field("productId").expect("productId"))
+            .expect("key encode");
+        Message {
+            key: Some(key),
+            value: self.codec.encode(row).expect("encode"),
+            timestamp: 0,
+        }
+    }
+
+    /// The full relation snapshot as changelog messages (one per product),
+    /// keyed by productId for co-partitioning with Orders.
+    pub fn snapshot(&mut self) -> Vec<Message> {
+        (0..self.spec.products)
+            .map(|pid| {
+                let row = self.row(pid);
+                self.to_message(&row)
+            })
+            .collect()
+    }
+
+    /// A random update to an existing product (changelog upsert).
+    pub fn random_update(&mut self) -> Message {
+        let pid = self.rng.gen_range(0..self.spec.products);
+        let row = self.row(pid);
+        self.to_message(&row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_covers_every_product_once() {
+        let mut g = ProductsGenerator::new(ProductsSpec::default());
+        let snap = g.snapshot();
+        assert_eq!(snap.len(), 100);
+        let codec = AvroCodec::new(crate::products_schema());
+        let mut ids: Vec<i64> = snap
+            .iter()
+            .map(|m| codec.decode(&m.value).unwrap().field("productId").unwrap().as_i64().unwrap())
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn messages_are_keyed_by_product() {
+        let mut g = ProductsGenerator::new(ProductsSpec::default());
+        let snap = g.snapshot();
+        let key_codec = ObjectCodec::new();
+        assert_eq!(
+            snap[5].key.as_deref().unwrap(),
+            key_codec.encode(&Value::Int(5)).unwrap().as_ref()
+        );
+    }
+
+    #[test]
+    fn updates_reference_known_products() {
+        let mut g = ProductsGenerator::new(ProductsSpec::default());
+        let codec = AvroCodec::new(crate::products_schema());
+        for _ in 0..20 {
+            let m = g.random_update();
+            let pid = codec.decode(&m.value).unwrap().field("productId").unwrap().as_i64().unwrap();
+            assert!((0..100).contains(&pid));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Simple rate limiting for load generators.
+
+use std::time::{Duration, Instant};
+
+/// Paces a producer loop to a target messages/second rate. Call
+/// [`RateLimiter::pace`] once per message; it sleeps when ahead of schedule.
+#[derive(Debug)]
+pub struct RateLimiter {
+    per_second: f64,
+    started: Instant,
+    produced: u64,
+}
+
+impl RateLimiter {
+    /// `per_second = 0` disables pacing (run flat out).
+    pub fn new(per_second: u64) -> Self {
+        RateLimiter { per_second: per_second as f64, started: Instant::now(), produced: 0 }
+    }
+
+    /// Account one message; sleep if production is ahead of the target rate.
+    pub fn pace(&mut self) {
+        self.produced += 1;
+        if self.per_second <= 0.0 {
+            return;
+        }
+        let target_elapsed = Duration::from_secs_f64(self.produced as f64 / self.per_second);
+        let actual = self.started.elapsed();
+        if target_elapsed > actual {
+            std::thread::sleep(target_elapsed - actual);
+        }
+    }
+
+    /// Achieved rate so far (messages/second).
+    pub fn achieved(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.produced as f64 / secs
+        }
+    }
+
+    /// Messages accounted so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_sleeps() {
+        let mut r = RateLimiter::new(0);
+        let start = Instant::now();
+        for _ in 0..10_000 {
+            r.pace();
+        }
+        assert!(start.elapsed() < Duration::from_millis(200));
+        assert_eq!(r.produced(), 10_000);
+    }
+
+    #[test]
+    fn limited_rate_is_respected() {
+        let mut r = RateLimiter::new(1_000);
+        for _ in 0..100 {
+            r.pace();
+        }
+        // 100 messages at 1000/s should take ≥ ~100ms.
+        let rate = r.achieved();
+        assert!(rate <= 1_200.0, "achieved {rate}/s exceeds target by too much");
+    }
+}

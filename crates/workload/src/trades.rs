@@ -1,0 +1,128 @@
+//! Asks/Bids trading streams (§3.2's schema examples), used by the
+//! domain-specific examples.
+
+use crate::trades_schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use samzasql_kafka::Message;
+use samzasql_serde::avro::AvroCodec;
+use samzasql_serde::Value;
+
+/// Parameters of the trading workload.
+#[derive(Debug, Clone)]
+pub struct TradesSpec {
+    pub seed: u64,
+    pub tickers: Vec<String>,
+    /// Event-time gap between consecutive trades.
+    pub inter_arrival_ms: i64,
+    /// Price random walk: mid ± walk.
+    pub base_price: f64,
+    pub walk: f64,
+}
+
+impl Default for TradesSpec {
+    fn default() -> Self {
+        TradesSpec {
+            seed: 23,
+            tickers: vec!["ORCL".into(), "MSFT".into(), "AAPL".into(), "IBM".into()],
+            inter_arrival_ms: 50,
+            base_price: 100.0,
+            walk: 2.0,
+        }
+    }
+}
+
+/// Generates one stream (asks or bids); use two instances with different
+/// seeds for both sides of a market.
+pub struct TradesGenerator {
+    spec: TradesSpec,
+    rng: StdRng,
+    codec: AvroCodec,
+    name: String,
+    next_id: i64,
+    now_ms: i64,
+    prices: Vec<f64>,
+}
+
+impl TradesGenerator {
+    pub fn new(name: &str, spec: TradesSpec) -> Self {
+        let prices = vec![spec.base_price; spec.tickers.len()];
+        TradesGenerator {
+            rng: StdRng::seed_from_u64(spec.seed),
+            codec: AvroCodec::new(trades_schema(name)),
+            name: name.to_string(),
+            next_id: 0,
+            now_ms: 0,
+            prices,
+            spec,
+        }
+    }
+
+    /// Next trade record.
+    pub fn next_value(&mut self) -> Value {
+        let t = self.rng.gen_range(0..self.spec.tickers.len());
+        self.prices[t] += self.rng.gen_range(-self.spec.walk..=self.spec.walk);
+        self.prices[t] = self.prices[t].max(1.0);
+        let v = Value::record(vec![
+            ("rowtime", Value::Timestamp(self.now_ms)),
+            ("id", Value::Long(self.next_id)),
+            ("ticker", Value::String(self.spec.tickers[t].clone())),
+            ("shares", Value::Int(self.rng.gen_range(1..=1_000))),
+            ("price", Value::Double((self.prices[t] * 100.0).round() / 100.0)),
+        ]);
+        self.next_id += 1;
+        self.now_ms += self.spec.inter_arrival_ms;
+        v
+    }
+
+    /// Next trade as an encoded message keyed by ticker.
+    pub fn next_message(&mut self) -> Message {
+        let v = self.next_value();
+        let ts = v.field("rowtime").and_then(|t| t.as_i64()).unwrap_or(0);
+        let key = v.field("ticker").and_then(|t| t.as_str()).unwrap_or("").to_string();
+        Message {
+            key: Some(bytes::Bytes::from(key)),
+            value: self.codec.encode(&v).expect("trade encode"),
+            timestamp: ts,
+        }
+    }
+
+    /// The stream this generator produces for.
+    pub fn stream_name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prices_stay_positive_and_rounded() {
+        let mut g = TradesGenerator::new("Asks", TradesSpec { walk: 50.0, ..Default::default() });
+        for _ in 0..200 {
+            let v = g.next_value();
+            let p = v.field("price").unwrap().as_f64().unwrap();
+            assert!(p >= 1.0);
+            assert!((p * 100.0 - (p * 100.0).round()).abs() < 1e-9, "2-decimal rounding");
+        }
+    }
+
+    #[test]
+    fn tickers_from_spec_only() {
+        let mut g = TradesGenerator::new("Bids", TradesSpec::default());
+        for _ in 0..50 {
+            let v = g.next_value();
+            let t = v.field("ticker").unwrap().as_str().unwrap().to_string();
+            assert!(["ORCL", "MSFT", "AAPL", "IBM"].contains(&t.as_str()));
+        }
+    }
+
+    #[test]
+    fn keyed_by_ticker() {
+        let mut g = TradesGenerator::new("Asks", TradesSpec::default());
+        let m = g.next_message();
+        let key = String::from_utf8(m.key.unwrap().to_vec()).unwrap();
+        assert!(["ORCL", "MSFT", "AAPL", "IBM"].contains(&key.as_str()));
+    }
+}

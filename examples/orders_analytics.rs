@@ -1,0 +1,108 @@
+//! Orders analytics — the paper's §3 walkthrough as one program:
+//!
+//! * the `HourlyOrderTotals` view (Listing 3),
+//! * tumbling-window order counts with START bounds (Listing 4),
+//! * per-product sliding-window unit sums (Listing 6),
+//! * enrichment against the Products relation (Listing 8),
+//! * a user-defined aggregate (the §7 extension, implemented here).
+//!
+//! ```text
+//! cargo run --example orders_analytics
+//! ```
+
+use samzasql::core::udaf::GeometricMean;
+use samzasql::prelude::*;
+use samzasql::workload::{orders_schema, products_schema, OrdersGenerator, OrdersSpec, ProductsGenerator, ProductsSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let broker = Broker::new();
+    broker.create_topic("orders", TopicConfig::with_partitions(4)).unwrap();
+    broker.create_topic("products-changelog", TopicConfig::with_partitions(4)).unwrap();
+
+    let mut shell = SamzaSqlShell::new(broker.clone());
+    shell.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+    shell.set_partition_key("Orders", "productId").unwrap();
+    shell
+        .register_table("Products", "products-changelog", products_schema(), "productId")
+        .unwrap();
+    shell.register_udaf("GEO_MEAN", Arc::new(GeometricMean));
+
+    // Load the Products relation snapshot and a few thousand orders.
+    let mut products = ProductsGenerator::new(ProductsSpec { products: 20, ..Default::default() });
+    for m in products.snapshot() {
+        let p = samzasql::kafka::partitioner::hash_bytes(m.key.as_ref().unwrap()) % 4;
+        broker.produce("products-changelog", p, m).unwrap();
+    }
+    let mut orders = OrdersGenerator::new(OrdersSpec {
+        products: 20,
+        inter_arrival_ms: 30_000, // one order every 30s of event time
+        ..Default::default()
+    });
+    for m in orders.messages(2_000) {
+        let p = samzasql::kafka::partitioner::hash_bytes(m.key.as_ref().unwrap()) % 4;
+        broker.produce("orders", p, m).unwrap();
+    }
+
+    // --- Listing 3: the HourlyOrderTotals view, consumed bounded. --------
+    shell
+        .execute_ddl(
+            "CREATE VIEW HourlyOrderTotals (rowtime, productId, c, su) AS \
+             SELECT FLOOR(rowtime TO HOUR), productId, COUNT(*), SUM(units) \
+             FROM Orders GROUP BY FLOOR(rowtime TO HOUR), productId",
+        )
+        .unwrap();
+    let hot = shell
+        .query("SELECT rowtime, productId, c, su FROM HourlyOrderTotals WHERE c > 2 OR su > 10 ORDER BY rowtime LIMIT 5")
+        .unwrap();
+    println!("HourlyOrderTotals (first {} qualifying rows):", hot.len());
+    for r in &hot {
+        println!("  {r}");
+    }
+
+    // --- A user-defined aggregate over the same history. ------------------
+    let gm = shell
+        .query("SELECT productId, GEO_MEAN(units) AS gm FROM Orders GROUP BY productId ORDER BY productId LIMIT 3")
+        .unwrap();
+    println!("\ngeometric mean of units (UDAF) for first 3 products:");
+    for r in &gm {
+        println!("  {r}");
+    }
+
+    // --- Listing 4: tumbling hourly counts, continuous. -------------------
+    let mut tumble = shell
+        .submit(
+            "SELECT STREAM START(rowtime), END(rowtime), COUNT(*) FROM Orders \
+             GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)",
+        )
+        .unwrap();
+    let windows = tumble.await_outputs(5, Duration::from_secs(10)).unwrap();
+    println!("\nfirst {} closed hourly windows:", windows.len().min(5));
+    for w in windows.iter().take(5) {
+        println!("  {w}");
+    }
+    tumble.stop().unwrap();
+
+    // --- Listing 6 + Listing 8 composed: enriched sliding-window sums. ----
+    let mut enriched = shell
+        .submit(
+            "SELECT STREAM Orders.rowtime, Orders.productId, Orders.units, Products.supplierId \
+             FROM Orders JOIN Products ON Orders.productId = Products.productId",
+        )
+        .unwrap();
+    let joined = enriched.await_outputs(2_000, Duration::from_secs(30)).unwrap();
+    println!("\njoined {} orders with suppliers; sample: {}", joined.len(), joined[0]);
+    enriched.stop().unwrap();
+
+    let mut sliding = shell
+        .submit(
+            "SELECT STREAM rowtime, productId, units, \
+             SUM(units) OVER (PARTITION BY productId ORDER BY rowtime \
+             RANGE INTERVAL '1' HOUR PRECEDING) unitsLastHour FROM Orders",
+        )
+        .unwrap();
+    let sums = sliding.await_outputs(2_000, Duration::from_secs(30)).unwrap();
+    println!("\nsliding hourly sums for {} orders; sample: {}", sums.len(), sums.last().unwrap());
+    sliding.stop().unwrap();
+}
