@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# The CI gate, runnable locally: formatting, lints, release build, tests.
+#
+# Cargo.lock policy: this workspace is library-style and does not commit a
+# lockfile — every CI run resolves fresh. (Local builds in sandboxed
+# environments may resolve dependencies against vendored stand-ins whose
+# versions must never be pinned into the repo.)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --workspace --release
+cargo test --workspace

@@ -25,7 +25,8 @@ fn bench(c: &mut Criterion) {
                 b.iter_custom(|iters| {
                     let mut total = std::time::Duration::ZERO;
                     for _ in 0..iters {
-                        total += measure_native(EvalQuery::Filter, cs, PARTITIONS, MESSAGES).elapsed;
+                        total +=
+                            measure_native(EvalQuery::Filter, cs, PARTITIONS, MESSAGES).elapsed;
                     }
                     total
                 })

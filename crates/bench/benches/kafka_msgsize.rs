@@ -14,30 +14,38 @@ fn bench(c: &mut Criterion) {
     for size in [10usize, 100, 1_000, 10_000] {
         let n = (5_000_000 / size).max(100);
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("produce_consume", size), &size, |b, &sz| {
-            b.iter_custom(|iters| {
-                let mut total = std::time::Duration::ZERO;
-                for _ in 0..iters {
-                    let broker = Broker::new();
-                    broker.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
-                    let payload = bytes::Bytes::from(vec![b'x'; sz]);
-                    let start = std::time::Instant::now();
-                    for _ in 0..n {
-                        broker.produce("t", 0, Message::new(payload.clone())).unwrap();
-                    }
-                    let mut off = 0;
-                    loop {
-                        let batch = broker.fetch("t", 0, off, 4096).unwrap();
-                        if batch.records.is_empty() {
-                            break;
+        group.bench_with_input(
+            BenchmarkId::new("produce_consume", size),
+            &size,
+            |b, &sz| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let broker = Broker::new();
+                        broker
+                            .create_topic("t", TopicConfig::with_partitions(1))
+                            .unwrap();
+                        let payload = bytes::Bytes::from(vec![b'x'; sz]);
+                        let start = std::time::Instant::now();
+                        for _ in 0..n {
+                            broker
+                                .produce("t", 0, Message::new(payload.clone()))
+                                .unwrap();
                         }
-                        off = batch.records.last().unwrap().offset + 1;
+                        let mut off = 0;
+                        loop {
+                            let batch = broker.fetch("t", 0, off, 4096).unwrap();
+                            if batch.records.is_empty() {
+                                break;
+                            }
+                            off = batch.records.last().unwrap().offset + 1;
+                        }
+                        total += start.elapsed();
                     }
-                    total += start.elapsed();
-                }
-                total
-            })
-        });
+                    total
+                })
+            },
+        );
     }
     group.finish();
 }

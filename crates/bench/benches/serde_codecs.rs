@@ -35,9 +35,15 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("serde_codecs");
     group.throughput(Throughput::Elements(1));
     group.bench_function("avro_encode", |b| b.iter(|| avro.encode(&record).unwrap()));
-    group.bench_function("object_encode", |b| b.iter(|| object.encode(&record).unwrap()));
-    group.bench_function("avro_decode", |b| b.iter(|| avro.decode(&avro_bytes).unwrap()));
-    group.bench_function("object_decode", |b| b.iter(|| object.decode(&object_bytes).unwrap()));
+    group.bench_function("object_encode", |b| {
+        b.iter(|| object.encode(&record).unwrap())
+    });
+    group.bench_function("avro_decode", |b| {
+        b.iter(|| avro.decode(&avro_bytes).unwrap())
+    });
+    group.bench_function("object_decode", |b| {
+        b.iter(|| object.decode(&object_bytes).unwrap())
+    });
     group.bench_function("avro_array_roundtrip", |b| {
         b.iter(|| {
             // The scan/insert extra work: decode → array → record → encode.

@@ -36,11 +36,17 @@ fn parse_args() -> Args {
                 i += 2;
             }
             "--messages" => {
-                messages = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(messages);
+                messages = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(messages);
                 i += 2;
             }
             "--partitions" => {
-                partitions = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(partitions);
+                partitions = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(partitions);
                 i += 2;
             }
             "--containers" => {
@@ -56,7 +62,12 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { fig, messages, partitions, containers }
+    Args {
+        fig,
+        messages,
+        partitions,
+        containers,
+    }
 }
 
 fn throughput_figure(query: EvalQuery, args: &Args) {

@@ -11,9 +11,7 @@ use crate::native::{NativeTaskFactory, NativeTaskKind, NATIVE_STORE};
 use samzasql_core::shell::SamzaSqlShell;
 use samzasql_kafka::partitioner::hash_bytes;
 use samzasql_kafka::{Broker, Message, TopicConfig};
-use samzasql_samza::{
-    ClusterSim, InputStreamConfig, JobConfig, OutputStreamConfig, StoreConfig,
-};
+use samzasql_samza::{ClusterSim, InputStreamConfig, JobConfig, OutputStreamConfig, StoreConfig};
 use samzasql_serde::SerdeFormat;
 use samzasql_workload::{
     orders_schema, products_schema, OrdersGenerator, OrdersSpec, ProductsGenerator, ProductsSpec,
@@ -100,11 +98,16 @@ impl ThroughputResult {
 /// Preload the workload: `orders` (and `products-changelog` for joins) onto
 /// a fresh broker. Returns the expected total input-message count.
 pub fn setup_workload(broker: &Broker, query: EvalQuery, partitions: u32, n: usize) -> u64 {
-    broker.create_topic("orders", TopicConfig::with_partitions(partitions)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(partitions))
+        .unwrap();
     let mut expected = n as u64;
     if query.needs_products() {
         broker
-            .create_topic("products-changelog", TopicConfig::with_partitions(partitions))
+            .create_topic(
+                "products-changelog",
+                TopicConfig::with_partitions(partitions),
+            )
             .unwrap();
         let mut pg = ProductsGenerator::new(ProductsSpec::default());
         let snapshot = pg.snapshot();
@@ -180,7 +183,12 @@ fn measure_samzasql_mode(
     shell.set_partition_key("Orders", "productId").unwrap();
     if query.needs_products() {
         shell
-            .register_table("Products", "products-changelog", products_schema(), "productId")
+            .register_table(
+                "Products",
+                "products-changelog",
+                products_schema(),
+                "productId",
+            )
             .unwrap();
     }
     shell.default_containers = containers;
@@ -203,7 +211,9 @@ pub fn measure_native(
 ) -> ThroughputResult {
     let broker = Broker::new();
     let expected = setup_workload(&broker, query, partitions, n);
-    broker.create_topic("native-output", TopicConfig::with_partitions(partitions)).unwrap();
+    broker
+        .create_topic("native-output", TopicConfig::with_partitions(partitions))
+        .unwrap();
     let job = format!("native-{}", query.name());
     let mut cfg = JobConfig::new(&job)
         .input(InputStreamConfig::avro("orders"))
@@ -215,15 +225,28 @@ pub fn measure_native(
         EvalQuery::Join => {
             cfg = cfg
                 .input(InputStreamConfig::avro("products-changelog").bootstrap())
-                .store(StoreConfig::with_changelog(NATIVE_STORE, &job, SerdeFormat::Avro));
-            NativeTaskKind::Join { products_topic: "products-changelog".into() }
+                .store(StoreConfig::with_changelog(
+                    NATIVE_STORE,
+                    &job,
+                    SerdeFormat::Avro,
+                ));
+            NativeTaskKind::Join {
+                products_topic: "products-changelog".into(),
+            }
         }
         EvalQuery::SlidingWindow => {
-            cfg = cfg.store(StoreConfig::with_changelog(NATIVE_STORE, &job, SerdeFormat::Avro));
+            cfg = cfg.store(StoreConfig::with_changelog(
+                NATIVE_STORE,
+                &job,
+                SerdeFormat::Avro,
+            ));
             NativeTaskKind::SlidingWindow { window_ms: 300_000 }
         }
     };
-    let factory = NativeTaskFactory { kind, output: "native-output".into() };
+    let factory = NativeTaskFactory {
+        kind,
+        output: "native-output".into(),
+    };
     let cluster = ClusterSim::single_node(broker.clone());
 
     let start = Instant::now();
@@ -239,13 +262,19 @@ pub fn measure_native(
 /// each; returns (messages/sec, MB/sec).
 pub fn measure_broker_msgsize(message_bytes: usize, total_bytes: usize) -> (f64, f64) {
     let broker = Broker::new();
-    broker.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("t", TopicConfig::with_partitions(1))
+        .unwrap();
     let n = (total_bytes / message_bytes).max(1);
     let payload = vec![b'x'; message_bytes];
     let start = Instant::now();
     for _ in 0..n {
         broker
-            .produce("t", 0, Message::new(bytes::Bytes::copy_from_slice(&payload)))
+            .produce(
+                "t",
+                0,
+                Message::new(bytes::Bytes::copy_from_slice(&payload)),
+            )
             .unwrap();
     }
     let mut off = 0;

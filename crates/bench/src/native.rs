@@ -45,7 +45,10 @@ pub struct NativeFilterTask {
 
 impl NativeFilterTask {
     pub fn new(output: &str) -> Self {
-        NativeFilterTask { codec: AvroCodec::new(orders_schema()), output: output.to_string() }
+        NativeFilterTask {
+            codec: AvroCodec::new(orders_schema()),
+            output: output.to_string(),
+        }
     }
 }
 
@@ -113,9 +116,11 @@ impl StreamTask for NativeProjectTask {
         let record = self.in_codec.decode_to_tuple(&envelope.payload)?;
         // Build the projected Avro record directly from the decoded fields
         // (SpecificRecord getters → SpecificRecord constructor).
-        let payload = self
-            .out_codec
-            .encode_tuple(&[record[0].clone(), record[1].clone(), record[3].clone()])?;
+        let payload = self.out_codec.encode_tuple(&[
+            record[0].clone(),
+            record[1].clone(),
+            record[3].clone(),
+        ])?;
         collector.send(
             OutgoingMessageEnvelope::new(self.output.clone(), payload).at(envelope.timestamp),
         );
@@ -185,7 +190,8 @@ impl StreamTask for NativeJoinTask {
                 .encode(&product[0])
                 .map_err(samzasql_samza::SamzaError::Serde)?;
             // Store the incoming Avro payload directly — no re-encode.
-            ctx.store_mut(NATIVE_STORE)?.put(&key, envelope.payload.clone())?;
+            ctx.store_mut(NATIVE_STORE)?
+                .put(&key, envelope.payload.clone())?;
             return Ok(());
         }
         // Stream side: decode the order, probe the cache (Avro deserialize).
@@ -347,7 +353,9 @@ impl TaskFactory for NativeTaskFactory {
 mod tests {
     use super::*;
     use samzasql_kafka::{Broker, TopicConfig};
-    use samzasql_samza::{Container, InputStreamConfig, JobConfig, JobModel, OutputStreamConfig, StoreConfig};
+    use samzasql_samza::{
+        Container, InputStreamConfig, JobConfig, JobModel, OutputStreamConfig, StoreConfig,
+    };
     use samzasql_serde::SerdeFormat;
     use samzasql_workload::{OrdersGenerator, OrdersSpec, ProductsGenerator, ProductsSpec};
 
@@ -372,13 +380,25 @@ mod tests {
     #[test]
     fn native_filter_forwards_matching_payloads_unchanged() {
         let broker = Broker::new();
-        broker.create_topic("orders", TopicConfig::with_partitions(2)).unwrap();
-        broker.create_topic("out", TopicConfig::with_partitions(2)).unwrap();
+        broker
+            .create_topic("orders", TopicConfig::with_partitions(2))
+            .unwrap();
+        broker
+            .create_topic("out", TopicConfig::with_partitions(2))
+            .unwrap();
         let mut gen = OrdersGenerator::new(OrdersSpec::default());
         let mut over50 = 0;
         let codec = AvroCodec::new(orders_schema());
         for m in gen.messages(100) {
-            if codec.decode(&m.value).unwrap().field("units").unwrap().as_i64().unwrap() > 50 {
+            if codec
+                .decode(&m.value)
+                .unwrap()
+                .field("units")
+                .unwrap()
+                .as_i64()
+                .unwrap()
+                > 50
+            {
                 over50 += 1;
             }
             let p = samzasql_kafka::partitioner::hash_bytes(m.key.as_ref().unwrap()) % 2;
@@ -387,8 +407,10 @@ mod tests {
         let cfg = JobConfig::new("nf")
             .input(InputStreamConfig::avro("orders"))
             .output(OutputStreamConfig::avro("out"));
-        let factory =
-            NativeTaskFactory { kind: NativeTaskKind::Filter, output: "out".into() };
+        let factory = NativeTaskFactory {
+            kind: NativeTaskKind::Filter,
+            output: "out".into(),
+        };
         let model = JobModel::plan(&cfg, &broker).unwrap();
         for cm in &model.containers {
             Container::new(broker.clone(), cfg.clone(), cm.clone(), &factory)
@@ -405,9 +427,15 @@ mod tests {
     #[test]
     fn native_join_matches_supplier() {
         let broker = Broker::new();
-        broker.create_topic("orders", TopicConfig::with_partitions(2)).unwrap();
-        broker.create_topic("products", TopicConfig::with_partitions(2)).unwrap();
-        broker.create_topic("out", TopicConfig::with_partitions(2)).unwrap();
+        broker
+            .create_topic("orders", TopicConfig::with_partitions(2))
+            .unwrap();
+        broker
+            .create_topic("products", TopicConfig::with_partitions(2))
+            .unwrap();
+        broker
+            .create_topic("out", TopicConfig::with_partitions(2))
+            .unwrap();
         let mut pg = ProductsGenerator::new(ProductsSpec::default());
         for m in pg.snapshot() {
             let p = samzasql_kafka::partitioner::hash_bytes(m.key.as_ref().unwrap()) % 2;
@@ -422,9 +450,15 @@ mod tests {
             .input(InputStreamConfig::avro("orders"))
             .input(InputStreamConfig::avro("products").bootstrap())
             .output(OutputStreamConfig::avro("out"))
-            .store(StoreConfig::with_changelog(NATIVE_STORE, "nj", SerdeFormat::Avro));
+            .store(StoreConfig::with_changelog(
+                NATIVE_STORE,
+                "nj",
+                SerdeFormat::Avro,
+            ));
         let factory = NativeTaskFactory {
-            kind: NativeTaskKind::Join { products_topic: "products".into() },
+            kind: NativeTaskKind::Join {
+                products_topic: "products".into(),
+            },
             output: "out".into(),
         };
         let model = JobModel::plan(&cfg, &broker).unwrap();
@@ -444,8 +478,12 @@ mod tests {
     #[test]
     fn native_sliding_window_running_sum() {
         let broker = Broker::new();
-        broker.create_topic("orders", TopicConfig::with_partitions(1)).unwrap();
-        broker.create_topic("out", TopicConfig::with_partitions(1)).unwrap();
+        broker
+            .create_topic("orders", TopicConfig::with_partitions(1))
+            .unwrap();
+        broker
+            .create_topic("out", TopicConfig::with_partitions(1))
+            .unwrap();
         // Hand-crafted orders: product 1, units 10 @0, 20 @60s, 5 @10min.
         let codec = AvroCodec::new(orders_schema());
         for (ts, units) in [(0i64, 10), (60_000, 20), (600_000, 5)] {
@@ -457,13 +495,21 @@ mod tests {
                 ("pad", Value::String("x".into())),
             ]);
             broker
-                .produce("orders", 0, samzasql_kafka::Message::new(codec.encode(&v).unwrap()).at(ts))
+                .produce(
+                    "orders",
+                    0,
+                    samzasql_kafka::Message::new(codec.encode(&v).unwrap()).at(ts),
+                )
                 .unwrap();
         }
         let cfg = JobConfig::new("nw")
             .input(InputStreamConfig::avro("orders"))
             .output(OutputStreamConfig::avro("out"))
-            .store(StoreConfig::with_changelog(NATIVE_STORE, "nw", SerdeFormat::Avro));
+            .store(StoreConfig::with_changelog(
+                NATIVE_STORE,
+                "nw",
+                SerdeFormat::Avro,
+            ));
         let factory = NativeTaskFactory {
             kind: NativeTaskKind::SlidingWindow { window_ms: 300_000 },
             output: "out".into(),

@@ -43,7 +43,9 @@ fn native_lines(name: &str) -> usize {
 
 /// Lines of the brace-delimited block starting at `anchor`.
 fn block_lines(src: &str, anchor: &str) -> usize {
-    let Some(start) = src.find(anchor) else { return 0 };
+    let Some(start) = src.find(anchor) else {
+        return 0;
+    };
     let mut depth = 0i32;
     let mut started = false;
     let mut lines = 0;
@@ -122,7 +124,11 @@ mod tests {
                 row.query,
                 row.native_lines
             );
-            assert!(row.native_lines > 4 * row.sql_lines, "{}: order-of-magnitude gap", row.query);
+            assert!(
+                row.native_lines > 4 * row.sql_lines,
+                "{}: order-of-magnitude gap",
+                row.query
+            );
         }
     }
 

@@ -1,0 +1,40 @@
+//! Manual clock.
+//!
+//! Session expiry is driven by a millisecond counter that only moves when
+//! told to ([`Coord::advance`](crate::Coord::advance)), never by wall time.
+//! Tests are therefore fully deterministic: a session expires exactly when a
+//! test advances the clock past its timeout (or force-expires it), and never
+//! because a CI machine stalled.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, manually-advanced millisecond clock.
+#[derive(Clone, Default)]
+pub struct ManualClock {
+    now_ms: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Current time in milliseconds since the clock's epoch.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+
+    /// Move the clock forward, returning the new now. (Use
+    /// [`Coord::advance`](crate::Coord::advance) instead when the clock backs
+    /// a coordination service, so expiry checks run.)
+    pub fn advance(&self, ms: u64) -> u64 {
+        self.now_ms.fetch_add(ms, Ordering::SeqCst) + ms
+    }
+}
+
+impl std::fmt::Debug for ManualClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ManualClock({}ms)", self.now_ms())
+    }
+}

@@ -1,0 +1,46 @@
+//! # samzasql-coord — in-process coordination service
+//!
+//! A ZooKeeper-style coordination substrate for the SamzaSQL stack. The
+//! paper's deployment (§4.2) leans on ZooKeeper twice: the interactive shell
+//! stores streaming-query text and schema references under a well-known path
+//! so query workers can re-plan locally, and Samza/Kafka use sessions and
+//! ephemeral nodes for container liveness and consumer-group membership.
+//! This crate reproduces those semantics in-process and deterministically:
+//!
+//! * a hierarchical **znode tree** with per-node versions and CAS
+//!   ([`Coord::set`] with an expected version),
+//! * **sessions** with heartbeats and timeout-driven expiry on a manual
+//!   clock ([`ManualClock`]) — ephemeral znodes die with their session,
+//! * **one-shot watches** (data / children / existence) delivered in order,
+//! * **recipes** ([`recipes::LeaderElection`], [`recipes::GroupMembership`])
+//!   built purely on the primitives,
+//! * **fault injection** ([`Coord::force_expire`],
+//!   [`Coord::set_drop_heartbeats`], [`Coord::pause_delivery`]) and a
+//!   [`CoordMetrics`] snapshot for chaos-style tests.
+//!
+//! The crate is dependency-free (pure `std`) so any layer of the stack can
+//! embed it.
+//!
+//! ```
+//! use samzasql_coord::{Coord, CreateMode};
+//!
+//! let coord = Coord::new();
+//! let session = coord.create_session(10_000);
+//! coord.create(Some(session), "/samza/containers/0", "alive", CreateMode::Ephemeral).unwrap();
+//! assert_eq!(coord.children("/samza/containers").unwrap(), vec!["0"]);
+//! coord.advance(10_001); // no heartbeat: the session expires
+//! assert!(coord.children("/samza/containers").unwrap().is_empty());
+//! ```
+
+mod clock;
+mod error;
+mod path;
+pub mod recipes;
+mod service;
+
+pub use clock::ManualClock;
+pub use error::{CoordError, Result};
+pub use path::ZnodePath;
+pub use service::{
+    Coord, CoordMetrics, CreateMode, EventKind, SessionId, Stat, WatchEvent, WatchId, WatchKind,
+};

@@ -1,0 +1,248 @@
+//! Leader election over ephemeral-sequential znodes.
+//!
+//! The classic ZooKeeper recipe: each candidate creates an
+//! ephemeral-sequential node under the election path; the candidate owning
+//! the lowest sequence number is the leader. Every other candidate watches
+//! only its immediate *predecessor* — when that node vanishes the candidate
+//! re-checks, either becoming leader or watching the new predecessor. Since
+//! nobody watches the leader directly there is no thundering herd on
+//! failover.
+
+use crate::error::{CoordError, Result};
+use crate::path::ZnodePath;
+use crate::service::{Coord, CreateMode, SessionId};
+use std::sync::Arc;
+
+/// An election rooted at a base znode.
+#[derive(Clone)]
+pub struct LeaderElection {
+    coord: Coord,
+    base: ZnodePath,
+}
+
+/// One candidate's ticket in an election.
+pub struct Candidate {
+    coord: Coord,
+    base: ZnodePath,
+    /// This candidate's ephemeral-sequential node.
+    my_path: ZnodePath,
+}
+
+impl LeaderElection {
+    /// Open (creating the base node if needed) the election at `base`.
+    pub fn new(coord: Coord, base: impl Into<ZnodePath>) -> Result<LeaderElection> {
+        let base = base.into();
+        match coord.create(None, base.clone(), "", CreateMode::Persistent) {
+            Ok(_) | Err(CoordError::NodeExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(LeaderElection { coord, base })
+    }
+
+    /// Enter the election: creates an ephemeral-sequential candidate node
+    /// whose data is `id` (the candidate's announced identity).
+    pub fn enter(&self, session: SessionId, id: impl Into<String>) -> Result<Candidate> {
+        let my_path = self.coord.create(
+            Some(session),
+            self.base.child("n-"),
+            id,
+            CreateMode::EphemeralSequential,
+        )?;
+        Ok(Candidate {
+            coord: self.coord.clone(),
+            base: self.base.clone(),
+            my_path,
+        })
+    }
+
+    /// The current leader's announced id, if any candidate is present.
+    pub fn leader(&self) -> Result<Option<String>> {
+        let mut names = self.coord.children(self.base.clone())?;
+        names.sort();
+        match names.first() {
+            Some(first) => Ok(Some(self.coord.get(self.base.child(first))?.0)),
+            None => Ok(None),
+        }
+    }
+}
+
+impl Candidate {
+    /// The candidate's own znode path.
+    pub fn path(&self) -> &ZnodePath {
+        &self.my_path
+    }
+
+    /// Whether this candidate currently leads (owns the lowest sequence
+    /// number). `false` once its node is gone (resigned or session expired).
+    pub fn is_leader(&self) -> bool {
+        match self.coord.children(self.base.clone()) {
+            Ok(mut names) => {
+                names.sort();
+                names.first().map(|n| self.base.child(n)) == Some(self.my_path.clone())
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Withdraw from the election, deleting the candidate node (the session
+    /// stays alive).
+    pub fn resign(&self) -> Result<()> {
+        self.coord.delete(self.my_path.clone(), None)
+    }
+
+    /// Watch for leadership changes affecting this candidate: `callback`
+    /// receives `true` when the candidate becomes (or already is) leader.
+    /// While not leading, the candidate watches only its predecessor node;
+    /// each predecessor death re-evaluates and re-arms.
+    pub fn watch(&self, callback: impl Fn(bool) + Send + Sync + 'static) -> Result<()> {
+        let cb: Arc<dyn Fn(bool) + Send + Sync> = Arc::new(callback);
+        check_and_arm(&self.coord, &self.base, &self.my_path, &cb);
+        Ok(())
+    }
+}
+
+/// Evaluate this candidate's standing; if not leader, arm a watch on the
+/// predecessor and recurse when it fires. Named function (not a closure) so
+/// it can re-invoke itself from inside the watch callback.
+fn check_and_arm(
+    coord: &Coord,
+    base: &ZnodePath,
+    my_path: &ZnodePath,
+    cb: &Arc<dyn Fn(bool) + Send + Sync>,
+) {
+    loop {
+        let Ok(mut names) = coord.children(base.clone()) else {
+            return;
+        };
+        names.sort();
+        let my_name = my_path.basename().to_string();
+        if !names.contains(&my_name) {
+            // Our node is gone (resigned / expired): we can never lead.
+            cb(false);
+            return;
+        }
+        if names.first() == Some(&my_name) {
+            cb(true);
+            return;
+        }
+        // Watch the candidate immediately ahead of us.
+        let pred = names[names.iter().position(|n| *n == my_name).expect("contains") - 1].clone();
+        let pred_path = base.child(&pred);
+        let coord2 = coord.clone();
+        let base2 = base.clone();
+        let my2 = my_path.clone();
+        let cb2 = cb.clone();
+        let (watch_id, stat) = coord.watch_exists_cb(pred_path, move |_| {
+            check_and_arm(&coord2, &base2, &my2, &cb2);
+        });
+        if stat.is_some() {
+            // Predecessor alive at arm time: the watch will fire on its
+            // deletion. Done for now.
+            return;
+        }
+        // Predecessor vanished between listing and arming; retract the watch
+        // (it would fire on an unrelated re-creation) and re-evaluate.
+        coord.cancel_watch(watch_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn first_entrant_leads() {
+        let coord = Coord::new();
+        let election = LeaderElection::new(coord.clone(), "/election").unwrap();
+        let s1 = coord.create_session(10_000);
+        let s2 = coord.create_session(10_000);
+        let c1 = election.enter(s1, "am-1").unwrap();
+        let c2 = election.enter(s2, "am-2").unwrap();
+        assert!(c1.is_leader());
+        assert!(!c2.is_leader());
+        assert_eq!(election.leader().unwrap().as_deref(), Some("am-1"));
+    }
+
+    #[test]
+    fn resignation_promotes_successor() {
+        let coord = Coord::new();
+        let election = LeaderElection::new(coord.clone(), "/e").unwrap();
+        let s1 = coord.create_session(10_000);
+        let s2 = coord.create_session(10_000);
+        let c1 = election.enter(s1, "one").unwrap();
+        let c2 = election.enter(s2, "two").unwrap();
+
+        let promoted = Arc::new(AtomicBool::new(false));
+        let promoted2 = promoted.clone();
+        c2.watch(move |leading| promoted2.store(leading, Ordering::SeqCst))
+            .unwrap();
+        assert!(!promoted.load(Ordering::SeqCst));
+
+        c1.resign().unwrap();
+        assert!(
+            promoted.load(Ordering::SeqCst),
+            "watch fired on predecessor death"
+        );
+        assert!(c2.is_leader());
+        assert_eq!(election.leader().unwrap().as_deref(), Some("two"));
+    }
+
+    #[test]
+    fn session_expiry_promotes_successor() {
+        let coord = Coord::new();
+        let election = LeaderElection::new(coord.clone(), "/e").unwrap();
+        let s1 = coord.create_session(1_000);
+        let s2 = coord.create_session(60_000);
+        let _c1 = election.enter(s1, "one").unwrap();
+        let c2 = election.enter(s2, "two").unwrap();
+
+        let promoted = Arc::new(AtomicBool::new(false));
+        let promoted2 = promoted.clone();
+        c2.watch(move |leading| promoted2.store(leading, Ordering::SeqCst))
+            .unwrap();
+
+        coord.heartbeat(s2).unwrap();
+        coord.advance(1_001);
+        assert!(promoted.load(Ordering::SeqCst));
+        assert!(c2.is_leader());
+    }
+
+    #[test]
+    fn middle_candidate_death_rewires_watch_chain() {
+        let coord = Coord::new();
+        let election = LeaderElection::new(coord.clone(), "/e").unwrap();
+        let s = [
+            coord.create_session(60_000),
+            coord.create_session(60_000),
+            coord.create_session(60_000),
+        ];
+        let c1 = election.enter(s[0], "a").unwrap();
+        let c2 = election.enter(s[1], "b").unwrap();
+        let c3 = election.enter(s[2], "c").unwrap();
+
+        let c3_fires = Arc::new(AtomicUsize::new(0));
+        let c3_leading = Arc::new(AtomicBool::new(false));
+        let (fires, leading) = (c3_fires.clone(), c3_leading.clone());
+        c3.watch(move |l| {
+            fires.fetch_add(1, Ordering::SeqCst);
+            leading.store(l, Ordering::SeqCst);
+        })
+        .unwrap();
+
+        // The middle candidate dies: c3's predecessor watch fires, but c3
+        // still trails c1, so it re-arms on c1 without claiming leadership.
+        c2.resign().unwrap();
+        assert_eq!(
+            c3_fires.load(Ordering::SeqCst),
+            0,
+            "not leader yet: no callback"
+        );
+        assert!(!c3.is_leader());
+
+        c1.resign().unwrap();
+        assert_eq!(c3_fires.load(Ordering::SeqCst), 1);
+        assert!(c3_leading.load(Ordering::SeqCst));
+        assert!(c3.is_leader());
+    }
+}

@@ -1,0 +1,196 @@
+//! Group membership over ephemeral znodes.
+//!
+//! Each member joins by creating an ephemeral child of the group's base path;
+//! the set of live children *is* the membership. When a member's session
+//! expires (crash, dropped heartbeats, force-expiry) its node vanishes and
+//! children-watchers hear about it — this is what drives consumer-group
+//! rebalances in the Kafka layer.
+
+use crate::error::{CoordError, Result};
+use crate::path::ZnodePath;
+use crate::service::{Coord, CreateMode, SessionId, WatchEvent};
+
+/// A membership group rooted at a base znode.
+#[derive(Clone)]
+pub struct GroupMembership {
+    coord: Coord,
+    base: ZnodePath,
+}
+
+impl GroupMembership {
+    /// Open (creating the base node if needed) the group at `base`.
+    pub fn new(coord: Coord, base: impl Into<ZnodePath>) -> Result<GroupMembership> {
+        let base = base.into();
+        match coord.create(None, base.clone(), "", CreateMode::Persistent) {
+            Ok(_) | Err(CoordError::NodeExists(_)) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(GroupMembership { coord, base })
+    }
+
+    /// The base path the group lives under.
+    pub fn base(&self) -> &ZnodePath {
+        &self.base
+    }
+
+    /// Join the group: creates an ephemeral `base/member` node carrying
+    /// `data`, tied to `session`. Re-joining with the same live session is
+    /// idempotent (the data is refreshed).
+    pub fn join(
+        &self,
+        session: SessionId,
+        member: &str,
+        data: impl Into<String>,
+    ) -> Result<ZnodePath> {
+        let path = self.base.child(member);
+        let data = data.into();
+        match self.coord.create(
+            Some(session),
+            path.clone(),
+            data.clone(),
+            CreateMode::Ephemeral,
+        ) {
+            Ok(p) => Ok(p),
+            Err(CoordError::NodeExists(_)) => {
+                // Same member re-announcing itself: only legal if the node is
+                // still owned by this very session.
+                let (_, stat) = self.coord.get(path.clone())?;
+                if stat.ephemeral_owner == Some(session) {
+                    self.coord.set(path.clone(), data, None)?;
+                    Ok(path)
+                } else {
+                    Err(CoordError::NodeExists(path.to_string()))
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Leave the group explicitly (session stays alive).
+    pub fn leave(&self, member: &str) -> Result<()> {
+        self.coord.delete(self.base.child(member), None)
+    }
+
+    /// Current member names, sorted.
+    pub fn members(&self) -> Result<Vec<String>> {
+        self.coord.children(self.base.clone())
+    }
+
+    /// Current members with their announced data, sorted by name.
+    pub fn member_data(&self) -> Result<Vec<(String, String)>> {
+        let mut out = Vec::new();
+        for name in self.members()? {
+            // A member may vanish between listing and reading; skip it.
+            if let Ok((data, _)) = self.coord.get(self.base.child(&name)) {
+                out.push((name, data));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Watch the membership: `callback` is invoked with the member list after
+    /// every change, re-arming itself each time (the underlying children
+    /// watch is one-shot). The watch is re-armed *before* the list is read so
+    /// changes racing the callback are never lost.
+    pub fn watch(&self, callback: impl Fn(Vec<String>) + Send + Sync + 'static) -> Result<()> {
+        let group = self.clone();
+        let callback = std::sync::Arc::new(callback);
+        arm(&group, callback)
+    }
+}
+
+fn arm(
+    group: &GroupMembership,
+    callback: std::sync::Arc<dyn Fn(Vec<String>) + Send + Sync>,
+) -> Result<()> {
+    let rearm_group = group.clone();
+    let rearm_cb = callback.clone();
+    group
+        .coord
+        .watch_children_cb(group.base.clone(), move |_event: WatchEvent| {
+            // Re-arm first: a change landing while we read/notify will queue a
+            // fresh event rather than slip by unobserved. If the base node is
+            // gone (group torn down) the re-arm fails and the chain ends.
+            let _ = arm(&rearm_group, rearm_cb.clone());
+            rearm_cb(rearm_group.members().unwrap_or_default());
+        })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn join_members_leave() {
+        let coord = Coord::new();
+        let group = GroupMembership::new(coord.clone(), "/groups/g1").unwrap();
+        let s1 = coord.create_session(10_000);
+        let s2 = coord.create_session(10_000);
+        group.join(s1, "a", "host-a").unwrap();
+        group.join(s2, "b", "host-b").unwrap();
+        assert_eq!(group.members().unwrap(), vec!["a", "b"]);
+        assert_eq!(
+            group.member_data().unwrap(),
+            vec![("a".into(), "host-a".into()), ("b".into(), "host-b".into())]
+        );
+        group.leave("a").unwrap();
+        assert_eq!(group.members().unwrap(), vec!["b"]);
+    }
+
+    #[test]
+    fn rejoin_same_session_refreshes_data() {
+        let coord = Coord::new();
+        let group = GroupMembership::new(coord.clone(), "/g").unwrap();
+        let s = coord.create_session(10_000);
+        group.join(s, "m", "v1").unwrap();
+        group.join(s, "m", "v2").unwrap();
+        assert_eq!(
+            group.member_data().unwrap(),
+            vec![("m".into(), "v2".into())]
+        );
+        // A different session cannot steal the name while the owner lives.
+        let other = coord.create_session(10_000);
+        assert!(matches!(
+            group.join(other, "m", "x"),
+            Err(CoordError::NodeExists(_))
+        ));
+    }
+
+    #[test]
+    fn expiry_removes_member_and_notifies_watch() {
+        let coord = Coord::new();
+        let group = GroupMembership::new(coord.clone(), "/g").unwrap();
+        let s1 = coord.create_session(1_000);
+        let s2 = coord.create_session(60_000);
+        group.join(s1, "doomed", "").unwrap();
+        group.join(s2, "survivor", "").unwrap();
+
+        let seen: Arc<Mutex<Vec<Vec<String>>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        group
+            .watch(move |members| seen2.lock().unwrap().push(members))
+            .unwrap();
+
+        coord.heartbeat(s2).unwrap();
+        coord.advance(1_001); // s1 expires, s2 heartbeated
+        let snapshots = seen.lock().unwrap().clone();
+        assert_eq!(snapshots.last().unwrap(), &vec!["survivor".to_string()]);
+        assert_eq!(group.members().unwrap(), vec!["survivor"]);
+    }
+
+    #[test]
+    fn watch_rearms_across_many_changes() {
+        let coord = Coord::new();
+        let group = GroupMembership::new(coord.clone(), "/g").unwrap();
+        let count = Arc::new(Mutex::new(0usize));
+        let count2 = count.clone();
+        group.watch(move |_| *count2.lock().unwrap() += 1).unwrap();
+        let s = coord.create_session(10_000);
+        for i in 0..5 {
+            group.join(s, &format!("m{i}"), "").unwrap();
+        }
+        assert_eq!(*count.lock().unwrap(), 5);
+    }
+}

@@ -1,0 +1,14 @@
+//! Coordination recipes: higher-level patterns built purely on the znode /
+//! session / watch primitives, mirroring Apache Curator's recipe layer.
+//!
+//! * [`GroupMembership`] — ephemeral children under a base path; the live
+//!   children *are* the group.
+//! * [`LeaderElection`] — ephemeral-sequential candidates; the lowest
+//!   sequence number leads, and each candidate watches only its predecessor
+//!   (no thundering herd on failover).
+
+mod election;
+mod membership;
+
+pub use election::{Candidate, LeaderElection};
+pub use membership::GroupMembership;

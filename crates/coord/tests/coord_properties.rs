@@ -1,0 +1,298 @@
+//! Property-style tests for the coordination service.
+//!
+//! Hand-rolled rather than `proptest`-based so the crate stays
+//! dependency-free: each property runs many randomized trials driven by a
+//! seeded LCG (deterministic across runs), several of them with real thread
+//! interleaving on the shared service.
+
+use samzasql_coord::{Coord, CoordError, CreateMode, EventKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Deterministic splitmix64-style generator; good enough spread for choosing
+/// ops and paths, and fully reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9e3779b97f4a7c15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Property: a znode's version increases by exactly one per successful write,
+/// and is never observed to move backwards — even with writers racing on the
+/// same paths from multiple threads.
+#[test]
+fn versions_are_monotonic_per_path() {
+    let coord = Coord::new();
+    let paths: Vec<String> = (0..4).map(|i| format!("/prop/v{i}")).collect();
+    for p in &paths {
+        coord
+            .create(None, p.as_str(), "0", CreateMode::Persistent)
+            .unwrap();
+    }
+
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let coord = coord.clone();
+            let paths = paths.clone();
+            thread::spawn(move || {
+                let mut rng = Rng::new(t);
+                let mut observed: Vec<Vec<u64>> = vec![Vec::new(); paths.len()];
+                for i in 0..200 {
+                    let pi = rng.below(paths.len());
+                    let path = paths[pi].as_str();
+                    match rng.below(3) {
+                        0 => {
+                            let v = coord.set(path, format!("t{t}-{i}"), None).unwrap();
+                            observed[pi].push(v);
+                        }
+                        1 => {
+                            // CAS from a freshly-read version: may lose races,
+                            // but a success must land on expected + 1.
+                            let (_, stat) = coord.get(path).unwrap();
+                            match coord.set(path, format!("cas{t}-{i}"), Some(stat.version)) {
+                                Ok(v) => {
+                                    assert_eq!(v, stat.version + 1);
+                                    observed[pi].push(v);
+                                }
+                                Err(CoordError::BadVersion {
+                                    expected, actual, ..
+                                }) => {
+                                    assert!(actual > expected, "version moved backwards");
+                                }
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                        _ => {
+                            let (_, stat) = coord.get(path).unwrap();
+                            observed[pi].push(stat.version);
+                        }
+                    }
+                }
+                observed
+            })
+        })
+        .collect();
+
+    let per_thread: Vec<Vec<Vec<u64>>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Within one thread's timeline, versions of a given path never decrease.
+    for observed in &per_thread {
+        for versions in observed {
+            for pair in versions.windows(2) {
+                assert!(
+                    pair[0] <= pair[1],
+                    "observed regression: {} -> {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+    // Globally: every successful write got a distinct version (no two writes
+    // share one), so the final version equals 1 + number of successful sets.
+    for (pi, p) in paths.iter().enumerate() {
+        let writes: Vec<u64> = per_thread
+            .iter()
+            .flat_map(|obs| obs[pi].iter().copied())
+            .collect();
+        let final_version = coord.get(p.as_str()).unwrap().1.version;
+        assert!(writes.iter().all(|v| *v <= final_version));
+    }
+}
+
+/// Property: sequential creates under one parent hand out strictly
+/// increasing, gap-free-from-the-service's-view suffixes, even when issued
+/// concurrently; all resulting names are distinct.
+#[test]
+fn sequential_suffixes_strictly_increase_under_concurrency() {
+    let coord = Coord::new();
+    coord
+        .create(None, "/seq", "", CreateMode::Persistent)
+        .unwrap();
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let coord = coord.clone();
+            thread::spawn(move || {
+                (0..50)
+                    .map(|_| {
+                        coord
+                            .create(None, "/seq/n-", "", CreateMode::PersistentSequential)
+                            .unwrap()
+                            .as_str()
+                            .to_string()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+
+    let mut all: Vec<String> = Vec::new();
+    for h in handles {
+        let own = h.join().unwrap();
+        // Each thread saw its own creations in strictly increasing order.
+        for pair in own.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "per-thread order violated: {} then {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        all.extend(own);
+    }
+    assert_eq!(all.len(), 400);
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), 400, "duplicate sequential names handed out");
+    // The service handed out exactly suffixes 1..=400.
+    assert_eq!(all.first().map(String::as_str), Some("/seq/n-0000000001"));
+    assert_eq!(all.last().map(String::as_str), Some("/seq/n-0000000400"));
+}
+
+/// Property: a one-shot watch fires exactly once no matter how many
+/// subsequent changes hit the node, across randomized op sequences.
+#[test]
+fn one_shot_watches_fire_exactly_once() {
+    let mut rng = Rng::new(42);
+    for trial in 0..50 {
+        let coord = Coord::new();
+        let path = format!("/w/{trial}");
+        coord
+            .create(None, path.as_str(), "0", CreateMode::Persistent)
+            .unwrap();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = fired.clone();
+        coord
+            .watch_data_cb(path.as_str(), move |_| {
+                fired2.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+
+        let mutations = 1 + rng.below(10);
+        for i in 0..mutations {
+            if rng.below(4) == 0 && i + 1 == mutations {
+                coord.delete(path.as_str(), None).unwrap();
+            } else {
+                coord.set(path.as_str(), format!("{i}"), None).unwrap();
+            }
+        }
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "trial {trial}: one-shot watch fired more (or less) than once over {mutations} mutations"
+        );
+    }
+}
+
+/// Property: when a session ends — by timeout, force-expiry, or graceful
+/// close — every ephemeral it owned disappears, and nothing owned by other
+/// sessions is touched.
+#[test]
+fn session_end_reaps_exactly_its_ephemerals() {
+    let mut rng = Rng::new(7);
+    for trial in 0..30 {
+        let coord = Coord::new();
+        let sessions: Vec<_> = (0..4).map(|_| coord.create_session(1_000)).collect();
+        let mut owned: Vec<Vec<String>> = vec![Vec::new(); sessions.len()];
+        for i in 0..40 {
+            let si = rng.below(sessions.len());
+            let path = format!("/eph/s{si}-n{i}");
+            coord
+                .create(Some(sessions[si]), path.as_str(), "", CreateMode::Ephemeral)
+                .unwrap();
+            owned[si].push(path);
+        }
+
+        // End a random subset, one session per mechanism the trial picks.
+        let mut ended = vec![false; sessions.len()];
+        for (si, session) in sessions.iter().enumerate() {
+            match rng.below(4) {
+                0 => {
+                    coord.force_expire(*session).unwrap();
+                    ended[si] = true;
+                }
+                1 => {
+                    coord.close_session(*session).unwrap();
+                    ended[si] = true;
+                }
+                2 => {
+                    coord.set_drop_heartbeats(*session, true).unwrap();
+                    ended[si] = true; // will expire at the advance below
+                }
+                _ => {}
+            }
+        }
+        // Keep survivors alive across the expiry sweep: move the clock to
+        // t=500 so their heartbeat actually refreshes `last_heartbeat`, then
+        // push past the timeout of everyone who did not refresh.
+        coord.advance(500);
+        for (si, session) in sessions.iter().enumerate() {
+            if !ended[si] {
+                coord.heartbeat(*session).unwrap();
+            }
+        }
+        coord.advance(501);
+
+        for (si, paths) in owned.iter().enumerate() {
+            for path in paths {
+                let node = coord.exists(path.as_str());
+                if ended[si] {
+                    assert!(node.is_none(), "trial {trial}: {path} survived its session");
+                } else {
+                    assert!(
+                        node.is_some(),
+                        "trial {trial}: {path} lost while session alive"
+                    );
+                }
+            }
+            assert_eq!(coord.session_alive(sessions[si]), !ended[si]);
+        }
+    }
+}
+
+/// Property: watch events for one session arrive in the order the
+/// corresponding mutations were applied.
+#[test]
+fn session_events_arrive_in_mutation_order() {
+    let coord = Coord::new();
+    let session = coord.create_session(60_000);
+    coord
+        .create(None, "/ord", "", CreateMode::Persistent)
+        .unwrap();
+    let mut expected = Vec::new();
+    let mut rng = Rng::new(1234);
+    for i in 0..100 {
+        let path = format!("/ord/n{i}");
+        coord.watch_exists(session, path.as_str()).unwrap();
+        coord
+            .create(None, path.as_str(), "", CreateMode::Persistent)
+            .unwrap();
+        expected.push((path.clone(), EventKind::NodeCreated));
+        if rng.below(2) == 0 {
+            coord.watch_data(session, path.as_str()).unwrap();
+            coord.set(path.as_str(), "x", None).unwrap();
+            expected.push((path, EventKind::NodeDataChanged));
+        }
+    }
+    let events = coord.poll_events(session).unwrap();
+    let got: Vec<(String, EventKind)> = events
+        .into_iter()
+        .map(|e| (e.path.as_str().to_string(), e.kind))
+        .collect();
+    assert_eq!(got, expected);
+}

@@ -69,7 +69,10 @@ impl From<CoreError> for SamzaError {
             CoreError::Samza(s) => s,
             CoreError::Kafka(k) => SamzaError::Kafka(k),
             CoreError::Serde(s) => SamzaError::Serde(s),
-            other => SamzaError::Task { task: "samzasql".into(), message: other.to_string() },
+            other => SamzaError::Task {
+                task: "samzasql".into(),
+                message: other.to_string(),
+            },
         }
     }
 }

@@ -54,7 +54,12 @@ pub fn compile(expr: &ScalarExpr) -> CompiledExpr {
             let v = v.clone();
             CompiledExpr::new(move |_| v.clone())
         }
-        ScalarExpr::Binary { op, left, right, ty } => {
+        ScalarExpr::Binary {
+            op,
+            left,
+            right,
+            ty,
+        } => {
             let l = compile(left);
             let r = compile(right);
             let op = *op;
@@ -99,7 +104,11 @@ pub fn compile(expr: &ScalarExpr) -> CompiledExpr {
                 None => Value::Null,
             })
         }
-        ScalarExpr::Case { branches, else_result, .. } => {
+        ScalarExpr::Case {
+            branches,
+            else_result,
+            ..
+        } => {
             let compiled: Vec<(CompiledExpr, CompiledExpr)> = branches
                 .iter()
                 .map(|(w, r)| (compile(w), compile(r)))
@@ -294,11 +303,19 @@ fn cast_value(v: Value, ty: &Schema) -> Value {
         return Value::Null;
     }
     match ty {
-        Schema::Int => v.as_i64().map(|x| Value::Int(x as i32)).unwrap_or(Value::Null),
+        Schema::Int => v
+            .as_i64()
+            .map(|x| Value::Int(x as i32))
+            .unwrap_or(Value::Null),
         Schema::Long => v.as_i64().map(Value::Long).unwrap_or_else(|| {
-            v.as_f64().map(|x| Value::Long(x as i64)).unwrap_or(Value::Null)
+            v.as_f64()
+                .map(|x| Value::Long(x as i64))
+                .unwrap_or(Value::Null)
         }),
-        Schema::Float => v.as_f64().map(|x| Value::Float(x as f32)).unwrap_or(Value::Null),
+        Schema::Float => v
+            .as_f64()
+            .map(|x| Value::Float(x as f32))
+            .unwrap_or(Value::Null),
         Schema::Double => v.as_f64().map(Value::Double).unwrap_or(Value::Null),
         Schema::Timestamp => v.as_i64().map(Value::Timestamp).unwrap_or(Value::Null),
         Schema::String => Value::String(v.to_string()),
@@ -349,7 +366,12 @@ mod tests {
     }
 
     fn bin(op: BinOp, l: ScalarExpr, r: ScalarExpr, ty: Schema) -> ScalarExpr {
-        ScalarExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty }
+        ScalarExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+            ty,
+        }
     }
 
     #[test]
@@ -380,10 +402,24 @@ mod tests {
             c.eval(&vec![Value::Timestamp(5_000), Value::Timestamp(2_000)]),
             Value::Long(3_000)
         );
-        let e = bin(BinOp::Divide, lit(Value::Int(7)), lit(Value::Int(2)), Schema::Int);
+        let e = bin(
+            BinOp::Divide,
+            lit(Value::Int(7)),
+            lit(Value::Int(2)),
+            Schema::Int,
+        );
         assert_eq!(compile(&e).eval(&vec![]), Value::Int(3));
-        let e = bin(BinOp::Divide, lit(Value::Int(7)), lit(Value::Int(0)), Schema::Int);
-        assert_eq!(compile(&e).eval(&vec![]), Value::Null, "div by zero is NULL");
+        let e = bin(
+            BinOp::Divide,
+            lit(Value::Int(7)),
+            lit(Value::Int(0)),
+            Schema::Int,
+        );
+        assert_eq!(
+            compile(&e).eval(&vec![]),
+            Value::Null,
+            "div by zero is NULL"
+        );
         let e = bin(
             BinOp::Divide,
             lit(Value::Double(7.0)),
@@ -430,7 +466,10 @@ mod tests {
             unit_millis: 3_600_000,
         };
         let c = compile(&e);
-        assert_eq!(c.eval(&vec![Value::Timestamp(3_999_999)]), Value::Timestamp(3_600_000));
+        assert_eq!(
+            c.eval(&vec![Value::Timestamp(3_999_999)]),
+            Value::Timestamp(3_600_000)
+        );
         assert_eq!(c.eval(&vec![Value::Null]), Value::Null);
     }
 
@@ -438,7 +477,12 @@ mod tests {
     fn case_and_cast() {
         let e = ScalarExpr::Case {
             branches: vec![(
-                bin(BinOp::Gt, iref(0, Schema::Int), lit(Value::Int(10)), Schema::Boolean),
+                bin(
+                    BinOp::Gt,
+                    iref(0, Schema::Int),
+                    lit(Value::Int(10)),
+                    Schema::Boolean,
+                ),
                 lit(Value::String("big".into())),
             )],
             else_result: Some(Box::new(lit(Value::String("small".into())))),
@@ -448,8 +492,14 @@ mod tests {
         assert_eq!(c.eval(&vec![Value::Int(11)]), Value::String("big".into()));
         assert_eq!(c.eval(&vec![Value::Int(3)]), Value::String("small".into()));
 
-        let e = ScalarExpr::Cast { expr: Box::new(iref(0, Schema::Int)), ty: Schema::String };
-        assert_eq!(compile(&e).eval(&vec![Value::Int(7)]), Value::String("7".into()));
+        let e = ScalarExpr::Cast {
+            expr: Box::new(iref(0, Schema::Int)),
+            ty: Schema::String,
+        };
+        assert_eq!(
+            compile(&e).eval(&vec![Value::Int(7)]),
+            Value::String("7".into())
+        );
     }
 
     #[test]
@@ -469,10 +519,19 @@ mod tests {
     #[test]
     fn string_functions() {
         assert_eq!(
-            eval_call(ScalarFunc::Concat, &[Value::String("a".into()), Value::Int(1)]),
+            eval_call(
+                ScalarFunc::Concat,
+                &[Value::String("a".into()), Value::Int(1)]
+            ),
             Value::String("a1".into())
         );
-        assert_eq!(eval_call(ScalarFunc::Upper, &[Value::String("ab".into())]), Value::String("AB".into()));
-        assert_eq!(eval_call(ScalarFunc::CharLength, &[Value::String("héllo".into())]), Value::Int(5));
+        assert_eq!(
+            eval_call(ScalarFunc::Upper, &[Value::String("ab".into())]),
+            Value::String("AB".into())
+        );
+        assert_eq!(
+            eval_call(ScalarFunc::CharLength, &[Value::String("héllo".into())]),
+            Value::Int(5)
+        );
     }
 }

@@ -21,11 +21,17 @@ pub enum Acc {
     SumFloat(f64),
     Min(Option<Value>),
     Max(Option<Value>),
-    Avg { sum: f64, count: i64 },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
     /// Window bounds; filled at emission by the window operator.
     Start(Option<i64>),
     End(Option<i64>),
-    User { name: String, state: Value },
+    User {
+        name: String,
+        state: Value,
+    },
 }
 
 /// A compiled aggregate: the accumulator logic plus the argument expression.
@@ -89,10 +95,9 @@ impl CompiledAgg {
         let arg = self.arg.as_ref().map(|a| a.eval(tuple));
         match (acc, &arg) {
             (Acc::Count(c), None) => *c += 1, // COUNT(*)
-            (Acc::Count(c), Some(v))
-                if !v.is_null() => {
-                    *c += 1;
-                }
+            (Acc::Count(c), Some(v)) if !v.is_null() => {
+                *c += 1;
+            }
             (Acc::SumInt(s), Some(v)) => {
                 if let Some(x) = v.as_i64() {
                     *s += x;
@@ -244,10 +249,16 @@ pub fn accs_to_value(accs: &[Acc]) -> Value {
                         vec![Value::Int(5), Value::Double(*sum), Value::Long(*count)]
                     }
                     Acc::Start(s) => {
-                        vec![Value::Int(6), s.map(Value::Timestamp).unwrap_or(Value::Null)]
+                        vec![
+                            Value::Int(6),
+                            s.map(Value::Timestamp).unwrap_or(Value::Null),
+                        ]
                     }
                     Acc::End(e) => {
-                        vec![Value::Int(7), e.map(Value::Timestamp).unwrap_or(Value::Null)]
+                        vec![
+                            Value::Int(7),
+                            e.map(Value::Timestamp).unwrap_or(Value::Null),
+                        ]
                     }
                     Acc::User { name, state } => {
                         vec![Value::Int(8), Value::String(name.clone()), state.clone()]
@@ -370,9 +381,18 @@ mod tests {
 
     #[test]
     fn empty_accumulators_yield_sql_defaults() {
-        assert_eq!(compiled(AggFunc::Sum, Some(0)).result(&compiled(AggFunc::Sum, Some(0)).init()), Value::Long(0));
-        assert_eq!(compiled(AggFunc::Avg, Some(0)).result(&compiled(AggFunc::Avg, Some(0)).init()), Value::Null);
-        assert_eq!(compiled(AggFunc::Min, Some(0)).result(&compiled(AggFunc::Min, Some(0)).init()), Value::Null);
+        assert_eq!(
+            compiled(AggFunc::Sum, Some(0)).result(&compiled(AggFunc::Sum, Some(0)).init()),
+            Value::Long(0)
+        );
+        assert_eq!(
+            compiled(AggFunc::Avg, Some(0)).result(&compiled(AggFunc::Avg, Some(0)).init()),
+            Value::Null
+        );
+        assert_eq!(
+            compiled(AggFunc::Min, Some(0)).result(&compiled(AggFunc::Min, Some(0)).init()),
+            Value::Null
+        );
     }
 
     #[test]

@@ -47,9 +47,27 @@ mod tests {
         });
         let mut op = FilterOp::new(pred);
         let mut late = 0;
-        let mut ctx = OpCtx { store: None, late_discards: &mut late };
-        assert_eq!(op.process(Side::Single, vec![Value::Int(75)], &mut ctx).unwrap().len(), 1);
-        assert_eq!(op.process(Side::Single, vec![Value::Int(25)], &mut ctx).unwrap().len(), 0);
-        assert_eq!(op.process(Side::Single, vec![Value::Null], &mut ctx).unwrap().len(), 0);
+        let mut ctx = OpCtx {
+            store: None,
+            late_discards: &mut late,
+        };
+        assert_eq!(
+            op.process(Side::Single, vec![Value::Int(75)], &mut ctx)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            op.process(Side::Single, vec![Value::Int(25)], &mut ctx)
+                .unwrap()
+                .len(),
+            0
+        );
+        assert_eq!(
+            op.process(Side::Single, vec![Value::Null], &mut ctx)
+                .unwrap()
+                .len(),
+            0
+        );
     }
 }

@@ -74,13 +74,19 @@ impl InsertOp {
             Some(v) => Some(self.key_codec.encode(v)?),
             None => None,
         };
-        Ok(EncodedOutput { payload, timestamp, key })
+        Ok(EncodedOutput {
+            payload,
+            timestamp,
+            key,
+        })
     }
 }
 
 impl std::fmt::Debug for InsertOp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("InsertOp").field("names", &self.names).finish()
+        f.debug_struct("InsertOp")
+            .field("names", &self.names)
+            .finish()
     }
 }
 
@@ -92,14 +98,19 @@ mod tests {
 
     #[test]
     fn encodes_with_timestamp_extraction() {
-        let schema = Schema::record("O", vec![("rowtime", Schema::Timestamp), ("units", Schema::Int)]);
+        let schema = Schema::record(
+            "O",
+            vec![("rowtime", Schema::Timestamp), ("units", Schema::Int)],
+        );
         let serde = build_serde(SerdeFormat::Avro, schema);
         let op = InsertOp::new(
             serde.clone(),
             vec!["rowtime".into(), "units".into()],
             Some(0),
         );
-        let out = op.encode(&vec![Value::Timestamp(42), Value::Int(7)]).unwrap();
+        let out = op
+            .encode(&vec![Value::Timestamp(42), Value::Int(7)])
+            .unwrap();
         assert_eq!(out.timestamp, 42);
         let decoded = serde.deserialize(&out.payload).unwrap();
         assert_eq!(decoded.field("units"), Some(&Value::Int(7)));
@@ -108,7 +119,11 @@ mod tests {
     #[test]
     fn missing_timestamp_defaults_to_zero() {
         let schema = Schema::record("O", vec![("units", Schema::Int)]);
-        let op = InsertOp::new(build_serde(SerdeFormat::Avro, schema), vec!["units".into()], None);
+        let op = InsertOp::new(
+            build_serde(SerdeFormat::Avro, schema),
+            vec!["units".into()],
+            None,
+        );
         assert_eq!(op.encode(&vec![Value::Int(1)]).unwrap().timestamp, 0);
     }
 }

@@ -95,9 +95,8 @@ impl Operator for StreamToRelationJoinOp {
                 let ck = self.cache_key(&key)?;
                 // Cache as a named record: the generic-object serde writes
                 // class + field names, like Kryo serializing a POJO.
-                let record = Value::Record(
-                    self.relation_names.iter().cloned().zip(tuple).collect(),
-                );
+                let record =
+                    Value::Record(self.relation_names.iter().cloned().zip(tuple).collect());
                 let encoded = self.codec.encode(&record)?;
                 ctx.store()?.put(&ck, encoded)?;
                 Ok(Vec::new())
@@ -195,10 +194,19 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
         let mut j = op(JoinKind::Inner);
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         // Bootstrap phase: relation records arrive first (Side::Right).
-        assert!(j.process(Side::Right, product(7, 70), &mut ctx).unwrap().is_empty());
-        assert!(j.process(Side::Right, product(8, 80), &mut ctx).unwrap().is_empty());
+        assert!(j
+            .process(Side::Right, product(7, 70), &mut ctx)
+            .unwrap()
+            .is_empty());
+        assert!(j
+            .process(Side::Right, product(8, 80), &mut ctx)
+            .unwrap()
+            .is_empty());
         // Stream probes.
         let out = j.process(Side::Left, order(1, 7, 5), &mut ctx).unwrap();
         assert_eq!(
@@ -212,7 +220,10 @@ mod tests {
             ]]
         );
         // Miss on inner join drops the tuple.
-        assert!(j.process(Side::Left, order(2, 99, 1), &mut ctx).unwrap().is_empty());
+        assert!(j
+            .process(Side::Left, order(2, 99, 1), &mut ctx)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -220,7 +231,10 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
         let mut j = op(JoinKind::Inner);
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         j.process(Side::Right, product(7, 70), &mut ctx).unwrap();
         j.process(Side::Right, product(7, 71), &mut ctx).unwrap();
         let out = j.process(Side::Left, order(1, 7, 5), &mut ctx).unwrap();
@@ -232,7 +246,10 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
         let mut j = op(JoinKind::Left);
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         let out = j.process(Side::Left, order(1, 42, 9), &mut ctx).unwrap();
         assert_eq!(out[0][3], Value::Null);
         assert_eq!(out[0][4], Value::Null);
@@ -243,12 +260,18 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
         let mut j = op(JoinKind::Inner);
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         j.process(Side::Right, product(7, 70), &mut ctx).unwrap();
         // Tombstone key = object-coded key value.
         let key_bytes = ObjectCodec::new().encode(&Value::Int(7)).unwrap();
         j.on_tombstone(Side::Right, &key_bytes, &mut ctx).unwrap();
-        assert!(j.process(Side::Left, order(1, 7, 5), &mut ctx).unwrap().is_empty());
+        assert!(j
+            .process(Side::Left, order(1, 7, 5), &mut ctx)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -271,10 +294,21 @@ mod tests {
         );
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         j.process(Side::Right, product(1, 70), &mut ctx).unwrap();
         j.process(Side::Right, product(2, 80), &mut ctx).unwrap();
-        assert!(j.process(Side::Left, order(1, 1, 5), &mut ctx).unwrap().is_empty());
-        assert_eq!(j.process(Side::Left, order(1, 2, 5), &mut ctx).unwrap().len(), 1);
+        assert!(j
+            .process(Side::Left, order(1, 1, 5), &mut ctx)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            j.process(Side::Left, order(1, 2, 5), &mut ctx)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 }

@@ -114,7 +114,11 @@ impl Operator for StreamToStreamJoinOp {
         if key.is_null() {
             return Ok(Vec::new()); // NULL keys never join
         }
-        let other_side = if side == Side::Left { Side::Right } else { Side::Left };
+        let other_side = if side == Side::Left {
+            Side::Right
+        } else {
+            Side::Left
+        };
         let other_prefix = self.side_prefix(other_side, &key)?;
         let (lo, hi) = self.probe_window(side, ts);
 
@@ -190,7 +194,11 @@ mod tests {
     }
 
     fn packet(ts: i64, id: i64) -> Tuple {
-        vec![Value::Timestamp(ts), Value::Timestamp(ts - 1), Value::Long(id)]
+        vec![
+            Value::Timestamp(ts),
+            Value::Timestamp(ts - 1),
+            Value::Long(id),
+        ]
     }
 
     #[test]
@@ -198,9 +206,15 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
         let mut j = join(2_000, 2_000);
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         // R1 packet at t=1000, R2 same id at t=2500: |Δ| = 1500 ≤ 2000 ⇒ join.
-        assert!(j.process(Side::Left, packet(1_000, 42), &mut ctx).unwrap().is_empty());
+        assert!(j
+            .process(Side::Left, packet(1_000, 42), &mut ctx)
+            .unwrap()
+            .is_empty());
         let out = j.process(Side::Right, packet(2_500, 42), &mut ctx).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].len(), 6, "left ++ right columns");
@@ -213,9 +227,15 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
         let mut j = join(2_000, 2_000);
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         j.process(Side::Left, packet(1_000, 1), &mut ctx).unwrap();
-        assert!(j.process(Side::Right, packet(1_000, 2), &mut ctx).unwrap().is_empty());
+        assert!(j
+            .process(Side::Right, packet(1_000, 2), &mut ctx)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -223,9 +243,15 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
         let mut j = join(2_000, 2_000);
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         j.process(Side::Left, packet(1_000, 42), &mut ctx).unwrap();
-        assert!(j.process(Side::Right, packet(9_000, 42), &mut ctx).unwrap().is_empty());
+        assert!(j
+            .process(Side::Right, packet(9_000, 42), &mut ctx)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -233,12 +259,19 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
         let mut j = join(2_000, 2_000);
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         // Right arrives first this time.
         j.process(Side::Right, packet(1_000, 7), &mut ctx).unwrap();
         let out = j.process(Side::Left, packet(1_500, 7), &mut ctx).unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0][0], Value::Timestamp(1_500), "left side first in output");
+        assert_eq!(
+            out[0][0],
+            Value::Timestamp(1_500),
+            "left side first in output"
+        );
     }
 
     #[test]
@@ -246,7 +279,10 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
         let mut j = join(2_000, 2_000);
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         j.process(Side::Left, packet(1_000, 5), &mut ctx).unwrap();
         j.process(Side::Left, packet(1_200, 5), &mut ctx).unwrap();
         let out = j.process(Side::Right, packet(2_000, 5), &mut ctx).unwrap();
@@ -260,12 +296,23 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
         let mut j = join(0, 1_000);
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         j.process(Side::Right, packet(1_000, 1), &mut ctx).unwrap();
         // left at 900 < right 1000 ⇒ no match (lower bound 0).
-        assert!(j.process(Side::Left, packet(900, 1), &mut ctx).unwrap().is_empty());
+        assert!(j
+            .process(Side::Left, packet(900, 1), &mut ctx)
+            .unwrap()
+            .is_empty());
         // left at 1500 ∈ [1000, 2000] ⇒ match.
-        assert_eq!(j.process(Side::Left, packet(1_500, 1), &mut ctx).unwrap().len(), 1);
+        assert_eq!(
+            j.process(Side::Left, packet(1_500, 1), &mut ctx)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -273,11 +320,15 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut late = 0;
         let mut j = join(1_000, 1_000);
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         j.process(Side::Left, packet(1_000, 3), &mut ctx).unwrap();
         let before = ctx.store().unwrap().len();
         // A much later right tuple for the same key purges the stale left.
-        j.process(Side::Right, packet(100_000, 3), &mut ctx).unwrap();
+        j.process(Side::Right, packet(100_000, 3), &mut ctx)
+            .unwrap();
         // Store holds: the new right tuple; the old left one is gone.
         let after = ctx.store().unwrap().len();
         assert_eq!(before, 1);

@@ -49,9 +49,11 @@ impl<'a> OpCtx<'a> {
     /// Borrow the store or fail (stateful operator in a stateless job —
     /// a configuration bug).
     pub fn store(&mut self) -> Result<&mut KeyValueStore> {
-        self.store
-            .as_deref_mut()
-            .ok_or_else(|| crate::error::CoreError::Operator("operator requires local state but no store is configured".into()))
+        self.store.as_deref_mut().ok_or_else(|| {
+            crate::error::CoreError::Operator(
+                "operator requires local state but no store is configured".into(),
+            )
+        })
     }
 }
 
@@ -62,7 +64,12 @@ pub trait Operator: Send {
 
     /// A deletion arrived on a relation changelog (tombstone): `key` is the
     /// raw message key. Only the stream-to-relation join reacts.
-    fn on_tombstone(&mut self, _side: Side, _key: &[u8], _ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+    fn on_tombstone(
+        &mut self,
+        _side: Side,
+        _key: &[u8],
+        _ctx: &mut OpCtx<'_>,
+    ) -> Result<Vec<Tuple>> {
         Ok(Vec::new())
     }
 

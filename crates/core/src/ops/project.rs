@@ -41,9 +41,16 @@ mod tests {
         ];
         let mut op = ProjectOp::new(exprs);
         let mut late = 0;
-        let mut ctx = OpCtx { store: None, late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: None,
+            late_discards: &mut late,
+        };
         let out = op
-            .process(Side::Single, vec![Value::Timestamp(9), Value::Int(1)], &mut ctx)
+            .process(
+                Side::Single,
+                vec![Value::Timestamp(9), Value::Int(1)],
+                &mut ctx,
+            )
             .unwrap();
         assert_eq!(out, vec![vec![Value::Int(1), Value::Timestamp(9)]]);
     }

@@ -33,12 +33,18 @@ pub struct ScanOp {
 impl ScanOp {
     /// Prototype path: serde decode + `AvroToArray`.
     pub fn new(serde: BoxedSerde, arity: usize) -> Self {
-        ScanOp { mode: ScanMode::Generic(serde), arity }
+        ScanOp {
+            mode: ScanMode::Generic(serde),
+            arity,
+        }
     }
 
     /// Optimized path: decode directly into the array tuple.
     pub fn direct(codec: AvroCodec, arity: usize) -> Self {
-        ScanOp { mode: ScanMode::Direct(codec), arity }
+        ScanOp {
+            mode: ScanMode::Direct(codec),
+            arity,
+        }
     }
 
     /// Decode a payload into a tuple. Empty payloads are tombstones and
@@ -67,7 +73,9 @@ impl ScanOp {
 
 impl std::fmt::Debug for ScanOp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ScanOp").field("arity", &self.arity).finish()
+        f.debug_struct("ScanOp")
+            .field("arity", &self.arity)
+            .finish()
     }
 }
 
@@ -90,7 +98,10 @@ mod tests {
 
     #[test]
     fn empty_payload_is_tombstone() {
-        let serde = build_serde(SerdeFormat::Avro, Schema::record("R", vec![("a", Schema::Int)]));
+        let serde = build_serde(
+            SerdeFormat::Avro,
+            Schema::record("R", vec![("a", Schema::Int)]),
+        );
         let scan = ScanOp::new(serde, 1);
         assert_eq!(scan.decode(&Bytes::new()).unwrap(), None);
     }
@@ -108,7 +119,10 @@ mod tests {
 
     #[test]
     fn corrupt_payload_errors() {
-        let serde = build_serde(SerdeFormat::Avro, Schema::record("R", vec![("a", Schema::String)]));
+        let serde = build_serde(
+            SerdeFormat::Avro,
+            Schema::record("R", vec![("a", Schema::String)]),
+        );
         let scan = ScanOp::new(serde, 1);
         assert!(scan.decode(&Bytes::from_static(&[200, 1, 2])).is_err());
     }

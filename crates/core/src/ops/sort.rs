@@ -18,7 +18,11 @@ pub struct SortOp {
 
 impl SortOp {
     pub fn new(keys: Vec<(CompiledExpr, bool)>, limit: Option<u64>) -> Self {
-        SortOp { keys, limit, buffer: Vec::new() }
+        SortOp {
+            keys,
+            limit,
+            buffer: Vec::new(),
+        }
     }
 }
 
@@ -64,9 +68,15 @@ mod tests {
         let key = compile(&ScalarExpr::input(0, Schema::Int));
         let mut op = SortOp::new(vec![(key, false)], Some(2));
         let mut late = 0;
-        let mut ctx = OpCtx { store: None, late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: None,
+            late_discards: &mut late,
+        };
         for v in [3, 1, 4, 1, 5] {
-            assert!(op.process(Side::Single, vec![Value::Int(v)], &mut ctx).unwrap().is_empty());
+            assert!(op
+                .process(Side::Single, vec![Value::Int(v)], &mut ctx)
+                .unwrap()
+                .is_empty());
         }
         let out = op.flush(&mut ctx).unwrap();
         assert_eq!(out, vec![vec![Value::Int(5)], vec![Value::Int(4)]]);

@@ -46,16 +46,25 @@ impl WindowAggOp {
         keys: Vec<CompiledExpr>,
         aggs: Vec<CompiledAgg>,
     ) -> Self {
-        WindowAggOp { op_id: op_id.into(), window, keys, aggs, codec: ObjectCodec::new() }
+        WindowAggOp {
+            op_id: op_id.into(),
+            window,
+            keys,
+            aggs,
+            codec: ObjectCodec::new(),
+        }
     }
 
     /// (emit, retain, align, ts_index) of the window, tumble normalized.
     fn params(&self) -> Option<(i64, i64, i64, usize)> {
         match &self.window {
             GroupWindow::Tumble { ts_index, size_ms } => Some((*size_ms, *size_ms, 0, *ts_index)),
-            GroupWindow::Hop { ts_index, emit_ms, retain_ms, align_ms } => {
-                Some((*emit_ms, *retain_ms, *align_ms, *ts_index))
-            }
+            GroupWindow::Hop {
+                ts_index,
+                emit_ms,
+                retain_ms,
+                align_ms,
+            } => Some((*emit_ms, *retain_ms, *align_ms, *ts_index)),
             GroupWindow::None => None,
         }
     }
@@ -74,7 +83,10 @@ impl WindowAggOp {
 
     fn group_key(&self, tuple: &Tuple) -> Result<(Vec<u8>, Vec<Value>)> {
         let vals: Vec<Value> = self.keys.iter().map(|e| e.eval(tuple)).collect();
-        Ok((self.codec.encode(&Value::Array(vals.clone()))?.to_vec(), vals))
+        Ok((
+            self.codec.encode(&Value::Array(vals.clone()))?.to_vec(),
+            vals,
+        ))
     }
 
     fn wm_key(&self) -> Vec<u8> {
@@ -150,7 +162,9 @@ impl Operator for WindowAggOp {
         let ts = tuple
             .get(ts_index)
             .and_then(|v| v.as_i64())
-            .ok_or_else(|| crate::error::CoreError::Operator("window aggregate: NULL timestamp".into()))?;
+            .ok_or_else(|| {
+                crate::error::CoreError::Operator("window aggregate: NULL timestamp".into())
+            })?;
         let (group, _) = self.group_key(&tuple)?;
 
         // Watermark bookkeeping + late-arrival policy.
@@ -247,7 +261,11 @@ mod tests {
                 arg: arg.map(|i| {
                     ScalarExpr::input(
                         i,
-                        if i == 0 { Schema::Timestamp } else { Schema::Int },
+                        if i == 0 {
+                            Schema::Timestamp
+                        } else {
+                            Schema::Int
+                        },
                     )
                 }),
                 distinct: false,
@@ -266,7 +284,10 @@ mod tests {
         let mut late = 0;
         let mut out = Vec::new();
         for t in tuples {
-            let mut ctx = OpCtx { store: Some(store), late_discards: &mut late };
+            let mut ctx = OpCtx {
+                store: Some(store),
+                late_discards: &mut late,
+            };
             out.extend(op.process(Side::Single, t, &mut ctx).unwrap());
         }
         out
@@ -274,7 +295,10 @@ mod tests {
 
     fn flush(op: &mut WindowAggOp, store: &mut KeyValueStore) -> Vec<Tuple> {
         let mut late = 0;
-        let mut ctx = OpCtx { store: Some(store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(store),
+            late_discards: &mut late,
+        };
         op.flush(&mut ctx).unwrap()
     }
 
@@ -297,7 +321,10 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut op = WindowAggOp::new(
             "0",
-            GroupWindow::Tumble { ts_index: 0, size_ms: 10 },
+            GroupWindow::Tumble {
+                ts_index: 0,
+                size_ms: 10,
+            },
             vec![],
             vec![agg(AggFunc::Start, Some(0)), agg(AggFunc::CountStar, None)],
         );
@@ -320,17 +347,27 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut op = WindowAggOp::new(
             "0",
-            GroupWindow::Tumble { ts_index: 0, size_ms: 10 },
+            GroupWindow::Tumble {
+                ts_index: 0,
+                size_ms: 10,
+            },
             vec![compile(&ScalarExpr::input(1, Schema::Int))],
             vec![agg(AggFunc::Sum, Some(2))],
         );
-        run(&mut op, &mut store, vec![tup(1, 1, 10), tup(2, 2, 20), tup(3, 1, 5)]);
+        run(
+            &mut op,
+            &mut store,
+            vec![tup(1, 1, 10), tup(2, 2, 20), tup(3, 1, 5)],
+        );
         let mut rows = flush(&mut op, &mut store);
         rows.sort_by_key(|r| r[0].as_i64());
-        assert_eq!(rows, vec![
-            vec![Value::Int(1), Value::Long(15)],
-            vec![Value::Int(2), Value::Long(20)],
-        ]);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1), Value::Long(15)],
+                vec![Value::Int(2), Value::Long(20)],
+            ]
+        );
     }
 
     #[test]
@@ -339,9 +376,18 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut op = WindowAggOp::new(
             "0",
-            GroupWindow::Hop { ts_index: 0, emit_ms: 5, retain_ms: 10, align_ms: 0 },
+            GroupWindow::Hop {
+                ts_index: 0,
+                emit_ms: 5,
+                retain_ms: 10,
+                align_ms: 0,
+            },
             vec![],
-            vec![agg(AggFunc::Start, Some(0)), agg(AggFunc::End, Some(0)), agg(AggFunc::CountStar, None)],
+            vec![
+                agg(AggFunc::Start, Some(0)),
+                agg(AggFunc::End, Some(0)),
+                agg(AggFunc::CountStar, None),
+            ],
         );
         // Window [-5,5) closes while processing (watermark reaches 7); the
         // remaining two close at flush.
@@ -350,9 +396,18 @@ mod tests {
         rows.sort_by_key(|r| r[0].as_i64());
         // Windows: [-5,5) has tuple@2; [0,10) has both; [5,15) has tuple@7.
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0], vec![Value::Timestamp(-5), Value::Timestamp(5), Value::Long(1)]);
-        assert_eq!(rows[1], vec![Value::Timestamp(0), Value::Timestamp(10), Value::Long(2)]);
-        assert_eq!(rows[2], vec![Value::Timestamp(5), Value::Timestamp(15), Value::Long(1)]);
+        assert_eq!(
+            rows[0],
+            vec![Value::Timestamp(-5), Value::Timestamp(5), Value::Long(1)]
+        );
+        assert_eq!(
+            rows[1],
+            vec![Value::Timestamp(0), Value::Timestamp(10), Value::Long(2)]
+        );
+        assert_eq!(
+            rows[2],
+            vec![Value::Timestamp(5), Value::Timestamp(15), Value::Long(1)]
+        );
     }
 
     #[test]
@@ -360,16 +415,25 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut op = WindowAggOp::new(
             "0",
-            GroupWindow::Tumble { ts_index: 0, size_ms: 10 },
+            GroupWindow::Tumble {
+                ts_index: 0,
+                size_ms: 10,
+            },
             vec![],
             vec![agg(AggFunc::CountStar, None)],
         );
         let mut late = 0;
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         op.process(Side::Single, tup(100, 1, 1), &mut ctx).unwrap();
         let out = op.process(Side::Single, tup(50, 1, 1), &mut ctx).unwrap();
         assert!(out.is_empty());
-        assert_eq!(late, 1, "tuple for a closed window is discarded (§3 timeout policy)");
+        assert_eq!(
+            late, 1,
+            "tuple for a closed window is discarded (§3 timeout policy)"
+        );
     }
 
     #[test]
@@ -389,9 +453,12 @@ mod tests {
         assert!(streamed.is_empty(), "relational agg only emits at flush");
         let mut rows = flush(&mut op, &mut store);
         rows.sort_by_key(|r| r[0].as_i64());
-        assert_eq!(rows, vec![
-            vec![Value::Int(7), Value::Long(2), Value::Long(30)],
-            vec![Value::Int(9), Value::Long(1), Value::Long(1)],
-        ]);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(7), Value::Long(2), Value::Long(30)],
+                vec![Value::Int(9), Value::Long(1), Value::Long(1)],
+            ]
+        );
     }
 }

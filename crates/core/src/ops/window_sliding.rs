@@ -89,7 +89,9 @@ impl Operator for SlidingWindowOp {
         let ts = tuple
             .get(self.ts_index)
             .and_then(|v| v.as_i64())
-            .ok_or_else(|| crate::error::CoreError::Operator("sliding window: NULL timestamp".into()))?;
+            .ok_or_else(|| {
+                crate::error::CoreError::Operator("sliding window: NULL timestamp".into())
+            })?;
         let group = self.group_key(&tuple)?;
         let state_key = self.meta_key(b'A', &group);
         let store = ctx.store()?;
@@ -276,7 +278,10 @@ mod tests {
         let mut late = 0;
         let mut out = Vec::new();
         for t in tuples {
-            let mut ctx = OpCtx { store: Some(store), late_discards: &mut late };
+            let mut ctx = OpCtx {
+                store: Some(store),
+                late_discards: &mut late,
+            };
             out.extend(op.process(Side::Single, t, &mut ctx).unwrap());
         }
         out
@@ -300,7 +305,11 @@ mod tests {
     fn partitions_are_independent() {
         let mut store = KeyValueStore::ephemeral("s");
         let mut w = op(Some(1_000), None, vec![sum_units()]);
-        let out = run(&mut w, &mut store, vec![tup(0, 1, 10), tup(1, 2, 99), tup(2, 1, 5)]);
+        let out = run(
+            &mut w,
+            &mut store,
+            vec![tup(0, 1, 10), tup(1, 2, 99), tup(2, 1, 5)],
+        );
         assert_eq!(out[1][3], Value::Long(99), "product 2 isolated");
         assert_eq!(out[2][3], Value::Long(15), "product 1 accumulates 10+5");
     }
@@ -330,7 +339,15 @@ mod tests {
         );
         let sums: Vec<Value> = out.iter().map(|t| t[3].clone()).collect();
         // ROWS 1 PRECEDING: current + previous.
-        assert_eq!(sums, vec![Value::Long(1), Value::Long(3), Value::Long(6), Value::Long(12)]);
+        assert_eq!(
+            sums,
+            vec![
+                Value::Long(1),
+                Value::Long(3),
+                Value::Long(6),
+                Value::Long(12)
+            ]
+        );
     }
 
     #[test]
@@ -346,7 +363,10 @@ mod tests {
         let mut store = KeyValueStore::ephemeral("s");
         let mut w = op(Some(100), None, vec![sum_units()]);
         let mut late = 0;
-        let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
+        let mut ctx = OpCtx {
+            store: Some(&mut store),
+            late_discards: &mut late,
+        };
         w.process(Side::Single, tup(1_000, 1, 1), &mut ctx).unwrap();
         let out = w.process(Side::Single, tup(500, 1, 1), &mut ctx).unwrap();
         assert!(out.is_empty());
@@ -357,7 +377,9 @@ mod tests {
     fn state_survives_store_restore() {
         use samzasql_kafka::{Broker, TopicConfig};
         let broker = Broker::new();
-        broker.create_topic("clog", TopicConfig::with_partitions(1)).unwrap();
+        broker
+            .create_topic("clog", TopicConfig::with_partitions(1))
+            .unwrap();
         let mut store = KeyValueStore::with_changelog("s", broker.clone(), "clog", 0);
         let mut w = op(Some(1_000), None, vec![sum_units()]);
         run(&mut w, &mut store, vec![tup(0, 1, 10), tup(1, 1, 20)]);
@@ -368,6 +390,10 @@ mod tests {
         store2.restore().unwrap();
         let mut w2 = op(Some(1_000), None, vec![sum_units()]);
         let out = run(&mut w2, &mut store2, vec![tup(2, 1, 5)]);
-        assert_eq!(out[0][3], Value::Long(35), "restored window continues: 10+20+5");
+        assert_eq!(
+            out[0][3],
+            Value::Long(35),
+            "restored window continues: 10+20+5"
+        );
     }
 }

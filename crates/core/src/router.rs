@@ -75,7 +75,10 @@ impl QuerySpec {
                 .output_names
                 .iter()
                 .zip(&self.output_types)
-                .map(|(n, t)| samzasql_serde::Field { name: n.clone(), schema: t.clone() })
+                .map(|(n, t)| samzasql_serde::Field {
+                    name: n.clone(),
+                    schema: t.clone(),
+                })
                 .collect(),
         }
     }
@@ -139,7 +142,10 @@ impl MessageRouter {
                 .iter()
                 .map(|(e, asc)| (compile(e), *asc))
                 .collect();
-            Some((router.add_node(Box::new(SortOp::new(keys, planned.limit)), None), Side::Single))
+            Some((
+                router.add_node(Box::new(SortOp::new(keys, planned.limit)), None),
+                Side::Single,
+            ))
         } else {
             None
         };
@@ -154,22 +160,25 @@ impl MessageRouter {
         self.nodes.len() - 1
     }
 
-    fn build_plan(
-        &mut self,
-        plan: &PhysicalPlan,
-        dest: Dest,
-        udafs: &UdafRegistry,
-    ) -> Result<()> {
+    fn build_plan(&mut self, plan: &PhysicalPlan, dest: Dest, udafs: &UdafRegistry) -> Result<()> {
         let op_id = format!("{}", self.nodes.len());
         match plan {
-            PhysicalPlan::Scan { topic, types, format, .. } => {
+            PhysicalPlan::Scan {
+                topic,
+                types,
+                format,
+                ..
+            } => {
                 let schema = Schema::Record {
                     name: "Row".into(),
                     fields: plan
                         .output_names()
                         .iter()
                         .zip(types)
-                        .map(|(n, t)| samzasql_serde::Field { name: n.clone(), schema: t.clone() })
+                        .map(|(n, t)| samzasql_serde::Field {
+                            name: n.clone(),
+                            schema: t.clone(),
+                        })
                         .collect(),
                 };
                 let scan = if self.direct_data_api && *format == SerdeFormat::Avro {
@@ -194,19 +203,37 @@ impl MessageRouter {
                 let id = self.add_node(Box::new(ProjectOp::new(compiled)), dest);
                 self.build_plan(input, Some((id, Side::Single)), udafs)
             }
-            PhysicalPlan::WindowAggregate { input, window, keys, aggs, .. } => {
+            PhysicalPlan::WindowAggregate {
+                input,
+                window,
+                keys,
+                aggs,
+                ..
+            } => {
                 let compiled_keys = keys.iter().map(compile).collect();
                 let compiled_aggs: Vec<CompiledAgg> = aggs
                     .iter()
                     .map(|a| CompiledAgg::new(a, udafs))
                     .collect::<Result<_>>()?;
                 let id = self.add_node(
-                    Box::new(WindowAggOp::new(op_id, window.clone(), compiled_keys, compiled_aggs)),
+                    Box::new(WindowAggOp::new(
+                        op_id,
+                        window.clone(),
+                        compiled_keys,
+                        compiled_aggs,
+                    )),
                     dest,
                 );
                 self.build_plan(input, Some((id, Side::Single)), udafs)
             }
-            PhysicalPlan::SlidingWindow { input, partition_by, ts_index, range_ms, rows, aggs } => {
+            PhysicalPlan::SlidingWindow {
+                input,
+                partition_by,
+                ts_index,
+                range_ms,
+                rows,
+                aggs,
+            } => {
                 let compiled_keys = partition_by.iter().map(compile).collect();
                 let compiled_aggs: Vec<CompiledAgg> = aggs
                     .iter()
@@ -225,7 +252,14 @@ impl MessageRouter {
                 );
                 self.build_plan(input, Some((id, Side::Single)), udafs)
             }
-            PhysicalPlan::StreamToStreamJoin { left, right, kind, equi, time_bound, residual } => {
+            PhysicalPlan::StreamToStreamJoin {
+                left,
+                right,
+                kind,
+                equi,
+                time_bound,
+                residual,
+            } => {
                 if equi.len() != 1 {
                     return Err(CoreError::Operator(
                         "stream-to-stream joins support exactly one equi key".into(),
@@ -278,12 +312,18 @@ impl MessageRouter {
                     fields: relation_names
                         .iter()
                         .zip(relation_types)
-                        .map(|(n, t)| samzasql_serde::Field { name: n.clone(), schema: t.clone() })
+                        .map(|(n, t)| samzasql_serde::Field {
+                            name: n.clone(),
+                            schema: t.clone(),
+                        })
                         .collect(),
                 };
                 self.entries.push(Entry {
                     topic: relation_topic.clone(),
-                    scan: ScanOp::new(build_serde(SerdeFormat::Avro, rel_schema), relation_types.len()),
+                    scan: ScanOp::new(
+                        build_serde(SerdeFormat::Avro, rel_schema),
+                        relation_types.len(),
+                    ),
                     dest: Some((id, Side::Right)),
                     is_relation: true,
                 });

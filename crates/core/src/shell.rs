@@ -3,8 +3,9 @@
 //! The shell owns the catalog + planner, talks to the broker and the
 //! simulated YARN cluster, and performs **step one** of two-step planning
 //! (§4.2): plan the query, generate the Samza job configuration, store plan
-//! metadata (the SQL text, schema references) in the ZooKeeper-like metadata
-//! store, and submit the job. Tasks re-plan from that metadata at init.
+//! metadata (the SQL text, schema references) in the ZooKeeper-like
+//! coordination service under `/samzasql/queries/<job>/…`, and submit the
+//! job. Tasks re-plan from that metadata at init.
 //!
 //! Two execution paths mirror the paper's data model (§3.3):
 //!
@@ -19,11 +20,12 @@ use crate::router::QuerySpec;
 use crate::task::{SamzaSqlTaskFactory, TaskPlanSource};
 use crate::udaf::{UdafRegistry, UserAggregate};
 use bytes::Bytes;
+use samzasql_coord::Coord;
 use samzasql_kafka::{Broker, Message, TopicConfig};
 use samzasql_planner::{Catalog, ObjectKind, PhysicalPlan, PlannedQuery, Planner};
 use samzasql_samza::{
-    ClusterSim, Container, InputStreamConfig, JobConfig, JobHandle, JobModel, MetadataStore,
-    OutputStreamConfig, StoreConfig,
+    ClusterSim, Container, InputStreamConfig, JobConfig, JobHandle, JobModel, OutputStreamConfig,
+    StoreConfig,
 };
 use samzasql_serde::avro::AvroCodec;
 use samzasql_serde::object::ObjectCodec;
@@ -34,7 +36,7 @@ use std::sync::Arc;
 pub struct SamzaSqlShell {
     broker: Broker,
     cluster: ClusterSim,
-    metadata: MetadataStore,
+    coord: Coord,
     planner: Planner,
     udafs: UdafRegistry,
     query_counter: u64,
@@ -52,12 +54,14 @@ impl SamzaSqlShell {
         Self::with_cluster(broker, cluster)
     }
 
-    /// Shell over an explicit cluster simulation.
+    /// Shell over an explicit cluster simulation. Query metadata lives in
+    /// the cluster's coordination service, so tasks (and anyone else holding
+    /// the `Coord`) read exactly what the shell wrote.
     pub fn with_cluster(broker: Broker, cluster: ClusterSim) -> Self {
         SamzaSqlShell {
             broker,
+            coord: cluster.coord().clone(),
             cluster,
-            metadata: MetadataStore::new(),
             planner: Planner::new(Catalog::new()),
             udafs: UdafRegistry::new(),
             query_counter: 0,
@@ -71,9 +75,17 @@ impl SamzaSqlShell {
         &self.broker
     }
 
+    /// The coordination service carrying query metadata
+    /// (`/samzasql/queries/<job>/{sql,schema,output}`).
+    pub fn coord(&self) -> &Coord {
+        &self.coord
+    }
+
     /// The metadata store shared with tasks.
-    pub fn metadata(&self) -> &MetadataStore {
-        &self.metadata
+    #[deprecated(note = "use SamzaSqlShell::coord — the metadata store is a thin adapter now")]
+    #[allow(deprecated)]
+    pub fn metadata(&self) -> samzasql_samza::MetadataStore {
+        samzasql_samza::MetadataStore::with_coord(self.coord.clone())
     }
 
     /// The planner/catalog.
@@ -91,7 +103,8 @@ impl SamzaSqlShell {
         schema: Schema,
         timestamp_field: &str,
     ) -> Result<()> {
-        self.broker.ensure_topic(topic, TopicConfig::with_partitions(1))?;
+        self.broker
+            .ensure_topic(topic, TopicConfig::with_partitions(1))?;
         self.planner
             .catalog_mut()
             .register_stream(name, topic, schema, timestamp_field)?;
@@ -112,14 +125,18 @@ impl SamzaSqlShell {
         self.planner
             .catalog_mut()
             .register_table(name, changelog_topic, schema)?;
-        self.planner.catalog_mut().set_partition_key(name, key_column)?;
+        self.planner
+            .catalog_mut()
+            .set_partition_key(name, key_column)?;
         Ok(())
     }
 
     /// Declare the column a stream's producer partitions by (enables the
     /// planner's repartition decision, §7).
     pub fn set_partition_key(&mut self, name: &str, key_column: &str) -> Result<()> {
-        self.planner.catalog_mut().set_partition_key(name, key_column)?;
+        self.planner
+            .catalog_mut()
+            .set_partition_key(name, key_column)?;
         Ok(())
     }
 
@@ -160,7 +177,14 @@ impl SamzaSqlShell {
             .and_then(|f| value.field(f))
             .map(|v| ObjectCodec::new().encode(v))
             .transpose()?;
-        Ok((topic, Message { key, value: payload, timestamp }))
+        Ok((
+            topic,
+            Message {
+                key,
+                value: payload,
+                timestamp,
+            },
+        ))
     }
 
     /// Publish a tuple to a registered stream (Avro-encoded; keyed by the
@@ -194,7 +218,11 @@ impl SamzaSqlShell {
         self.broker.produce(
             &topic,
             partition,
-            Message { key: Some(key_bytes), value: Bytes::new(), timestamp: 0 },
+            Message {
+                key: Some(key_bytes),
+                value: Bytes::new(),
+                timestamp: 0,
+            },
         )?;
         Ok(())
     }
@@ -242,13 +270,29 @@ impl SamzaSqlShell {
         cfg
     }
 
+    /// Step one of two-step planning (§4.2): store the streaming query and
+    /// schema references in the coordination service, where tasks re-plan
+    /// from at init.
+    fn publish_query(&self, job_name: &str, sql: &str, output_topic: &str) {
+        let base = format!("/samzasql/queries/{job_name}");
+        let _ = self.coord.upsert(format!("{base}/sql"), sql);
+        let _ = self
+            .coord
+            .upsert(format!("{base}/schema"), format!("{output_topic}-value"));
+        let _ = self.coord.upsert(format!("{base}/output"), output_topic);
+    }
+
     /// Plan and register everything for a query; returns per-stage
     /// (job name, spec, source, output topic) plus the final output schema.
     #[allow(clippy::type_complexity)]
     fn prepare(
         &mut self,
         sql: &str,
-    ) -> Result<(PlannedQuery, Vec<(String, QuerySpec, TaskPlanSource, String)>, String)> {
+    ) -> Result<(
+        PlannedQuery,
+        Vec<(String, QuerySpec, TaskPlanSource, String)>,
+        String,
+    )> {
         let planned = self.planner.plan(sql)?;
         let qid = self.next_query_id();
         let job_base = format!("samzasql-q{qid}");
@@ -259,7 +303,10 @@ impl SamzaSqlShell {
         self.planner
             .catalog()
             .registry()
-            .register(&format!("{output_topic}-value"), planned.output_schema("Output"))
+            .register(
+                &format!("{output_topic}-value"),
+                planned.output_schema("Output"),
+            )
             .map_err(CoreError::Serde)?;
 
         let mut stages = Vec::new();
@@ -274,8 +321,8 @@ impl SamzaSqlShell {
                 s1.output_key = Some(key_index);
                 let job1 = format!("{job_base}-stage1");
                 let job2 = job_base.clone();
-                self.metadata.set(&format!("/jobs/{job1}/query"), sql);
-                self.metadata.set(&format!("/jobs/{job2}/query"), sql);
+                self.publish_query(&job1, sql, &inter_topic);
+                self.publish_query(&job2, sql, &output_topic);
                 stages.push((
                     job1,
                     s1.clone(),
@@ -292,13 +339,13 @@ impl SamzaSqlShell {
             None => {
                 let mut spec = QuerySpec::from_planned(&planned);
                 spec.direct_data_api = self.direct_data_api;
-                self.metadata.set(&format!("/jobs/{job_base}/query"), sql);
-                self.metadata
-                    .set(&format!("/jobs/{job_base}/output"), output_topic.clone());
+                self.publish_query(&job_base, sql, &output_topic);
                 let source = if self.direct_data_api {
                     TaskPlanSource::Fixed(Arc::new(spec.clone()))
                 } else {
-                    TaskPlanSource::Replan { planner: Arc::new(self.planner.clone()) }
+                    TaskPlanSource::Replan {
+                        planner: Arc::new(self.planner.clone()),
+                    }
                 };
                 stages.push((job_base, spec, source, output_topic.clone()));
             }
@@ -322,7 +369,7 @@ impl SamzaSqlShell {
             let factory = SamzaSqlTaskFactory {
                 job_name: job_name.clone(),
                 output_topic: stage_output,
-                metadata: self.metadata.clone(),
+                coord: self.coord.clone(),
                 source,
                 udafs: udafs.clone(),
             };
@@ -353,7 +400,7 @@ impl SamzaSqlShell {
             let factory = SamzaSqlTaskFactory {
                 job_name: job_name.clone(),
                 output_topic: stage_output,
-                metadata: self.metadata.clone(),
+                coord: self.coord.clone(),
                 source,
                 udafs: udafs.clone(),
             };
@@ -504,7 +551,9 @@ impl QueryHandle {
 
 impl std::fmt::Debug for QueryHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("QueryHandle").field("output_topic", &self.output_topic).finish()
+        f.debug_struct("QueryHandle")
+            .field("output_topic", &self.output_topic)
+            .finish()
     }
 }
 
@@ -537,40 +586,58 @@ fn split_repartition(
                 input: Box::new(replace(input, scan)),
                 predicate: predicate.clone(),
             },
-            PhysicalPlan::Project { input, exprs, names } => PhysicalPlan::Project {
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                names,
+            } => PhysicalPlan::Project {
                 input: Box::new(replace(input, scan)),
                 exprs: exprs.clone(),
                 names: names.clone(),
             },
-            PhysicalPlan::WindowAggregate { input, window, keys, key_names, aggs } => {
-                PhysicalPlan::WindowAggregate {
-                    input: Box::new(replace(input, scan)),
-                    window: window.clone(),
-                    keys: keys.clone(),
-                    key_names: key_names.clone(),
-                    aggs: aggs.clone(),
-                }
-            }
-            PhysicalPlan::SlidingWindow { input, partition_by, ts_index, range_ms, rows, aggs } => {
-                PhysicalPlan::SlidingWindow {
-                    input: Box::new(replace(input, scan)),
-                    partition_by: partition_by.clone(),
-                    ts_index: *ts_index,
-                    range_ms: *range_ms,
-                    rows: *rows,
-                    aggs: aggs.clone(),
-                }
-            }
-            PhysicalPlan::StreamToStreamJoin { left, right, kind, equi, time_bound, residual } => {
-                PhysicalPlan::StreamToStreamJoin {
-                    left: Box::new(replace(left, scan)),
-                    right: Box::new(replace(right, scan)),
-                    kind: *kind,
-                    equi: equi.clone(),
-                    time_bound: *time_bound,
-                    residual: residual.clone(),
-                }
-            }
+            PhysicalPlan::WindowAggregate {
+                input,
+                window,
+                keys,
+                key_names,
+                aggs,
+            } => PhysicalPlan::WindowAggregate {
+                input: Box::new(replace(input, scan)),
+                window: window.clone(),
+                keys: keys.clone(),
+                key_names: key_names.clone(),
+                aggs: aggs.clone(),
+            },
+            PhysicalPlan::SlidingWindow {
+                input,
+                partition_by,
+                ts_index,
+                range_ms,
+                rows,
+                aggs,
+            } => PhysicalPlan::SlidingWindow {
+                input: Box::new(replace(input, scan)),
+                partition_by: partition_by.clone(),
+                ts_index: *ts_index,
+                range_ms: *range_ms,
+                rows: *rows,
+                aggs: aggs.clone(),
+            },
+            PhysicalPlan::StreamToStreamJoin {
+                left,
+                right,
+                kind,
+                equi,
+                time_bound,
+                residual,
+            } => PhysicalPlan::StreamToStreamJoin {
+                left: Box::new(replace(left, scan)),
+                right: Box::new(replace(right, scan)),
+                kind: *kind,
+                equi: equi.clone(),
+                time_bound: *time_bound,
+                residual: residual.clone(),
+            },
             PhysicalPlan::StreamToRelationJoin {
                 stream,
                 relation_topic,

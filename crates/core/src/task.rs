@@ -2,26 +2,28 @@
 //!
 //! One instance runs per partition (Samza's `GroupByPartition`). At `init` it
 //! performs **step two** of two-step planning (§4.2): it reads the streaming
-//! SQL query from the metadata store (the ZooKeeper stand-in), re-plans it
-//! with the same planner the shell used, and generates its operators and
-//! message router. `process` then routes every delivered message through the
-//! operator DAG and emits encoded results to the job's output stream.
+//! SQL query from the coordination service (the ZooKeeper stand-in, under
+//! `/samzasql/queries/<job>/sql`), re-plans it with the same planner the
+//! shell used, and generates its operators and message router. `process`
+//! then routes every delivered message through the operator DAG and emits
+//! encoded results to the job's output stream.
 
 use crate::error::Result as CoreResult;
 use crate::ops::STATE_STORE;
 use crate::router::{MessageRouter, QuerySpec};
 use crate::udaf::UdafRegistry;
+use samzasql_coord::Coord;
 use samzasql_planner::Planner;
 use samzasql_samza::{
-    IncomingMessageEnvelope, MessageCollector, MetadataStore, OutgoingMessageEnvelope,
-    Result as SamzaResult, SamzaError, StreamTask, TaskContext, TaskCoordinator, TaskFactory,
+    IncomingMessageEnvelope, MessageCollector, OutgoingMessageEnvelope, Result as SamzaResult,
+    SamzaError, StreamTask, TaskContext, TaskCoordinator, TaskFactory,
 };
 use std::sync::Arc;
 
 /// How a task obtains its query plan at init.
 #[derive(Clone)]
 pub enum TaskPlanSource {
-    /// Re-plan the SQL stored in the metadata store (normal jobs — the
+    /// Re-plan the SQL stored in the coordination service (normal jobs — the
     /// faithful two-step flow).
     Replan { planner: Arc<Planner> },
     /// Use a fixed stage spec (repartition-split jobs, where a stage is not
@@ -33,7 +35,7 @@ pub enum TaskPlanSource {
 pub struct SamzaSqlTask {
     job_name: String,
     output_topic: String,
-    metadata: MetadataStore,
+    coord: Coord,
     source: TaskPlanSource,
     udafs: Arc<UdafRegistry>,
     router: Option<MessageRouter>,
@@ -45,14 +47,14 @@ impl SamzaSqlTask {
     pub fn new(
         job_name: impl Into<String>,
         output_topic: impl Into<String>,
-        metadata: MetadataStore,
+        coord: Coord,
         source: TaskPlanSource,
         udafs: Arc<UdafRegistry>,
     ) -> Self {
         SamzaSqlTask {
             job_name: job_name.into(),
             output_topic: output_topic.into(),
-            metadata,
+            coord,
             source,
             udafs,
             router: None,
@@ -76,25 +78,30 @@ impl SamzaSqlTask {
     }
 
     fn build_router(&mut self) -> CoreResult<()> {
-        // The metadata store must carry the query — the shell wrote it in
-        // step one. This is the handoff §4.2 describes.
+        // The coordination service must carry the query — the shell wrote it
+        // in step one. This is the handoff §4.2 describes.
         let sql = self
-            .metadata
-            .get(&format!("/jobs/{}/query", self.job_name))
-            .ok_or_else(|| {
+            .coord
+            .get(format!("/samzasql/queries/{}/sql", self.job_name))
+            .map(|(value, _)| value)
+            .map_err(|_| {
                 crate::error::CoreError::Shell(format!(
-                    "metadata store has no query for job {}",
+                    "coordination service has no query for job {}",
                     self.job_name
                 ))
             })?;
         let (router, bounded) = match &self.source {
             TaskPlanSource::Replan { planner } => {
                 let planned = planner.plan(&sql)?;
-                (MessageRouter::build(&planned, &self.udafs)?, !planned.is_stream)
+                (
+                    MessageRouter::build(&planned, &self.udafs)?,
+                    !planned.is_stream,
+                )
             }
-            TaskPlanSource::Fixed(spec) => {
-                (MessageRouter::build_spec(spec, &self.udafs)?, !spec.is_stream)
-            }
+            TaskPlanSource::Fixed(spec) => (
+                MessageRouter::build_spec(spec, &self.udafs)?,
+                !spec.is_stream,
+            ),
         };
         self.bounded = bounded;
         self.router = Some(router);
@@ -117,7 +124,12 @@ impl StreamTask for SamzaSqlTask {
         let router = self.router.as_mut().expect("init ran before process");
         let store = ctx.store_mut(STATE_STORE).ok();
         let outputs = router
-            .route(&envelope.tp.topic, envelope.key.as_ref(), &envelope.payload, store)
+            .route(
+                &envelope.tp.topic,
+                envelope.key.as_ref(),
+                &envelope.payload,
+                store,
+            )
             .map_err(SamzaError::from)?;
         self.send_outputs(outputs, collector);
         Ok(())
@@ -144,7 +156,7 @@ impl StreamTask for SamzaSqlTask {
 pub struct SamzaSqlTaskFactory {
     pub job_name: String,
     pub output_topic: String,
-    pub metadata: MetadataStore,
+    pub coord: Coord,
     pub source: TaskPlanSource,
     pub udafs: Arc<UdafRegistry>,
 }
@@ -154,7 +166,7 @@ impl TaskFactory for SamzaSqlTaskFactory {
         Box::new(SamzaSqlTask::new(
             self.job_name.clone(),
             self.output_topic.clone(),
-            self.metadata.clone(),
+            self.coord.clone(),
             self.source.clone(),
             self.udafs.clone(),
         ))

@@ -63,7 +63,9 @@ impl UdafRegistry {
 
 impl std::fmt::Debug for UdafRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("UdafRegistry").field("funcs", &self.names()).finish()
+        f.debug_struct("UdafRegistry")
+            .field("funcs", &self.names())
+            .finish()
     }
 }
 
@@ -73,15 +75,23 @@ pub struct GeometricMean;
 
 impl UserAggregate for GeometricMean {
     fn init(&self) -> Value {
-        Value::record(vec![("sum_ln", Value::Double(0.0)), ("count", Value::Long(0))])
+        Value::record(vec![
+            ("sum_ln", Value::Double(0.0)),
+            ("count", Value::Long(0)),
+        ])
     }
 
     fn accumulate(&self, state: Value, input: &Value) -> Value {
-        let Some(x) = input.as_f64() else { return state };
+        let Some(x) = input.as_f64() else {
+            return state;
+        };
         if x <= 0.0 {
             return state;
         }
-        let sum = state.field("sum_ln").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let sum = state
+            .field("sum_ln")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
         let count = state.field("count").and_then(|v| v.as_i64()).unwrap_or(0);
         Value::record(vec![
             ("sum_ln", Value::Double(sum + x.ln())),
@@ -90,7 +100,10 @@ impl UserAggregate for GeometricMean {
     }
 
     fn result(&self, state: &Value) -> Value {
-        let sum = state.field("sum_ln").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let sum = state
+            .field("sum_ln")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
         let count = state.field("count").and_then(|v| v.as_i64()).unwrap_or(0);
         if count == 0 {
             Value::Null

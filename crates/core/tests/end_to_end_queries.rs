@@ -30,9 +30,13 @@ fn order(ts: i64, product: i32, order_id: i64, units: i32) -> Value {
 
 fn shell_with_orders(partitions: u32) -> SamzaSqlShell {
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(partitions)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(partitions))
+        .unwrap();
     let mut shell = SamzaSqlShell::new(broker);
-    shell.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+    shell
+        .register_stream("Orders", "orders", orders_schema(), "rowtime")
+        .unwrap();
     shell.set_partition_key("Orders", "productId").unwrap();
     shell
 }
@@ -42,9 +46,13 @@ fn shell_with_orders(partitions: u32) -> SamzaSqlShell {
 #[test]
 fn streaming_filter_query() {
     let mut shell = shell_with_orders(2);
-    let mut handle = shell.submit("SELECT STREAM * FROM Orders WHERE units > 50").unwrap();
+    let mut handle = shell
+        .submit("SELECT STREAM * FROM Orders WHERE units > 50")
+        .unwrap();
     for i in 0..20 {
-        shell.produce("Orders", order(i, (i % 3) as i32, i, (i * 10) as i32)).unwrap();
+        shell
+            .produce("Orders", order(i, (i % 3) as i32, i, (i * 10) as i32))
+            .unwrap();
     }
     // units > 50 ⇒ i*10 > 50 ⇒ i in 6..20 ⇒ 14 rows.
     let rows = handle.await_outputs(14, Duration::from_secs(10)).unwrap();
@@ -75,7 +83,9 @@ fn streaming_projection_keeps_timestamp() {
 #[test]
 fn timestamp_drop_warning_surfaces_on_handle() {
     let mut shell = shell_with_orders(1);
-    let handle = shell.submit("SELECT STREAM productId, units FROM Orders").unwrap();
+    let handle = shell
+        .submit("SELECT STREAM productId, units FROM Orders")
+        .unwrap();
     assert!(handle.warnings.iter().any(|w| w.contains("timestamp")));
     handle.stop().unwrap();
 }
@@ -115,7 +125,10 @@ fn streaming_tumbling_window_counts() {
         .unwrap();
     let hour = 3_600_000;
     // 3 orders in hour 0, 2 in hour 1, 1 in hour 2 (closes hour 1).
-    for (i, ts) in [10, 20, 30, hour + 1, hour + 2, 2 * hour + 1].iter().enumerate() {
+    for (i, ts) in [10, 20, 30, hour + 1, hour + 2, 2 * hour + 1]
+        .iter()
+        .enumerate()
+    {
         shell.produce("Orders", order(*ts, 1, i as i64, 1)).unwrap();
     }
     let rows = handle.await_outputs(2, Duration::from_secs(10)).unwrap();
@@ -128,10 +141,16 @@ fn streaming_tumbling_window_counts() {
 #[test]
 fn streaming_stream_to_relation_join() {
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(2)).unwrap();
-    broker.create_topic("products-changelog", TopicConfig::with_partitions(2)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(2))
+        .unwrap();
+    broker
+        .create_topic("products-changelog", TopicConfig::with_partitions(2))
+        .unwrap();
     let mut shell = SamzaSqlShell::new(broker);
-    shell.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+    shell
+        .register_stream("Orders", "orders", orders_schema(), "rowtime")
+        .unwrap();
     shell.set_partition_key("Orders", "productId").unwrap();
     shell
         .register_table(
@@ -169,7 +188,9 @@ fn streaming_stream_to_relation_join() {
         )
         .unwrap();
     for i in 0..10 {
-        shell.produce("Orders", order(i, (i % 4) as i32, i, 5)).unwrap();
+        shell
+            .produce("Orders", order(i, (i % 4) as i32, i, 5))
+            .unwrap();
     }
     let rows = handle.await_outputs(10, Duration::from_secs(10)).unwrap();
     assert_eq!(rows.len(), 10);
@@ -184,10 +205,16 @@ fn streaming_stream_to_relation_join() {
 #[test]
 fn join_reflects_relation_updates_and_deletes() {
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(1)).unwrap();
-    broker.create_topic("products-changelog", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("products-changelog", TopicConfig::with_partitions(1))
+        .unwrap();
     let mut shell = SamzaSqlShell::new(broker);
-    shell.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+    shell
+        .register_stream("Orders", "orders", orders_schema(), "rowtime")
+        .unwrap();
     shell.set_partition_key("Orders", "productId").unwrap();
     shell
         .register_table(
@@ -195,7 +222,11 @@ fn join_reflects_relation_updates_and_deletes() {
             "products-changelog",
             Schema::record(
                 "Products",
-                vec![("productId", Schema::Int), ("name", Schema::String), ("supplierId", Schema::Int)],
+                vec![
+                    ("productId", Schema::Int),
+                    ("name", Schema::String),
+                    ("supplierId", Schema::Int),
+                ],
             ),
             "productId",
         )
@@ -241,15 +272,22 @@ fn join_reflects_relation_updates_and_deletes() {
     std::thread::sleep(Duration::from_millis(50));
     shell.produce("Orders", order(3, 1, 3, 5)).unwrap();
     let rows = handle.await_outputs(1, Duration::from_millis(300)).unwrap();
-    assert!(rows.is_empty(), "deleted relation row no longer joins: {rows:?}");
+    assert!(
+        rows.is_empty(),
+        "deleted relation row no longer joins: {rows:?}"
+    );
     handle.stop().unwrap();
 }
 
 #[test]
 fn streaming_stream_to_stream_packet_join() {
     let broker = Broker::new();
-    broker.create_topic("packetsr1", TopicConfig::with_partitions(1)).unwrap();
-    broker.create_topic("packetsr2", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("packetsr1", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("packetsr2", TopicConfig::with_partitions(1))
+        .unwrap();
     let mut shell = SamzaSqlShell::new(broker);
     let packet_schema = |name: &str| {
         Schema::record(
@@ -261,8 +299,22 @@ fn streaming_stream_to_stream_packet_join() {
             ],
         )
     };
-    shell.register_stream("PacketsR1", "packetsr1", packet_schema("PacketsR1"), "rowtime").unwrap();
-    shell.register_stream("PacketsR2", "packetsr2", packet_schema("PacketsR2"), "rowtime").unwrap();
+    shell
+        .register_stream(
+            "PacketsR1",
+            "packetsr1",
+            packet_schema("PacketsR1"),
+            "rowtime",
+        )
+        .unwrap();
+    shell
+        .register_stream(
+            "PacketsR2",
+            "packetsr2",
+            packet_schema("PacketsR2"),
+            "rowtime",
+        )
+        .unwrap();
     let mut handle = shell
         .submit(
             "SELECT STREAM GREATEST(PacketsR1.rowtime, PacketsR2.rowtime) AS rowtime, \
@@ -290,7 +342,11 @@ fn streaming_stream_to_stream_packet_join() {
     assert_eq!(rows.len(), 1, "{rows:?}");
     assert_eq!(rows[0].field("packetId"), Some(&Value::Long(1)));
     assert_eq!(rows[0].field("timeToTravel"), Some(&Value::Long(800)));
-    assert_eq!(rows[0].field("rowtime"), Some(&Value::Timestamp(1_800)), "GREATEST of the two");
+    assert_eq!(
+        rows[0].field("rowtime"),
+        Some(&Value::Timestamp(1_800)),
+        "GREATEST of the two"
+    );
     handle.stop().unwrap();
 }
 
@@ -300,10 +356,14 @@ fn streaming_stream_to_stream_packet_join() {
 fn bounded_query_reads_history() {
     let mut shell = shell_with_orders(2);
     for i in 0..10 {
-        shell.produce("Orders", order(i, (i % 2) as i32, i, (i * 10) as i32)).unwrap();
+        shell
+            .produce("Orders", order(i, (i % 2) as i32, i, (i * 10) as i32))
+            .unwrap();
     }
     // Absence of STREAM: history-as-table (§3.3).
-    let rows = shell.query("SELECT * FROM Orders WHERE units >= 50").unwrap();
+    let rows = shell
+        .query("SELECT * FROM Orders WHERE units >= 50")
+        .unwrap();
     assert_eq!(rows.len(), 5);
 }
 
@@ -311,7 +371,9 @@ fn bounded_query_reads_history() {
 fn bounded_aggregate_with_having() {
     let mut shell = shell_with_orders(1);
     for i in 0..9 {
-        shell.produce("Orders", order(i, (i % 3) as i32, i, 10)).unwrap();
+        shell
+            .produce("Orders", order(i, (i % 3) as i32, i, 10))
+            .unwrap();
     }
     shell.produce("Orders", order(100, 0, 99, 10)).unwrap();
     // Product 0 has 4 orders, products 1 and 2 have 3.
@@ -327,12 +389,17 @@ fn bounded_aggregate_with_having() {
 fn bounded_order_by_limit() {
     let mut shell = shell_with_orders(1);
     for (i, units) in [30, 10, 50, 20, 40].iter().enumerate() {
-        shell.produce("Orders", order(i as i64, 1, i as i64, *units)).unwrap();
+        shell
+            .produce("Orders", order(i as i64, 1, i as i64, *units))
+            .unwrap();
     }
     let rows = shell
         .query("SELECT units FROM Orders ORDER BY units DESC LIMIT 3")
         .unwrap();
-    let units: Vec<i64> = rows.iter().map(|r| r.field("units").unwrap().as_i64().unwrap()).collect();
+    let units: Vec<i64> = rows
+        .iter()
+        .map(|r| r.field("units").unwrap().as_i64().unwrap())
+        .collect();
     assert_eq!(units, vec![50, 40, 30]);
 }
 
@@ -365,9 +432,7 @@ fn bounded_case_expression() {
     shell.produce("Orders", order(1, 1, 1, 5)).unwrap();
     shell.produce("Orders", order(2, 1, 2, 50)).unwrap();
     let rows = shell
-        .query(
-            "SELECT orderId, CASE WHEN units > 10 THEN 'big' ELSE 'small' END AS sz FROM Orders",
-        )
+        .query("SELECT orderId, CASE WHEN units > 10 THEN 'big' ELSE 'small' END AS sz FROM Orders")
         .unwrap();
     assert_eq!(rows[0].field("sz"), Some(&Value::String("small".into())));
     assert_eq!(rows[1].field("sz"), Some(&Value::String("big".into())));
@@ -396,10 +461,16 @@ fn user_defined_aggregate_in_query() {
 fn repartition_split_runs_as_two_jobs() {
     // Orders partitioned by orderId, joined on productId ⇒ repartition stage.
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(2)).unwrap();
-    broker.create_topic("products-changelog", TopicConfig::with_partitions(2)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(2))
+        .unwrap();
+    broker
+        .create_topic("products-changelog", TopicConfig::with_partitions(2))
+        .unwrap();
     let mut shell = SamzaSqlShell::new(broker);
-    shell.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+    shell
+        .register_stream("Orders", "orders", orders_schema(), "rowtime")
+        .unwrap();
     shell.set_partition_key("Orders", "orderId").unwrap();
     shell
         .register_table(
@@ -407,7 +478,11 @@ fn repartition_split_runs_as_two_jobs() {
             "products-changelog",
             Schema::record(
                 "Products",
-                vec![("productId", Schema::Int), ("name", Schema::String), ("supplierId", Schema::Int)],
+                vec![
+                    ("productId", Schema::Int),
+                    ("name", Schema::String),
+                    ("supplierId", Schema::Int),
+                ],
             ),
             "productId",
         )
@@ -438,20 +513,34 @@ fn repartition_split_runs_as_two_jobs() {
         )
         .unwrap();
     for i in 0..8 {
-        shell.produce("Orders", order(i, (i % 4) as i32, 1_000 + i, 5)).unwrap();
+        shell
+            .produce("Orders", order(i, (i % 4) as i32, 1_000 + i, 5))
+            .unwrap();
     }
     let rows = handle.await_outputs(8, Duration::from_secs(10)).unwrap();
-    assert_eq!(rows.len(), 8, "all orders joined after repartitioning: {rows:?}");
+    assert_eq!(
+        rows.len(),
+        8,
+        "all orders joined after repartitioning: {rows:?}"
+    );
     handle.stop().unwrap();
 }
 
 #[test]
 fn explain_and_errors_through_shell() {
     let mut shell = shell_with_orders(1);
-    let plan = shell.explain("SELECT STREAM * FROM Orders WHERE units > 50").unwrap();
+    let plan = shell
+        .explain("SELECT STREAM * FROM Orders WHERE units > 50")
+        .unwrap();
     assert!(plan.contains("FilterOp"));
-    assert!(shell.submit("SELECT * FROM Orders").is_err(), "bounded via submit rejected");
-    assert!(shell.query("SELECT STREAM * FROM Orders").is_err(), "stream via query rejected");
+    assert!(
+        shell.submit("SELECT * FROM Orders").is_err(),
+        "bounded via submit rejected"
+    );
+    assert!(
+        shell.query("SELECT STREAM * FROM Orders").is_err(),
+        "stream via query rejected"
+    );
     assert!(shell.query("SELECT ghost FROM Orders").is_err());
 }
 
@@ -487,7 +576,9 @@ fn kappa_pipeline_query_over_query_output() {
         )
         .unwrap();
     for i in 0..6 {
-        shell.produce("Orders", order(i * 1_000, 1, i, (i * 10) as i32)).unwrap();
+        shell
+            .produce("Orders", order(i * 1_000, 1, i, (i * 10) as i32))
+            .unwrap();
     }
     // units > 20 ⇒ i in 3..6 ⇒ 3 rows through both stages.
     let rows = q2.await_outputs(3, Duration::from_secs(10)).unwrap();
@@ -496,7 +587,11 @@ fn kappa_pipeline_query_over_query_output() {
         .iter()
         .map(|r| r.field("bigOrdersLastHour").unwrap().as_i64().unwrap())
         .collect();
-    assert_eq!(counts, vec![1, 2, 3], "running count over the derived stream");
+    assert_eq!(
+        counts,
+        vec![1, 2, 3],
+        "running count over the derived stream"
+    );
     q2.stop().unwrap();
     q1.stop().unwrap();
 }
@@ -511,7 +606,9 @@ fn direct_data_api_produces_identical_results() {
             .submit("SELECT STREAM rowtime, productId, units FROM Orders WHERE units > 30")
             .unwrap();
         for i in 0..40 {
-            shell.produce("Orders", order(i, (i % 3) as i32, i, (i % 7) as i32 * 10)).unwrap();
+            shell
+                .produce("Orders", order(i, (i % 3) as i32, i, (i % 7) as i32 * 10))
+                .unwrap();
         }
         let rows = handle.await_outputs(22, Duration::from_secs(10)).unwrap();
         handle.stop().unwrap();

@@ -10,7 +10,13 @@ use samzasql_serde::{Schema, Value};
 
 /// Input schema for generated expressions: (int, int, long, bool, double).
 fn input_types() -> Vec<Schema> {
-    vec![Schema::Int, Schema::Int, Schema::Long, Schema::Boolean, Schema::Double]
+    vec![
+        Schema::Int,
+        Schema::Int,
+        Schema::Long,
+        Schema::Boolean,
+        Schema::Double,
+    ]
 }
 
 /// Strategy for random tuples matching [`input_types`].
@@ -51,11 +57,7 @@ fn numeric_expr(depth: u32) -> BoxedStrategy<ScalarExpr> {
     prop_oneof![
         leaf,
         (
-            prop_oneof![
-                Just(BinOp::Plus),
-                Just(BinOp::Minus),
-                Just(BinOp::Multiply)
-            ],
+            prop_oneof![Just(BinOp::Plus), Just(BinOp::Minus), Just(BinOp::Multiply)],
             inner.clone(),
             inner
         )
@@ -66,7 +68,12 @@ fn numeric_expr(depth: u32) -> BoxedStrategy<ScalarExpr> {
                 } else {
                     Schema::Int
                 };
-                ScalarExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty }
+                ScalarExpr::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    ty,
+                }
             }),
     ]
     .boxed()
@@ -98,14 +105,17 @@ fn bool_expr(depth: u32) -> BoxedStrategy<ScalarExpr> {
     let inner = bool_expr(depth - 1);
     prop_oneof![
         cmp,
-        (prop_oneof![Just(BinOp::And), Just(BinOp::Or)], inner.clone(), inner.clone()).prop_map(
-            |(op, l, r)| ScalarExpr::Binary {
+        (
+            prop_oneof![Just(BinOp::And), Just(BinOp::Or)],
+            inner.clone(),
+            inner.clone()
+        )
+            .prop_map(|(op, l, r)| ScalarExpr::Binary {
                 op,
                 left: Box::new(l),
                 right: Box::new(r),
                 ty: Schema::Boolean,
-            }
-        ),
+            }),
         inner.prop_map(|e| ScalarExpr::Not(Box::new(e))),
     ]
     .boxed()

@@ -36,13 +36,17 @@ fn order(ts: i64, product: i32, order_id: i64, units: i32) -> Value {
 /// (replay may duplicate emissions; determinism means the values agree).
 fn run_sliding_window(kill: bool, n: i64) -> BTreeMap<i64, i64> {
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(1))
+        .unwrap();
     let cluster = ClusterSim::new(
         broker.clone(),
         vec![NodeConfig::new("n0", 8), NodeConfig::new("n1", 8)],
     );
     let mut shell = SamzaSqlShell::with_cluster(broker, cluster);
-    shell.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+    shell
+        .register_stream("Orders", "orders", orders_schema(), "rowtime")
+        .unwrap();
     let mut handle = shell
         .submit(
             "SELECT STREAM rowtime, productId, orderId, units, \
@@ -54,14 +58,20 @@ fn run_sliding_window(kill: bool, n: i64) -> BTreeMap<i64, i64> {
     for i in 0..n / 2 {
         shell.produce("Orders", order(i * 1_000, 1, i, 1)).unwrap();
     }
-    let mut rows = handle.await_outputs((n / 2) as usize, Duration::from_secs(10)).unwrap();
+    let mut rows = handle
+        .await_outputs((n / 2) as usize, Duration::from_secs(10))
+        .unwrap();
     if kill {
         handle.kill_container(0).unwrap();
     }
     for i in n / 2..n {
         shell.produce("Orders", order(i * 1_000, 1, i, 1)).unwrap();
     }
-    rows.extend(handle.await_outputs((n / 2) as usize, Duration::from_secs(15)).unwrap());
+    rows.extend(
+        handle
+            .await_outputs((n / 2) as usize, Duration::from_secs(15))
+            .unwrap(),
+    );
     handle.stop().unwrap();
 
     // Last emission per orderId wins (replay may re-emit identical rows).
@@ -92,14 +102,20 @@ fn sliding_window_output_is_deterministic_across_failures() {
 #[test]
 fn join_cache_rebuilds_after_kill() {
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(1)).unwrap();
-    broker.create_topic("products-changelog", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("products-changelog", TopicConfig::with_partitions(1))
+        .unwrap();
     let cluster = ClusterSim::new(
         broker.clone(),
         vec![NodeConfig::new("n0", 8), NodeConfig::new("n1", 8)],
     );
     let mut shell = SamzaSqlShell::with_cluster(broker, cluster);
-    shell.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+    shell
+        .register_stream("Orders", "orders", orders_schema(), "rowtime")
+        .unwrap();
     shell.set_partition_key("Orders", "productId").unwrap();
     shell
         .register_table(
@@ -107,7 +123,11 @@ fn join_cache_rebuilds_after_kill() {
             "products-changelog",
             Schema::record(
                 "Products",
-                vec![("productId", Schema::Int), ("name", Schema::String), ("supplierId", Schema::Int)],
+                vec![
+                    ("productId", Schema::Int),
+                    ("name", Schema::String),
+                    ("supplierId", Schema::Int),
+                ],
             ),
             "productId",
         )
@@ -131,14 +151,18 @@ fn join_cache_rebuilds_after_kill() {
         )
         .unwrap();
     for i in 0..10 {
-        shell.produce("Orders", order(i, (i % 3) as i32, i, 1)).unwrap();
+        shell
+            .produce("Orders", order(i, (i % 3) as i32, i, 1))
+            .unwrap();
     }
     handle.await_outputs(10, Duration::from_secs(10)).unwrap();
 
     handle.kill_container(0).unwrap();
 
     for i in 10..20 {
-        shell.produce("Orders", order(i, (i % 3) as i32, i, 1)).unwrap();
+        shell
+            .produce("Orders", order(i, (i % 3) as i32, i, 1))
+            .unwrap();
     }
     let rows = handle.await_outputs(10, Duration::from_secs(15)).unwrap();
     // Every post-failure order joined correctly: the bootstrap cache was

@@ -9,11 +9,19 @@ use std::time::Duration;
 
 fn trading_shell() -> (SamzaSqlShell, Broker) {
     let broker = Broker::new();
-    broker.create_topic("asks", TopicConfig::with_partitions(2)).unwrap();
-    broker.create_topic("bids", TopicConfig::with_partitions(2)).unwrap();
+    broker
+        .create_topic("asks", TopicConfig::with_partitions(2))
+        .unwrap();
+    broker
+        .create_topic("bids", TopicConfig::with_partitions(2))
+        .unwrap();
     let mut shell = SamzaSqlShell::new(broker.clone());
-    shell.register_stream("Asks", "asks", trades_schema("Asks"), "rowtime").unwrap();
-    shell.register_stream("Bids", "bids", trades_schema("Bids"), "rowtime").unwrap();
+    shell
+        .register_stream("Asks", "asks", trades_schema("Asks"), "rowtime")
+        .unwrap();
+    shell
+        .register_stream("Bids", "bids", trades_schema("Bids"), "rowtime")
+        .unwrap();
     (shell, broker)
 }
 
@@ -42,10 +50,18 @@ fn ask_bid_window_join_matches_same_ticker_within_window() {
         )
         .unwrap();
 
-    shell.produce("Asks", trade(1_000, 1, "ORCL", 100, 101.5)).unwrap();
-    shell.produce("Bids", trade(1_400, 2, "ORCL", 100, 100.0)).unwrap(); // matches
-    shell.produce("Bids", trade(1_500, 3, "MSFT", 50, 200.0)).unwrap(); // wrong ticker
-    shell.produce("Bids", trade(9_000, 4, "ORCL", 10, 99.0)).unwrap(); // outside window
+    shell
+        .produce("Asks", trade(1_000, 1, "ORCL", 100, 101.5))
+        .unwrap();
+    shell
+        .produce("Bids", trade(1_400, 2, "ORCL", 100, 100.0))
+        .unwrap(); // matches
+    shell
+        .produce("Bids", trade(1_500, 3, "MSFT", 50, 200.0))
+        .unwrap(); // wrong ticker
+    shell
+        .produce("Bids", trade(9_000, 4, "ORCL", 10, 99.0))
+        .unwrap(); // outside window
 
     let rows = handle.await_outputs(1, Duration::from_secs(10)).unwrap();
     assert_eq!(rows.len(), 1, "{rows:?}");
@@ -101,9 +117,14 @@ fn bounded_top_trades_report() {
         )
         .unwrap();
     assert!(rows.len() <= 5);
-    let prices: Vec<f64> =
-        rows.iter().map(|r| r.field("price").unwrap().as_f64().unwrap()).collect();
-    assert!(prices.windows(2).all(|w| w[0] >= w[1]), "descending: {prices:?}");
+    let prices: Vec<f64> = rows
+        .iter()
+        .map(|r| r.field("price").unwrap().as_f64().unwrap())
+        .collect();
+    assert!(
+        prices.windows(2).all(|w| w[0] >= w[1]),
+        "descending: {prices:?}"
+    );
     for r in &rows {
         assert!(r.field("shares").unwrap().as_i64().unwrap() > 500);
     }

@@ -16,7 +16,14 @@ fn agg(func: AggFunc, arg: Option<usize>) -> CompiledAgg {
         &AggCall {
             func,
             arg: arg.map(|i| {
-                ScalarExpr::input(i, if i == 0 { Schema::Timestamp } else { Schema::Int })
+                ScalarExpr::input(
+                    i,
+                    if i == 0 {
+                        Schema::Timestamp
+                    } else {
+                        Schema::Int
+                    },
+                )
             }),
             distinct: false,
             output_name: "a".into(),

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn orders_shell() -> SamzaSqlShell {
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(1))
+        .unwrap();
     let mut shell = SamzaSqlShell::new(broker);
     shell
         .register_stream(
@@ -96,13 +98,19 @@ fn sustained_kv_traffic_exhausts_burst_credits() {
     let throttle = Arc::new(IoThrottle::new(1_000_000, 5_000_000)); // 1 MB/s, 5 MB burst
     let broker = Broker::new();
     broker.set_throttle(Some(throttle.clone()));
-    broker.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("t", TopicConfig::with_partitions(1))
+        .unwrap();
     // Simulate the changelog traffic of a KV-heavy window job: ~100-byte
     // writes, far above the sustained rate.
     let payload = vec![0u8; 100];
     for _ in 0..100_000 {
         broker
-            .produce("t", 0, samzasql_kafka::Message::new(bytes::Bytes::copy_from_slice(&payload)))
+            .produce(
+                "t",
+                0,
+                samzasql_kafka::Message::new(bytes::Bytes::copy_from_slice(&payload)),
+            )
             .unwrap();
     }
     assert!(

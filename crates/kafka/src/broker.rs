@@ -33,18 +33,30 @@ struct BrokerInner {
 }
 
 impl Broker {
-    /// Create an empty broker.
+    /// Create an empty broker with its own coordination service.
     pub fn new() -> Self {
+        Broker::with_coord(samzasql_coord::Coord::new())
+    }
+
+    /// Create an empty broker whose group coordinator runs over a shared
+    /// coordination service — so consumer-group membership, container
+    /// liveness, and query metadata can live in one znode tree.
+    pub fn with_coord(coord: samzasql_coord::Coord) -> Self {
         Broker {
             inner: Arc::new(BrokerInner {
                 topics: RwLock::new(HashMap::new()),
                 replicas: Mutex::new(HashMap::new()),
                 offsets: OffsetStore::new(),
-                groups: GroupCoordinator::new(),
+                groups: GroupCoordinator::with_coord(coord),
                 metrics: BrokerMetrics::default(),
                 throttle: RwLock::new(None),
             }),
         }
+    }
+
+    /// The coordination service backing this broker's group coordinator.
+    pub fn coord(&self) -> &samzasql_coord::Coord {
+        self.inner.groups.coord()
     }
 
     /// Install an I/O throttle applied to all produce traffic (simulates the
@@ -133,7 +145,10 @@ impl Broker {
             .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
         let log = t
             .partition(partition)
-            .ok_or_else(|| KafkaError::UnknownPartition { topic: topic.to_string(), partition })?;
+            .ok_or_else(|| KafkaError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })?;
         if acks == AckMode::All {
             let reps = self.inner.replicas.lock();
             if let Some(rs) = reps.get(&TopicPartition::new(topic, partition)) {
@@ -165,10 +180,19 @@ impl Broker {
             .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
         let log = t
             .partition(partition)
-            .ok_or_else(|| KafkaError::UnknownPartition { topic: topic.to_string(), partition })?;
+            .ok_or_else(|| KafkaError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })?;
         let result = log.read().fetch(offset, max_records)?;
-        let bytes: u64 = result.records.iter().map(|r| r.message.payload_len() as u64).sum();
-        self.inner.metrics.record_fetch(result.records.len() as u64, bytes);
+        let bytes: u64 = result
+            .records
+            .iter()
+            .map(|r| r.message.payload_len() as u64)
+            .sum();
+        self.inner
+            .metrics
+            .record_fetch(result.records.len() as u64, bytes);
         Ok(result)
     }
 
@@ -179,7 +203,10 @@ impl Broker {
             .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
         let log = t
             .partition(partition)
-            .ok_or_else(|| KafkaError::UnknownPartition { topic: topic.to_string(), partition })?;
+            .ok_or_else(|| KafkaError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })?;
         let off = log.read().start_offset();
         Ok(off)
     }
@@ -191,7 +218,10 @@ impl Broker {
             .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
         let log = t
             .partition(partition)
-            .ok_or_else(|| KafkaError::UnknownPartition { topic: topic.to_string(), partition })?;
+            .ok_or_else(|| KafkaError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })?;
         let off = log.read().end_offset();
         Ok(off)
     }
@@ -234,7 +264,9 @@ impl Default for Broker {
 
 impl std::fmt::Debug for Broker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Broker").field("topics", &self.topic_names()).finish()
+        f.debug_struct("Broker")
+            .field("topics", &self.topic_names())
+            .finish()
     }
 }
 
@@ -247,7 +279,8 @@ mod tests {
     #[test]
     fn create_and_lookup_topics() {
         let b = Broker::new();
-        b.create_topic("a", TopicConfig::with_partitions(2)).unwrap();
+        b.create_topic("a", TopicConfig::with_partitions(2))
+            .unwrap();
         assert!(b.topic("a").is_some());
         assert!(b.topic("b").is_none());
         assert_eq!(b.partition_count("a").unwrap(), 2);
@@ -269,8 +302,12 @@ mod tests {
     #[test]
     fn ensure_topic_is_idempotent() {
         let b = Broker::new();
-        let t1 = b.ensure_topic("t", TopicConfig::with_partitions(3)).unwrap();
-        let t2 = b.ensure_topic("t", TopicConfig::with_partitions(5)).unwrap();
+        let t1 = b
+            .ensure_topic("t", TopicConfig::with_partitions(3))
+            .unwrap();
+        let t2 = b
+            .ensure_topic("t", TopicConfig::with_partitions(5))
+            .unwrap();
         assert_eq!(t1.partition_count(), 3);
         assert_eq!(t2.partition_count(), 3, "second ensure must not recreate");
     }
@@ -278,7 +315,8 @@ mod tests {
     #[test]
     fn produce_fetch_roundtrip() {
         let b = Broker::new();
-        b.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+        b.create_topic("t", TopicConfig::with_partitions(1))
+            .unwrap();
         let o1 = b.produce("t", 0, Message::new("a")).unwrap();
         let o2 = b.produce("t", 0, Message::new("b")).unwrap();
         assert_eq!((o1, o2), (0, 1));
@@ -295,7 +333,8 @@ mod tests {
             b.produce("nope", 0, Message::new("x")),
             Err(KafkaError::UnknownTopic(_))
         ));
-        b.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+        b.create_topic("t", TopicConfig::with_partitions(1))
+            .unwrap();
         assert!(matches!(
             b.produce("t", 9, Message::new("x")),
             Err(KafkaError::UnknownPartition { .. })
@@ -328,7 +367,8 @@ mod tests {
     #[test]
     fn metrics_track_traffic() {
         let b = Broker::new();
-        b.create_topic("t", TopicConfig::with_partitions(1)).unwrap();
+        b.create_topic("t", TopicConfig::with_partitions(1))
+            .unwrap();
         b.produce("t", 0, Message::new("abcd")).unwrap();
         b.fetch("t", 0, 0, 10).unwrap();
         let (mi, bi, mo, bo) = b.metrics().snapshot();

@@ -32,7 +32,11 @@ pub struct Consumer {
 
 impl Consumer {
     pub fn new(broker: Broker) -> Self {
-        Consumer { broker, positions: BTreeMap::new(), rotation: 0 }
+        Consumer {
+            broker,
+            positions: BTreeMap::new(),
+            rotation: 0,
+        }
     }
 
     /// Assign a range of partitions of `topic`, starting at each partition's
@@ -76,14 +80,20 @@ impl Consumer {
     /// Rewind every assigned partition to its log start offset.
     pub fn seek_to_beginning(&mut self) {
         for (tp, pos) in self.positions.iter_mut() {
-            *pos = self.broker.start_offset(&tp.topic, tp.partition).unwrap_or(0);
+            *pos = self
+                .broker
+                .start_offset(&tp.topic, tp.partition)
+                .unwrap_or(0);
         }
     }
 
     /// Fast-forward every assigned partition to its log end offset.
     pub fn seek_to_end(&mut self) {
         for (tp, pos) in self.positions.iter_mut() {
-            *pos = self.broker.end_offset(&tp.topic, tp.partition).unwrap_or(*pos);
+            *pos = self
+                .broker
+                .end_offset(&tp.topic, tp.partition)
+                .unwrap_or(*pos);
         }
     }
 
@@ -114,7 +124,10 @@ impl Consumer {
                 break;
             }
             let tp = &tps[(self.rotation + i) % n];
-            let pos = *self.positions.get(tp).expect("assigned partition has a position");
+            let pos = *self
+                .positions
+                .get(tp)
+                .expect("assigned partition has a position");
             let budget = max_records - out.len();
             let fetched = match self.broker.fetch(&tp.topic, tp.partition, pos, budget) {
                 Ok(f) => f,
@@ -162,7 +175,9 @@ impl Consumer {
 
 impl std::fmt::Debug for Consumer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Consumer").field("assignment", &self.assignment()).finish()
+        f.debug_struct("Consumer")
+            .field("assignment", &self.assignment())
+            .finish()
     }
 }
 
@@ -174,7 +189,8 @@ mod tests {
 
     fn broker_with(topic: &str, partitions: u32) -> Broker {
         let b = Broker::new();
-        b.create_topic(topic, TopicConfig::with_partitions(partitions)).unwrap();
+        b.create_topic(topic, TopicConfig::with_partitions(partitions))
+            .unwrap();
         b
     }
 
@@ -196,7 +212,8 @@ mod tests {
     fn poll_rotates_across_partitions() {
         let b = broker_with("t", 2);
         for i in 0..4u8 {
-            b.produce("t", (i % 2) as u32, Message::new(vec![i])).unwrap();
+            b.produce("t", (i % 2) as u32, Message::new(vec![i]))
+                .unwrap();
         }
         let mut c = Consumer::new(b);
         c.assign("t", 0..2);
@@ -269,9 +286,11 @@ mod tests {
         let recs2 = c.poll(100);
         let got = recs1.len() + recs2.len();
         assert!(got > 0, "consumer recovers after falling behind retention");
-        let all: Vec<u64> =
-            recs1.iter().chain(&recs2).map(|r| r.offset).collect();
-        assert!(all.windows(2).all(|w| w[1] == w[0] + 1), "still in order: {all:?}");
+        let all: Vec<u64> = recs1.iter().chain(&recs2).map(|r| r.offset).collect();
+        assert!(
+            all.windows(2).all(|w| w[1] == w[0] + 1),
+            "still in order: {all:?}"
+        );
     }
 
     #[test]

@@ -28,7 +28,16 @@ pub enum KafkaError {
     /// A consumer-group operation referenced an unknown group or member.
     UnknownGroup(String),
     /// A group member attempted an operation with a stale generation id.
-    StaleGeneration { group: String, expected: u64, actual: u64 },
+    StaleGeneration {
+        group: String,
+        expected: u64,
+        actual: u64,
+    },
+    /// A group operation referenced a member the group no longer knows —
+    /// typically because its coordination session expired and it was evicted.
+    UnknownMember { group: String, member: String },
+    /// The coordination service rejected an operation.
+    Coordination(String),
     /// Invalid configuration value.
     InvalidConfig(String),
 }
@@ -53,6 +62,10 @@ impl fmt::Display for KafkaError {
                 f,
                 "stale generation for group {group}: expected {expected}, got {actual}"
             ),
+            KafkaError::UnknownMember { group, member } => {
+                write!(f, "unknown member {member} of group {group}")
+            }
+            KafkaError::Coordination(msg) => write!(f, "coordination: {msg}"),
             KafkaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }

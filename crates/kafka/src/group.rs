@@ -5,12 +5,30 @@
 //! SamzaSQL shell and auxiliary consumers (e.g. the metadata tailer) use
 //! plain consumer groups, so the broker carries a coordinator with the two
 //! classic assignors.
+//!
+//! Membership is backed by the coordination service: each member owns a
+//! session and an ephemeral node under `/kafka/groups/<group>` (the
+//! [`GroupMembership`] recipe). Members heartbeat through
+//! [`GroupCoordinator::heartbeat`]; a member whose session expires loses its
+//! ephemeral node, the coordinator's membership watch marks the group dirty,
+//! and the next coordinator operation (or an explicit
+//! [`GroupCoordinator::sync`]) evicts the corpse and rebalances its
+//! partitions across the survivors. This closes the old gap where a vanished
+//! member kept its partitions assigned forever.
 
 use crate::broker::Broker;
 use crate::error::{KafkaError, Result};
 use crate::message::TopicPartition;
 use parking_lot::Mutex;
+use samzasql_coord::recipes::GroupMembership;
+use samzasql_coord::{Coord, CoordError, SessionId};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Default session timeout for group members, in coordination-clock ms.
+/// Deliberately much shorter than the container liveness timeout so tests
+/// can expire consumers without collaterally expiring containers.
+const DEFAULT_SESSION_TIMEOUT_MS: u64 = 10_000;
 
 /// Partition assignment strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,17 +58,51 @@ struct GroupState {
     subscriptions: BTreeMap<String, Vec<String>>, // member -> topics
     assignor: Assignor,
     assignments: BTreeMap<String, Vec<TopicPartition>>,
+    /// Coordination session backing each member's ephemeral node.
+    sessions: BTreeMap<String, SessionId>,
+    /// Whether the dirty-marking membership watch is armed for this group.
+    watched: bool,
 }
 
 /// Broker-side group coordinator.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GroupCoordinator {
+    coord: Coord,
     groups: Mutex<BTreeMap<String, GroupState>>,
+    /// Groups whose coordination-service membership changed behind our back
+    /// (ephemeral nodes appeared/vanished); reconciled lazily by
+    /// [`GroupCoordinator::sync`] and at the top of every operation.
+    dirty: Arc<Mutex<BTreeSet<String>>>,
+    session_timeout_ms: u64,
+}
+
+fn coord_err(e: CoordError) -> KafkaError {
+    KafkaError::Coordination(e.to_string())
 }
 
 impl GroupCoordinator {
     pub fn new() -> Self {
-        GroupCoordinator::default()
+        GroupCoordinator::with_coord(Coord::new())
+    }
+
+    /// A coordinator over a shared coordination service (so the rest of the
+    /// stack can observe and fault-inject group membership).
+    pub fn with_coord(coord: Coord) -> Self {
+        GroupCoordinator {
+            coord,
+            groups: Mutex::new(BTreeMap::new()),
+            dirty: Arc::new(Mutex::new(BTreeSet::new())),
+            session_timeout_ms: DEFAULT_SESSION_TIMEOUT_MS,
+        }
+    }
+
+    /// The coordination service backing group membership.
+    pub fn coord(&self) -> &Coord {
+        &self.coord
+    }
+
+    fn group_path(group: &str) -> String {
+        format!("/kafka/groups/{group}")
     }
 
     /// Join `group` subscribing to `topics`; triggers a rebalance and returns
@@ -65,34 +117,150 @@ impl GroupCoordinator {
         topics: &[&str],
         assignor: Assignor,
     ) -> Result<GroupMember> {
+        self.process_dirty(broker)?;
+        let membership =
+            GroupMembership::new(self.coord.clone(), Self::group_path(group)).map_err(coord_err)?;
         let mut groups = self.groups.lock();
         let state = groups.entry(group.to_string()).or_default();
         state.assignor = assignor;
+        // Reuse the member's live session on re-join; mint a fresh one if it
+        // is new or its previous session expired.
+        let session = match state.sessions.get(member_id) {
+            Some(s) if self.coord.session_alive(*s) => *s,
+            _ => {
+                let s = self.coord.create_session(self.session_timeout_ms);
+                state.sessions.insert(member_id.to_string(), s);
+                s
+            }
+        };
+        membership.join(session, member_id, "").map_err(coord_err)?;
+        if !state.watched {
+            let dirty = self.dirty.clone();
+            let g = group.to_string();
+            membership
+                .watch(move |_members| {
+                    dirty.lock().insert(g.clone());
+                })
+                .map_err(coord_err)?;
+            state.watched = true;
+        }
         state.members.insert(member_id.to_string());
-        state
-            .subscriptions
-            .insert(member_id.to_string(), topics.iter().map(|s| s.to_string()).collect());
+        state.subscriptions.insert(
+            member_id.to_string(),
+            topics.iter().map(|s| s.to_string()).collect(),
+        );
         state.generation += 1;
         Self::rebalance(broker, state)?;
         Ok(GroupMember {
             group: group.to_string(),
             member_id: member_id.to_string(),
             generation: state.generation,
-            assignment: state.assignments.get(member_id).cloned().unwrap_or_default(),
+            assignment: state
+                .assignments
+                .get(member_id)
+                .cloned()
+                .unwrap_or_default(),
         })
+    }
+
+    /// Heartbeat a member's session, keeping its ephemeral node (and thus
+    /// its partitions) alive, and return the group's current generation so
+    /// the member can detect rebalances. Errs with
+    /// [`KafkaError::UnknownMember`] once the member's session has expired.
+    pub fn heartbeat(&self, broker: &Broker, group: &str, member_id: &str) -> Result<u64> {
+        self.process_dirty(broker)?;
+        let session = {
+            let groups = self.groups.lock();
+            let state = groups
+                .get(group)
+                .ok_or_else(|| KafkaError::UnknownGroup(group.to_string()))?;
+            *state
+                .sessions
+                .get(member_id)
+                .ok_or_else(|| KafkaError::UnknownMember {
+                    group: group.to_string(),
+                    member: member_id.to_string(),
+                })?
+        };
+        if self.coord.heartbeat(session).is_err() {
+            // Session expired between eviction sweeps: the member is gone,
+            // its partitions will be (or already were) reassigned.
+            return Err(KafkaError::UnknownMember {
+                group: group.to_string(),
+                member: member_id.to_string(),
+            });
+        }
+        self.generation(group)
+            .ok_or_else(|| KafkaError::UnknownGroup(group.to_string()))
+    }
+
+    /// Reconcile every group whose coordination-service membership changed:
+    /// members whose ephemeral nodes vanished (session expiry) are evicted
+    /// and their partitions rebalanced across the survivors.
+    pub fn sync(&self, broker: &Broker) -> Result<()> {
+        self.process_dirty(broker)
+    }
+
+    fn process_dirty(&self, broker: &Broker) -> Result<()> {
+        let dirty: Vec<String> = std::mem::take(&mut *self.dirty.lock())
+            .into_iter()
+            .collect();
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        let mut groups = self.groups.lock();
+        for group in dirty {
+            let Some(state) = groups.get_mut(&group) else {
+                continue;
+            };
+            let live: BTreeSet<String> = self
+                .coord
+                .children(Self::group_path(&group))
+                .unwrap_or_default()
+                .into_iter()
+                .collect();
+            let gone: Vec<String> = state
+                .members
+                .iter()
+                .filter(|m| !live.contains(*m))
+                .cloned()
+                .collect();
+            if gone.is_empty() {
+                continue;
+            }
+            for m in &gone {
+                state.members.remove(m);
+                state.subscriptions.remove(m);
+                state.assignments.remove(m);
+                state.sessions.remove(m);
+            }
+            state.generation += 1;
+            Self::rebalance(broker, state)?;
+        }
+        Ok(())
     }
 
     /// Leave a group, triggering a rebalance for the remaining members.
     pub fn leave(&self, broker: &Broker, group: &str, member_id: &str) -> Result<()> {
-        let mut groups = self.groups.lock();
-        let state = groups
-            .get_mut(group)
-            .ok_or_else(|| KafkaError::UnknownGroup(group.to_string()))?;
-        state.members.remove(member_id);
-        state.subscriptions.remove(member_id);
-        state.assignments.remove(member_id);
-        state.generation += 1;
-        Self::rebalance(broker, state)?;
+        self.process_dirty(broker)?;
+        let session = {
+            let mut groups = self.groups.lock();
+            let state = groups
+                .get_mut(group)
+                .ok_or_else(|| KafkaError::UnknownGroup(group.to_string()))?;
+            state.members.remove(member_id);
+            state.subscriptions.remove(member_id);
+            state.assignments.remove(member_id);
+            let session = state.sessions.remove(member_id);
+            state.generation += 1;
+            Self::rebalance(broker, state)?;
+            session
+        };
+        // Retire the session outside the groups lock: deleting the ephemeral
+        // node fires the membership watch synchronously.
+        if let Some(s) = session {
+            let _ = self.coord.close_session(s);
+        }
         Ok(())
     }
 
@@ -114,12 +282,26 @@ impl GroupCoordinator {
                 actual: generation,
             });
         }
-        Ok(state.assignments.get(member_id).cloned().unwrap_or_default())
+        Ok(state
+            .assignments
+            .get(member_id)
+            .cloned()
+            .unwrap_or_default())
     }
 
     /// Current generation of a group.
     pub fn generation(&self, group: &str) -> Option<u64> {
         self.groups.lock().get(group).map(|s| s.generation)
+    }
+
+    /// The coordination session backing a member (for fault injection).
+    pub fn member_session(&self, group: &str, member_id: &str) -> Option<SessionId> {
+        self.groups
+            .lock()
+            .get(group)?
+            .sessions
+            .get(member_id)
+            .copied()
     }
 
     fn rebalance(broker: &Broker, state: &mut GroupState) -> Result<()> {
@@ -142,7 +324,10 @@ impl GroupCoordinator {
                     let subscribed: Vec<&String> = members
                         .iter()
                         .filter(|m| {
-                            state.subscriptions.get(*m).is_some_and(|ts| ts.contains(topic))
+                            state
+                                .subscriptions
+                                .get(*m)
+                                .is_some_and(|ts| ts.contains(topic))
                         })
                         .collect();
                     if subscribed.is_empty() {
@@ -170,7 +355,10 @@ impl GroupCoordinator {
                     let subscribed: Vec<&String> = members
                         .iter()
                         .filter(|m| {
-                            state.subscriptions.get(*m).is_some_and(|ts| ts.contains(topic))
+                            state
+                                .subscriptions
+                                .get(*m)
+                                .is_some_and(|ts| ts.contains(topic))
                         })
                         .collect();
                     if subscribed.is_empty() {
@@ -192,6 +380,12 @@ impl GroupCoordinator {
     }
 }
 
+impl Default for GroupCoordinator {
+    fn default() -> Self {
+        GroupCoordinator::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,7 +393,8 @@ mod tests {
 
     fn broker() -> Broker {
         let b = Broker::new();
-        b.create_topic("t", TopicConfig::with_partitions(8)).unwrap();
+        b.create_topic("t", TopicConfig::with_partitions(8))
+            .unwrap();
         b
     }
 
@@ -226,8 +421,7 @@ mod tests {
         let ps1: Vec<u32> = a1.iter().map(|tp| tp.partition).collect();
         assert!(ps1.windows(2).all(|w| w[1] == w[0] + 1), "{ps1:?}");
         // Disjoint and complete.
-        let mut all: Vec<u32> =
-            a1.iter().chain(&a2).map(|tp| tp.partition).collect();
+        let mut all: Vec<u32> = a1.iter().chain(&a2).map(|tp| tp.partition).collect();
         all.sort_unstable();
         assert_eq!(all, (0..8).collect::<Vec<_>>());
     }
@@ -236,9 +430,12 @@ mod tests {
     fn round_robin_deals_partitions() {
         let b = broker();
         let gc = b.group_coordinator();
-        gc.join(&b, "g", "m1", &["t"], Assignor::RoundRobin).unwrap();
-        gc.join(&b, "g", "m2", &["t"], Assignor::RoundRobin).unwrap();
-        gc.join(&b, "g", "m3", &["t"], Assignor::RoundRobin).unwrap();
+        gc.join(&b, "g", "m1", &["t"], Assignor::RoundRobin)
+            .unwrap();
+        gc.join(&b, "g", "m2", &["t"], Assignor::RoundRobin)
+            .unwrap();
+        gc.join(&b, "g", "m3", &["t"], Assignor::RoundRobin)
+            .unwrap();
         let gen = gc.generation("g").unwrap();
         let sizes: Vec<usize> = ["m1", "m2", "m3"]
             .iter()
@@ -276,7 +473,80 @@ mod tests {
     fn unknown_group_errors() {
         let b = broker();
         let gc = b.group_coordinator();
-        assert!(matches!(gc.assignment("nope", "m", 1), Err(KafkaError::UnknownGroup(_))));
-        assert!(matches!(gc.leave(&b, "nope", "m"), Err(KafkaError::UnknownGroup(_))));
+        assert!(matches!(
+            gc.assignment("nope", "m", 1),
+            Err(KafkaError::UnknownGroup(_))
+        ));
+        assert!(matches!(
+            gc.leave(&b, "nope", "m"),
+            Err(KafkaError::UnknownGroup(_))
+        ));
+    }
+
+    #[test]
+    fn expired_member_is_evicted_and_partitions_reassigned() {
+        let b = broker();
+        let gc = b.group_coordinator();
+        let coord = gc.coord().clone();
+        gc.join(&b, "g", "m1", &["t"], Assignor::Range).unwrap();
+        let m2 = gc.join(&b, "g", "m2", &["t"], Assignor::Range).unwrap();
+        assert_eq!(m2.assignment.len(), 4);
+
+        // m1 keeps heartbeating across the timeout window; m2 goes silent.
+        coord.advance(6_000);
+        gc.heartbeat(&b, "g", "m1").unwrap();
+        coord.advance(6_000); // m2's session (10s timeout) is now overdue
+        gc.sync(&b).unwrap();
+
+        let gen = gc.generation("g").unwrap();
+        assert_eq!(gen, m2.generation + 1, "eviction bumped the generation");
+        let a1 = gc.assignment("g", "m1", gen).unwrap();
+        assert_eq!(a1.len(), 8, "survivor owns every partition");
+        assert!(matches!(
+            gc.heartbeat(&b, "g", "m2"),
+            Err(KafkaError::UnknownMember { .. })
+        ));
+    }
+
+    #[test]
+    fn heartbeat_reports_generation_and_keeps_member_alive() {
+        let b = broker();
+        let gc = b.group_coordinator();
+        let coord = gc.coord().clone();
+        let m1 = gc.join(&b, "g", "m1", &["t"], Assignor::Range).unwrap();
+        for _ in 0..5 {
+            coord.advance(6_000);
+            let gen = gc.heartbeat(&b, "g", "m1").unwrap();
+            assert_eq!(gen, m1.generation, "no rebalance while alone and alive");
+        }
+        assert_eq!(gc.assignment("g", "m1", m1.generation).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn force_expiry_triggers_rebalance_without_clock_advance() {
+        let b = broker();
+        let gc = b.group_coordinator();
+        let coord = gc.coord().clone();
+        gc.join(&b, "g", "m1", &["t"], Assignor::Range).unwrap();
+        gc.join(&b, "g", "m2", &["t"], Assignor::Range).unwrap();
+        let s2 = gc.member_session("g", "m2").unwrap();
+        coord.force_expire(s2).unwrap();
+        // The next heartbeat from the survivor reconciles the group.
+        let gen = gc.heartbeat(&b, "g", "m1").unwrap();
+        assert_eq!(gc.assignment("g", "m1", gen).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn rejoin_after_expiry_gets_fresh_session() {
+        let b = broker();
+        let gc = b.group_coordinator();
+        let coord = gc.coord().clone();
+        gc.join(&b, "g", "m1", &["t"], Assignor::Range).unwrap();
+        let s1 = gc.member_session("g", "m1").unwrap();
+        coord.force_expire(s1).unwrap();
+        let m1 = gc.join(&b, "g", "m1", &["t"], Assignor::Range).unwrap();
+        assert_ne!(gc.member_session("g", "m1").unwrap(), s1);
+        assert_eq!(m1.assignment.len(), 8);
+        gc.heartbeat(&b, "g", "m1").unwrap();
     }
 }

@@ -40,7 +40,11 @@ pub struct SegmentConfig {
 
 impl Default for SegmentConfig {
     fn default() -> Self {
-        SegmentConfig { segment_max_records: 4096, retention_bytes: 0, retention_ms: 0 }
+        SegmentConfig {
+            segment_max_records: 4096,
+            retention_bytes: 0,
+            retention_ms: 0,
+        }
     }
 }
 
@@ -56,7 +60,12 @@ struct Segment {
 
 impl Segment {
     fn new(base_offset: u64) -> Self {
-        Segment { base_offset, records: Vec::new(), bytes: 0, max_append_time: i64::MIN }
+        Segment {
+            base_offset,
+            records: Vec::new(),
+            bytes: 0,
+            max_append_time: i64::MIN,
+        }
     }
 
     fn next_offset(&self) -> u64 {
@@ -103,7 +112,10 @@ impl PartitionLog {
 
     /// Offset that will be assigned to the next appended record.
     pub fn end_offset(&self) -> u64 {
-        self.segments.back().map(|s| s.next_offset()).unwrap_or(self.start_offset)
+        self.segments
+            .back()
+            .map(|s| s.next_offset())
+            .unwrap_or(self.start_offset)
     }
 
     /// First retained offset.
@@ -151,7 +163,12 @@ impl PartitionLog {
         let offset = seg.next_offset();
         seg.max_append_time = seg.max_append_time.max(append_time);
         seg.bytes += bytes;
-        seg.records.push(Record { offset, timestamp: message.timestamp, append_time, message });
+        seg.records.push(Record {
+            offset,
+            timestamp: message.timestamp,
+            append_time,
+            message,
+        });
         self.total_bytes += bytes;
         self.enforce_retention();
         offset
@@ -194,7 +211,10 @@ impl PartitionLog {
                 }
             }
         }
-        Ok(FetchResult { records, high_watermark: end })
+        Ok(FetchResult {
+            records,
+            high_watermark: end,
+        })
     }
 
     /// Find the earliest offset whose record timestamp is `>= ts`, mirroring
@@ -296,7 +316,10 @@ mod tests {
     #[test]
     fn fetch_out_of_range_errors() {
         let log = log_with(4, 0);
-        assert!(matches!(log.fetch(5, 1), Err(KafkaError::OffsetOutOfRange { .. })));
+        assert!(matches!(
+            log.fetch(5, 1),
+            Err(KafkaError::OffsetOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -320,7 +343,11 @@ mod tests {
         let mut log = PartitionLog::new(
             "t",
             0,
-            SegmentConfig { segment_max_records: 2, retention_bytes: 0, retention_ms: 10 },
+            SegmentConfig {
+                segment_max_records: 2,
+                retention_bytes: 0,
+                retention_ms: 10,
+            },
         );
         for t in 0..8 {
             log.append_at(Message::new("x"), t * 5);

@@ -24,12 +24,20 @@ pub struct Message {
 impl Message {
     /// Create an un-keyed message with timestamp 0.
     pub fn new(value: impl Into<Bytes>) -> Self {
-        Message { key: None, value: value.into(), timestamp: 0 }
+        Message {
+            key: None,
+            value: value.into(),
+            timestamp: 0,
+        }
     }
 
     /// Create a keyed message with timestamp 0.
     pub fn keyed(key: impl Into<Bytes>, value: impl Into<Bytes>) -> Self {
-        Message { key: Some(key.into()), value: value.into(), timestamp: 0 }
+        Message {
+            key: Some(key.into()),
+            value: value.into(),
+            timestamp: 0,
+        }
     }
 
     /// Attach an event timestamp (builder style).
@@ -54,7 +62,10 @@ pub struct TopicPartition {
 
 impl TopicPartition {
     pub fn new(topic: impl Into<String>, partition: u32) -> Self {
-        TopicPartition { topic: topic.into(), partition }
+        TopicPartition {
+            topic: topic.into(),
+            partition,
+        }
     }
 }
 

@@ -45,7 +45,12 @@ impl BrokerMetrics {
     /// Snapshot of all four counters (in-messages, in-bytes, out-messages,
     /// out-bytes).
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
-        (self.messages_in(), self.bytes_in(), self.messages_out(), self.bytes_out())
+        (
+            self.messages_in(),
+            self.bytes_in(),
+            self.messages_out(),
+            self.bytes_out(),
+        )
     }
 }
 

@@ -20,12 +20,17 @@ impl OffsetStore {
 
     /// Commit `offset` for `group` on `tp` (overwrites any previous commit).
     pub fn commit(&self, group: &str, tp: TopicPartition, offset: u64) {
-        self.committed.write().insert((group.to_string(), tp), offset);
+        self.committed
+            .write()
+            .insert((group.to_string(), tp), offset);
     }
 
     /// Fetch the committed offset, if any.
     pub fn fetch(&self, group: &str, tp: &TopicPartition) -> Option<u64> {
-        self.committed.read().get(&(group.to_string(), tp.clone())).copied()
+        self.committed
+            .read()
+            .get(&(group.to_string(), tp.clone()))
+            .copied()
     }
 
     /// Drop all commits of a group (used when simulating group resets).
@@ -83,7 +88,10 @@ mod tests {
         let commits = s.group_commits("g");
         assert_eq!(
             commits,
-            vec![(TopicPartition::new("t", 0), 5), (TopicPartition::new("t", 2), 20)]
+            vec![
+                (TopicPartition::new("t", 0), 5),
+                (TopicPartition::new("t", 2), 20)
+            ]
         );
     }
 }

@@ -23,11 +23,15 @@ pub enum Partitioner {
 
 impl Partitioner {
     pub fn key_hash() -> Self {
-        Partitioner::KeyHash { round_robin: AtomicU64::new(0) }
+        Partitioner::KeyHash {
+            round_robin: AtomicU64::new(0),
+        }
     }
 
     pub fn round_robin() -> Self {
-        Partitioner::RoundRobin { counter: AtomicU64::new(0) }
+        Partitioner::RoundRobin {
+            counter: AtomicU64::new(0),
+        }
     }
 
     /// Choose the partition for `message` among `partitions` partitions.
@@ -100,6 +104,9 @@ mod tests {
             let m = Message::keyed(format!("key-{i}"), "x");
             seen.insert(p.partition(&m, 16));
         }
-        assert!(seen.len() >= 12, "200 keys over 16 partitions should hit most: {seen:?}");
+        assert!(
+            seen.len() >= 12,
+            "200 keys over 16 partitions should hit most: {seen:?}"
+        );
     }
 }

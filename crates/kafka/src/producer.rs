@@ -24,17 +24,29 @@ pub struct Producer {
 impl Producer {
     /// Producer using key-hash partitioning (the Kafka default).
     pub fn key_hash(broker: Broker) -> Self {
-        Producer { broker, partitioner: Partitioner::key_hash(), acks: AckMode::Leader }
+        Producer {
+            broker,
+            partitioner: Partitioner::key_hash(),
+            acks: AckMode::Leader,
+        }
     }
 
     /// Producer using round-robin partitioning.
     pub fn round_robin(broker: Broker) -> Self {
-        Producer { broker, partitioner: Partitioner::round_robin(), acks: AckMode::Leader }
+        Producer {
+            broker,
+            partitioner: Partitioner::round_robin(),
+            acks: AckMode::Leader,
+        }
     }
 
     /// Producer with an explicit partitioner.
     pub fn with_partitioner(broker: Broker, partitioner: Partitioner) -> Self {
-        Producer { broker, partitioner, acks: AckMode::Leader }
+        Producer {
+            broker,
+            partitioner,
+            acks: AckMode::Leader,
+        }
     }
 
     /// Override the acknowledgement mode (builder style).
@@ -47,13 +59,17 @@ impl Producer {
     pub fn send(&self, topic: &str, message: Message) -> Result<RecordMetadata> {
         let partitions = self.broker.partition_count(topic)?;
         let partition = self.partitioner.partition(&message, partitions);
-        let offset = self.broker.produce_with_acks(topic, partition, message, self.acks)?;
+        let offset = self
+            .broker
+            .produce_with_acks(topic, partition, message, self.acks)?;
         Ok(RecordMetadata { partition, offset })
     }
 
     /// Send directly to an explicit partition, bypassing the partitioner.
     pub fn send_to(&self, topic: &str, partition: u32, message: Message) -> Result<RecordMetadata> {
-        let offset = self.broker.produce_with_acks(topic, partition, message, self.acks)?;
+        let offset = self
+            .broker
+            .produce_with_acks(topic, partition, message, self.acks)?;
         Ok(RecordMetadata { partition, offset })
     }
 
@@ -71,7 +87,8 @@ mod tests {
     #[test]
     fn keyed_sends_stick_to_one_partition() {
         let b = Broker::new();
-        b.create_topic("t", TopicConfig::with_partitions(8)).unwrap();
+        b.create_topic("t", TopicConfig::with_partitions(8))
+            .unwrap();
         let p = Producer::key_hash(b.clone());
         let first = p.send("t", Message::keyed("k", "1")).unwrap().partition;
         for i in 0..20 {
@@ -84,16 +101,24 @@ mod tests {
     #[test]
     fn send_to_overrides_partitioner() {
         let b = Broker::new();
-        b.create_topic("t", TopicConfig::with_partitions(4)).unwrap();
+        b.create_topic("t", TopicConfig::with_partitions(4))
+            .unwrap();
         let p = Producer::round_robin(b.clone());
         let md = p.send_to("t", 3, Message::new("x")).unwrap();
-        assert_eq!(md, RecordMetadata { partition: 3, offset: 0 });
+        assert_eq!(
+            md,
+            RecordMetadata {
+                partition: 3,
+                offset: 0
+            }
+        );
     }
 
     #[test]
     fn offsets_increase_per_partition() {
         let b = Broker::new();
-        b.create_topic("t", TopicConfig::with_partitions(2)).unwrap();
+        b.create_topic("t", TopicConfig::with_partitions(2))
+            .unwrap();
         let p = Producer::with_partitioner(b, Partitioner::Fixed(1));
         let offs: Vec<u64> = (0..3)
             .map(|_| p.send("t", Message::new("x")).unwrap().offset)

@@ -191,6 +191,10 @@ mod tests {
         r.restore_follower(0);
         r.tick(100);
         r.tick(100);
-        assert_eq!(r.isr_count(), 2, "restored follower catches up and rejoins ISR");
+        assert_eq!(
+            r.isr_count(),
+            2,
+            "restored follower catches up and rejoins ISR"
+        );
     }
 }

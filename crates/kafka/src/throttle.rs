@@ -92,7 +92,10 @@ mod tests {
         let t = IoThrottle::new(1000, 1000);
         assert_eq!(t.charge(1000, 0.0), 0.0);
         let debt = t.charge(2000, 0.0);
-        assert!((debt - 2.0).abs() < 1e-9, "2000 uncovered bytes at 1000 B/s = 2 s, got {debt}");
+        assert!(
+            (debt - 2.0).abs() < 1e-9,
+            "2000 uncovered bytes at 1000 B/s = 2 s, got {debt}"
+        );
         assert!(t.is_throttling());
     }
 

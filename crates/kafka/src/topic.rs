@@ -59,7 +59,11 @@ impl Topic {
         let partitions = (0..config.partitions)
             .map(|p| RwLock::new(PartitionLog::new(name.clone(), p, config.segment.clone())))
             .collect();
-        Topic { name, config, partitions }
+        Topic {
+            name,
+            config,
+            partitions,
+        }
     }
 
     /// Number of partitions.

@@ -5,10 +5,12 @@ use samzasql_kafka::{Assignor, Broker, Consumer, Message, TopicConfig, TopicPart
 
 fn broker_with_data(partitions: u32, per_partition: u32) -> Broker {
     let b = Broker::new();
-    b.create_topic("t", TopicConfig::with_partitions(partitions)).unwrap();
+    b.create_topic("t", TopicConfig::with_partitions(partitions))
+        .unwrap();
     for p in 0..partitions {
         for i in 0..per_partition {
-            b.produce("t", p, Message::new(format!("p{p}m{i}"))).unwrap();
+            b.produce("t", p, Message::new(format!("p{p}m{i}")))
+                .unwrap();
         }
     }
     b
@@ -43,7 +45,10 @@ fn two_members_split_and_consume_everything() {
             b.offsets().commit("g", tp.clone(), pos);
         }
     }
-    assert_eq!(total, 40, "every record consumed exactly once across members");
+    assert_eq!(
+        total, 40,
+        "every record consumed exactly once across members"
+    );
 }
 
 #[test]

@@ -8,7 +8,11 @@ pub enum Statement {
     /// A (possibly streaming) query.
     Query(Box<Query>),
     /// `CREATE VIEW name [(col, …)] AS query` (§3.5).
-    CreateView { name: String, columns: Vec<String>, query: Box<Query> },
+    CreateView {
+        name: String,
+        columns: Vec<String>,
+        query: Box<Query>,
+    },
     /// `EXPLAIN query` — surfaced by the shell to print plans.
     Explain(Box<Query>),
 }
@@ -67,7 +71,10 @@ pub enum TableRef {
     /// A named stream, table, or view.
     Named { name: String, alias: Option<String> },
     /// A parenthesized subquery with an optional alias.
-    Subquery { query: Box<Query>, alias: Option<String> },
+    Subquery {
+        query: Box<Query>,
+        alias: Option<String>,
+    },
     /// A join; window bounds for stream-to-stream joins live inside
     /// `condition` (§3.8.1).
     Join {
@@ -147,9 +154,17 @@ pub enum Literal {
     Null,
     /// Interval normalized to milliseconds, with its source unit preserved
     /// for printing.
-    Interval { millis: i64, from: TimeUnit, to: Option<TimeUnit>, text: String },
+    Interval {
+        millis: i64,
+        from: TimeUnit,
+        to: Option<TimeUnit>,
+        text: String,
+    },
     /// TIME literal normalized to milliseconds past midnight.
-    Time { millis: i64, text: String },
+    Time {
+        millis: i64,
+        text: String,
+    },
 }
 
 /// A window frame bound for OVER clauses.
@@ -185,23 +200,51 @@ pub struct WindowSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Possibly qualified column reference: `units` or `Orders.units`.
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     Literal(Literal),
-    Unary { op: UnaryOp, expr: Box<Expr> },
-    Binary { left: Box<Expr>, op: BinaryOp, right: Box<Expr> },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
     /// Function call: scalar (`GREATEST`), aggregate (`SUM`, `COUNT`,
     /// `START`, `END`), or windowing (`TUMBLE`, `HOP`, `FLOOR(x TO unit)`).
-    Function { name: String, args: Vec<Expr>, distinct: bool },
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+    },
     /// `COUNT(*)`.
     CountStar,
     /// `FLOOR(expr TO unit)` — time rounding (§3.5 example).
-    FloorTo { expr: Box<Expr>, unit: TimeUnit },
+    FloorTo {
+        expr: Box<Expr>,
+        unit: TimeUnit,
+    },
     /// Analytic function over a window: `SUM(units) OVER (…)` (§3.7).
-    Over { func: Box<Expr>, window: WindowSpec },
+    Over {
+        func: Box<Expr>,
+        window: WindowSpec,
+    },
     /// `expr BETWEEN low AND high` (possibly `NOT BETWEEN`).
-    Between { expr: Box<Expr>, negated: bool, low: Box<Expr>, high: Box<Expr> },
+    Between {
+        expr: Box<Expr>,
+        negated: bool,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
     /// `expr IS [NOT] NULL`.
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// `CASE WHEN … THEN … [ELSE …] END`.
     Case {
         operand: Option<Box<Expr>>,
@@ -209,7 +252,10 @@ pub enum Expr {
         else_result: Option<Box<Expr>>,
     },
     /// `CAST(expr AS type-name)`.
-    Cast { expr: Box<Expr>, type_name: String },
+    Cast {
+        expr: Box<Expr>,
+        type_name: String,
+    },
     /// Parenthesized scalar subquery is out of dialect scope; `EXISTS` and
     /// `IN` likewise — kept as explicit unsupported markers by the parser.
     Nested(Box<Expr>),
@@ -218,12 +264,18 @@ pub enum Expr {
 impl Expr {
     /// Shorthand for an unqualified column.
     pub fn col(name: &str) -> Expr {
-        Expr::Column { qualifier: None, name: name.to_string() }
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
     }
 
     /// Shorthand for a qualified column.
     pub fn qcol(qualifier: &str, name: &str) -> Expr {
-        Expr::Column { qualifier: Some(qualifier.to_string()), name: name.to_string() }
+        Expr::Column {
+            qualifier: Some(qualifier.to_string()),
+            name: name.to_string(),
+        }
     }
 
     /// Walk the expression tree, calling `f` on every node (pre-order).
@@ -256,12 +308,18 @@ impl Expr {
                     e.visit(f);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.visit(f);
                 low.visit(f);
                 high.visit(f);
             }
-            Expr::Case { operand, branches, else_result } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
                 if let Some(op) = operand {
                     op.visit(f);
                 }
@@ -310,9 +368,15 @@ mod tests {
 
     #[test]
     fn binding_names() {
-        let named = TableRef::Named { name: "Orders".into(), alias: Some("o".into()) };
+        let named = TableRef::Named {
+            name: "Orders".into(),
+            alias: Some("o".into()),
+        };
         assert_eq!(named.binding_name(), Some("o"));
-        let plain = TableRef::Named { name: "Orders".into(), alias: None };
+        let plain = TableRef::Named {
+            name: "Orders".into(),
+            alias: None,
+        };
         assert_eq!(plain.binding_name(), Some("Orders"));
     }
 }

@@ -78,7 +78,13 @@ impl TimeUnit {
 }
 
 /// Parse the body of `INTERVAL '<text>' <from> [TO <to>]` to milliseconds.
-pub fn parse_interval(text: &str, from: TimeUnit, to: Option<TimeUnit>, line: u32, col: u32) -> Result<i64> {
+pub fn parse_interval(
+    text: &str,
+    from: TimeUnit,
+    to: Option<TimeUnit>,
+    line: u32,
+    col: u32,
+) -> Result<i64> {
     let err = |msg: String| ParseError::new(msg, line, col);
     let (negative, body) = match text.strip_prefix('-') {
         Some(rest) => (true, rest),
@@ -137,7 +143,9 @@ pub fn parse_time(text: &str, line: u32, col: u32) -> Result<i64> {
     let mut ms: i64 = 0;
     let scales = [3_600_000i64, 60_000, 1_000];
     for (i, p) in parts.iter().enumerate() {
-        let v: i64 = p.parse().map_err(|_| err(format!("invalid TIME field {p:?}")))?;
+        let v: i64 = p
+            .parse()
+            .map_err(|_| err(format!("invalid TIME field {p:?}")))?;
         if v < 0 {
             return Err(err("TIME fields must be non-negative".into()));
         }
@@ -198,7 +206,10 @@ mod tests {
     #[test]
     fn time_literals() {
         assert_eq!(parse_time("0:30", 1, 1).unwrap(), 30 * 60_000);
-        assert_eq!(parse_time("2:15:30", 1, 1).unwrap(), 2 * 3_600_000 + 15 * 60_000 + 30_000);
+        assert_eq!(
+            parse_time("2:15:30", 1, 1).unwrap(),
+            2 * 3_600_000 + 15 * 60_000 + 30_000
+        );
         assert!(parse_time("0:99", 1, 1).is_err());
         assert!(parse_time("a:b", 1, 1).is_err());
     }

@@ -18,7 +18,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(input: &'a str) -> Self {
-        Lexer { chars: input.chars().collect(), pos: 0, line: 1, column: 1, input }
+        Lexer {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            input,
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -51,7 +57,11 @@ impl<'a> Lexer<'a> {
             self.skip_whitespace_and_comments()?;
             let (line, column) = (self.line, self.column);
             let Some(c) = self.peek() else {
-                out.push(SpannedToken { token: Token::Eof, line, column });
+                out.push(SpannedToken {
+                    token: Token::Eof,
+                    line,
+                    column,
+                });
                 return Ok(out);
             };
             let token = match c {
@@ -137,7 +147,11 @@ impl<'a> Lexer<'a> {
                 c if c.is_alphabetic() || c == '_' => self.lex_word(),
                 other => return Err(self.error(format!("unexpected character {other:?}"))),
             };
-            out.push(SpannedToken { token, line, column });
+            out.push(SpannedToken {
+                token,
+                line,
+                column,
+            });
         }
     }
 
@@ -260,7 +274,11 @@ mod tests {
     use crate::token::Keyword as K;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -297,7 +315,10 @@ mod tests {
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(toks("'it''s'"), vec![Token::String("it's".into()), Token::Eof]);
+        assert_eq!(
+            toks("'it''s'"),
+            vec![Token::String("it's".into()), Token::Eof]
+        );
     }
 
     #[test]
@@ -317,7 +338,10 @@ mod tests {
 
     #[test]
     fn quoted_identifiers_bypass_keywords() {
-        assert_eq!(toks("\"select\""), vec![Token::Ident("select".into()), Token::Eof]);
+        assert_eq!(
+            toks("\"select\""),
+            vec![Token::Ident("select".into()), Token::Eof]
+        );
     }
 
     #[test]
@@ -347,7 +371,12 @@ mod tests {
         // "Orders.rowtime" style paths must not eat the dot into a number.
         assert_eq!(
             toks("1.x"),
-            vec![Token::Number(1), Token::Dot, Token::Ident("x".into()), Token::Eof]
+            vec![
+                Token::Number(1),
+                Token::Dot,
+                Token::Ident("x".into()),
+                Token::Eof
+            ]
         );
     }
 }

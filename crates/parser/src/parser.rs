@@ -32,7 +32,10 @@ pub struct Parser {
 impl Parser {
     /// Tokenize and wrap.
     pub fn new(sql: &str) -> Result<Parser> {
-        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &Token {
@@ -49,7 +52,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Token {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .token
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -123,7 +128,11 @@ impl Parser {
             }
             self.expect_kw(Keyword::As)?;
             let query = Box::new(self.query()?);
-            return Ok(Statement::CreateView { name, columns, query });
+            return Ok(Statement::CreateView {
+                name,
+                columns,
+                query,
+            });
         }
         Ok(Statement::Query(Box::new(self.query()?)))
     }
@@ -144,7 +153,11 @@ impl Parser {
         }
         self.expect_kw(Keyword::From)?;
         let from = self.table_ref()?;
-        let where_clause = if self.accept_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        let where_clause = if self.accept_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.accept_kw(Keyword::Group) {
             self.expect_kw(Keyword::By)?;
@@ -153,7 +166,11 @@ impl Parser {
                 group_by.push(self.expr()?);
             }
         }
-        let having = if self.accept_kw(Keyword::Having) { Some(self.expr()?) } else { None };
+        let having = if self.accept_kw(Keyword::Having) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.accept_kw(Keyword::Order) {
             self.expect_kw(Keyword::By)?;
@@ -179,7 +196,17 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { stream, distinct, projections, from, where_clause, group_by, having, order_by, limit })
+        Ok(Query {
+            stream,
+            distinct,
+            projections,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -215,7 +242,10 @@ impl Parser {
         loop {
             let kind = if self.accept_kw(Keyword::Join) || self.accept_kw(Keyword::Inner) {
                 // `INNER` may be followed by JOIN; plain JOIN already consumed.
-                if matches!(self.tokens[self.pos.saturating_sub(1)].token, Token::Keyword(Keyword::Inner)) {
+                if matches!(
+                    self.tokens[self.pos.saturating_sub(1)].token,
+                    Token::Keyword(Keyword::Inner)
+                ) {
                     self.expect_kw(Keyword::Join)?;
                 }
                 JoinKind::Inner
@@ -281,7 +311,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.accept_kw(Keyword::Or) {
             let right = self.and_expr()?;
-            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -290,7 +324,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.accept_kw(Keyword::And) {
             let right = self.not_expr()?;
-            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -298,7 +336,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr> {
         if self.accept_kw(Keyword::Not) {
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.comparison()
     }
@@ -335,7 +376,10 @@ impl Parser {
         if self.accept_kw(Keyword::Is) {
             let negated = self.accept_kw(Keyword::Not);
             self.expect_kw(Keyword::Null)?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         if self.accept_kw(Keyword::Like) {
             let right = self.additive()?;
@@ -356,7 +400,11 @@ impl Parser {
         };
         self.bump();
         let right = self.additive()?;
-        Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) })
+        Ok(Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
     }
 
     fn additive(&mut self) -> Result<Expr> {
@@ -369,7 +417,11 @@ impl Parser {
             };
             self.bump();
             let right = self.multiplicative()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
     }
 
@@ -384,14 +436,21 @@ impl Parser {
             };
             self.bump();
             let right = self.unary()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
     }
 
     fn unary(&mut self) -> Result<Expr> {
         if self.accept(&Token::Minus) {
             let inner = self.unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         if self.accept(&Token::Plus) {
             return self.unary();
@@ -435,9 +494,18 @@ impl Parser {
                     }
                 };
                 let from = self.time_unit()?;
-                let to = if self.accept_kw(Keyword::To) { Some(self.time_unit()?) } else { None };
+                let to = if self.accept_kw(Keyword::To) {
+                    Some(self.time_unit()?)
+                } else {
+                    None
+                };
                 let millis = parse_interval(&text, from, to, line, col)?;
-                Ok(Expr::Literal(Literal::Interval { millis, from, to, text }))
+                Ok(Expr::Literal(Literal::Interval {
+                    millis,
+                    from,
+                    to,
+                    text,
+                }))
             }
             Token::Keyword(Keyword::Time) => {
                 self.bump();
@@ -456,7 +524,10 @@ impl Parser {
                 self.expect_kw(Keyword::As)?;
                 let type_name = self.ident()?;
                 self.expect(&Token::RParen)?;
-                Ok(Expr::Cast { expr: Box::new(expr), type_name })
+                Ok(Expr::Cast {
+                    expr: Box::new(expr),
+                    type_name,
+                })
             }
             Token::Keyword(Keyword::Exists) | Token::Keyword(Keyword::In) => {
                 Err(self.error("EXISTS/IN subqueries are not supported in this dialect"))
@@ -481,9 +552,15 @@ impl Parser {
                 }
                 if self.accept(&Token::Dot) {
                     let field = self.ident()?;
-                    return Ok(Expr::Column { qualifier: Some(name), name: field });
+                    return Ok(Expr::Column {
+                        qualifier: Some(name),
+                        name: field,
+                    });
                 }
-                Ok(Expr::Column { qualifier: None, name })
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name,
+                })
             }
             other => Err(self.error(format!("unexpected token in expression: {other}"))),
         }
@@ -491,9 +568,8 @@ impl Parser {
 
     fn time_unit(&mut self) -> Result<TimeUnit> {
         match self.bump() {
-            Token::Keyword(k) => {
-                TimeUnit::from_keyword(k).ok_or_else(|| self.error(format!("expected time unit, found {k:?}")))
-            }
+            Token::Keyword(k) => TimeUnit::from_keyword(k)
+                .ok_or_else(|| self.error(format!("expected time unit, found {k:?}"))),
             other => Err(self.error(format!("expected time unit, found {other}"))),
         }
     }
@@ -515,10 +591,17 @@ impl Parser {
         if branches.is_empty() {
             return Err(self.error("CASE requires at least one WHEN branch"));
         }
-        let else_result =
-            if self.accept_kw(Keyword::Else) { Some(Box::new(self.expr()?)) } else { None };
+        let else_result = if self.accept_kw(Keyword::Else) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
         self.expect_kw(Keyword::End)?;
-        Ok(Expr::Case { operand, branches, else_result })
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_result,
+        })
     }
 
     fn function_call(&mut self, name: String) -> Result<Expr> {
@@ -536,14 +619,21 @@ impl Parser {
             if name.eq_ignore_ascii_case("floor") && self.accept_kw(Keyword::To) {
                 let unit = self.time_unit()?;
                 self.expect(&Token::RParen)?;
-                return Ok(Expr::FloorTo { expr: Box::new(args.remove(0)), unit });
+                return Ok(Expr::FloorTo {
+                    expr: Box::new(args.remove(0)),
+                    unit,
+                });
             }
             while self.accept(&Token::Comma) {
                 args.push(self.expr()?);
             }
         }
         self.expect(&Token::RParen)?;
-        self.maybe_over(Expr::Function { name: name.to_uppercase(), args, distinct })
+        self.maybe_over(Expr::Function {
+            name: name.to_uppercase(),
+            args,
+            distinct,
+        })
     }
 
     fn maybe_over(&mut self, func: Expr) -> Result<Expr> {
@@ -607,7 +697,12 @@ impl Parser {
         self.expect(&Token::RParen)?;
         Ok(Expr::Over {
             func: Box::new(func),
-            window: WindowSpec { partition_by, order_by, units, start },
+            window: WindowSpec {
+                partition_by,
+                order_by,
+                units,
+                start,
+            },
         })
     }
 }

@@ -7,7 +7,11 @@ pub fn print_statement(stmt: &Statement) -> String {
     match stmt {
         Statement::Query(q) => print_query(q),
         Statement::Explain(q) => format!("EXPLAIN {}", print_query(q)),
-        Statement::CreateView { name, columns, query } => {
+        Statement::CreateView {
+            name,
+            columns,
+            query,
+        } => {
             let cols = if columns.is_empty() {
                 String::new()
             } else {
@@ -86,7 +90,12 @@ fn print_table_ref(t: &TableRef) -> String {
             Some(a) => format!("({}) AS {a}", print_query(query)),
             None => format!("({})", print_query(query)),
         },
-        TableRef::Join { left, right, kind, condition } => {
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            condition,
+        } => {
             let kw = match kind {
                 JoinKind::Inner => "JOIN",
                 JoinKind::Left => "LEFT JOIN",
@@ -106,8 +115,14 @@ fn print_table_ref(t: &TableRef) -> String {
 /// Render an expression.
 pub fn print_expr(e: &Expr) -> String {
     match e {
-        Expr::Column { qualifier: Some(q), name } => format!("{q}.{name}"),
-        Expr::Column { qualifier: None, name } => name.clone(),
+        Expr::Column {
+            qualifier: Some(q),
+            name,
+        } => format!("{q}.{name}"),
+        Expr::Column {
+            qualifier: None,
+            name,
+        } => name.clone(),
         Expr::Literal(l) => print_literal(l),
         Expr::Unary { op, expr } => match op {
             UnaryOp::Not => format!("NOT {}", print_expr(expr)),
@@ -116,7 +131,11 @@ pub fn print_expr(e: &Expr) -> String {
         Expr::Binary { left, op, right } => {
             format!("{} {} {}", print_expr(left), op.symbol(), print_expr(right))
         }
-        Expr::Function { name, args, distinct } => {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => {
             let args: Vec<String> = args.iter().map(print_expr).collect();
             let d = if *distinct { "DISTINCT " } else { "" };
             format!("{name}({d}{})", args.join(", "))
@@ -165,7 +184,12 @@ pub fn print_expr(e: &Expr) -> String {
             s.push(')');
             s
         }
-        Expr::Between { expr, negated, low, high } => format!(
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => format!(
             "{} {}BETWEEN {} AND {}",
             print_expr(expr),
             if *negated { "NOT " } else { "" },
@@ -177,7 +201,11 @@ pub fn print_expr(e: &Expr) -> String {
             print_expr(expr),
             if *negated { "NOT " } else { "" }
         ),
-        Expr::Case { operand, branches, else_result } => {
+        Expr::Case {
+            operand,
+            branches,
+            else_result,
+        } => {
             let mut s = String::from("CASE");
             if let Some(op) = operand {
                 s.push_str(&format!(" {}", print_expr(op)));

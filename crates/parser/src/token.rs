@@ -7,12 +7,69 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Keyword {
-    Select, Stream, From, Where, Group, By, Having, As, Join, Inner, Left,
-    Right, Full, Outer, On, Create, View, And, Or, Not, Between, Is, Null,
-    True, False, Case, When, Then, Else, End, Interval, Time, To, Over,
-    Partition, Order, Asc, Desc, Range, Rows, Preceding, Following, Current,
-    Row, Unbounded, Distinct, All, Union, Like, In, Cast, Limit, Exists,
-    Year, Month, Day, Hour, Minute, Second, Explain, Insert, Into, Values,
+    Select,
+    Stream,
+    From,
+    Where,
+    Group,
+    By,
+    Having,
+    As,
+    Join,
+    Inner,
+    Left,
+    Right,
+    Full,
+    Outer,
+    On,
+    Create,
+    View,
+    And,
+    Or,
+    Not,
+    Between,
+    Is,
+    Null,
+    True,
+    False,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+    Interval,
+    Time,
+    To,
+    Over,
+    Partition,
+    Order,
+    Asc,
+    Desc,
+    Range,
+    Rows,
+    Preceding,
+    Following,
+    Current,
+    Row,
+    Unbounded,
+    Distinct,
+    All,
+    Union,
+    Like,
+    In,
+    Cast,
+    Limit,
+    Exists,
+    Year,
+    Month,
+    Day,
+    Hour,
+    Minute,
+    Second,
+    Explain,
+    Insert,
+    Into,
+    Values,
 }
 
 impl Keyword {

@@ -23,7 +23,10 @@ fn assert_roundtrip(sql: &str) {
     let printed = print_statement(&first);
     let second = parse_statement(&printed)
         .unwrap_or_else(|e| panic!("printed SQL failed to re-parse: {printed:?}: {e}"));
-    assert_eq!(first, second, "round-trip changed the AST for {sql:?} -> {printed:?}");
+    assert_eq!(
+        first, second,
+        "round-trip changed the AST for {sql:?} -> {printed:?}"
+    );
 }
 
 #[test]
@@ -31,7 +34,13 @@ fn listing1_select_all_from_stream() {
     let q = query("SELECT STREAM * FROM Orders");
     assert!(q.stream);
     assert_eq!(q.projections, vec![SelectItem::Wildcard]);
-    assert_eq!(q.from, TableRef::Named { name: "Orders".into(), alias: None });
+    assert_eq!(
+        q.from,
+        TableRef::Named {
+            name: "Orders".into(),
+            alias: None
+        }
+    );
     assert_roundtrip("SELECT STREAM * FROM Orders");
 }
 
@@ -42,7 +51,10 @@ fn listing2_filter_projection() {
     assert_eq!(q.projections.len(), 3);
     assert!(matches!(
         q.where_clause,
-        Some(Expr::Binary { op: BinaryOp::Gt, .. })
+        Some(Expr::Binary {
+            op: BinaryOp::Gt,
+            ..
+        })
     ));
     assert_roundtrip(sql);
 }
@@ -54,16 +66,32 @@ fn listing3_create_view_with_floor_and_aggregates() {
                FROM Orders \
                GROUP BY FLOOR(rowtime TO HOUR), productId";
     match parse(sql) {
-        Statement::CreateView { name, columns, query } => {
+        Statement::CreateView {
+            name,
+            columns,
+            query,
+        } => {
             assert_eq!(name, "HourlyOrderTotals");
             assert_eq!(columns, vec!["rowtime", "productId", "c", "su"]);
             assert!(!query.stream);
             assert_eq!(query.group_by.len(), 2);
             assert!(matches!(
                 &query.projections[0],
-                SelectItem::Expr { expr: Expr::FloorTo { unit: TimeUnit::Hour, .. }, .. }
+                SelectItem::Expr {
+                    expr: Expr::FloorTo {
+                        unit: TimeUnit::Hour,
+                        ..
+                    },
+                    ..
+                }
             ));
-            assert!(matches!(&query.projections[2], SelectItem::Expr { expr: Expr::CountStar, .. }));
+            assert!(matches!(
+                &query.projections[2],
+                SelectItem::Expr {
+                    expr: Expr::CountStar,
+                    ..
+                }
+            ));
         }
         other => panic!("expected view: {other:?}"),
     }
@@ -74,7 +102,13 @@ fn listing3_create_view_with_floor_and_aggregates() {
 fn listing3_view_consumer_query() {
     let sql = "SELECT STREAM rowtime, productId FROM HourlyOrderTotals WHERE c > 2 OR su > 10";
     let q = query(sql);
-    assert!(matches!(q.where_clause, Some(Expr::Binary { op: BinaryOp::Or, .. })));
+    assert!(matches!(
+        q.where_clause,
+        Some(Expr::Binary {
+            op: BinaryOp::Or,
+            ..
+        })
+    ));
     assert_roundtrip(sql);
 }
 
@@ -87,10 +121,16 @@ fn listing3_subquery_form() {
                WHERE c > 2 OR su > 10";
     let q = query(sql);
     match &q.from {
-        TableRef::Subquery { query: inner, alias } => {
+        TableRef::Subquery {
+            query: inner,
+            alias,
+        } => {
             assert!(alias.is_none());
             assert_eq!(inner.group_by.len(), 2);
-            assert!(!inner.stream, "STREAM in subqueries has no effect / is absent here");
+            assert!(
+                !inner.stream,
+                "STREAM in subqueries has no effect / is absent here"
+            );
         }
         other => panic!("expected subquery: {other:?}"),
     }
@@ -109,13 +149,19 @@ fn listing4_tumbling_window() {
             assert_eq!(args.len(), 2);
             assert!(matches!(
                 args[1],
-                Expr::Literal(Literal::Interval { millis: 3_600_000, .. })
+                Expr::Literal(Literal::Interval {
+                    millis: 3_600_000,
+                    ..
+                })
             ));
         }
         other => panic!("expected TUMBLE: {other:?}"),
     }
     match &q.projections[0] {
-        SelectItem::Expr { expr: Expr::Function { name, .. }, .. } => assert_eq!(name, "START"),
+        SelectItem::Expr {
+            expr: Expr::Function { name, .. },
+            ..
+        } => assert_eq!(name, "START"),
         other => panic!("expected START(rowtime): {other:?}"),
     }
     assert_roundtrip(sql);
@@ -133,15 +179,27 @@ fn listing5_hopping_window_with_alignment() {
             // emit every 90 min
             assert!(matches!(
                 args[1],
-                Expr::Literal(Literal::Interval { millis: 5_400_000, .. })
+                Expr::Literal(Literal::Interval {
+                    millis: 5_400_000,
+                    ..
+                })
             ));
             // retain 2 h
             assert!(matches!(
                 args[2],
-                Expr::Literal(Literal::Interval { millis: 7_200_000, .. })
+                Expr::Literal(Literal::Interval {
+                    millis: 7_200_000,
+                    ..
+                })
             ));
             // align 30 min past the hour
-            assert!(matches!(args[3], Expr::Literal(Literal::Time { millis: 1_800_000, .. })));
+            assert!(matches!(
+                args[3],
+                Expr::Literal(Literal::Time {
+                    millis: 1_800_000,
+                    ..
+                })
+            ));
         }
         other => panic!("expected HOP: {other:?}"),
     }
@@ -155,7 +213,10 @@ fn listing6_sliding_window_analytic() {
                RANGE INTERVAL '1' HOUR PRECEDING) unitsLastHour FROM Orders";
     let q = query(sql);
     match &q.projections[3] {
-        SelectItem::Expr { expr: Expr::Over { func, window }, alias } => {
+        SelectItem::Expr {
+            expr: Expr::Over { func, window },
+            alias,
+        } => {
             assert_eq!(alias.as_deref(), Some("unitsLastHour"));
             assert!(matches!(&**func, Expr::Function { name, .. } if name == "SUM"));
             assert_eq!(window.partition_by.len(), 1);
@@ -164,7 +225,10 @@ fn listing6_sliding_window_analytic() {
             match &window.start {
                 FrameBound::Preceding(e) => assert!(matches!(
                     &**e,
-                    Expr::Literal(Literal::Interval { millis: 3_600_000, .. })
+                    Expr::Literal(Literal::Interval {
+                        millis: 3_600_000,
+                        ..
+                    })
                 )),
                 other => panic!("expected interval frame: {other:?}"),
             }
@@ -186,12 +250,26 @@ fn listing7_stream_to_stream_window_join() {
                AND PacketsR1.packetId = PacketsR2.packetId";
     let q = query(sql);
     match &q.from {
-        TableRef::Join { kind: JoinKind::Inner, condition, .. } => {
+        TableRef::Join {
+            kind: JoinKind::Inner,
+            condition,
+            ..
+        } => {
             // Top of the condition is AND(BETWEEN(...), Eq(...)).
             match &**condition {
-                Expr::Binary { op: BinaryOp::And, left, right } => {
+                Expr::Binary {
+                    op: BinaryOp::And,
+                    left,
+                    right,
+                } => {
                     assert!(matches!(&**left, Expr::Between { .. }));
-                    assert!(matches!(&**right, Expr::Binary { op: BinaryOp::Eq, .. }));
+                    assert!(matches!(
+                        &**right,
+                        Expr::Binary {
+                            op: BinaryOp::Eq,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("expected AND condition: {other:?}"),
             }
@@ -258,7 +336,10 @@ fn case_expression() {
     let q = query(sql);
     assert!(matches!(
         &q.projections[0],
-        SelectItem::Expr { expr: Expr::Case { .. }, .. }
+        SelectItem::Expr {
+            expr: Expr::Case { .. },
+            ..
+        }
     ));
     assert_roundtrip(sql);
 }
@@ -269,19 +350,45 @@ fn operator_precedence() {
     // a + b * c parses as a + (b * c)
     let e = parse_expression("a + b * c").unwrap();
     match e {
-        Expr::Binary { op: BinaryOp::Plus, right, .. } => {
-            assert!(matches!(*right, Expr::Binary { op: BinaryOp::Multiply, .. }))
+        Expr::Binary {
+            op: BinaryOp::Plus,
+            right,
+            ..
+        } => {
+            assert!(matches!(
+                *right,
+                Expr::Binary {
+                    op: BinaryOp::Multiply,
+                    ..
+                }
+            ))
         }
         other => panic!("{other:?}"),
     }
     // NOT binds tighter than AND
     let e = parse_expression("NOT a AND b").unwrap();
-    assert!(matches!(e, Expr::Binary { op: BinaryOp::And, .. }));
+    assert!(matches!(
+        e,
+        Expr::Binary {
+            op: BinaryOp::And,
+            ..
+        }
+    ));
     // comparison binds tighter than AND, AND tighter than OR
     let e = parse_expression("a = 1 OR b = 2 AND c = 3").unwrap();
     match e {
-        Expr::Binary { op: BinaryOp::Or, right, .. } => {
-            assert!(matches!(*right, Expr::Binary { op: BinaryOp::And, .. }))
+        Expr::Binary {
+            op: BinaryOp::Or,
+            right,
+            ..
+        } => {
+            assert!(matches!(
+                *right,
+                Expr::Binary {
+                    op: BinaryOp::And,
+                    ..
+                }
+            ))
         }
         other => panic!("{other:?}"),
     }
@@ -290,15 +397,30 @@ fn operator_precedence() {
 #[test]
 fn qualified_wildcard() {
     let q = query("SELECT Orders.* FROM Orders");
-    assert_eq!(q.projections, vec![SelectItem::QualifiedWildcard("Orders".into())]);
+    assert_eq!(
+        q.projections,
+        vec![SelectItem::QualifiedWildcard("Orders".into())]
+    );
 }
 
 #[test]
 fn table_alias_forms() {
     let q = query("SELECT o.units FROM Orders AS o");
-    assert_eq!(q.from, TableRef::Named { name: "Orders".into(), alias: Some("o".into()) });
+    assert_eq!(
+        q.from,
+        TableRef::Named {
+            name: "Orders".into(),
+            alias: Some("o".into())
+        }
+    );
     let q = query("SELECT o.units FROM Orders o");
-    assert_eq!(q.from, TableRef::Named { name: "Orders".into(), alias: Some("o".into()) });
+    assert_eq!(
+        q.from,
+        TableRef::Named {
+            name: "Orders".into(),
+            alias: Some("o".into())
+        }
+    );
 }
 
 #[test]
@@ -307,7 +429,10 @@ fn rows_frame_tuple_domain_window() {
                ROWS 10 PRECEDING) FROM Orders";
     let q = query(sql);
     match &q.projections[0] {
-        SelectItem::Expr { expr: Expr::Over { window, .. }, .. } => {
+        SelectItem::Expr {
+            expr: Expr::Over { window, .. },
+            ..
+        } => {
             assert_eq!(window.units, FrameUnits::Rows);
         }
         other => panic!("{other:?}"),
@@ -319,7 +444,13 @@ fn rows_frame_tuple_domain_window() {
 fn left_join_parses() {
     let sql = "SELECT STREAM a.x FROM A a LEFT JOIN B b ON a.k = b.k";
     let q = query(sql);
-    assert!(matches!(q.from, TableRef::Join { kind: JoinKind::Left, .. }));
+    assert!(matches!(
+        q.from,
+        TableRef::Join {
+            kind: JoinKind::Left,
+            ..
+        }
+    ));
     assert_roundtrip(sql);
 }
 
@@ -354,7 +485,10 @@ fn end_keyword_doubles_as_window_bound_aggregate() {
                GROUP BY TUMBLE(rowtime, INTERVAL '1' HOUR)";
     let q = query(sql);
     match &q.projections[1] {
-        SelectItem::Expr { expr: Expr::Function { name, args, .. }, .. } => {
+        SelectItem::Expr {
+            expr: Expr::Function { name, args, .. },
+            ..
+        } => {
             assert_eq!(name, "END");
             assert_eq!(args.len(), 1);
         }

@@ -24,7 +24,11 @@ fn query_strategy() -> impl Strategy<Value = String> {
     ];
     // Arithmetic-only expressions: used both in projections and (compared
     // against 0) in WHERE, so no chained comparisons are generated.
-    let expr = (atom.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], atom)
+    let expr = (
+        atom.clone(),
+        prop_oneof![Just("+"), Just("-"), Just("*")],
+        atom,
+    )
         .prop_map(|(l, op, r)| format!("{l} {op} {r}"));
     let projection = prop::collection::vec(
         prop_oneof![
@@ -35,8 +39,13 @@ fn query_strategy() -> impl Strategy<Value = String> {
         1..4,
     )
     .prop_map(|items| items.join(", "));
-    (any::<bool>(), projection, prop::option::of(expr), any::<bool>()).prop_map(
-        |(stream, proj, where_clause, group)| {
+    (
+        any::<bool>(),
+        projection,
+        prop::option::of(expr),
+        any::<bool>(),
+    )
+        .prop_map(|(stream, proj, where_clause, group)| {
             let mut q = String::from("SELECT ");
             if stream && !group {
                 q.push_str("STREAM ");
@@ -54,8 +63,7 @@ fn query_strategy() -> impl Strategy<Value = String> {
                 q.push_str(" GROUP BY productId");
             }
             q
-        },
-    )
+        })
 }
 
 proptest! {

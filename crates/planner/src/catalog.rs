@@ -63,7 +63,10 @@ impl Catalog {
 
     /// Create a catalog sharing an existing schema registry.
     pub fn with_registry(registry: SchemaRegistry) -> Self {
-        Catalog { objects: BTreeMap::new(), registry }
+        Catalog {
+            objects: BTreeMap::new(),
+            registry,
+        }
     }
 
     /// The backing schema registry.
@@ -78,7 +81,10 @@ impl Catalog {
     fn insert(&mut self, obj: CatalogObject) -> Result<()> {
         let key = Self::key(&obj.name);
         if self.objects.contains_key(&key) {
-            return Err(PlanError::Catalog(format!("relation {} already exists", obj.name)));
+            return Err(PlanError::Catalog(format!(
+                "relation {} already exists",
+                obj.name
+            )));
         }
         if let (Some(topic), Schema::Record { .. }) = (&obj.topic, &obj.schema) {
             self.registry
@@ -196,7 +202,8 @@ mod tests {
     #[test]
     fn register_and_lookup_case_insensitive() {
         let mut c = Catalog::new();
-        c.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+        c.register_stream("Orders", "orders", orders_schema(), "rowtime")
+            .unwrap();
         assert_eq!(c.get("orders").unwrap().name, "Orders");
         assert_eq!(c.get("ORDERS").unwrap().kind, ObjectKind::Stream);
         assert!(c.get("missing").is_err());
@@ -214,7 +221,8 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let mut c = Catalog::new();
-        c.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+        c.register_stream("Orders", "orders", orders_schema(), "rowtime")
+            .unwrap();
         assert!(c
             .register_table("orders", "orders-changelog", orders_schema())
             .is_err());
@@ -223,7 +231,8 @@ mod tests {
     #[test]
     fn registration_publishes_schema_to_registry() {
         let mut c = Catalog::new();
-        c.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+        c.register_stream("Orders", "orders", orders_schema(), "rowtime")
+            .unwrap();
         let reg = c.registry().latest("orders-value").unwrap();
         assert_eq!(reg.schema, orders_schema());
     }
@@ -231,9 +240,13 @@ mod tests {
     #[test]
     fn partition_key_must_exist() {
         let mut c = Catalog::new();
-        c.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+        c.register_stream("Orders", "orders", orders_schema(), "rowtime")
+            .unwrap();
         assert!(c.set_partition_key("Orders", "productId").is_ok());
         assert!(c.set_partition_key("Orders", "ghost").is_err());
-        assert_eq!(c.get("Orders").unwrap().partition_key.as_deref(), Some("productId"));
+        assert_eq!(
+            c.get("Orders").unwrap().partition_key.as_deref(),
+            Some("productId")
+        );
     }
 }

@@ -92,7 +92,8 @@ pub struct AggCall {
 impl AggCall {
     /// Result type of this call.
     pub fn result_type(&self) -> Schema {
-        self.func.result_type(self.arg.as_ref().map(|a| a.ty()).as_ref())
+        self.func
+            .result_type(self.arg.as_ref().map(|a| a.ty()).as_ref())
     }
 }
 
@@ -105,7 +106,12 @@ pub enum GroupWindow {
     Tumble { ts_index: usize, size_ms: i64 },
     /// `HOP(ts, emit, retain, align)` — `retain` need not be a multiple of
     /// `emit` (§3.6).
-    Hop { ts_index: usize, emit_ms: i64, retain_ms: i64, align_ms: i64 },
+    Hop {
+        ts_index: usize,
+        emit_ms: i64,
+        retain_ms: i64,
+        align_ms: i64,
+    },
 }
 
 /// Sliding-window time bound extracted from a stream-to-stream join
@@ -187,7 +193,9 @@ impl LogicalPlan {
             LogicalPlan::Scan { names, .. } => names.clone(),
             LogicalPlan::Filter { input, .. } => input.output_names(),
             LogicalPlan::Project { names, .. } => names.clone(),
-            LogicalPlan::Aggregate { key_names, aggs, .. } => {
+            LogicalPlan::Aggregate {
+                key_names, aggs, ..
+            } => {
                 let mut out = key_names.clone();
                 out.extend(aggs.iter().map(|a| a.output_name.clone()));
                 out
@@ -254,7 +262,9 @@ impl LogicalPlan {
             LogicalPlan::Filter { input, .. } => input.timestamp_index(),
             LogicalPlan::Project { input, exprs, .. } => {
                 let ts = input.timestamp_index()?;
-                exprs.iter().position(|e| matches!(e, ScalarExpr::InputRef { index, .. } if *index == ts))
+                exprs
+                    .iter()
+                    .position(|e| matches!(e, ScalarExpr::InputRef { index, .. } if *index == ts))
             }
             LogicalPlan::Aggregate { window, .. } => match window {
                 // START() of the window is re-exposed via agg calls, not a
@@ -264,11 +274,9 @@ impl LogicalPlan {
                 _ => None,
             },
             LogicalPlan::SlidingWindow { input, .. } => input.timestamp_index(),
-            LogicalPlan::Join { left, right, .. } => {
-                left.timestamp_index().or_else(|| {
-                    right.timestamp_index().map(|i| left.arity() + i)
-                })
-            }
+            LogicalPlan::Join { left, right, .. } => left
+                .timestamp_index()
+                .or_else(|| right.timestamp_index().map(|i| left.arity() + i)),
         }
     }
 
@@ -282,7 +290,12 @@ impl LogicalPlan {
     fn explain_into(&self, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
         match self {
-            LogicalPlan::Scan { object, stream, topic, .. } => {
+            LogicalPlan::Scan {
+                object,
+                stream,
+                topic,
+                ..
+            } => {
                 out.push_str(&format!(
                     "{pad}Scan[{object}{}] topic={topic}\n",
                     if *stream { ", stream" } else { ", bounded" }
@@ -295,7 +308,11 @@ impl LogicalPlan {
                 ));
                 input.explain_into(depth + 1, out);
             }
-            LogicalPlan::Project { input, exprs, names } => {
+            LogicalPlan::Project {
+                input,
+                exprs,
+                names,
+            } => {
                 let inner = input.output_names();
                 let items: Vec<String> = exprs
                     .iter()
@@ -305,14 +322,22 @@ impl LogicalPlan {
                 out.push_str(&format!("{pad}Project[{}]\n", items.join(", ")));
                 input.explain_into(depth + 1, out);
             }
-            LogicalPlan::Aggregate { input, window, keys, aggs, .. } => {
+            LogicalPlan::Aggregate {
+                input,
+                window,
+                keys,
+                aggs,
+                ..
+            } => {
                 let inner = input.output_names();
                 let keys: Vec<String> = keys.iter().map(|k| k.display(&inner)).collect();
                 let aggs: Vec<String> = aggs.iter().map(|a| a.func.name()).collect();
                 let w = match window {
                     GroupWindow::None => "".to_string(),
                     GroupWindow::Tumble { size_ms, .. } => format!(" tumble={size_ms}ms"),
-                    GroupWindow::Hop { emit_ms, retain_ms, .. } => {
+                    GroupWindow::Hop {
+                        emit_ms, retain_ms, ..
+                    } => {
                         format!(" hop=emit:{emit_ms}ms,retain:{retain_ms}ms")
                     }
                 };
@@ -323,7 +348,13 @@ impl LogicalPlan {
                 ));
                 input.explain_into(depth + 1, out);
             }
-            LogicalPlan::SlidingWindow { input, range_ms, rows, aggs, .. } => {
+            LogicalPlan::SlidingWindow {
+                input,
+                range_ms,
+                rows,
+                aggs,
+                ..
+            } => {
                 let frame = match (range_ms, rows) {
                     (Some(ms), _) => format!("range={ms}ms"),
                     (None, Some(n)) => format!("rows={n}"),
@@ -336,7 +367,14 @@ impl LogicalPlan {
                 ));
                 input.explain_into(depth + 1, out);
             }
-            LogicalPlan::Join { left, right, kind, equi, time_bound, .. } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                equi,
+                time_bound,
+                ..
+            } => {
                 let tb = match time_bound {
                     Some(b) => format!(" window=[-{}ms,+{}ms]", b.lower_ms, b.upper_ms),
                     None => String::new(),
@@ -377,7 +415,11 @@ mod tests {
         };
         assert_eq!(p.output_names(), vec!["units", "rowtime"]);
         assert_eq!(p.output_types(), vec![Schema::Int, Schema::Timestamp]);
-        assert_eq!(p.timestamp_index(), Some(1), "timestamp tracked through reorder");
+        assert_eq!(
+            p.timestamp_index(),
+            Some(1),
+            "timestamp tracked through reorder"
+        );
         assert!(p.is_stream());
     }
 

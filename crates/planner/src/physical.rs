@@ -99,7 +99,9 @@ impl PhysicalPlan {
                 input.output_names()
             }
             PhysicalPlan::Project { names, .. } => names.clone(),
-            PhysicalPlan::WindowAggregate { key_names, aggs, .. } => {
+            PhysicalPlan::WindowAggregate {
+                key_names, aggs, ..
+            } => {
                 let mut out = key_names.clone();
                 out.extend(aggs.iter().map(|a| a.output_name.clone()));
                 out
@@ -194,7 +196,11 @@ impl PhysicalPlan {
                 left.collect_topics(out);
                 right.collect_topics(out);
             }
-            PhysicalPlan::StreamToRelationJoin { stream, relation_topic, .. } => {
+            PhysicalPlan::StreamToRelationJoin {
+                stream,
+                relation_topic,
+                ..
+            } => {
                 stream.collect_topics(out);
                 out.push((relation_topic.clone(), true));
             }
@@ -225,7 +231,12 @@ impl PhysicalPlan {
     fn explain_into(&self, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
         match self {
-            PhysicalPlan::Scan { topic, bounded, format, .. } => out.push_str(&format!(
+            PhysicalPlan::Scan {
+                topic,
+                bounded,
+                format,
+                ..
+            } => out.push_str(&format!(
                 "{pad}ScanOp[topic={topic}, format={format}{}]\n",
                 if *bounded { ", bounded" } else { "" }
             )),
@@ -236,7 +247,11 @@ impl PhysicalPlan {
                 ));
                 input.explain_into(depth + 1, out);
             }
-            PhysicalPlan::Project { input, exprs, names } => {
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                names,
+            } => {
                 let inner = input.output_names();
                 let items: Vec<String> = exprs
                     .iter()
@@ -246,19 +261,38 @@ impl PhysicalPlan {
                 out.push_str(&format!("{pad}ProjectOp[{}]\n", items.join(", ")));
                 input.explain_into(depth + 1, out);
             }
-            PhysicalPlan::WindowAggregate { input, window, aggs, .. } => {
+            PhysicalPlan::WindowAggregate {
+                input,
+                window,
+                aggs,
+                ..
+            } => {
                 let w = match window {
                     GroupWindow::None => "relational".to_string(),
                     GroupWindow::Tumble { size_ms, .. } => format!("tumble({size_ms}ms)"),
-                    GroupWindow::Hop { emit_ms, retain_ms, align_ms, .. } => {
+                    GroupWindow::Hop {
+                        emit_ms,
+                        retain_ms,
+                        align_ms,
+                        ..
+                    } => {
                         format!("hop(emit={emit_ms}ms, retain={retain_ms}ms, align={align_ms}ms)")
                     }
                 };
                 let aggs: Vec<String> = aggs.iter().map(|a| a.func.name()).collect();
-                out.push_str(&format!("{pad}WindowAggregateOp[{w}, aggs=({})]\n", aggs.join(", ")));
+                out.push_str(&format!(
+                    "{pad}WindowAggregateOp[{w}, aggs=({})]\n",
+                    aggs.join(", ")
+                ));
                 input.explain_into(depth + 1, out);
             }
-            PhysicalPlan::SlidingWindow { input, range_ms, rows, aggs, .. } => {
+            PhysicalPlan::SlidingWindow {
+                input,
+                range_ms,
+                rows,
+                aggs,
+                ..
+            } => {
                 let frame = match (range_ms, rows) {
                     (Some(ms), _) => format!("range={ms}ms"),
                     (None, Some(n)) => format!("rows={n}"),
@@ -271,7 +305,13 @@ impl PhysicalPlan {
                 ));
                 input.explain_into(depth + 1, out);
             }
-            PhysicalPlan::StreamToStreamJoin { left, right, time_bound, equi, .. } => {
+            PhysicalPlan::StreamToStreamJoin {
+                left,
+                right,
+                time_bound,
+                equi,
+                ..
+            } => {
                 out.push_str(&format!(
                     "{pad}StreamToStreamJoinOp[on {equi:?}, window=[-{}ms,+{}ms]]\n",
                     time_bound.lower_ms, time_bound.upper_ms
@@ -279,7 +319,12 @@ impl PhysicalPlan {
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }
-            PhysicalPlan::StreamToRelationJoin { stream, relation_topic, equi, .. } => {
+            PhysicalPlan::StreamToRelationJoin {
+                stream,
+                relation_topic,
+                equi,
+                ..
+            } => {
                 out.push_str(&format!(
                     "{pad}StreamToRelationJoinOp[relation={relation_topic} (bootstrap), on {equi:?}]\n"
                 ));
@@ -296,7 +341,15 @@ impl PhysicalPlan {
 /// Convert an optimized logical plan to a physical plan.
 pub fn to_physical(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan> {
     match plan {
-        LogicalPlan::Scan { object, topic, names, types, stream, ts_index, kind } => {
+        LogicalPlan::Scan {
+            object,
+            topic,
+            names,
+            types,
+            stream,
+            ts_index,
+            kind,
+        } => {
             let _ = kind;
             let _ = object;
             Ok(PhysicalPlan::Scan {
@@ -312,33 +365,59 @@ pub fn to_physical(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan
             input: Box::new(to_physical(input, catalog)?),
             predicate: predicate.clone(),
         }),
-        LogicalPlan::Project { input, exprs, names } => Ok(PhysicalPlan::Project {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => Ok(PhysicalPlan::Project {
             input: Box::new(to_physical(input, catalog)?),
             exprs: exprs.clone(),
             names: names.clone(),
         }),
-        LogicalPlan::Aggregate { input, window, keys, key_names, aggs } => {
-            Ok(PhysicalPlan::WindowAggregate {
-                input: Box::new(to_physical(input, catalog)?),
-                window: window.clone(),
-                keys: keys.clone(),
-                key_names: key_names.clone(),
-                aggs: aggs.clone(),
-            })
-        }
-        LogicalPlan::SlidingWindow { input, partition_by, ts_index, range_ms, rows, aggs } => {
-            Ok(PhysicalPlan::SlidingWindow {
-                input: Box::new(to_physical(input, catalog)?),
-                partition_by: partition_by.clone(),
-                ts_index: *ts_index,
-                range_ms: *range_ms,
-                rows: *rows,
-                aggs: aggs.clone(),
-            })
-        }
-        LogicalPlan::Join { left, right, kind, equi, time_bound, residual } => {
-            plan_join(left, right, *kind, equi, *time_bound, residual.clone(), catalog)
-        }
+        LogicalPlan::Aggregate {
+            input,
+            window,
+            keys,
+            key_names,
+            aggs,
+        } => Ok(PhysicalPlan::WindowAggregate {
+            input: Box::new(to_physical(input, catalog)?),
+            window: window.clone(),
+            keys: keys.clone(),
+            key_names: key_names.clone(),
+            aggs: aggs.clone(),
+        }),
+        LogicalPlan::SlidingWindow {
+            input,
+            partition_by,
+            ts_index,
+            range_ms,
+            rows,
+            aggs,
+        } => Ok(PhysicalPlan::SlidingWindow {
+            input: Box::new(to_physical(input, catalog)?),
+            partition_by: partition_by.clone(),
+            ts_index: *ts_index,
+            range_ms: *range_ms,
+            rows: *rows,
+            aggs: aggs.clone(),
+        }),
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            equi,
+            time_bound,
+            residual,
+        } => plan_join(
+            left,
+            right,
+            *kind,
+            equi,
+            *time_bound,
+            residual.clone(),
+            catalog,
+        ),
     }
 }
 
@@ -346,9 +425,13 @@ pub fn to_physical(plan: &LogicalPlan, catalog: &Catalog) -> Result<PhysicalPlan
 /// filters/projections) suitable for the bootstrap cache side of a join.
 fn relation_scan(plan: &LogicalPlan) -> Option<(&str, &Vec<String>, &Vec<Schema>)> {
     match plan {
-        LogicalPlan::Scan { kind: ObjectKind::Table, topic, names, types, .. } => {
-            Some((topic, names, types))
-        }
+        LogicalPlan::Scan {
+            kind: ObjectKind::Table,
+            topic,
+            names,
+            types,
+            ..
+        } => Some((topic, names, types)),
         _ => None,
     }
 }
@@ -434,7 +517,8 @@ fn plan_join(
         }
         (true, true) => Err(PlanError::Unsupported(
             "relation-to-relation joins are not executable as streaming jobs; \
-             stage one side as a stream".into(),
+             stage one side as a stream"
+                .into(),
         )),
     }
 }

@@ -42,7 +42,10 @@ impl PlannedQuery {
                 .output_names
                 .iter()
                 .zip(&self.output_types)
-                .map(|(n, t)| samzasql_serde::Field { name: n.clone(), schema: t.clone() })
+                .map(|(n, t)| samzasql_serde::Field {
+                    name: n.clone(),
+                    schema: t.clone(),
+                })
                 .collect(),
         }
     }
@@ -102,13 +105,19 @@ impl Planner {
     pub fn execute_ddl(&mut self, sql: &str) -> Result<String> {
         let stmt = parse_statement(sql)?;
         match stmt {
-            Statement::CreateView { name, columns, query } => {
+            Statement::CreateView {
+                name,
+                columns,
+                query,
+            } => {
                 // Validate the body now so bad views fail at definition time.
                 validate_query(&query, &self.catalog)?;
                 self.catalog.register_view(name.clone(), columns, *query)?;
                 Ok(name)
             }
-            _ => Err(PlanError::Semantic("execute_ddl only handles CREATE VIEW".into())),
+            _ => Err(PlanError::Semantic(
+                "execute_ddl only handles CREATE VIEW".into(),
+            )),
         }
     }
 

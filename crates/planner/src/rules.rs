@@ -35,20 +35,56 @@ fn rewrite(plan: LogicalPlan) -> (LogicalPlan, bool) {
     let (plan, mut changed) = match plan {
         LogicalPlan::Filter { input, predicate } => {
             let (input, c) = rewrite(*input);
-            (LogicalPlan::Filter { input: Box::new(input), predicate }, c)
-        }
-        LogicalPlan::Project { input, exprs, names } => {
-            let (input, c) = rewrite(*input);
-            (LogicalPlan::Project { input: Box::new(input), exprs, names }, c)
-        }
-        LogicalPlan::Aggregate { input, window, keys, key_names, aggs } => {
-            let (input, c) = rewrite(*input);
             (
-                LogicalPlan::Aggregate { input: Box::new(input), window, keys, key_names, aggs },
+                LogicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                },
                 c,
             )
         }
-        LogicalPlan::SlidingWindow { input, partition_by, ts_index, range_ms, rows, aggs } => {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => {
+            let (input, c) = rewrite(*input);
+            (
+                LogicalPlan::Project {
+                    input: Box::new(input),
+                    exprs,
+                    names,
+                },
+                c,
+            )
+        }
+        LogicalPlan::Aggregate {
+            input,
+            window,
+            keys,
+            key_names,
+            aggs,
+        } => {
+            let (input, c) = rewrite(*input);
+            (
+                LogicalPlan::Aggregate {
+                    input: Box::new(input),
+                    window,
+                    keys,
+                    key_names,
+                    aggs,
+                },
+                c,
+            )
+        }
+        LogicalPlan::SlidingWindow {
+            input,
+            partition_by,
+            ts_index,
+            range_ms,
+            rows,
+            aggs,
+        } => {
             let (input, c) = rewrite(*input);
             (
                 LogicalPlan::SlidingWindow {
@@ -62,7 +98,14 @@ fn rewrite(plan: LogicalPlan) -> (LogicalPlan, bool) {
                 c,
             )
         }
-        LogicalPlan::Join { left, right, kind, equi, time_bound, residual } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            equi,
+            time_bound,
+            residual,
+        } => {
             let (l, cl) = rewrite(*left);
             let (r, cr) = rewrite(*right);
             (
@@ -96,17 +139,32 @@ fn apply_local(plan: LogicalPlan) -> (LogicalPlan, bool) {
             }
             let fold_changed = folded != predicate;
             // Merge stacked filters.
-            if let LogicalPlan::Filter { input: inner, predicate: p2 } = *input {
+            if let LogicalPlan::Filter {
+                input: inner,
+                predicate: p2,
+            } = *input
+            {
                 let merged = ScalarExpr::Binary {
                     op: BinOp::And,
                     left: Box::new(p2),
                     right: Box::new(folded),
                     ty: samzasql_serde::Schema::Boolean,
                 };
-                return (LogicalPlan::Filter { input: inner, predicate: merged }, true);
+                return (
+                    LogicalPlan::Filter {
+                        input: inner,
+                        predicate: merged,
+                    },
+                    true,
+                );
             }
             // Push below a projection: rewrite predicate in input space.
-            if let LogicalPlan::Project { input: inner, exprs, names } = *input {
+            if let LogicalPlan::Project {
+                input: inner,
+                exprs,
+                names,
+            } = *input
+            {
                 if exprs.iter().all(is_pushable) {
                     let pushed = folded.substitute(&exprs);
                     return (
@@ -123,14 +181,26 @@ fn apply_local(plan: LogicalPlan) -> (LogicalPlan, bool) {
                 }
                 return (
                     LogicalPlan::Filter {
-                        input: Box::new(LogicalPlan::Project { input: inner, exprs, names }),
+                        input: Box::new(LogicalPlan::Project {
+                            input: inner,
+                            exprs,
+                            names,
+                        }),
                         predicate: folded,
                     },
                     fold_changed,
                 );
             }
             // Push into join sides when the conjunct only touches one side.
-            if let LogicalPlan::Join { left, right, kind, equi, time_bound, residual } = *input {
+            if let LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                equi,
+                time_bound,
+                residual,
+            } = *input
+            {
                 let larity = left.arity();
                 let total = larity + right.arity();
                 let mut conjuncts = Vec::new();
@@ -149,9 +219,19 @@ fn apply_local(plan: LogicalPlan) -> (LogicalPlan, bool) {
                     }
                 }
                 if left_preds.is_empty() && right_preds.is_empty() {
-                    let joined = LogicalPlan::Join { left, right, kind, equi, time_bound, residual };
+                    let joined = LogicalPlan::Join {
+                        left,
+                        right,
+                        kind,
+                        equi,
+                        time_bound,
+                        residual,
+                    };
                     return (
-                        LogicalPlan::Filter { input: Box::new(joined), predicate: folded },
+                        LogicalPlan::Filter {
+                            input: Box::new(joined),
+                            predicate: folded,
+                        },
                         fold_changed,
                     );
                 }
@@ -168,19 +248,35 @@ fn apply_local(plan: LogicalPlan) -> (LogicalPlan, bool) {
                 return (wrap_filter(joined, kept), true);
             }
             (
-                LogicalPlan::Filter { input, predicate: folded },
+                LogicalPlan::Filter {
+                    input,
+                    predicate: folded,
+                },
                 fold_changed,
             )
         }
         // Merge stacked projections; drop identity projections.
-        LogicalPlan::Project { input, exprs, names } => {
+        LogicalPlan::Project {
+            input,
+            exprs,
+            names,
+        } => {
             let folded: Vec<ScalarExpr> = exprs.iter().map(fold).collect();
             let fold_changed = folded != exprs;
-            if let LogicalPlan::Project { input: inner, exprs: inner_exprs, .. } = *input {
+            if let LogicalPlan::Project {
+                input: inner,
+                exprs: inner_exprs,
+                ..
+            } = *input
+            {
                 let merged: Vec<ScalarExpr> =
                     folded.iter().map(|e| e.substitute(&inner_exprs)).collect();
                 return (
-                    LogicalPlan::Project { input: inner, exprs: merged, names },
+                    LogicalPlan::Project {
+                        input: inner,
+                        exprs: merged,
+                        names,
+                    },
                     true,
                 );
             }
@@ -195,7 +291,14 @@ fn apply_local(plan: LogicalPlan) -> (LogicalPlan, bool) {
             if identity {
                 return (*input, true);
             }
-            (LogicalPlan::Project { input, exprs: folded, names }, fold_changed)
+            (
+                LogicalPlan::Project {
+                    input,
+                    exprs: folded,
+                    names,
+                },
+                fold_changed,
+            )
         }
         other => (other, false),
     }
@@ -208,13 +311,22 @@ fn wrap_filter(plan: LogicalPlan, preds: Vec<ScalarExpr>) -> LogicalPlan {
         right: Box::new(b),
         ty: samzasql_serde::Schema::Boolean,
     }) {
-        Some(p) => LogicalPlan::Filter { input: Box::new(plan), predicate: p },
+        Some(p) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: p,
+        },
         None => plan,
     }
 }
 
 fn flatten_and(expr: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
-    if let ScalarExpr::Binary { op: BinOp::And, left, right, .. } = expr {
+    if let ScalarExpr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+        ..
+    } = expr
+    {
         flatten_and(left, out);
         flatten_and(right, out);
     } else {
@@ -231,7 +343,12 @@ fn is_pushable(_e: &ScalarExpr) -> bool {
 /// Constant folding over a scalar expression.
 pub fn fold(expr: &ScalarExpr) -> ScalarExpr {
     match expr {
-        ScalarExpr::Binary { op, left, right, ty } => {
+        ScalarExpr::Binary {
+            op,
+            left,
+            right,
+            ty,
+        } => {
             let l = fold(left);
             let r = fold(right);
             if let (ScalarExpr::Literal(a), ScalarExpr::Literal(b)) = (&l, &r) {
@@ -264,9 +381,7 @@ pub fn fold(expr: &ScalarExpr) -> ScalarExpr {
         ScalarExpr::Not(e) => {
             let inner = fold(e);
             match inner {
-                ScalarExpr::Literal(Value::Boolean(b)) => {
-                    ScalarExpr::Literal(Value::Boolean(!b))
-                }
+                ScalarExpr::Literal(Value::Boolean(b)) => ScalarExpr::Literal(Value::Boolean(!b)),
                 ScalarExpr::Not(inner2) => *inner2,
                 other => ScalarExpr::Not(Box::new(other)),
             }
@@ -280,7 +395,11 @@ pub fn fold(expr: &ScalarExpr) -> ScalarExpr {
                 _ => ScalarExpr::Neg(Box::new(inner)),
             }
         }
-        ScalarExpr::Case { branches, else_result, ty } => ScalarExpr::Case {
+        ScalarExpr::Case {
+            branches,
+            else_result,
+            ty,
+        } => ScalarExpr::Case {
             branches: branches.iter().map(|(w, t)| (fold(w), fold(t))).collect(),
             else_result: else_result.as_ref().map(|e| Box::new(fold(e))),
             ty: ty.clone(),
@@ -294,19 +413,23 @@ pub fn fold(expr: &ScalarExpr) -> ScalarExpr {
             let inner = fold(expr);
             if let ScalarExpr::Literal(v) = &inner {
                 if let Some(ts) = v.as_i64() {
-                    return ScalarExpr::Literal(Value::Timestamp(
-                        ts - ts.rem_euclid(*unit_millis),
-                    ));
+                    return ScalarExpr::Literal(Value::Timestamp(ts - ts.rem_euclid(*unit_millis)));
                 }
             }
-            ScalarExpr::FloorTime { expr: Box::new(inner), unit_millis: *unit_millis }
+            ScalarExpr::FloorTime {
+                expr: Box::new(inner),
+                unit_millis: *unit_millis,
+            }
         }
         ScalarExpr::IsNull { expr, negated } => {
             let inner = fold(expr);
             if let ScalarExpr::Literal(v) = &inner {
                 return ScalarExpr::Literal(Value::Boolean(v.is_null() != *negated));
             }
-            ScalarExpr::IsNull { expr: Box::new(inner), negated: *negated }
+            ScalarExpr::IsNull {
+                expr: Box::new(inner),
+                negated: *negated,
+            }
         }
         ScalarExpr::Cast { expr, ty } => ScalarExpr::Cast {
             expr: Box::new(fold(expr)),
@@ -343,7 +466,10 @@ fn fold_binary(op: BinOp, a: &Value, b: &Value) -> Option<Value> {
         Plus | Minus | Multiply | Divide | Modulo => {
             // Integer arithmetic when both integral, else double.
             match (a.as_i64(), b.as_i64()) {
-                (Some(x), Some(y)) if !matches!(a, Value::Double(_) | Value::Float(_)) && !matches!(b, Value::Double(_) | Value::Float(_)) => {
+                (Some(x), Some(y))
+                    if !matches!(a, Value::Double(_) | Value::Float(_))
+                        && !matches!(b, Value::Double(_) | Value::Float(_)) =>
+                {
                     let v = match op {
                         Plus => x.checked_add(y)?,
                         Minus => x.checked_sub(y)?,
@@ -409,7 +535,12 @@ mod tests {
     }
 
     fn bin(op: BinOp, l: ScalarExpr, r: ScalarExpr, ty: Schema) -> ScalarExpr {
-        ScalarExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty }
+        ScalarExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+            ty,
+        }
     }
 
     #[test]
@@ -442,7 +573,10 @@ mod tests {
     #[test]
     fn division_by_zero_not_folded() {
         let e = bin(BinOp::Divide, lit(1), lit(0), Schema::Int);
-        assert!(matches!(fold(&e), ScalarExpr::Binary { .. }), "left for runtime to NULL");
+        assert!(
+            matches!(fold(&e), ScalarExpr::Binary { .. }),
+            "left for runtime to NULL"
+        );
     }
 
     #[test]
@@ -458,17 +592,28 @@ mod tests {
     #[test]
     fn stacked_filters_merge() {
         let pred = |i: usize| {
-            bin(BinOp::Gt, ScalarExpr::input(i, Schema::Int), lit(0), Schema::Boolean)
+            bin(
+                BinOp::Gt,
+                ScalarExpr::input(i, Schema::Int),
+                lit(0),
+                Schema::Boolean,
+            )
         };
         let plan = LogicalPlan::Filter {
-            input: Box::new(LogicalPlan::Filter { input: Box::new(scan()), predicate: pred(1) }),
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(scan()),
+                predicate: pred(1),
+            }),
             predicate: pred(2),
         };
         let opt = optimize(plan);
         match opt {
             LogicalPlan::Filter { input, predicate } => {
                 assert!(matches!(*input, LogicalPlan::Scan { .. }));
-                assert!(matches!(predicate, ScalarExpr::Binary { op: BinOp::And, .. }));
+                assert!(matches!(
+                    predicate,
+                    ScalarExpr::Binary { op: BinOp::And, .. }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -483,12 +628,20 @@ mod tests {
                 exprs: vec![ScalarExpr::input(2, Schema::Int)],
                 names: vec!["units".into()],
             }),
-            predicate: bin(BinOp::Gt, ScalarExpr::input(0, Schema::Int), lit(50), Schema::Boolean),
+            predicate: bin(
+                BinOp::Gt,
+                ScalarExpr::input(0, Schema::Int),
+                lit(50),
+                Schema::Boolean,
+            ),
         };
         let opt = optimize(plan);
         match opt {
             LogicalPlan::Project { input, .. } => match *input {
-                LogicalPlan::Filter { predicate, input: scan_input } => {
+                LogicalPlan::Filter {
+                    predicate,
+                    input: scan_input,
+                } => {
                     assert!(matches!(*scan_input, LogicalPlan::Scan { .. }));
                     assert_eq!(predicate.input_refs(), vec![2], "rewritten into scan space");
                 }
@@ -502,7 +655,10 @@ mod tests {
     fn projection_merge_collapses() {
         let inner = LogicalPlan::Project {
             input: Box::new(scan()),
-            exprs: vec![ScalarExpr::input(2, Schema::Int), ScalarExpr::input(0, Schema::Timestamp)],
+            exprs: vec![
+                ScalarExpr::input(2, Schema::Int),
+                ScalarExpr::input(0, Schema::Timestamp),
+            ],
             names: vec!["units".into(), "rowtime".into()],
         };
         let outer = LogicalPlan::Project {
@@ -547,7 +703,12 @@ mod tests {
         // Conjunct on left side (ref 2) and one spanning both (2 and 5).
         let pred = bin(
             BinOp::And,
-            bin(BinOp::Gt, ScalarExpr::input(2, Schema::Int), lit(0), Schema::Boolean),
+            bin(
+                BinOp::Gt,
+                ScalarExpr::input(2, Schema::Int),
+                lit(0),
+                Schema::Boolean,
+            ),
             bin(
                 BinOp::Eq,
                 ScalarExpr::input(2, Schema::Int),
@@ -556,7 +717,10 @@ mod tests {
             ),
             Schema::Boolean,
         );
-        let plan = LogicalPlan::Filter { input: Box::new(join), predicate: pred };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(join),
+            predicate: pred,
+        };
         let opt = optimize(plan);
         // Expect: Filter(span) over Join(Filter(left-side) , scan).
         match opt {

@@ -118,22 +118,43 @@ impl ScalarFunc {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScalarExpr {
     /// Reference to input column `index` of type `ty`.
-    InputRef { index: usize, ty: Schema },
+    InputRef {
+        index: usize,
+        ty: Schema,
+    },
     /// A constant.
     Literal(Value),
-    Binary { op: BinOp, left: Box<ScalarExpr>, right: Box<ScalarExpr>, ty: Schema },
+    Binary {
+        op: BinOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+        ty: Schema,
+    },
     Not(Box<ScalarExpr>),
     Neg(Box<ScalarExpr>),
-    IsNull { expr: Box<ScalarExpr>, negated: bool },
-    Call { func: ScalarFunc, args: Vec<ScalarExpr>, ty: Schema },
+    IsNull {
+        expr: Box<ScalarExpr>,
+        negated: bool,
+    },
+    Call {
+        func: ScalarFunc,
+        args: Vec<ScalarExpr>,
+        ty: Schema,
+    },
     /// `FLOOR(ts TO unit)`: round a timestamp down to a unit boundary.
-    FloorTime { expr: Box<ScalarExpr>, unit_millis: i64 },
+    FloorTime {
+        expr: Box<ScalarExpr>,
+        unit_millis: i64,
+    },
     Case {
         branches: Vec<(ScalarExpr, ScalarExpr)>,
         else_result: Option<Box<ScalarExpr>>,
         ty: Schema,
     },
-    Cast { expr: Box<ScalarExpr>, ty: Schema },
+    Cast {
+        expr: Box<ScalarExpr>,
+        ty: Schema,
+    },
 }
 
 impl ScalarExpr {
@@ -185,7 +206,11 @@ impl ScalarExpr {
                     a.visit(f);
                 }
             }
-            ScalarExpr::Case { branches, else_result, .. } => {
+            ScalarExpr::Case {
+                branches,
+                else_result,
+                ..
+            } => {
                 for (w, t) in branches {
                     w.visit(f);
                     t.visit(f);
@@ -215,11 +240,17 @@ impl ScalarExpr {
     /// across projections or shifting join sides).
     pub fn remap_inputs(&self, map: &dyn Fn(usize) -> usize) -> ScalarExpr {
         match self {
-            ScalarExpr::InputRef { index, ty } => {
-                ScalarExpr::InputRef { index: map(*index), ty: ty.clone() }
-            }
+            ScalarExpr::InputRef { index, ty } => ScalarExpr::InputRef {
+                index: map(*index),
+                ty: ty.clone(),
+            },
             ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
-            ScalarExpr::Binary { op, left, right, ty } => ScalarExpr::Binary {
+            ScalarExpr::Binary {
+                op,
+                left,
+                right,
+                ty,
+            } => ScalarExpr::Binary {
                 op: *op,
                 left: Box::new(left.remap_inputs(map)),
                 right: Box::new(right.remap_inputs(map)),
@@ -240,7 +271,11 @@ impl ScalarExpr {
                 expr: Box::new(expr.remap_inputs(map)),
                 unit_millis: *unit_millis,
             },
-            ScalarExpr::Case { branches, else_result, ty } => ScalarExpr::Case {
+            ScalarExpr::Case {
+                branches,
+                else_result,
+                ty,
+            } => ScalarExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(w, t)| (w.remap_inputs(map), t.remap_inputs(map)))
@@ -261,7 +296,12 @@ impl ScalarExpr {
         match self {
             ScalarExpr::InputRef { index, .. } => exprs[*index].clone(),
             ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
-            ScalarExpr::Binary { op, left, right, ty } => ScalarExpr::Binary {
+            ScalarExpr::Binary {
+                op,
+                left,
+                right,
+                ty,
+            } => ScalarExpr::Binary {
                 op: *op,
                 left: Box::new(left.substitute(exprs)),
                 right: Box::new(right.substitute(exprs)),
@@ -282,7 +322,11 @@ impl ScalarExpr {
                 expr: Box::new(expr.substitute(exprs)),
                 unit_millis: *unit_millis,
             },
-            ScalarExpr::Case { branches, else_result, ty } => ScalarExpr::Case {
+            ScalarExpr::Case {
+                branches,
+                else_result,
+                ty,
+            } => ScalarExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(w, t)| (w.substitute(exprs), t.substitute(exprs)))
@@ -305,8 +349,15 @@ impl ScalarExpr {
                 .cloned()
                 .unwrap_or_else(|| format!("$[{index}]")),
             ScalarExpr::Literal(v) => format!("{v}"),
-            ScalarExpr::Binary { op, left, right, .. } => {
-                format!("{} {} {}", left.display(names), op.symbol(), right.display(names))
+            ScalarExpr::Binary {
+                op, left, right, ..
+            } => {
+                format!(
+                    "{} {} {}",
+                    left.display(names),
+                    op.symbol(),
+                    right.display(names)
+                )
             }
             ScalarExpr::Not(e) => format!("NOT {}", e.display(names)),
             ScalarExpr::Neg(e) => format!("-{}", e.display(names)),
@@ -322,10 +373,18 @@ impl ScalarExpr {
             ScalarExpr::FloorTime { expr, unit_millis } => {
                 format!("FLOOR_TIME({}, {unit_millis}ms)", expr.display(names))
             }
-            ScalarExpr::Case { branches, else_result, .. } => {
+            ScalarExpr::Case {
+                branches,
+                else_result,
+                ..
+            } => {
                 let mut s = String::from("CASE");
                 for (w, t) in branches {
-                    s.push_str(&format!(" WHEN {} THEN {}", w.display(names), t.display(names)));
+                    s.push_str(&format!(
+                        " WHEN {} THEN {}",
+                        w.display(names),
+                        t.display(names)
+                    ));
                 }
                 if let Some(e) = else_result {
                     s.push_str(&format!(" ELSE {}", e.display(names)));
@@ -433,7 +492,10 @@ mod tests {
 
     #[test]
     fn arithmetic_widening() {
-        assert_eq!(arithmetic_type(BinOp::Plus, &Schema::Int, &Schema::Int).unwrap(), Schema::Int);
+        assert_eq!(
+            arithmetic_type(BinOp::Plus, &Schema::Int, &Schema::Int).unwrap(),
+            Schema::Int
+        );
         assert_eq!(
             arithmetic_type(BinOp::Plus, &Schema::Int, &Schema::Long).unwrap(),
             Schema::Long

@@ -24,8 +24,8 @@ use crate::error::{PlanError, Result};
 use crate::logical::{AggCall, AggFunc, GroupWindow, LogicalPlan, TimeBound};
 use crate::types::{arithmetic_type, is_numeric, BinOp, ScalarExpr, ScalarFunc};
 use samzasql_parser::ast::{
-    BinaryOp, Expr, FrameBound, FrameUnits, Literal, Query, SelectItem, TableRef,
-    UnaryOp, WindowSpec,
+    BinaryOp, Expr, FrameBound, FrameUnits, Literal, Query, SelectItem, TableRef, UnaryOp,
+    WindowSpec,
 };
 use samzasql_serde::{Schema, Value};
 
@@ -112,7 +112,10 @@ impl Scope {
 
 /// Validate a query against a catalog.
 pub fn validate_query(query: &Query, catalog: &Catalog) -> Result<Validation> {
-    let mut v = Validator { catalog, warnings: Vec::new() };
+    let mut v = Validator {
+        catalog,
+        warnings: Vec::new(),
+    };
     let is_stream = query.stream;
     let plan = v.query_plan(query, is_stream)?;
     // Timestamp-propagation warning (§7): streaming plans whose output lost
@@ -131,7 +134,13 @@ pub fn validate_query(query: &Query, catalog: &Catalog) -> Result<Validation> {
     for (e, asc) in &query.order_by {
         order_by.push((v.resolve(e, &out_scope)?, *asc));
     }
-    Ok(Validation { plan, warnings: v.warnings, is_stream, order_by, limit: query.limit })
+    Ok(Validation {
+        plan,
+        warnings: v.warnings,
+        is_stream,
+        order_by,
+        limit: query.limit,
+    })
 }
 
 struct Validator<'a> {
@@ -154,7 +163,10 @@ impl<'a> Validator<'a> {
                     predicate.ty().type_name()
                 )));
             }
-            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
         }
 
         let has_aggregates = !query.group_by.is_empty()
@@ -215,9 +227,8 @@ impl<'a> Validator<'a> {
                     "ORDER BY / LIMIT on a continuous stream query".into(),
                 ));
             }
-            self.warnings.push(
-                "ORDER BY/LIMIT evaluated at end of bounded scan".to_string(),
-            );
+            self.warnings
+                .push("ORDER BY/LIMIT evaluated at end of bounded scan".to_string());
         }
 
         Ok(plan)
@@ -264,8 +275,7 @@ impl<'a> Validator<'a> {
                             PlanError::Catalog(format!("{} has a non-record schema", obj.name))
                         })?;
                         let names: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
-                        let types: Vec<Schema> =
-                            fields.iter().map(|f| f.schema.clone()).collect();
+                        let types: Vec<Schema> = fields.iter().map(|f| f.schema.clone()).collect();
                         let ts_index = obj
                             .timestamp_field
                             .as_deref()
@@ -273,10 +283,9 @@ impl<'a> Validator<'a> {
                         let plan = LogicalPlan::Scan {
                             object: obj.name.clone(),
                             kind: obj.kind,
-                            topic: obj
-                                .topic
-                                .clone()
-                                .ok_or_else(|| PlanError::Catalog(format!("{} has no topic", obj.name)))?,
+                            topic: obj.topic.clone().ok_or_else(|| {
+                                PlanError::Catalog(format!("{} has no topic", obj.name))
+                            })?,
                             names,
                             types,
                             // Tables are never continuous scans; streams are
@@ -295,7 +304,12 @@ impl<'a> Validator<'a> {
                 let scope = Scope::from_plan(&plan, alias.as_deref());
                 Ok((plan, scope))
             }
-            TableRef::Join { left, right, kind, condition } => {
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                condition,
+            } => {
                 let (lplan, lscope) = self.from_clause(left, streaming)?;
                 let (rplan, rscope) = self.from_clause(right, streaming)?;
                 let larity = lplan.arity();
@@ -346,7 +360,10 @@ impl<'a> Validator<'a> {
                 SelectItem::QualifiedWildcard(rel) => {
                     let mut any = false;
                     for (i, c) in scope.columns.iter().enumerate() {
-                        if c.qualifier.as_deref().is_some_and(|q| q.eq_ignore_ascii_case(rel)) {
+                        if c.qualifier
+                            .as_deref()
+                            .is_some_and(|q| q.eq_ignore_ascii_case(rel))
+                        {
                             exprs.push(ScalarExpr::input(i, c.ty.clone()));
                             names.push(c.name.clone());
                             any = true;
@@ -358,12 +375,20 @@ impl<'a> Validator<'a> {
                 }
                 SelectItem::Expr { expr, alias } => {
                     let resolved = self.resolve(expr, &scope)?;
-                    names.push(alias.clone().unwrap_or_else(|| derive_name(expr, exprs.len())));
+                    names.push(
+                        alias
+                            .clone()
+                            .unwrap_or_else(|| derive_name(expr, exprs.len())),
+                    );
                     exprs.push(resolved);
                 }
             }
         }
-        Ok(LogicalPlan::Project { input: Box::new(input), exprs, names })
+        Ok(LogicalPlan::Project {
+            input: Box::new(input),
+            exprs,
+            names,
+        })
     }
 
     // --------------------------------------------------- aggregate queries
@@ -404,14 +429,19 @@ impl<'a> Validator<'a> {
             // Plain GROUP BY over an unbounded stream only terminates per
             // window; FLOOR(rowtime TO HOUR) keys act as an hourly tumbling
             // window (Listing 3), which the planner recognizes.
-            let floor_key = keys.iter().position(|k| matches!(k, ScalarExpr::FloorTime { .. }));
+            let floor_key = keys
+                .iter()
+                .position(|k| matches!(k, ScalarExpr::FloorTime { .. }));
             match floor_key {
                 Some(i) => {
                     let ScalarExpr::FloorTime { expr, unit_millis } = keys[i].clone() else {
                         unreachable!()
                     };
                     if let ScalarExpr::InputRef { index, .. } = *expr {
-                        window = GroupWindow::Tumble { ts_index: index, size_ms: unit_millis };
+                        window = GroupWindow::Tumble {
+                            ts_index: index,
+                            size_ms: unit_millis,
+                        };
                     }
                 }
                 None => {
@@ -439,13 +469,7 @@ impl<'a> Validator<'a> {
                 }
             };
             let out = self.resolve_in_agg_context(
-                expr,
-                &scope,
-                &keys,
-                key_count,
-                &mut aggs,
-                &window,
-                &input,
+                expr, &scope, &keys, key_count, &mut aggs, &window, &input,
             )?;
             out_names.push(alias.unwrap_or_else(|| derive_name(expr, out_exprs.len())));
             out_exprs.push(out);
@@ -469,11 +493,18 @@ impl<'a> Validator<'a> {
             if predicate.ty() != Schema::Boolean {
                 return Err(PlanError::Type("HAVING predicate must be boolean".into()));
             }
-            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
         }
 
         // Final projection arranging outputs.
-        Ok(LogicalPlan::Project { input: Box::new(plan), exprs: out_exprs, names: out_names })
+        Ok(LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs: out_exprs,
+            names: out_names,
+        })
     }
 
     fn window_spec(
@@ -518,7 +549,9 @@ impl<'a> Validator<'a> {
         };
         if name.eq_ignore_ascii_case("TUMBLE") {
             if args.len() != 2 {
-                return Err(PlanError::Semantic("TUMBLE(ts, size) takes 2 arguments".into()));
+                return Err(PlanError::Semantic(
+                    "TUMBLE(ts, size) takes 2 arguments".into(),
+                ));
             }
             let size_ms = interval_arg(&args[1], "size")?;
             if size_ms <= 0 {
@@ -533,13 +566,25 @@ impl<'a> Validator<'a> {
                 ));
             }
             let emit_ms = interval_arg(&args[1], "emit interval")?;
-            let retain_ms =
-                if args.len() >= 3 { interval_arg(&args[2], "retain interval")? } else { emit_ms };
-            let align_ms = if args.len() == 4 { interval_arg(&args[3], "alignment")? } else { 0 };
+            let retain_ms = if args.len() >= 3 {
+                interval_arg(&args[2], "retain interval")?
+            } else {
+                emit_ms
+            };
+            let align_ms = if args.len() == 4 {
+                interval_arg(&args[3], "alignment")?
+            } else {
+                0
+            };
             if emit_ms <= 0 || retain_ms <= 0 {
                 return Err(PlanError::Semantic("HOP intervals must be positive".into()));
             }
-            Ok(GroupWindow::Hop { ts_index, emit_ms, retain_ms, align_ms })
+            Ok(GroupWindow::Hop {
+                ts_index,
+                emit_ms,
+                retain_ms,
+                align_ms,
+            })
         }
     }
 
@@ -562,7 +607,9 @@ impl<'a> Validator<'a> {
             // Deduplicate identical calls.
             let idx = aggs
                 .iter()
-                .position(|a| a.func == call.func && a.arg == call.arg && a.distinct == call.distinct)
+                .position(|a| {
+                    a.func == call.func && a.arg == call.arg && a.distinct == call.distinct
+                })
                 .unwrap_or_else(|| {
                     aggs.push(call.clone());
                     aggs.len() - 1
@@ -590,7 +637,10 @@ impl<'a> Validator<'a> {
             Expr::Nested(inner) => {
                 self.resolve_in_agg_context(inner, scope, keys, key_count, aggs, window, input)
             }
-            Expr::Unary { op: UnaryOp::Neg, expr } => {
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => {
                 let e =
                     self.resolve_in_agg_context(expr, scope, keys, key_count, aggs, window, input)?;
                 Ok(ScalarExpr::Neg(Box::new(e)))
@@ -611,7 +661,11 @@ impl<'a> Validator<'a> {
     ) -> Result<Option<AggCall>> {
         let (func, args, distinct) = match expr {
             Expr::CountStar => (AggFunc::CountStar, &[][..], false),
-            Expr::Function { name, args, distinct } => match AggFunc::from_name(name) {
+            Expr::Function {
+                name,
+                args,
+                distinct,
+            } => match AggFunc::from_name(name) {
                 Some(f) => (f, args.as_slice(), *distinct),
                 // Names that are neither built-in aggregates nor scalar
                 // functions resolve as user-defined aggregates at runtime
@@ -640,8 +694,7 @@ impl<'a> Validator<'a> {
                 )))
             }
         };
-        if let (AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max, Some(a)) =
-            (&func, &arg)
+        if let (AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max, Some(a)) = (&func, &arg)
         {
             if !is_numeric(&a.ty()) && !matches!(a.ty(), Schema::String) {
                 return Err(PlanError::Type(format!(
@@ -679,7 +732,8 @@ impl<'a> Validator<'a> {
         };
         match expr {
             Expr::Binary { left, op, right } => {
-                let l = self.resolve_having(left, agg_scope, _key_sources, input_scope, agg_plan)?;
+                let l =
+                    self.resolve_having(left, agg_scope, _key_sources, input_scope, agg_plan)?;
                 let r =
                     self.resolve_having(right, agg_scope, _key_sources, input_scope, agg_plan)?;
                 self.typed_binary(*op, l, r)
@@ -701,7 +755,9 @@ impl<'a> Validator<'a> {
                     "HAVING references an aggregate not in the SELECT list: {expr:?}"
                 )))
             }
-            other => Err(PlanError::Semantic(format!("cannot resolve HAVING term {other:?}"))),
+            other => Err(PlanError::Semantic(format!(
+                "cannot resolve HAVING term {other:?}"
+            ))),
         }
     }
 
@@ -748,9 +804,8 @@ impl<'a> Validator<'a> {
             let ts_index = match self.resolve(&spec.order_by[0].0, &scope)? {
                 ScalarExpr::InputRef { index, ty } => {
                     if ty != Schema::Timestamp {
-                        self.warnings.push(
-                            "OVER window ordered by a non-timestamp column".to_string(),
-                        );
+                        self.warnings
+                            .push("OVER window ordered by a non-timestamp column".to_string());
                     }
                     index
                 }
@@ -793,7 +848,15 @@ impl<'a> Validator<'a> {
                             return Ok(());
                         }
                         let call = self
-                            .try_aggregate_call(func_expr, &scope, &GroupWindow::Tumble { ts_index: 0, size_ms: 1 }, aggs.len())?
+                            .try_aggregate_call(
+                                func_expr,
+                                &scope,
+                                &GroupWindow::Tumble {
+                                    ts_index: 0,
+                                    size_ms: 1,
+                                },
+                                aggs.len(),
+                            )?
                             .ok_or_else(|| {
                                 PlanError::Semantic(format!(
                                     "OVER applies to aggregate functions, got {func_expr:?}"
@@ -828,9 +891,16 @@ impl<'a> Validator<'a> {
                 .columns
                 .iter()
                 .cloned()
-                .chain(full_names[input_arity..].iter().zip(&full_types[input_arity..]).map(
-                    |(n, t)| ScopeColumn { qualifier: None, name: n.clone(), ty: t.clone() },
-                ))
+                .chain(
+                    full_names[input_arity..]
+                        .iter()
+                        .zip(&full_types[input_arity..])
+                        .map(|(n, t)| ScopeColumn {
+                            qualifier: None,
+                            name: n.clone(),
+                            ty: t.clone(),
+                        }),
+                )
                 .collect(),
         };
         let mut exprs = Vec::new();
@@ -845,7 +915,10 @@ impl<'a> Validator<'a> {
                 }
                 SelectItem::QualifiedWildcard(rel) => {
                     for (i, c) in scope.columns.iter().enumerate() {
-                        if c.qualifier.as_deref().is_some_and(|q| q.eq_ignore_ascii_case(rel)) {
+                        if c.qualifier
+                            .as_deref()
+                            .is_some_and(|q| q.eq_ignore_ascii_case(rel))
+                        {
                             exprs.push(ScalarExpr::input(i, c.ty.clone()));
                             names.push(c.name.clone());
                         }
@@ -854,12 +927,20 @@ impl<'a> Validator<'a> {
                 SelectItem::Expr { expr, alias } => {
                     let resolved =
                         self.resolve_with_over(expr, &full_scope, &over_outputs, &full_types)?;
-                    names.push(alias.clone().unwrap_or_else(|| derive_name(expr, exprs.len())));
+                    names.push(
+                        alias
+                            .clone()
+                            .unwrap_or_else(|| derive_name(expr, exprs.len())),
+                    );
                     exprs.push(resolved);
                 }
             }
         }
-        Ok(LogicalPlan::Project { input: Box::new(plan), exprs, names })
+        Ok(LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+            names,
+        })
     }
 
     /// Resolve an expression where OVER subtrees map to appended columns.
@@ -920,7 +1001,12 @@ impl<'a> Validator<'a> {
                 let r = self.resolve(right, scope)?;
                 self.typed_binary(*op, l, r)
             }
-            Expr::Between { expr, negated, low, high } => {
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
                 // Desugar: e BETWEEN a AND b ⇒ e >= a AND e <= b.
                 let e = self.resolve(expr, scope)?;
                 let lo = self.resolve(low, scope)?;
@@ -933,11 +1019,18 @@ impl<'a> Validator<'a> {
                     right: Box::new(le),
                     ty: Schema::Boolean,
                 };
-                Ok(if *negated { ScalarExpr::Not(Box::new(both)) } else { both })
+                Ok(if *negated {
+                    ScalarExpr::Not(Box::new(both))
+                } else {
+                    both
+                })
             }
             Expr::IsNull { expr, negated } => {
                 let inner = self.resolve(expr, scope)?;
-                Ok(ScalarExpr::IsNull { expr: Box::new(inner), negated: *negated })
+                Ok(ScalarExpr::IsNull {
+                    expr: Box::new(inner),
+                    negated: *negated,
+                })
             }
             Expr::FloorTo { expr, unit } => {
                 let inner = self.resolve(expr, scope)?;
@@ -958,18 +1051,23 @@ impl<'a> Validator<'a> {
                         "aggregate {name} is not valid here (needs GROUP BY or OVER)"
                     )));
                 }
-                let func = ScalarFunc::from_name(name).ok_or_else(|| {
-                    PlanError::Unsupported(format!("unknown function {name}"))
-                })?;
-                let args: Vec<ScalarExpr> =
-                    args.iter().map(|a| self.resolve(a, scope)).collect::<Result<_>>()?;
+                let func = ScalarFunc::from_name(name)
+                    .ok_or_else(|| PlanError::Unsupported(format!("unknown function {name}")))?;
+                let args: Vec<ScalarExpr> = args
+                    .iter()
+                    .map(|a| self.resolve(a, scope))
+                    .collect::<Result<_>>()?;
                 let ty = scalar_func_type(func, &args)?;
                 Ok(ScalarExpr::Call { func, args, ty })
             }
             Expr::CountStar => Err(PlanError::Semantic(
                 "COUNT(*) is not valid here (needs GROUP BY or OVER)".into(),
             )),
-            Expr::Case { operand, branches, else_result } => {
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
                 let mut resolved_branches = Vec::new();
                 for (w, t) in branches {
                     let cond = match operand {
@@ -998,12 +1096,19 @@ impl<'a> Validator<'a> {
                     .first()
                     .map(|(_, t)| t.ty())
                     .unwrap_or(Schema::Null);
-                Ok(ScalarExpr::Case { branches: resolved_branches, else_result: else_resolved, ty })
+                Ok(ScalarExpr::Case {
+                    branches: resolved_branches,
+                    else_result: else_resolved,
+                    ty,
+                })
             }
             Expr::Cast { expr, type_name } => {
                 let inner = self.resolve(expr, scope)?;
                 let ty = parse_type_name(type_name)?;
-                Ok(ScalarExpr::Cast { expr: Box::new(inner), ty })
+                Ok(ScalarExpr::Cast {
+                    expr: Box::new(inner),
+                    ty,
+                })
             }
             Expr::Over { .. } => Err(PlanError::Semantic(
                 "OVER windows are only valid in the SELECT list".into(),
@@ -1047,7 +1152,12 @@ impl<'a> Validator<'a> {
         } else {
             arithmetic_type(op, &l.ty(), &r.ty())?
         };
-        Ok(ScalarExpr::Binary { op, left: Box::new(l), right: Box::new(r), ty })
+        Ok(ScalarExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+            ty,
+        })
     }
 }
 
@@ -1106,17 +1216,22 @@ fn scalar_func_type(func: ScalarFunc, args: &[ScalarExpr]) -> Result<Schema> {
     match func {
         ScalarFunc::Greatest | ScalarFunc::Least => {
             if args.is_empty() {
-                return Err(PlanError::Semantic(format!("{} needs arguments", func.name())));
+                return Err(PlanError::Semantic(format!(
+                    "{} needs arguments",
+                    func.name()
+                )));
             }
             Ok(args[0].ty())
         }
         ScalarFunc::Abs | ScalarFunc::Floor | ScalarFunc::Ceil => {
-            let ty = args
-                .first()
-                .map(|a| a.ty())
-                .ok_or_else(|| PlanError::Semantic(format!("{} needs one argument", func.name())))?;
+            let ty = args.first().map(|a| a.ty()).ok_or_else(|| {
+                PlanError::Semantic(format!("{} needs one argument", func.name()))
+            })?;
             if !is_numeric(&ty) {
-                return Err(PlanError::Type(format!("{} requires a numeric", func.name())));
+                return Err(PlanError::Type(format!(
+                    "{} requires a numeric",
+                    func.name()
+                )));
             }
             Ok(ty)
         }
@@ -1225,11 +1340,15 @@ fn decompose_join_condition(
 
     for c in conjuncts {
         // left.col = right.col ?
-        if let ScalarExpr::Binary { op: BinOp::Eq, left: l, right: r, .. } = &c {
-            if let (
-                ScalarExpr::InputRef { index: a, .. },
-                ScalarExpr::InputRef { index: b, .. },
-            ) = (&**l, &**r)
+        if let ScalarExpr::Binary {
+            op: BinOp::Eq,
+            left: l,
+            right: r,
+            ..
+        } = &c
+        {
+            if let (ScalarExpr::InputRef { index: a, .. }, ScalarExpr::InputRef { index: b, .. }) =
+                (&**l, &**r)
             {
                 if *a < left_arity && *b >= left_arity {
                     equi.push((*a, *b - left_arity));
@@ -1258,7 +1377,12 @@ fn decompose_join_condition(
         (Some((l_ts, r_ts, lo)), Some((l2, r2, hi))) if l_ts == l2 && r_ts == r2 => {
             // Sanity: both referenced columns should be the timestamp columns.
             let _ = (left, right);
-            Some(TimeBound { left_ts: l_ts, right_ts: r_ts, lower_ms: lo, upper_ms: hi })
+            Some(TimeBound {
+                left_ts: l_ts,
+                right_ts: r_ts,
+                lower_ms: lo,
+                upper_ms: hi,
+            })
         }
         (None, None) => None,
         _ => {
@@ -1279,7 +1403,13 @@ fn decompose_join_condition(
 }
 
 fn flatten_and(expr: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
-    if let ScalarExpr::Binary { op: BinOp::And, left, right, .. } = expr {
+    if let ScalarExpr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+        ..
+    } = expr
+    {
         flatten_and(left, out);
         flatten_and(right, out);
     } else {
@@ -1290,7 +1420,10 @@ fn flatten_and(expr: &ScalarExpr, out: &mut Vec<ScalarExpr>) {
 /// Match `ts >= other ± k` / `ts <= other ± k` patterns; returns
 /// (left-side ts index, right-side ts index, slack ms, is_lower_bound).
 fn match_time_bound(expr: &ScalarExpr, left_arity: usize) -> Option<(usize, usize, i64, bool)> {
-    let ScalarExpr::Binary { op, left, right, .. } = expr else {
+    let ScalarExpr::Binary {
+        op, left, right, ..
+    } = expr
+    else {
         return None;
     };
     let (a, rhs, is_lower) = match op {
@@ -1298,7 +1431,11 @@ fn match_time_bound(expr: &ScalarExpr, left_arity: usize) -> Option<(usize, usiz
         BinOp::LtEq => (&**left, &**right, false),
         _ => return None,
     };
-    let ScalarExpr::InputRef { index: ts_a, ty: ty_a } = a else {
+    let ScalarExpr::InputRef {
+        index: ts_a,
+        ty: ty_a,
+    } = a
+    else {
         return None;
     };
     if *ty_a != Schema::Timestamp {
@@ -1306,17 +1443,25 @@ fn match_time_bound(expr: &ScalarExpr, left_arity: usize) -> Option<(usize, usiz
     }
     // rhs: other_ts ± const
     let (other, slack) = match rhs {
-        ScalarExpr::Binary { op: BinOp::Minus, left: l, right: r, .. } => {
-            match (&**l, &**r) {
-                (ScalarExpr::InputRef { index, ty }, ScalarExpr::Literal(v))
-                    if *ty == Schema::Timestamp =>
-                {
-                    (*index, v.as_i64()?)
-                }
-                _ => return None,
+        ScalarExpr::Binary {
+            op: BinOp::Minus,
+            left: l,
+            right: r,
+            ..
+        } => match (&**l, &**r) {
+            (ScalarExpr::InputRef { index, ty }, ScalarExpr::Literal(v))
+                if *ty == Schema::Timestamp =>
+            {
+                (*index, v.as_i64()?)
             }
-        }
-        ScalarExpr::Binary { op: BinOp::Plus, left: l, right: r, .. } => match (&**l, &**r) {
+            _ => return None,
+        },
+        ScalarExpr::Binary {
+            op: BinOp::Plus,
+            left: l,
+            right: r,
+            ..
+        } => match (&**l, &**r) {
             (ScalarExpr::InputRef { index, ty }, ScalarExpr::Literal(v))
                 if *ty == Schema::Timestamp =>
             {

@@ -1,9 +1,7 @@
 //! End-to-end planning tests: every paper query through parse → validate →
 //! optimize → physical, checking plan shapes and dialect semantics.
 
-use samzasql_planner::{
-    Catalog, GroupWindow, LogicalPlan, PhysicalPlan, PlanError, Planner,
-};
+use samzasql_planner::{Catalog, GroupWindow, LogicalPlan, PhysicalPlan, PlanError, Planner};
 use samzasql_serde::Schema;
 
 /// The paper's example catalog (§3.2): Orders/Packets/Asks/Bids streams and
@@ -97,23 +95,39 @@ fn select_star_is_bare_streaming_scan() {
     let p = planner().plan("SELECT STREAM * FROM Orders").unwrap();
     assert!(p.is_stream);
     assert!(matches!(p.logical, LogicalPlan::Scan { stream: true, .. }));
-    assert_eq!(p.output_names, vec!["rowtime", "productId", "orderId", "units"]);
+    assert_eq!(
+        p.output_names,
+        vec!["rowtime", "productId", "orderId", "units"]
+    );
 }
 
 #[test]
 fn absence_of_stream_keyword_scans_history() {
     let p = planner().plan("SELECT * FROM Orders").unwrap();
     assert!(!p.is_stream);
-    assert!(matches!(p.physical, PhysicalPlan::Scan { bounded: true, .. }));
+    assert!(matches!(
+        p.physical,
+        PhysicalPlan::Scan { bounded: true, .. }
+    ));
 }
 
 #[test]
 fn eval_filter_query_plan_shape() {
-    let p = planner().plan("SELECT STREAM * FROM Orders WHERE units > 50").unwrap();
+    let p = planner()
+        .plan("SELECT STREAM * FROM Orders WHERE units > 50")
+        .unwrap();
     match &p.physical {
         PhysicalPlan::Filter { input, predicate } => {
             assert!(matches!(**input, PhysicalPlan::Scan { bounded: false, .. }));
-            assert_eq!(predicate.display(&["rowtime".into(), "productId".into(), "orderId".into(), "units".into()]), "units > 50");
+            assert_eq!(
+                predicate.display(&[
+                    "rowtime".into(),
+                    "productId".into(),
+                    "orderId".into(),
+                    "units".into()
+                ]),
+                "units > 50"
+            );
         }
         other => panic!("{other:?}"),
     }
@@ -130,12 +144,18 @@ fn eval_project_query_plan_shape() {
         }
         other => panic!("{other:?}"),
     }
-    assert!(p.warnings.is_empty(), "timestamp kept, no warning: {:?}", p.warnings);
+    assert!(
+        p.warnings.is_empty(),
+        "timestamp kept, no warning: {:?}",
+        p.warnings
+    );
 }
 
 #[test]
 fn timestamp_drop_produces_warning() {
-    let p = planner().plan("SELECT STREAM productId, units FROM Orders").unwrap();
+    let p = planner()
+        .plan("SELECT STREAM productId, units FROM Orders")
+        .unwrap();
     assert!(
         p.warnings.iter().any(|w| w.contains("timestamp")),
         "expected §7 timestamp warning: {:?}",
@@ -156,7 +176,11 @@ fn eval_sliding_window_query_plan_shape() {
         PhysicalPlan::Project { input, names, .. } => {
             assert_eq!(names[3], "unitsLastFiveMinutes");
             match &**input {
-                PhysicalPlan::SlidingWindow { range_ms, partition_by, .. } => {
+                PhysicalPlan::SlidingWindow {
+                    range_ms,
+                    partition_by,
+                    ..
+                } => {
                     assert_eq!(*range_ms, Some(300_000));
                     assert_eq!(partition_by.len(), 1);
                 }
@@ -187,13 +211,20 @@ fn eval_join_query_uses_bootstrap_relation_join() {
             } => {
                 assert_eq!(relation_topic, "products-changelog");
                 assert!(stream_is_left);
-                assert_eq!(equi, &vec![(1, 0)], "stream productId -> relation productId");
+                assert_eq!(
+                    equi,
+                    &vec![(1, 0)],
+                    "stream productId -> relation productId"
+                );
             }
             other => panic!("{other:?}"),
         },
         other => panic!("{other:?}"),
     }
-    assert_eq!(p.output_names, vec!["rowtime", "orderId", "productId", "units", "supplierId"]);
+    assert_eq!(
+        p.output_names,
+        vec!["rowtime", "orderId", "productId", "units", "supplierId"]
+    );
 }
 
 #[test]
@@ -211,7 +242,9 @@ fn packet_join_extracts_window_bounds() {
         .unwrap();
     match &p.physical {
         PhysicalPlan::Project { input, .. } => match &**input {
-            PhysicalPlan::StreamToStreamJoin { time_bound, equi, .. } => {
+            PhysicalPlan::StreamToStreamJoin {
+                time_bound, equi, ..
+            } => {
                 assert_eq!(time_bound.lower_ms, 2_000);
                 assert_eq!(time_bound.upper_ms, 2_000);
                 assert_eq!(equi, &vec![(2, 2)], "packetId = packetId");
@@ -220,7 +253,11 @@ fn packet_join_extracts_window_bounds() {
         },
         other => panic!("{other:?}"),
     }
-    assert_eq!(p.output_types[3], Schema::Long, "timeToTravel is a duration");
+    assert_eq!(
+        p.output_types[3],
+        Schema::Long,
+        "timeToTravel is a duration"
+    );
 }
 
 #[test]
@@ -253,7 +290,13 @@ fn tumbling_window_aggregate_plans() {
     }
     match find_agg(&p.physical) {
         Some(PhysicalPlan::WindowAggregate { window, aggs, .. }) => {
-            assert_eq!(*window, GroupWindow::Tumble { ts_index: 0, size_ms: 3_600_000 });
+            assert_eq!(
+                *window,
+                GroupWindow::Tumble {
+                    ts_index: 0,
+                    size_ms: 3_600_000
+                }
+            );
             assert_eq!(aggs.len(), 2, "START + COUNT(*)");
         }
         other => panic!("{other:?}"),
@@ -305,7 +348,10 @@ fn views_expand_and_ignore_inner_stream_keyword() {
         .unwrap();
     assert!(p.is_stream, "stream-ness flows into the view body");
     let text = p.logical.explain();
-    assert!(text.contains("Scan[Orders, stream]"), "view expanded to its base stream: {text}");
+    assert!(
+        text.contains("Scan[Orders, stream]"),
+        "view expanded to its base stream: {text}"
+    );
     assert!(text.contains("Aggregate"), "{text}");
 }
 
@@ -319,7 +365,8 @@ fn subquery_form_matches_view_form() {
              FROM Orders GROUP BY FLOOR(rowtime TO HOUR), productId",
         )
         .unwrap();
-        pl.plan("SELECT STREAM rowtime, productId FROM V WHERE c > 2 OR su > 10").unwrap()
+        pl.plan("SELECT STREAM rowtime, productId FROM V WHERE c > 2 OR su > 10")
+            .unwrap()
     };
     let p_sub = planner()
         .plan(
@@ -330,18 +377,22 @@ fn subquery_form_matches_view_form() {
              WHERE c > 2 OR su > 10",
         )
         .unwrap();
-    assert_eq!(p_view.logical, p_sub.logical, "views and subqueries plan identically");
+    assert_eq!(
+        p_view.logical, p_sub.logical,
+        "views and subqueries plan identically"
+    );
 }
 
 #[test]
 fn having_resolves_against_aggregates() {
     let p = planner()
-        .plan(
-            "SELECT productId, COUNT(*) FROM Orders GROUP BY productId HAVING COUNT(*) > 2",
-        )
+        .plan("SELECT productId, COUNT(*) FROM Orders GROUP BY productId HAVING COUNT(*) > 2")
         .unwrap();
     let text = p.logical.explain();
-    assert!(text.contains("Filter"), "HAVING becomes a filter above the aggregate: {text}");
+    assert!(
+        text.contains("Filter"),
+        "HAVING becomes a filter above the aggregate: {text}"
+    );
 }
 
 #[test]
@@ -353,7 +404,10 @@ fn predicate_pushdown_happens() {
     let text = p.logical.explain();
     let filter_pos = text.find("Filter").expect("has filter");
     let project_pos = text.find("Project").expect("has project");
-    assert!(filter_pos > project_pos, "filter below project after pushdown:\n{text}");
+    assert!(
+        filter_pos > project_pos,
+        "filter below project after pushdown:\n{text}"
+    );
 }
 
 #[test]
@@ -399,7 +453,11 @@ fn bounded_group_by_without_window_allowed() {
         .plan("SELECT productId, COUNT(*) FROM Orders GROUP BY productId")
         .unwrap();
     assert!(!p.is_stream);
-    assert!(p.physical.explain().contains("relational"), "{}", p.physical.explain());
+    assert!(
+        p.physical.explain().contains("relational"),
+        "{}",
+        p.physical.explain()
+    );
 }
 
 #[test]
@@ -407,7 +465,9 @@ fn order_by_rejected_on_streams_allowed_bounded() {
     assert!(planner()
         .plan("SELECT STREAM * FROM Orders ORDER BY rowtime")
         .is_err());
-    assert!(planner().plan("SELECT * FROM Orders ORDER BY rowtime LIMIT 5").is_ok());
+    assert!(planner()
+        .plan("SELECT * FROM Orders ORDER BY rowtime LIMIT 5")
+        .is_ok());
 }
 
 #[test]
@@ -424,18 +484,26 @@ fn relation_to_relation_join_rejected() {
 #[test]
 fn repartition_inserted_when_partition_key_differs() {
     let mut pl = planner();
-    pl.catalog_mut().set_partition_key("Orders", "orderId").unwrap();
+    pl.catalog_mut()
+        .set_partition_key("Orders", "orderId")
+        .unwrap();
     let p = pl
         .plan(
             "SELECT STREAM Orders.rowtime, Products.supplierId \
              FROM Orders JOIN Products ON Orders.productId = Products.productId",
         )
         .unwrap();
-    assert!(p.physical.explain().contains("RepartitionOp"), "{}", p.physical.explain());
+    assert!(
+        p.physical.explain().contains("RepartitionOp"),
+        "{}",
+        p.physical.explain()
+    );
 
     // And when the keys match, no repartition.
     let mut pl2 = planner();
-    pl2.catalog_mut().set_partition_key("Orders", "productId").unwrap();
+    pl2.catalog_mut()
+        .set_partition_key("Orders", "productId")
+        .unwrap();
     let p2 = pl2
         .plan(
             "SELECT STREAM Orders.rowtime, Products.supplierId \
@@ -447,7 +515,9 @@ fn repartition_inserted_when_partition_key_differs() {
 
 #[test]
 fn explain_renders_both_plans() {
-    let text = planner().explain("SELECT STREAM * FROM Orders WHERE units > 50").unwrap();
+    let text = planner()
+        .explain("SELECT STREAM * FROM Orders WHERE units > 50")
+        .unwrap();
     assert!(text.contains("== Logical plan =="));
     assert!(text.contains("== Physical plan =="));
     assert!(text.contains("FilterOp"));
@@ -464,11 +534,16 @@ fn input_topics_and_state_detection() {
     let topics = p.physical.input_topics();
     assert_eq!(
         topics,
-        vec![("orders".to_string(), false), ("products-changelog".to_string(), true)]
+        vec![
+            ("orders".to_string(), false),
+            ("products-changelog".to_string(), true)
+        ]
     );
     assert!(p.physical.needs_local_state());
 
-    let p2 = planner().plan("SELECT STREAM * FROM Orders WHERE units > 50").unwrap();
+    let p2 = planner()
+        .plan("SELECT STREAM * FROM Orders WHERE units > 50")
+        .unwrap();
     assert!(!p2.physical.needs_local_state());
 }
 
@@ -490,6 +565,10 @@ fn multiple_over_windows_in_one_select() {
 
 #[test]
 fn select_distinct_rejected_on_stream_allowed_bounded() {
-    assert!(planner().plan("SELECT STREAM DISTINCT productId FROM Orders").is_err());
-    assert!(planner().plan("SELECT DISTINCT productId FROM Orders").is_ok());
+    assert!(planner()
+        .plan("SELECT STREAM DISTINCT productId FROM Orders")
+        .is_err());
+    assert!(planner()
+        .plan("SELECT DISTINCT productId FROM Orders")
+        .is_ok());
 }

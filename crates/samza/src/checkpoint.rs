@@ -99,9 +99,10 @@ impl CheckpointManager {
             }
             for rec in &batch.records {
                 offset = rec.offset + 1;
-                if let (Some(key), Some(cp)) =
-                    (rec.message.key.as_ref(), Checkpoint::decode(&rec.message.value))
-                {
+                if let (Some(key), Some(cp)) = (
+                    rec.message.key.as_ref(),
+                    Checkpoint::decode(&rec.message.value),
+                ) {
                     if let Ok(name) = std::str::from_utf8(key) {
                         out.insert(name.to_string(), cp);
                     }
@@ -138,8 +139,14 @@ mod tests {
         mgr.write("Partition 0", &cp(&[("t", 0, 1)])).unwrap();
         mgr.write("Partition 0", &cp(&[("t", 0, 9)])).unwrap();
         mgr.write("Partition 1", &cp(&[("t", 1, 5)])).unwrap();
-        assert_eq!(mgr.read_last("Partition 0").unwrap(), Some(cp(&[("t", 0, 9)])));
-        assert_eq!(mgr.read_last("Partition 1").unwrap(), Some(cp(&[("t", 1, 5)])));
+        assert_eq!(
+            mgr.read_last("Partition 0").unwrap(),
+            Some(cp(&[("t", 0, 9)]))
+        );
+        assert_eq!(
+            mgr.read_last("Partition 1").unwrap(),
+            Some(cp(&[("t", 1, 5)]))
+        );
         assert_eq!(mgr.read_last("Partition 2").unwrap(), None);
     }
 

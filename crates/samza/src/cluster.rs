@@ -1,14 +1,21 @@
 //! Cluster simulation: nodes, per-job application masters, container
 //! placement, and failure injection.
 //!
-//! The paper deploys Samza on YARN; each job gets an application master that
-//! "makes scheduling and resource management decisions on behalf of its job"
-//! (§2, *Masterless Design*). Here a [`ClusterSim`] holds a set of nodes with
-//! container capacities. Submitting a job plans its [`JobModel`], places one
-//! thread per container on a node with free capacity, and returns a
-//! [`JobHandle`]. Killing a container drops its thread and all in-memory
-//! state, then the job's AM reschedules it on another node — the replacement
-//! container restores state from changelogs and resumes from the last
+//! The paper deploys Samza on YARN with ZooKeeper; each job gets an
+//! application master that "makes scheduling and resource management
+//! decisions on behalf of its job" (§2, *Masterless Design*). Here a
+//! [`ClusterSim`] holds a set of nodes with container capacities. Submitting
+//! a job plans its [`JobModel`], publishes the model under
+//! `/samza/jobs/<job>/model` in the coordination service, places one thread
+//! per container on a node with free capacity, and returns a [`JobHandle`].
+//!
+//! **Liveness is coordination-driven.** Every container incarnation owns a
+//! coordination session (heartbeated from the container thread) and an
+//! ephemeral znode `/samza/jobs/<job>/containers/<id>`. The job's AM arms an
+//! existence watch on that node; when the session expires — crash,
+//! force-expiry, dropped heartbeats — the node vanishes, the watch fires,
+//! and the AM reschedules the container on a node with capacity. The
+//! replacement restores state from changelogs and resumes from the last
 //! checkpoint, which is exactly the recovery path §4.3 describes.
 
 use crate::config::JobConfig;
@@ -17,11 +24,18 @@ use crate::coordinator::JobModel;
 use crate::error::{Result, SamzaError};
 use crate::task::TaskFactory;
 use parking_lot::Mutex;
+use samzasql_coord::{Coord, CoordError, CreateMode, EventKind, SessionId};
 use samzasql_kafka::Broker;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
+
+/// Session timeout for container liveness. The coordination clock is manual,
+/// so sessions only expire when a test advances it or force-expires them;
+/// the generous value keeps `advance`-driven consumer-group tests from
+/// collaterally killing containers.
+const CONTAINER_SESSION_TIMEOUT_MS: u64 = 60_000;
 
 /// Capacity description of one simulated node.
 #[derive(Debug, Clone)]
@@ -33,7 +47,10 @@ pub struct NodeConfig {
 
 impl NodeConfig {
     pub fn new(name: impl Into<String>, container_slots: u32) -> Self {
-        NodeConfig { name: name.into(), container_slots }
+        NodeConfig {
+            name: name.into(),
+            container_slots,
+        }
     }
 }
 
@@ -53,6 +70,8 @@ struct RunningContainer {
     processed: Arc<AtomicU64>,
     /// Incarnation counter (bumps on every restart).
     generation: u32,
+    /// Coordination session whose ephemeral node advertises liveness.
+    session: SessionId,
 }
 
 struct JobState {
@@ -74,6 +93,7 @@ pub struct JobHandle {
 pub struct ClusterSim {
     inner: Arc<Mutex<ClusterState>>,
     broker: Broker,
+    coord: Coord,
 }
 
 struct ClusterState {
@@ -81,15 +101,70 @@ struct ClusterState {
     jobs: HashMap<String, JobState>,
 }
 
+fn coord_err(e: CoordError) -> SamzaError {
+    SamzaError::Cluster(format!("coordination: {e}"))
+}
+
+/// Minimal JSON string escaping for names/topics embedded in znode payloads.
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize a job model as JSON for `/samza/jobs/<job>/model`. Hand-rolled
+/// so this crate does not grow a serializer dependency for one payload.
+fn model_json(model: &JobModel) -> String {
+    let containers: Vec<String> = model
+        .containers
+        .iter()
+        .map(|c| {
+            let tasks: Vec<String> = c
+                .tasks
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{{\"name\":\"{}\",\"partition\":{}}}",
+                        escape_json(&t.task_name),
+                        t.partition
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"id\":{},\"tasks\":[{}]}}",
+                c.container_id,
+                tasks.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"job\":\"{}\",\"containers\":[{}]}}",
+        escape_json(&model.job_name),
+        containers.join(",")
+    )
+}
+
 impl ClusterSim {
-    /// Create a cluster over `broker` with the given nodes.
+    /// Create a cluster over `broker` with the given nodes and a fresh
+    /// coordination service.
     pub fn new(broker: Broker, nodes: Vec<NodeConfig>) -> Self {
+        ClusterSim::with_coord(broker, nodes, Coord::new())
+    }
+
+    /// Create a cluster sharing an existing coordination service (so tests
+    /// can drive expiry and watch the same znode tree the AM uses).
+    pub fn with_coord(broker: Broker, nodes: Vec<NodeConfig>, coord: Coord) -> Self {
         ClusterSim {
             inner: Arc::new(Mutex::new(ClusterState {
-                nodes: nodes.into_iter().map(|config| Node { config, used_slots: 0 }).collect(),
+                nodes: nodes
+                    .into_iter()
+                    .map(|config| Node {
+                        config,
+                        used_slots: 0,
+                    })
+                    .collect(),
                 jobs: HashMap::new(),
             })),
             broker,
+            coord,
         }
     }
 
@@ -98,41 +173,86 @@ impl ClusterSim {
         ClusterSim::new(broker, vec![NodeConfig::new("node-0", 1024)])
     }
 
-    /// Submit a job: plan its model, place containers, start their threads.
+    /// The coordination service backing job metadata and liveness.
+    pub fn coord(&self) -> &Coord {
+        &self.coord
+    }
+
+    /// Znode path advertising a container's liveness.
+    fn container_path(job_name: &str, container_id: u32) -> String {
+        format!("/samza/jobs/{job_name}/containers/{container_id}")
+    }
+
+    /// Submit a job: plan its model, publish it to the coordination service,
+    /// place containers, start their threads, and arm liveness watches.
     pub fn submit(&self, config: JobConfig, factory: Arc<dyn TaskFactory>) -> Result<JobHandle> {
         let model = JobModel::plan(&config, &self.broker)?;
-        let mut st = self.inner.lock();
-        if st.jobs.contains_key(&config.name) {
-            return Err(SamzaError::Cluster(format!("job {} already running", config.name)));
+        // Publish the model and configuration where any container (or an
+        // operator poking at the tree) can read them.
+        let base = format!("/samza/jobs/{}", config.name);
+        self.coord
+            .upsert(format!("{base}/model"), model_json(&model))
+            .map_err(coord_err)?;
+        self.coord
+            .upsert(
+                format!("{base}/config"),
+                format!(
+                    "{{\"name\":\"{}\",\"containers\":{}}}",
+                    escape_json(&config.name),
+                    model.containers.len()
+                ),
+            )
+            .map_err(coord_err)?;
+
+        let mut registrations = Vec::new();
+        {
+            let mut st = self.inner.lock();
+            if st.jobs.contains_key(&config.name) {
+                return Err(SamzaError::Cluster(format!(
+                    "job {} already running",
+                    config.name
+                )));
+            }
+            let mut job = JobState {
+                config: config.clone(),
+                model: model.clone(),
+                factory,
+                containers: HashMap::new(),
+            };
+            for cm in &model.containers {
+                let node_index = Self::find_slot(&mut st.nodes).ok_or_else(|| {
+                    SamzaError::Cluster(format!(
+                        "no node capacity for container {} of job {}",
+                        cm.container_id, config.name
+                    ))
+                })?;
+                let session = self.coord.create_session(CONTAINER_SESSION_TIMEOUT_MS);
+                let rc = Self::launch(
+                    &self.broker,
+                    &self.coord,
+                    session,
+                    &job.config,
+                    &job.model,
+                    cm.container_id,
+                    &*job.factory,
+                    node_index,
+                    0,
+                    Arc::new(AtomicU64::new(0)),
+                )?;
+                job.containers.insert(cm.container_id, rc);
+                registrations.push((cm.container_id, session, 0u32));
+            }
+            st.jobs.insert(config.name.clone(), job);
         }
-        let mut job = JobState {
-            config: config.clone(),
-            model: model.clone(),
-            factory,
-            containers: HashMap::new(),
-        };
-        for cm in &model.containers {
-            let node_index = Self::find_slot(&mut st.nodes).ok_or_else(|| {
-                SamzaError::Cluster(format!(
-                    "no node capacity for container {} of job {}",
-                    cm.container_id, config.name
-                ))
-            })?;
-            let rc = Self::launch(
-                &self.broker,
-                &job.config,
-                &job.model,
-                cm.container_id,
-                &*job.factory,
-                node_index,
-                0,
-                Arc::new(AtomicU64::new(0)),
-            )?;
-            job.containers.insert(cm.container_id, rc);
+        // Outside the cluster lock: creating znodes delivers watch events,
+        // and their callbacks may need that lock.
+        for (container_id, session, generation) in registrations {
+            self.register_liveness(&config.name, container_id, session, generation);
         }
-        let name = config.name.clone();
-        st.jobs.insert(name.clone(), job);
-        Ok(JobHandle { cluster: self.clone(), job_name: name })
+        Ok(JobHandle {
+            cluster: self.clone(),
+            job_name: config.name,
+        })
     }
 
     fn find_slot(nodes: &mut [Node]) -> Option<usize> {
@@ -149,6 +269,8 @@ impl ClusterSim {
     #[allow(clippy::too_many_arguments)]
     fn launch(
         broker: &Broker,
+        coord: &Coord,
+        session: SessionId,
         config: &JobConfig,
         model: &JobModel,
         container_id: u32,
@@ -169,11 +291,17 @@ impl ClusterSim {
         let stop2 = stop.clone();
         let crash2 = crash.clone();
         let processed2 = processed.clone();
+        let coord2 = coord.clone();
         let thread = std::thread::Builder::new()
             .name(format!("{}-c{}-g{}", config.name, container_id, generation))
             .spawn(move || -> Result<()> {
                 container.init()?;
                 while !stop2.load(Ordering::Relaxed) && !crash2.load(Ordering::Relaxed) {
+                    // Advertise liveness. A failed heartbeat means the
+                    // session already expired — the AM is (or will be)
+                    // replacing this incarnation; keep draining until the
+                    // crash flag lands rather than racing it.
+                    let _ = coord2.heartbeat(session);
                     let n = container.step()?;
                     processed2.fetch_add(n, Ordering::Relaxed);
                     if n == 0 {
@@ -187,7 +315,134 @@ impl ClusterSim {
                 Ok(())
             })
             .expect("spawn container thread");
-        Ok(RunningContainer { node_index, stop, crash, thread: Some(thread), processed, generation })
+        Ok(RunningContainer {
+            node_index,
+            stop,
+            crash,
+            thread: Some(thread),
+            processed,
+            generation,
+            session,
+        })
+    }
+
+    /// Create the container's ephemeral liveness node and arm the AM's
+    /// existence watch on it. Must be called WITHOUT the cluster lock held.
+    fn register_liveness(
+        &self,
+        job_name: &str,
+        container_id: u32,
+        session: SessionId,
+        generation: u32,
+    ) {
+        let path = Self::container_path(job_name, container_id);
+        // The session may already be dead (e.g. force-expired immediately
+        // after launch); the watch below still catches the absent node.
+        let _ = self.coord.create(
+            Some(session),
+            path.as_str(),
+            generation.to_string(),
+            CreateMode::Ephemeral,
+        );
+        self.arm_liveness_watch(job_name, container_id);
+    }
+
+    /// Arm (or re-arm) the one-shot existence watch that turns an ephemeral
+    /// node's disappearance into a reschedule.
+    fn arm_liveness_watch(&self, job_name: &str, container_id: u32) {
+        let path = Self::container_path(job_name, container_id);
+        // The callback holds only a weak reference to the cluster state so a
+        // dropped cluster does not live on inside the coordination service.
+        let weak: Weak<Mutex<ClusterState>> = Arc::downgrade(&self.inner);
+        let broker = self.broker.clone();
+        let coord = self.coord.clone();
+        let job = job_name.to_string();
+        let (watch_id, stat) = self.coord.watch_exists_cb(path, move |event| {
+            if event.kind != EventKind::NodeDeleted {
+                return;
+            }
+            let Some(inner) = weak.upgrade() else { return };
+            let cluster = ClusterSim {
+                inner,
+                broker: broker.clone(),
+                coord: coord.clone(),
+            };
+            cluster.on_container_node_deleted(&job, container_id);
+        });
+        if stat.is_none() {
+            // The node vanished before the watch was armed (session expired
+            // in the creation window). The armed watch would only fire on a
+            // future re-creation; cancel it and handle the loss directly.
+            self.coord.cancel_watch(watch_id);
+            self.on_container_node_deleted(job_name, container_id);
+        }
+    }
+
+    /// AM reaction to a container's liveness node disappearing: if the
+    /// registered incarnation's session is really gone, tear the incarnation
+    /// down and reschedule a successor.
+    fn on_container_node_deleted(&self, job_name: &str, container_id: u32) {
+        // Phase 1: detach the dead incarnation under the lock.
+        let mut rc = {
+            let mut st = self.inner.lock();
+            let Some(job) = st.jobs.get_mut(job_name) else {
+                return;
+            };
+            let Some(rc) = job.containers.get(&container_id) else {
+                // Deliberate kill/stop already detached it; nothing to do.
+                return;
+            };
+            if self.coord.session_alive(rc.session) {
+                // Stale watch: a newer incarnation already owns the slot.
+                return;
+            }
+            let rc = job.containers.remove(&container_id).expect("present above");
+            st.nodes[rc.node_index].used_slots -= 1;
+            rc
+        };
+        // The session died, so the incarnation never commits: crash it.
+        rc.crash.store(true, Ordering::Relaxed);
+        if let Some(t) = rc.thread.take() {
+            let _ = t.join();
+        }
+        let _ = self.respawn(job_name, container_id, rc.generation + 1, rc.processed);
+    }
+
+    /// Schedule a fresh incarnation of a container (new session, new node
+    /// placement), then advertise and watch its liveness.
+    fn respawn(
+        &self,
+        job_name: &str,
+        container_id: u32,
+        generation: u32,
+        processed: Arc<AtomicU64>,
+    ) -> Result<()> {
+        let session = self.coord.create_session(CONTAINER_SESSION_TIMEOUT_MS);
+        {
+            let mut st = self.inner.lock();
+            let st_ref = &mut *st;
+            let job = st_ref
+                .jobs
+                .get_mut(job_name)
+                .ok_or_else(|| SamzaError::Cluster(format!("job {job_name} vanished")))?;
+            let new_node = Self::find_slot(&mut st_ref.nodes)
+                .ok_or_else(|| SamzaError::Cluster("no capacity for restart".into()))?;
+            let rc = Self::launch(
+                &self.broker,
+                &self.coord,
+                session,
+                &job.config,
+                &job.model,
+                container_id,
+                &*job.factory,
+                new_node,
+                generation,
+                processed,
+            )?;
+            job.containers.insert(container_id, rc);
+        }
+        self.register_liveness(job_name, container_id, session, generation);
+        Ok(())
     }
 
     /// Kill a container (simulated node/process failure): its thread is
@@ -196,7 +451,7 @@ impl ClusterSim {
     /// checkpoint.
     pub fn kill_and_restart_container(&self, job_name: &str, container_id: u32) -> Result<()> {
         // Phase 1: take the dying container out under the lock.
-        let (crash, thread, processed, node_index, generation) = {
+        let mut rc = {
             let mut st = self.inner.lock();
             let job = st
                 .jobs
@@ -206,41 +461,27 @@ impl ClusterSim {
                 SamzaError::Cluster(format!("unknown container {container_id} of {job_name}"))
             })?;
             st.nodes[rc.node_index].used_slots -= 1;
-            (rc.crash, rc.thread, rc.processed, rc.node_index, rc.generation)
+            rc
         };
         // Abrupt kill: the crash flag makes the thread exit WITHOUT its
         // final commit, so uncheckpointed progress is genuinely lost and
         // must be replayed by the replacement. Heap state drops with the
         // container.
-        crash.store(true, Ordering::Relaxed);
-        if let Some(t) = thread {
+        rc.crash.store(true, Ordering::Relaxed);
+        if let Some(t) = rc.thread.take() {
             let _ = t.join();
         }
-        let _ = node_index;
+        // Retire the incarnation's session: its ephemeral node disappears
+        // and the armed watch fires, but the handler sees the container
+        // already detached (removed above) and stands down — this deliberate
+        // restart owns the reschedule.
+        let _ = self.coord.close_session(rc.session);
         // Phase 2: reschedule on (possibly another) node.
-        let mut st = self.inner.lock();
-        let st_ref = &mut *st;
-        let job = st_ref
-            .jobs
-            .get_mut(job_name)
-            .ok_or_else(|| SamzaError::Cluster(format!("job {job_name} vanished")))?;
-        let new_node = Self::find_slot(&mut st_ref.nodes)
-            .ok_or_else(|| SamzaError::Cluster("no capacity for restart".into()))?;
-        let rc = Self::launch(
-            &self.broker,
-            &job.config,
-            &job.model,
-            container_id,
-            &*job.factory,
-            new_node,
-            generation + 1,
-            processed,
-        )?;
-        job.containers.insert(container_id, rc);
-        Ok(())
+        self.respawn(job_name, container_id, rc.generation + 1, rc.processed)
     }
 
-    /// Stop a job cleanly: signal every container, join threads, free slots.
+    /// Stop a job cleanly: signal every container, join threads, retire
+    /// their sessions, and drop the job's znode subtree.
     pub fn stop_job(&self, job_name: &str) -> Result<()> {
         let containers = {
             let mut st = self.inner.lock();
@@ -259,7 +500,11 @@ impl ClusterSim {
                 t.join()
                     .map_err(|_| SamzaError::Cluster("container thread panicked".into()))??;
             }
+            let _ = self.coord.close_session(rc.session);
         }
+        self.coord
+            .delete_recursive(format!("/samza/jobs/{job_name}"))
+            .map_err(coord_err)?;
         Ok(())
     }
 
@@ -268,8 +513,33 @@ impl ClusterSim {
         let st = self.inner.lock();
         st.jobs
             .get(job_name)
-            .map(|j| j.containers.values().map(|c| c.processed.load(Ordering::Relaxed)).sum())
+            .map(|j| {
+                j.containers
+                    .values()
+                    .map(|c| c.processed.load(Ordering::Relaxed))
+                    .sum()
+            })
             .unwrap_or(0)
+    }
+
+    /// The coordination session of a container's current incarnation.
+    pub fn container_session(&self, job_name: &str, container_id: u32) -> Option<SessionId> {
+        let st = self.inner.lock();
+        st.jobs
+            .get(job_name)?
+            .containers
+            .get(&container_id)
+            .map(|rc| rc.session)
+    }
+
+    /// The generation (incarnation count) of a container.
+    pub fn container_generation(&self, job_name: &str, container_id: u32) -> Option<u32> {
+        let st = self.inner.lock();
+        st.jobs
+            .get(job_name)?
+            .containers
+            .get(&container_id)
+            .map(|rc| rc.generation)
     }
 
     /// Names of running jobs, sorted.
@@ -285,7 +555,13 @@ impl ClusterSim {
             .lock()
             .nodes
             .iter()
-            .map(|n| (n.config.name.clone(), n.used_slots, n.config.container_slots))
+            .map(|n| {
+                (
+                    n.config.name.clone(),
+                    n.used_slots,
+                    n.config.container_slots,
+                )
+            })
             .collect()
     }
 
@@ -303,7 +579,8 @@ impl JobHandle {
 
     /// Kill + restart one container.
     pub fn kill_container(&self, container_id: u32) -> Result<()> {
-        self.cluster.kill_and_restart_container(&self.job_name, container_id)
+        self.cluster
+            .kill_and_restart_container(&self.job_name, container_id)
     }
 
     /// Stop the job and join its containers.

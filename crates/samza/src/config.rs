@@ -161,7 +161,10 @@ impl JobConfig {
             return Err(SamzaError::Config("job name must not be empty".into()));
         }
         if self.inputs.is_empty() {
-            return Err(SamzaError::Config(format!("job {} has no inputs", self.name)));
+            return Err(SamzaError::Config(format!(
+                "job {} has no inputs",
+                self.name
+            )));
         }
         if self.container_count == 0 {
             return Err(SamzaError::Config(format!(
@@ -203,7 +206,10 @@ mod tests {
 
     #[test]
     fn empty_name_and_inputs_rejected() {
-        assert!(JobConfig::new("").input(InputStreamConfig::avro("t")).validate().is_err());
+        assert!(JobConfig::new("")
+            .input(InputStreamConfig::avro("t"))
+            .validate()
+            .is_err());
         assert!(JobConfig::new("j").validate().is_err());
     }
 

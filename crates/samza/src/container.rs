@@ -13,8 +13,8 @@ use crate::error::Result;
 use crate::kv::KeyValueStore;
 use crate::system::{IncomingMessageEnvelope, MessageCollector};
 use crate::task::{StreamTask, TaskContext, TaskCoordinator, TaskFactory};
-use samzasql_kafka::{Broker, KafkaError, Message, TopicConfig, TopicPartition};
 use samzasql_kafka::partitioner::hash_bytes;
+use samzasql_kafka::{Broker, KafkaError, Message, TopicConfig, TopicPartition};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How many records a task fetches from one partition per step.
@@ -66,7 +66,11 @@ impl Container {
         let checkpoints = CheckpointManager::new(broker.clone(), &config.name)?;
         let mut tasks = Vec::with_capacity(model.tasks.len());
         for tm in &model.tasks {
-            let ctx = TaskContext::new(tm.task_name.clone(), tm.partition, tm.input_partitions.clone());
+            let ctx = TaskContext::new(
+                tm.task_name.clone(),
+                tm.partition,
+                tm.input_partitions.clone(),
+            );
             tasks.push(TaskInstance {
                 task: factory.create(tm.partition),
                 ctx,
@@ -78,7 +82,14 @@ impl Container {
                 shutdown: false,
             });
         }
-        Ok(Container { broker, config, model, checkpoints, tasks, initialized: false })
+        Ok(Container {
+            broker,
+            config,
+            model,
+            checkpoints,
+            tasks,
+            initialized: false,
+        })
     }
 
     /// Initialize every task: create + restore stores, position inputs from
@@ -223,17 +234,20 @@ impl Container {
         let mut processed = 0u64;
         let task_partition = ti.ctx.partition;
         for envelope in &batch {
-            ti.task.process(envelope, &mut ti.ctx, &mut collector, &mut coordinator)?;
+            ti.task
+                .process(envelope, &mut ti.ctx, &mut collector, &mut coordinator)?;
             // Positions advance as messages are *processed*, so a mid-batch
             // checkpoint never claims unprocessed input.
-            ti.positions.insert(envelope.tp.clone(), envelope.offset + 1);
+            ti.positions
+                .insert(envelope.tp.clone(), envelope.offset + 1);
             processed += 1;
             ti.processed_since_commit += 1;
             ti.processed_since_window += 1;
             ti.ctx.metrics.record_processed(1);
             if window_interval > 0 && ti.processed_since_window >= window_interval {
                 ti.processed_since_window = 0;
-                ti.task.window(&mut ti.ctx, &mut collector, &mut coordinator)?;
+                ti.task
+                    .window(&mut ti.ctx, &mut collector, &mut coordinator)?;
                 ti.ctx.metrics.record_window();
             }
             // Commit when the interval elapses or the task asked for it:
@@ -246,7 +260,9 @@ impl Container {
                 // changelogs, then checkpoint input positions.
                 Self::flush_outputs(&broker, &mut collector, &ti.ctx, task_partition)?;
                 ti.ctx.flush_changelogs()?;
-                let cp = Checkpoint { offsets: ti.positions.clone() };
+                let cp = Checkpoint {
+                    offsets: ti.positions.clone(),
+                };
                 checkpoints.write(&ti.ctx.task_name, &cp)?;
                 ti.ctx.metrics.record_commit();
             }
@@ -290,7 +306,11 @@ impl Container {
             broker.produce(
                 &env.topic,
                 partition,
-                Message { key: env.key, value: env.payload, timestamp: env.timestamp },
+                Message {
+                    key: env.key,
+                    value: env.payload,
+                    timestamp: env.timestamp,
+                },
             )?;
         }
         Ok(())
@@ -324,7 +344,8 @@ impl Container {
         for ti in &mut self.tasks {
             let mut collector = MessageCollector::new();
             let mut coordinator = TaskCoordinator::default();
-            ti.task.window(&mut ti.ctx, &mut collector, &mut coordinator)?;
+            ti.task
+                .window(&mut ti.ctx, &mut collector, &mut coordinator)?;
             ti.ctx.metrics.record_window();
             let task_partition = ti.ctx.partition;
             Self::flush_outputs(&broker, &mut collector, &ti.ctx, task_partition)?;
@@ -337,7 +358,9 @@ impl Container {
     pub fn commit_all(&mut self) -> Result<()> {
         for ti in &mut self.tasks {
             ti.ctx.flush_changelogs()?;
-            let cp = Checkpoint { offsets: ti.positions.clone() };
+            let cp = Checkpoint {
+                offsets: ti.positions.clone(),
+            };
             self.checkpoints.write(&ti.ctx.task_name, &cp)?;
             ti.ctx.metrics.record_commit();
         }
@@ -349,7 +372,10 @@ impl Container {
         let mut lag = 0u64;
         for ti in &self.tasks {
             for (tp, pos) in &ti.positions {
-                lag += self.broker.end_offset(&tp.topic, tp.partition)?.saturating_sub(*pos);
+                lag += self
+                    .broker
+                    .end_offset(&tp.topic, tp.partition)?
+                    .saturating_sub(*pos);
             }
         }
         Ok(lag)
@@ -369,7 +395,10 @@ impl Container {
 
     /// Number of tasks whose bootstrap phase is still pending.
     pub fn tasks_bootstrapping(&self) -> usize {
-        self.tasks.iter().filter(|t| !t.bootstrap_pending.is_empty()).count()
+        self.tasks
+            .iter()
+            .filter(|t| !t.bootstrap_pending.is_empty())
+            .count()
     }
 
     /// The container id within the job.
@@ -379,7 +408,10 @@ impl Container {
 
     /// Access a task's context by partition (test/diagnostic hook).
     pub fn task_context(&self, partition: u32) -> Option<&TaskContext> {
-        self.tasks.iter().find(|t| t.ctx.partition == partition).map(|t| &t.ctx)
+        self.tasks
+            .iter()
+            .find(|t| t.ctx.partition == partition)
+            .map(|t| &t.ctx)
     }
 }
 

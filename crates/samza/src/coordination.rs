@@ -1,15 +1,18 @@
-//! ZooKeeper-like hierarchical metadata store.
+//! Deprecated metadata-store shim over the coordination service.
 //!
 //! §4.2: during job-configuration generation "some of the metadata such as
 //! message schemas and the streaming query are stored in Zookeeper and
 //! references to those configurations are added to the job configuration.
 //! SamzaSQL tasks then read actual values for configurations from
-//! Zookeeper." This store carries that handoff in-process: path-addressed
-//! string values with children listing and version counters.
+//! Zookeeper." That handoff now lives in [`samzasql_coord::Coord`] — a full
+//! znode tree with sessions, ephemeral nodes, and watches. [`MetadataStore`]
+//! remains as a thin, deprecated adapter so existing call sites keep
+//! compiling while they migrate; it delegates every operation to a `Coord`
+//! and inherits its canonical path handling (the old standalone store failed
+//! to collapse interior empty segments, so `/a//b` and `/a/b` addressed
+//! different entries).
 
-use parking_lot::RwLock;
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use samzasql_coord::{Coord, CoordError, CreateMode};
 
 /// A stored entry: value plus a monotonically increasing version.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,99 +22,102 @@ pub struct MetadataEntry {
 }
 
 /// Shared, thread-safe, path-addressed metadata store.
+#[deprecated(
+    note = "use samzasql_coord::Coord directly — the metadata store is now a thin \
+            adapter over the coordination service"
+)]
 #[derive(Clone, Default)]
 pub struct MetadataStore {
-    nodes: Arc<RwLock<BTreeMap<String, MetadataEntry>>>,
+    coord: Coord,
 }
 
+#[allow(deprecated)]
 impl MetadataStore {
     pub fn new() -> Self {
         MetadataStore::default()
     }
 
-    fn normalize(path: &str) -> String {
-        let trimmed = path.trim_matches('/');
-        format!("/{trimmed}")
+    /// An adapter over an existing coordination service: reads and writes go
+    /// to the same znode tree the rest of the stack uses.
+    pub fn with_coord(coord: Coord) -> Self {
+        MetadataStore { coord }
+    }
+
+    /// The backing coordination service.
+    pub fn coord(&self) -> &Coord {
+        &self.coord
     }
 
     /// Set a value at a path, creating or overwriting; returns new version.
     pub fn set(&self, path: &str, value: impl Into<String>) -> u64 {
-        let path = Self::normalize(path);
-        let mut nodes = self.nodes.write();
-        let version = nodes.get(&path).map_or(1, |e| e.version + 1);
-        nodes.insert(path, MetadataEntry { value: value.into(), version });
-        version
+        self.coord.upsert(path, value.into()).unwrap_or(0)
     }
 
     /// Get the value at a path.
     pub fn get(&self, path: &str) -> Option<String> {
-        self.nodes.read().get(&Self::normalize(path)).map(|e| e.value.clone())
+        self.coord.get(path).ok().map(|(value, _)| value)
     }
 
     /// Get the full entry (value + version).
     pub fn get_entry(&self, path: &str) -> Option<MetadataEntry> {
-        self.nodes.read().get(&Self::normalize(path)).cloned()
+        self.coord
+            .get(path)
+            .ok()
+            .map(|(value, stat)| MetadataEntry {
+                value,
+                version: stat.version,
+            })
     }
 
-    /// Compare-and-set: succeeds only when the current version matches.
-    pub fn compare_and_set(&self, path: &str, expected_version: u64, value: impl Into<String>) -> bool {
-        let path = Self::normalize(path);
-        let mut nodes = self.nodes.write();
-        match nodes.get(&path) {
-            Some(e) if e.version == expected_version => {
-                let version = e.version + 1;
-                nodes.insert(path, MetadataEntry { value: value.into(), version });
-                true
-            }
-            None if expected_version == 0 => {
-                nodes.insert(path, MetadataEntry { value: value.into(), version: 1 });
-                true
-            }
-            _ => false,
+    /// Compare-and-set: succeeds only when the current version matches
+    /// (`expected_version == 0` creates the path).
+    pub fn compare_and_set(
+        &self,
+        path: &str,
+        expected_version: u64,
+        value: impl Into<String>,
+    ) -> bool {
+        if expected_version == 0 {
+            self.coord
+                .create(None, path, value.into(), CreateMode::Persistent)
+                .is_ok()
+        } else {
+            self.coord
+                .set(path, value.into(), Some(expected_version))
+                .is_ok()
         }
     }
 
-    /// Delete a path; returns whether it existed.
+    /// Delete a path (and, unlike ZooKeeper, anything under it — the old
+    /// store had no containment, so callers expect unconditional removal);
+    /// returns whether it existed.
     pub fn delete(&self, path: &str) -> bool {
-        self.nodes.write().remove(&Self::normalize(path)).is_some()
+        if self.coord.exists(path).is_none() {
+            return false;
+        }
+        !matches!(
+            self.coord.delete_recursive(path),
+            Err(CoordError::RootReadOnly)
+        )
     }
 
     /// Immediate children of a path (one extra path segment), sorted.
     pub fn children(&self, path: &str) -> Vec<String> {
-        let prefix = {
-            let p = Self::normalize(path);
-            if p == "/" {
-                "/".to_string()
-            } else {
-                format!("{p}/")
-            }
-        };
-        let nodes = self.nodes.read();
-        let mut kids: Vec<String> = nodes
-            .keys()
-            .filter_map(|k| {
-                let rest = k.strip_prefix(&prefix)?;
-                if rest.is_empty() {
-                    None
-                } else {
-                    Some(rest.split('/').next().expect("nonempty").to_string())
-                }
-            })
-            .collect();
-        kids.dedup();
-        kids
+        self.coord.children(path).unwrap_or_default()
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for MetadataStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MetadataStore")
-            .field("paths", &self.nodes.read().len())
+            .field("coord", &self.coord)
             .finish()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -122,6 +128,18 @@ mod tests {
         assert_eq!(m.get("/jobs/q1/query").as_deref(), Some("SELECT 1"));
         assert_eq!(m.get("jobs/q1/query/").as_deref(), Some("SELECT 1"));
         assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn interior_empty_segments_collapse() {
+        // The old standalone store only trimmed edge slashes, so "/a//b"
+        // silently addressed a different entry than "/a/b".
+        let m = MetadataStore::new();
+        m.set("/a/b", "v");
+        assert_eq!(m.get("/a//b").as_deref(), Some("v"));
+        m.set("/x//y", "w");
+        assert_eq!(m.get("/x/y").as_deref(), Some("w"));
+        assert_eq!(m.children("//x"), vec!["y".to_string()]);
     }
 
     #[test]
@@ -148,8 +166,14 @@ mod tests {
         m.set("/jobs/q1/schema", "y");
         m.set("/jobs/q2/query", "z");
         m.set("/other", "w");
-        assert_eq!(m.children("/jobs"), vec!["q1".to_string(), "q2".to_string()]);
-        assert_eq!(m.children("/jobs/q1"), vec!["query".to_string(), "schema".to_string()]);
+        assert_eq!(
+            m.children("/jobs"),
+            vec!["q1".to_string(), "q2".to_string()]
+        );
+        assert_eq!(
+            m.children("/jobs/q1"),
+            vec!["query".to_string(), "schema".to_string()]
+        );
         assert_eq!(m.children("/jobs/q3"), Vec::<String>::new());
     }
 
@@ -160,5 +184,15 @@ mod tests {
         assert!(m.delete("a"));
         assert!(!m.delete("a"));
         assert_eq!(m.get("a"), None);
+    }
+
+    #[test]
+    fn shares_tree_with_coord() {
+        let coord = Coord::new();
+        let m = MetadataStore::with_coord(coord.clone());
+        m.set("/shared/k", "v");
+        assert_eq!(coord.get("/shared/k").unwrap().0, "v");
+        coord.upsert("/shared/k", "v2").unwrap();
+        assert_eq!(m.get("/shared/k").as_deref(), Some("v2"));
     }
 }

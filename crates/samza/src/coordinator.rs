@@ -72,12 +72,18 @@ impl JobModel {
         // them).
         let container_count = config.container_count.min(max_partitions);
         let mut containers: Vec<ContainerModel> = (0..container_count)
-            .map(|container_id| ContainerModel { container_id, tasks: Vec::new() })
+            .map(|container_id| ContainerModel {
+                container_id,
+                tasks: Vec::new(),
+            })
             .collect();
         for (i, task) in tasks.into_iter().enumerate() {
             containers[i % container_count as usize].tasks.push(task);
         }
-        Ok(JobModel { job_name: config.name.clone(), containers })
+        Ok(JobModel {
+            job_name: config.name.clone(),
+            containers,
+        })
     }
 
     /// Total number of tasks.
@@ -87,8 +93,11 @@ impl JobModel {
 
     /// All task models, in partition order.
     pub fn all_tasks(&self) -> Vec<&TaskModel> {
-        let mut tasks: Vec<&TaskModel> =
-            self.containers.iter().flat_map(|c| c.tasks.iter()).collect();
+        let mut tasks: Vec<&TaskModel> = self
+            .containers
+            .iter()
+            .flat_map(|c| c.tasks.iter())
+            .collect();
         tasks.sort_by_key(|t| t.partition);
         tasks
     }
@@ -102,8 +111,10 @@ mod tests {
 
     fn setup(orders_parts: u32, products_parts: u32) -> (Broker, JobConfig) {
         let b = Broker::new();
-        b.create_topic("orders", TopicConfig::with_partitions(orders_parts)).unwrap();
-        b.create_topic("products", TopicConfig::with_partitions(products_parts)).unwrap();
+        b.create_topic("orders", TopicConfig::with_partitions(orders_parts))
+            .unwrap();
+        b.create_topic("products", TopicConfig::with_partitions(products_parts))
+            .unwrap();
         let cfg = JobConfig::new("j")
             .input(InputStreamConfig::avro("orders"))
             .input(InputStreamConfig::avro("products").bootstrap());
@@ -134,7 +145,10 @@ mod tests {
         let model = JobModel::plan(&cfg, &b).unwrap();
         assert_eq!(model.task_count(), 4);
         let tasks = model.all_tasks();
-        assert_eq!(tasks[3].input_partitions, vec![TopicPartition::new("orders", 3)]);
+        assert_eq!(
+            tasks[3].input_partitions,
+            vec![TopicPartition::new("orders", 3)]
+        );
         assert_eq!(tasks[1].input_partitions.len(), 2);
     }
 

@@ -143,7 +143,9 @@ impl KeyValueStore {
         self.metrics.gets.fetch_add(1, Ordering::Relaxed);
         let v = self.data.get(key).cloned();
         if let Some(ref b) = v {
-            self.metrics.bytes_read.fetch_add(b.len() as u64, Ordering::Relaxed);
+            self.metrics
+                .bytes_read
+                .fetch_add(b.len() as u64, Ordering::Relaxed);
             self.engine_cost(b); // block-checksum verification
         }
         v
@@ -186,7 +188,11 @@ impl KeyValueStore {
             broker.produce(
                 &topic,
                 partition,
-                Message { key: Some(Bytes::from(key)), value, timestamp: 0 },
+                Message {
+                    key: Some(Bytes::from(key)),
+                    value,
+                    timestamp: 0,
+                },
             )?;
         }
         Ok(())
@@ -216,7 +222,10 @@ impl KeyValueStore {
     /// Full scan in key order.
     pub fn all(&self) -> Vec<(Vec<u8>, Bytes)> {
         self.metrics.range_scans.fetch_add(1, Ordering::Relaxed);
-        self.data.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        self.data
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Number of live keys.
@@ -275,7 +284,10 @@ impl std::fmt::Debug for KeyValueStore {
         f.debug_struct("KeyValueStore")
             .field("name", &self.name)
             .field("len", &self.data.len())
-            .field("changelog", &self.changelog.as_ref().map(|(_, t, p)| format!("{t}-{p}")))
+            .field(
+                "changelog",
+                &self.changelog.as_ref().map(|(_, t, p)| format!("{t}-{p}")),
+            )
             .finish()
     }
 }
@@ -289,8 +301,16 @@ pub struct TypedStore<'a> {
 }
 
 impl<'a> TypedStore<'a> {
-    pub fn new(store: &'a mut KeyValueStore, key_serde: BoxedSerde, value_serde: BoxedSerde) -> Self {
-        TypedStore { store, key_serde, value_serde }
+    pub fn new(
+        store: &'a mut KeyValueStore,
+        key_serde: BoxedSerde,
+        value_serde: BoxedSerde,
+    ) -> Self {
+        TypedStore {
+            store,
+            key_serde,
+            value_serde,
+        }
     }
 
     /// Serialize the key, look it up, deserialize the value.
@@ -375,7 +395,9 @@ mod tests {
     #[test]
     fn changelog_restore_rebuilds_state_including_deletes() {
         let broker = Broker::new();
-        broker.create_topic("clog", TopicConfig::with_partitions(2)).unwrap();
+        broker
+            .create_topic("clog", TopicConfig::with_partitions(2))
+            .unwrap();
         let mut s = KeyValueStore::with_changelog("s", broker.clone(), "clog", 1);
         s.put(b"a", Bytes::from_static(b"1")).unwrap();
         s.put(b"b", Bytes::from_static(b"2")).unwrap();
@@ -406,7 +428,10 @@ mod tests {
             build_serde(SerdeFormat::Avro, schema),
         );
         let key = Value::Int(7);
-        let val = Value::record(vec![("id", Value::Int(7)), ("name", Value::String("x".into()))]);
+        let val = Value::record(vec![
+            ("id", Value::Int(7)),
+            ("name", Value::String("x".into())),
+        ]);
         t.put(&key, &val).unwrap();
         assert_eq!(t.get(&key).unwrap(), Some(val));
         assert_eq!(t.get(&Value::Int(8)).unwrap(), None);

@@ -21,9 +21,12 @@
 //! The deployment model follows Samza: a **job** is a set of **tasks** (one
 //! per input partition, Samza's default partition grouping) packed into
 //! **containers**; containers are threads placed on simulated cluster
-//! **nodes** by the job's application master. A ZooKeeper-like metadata store
-//! ([`coordination`]) carries planner metadata between the SamzaSQL shell and
-//! task initialization, per the paper's two-step planning.
+//! **nodes** by the job's application master. A ZooKeeper-like coordination
+//! service (`samzasql-coord`) carries planner metadata between the SamzaSQL
+//! shell and task initialization per the paper's two-step planning, tracks
+//! container liveness through ephemeral znodes, and drives failure recovery
+//! through watches ([`cluster`]). The old [`coordination`] metadata store
+//! remains as a deprecated shim over it.
 
 pub mod checkpoint;
 pub mod cluster;
@@ -41,6 +44,7 @@ pub use checkpoint::{Checkpoint, CheckpointManager};
 pub use cluster::{ClusterSim, JobHandle, NodeConfig};
 pub use config::{InputStreamConfig, JobConfig, OutputStreamConfig, StoreConfig};
 pub use container::{Container, ContainerMetricsSnapshot};
+#[allow(deprecated)]
 pub use coordination::MetadataStore;
 pub use coordinator::{ContainerModel, JobModel, TaskModel};
 pub use error::{Result, SamzaError};

@@ -21,7 +21,9 @@ struct TaskMetricsInner {
 
 impl TaskMetrics {
     pub fn record_processed(&self, n: u64) {
-        self.inner.messages_processed.fetch_add(n, Ordering::Relaxed);
+        self.inner
+            .messages_processed
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn record_sent(&self, n: u64) {

@@ -101,7 +101,12 @@ mod tests {
         let mut c = MessageCollector::new();
         assert!(c.is_empty());
         c.send(OutgoingMessageEnvelope::new("out", "a"));
-        c.send(OutgoingMessageEnvelope::new("out", "b").keyed("k").to_partition(3).at(9));
+        c.send(
+            OutgoingMessageEnvelope::new("out", "b")
+                .keyed("k")
+                .to_partition(3)
+                .at(9),
+        );
         assert_eq!(c.len(), 2);
         let drained = c.drain();
         assert_eq!(drained.len(), 2);

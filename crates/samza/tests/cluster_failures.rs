@@ -4,7 +4,7 @@
 use samzasql_kafka::{Broker, Message, TopicConfig};
 use samzasql_samza::{
     ClusterSim, IncomingMessageEnvelope, InputStreamConfig, JobConfig, MessageCollector,
-    NodeConfig, OutputStreamConfig, OutgoingMessageEnvelope, Result, StoreConfig, StreamTask,
+    NodeConfig, OutgoingMessageEnvelope, OutputStreamConfig, Result, StoreConfig, StreamTask,
     TaskContext, TaskCoordinator, TaskFactory,
 };
 use samzasql_serde::SerdeFormat;
@@ -20,7 +20,10 @@ impl StreamTask for Echo {
         collector: &mut MessageCollector,
         _coordinator: &mut TaskCoordinator,
     ) -> Result<()> {
-        collector.send(OutgoingMessageEnvelope::new("out", envelope.payload.clone()));
+        collector.send(OutgoingMessageEnvelope::new(
+            "out",
+            envelope.payload.clone(),
+        ));
         Ok(())
     }
 }
@@ -42,14 +45,20 @@ fn wait_for<F: Fn() -> bool>(cond: F, timeout: Duration, what: &str) {
 
 fn count_topic(broker: &Broker, topic: &str) -> u64 {
     let parts = broker.partition_count(topic).unwrap();
-    (0..parts).map(|p| broker.end_offset(topic, p).unwrap()).sum()
+    (0..parts)
+        .map(|p| broker.end_offset(topic, p).unwrap())
+        .sum()
 }
 
 #[test]
 fn submitted_job_processes_live_traffic() {
     let broker = Broker::new();
-    broker.create_topic("in", TopicConfig::with_partitions(4)).unwrap();
-    broker.create_topic("out", TopicConfig::with_partitions(4)).unwrap();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(4))
+        .unwrap();
+    broker
+        .create_topic("out", TopicConfig::with_partitions(4))
+        .unwrap();
     let cluster = ClusterSim::single_node(broker.clone());
     let cfg = JobConfig::new("echo")
         .input(InputStreamConfig::avro("in"))
@@ -58,7 +67,9 @@ fn submitted_job_processes_live_traffic() {
     let handle = cluster.submit(cfg, Arc::new(EchoFactory)).unwrap();
 
     for i in 0..200u32 {
-        broker.produce("in", i % 4, Message::new(format!("{i}"))).unwrap();
+        broker
+            .produce("in", i % 4, Message::new(format!("{i}")))
+            .unwrap();
     }
     wait_for(
         || handle.processed() >= 200,
@@ -72,7 +83,9 @@ fn submitted_job_processes_live_traffic() {
 #[test]
 fn duplicate_job_submission_rejected() {
     let broker = Broker::new();
-    broker.create_topic("in", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(1))
+        .unwrap();
     let cluster = ClusterSim::single_node(broker);
     let cfg = JobConfig::new("dup").input(InputStreamConfig::avro("in"));
     let h = cluster.submit(cfg.clone(), Arc::new(EchoFactory)).unwrap();
@@ -83,7 +96,9 @@ fn duplicate_job_submission_rejected() {
 #[test]
 fn capacity_limits_are_enforced() {
     let broker = Broker::new();
-    broker.create_topic("in", TopicConfig::with_partitions(4)).unwrap();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(4))
+        .unwrap();
     let cluster = ClusterSim::new(broker, vec![NodeConfig::new("tiny", 1)]);
     let cfg = JobConfig::new("big")
         .input(InputStreamConfig::avro("in"))
@@ -95,9 +110,15 @@ fn capacity_limits_are_enforced() {
 fn jobs_are_isolated() {
     // Two jobs; stopping one leaves the other running (masterless design).
     let broker = Broker::new();
-    broker.create_topic("in1", TopicConfig::with_partitions(1)).unwrap();
-    broker.create_topic("in2", TopicConfig::with_partitions(1)).unwrap();
-    broker.create_topic("out", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("in1", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("in2", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("out", TopicConfig::with_partitions(1))
+        .unwrap();
     let cluster = ClusterSim::single_node(broker.clone());
     let h1 = cluster
         .submit(
@@ -116,8 +137,14 @@ fn jobs_are_isolated() {
         )
         .unwrap();
     h1.stop().unwrap();
-    broker.produce("in2", 0, Message::new("still alive")).unwrap();
-    wait_for(|| h2.processed() >= 1, Duration::from_secs(10), "j2 processes after j1 stops");
+    broker
+        .produce("in2", 0, Message::new("still alive"))
+        .unwrap();
+    wait_for(
+        || h2.processed() >= 1,
+        Duration::from_secs(10),
+        "j2 processes after j1 stops",
+    );
     assert_eq!(cluster.running_jobs(), vec!["j2".to_string()]);
     h2.stop().unwrap();
 }
@@ -140,9 +167,7 @@ impl StreamTask for Counter {
             .unwrap_or(0)
             + 1;
         store.put(&key, bytes::Bytes::copy_from_slice(&n.to_le_bytes()))?;
-        collector.send(
-            OutgoingMessageEnvelope::new("out", format!("{n}")).keyed(key),
-        );
+        collector.send(OutgoingMessageEnvelope::new("out", format!("{n}")).keyed(key));
         Ok(())
     }
 }
@@ -157,8 +182,12 @@ impl TaskFactory for CounterFactory {
 #[test]
 fn kill_and_restart_restores_state_and_resumes() {
     let broker = Broker::new();
-    broker.create_topic("in", TopicConfig::with_partitions(1)).unwrap();
-    broker.create_topic("out", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("out", TopicConfig::with_partitions(1))
+        .unwrap();
     let cluster = ClusterSim::new(
         broker.clone(),
         vec![NodeConfig::new("n0", 4), NodeConfig::new("n1", 4)],
@@ -166,7 +195,11 @@ fn kill_and_restart_restores_state_and_resumes() {
     let mut cfg = JobConfig::new("counter")
         .input(InputStreamConfig::avro("in"))
         .output(OutputStreamConfig::avro("out"))
-        .store(StoreConfig::with_changelog("c", "counter", SerdeFormat::Object));
+        .store(StoreConfig::with_changelog(
+            "c",
+            "counter",
+            SerdeFormat::Object,
+        ));
     // Commit often so the kill loses little (but possibly some) progress.
     cfg.commit_interval_messages = 1;
     let handle = cluster.submit(cfg, Arc::new(CounterFactory)).unwrap();
@@ -174,14 +207,22 @@ fn kill_and_restart_restores_state_and_resumes() {
     for _ in 0..50 {
         broker.produce("in", 0, Message::keyed("k", "x")).unwrap();
     }
-    wait_for(|| handle.processed() >= 50, Duration::from_secs(10), "first 50 processed");
+    wait_for(
+        || handle.processed() >= 50,
+        Duration::from_secs(10),
+        "first 50 processed",
+    );
 
     handle.kill_container(0).unwrap();
 
     for _ in 0..50 {
         broker.produce("in", 0, Message::keyed("k", "x")).unwrap();
     }
-    wait_for(|| handle.processed() >= 100, Duration::from_secs(10), "remaining 50 processed");
+    wait_for(
+        || handle.processed() >= 100,
+        Duration::from_secs(10),
+        "remaining 50 processed",
+    );
     handle.stop().unwrap();
 
     // The final count must be exactly 100: the restored store continued from
@@ -206,7 +247,9 @@ fn kill_and_restart_restores_state_and_resumes() {
 #[test]
 fn killed_container_moves_to_least_loaded_node() {
     let broker = Broker::new();
-    broker.create_topic("in", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(1))
+        .unwrap();
     let cluster = ClusterSim::new(
         broker.clone(),
         vec![NodeConfig::new("n0", 2), NodeConfig::new("n1", 2)],

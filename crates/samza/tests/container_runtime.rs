@@ -5,7 +5,7 @@ use bytes::Bytes;
 use samzasql_kafka::{Broker, Message, TopicConfig};
 use samzasql_samza::{
     Container, IncomingMessageEnvelope, InputStreamConfig, JobConfig, JobModel, MessageCollector,
-    OutputStreamConfig, OutgoingMessageEnvelope, Result, StreamTask, TaskContext, TaskCoordinator,
+    OutgoingMessageEnvelope, OutputStreamConfig, Result, StreamTask, TaskContext, TaskCoordinator,
     TaskFactory,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,8 +61,12 @@ fn drain_topic(broker: &Broker, topic: &str) -> Vec<(u32, String)> {
 #[test]
 fn container_processes_and_routes_output() {
     let broker = Broker::new();
-    broker.create_topic("in", TopicConfig::with_partitions(2)).unwrap();
-    broker.create_topic("out", TopicConfig::with_partitions(2)).unwrap();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(2))
+        .unwrap();
+    broker
+        .create_topic("out", TopicConfig::with_partitions(2))
+        .unwrap();
     broker.produce("in", 0, Message::new("a")).unwrap();
     broker.produce("in", 1, Message::new("b")).unwrap();
     broker.produce("in", 0, Message::new("c")).unwrap();
@@ -72,8 +76,13 @@ fn container_processes_and_routes_output() {
         .output(OutputStreamConfig::avro("out"))
         .containers(1);
     let model = JobModel::plan(&cfg, &broker).unwrap();
-    let mut container =
-        Container::new(broker.clone(), cfg, model.containers[0].clone(), &ForwardFactory).unwrap();
+    let mut container = Container::new(
+        broker.clone(),
+        cfg,
+        model.containers[0].clone(),
+        &ForwardFactory,
+    )
+    .unwrap();
     let processed = container.run_until_caught_up().unwrap();
     assert_eq!(processed, 3);
 
@@ -88,24 +97,42 @@ fn container_processes_and_routes_output() {
 #[test]
 fn keyed_output_routes_by_key_hash() {
     let broker = Broker::new();
-    broker.create_topic("in", TopicConfig::with_partitions(1)).unwrap();
-    broker.create_topic("out", TopicConfig::with_partitions(8)).unwrap();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("out", TopicConfig::with_partitions(8))
+        .unwrap();
     for i in 0..20 {
         broker
-            .produce("in", 0, Message::keyed(format!("key-{}", i % 2), format!("m{i}")))
+            .produce(
+                "in",
+                0,
+                Message::keyed(format!("key-{}", i % 2), format!("m{i}")),
+            )
             .unwrap();
     }
     let cfg = JobConfig::new("fwd")
         .input(InputStreamConfig::avro("in"))
         .output(OutputStreamConfig::avro("out"));
     let model = JobModel::plan(&cfg, &broker).unwrap();
-    let mut container =
-        Container::new(broker.clone(), cfg, model.containers[0].clone(), &ForwardFactory).unwrap();
+    let mut container = Container::new(
+        broker.clone(),
+        cfg,
+        model.containers[0].clone(),
+        &ForwardFactory,
+    )
+    .unwrap();
     container.run_until_caught_up().unwrap();
     // Same key ⇒ same output partition: exactly ≤2 partitions used.
-    let parts: std::collections::HashSet<u32> =
-        drain_topic(&broker, "out").into_iter().map(|(p, _)| p).collect();
-    assert!(parts.len() <= 2, "two keys may map to at most two partitions: {parts:?}");
+    let parts: std::collections::HashSet<u32> = drain_topic(&broker, "out")
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+    assert!(
+        parts.len() <= 2,
+        "two keys may map to at most two partitions: {parts:?}"
+    );
 }
 
 /// Records the topic order in which messages arrive, to verify bootstrap
@@ -130,16 +157,26 @@ impl StreamTask for OrderRecordingTask {
 #[test]
 fn bootstrap_stream_fully_drains_before_other_inputs() {
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(1)).unwrap();
-    broker.create_topic("products", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("products", TopicConfig::with_partitions(1))
+        .unwrap();
     for i in 0..50 {
-        broker.produce("orders", 0, Message::new(format!("o{i}"))).unwrap();
-        broker.produce("products", 0, Message::new(format!("p{i}"))).unwrap();
+        broker
+            .produce("orders", 0, Message::new(format!("o{i}")))
+            .unwrap();
+        broker
+            .produce("products", 0, Message::new(format!("p{i}")))
+            .unwrap();
     }
     let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
     let seen2 = seen.clone();
     let factory = move |_p: u32| -> Box<dyn StreamTask> {
-        Box::new(OrderRecordingTask { seen: seen2.clone() })
+        Box::new(OrderRecordingTask {
+            seen: seen2.clone(),
+        })
     };
     let cfg = JobConfig::new("join")
         .input(InputStreamConfig::avro("orders"))
@@ -152,7 +189,10 @@ fn bootstrap_stream_fully_drains_before_other_inputs() {
     let order = seen.lock();
     assert_eq!(order.len(), 100);
     let first_orders = order.iter().position(|t| t == "orders").unwrap();
-    let last_products_before = order[..first_orders].iter().filter(|t| *t == "products").count();
+    let last_products_before = order[..first_orders]
+        .iter()
+        .filter(|t| *t == "products")
+        .count();
     assert_eq!(
         last_products_before, 50,
         "all 50 products (bootstrap) must be delivered before the first order"
@@ -163,15 +203,21 @@ fn bootstrap_stream_fully_drains_before_other_inputs() {
 fn late_bootstrap_records_still_delivered_after_catchup() {
     // Records appended to a bootstrap stream *after* init flow normally.
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(1)).unwrap();
-    broker.create_topic("products", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("products", TopicConfig::with_partitions(1))
+        .unwrap();
     broker.produce("products", 0, Message::new("p0")).unwrap();
     broker.produce("orders", 0, Message::new("o0")).unwrap();
 
     let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
     let seen2 = seen.clone();
     let factory = move |_p: u32| -> Box<dyn StreamTask> {
-        Box::new(OrderRecordingTask { seen: seen2.clone() })
+        Box::new(OrderRecordingTask {
+            seen: seen2.clone(),
+        })
     };
     let cfg = JobConfig::new("join2")
         .input(InputStreamConfig::avro("orders"))
@@ -216,14 +262,20 @@ impl StreamTask for WindowCountTask {
 #[test]
 fn window_fires_on_message_interval() {
     let broker = Broker::new();
-    broker.create_topic("in", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(1))
+        .unwrap();
     for i in 0..25 {
-        broker.produce("in", 0, Message::new(format!("{i}"))).unwrap();
+        broker
+            .produce("in", 0, Message::new(format!("{i}")))
+            .unwrap();
     }
     let windows = Arc::new(AtomicU64::new(0));
     let w2 = windows.clone();
     let factory = move |_p: u32| -> Box<dyn StreamTask> {
-        Box::new(WindowCountTask { windows: w2.clone() })
+        Box::new(WindowCountTask {
+            windows: w2.clone(),
+        })
     };
     let mut cfg = JobConfig::new("win").input(InputStreamConfig::avro("in"));
     cfg.window_interval_messages = 10;
@@ -231,16 +283,26 @@ fn window_fires_on_message_interval() {
     let mut container =
         Container::new(broker.clone(), cfg, model.containers[0].clone(), &factory).unwrap();
     container.run_until_caught_up().unwrap();
-    assert_eq!(windows.load(Ordering::Relaxed), 2, "25 messages / interval 10 = 2 windows");
+    assert_eq!(
+        windows.load(Ordering::Relaxed),
+        2,
+        "25 messages / interval 10 = 2 windows"
+    );
 }
 
 #[test]
 fn restart_resumes_from_checkpoint_not_from_start() {
     let broker = Broker::new();
-    broker.create_topic("in", TopicConfig::with_partitions(1)).unwrap();
-    broker.create_topic("out", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("out", TopicConfig::with_partitions(1))
+        .unwrap();
     for i in 0..10 {
-        broker.produce("in", 0, Message::new(format!("m{i}"))).unwrap();
+        broker
+            .produce("in", 0, Message::new(format!("m{i}")))
+            .unwrap();
     }
     let cfg = JobConfig::new("resume")
         .input(InputStreamConfig::avro("in"))
@@ -260,21 +322,36 @@ fn restart_resumes_from_checkpoint_not_from_start() {
 
     // More input arrives, then a fresh container (simulating restart).
     for i in 10..13 {
-        broker.produce("in", 0, Message::new(format!("m{i}"))).unwrap();
+        broker
+            .produce("in", 0, Message::new(format!("m{i}")))
+            .unwrap();
     }
-    let mut c2 =
-        Container::new(broker.clone(), cfg, model.containers[0].clone(), &ForwardFactory).unwrap();
+    let mut c2 = Container::new(
+        broker.clone(),
+        cfg,
+        model.containers[0].clone(),
+        &ForwardFactory,
+    )
+    .unwrap();
     let reprocessed = c2.run_until_caught_up().unwrap();
     assert_eq!(reprocessed, 3, "only messages after the checkpoint replay");
-    assert_eq!(drain_topic(&broker, "out").len(), 13, "no duplicated output");
+    assert_eq!(
+        drain_topic(&broker, "out").len(),
+        13,
+        "no duplicated output"
+    );
 }
 
 #[test]
 fn commit_interval_produces_periodic_checkpoints() {
     let broker = Broker::new();
-    broker.create_topic("in", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(1))
+        .unwrap();
     for i in 0..100 {
-        broker.produce("in", 0, Message::new(format!("{i}"))).unwrap();
+        broker
+            .produce("in", 0, Message::new(format!("{i}")))
+            .unwrap();
     }
     let mut cfg = JobConfig::new("commits").input(InputStreamConfig::avro("in"));
     cfg.commit_interval_messages = 25;
@@ -298,7 +375,11 @@ fn commit_interval_produces_periodic_checkpoints() {
         Container::new(broker.clone(), cfg, model.containers[0].clone(), &factory).unwrap();
     container.run_until_caught_up().unwrap();
     let m = container.metrics();
-    assert!(m.commits >= 4, "100 msgs / interval 25 → at least 4 commits, got {}", m.commits);
+    assert!(
+        m.commits >= 4,
+        "100 msgs / interval 25 → at least 4 commits, got {}",
+        m.commits
+    );
 }
 
 /// Task that uses a changelog-backed store to count per-key occurrences.
@@ -312,7 +393,10 @@ impl StreamTask for CountTask {
         collector: &mut MessageCollector,
         _coordinator: &mut TaskCoordinator,
     ) -> Result<()> {
-        let key = envelope.key.clone().unwrap_or_else(|| Bytes::from_static(b"_"));
+        let key = envelope
+            .key
+            .clone()
+            .unwrap_or_else(|| Bytes::from_static(b"_"));
         let store = ctx.store_mut("counts")?;
         let current = store
             .get(&key)
@@ -320,9 +404,7 @@ impl StreamTask for CountTask {
             .unwrap_or(0);
         let next = current + 1;
         store.put(&key, Bytes::copy_from_slice(&next.to_le_bytes()))?;
-        collector.send(
-            OutgoingMessageEnvelope::new("out", format!("{next}")).keyed(key),
-        );
+        collector.send(OutgoingMessageEnvelope::new("out", format!("{next}")).keyed(key));
         Ok(())
     }
 }
@@ -333,20 +415,33 @@ fn store_state_survives_container_replacement() {
     use samzasql_serde::SerdeFormat;
 
     let broker = Broker::new();
-    broker.create_topic("in", TopicConfig::with_partitions(1)).unwrap();
-    broker.create_topic("out", TopicConfig::with_partitions(1)).unwrap();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("out", TopicConfig::with_partitions(1))
+        .unwrap();
     let cfg = JobConfig::new("counting")
         .input(InputStreamConfig::avro("in"))
         .output(OutputStreamConfig::avro("out"))
-        .store(StoreConfig::with_changelog("counts", "counting", SerdeFormat::Object));
+        .store(StoreConfig::with_changelog(
+            "counts",
+            "counting",
+            SerdeFormat::Object,
+        ));
     let factory = |_p: u32| -> Box<dyn StreamTask> { Box::new(CountTask) };
     let model = JobModel::plan(&cfg, &broker).unwrap();
 
     for _ in 0..5 {
         broker.produce("in", 0, Message::keyed("k", "x")).unwrap();
     }
-    let mut c1 =
-        Container::new(broker.clone(), cfg.clone(), model.containers[0].clone(), &factory).unwrap();
+    let mut c1 = Container::new(
+        broker.clone(),
+        cfg.clone(),
+        model.containers[0].clone(),
+        &factory,
+    )
+    .unwrap();
     c1.run_until_caught_up().unwrap();
     drop(c1); // container dies; in-memory store gone
 
@@ -359,5 +454,9 @@ fn store_state_survives_container_replacement() {
 
     // The count continued from 5 → final message says 8.
     let out = drain_topic(&broker, "out");
-    assert_eq!(out.last().unwrap().1, "8", "restored store continues the count: {out:?}");
+    assert_eq!(
+        out.last().unwrap().1,
+        "8",
+        "restored store continues the count: {out:?}"
+    );
 }

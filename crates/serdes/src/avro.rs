@@ -353,7 +353,10 @@ mod tests {
         roundtrip(Schema::Float, Value::Float(3.5));
         roundtrip(Schema::Double, Value::Double(-2.25e10));
         roundtrip(Schema::String, Value::String("héllo".into()));
-        roundtrip(Schema::Bytes, Value::Bytes(Bytes::from_static(&[0, 255, 7])));
+        roundtrip(
+            Schema::Bytes,
+            Value::Bytes(Bytes::from_static(&[0, 255, 7])),
+        );
         roundtrip(Schema::Timestamp, Value::Timestamp(1_700_000_000_000));
     }
 
@@ -399,13 +402,19 @@ mod tests {
 
     #[test]
     fn no_field_names_on_wire() {
-        let schema =
-            Schema::record("R", vec![("somewhat_long_field_name", Schema::Int)]);
+        let schema = Schema::record("R", vec![("somewhat_long_field_name", Schema::Int)]);
         let codec = AvroCodec::new(schema);
         let bytes = codec
-            .encode(&Value::record(vec![("somewhat_long_field_name", Value::Int(1))]))
+            .encode(&Value::record(vec![(
+                "somewhat_long_field_name",
+                Value::Int(1),
+            )]))
             .unwrap();
-        assert_eq!(bytes.len(), 1, "schema-driven encoding writes only the datum");
+        assert_eq!(
+            bytes.len(),
+            1,
+            "schema-driven encoding writes only the datum"
+        );
     }
 
     #[test]
@@ -419,7 +428,10 @@ mod tests {
     fn wrong_arity_record_rejected() {
         let codec = AvroCodec::new(Schema::record("R", vec![("a", Schema::Int)]));
         let err = codec
-            .encode(&Value::record(vec![("a", Value::Int(1)), ("b", Value::Int(2))]))
+            .encode(&Value::record(vec![
+                ("a", Value::Int(1)),
+                ("b", Value::Int(2)),
+            ]))
             .unwrap_err();
         assert!(matches!(err, SerdeError::SchemaMismatch { .. }));
     }

@@ -8,7 +8,10 @@ pub type Result<T> = std::result::Result<T, SerdeError>;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SerdeError {
     /// The value does not conform to the schema it is being encoded with.
-    SchemaMismatch { expected: String, found: String },
+    SchemaMismatch {
+        expected: String,
+        found: String,
+    },
     /// The byte stream ended prematurely or contains invalid data.
     Corrupt(String),
     /// A varint exceeded the width of its target type.
@@ -19,7 +22,10 @@ pub enum SerdeError {
     UnknownSubject(String),
     UnknownSchemaId(u32),
     /// Schema evolution rejected by the compatibility check.
-    IncompatibleSchema { subject: String, reason: String },
+    IncompatibleSchema {
+        subject: String,
+        reason: String,
+    },
     /// JSON (de)serialization failure.
     Json(String),
 }

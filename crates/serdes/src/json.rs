@@ -53,19 +53,22 @@ fn to_json(value: &Value) -> serde_json::Value {
         Value::Float(v) => serde_json::Number::from_f64(f64::from(*v))
             .map(J::Number)
             .unwrap_or(J::Null),
-        Value::Double(v) => serde_json::Number::from_f64(*v).map(J::Number).unwrap_or(J::Null),
+        Value::Double(v) => serde_json::Number::from_f64(*v)
+            .map(J::Number)
+            .unwrap_or(J::Null),
         Value::String(s) => J::String(s.clone()),
         Value::Bytes(b) => {
             // Hex-string representation: JSON has no binary type.
             J::String(b.iter().map(|x| format!("{x:02x}")).collect())
         }
         Value::Array(items) => J::Array(items.iter().map(to_json).collect()),
-        Value::Map(m) => {
-            J::Object(m.iter().map(|(k, v)| (k.clone(), to_json(v))).collect())
-        }
-        Value::Record(fields) => {
-            J::Object(fields.iter().map(|(k, v)| (k.clone(), to_json(v))).collect())
-        }
+        Value::Map(m) => J::Object(m.iter().map(|(k, v)| (k.clone(), to_json(v))).collect()),
+        Value::Record(fields) => J::Object(
+            fields
+                .iter()
+                .map(|(k, v)| (k.clone(), to_json(v)))
+                .collect(),
+        ),
     }
 }
 
@@ -76,7 +79,9 @@ fn from_json(schema: &Schema, j: &serde_json::Value) -> Result<Value> {
         found: format!("{j}"),
     };
     match schema {
-        Schema::Null => matches!(j, J::Null).then_some(Value::Null).ok_or_else(mismatch),
+        Schema::Null => matches!(j, J::Null)
+            .then_some(Value::Null)
+            .ok_or_else(mismatch),
         Schema::Boolean => j.as_bool().map(Value::Boolean).ok_or_else(mismatch),
         Schema::Int => j
             .as_i64()
@@ -85,9 +90,15 @@ fn from_json(schema: &Schema, j: &serde_json::Value) -> Result<Value> {
             .ok_or_else(mismatch),
         Schema::Long => j.as_i64().map(Value::Long).ok_or_else(mismatch),
         Schema::Timestamp => j.as_i64().map(Value::Timestamp).ok_or_else(mismatch),
-        Schema::Float => j.as_f64().map(|v| Value::Float(v as f32)).ok_or_else(mismatch),
+        Schema::Float => j
+            .as_f64()
+            .map(|v| Value::Float(v as f32))
+            .ok_or_else(mismatch),
         Schema::Double => j.as_f64().map(Value::Double).ok_or_else(mismatch),
-        Schema::String => j.as_str().map(|s| Value::String(s.to_string())).ok_or_else(mismatch),
+        Schema::String => j
+            .as_str()
+            .map(|s| Value::String(s.to_string()))
+            .ok_or_else(mismatch),
         Schema::Bytes => {
             let s = j.as_str().ok_or_else(mismatch)?;
             if s.len() % 2 != 0 {
@@ -95,8 +106,7 @@ fn from_json(schema: &Schema, j: &serde_json::Value) -> Result<Value> {
             }
             let mut out = Vec::with_capacity(s.len() / 2);
             for i in (0..s.len()).step_by(2) {
-                let byte =
-                    u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| mismatch())?;
+                let byte = u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| mismatch())?;
                 out.push(byte);
             }
             Ok(Value::Bytes(Bytes::from(out)))
@@ -110,7 +120,11 @@ fn from_json(schema: &Schema, j: &serde_json::Value) -> Result<Value> {
         }
         Schema::Array(inner) => {
             let items = j.as_array().ok_or_else(mismatch)?;
-            items.iter().map(|x| from_json(inner, x)).collect::<Result<Vec<_>>>().map(Value::Array)
+            items
+                .iter()
+                .map(|x| from_json(inner, x))
+                .collect::<Result<Vec<_>>>()
+                .map(Value::Array)
         }
         Schema::Map(inner) => {
             let obj = j.as_object().ok_or_else(mismatch)?;

@@ -67,7 +67,9 @@ pub struct ObjectCodec {
 
 impl Default for ObjectCodec {
     fn default() -> Self {
-        ObjectCodec { reflection_passes: DEFAULT_REFLECTION_PASSES }
+        ObjectCodec {
+            reflection_passes: DEFAULT_REFLECTION_PASSES,
+        }
     }
 }
 
@@ -242,7 +244,9 @@ fn decode(codec: &ObjectCodec, buf: &[u8], pos: &mut usize) -> Result<Value> {
         TAG_STRING => Ok(Value::String(read_string(buf, pos)?)),
         TAG_BYTES => {
             let len = read_len(buf, pos)?;
-            Ok(Value::Bytes(Bytes::copy_from_slice(read_slice(buf, pos, len)?)))
+            Ok(Value::Bytes(Bytes::copy_from_slice(read_slice(
+                buf, pos, len,
+            )?)))
         }
         TAG_TIMESTAMP => {
             let raw: [u8; 8] = read_slice(buf, pos, 8)?.try_into().expect("8");

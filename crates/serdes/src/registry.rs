@@ -52,20 +52,33 @@ impl SchemaRegistry {
                 if latest.schema == schema {
                     return Ok(latest);
                 }
-                schema.is_backward_compatible_with(&latest.schema).map_err(|e| match e {
-                    SerdeError::IncompatibleSchema { reason, .. } => {
-                        SerdeError::IncompatibleSchema { subject: subject.to_string(), reason }
-                    }
-                    other => other,
-                })?;
+                schema
+                    .is_backward_compatible_with(&latest.schema)
+                    .map_err(|e| match e {
+                        SerdeError::IncompatibleSchema { reason, .. } => {
+                            SerdeError::IncompatibleSchema {
+                                subject: subject.to_string(),
+                                reason,
+                            }
+                        }
+                        other => other,
+                    })?;
             }
         }
         st.next_id += 1;
         let id = st.next_id;
         let version = st.by_subject.get(subject).map_or(0, |v| v.len()) as u32 + 1;
-        let reg = RegisteredSchema { id, subject: subject.to_string(), version, schema };
+        let reg = RegisteredSchema {
+            id,
+            subject: subject.to_string(),
+            version,
+            schema,
+        };
         st.by_id.insert(id, reg.clone());
-        st.by_subject.entry(subject.to_string()).or_default().push(id);
+        st.by_subject
+            .entry(subject.to_string())
+            .or_default()
+            .push(id);
         Ok(reg)
     }
 
@@ -110,7 +123,9 @@ impl SchemaRegistry {
 
 impl std::fmt::Debug for SchemaRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SchemaRegistry").field("subjects", &self.subjects()).finish()
+        f.debug_struct("SchemaRegistry")
+            .field("subjects", &self.subjects())
+            .finish()
     }
 }
 
@@ -119,7 +134,10 @@ mod tests {
     use super::*;
 
     fn v1() -> Schema {
-        Schema::record("Orders", vec![("rowtime", Schema::Timestamp), ("units", Schema::Int)])
+        Schema::record(
+            "Orders",
+            vec![("rowtime", Schema::Timestamp), ("units", Schema::Int)],
+        )
     }
 
     fn v2() -> Schema {
@@ -167,7 +185,9 @@ mod tests {
         r.register("s", v1()).unwrap();
         let bad = Schema::record("Orders", vec![("rowtime", Schema::Timestamp)]);
         let err = r.register("s", bad).unwrap_err();
-        assert!(matches!(err, SerdeError::IncompatibleSchema { ref subject, .. } if subject == "s"));
+        assert!(
+            matches!(err, SerdeError::IncompatibleSchema { ref subject, .. } if subject == "s")
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub enum Schema {
     /// String-keyed map.
     Map(Box<Schema>),
     /// Named record ("object") with ordered fields.
-    Record { name: String, fields: Vec<Field> },
+    Record {
+        name: String,
+        fields: Vec<Field>,
+    },
 }
 
 impl Schema {
@@ -45,7 +48,10 @@ impl Schema {
             name: name.into(),
             fields: fields
                 .into_iter()
-                .map(|(n, s)| Field { name: n.to_string(), schema: s })
+                .map(|(n, s)| Field {
+                    name: n.to_string(),
+                    schema: s,
+                })
                 .collect(),
         }
     }
@@ -110,8 +116,12 @@ impl Schema {
     pub fn is_backward_compatible_with(&self, old: &Schema) -> Result<()> {
         match (self, old) {
             (
-                Schema::Record { fields: new_fields, .. },
-                Schema::Record { fields: old_fields, .. },
+                Schema::Record {
+                    fields: new_fields, ..
+                },
+                Schema::Record {
+                    fields: old_fields, ..
+                },
             ) => {
                 for of in old_fields {
                     match new_fields.iter().find(|nf| nf.name == of.name) {
@@ -191,7 +201,10 @@ mod tests {
         let old = orders();
         let mut with_extra = orders();
         if let Schema::Record { fields, .. } = &mut with_extra {
-            fields.push(Field { name: "note".into(), schema: Schema::String });
+            fields.push(Field {
+                name: "note".into(),
+                schema: Schema::String,
+            });
         }
         assert!(with_extra.is_backward_compatible_with(&old).is_err());
         if let Schema::Record { fields, .. } = &mut with_extra {
@@ -219,7 +232,10 @@ mod tests {
 
     #[test]
     fn type_names_are_descriptive() {
-        assert_eq!(Schema::Array(Box::new(Schema::Int)).type_name(), "array<int>");
+        assert_eq!(
+            Schema::Array(Box::new(Schema::Int)).type_name(),
+            "array<int>"
+        );
         assert_eq!(orders().type_name(), "record<Orders>");
     }
 }

@@ -30,7 +30,12 @@ pub enum Value {
 impl Value {
     /// Convenience constructor for records.
     pub fn record(fields: Vec<(&str, Value)>) -> Value {
-        Value::Record(fields.into_iter().map(|(n, v)| (n.to_string(), v)).collect())
+        Value::Record(
+            fields
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
+        )
     }
 
     /// True if this is SQL NULL.
@@ -131,10 +136,16 @@ impl Value {
             Value::Bytes(_) => Schema::Bytes,
             Value::Timestamp(_) => Schema::Timestamp,
             Value::Array(items) => Schema::Array(Box::new(
-                items.first().map(Value::infer_schema).unwrap_or(Schema::Null),
+                items
+                    .first()
+                    .map(Value::infer_schema)
+                    .unwrap_or(Schema::Null),
             )),
             Value::Map(m) => Schema::Map(Box::new(
-                m.values().next().map(Value::infer_schema).unwrap_or(Schema::Null),
+                m.values()
+                    .next()
+                    .map(Value::infer_schema)
+                    .unwrap_or(Schema::Null),
             )),
             Value::Record(fields) => Schema::Record {
                 name: "inferred".into(),
@@ -160,7 +171,11 @@ impl std::fmt::Display for Value {
             Value::Float(v) => write!(f, "{v}"),
             Value::Double(v) => write!(f, "{v}"),
             Value::String(s) => write!(f, "{s}"),
-            Value::Bytes(b) => write!(f, "0x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+            Value::Bytes(b) => write!(
+                f,
+                "0x{}",
+                b.iter().map(|x| format!("{x:02x}")).collect::<String>()
+            ),
             Value::Timestamp(t) => write!(f, "@{t}"),
             Value::Array(items) => {
                 write!(f, "[")?;
@@ -202,9 +217,18 @@ mod tests {
 
     #[test]
     fn numeric_comparisons_widen() {
-        assert_eq!(Value::Int(3).sql_cmp(&Value::Long(3)), Some(Ordering::Equal));
-        assert_eq!(Value::Double(2.5).sql_cmp(&Value::Int(3)), Some(Ordering::Less));
-        assert_eq!(Value::Timestamp(10).sql_cmp(&Value::Long(5)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Long(3)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Double(2.5).sql_cmp(&Value::Int(3)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Timestamp(10).sql_cmp(&Value::Long(5)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -228,7 +252,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let v = Value::record(vec![("a", Value::Int(1)), ("b", Value::Array(vec![Value::Boolean(true)]))]);
+        let v = Value::record(vec![
+            ("a", Value::Int(1)),
+            ("b", Value::Array(vec![Value::Boolean(true)])),
+        ]);
         assert_eq!(v.to_string(), "(a=1, b=[true])");
     }
 

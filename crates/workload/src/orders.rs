@@ -68,8 +68,11 @@ impl OrdersGenerator {
     pub fn next_value(&mut self) -> Value {
         let product = self.rng.gen_range(0..self.spec.products);
         let units = self.rng.gen_range(1..=self.spec.max_units);
-        let pad: String =
-            (&mut self.rng).sample_iter(&Alphanumeric).take(self.pad_len).map(char::from).collect();
+        let pad: String = (&mut self.rng)
+            .sample_iter(&Alphanumeric)
+            .take(self.pad_len)
+            .map(char::from)
+            .collect();
         let v = Value::record(vec![
             ("rowtime", Value::Timestamp(self.now_ms)),
             ("productId", Value::Int(product)),
@@ -92,7 +95,11 @@ impl OrdersGenerator {
             .encode(v.field("productId").expect("productId"))
             .expect("encode key");
         let payload = self.codec.encode(&v).expect("orders encode");
-        Message { key: Some(key), value: payload, timestamp: ts }
+        Message {
+            key: Some(key),
+            value: payload,
+            timestamp: ts,
+        }
     }
 
     /// Generate `n` encoded messages.
@@ -113,7 +120,9 @@ pub fn default_orders(n: usize) -> Vec<Message> {
 
 /// The raw bytes of one encoded order (for size assertions/benches).
 pub fn sample_payload() -> Bytes {
-    OrdersGenerator::new(OrdersSpec::default()).next_message().value
+    OrdersGenerator::new(OrdersSpec::default())
+        .next_message()
+        .value
 }
 
 #[cfg(test)]
@@ -129,8 +138,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = OrdersGenerator::new(OrdersSpec { seed: 1, ..Default::default() }).messages(10);
-        let b = OrdersGenerator::new(OrdersSpec { seed: 2, ..Default::default() }).messages(10);
+        let a = OrdersGenerator::new(OrdersSpec {
+            seed: 1,
+            ..Default::default()
+        })
+        .messages(10);
+        let b = OrdersGenerator::new(OrdersSpec {
+            seed: 2,
+            ..Default::default()
+        })
+        .messages(10);
         assert_ne!(a, b);
     }
 
@@ -140,7 +157,10 @@ mod tests {
         for _ in 0..20 {
             let m = g.next_message();
             let len = m.value.len();
-            assert!((90..=110).contains(&len), "payload {len} outside ~100B window");
+            assert!(
+                (90..=110).contains(&len),
+                "payload {len} outside ~100B window"
+            );
         }
     }
 
@@ -166,7 +186,10 @@ mod tests {
                 over_50 += 1;
             }
         }
-        assert!((400..=600).contains(&over_50), "~50% selectivity, got {over_50}/1000");
+        assert!(
+            (400..=600).contains(&over_50),
+            "~50% selectivity, got {over_50}/1000"
+        );
     }
 
     #[test]

@@ -22,7 +22,12 @@ pub struct PacketsSpec {
 
 impl Default for PacketsSpec {
     fn default() -> Self {
-        PacketsSpec { seed: 11, inter_arrival_ms: 100, min_delay_ms: 100, max_delay_ms: 1_500 }
+        PacketsSpec {
+            seed: 11,
+            inter_arrival_ms: 100,
+            min_delay_ms: 100,
+            max_delay_ms: 1_500,
+        }
     }
 }
 
@@ -58,7 +63,9 @@ impl PacketsGenerator {
 
     /// Next correlated pair.
     pub fn next_pair(&mut self) -> PacketPair {
-        let delay = self.rng.gen_range(self.spec.min_delay_ms..=self.spec.max_delay_ms);
+        let delay = self
+            .rng
+            .gen_range(self.spec.min_delay_ms..=self.spec.max_delay_ms);
         let source = self.now_ms;
         let packet = |rowtime: i64, id: i64| {
             Value::record(vec![
@@ -122,8 +129,12 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a: Vec<PacketPair> =
-            (0..10).map(|_| PacketsGenerator::new(PacketsSpec::default()).next_pair()).collect();
-        assert!(a.windows(2).all(|w| w[0] == w[1]), "same seed, same first pair");
+        let a: Vec<PacketPair> = (0..10)
+            .map(|_| PacketsGenerator::new(PacketsSpec::default()).next_pair())
+            .collect();
+        assert!(
+            a.windows(2).all(|w| w[0] == w[1]),
+            "same seed, same first pair"
+        );
     }
 }

@@ -20,7 +20,11 @@ pub struct ProductsSpec {
 
 impl Default for ProductsSpec {
     fn default() -> Self {
-        ProductsSpec { seed: 7, products: 100, suppliers: 10 }
+        ProductsSpec {
+            seed: 7,
+            products: 100,
+            suppliers: 10,
+        }
     }
 }
 
@@ -96,7 +100,15 @@ mod tests {
         let codec = AvroCodec::new(crate::products_schema());
         let mut ids: Vec<i64> = snap
             .iter()
-            .map(|m| codec.decode(&m.value).unwrap().field("productId").unwrap().as_i64().unwrap())
+            .map(|m| {
+                codec
+                    .decode(&m.value)
+                    .unwrap()
+                    .field("productId")
+                    .unwrap()
+                    .as_i64()
+                    .unwrap()
+            })
             .collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..100).collect::<Vec<_>>());
@@ -119,7 +131,13 @@ mod tests {
         let codec = AvroCodec::new(crate::products_schema());
         for _ in 0..20 {
             let m = g.random_update();
-            let pid = codec.decode(&m.value).unwrap().field("productId").unwrap().as_i64().unwrap();
+            let pid = codec
+                .decode(&m.value)
+                .unwrap()
+                .field("productId")
+                .unwrap()
+                .as_i64()
+                .unwrap();
             assert!((0..100).contains(&pid));
         }
     }

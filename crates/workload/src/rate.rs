@@ -14,7 +14,11 @@ pub struct RateLimiter {
 impl RateLimiter {
     /// `per_second = 0` disables pacing (run flat out).
     pub fn new(per_second: u64) -> Self {
-        RateLimiter { per_second: per_second as f64, started: Instant::now(), produced: 0 }
+        RateLimiter {
+            per_second: per_second as f64,
+            started: Instant::now(),
+            produced: 0,
+        }
     }
 
     /// Account one message; sleep if production is ahead of the target rate.
@@ -69,6 +73,9 @@ mod tests {
         }
         // 100 messages at 1000/s should take ≥ ~100ms.
         let rate = r.achieved();
-        assert!(rate <= 1_200.0, "achieved {rate}/s exceeds target by too much");
+        assert!(
+            rate <= 1_200.0,
+            "achieved {rate}/s exceeds target by too much"
+        );
     }
 }

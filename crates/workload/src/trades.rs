@@ -68,7 +68,10 @@ impl TradesGenerator {
             ("id", Value::Long(self.next_id)),
             ("ticker", Value::String(self.spec.tickers[t].clone())),
             ("shares", Value::Int(self.rng.gen_range(1..=1_000))),
-            ("price", Value::Double((self.prices[t] * 100.0).round() / 100.0)),
+            (
+                "price",
+                Value::Double((self.prices[t] * 100.0).round() / 100.0),
+            ),
         ]);
         self.next_id += 1;
         self.now_ms += self.spec.inter_arrival_ms;
@@ -79,7 +82,11 @@ impl TradesGenerator {
     pub fn next_message(&mut self) -> Message {
         let v = self.next_value();
         let ts = v.field("rowtime").and_then(|t| t.as_i64()).unwrap_or(0);
-        let key = v.field("ticker").and_then(|t| t.as_str()).unwrap_or("").to_string();
+        let key = v
+            .field("ticker")
+            .and_then(|t| t.as_str())
+            .unwrap_or("")
+            .to_string();
         Message {
             key: Some(bytes::Bytes::from(key)),
             value: self.codec.encode(&v).expect("trade encode"),
@@ -99,12 +106,21 @@ mod tests {
 
     #[test]
     fn prices_stay_positive_and_rounded() {
-        let mut g = TradesGenerator::new("Asks", TradesSpec { walk: 50.0, ..Default::default() });
+        let mut g = TradesGenerator::new(
+            "Asks",
+            TradesSpec {
+                walk: 50.0,
+                ..Default::default()
+            },
+        );
         for _ in 0..200 {
             let v = g.next_value();
             let p = v.field("price").unwrap().as_f64().unwrap();
             assert!(p >= 1.0);
-            assert!((p * 100.0 - (p * 100.0).round()).abs() < 1e-9, "2-decimal rounding");
+            assert!(
+                (p * 100.0 - (p * 100.0).round()).abs() < 1e-9,
+                "2-decimal rounding"
+            );
         }
     }
 

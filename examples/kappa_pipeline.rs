@@ -40,14 +40,18 @@ fn produce_orders(shell: &SamzaSqlShell, range: std::ops::Range<i64>) {
 
 fn main() {
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(2)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(2))
+        .unwrap();
     // A two-node cluster so the killed container can move.
     let cluster = ClusterSim::new(
         broker.clone(),
         vec![NodeConfig::new("node-a", 8), NodeConfig::new("node-b", 8)],
     );
     let mut shell = SamzaSqlShell::with_cluster(broker, cluster);
-    shell.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+    shell
+        .register_stream("Orders", "orders", orders_schema(), "rowtime")
+        .unwrap();
 
     // Stage 1: keep only big orders.
     let q1 = shell
@@ -83,7 +87,11 @@ fn main() {
     // Feed the pipeline; orders divisible by 3 are "big" (units=100).
     produce_orders(&shell, 0..60);
     let first = q2.await_outputs(20, Duration::from_secs(15)).unwrap();
-    println!("before failure: {} windowed rows, last = {}", first.len(), first.last().unwrap());
+    println!(
+        "before failure: {} windowed rows, last = {}",
+        first.len(),
+        first.last().unwrap()
+    );
 
     // Inject a failure into stage 2: kill its container. The application
     // master reschedules it; window state restores from the changelog.
@@ -92,7 +100,11 @@ fn main() {
 
     produce_orders(&shell, 60..120);
     let second = q2.await_outputs(20, Duration::from_secs(20)).unwrap();
-    println!("after recovery: {} windowed rows, last = {}", second.len(), second.last().unwrap());
+    println!(
+        "after recovery: {} windowed rows, last = {}",
+        second.len(),
+        second.last().unwrap()
+    );
 
     // The running count never reset: the last row's count reflects both
     // pre- and post-failure big orders inside the hour window.

@@ -12,25 +12,41 @@
 
 use samzasql::core::udaf::GeometricMean;
 use samzasql::prelude::*;
-use samzasql::workload::{orders_schema, products_schema, OrdersGenerator, OrdersSpec, ProductsGenerator, ProductsSpec};
+use samzasql::workload::{
+    orders_schema, products_schema, OrdersGenerator, OrdersSpec, ProductsGenerator, ProductsSpec,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(4)).unwrap();
-    broker.create_topic("products-changelog", TopicConfig::with_partitions(4)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(4))
+        .unwrap();
+    broker
+        .create_topic("products-changelog", TopicConfig::with_partitions(4))
+        .unwrap();
 
     let mut shell = SamzaSqlShell::new(broker.clone());
-    shell.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+    shell
+        .register_stream("Orders", "orders", orders_schema(), "rowtime")
+        .unwrap();
     shell.set_partition_key("Orders", "productId").unwrap();
     shell
-        .register_table("Products", "products-changelog", products_schema(), "productId")
+        .register_table(
+            "Products",
+            "products-changelog",
+            products_schema(),
+            "productId",
+        )
         .unwrap();
     shell.register_udaf("GEO_MEAN", Arc::new(GeometricMean));
 
     // Load the Products relation snapshot and a few thousand orders.
-    let mut products = ProductsGenerator::new(ProductsSpec { products: 20, ..Default::default() });
+    let mut products = ProductsGenerator::new(ProductsSpec {
+        products: 20,
+        ..Default::default()
+    });
     for m in products.snapshot() {
         let p = samzasql::kafka::partitioner::hash_bytes(m.key.as_ref().unwrap()) % 4;
         broker.produce("products-changelog", p, m).unwrap();
@@ -91,8 +107,14 @@ fn main() {
              FROM Orders JOIN Products ON Orders.productId = Products.productId",
         )
         .unwrap();
-    let joined = enriched.await_outputs(2_000, Duration::from_secs(30)).unwrap();
-    println!("\njoined {} orders with suppliers; sample: {}", joined.len(), joined[0]);
+    let joined = enriched
+        .await_outputs(2_000, Duration::from_secs(30))
+        .unwrap();
+    println!(
+        "\njoined {} orders with suppliers; sample: {}",
+        joined.len(),
+        joined[0]
+    );
     enriched.stop().unwrap();
 
     let mut sliding = shell
@@ -102,7 +124,13 @@ fn main() {
              RANGE INTERVAL '1' HOUR PRECEDING) unitsLastHour FROM Orders",
         )
         .unwrap();
-    let sums = sliding.await_outputs(2_000, Duration::from_secs(30)).unwrap();
-    println!("\nsliding hourly sums for {} orders; sample: {}", sums.len(), sums.last().unwrap());
+    let sums = sliding
+        .await_outputs(2_000, Duration::from_secs(30))
+        .unwrap();
+    println!(
+        "\nsliding hourly sums for {} orders; sample: {}",
+        sums.len(),
+        sums.last().unwrap()
+    );
     sliding.stop().unwrap();
 }

@@ -12,15 +12,29 @@ use std::time::Duration;
 
 fn main() {
     let broker = Broker::new();
-    broker.create_topic("packetsr1", TopicConfig::with_partitions(2)).unwrap();
-    broker.create_topic("packetsr2", TopicConfig::with_partitions(2)).unwrap();
+    broker
+        .create_topic("packetsr1", TopicConfig::with_partitions(2))
+        .unwrap();
+    broker
+        .create_topic("packetsr2", TopicConfig::with_partitions(2))
+        .unwrap();
 
     let mut shell = SamzaSqlShell::new(broker.clone());
     shell
-        .register_stream("PacketsR1", "packetsr1", packets_schema("PacketsR1"), "rowtime")
+        .register_stream(
+            "PacketsR1",
+            "packetsr1",
+            packets_schema("PacketsR1"),
+            "rowtime",
+        )
         .unwrap();
     shell
-        .register_stream("PacketsR2", "packetsr2", packets_schema("PacketsR2"), "rowtime")
+        .register_stream(
+            "PacketsR2",
+            "packetsr2",
+            packets_schema("PacketsR2"),
+            "rowtime",
+        )
         .unwrap();
 
     // Listing 7, verbatim modulo stream names.

@@ -11,7 +11,9 @@ use std::time::Duration;
 fn main() {
     // 1. An in-process "Kafka cluster" with a 4-partition orders topic.
     let broker = Broker::new();
-    broker.create_topic("orders", TopicConfig::with_partitions(4)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(4))
+        .unwrap();
 
     // 2. The SamzaSQL shell: catalog + planner + YARN-sim cluster.
     let mut shell = SamzaSqlShell::new(broker);
@@ -48,7 +50,12 @@ fn main() {
     }
 
     // 4. EXPLAIN shows the logical and physical plan.
-    println!("{}", shell.explain("SELECT STREAM * FROM Orders WHERE units > 50").unwrap());
+    println!(
+        "{}",
+        shell
+            .explain("SELECT STREAM * FROM Orders WHERE units > 50")
+            .unwrap()
+    );
 
     // 5. Without STREAM, the stream is queried as a table of its history
     //    (§3.3) and the query returns synchronously.
@@ -78,6 +85,10 @@ fn main() {
             .unwrap();
     }
     let streamed = handle.await_outputs(6, Duration::from_secs(5)).unwrap();
-    println!("continuous filter emitted {} rows, e.g. {}", streamed.len(), streamed[0]);
+    println!(
+        "continuous filter emitted {} rows, e.g. {}",
+        streamed.len(),
+        streamed[0]
+    );
     handle.stop().unwrap();
 }

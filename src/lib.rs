@@ -15,6 +15,7 @@
 //! | [`samza`] | `samzasql-samza` | stream tasks, containers, local state, cluster sim |
 //! | [`parser`] | `samzasql-parser` | SQL + streaming extensions (STREAM, TUMBLE/HOP, OVER) |
 //! | [`planner`] | `samzasql-planner` | catalog, validator, optimizer, physical plans |
+//! | [`coord`] | `samzasql-coord` | ZooKeeper-style coordination: znodes, sessions, watches |
 //! | [`core`] | `samzasql-core` | operators, message router, shell — the paper's contribution |
 //! | [`workload`] | `samzasql-workload` | synthetic evaluation workloads |
 //!
@@ -49,6 +50,7 @@
 //! big_orders.stop().unwrap();
 //! ```
 
+pub use samzasql_coord as coord;
 pub use samzasql_core as core;
 pub use samzasql_kafka as kafka;
 pub use samzasql_parser as parser;
@@ -59,6 +61,7 @@ pub use samzasql_workload as workload;
 
 /// The items most applications need.
 pub mod prelude {
+    pub use samzasql_coord::{Coord, CreateMode, ManualClock};
     pub use samzasql_core::shell::{QueryHandle, SamzaSqlShell};
     pub use samzasql_core::udaf::{UdafRegistry, UserAggregate};
     pub use samzasql_kafka::{Broker, Message, TopicConfig};

@@ -1,0 +1,336 @@
+//! Chaos-style integration tests for the coordination service: the broker's
+//! group coordinator, the cluster simulation's application masters, and the
+//! SQL shell all share one [`Coord`] znode tree, and fault injection on it
+//! (forced session expiry, manual clock advance) must drive the same
+//! recovery paths a real ZooKeeper outage would — container rescheduling
+//! with changelog-restored state, and consumer-group rebalances.
+
+use samzasql::coord::Coord;
+use samzasql::kafka::{Assignor, Broker, Message, TopicConfig};
+use samzasql::prelude::*;
+use samzasql::samza::{
+    IncomingMessageEnvelope, InputStreamConfig, JobConfig, MessageCollector,
+    OutgoingMessageEnvelope, OutputStreamConfig, Result as SamzaResult, StoreConfig, StreamTask,
+    TaskContext, TaskCoordinator, TaskFactory,
+};
+use samzasql::serde::SerdeFormat;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn wait_for<F: Fn() -> bool>(cond: F, timeout: Duration, what: &str) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Stateful counter: per-key running count held in a changelog-backed store,
+/// so a rescheduled container must restore state to keep the count exact.
+struct Counter;
+impl StreamTask for Counter {
+    fn process(
+        &mut self,
+        envelope: &IncomingMessageEnvelope,
+        ctx: &mut TaskContext,
+        collector: &mut MessageCollector,
+        _coordinator: &mut TaskCoordinator,
+    ) -> SamzaResult<()> {
+        let key = envelope.key.clone().expect("keyed input");
+        let store = ctx.store_mut("c")?;
+        let n = store
+            .get(&key)
+            .map(|b| u64::from_le_bytes(b.as_ref().try_into().expect("8 bytes")))
+            .unwrap_or(0)
+            + 1;
+        store.put(&key, bytes::Bytes::copy_from_slice(&n.to_le_bytes()))?;
+        collector.send(OutgoingMessageEnvelope::new("out", format!("{n}")).keyed(key));
+        Ok(())
+    }
+}
+
+struct CounterFactory;
+impl TaskFactory for CounterFactory {
+    fn create(&self, _partition: u32) -> Box<dyn StreamTask> {
+        Box::new(Counter)
+    }
+}
+
+fn last_output(broker: &Broker) -> Option<String> {
+    let mut last = None;
+    let mut off = 0;
+    loop {
+        let batch = broker.fetch("out", 0, off, 1024).unwrap();
+        if batch.records.is_empty() {
+            return last;
+        }
+        for r in batch.records {
+            off = r.offset + 1;
+            last = Some(String::from_utf8(r.message.value.to_vec()).unwrap());
+        }
+    }
+}
+
+/// The acceptance scenario: one shared coordination service under broker and
+/// cluster; force-expiring a container's session fires the AM's liveness
+/// watch and reschedules the container with changelog-restored state, and
+/// clock-driven expiry of a silent consumer triggers a group rebalance —
+/// with the coordination metrics reflecting both.
+#[test]
+fn forced_session_expiry_reschedules_container_and_rebalances_group() {
+    let coord = Coord::new();
+    let broker = Broker::with_coord(coord.clone());
+    let cluster = ClusterSim::with_coord(
+        broker.clone(),
+        vec![NodeConfig::new("n0", 4), NodeConfig::new("n1", 4)],
+        coord.clone(),
+    );
+
+    // --- stateful job whose container we will "partition away" ---
+    broker
+        .create_topic("in", TopicConfig::with_partitions(1))
+        .unwrap();
+    broker
+        .create_topic("out", TopicConfig::with_partitions(1))
+        .unwrap();
+    let mut cfg = JobConfig::new("counter")
+        .input(InputStreamConfig::avro("in"))
+        .output(OutputStreamConfig::avro("out"))
+        .store(StoreConfig::with_changelog(
+            "c",
+            "counter",
+            SerdeFormat::Object,
+        ));
+    cfg.commit_interval_messages = 1;
+    let handle = cluster.submit(cfg, Arc::new(CounterFactory)).unwrap();
+
+    // --- consumer group on the same coordination service ---
+    broker
+        .create_topic("events", TopicConfig::with_partitions(8))
+        .unwrap();
+    let gc = broker.group_coordinator();
+    gc.join(&broker, "analytics", "m1", &["events"], Assignor::Range)
+        .unwrap();
+    let m2 = gc
+        .join(&broker, "analytics", "m2", &["events"], Assignor::Range)
+        .unwrap();
+    let a1 = gc.assignment("analytics", "m1", m2.generation).unwrap();
+    assert_eq!(
+        a1.len() + m2.assignment.len(),
+        8,
+        "both members share the topic"
+    );
+    assert!(
+        !m2.assignment.is_empty(),
+        "m2 owns partitions before the chaos"
+    );
+    let generation_before = m2.generation;
+
+    for _ in 0..50 {
+        broker.produce("in", 0, Message::keyed("k", "x")).unwrap();
+    }
+    wait_for(
+        || handle.processed() >= 50,
+        Duration::from_secs(10),
+        "first 50 processed",
+    );
+
+    let before = coord.metrics();
+    let session = cluster
+        .container_session("counter", 0)
+        .expect("container registered");
+    assert!(
+        coord.exists("/samza/jobs/counter/containers/0").is_some(),
+        "liveness znode"
+    );
+
+    // --- chaos #1: the container's session dies (ZK partition / GC pause) ---
+    coord.force_expire(session).unwrap();
+    wait_for(
+        || cluster.container_generation("counter", 0) == Some(1),
+        Duration::from_secs(10),
+        "AM watch fires and reschedules the container",
+    );
+    let new_session = cluster
+        .container_session("counter", 0)
+        .expect("rescheduled");
+    assert_ne!(
+        new_session, session,
+        "replacement container owns a fresh session"
+    );
+    assert!(
+        coord.exists("/samza/jobs/counter/containers/0").is_some(),
+        "replacement re-registers its ephemeral liveness znode"
+    );
+
+    for _ in 0..50 {
+        broker.produce("in", 0, Message::keyed("k", "x")).unwrap();
+    }
+    wait_for(
+        || handle.processed() >= 100,
+        Duration::from_secs(10),
+        "remaining 50 processed",
+    );
+    // Exactly 100: the replacement restored its store from the changelog and
+    // resumed from the last checkpoint.
+    assert_eq!(last_output(&broker).as_deref(), Some("100"));
+
+    // --- chaos #2: m2 stops heartbeating; the clock rolls past its timeout ---
+    // (container sessions use a 60s timeout and their threads heartbeat
+    // continuously, so an 11s advance only reaps the silent consumer)
+    coord.advance(5_000);
+    gc.heartbeat(&broker, "analytics", "m1").unwrap();
+    coord.advance(6_000);
+
+    let gen = gc.heartbeat(&broker, "analytics", "m1").unwrap();
+    assert!(gen > generation_before, "eviction bumps the generation");
+    let owned = gc.assignment("analytics", "m1", gen).unwrap();
+    assert_eq!(owned.len(), 8, "survivor inherits every partition");
+    assert!(
+        gc.heartbeat(&broker, "analytics", "m2").is_err(),
+        "expired member is refused"
+    );
+
+    let after = coord.metrics();
+    assert!(
+        after.sessions_expired >= before.sessions_expired + 2,
+        "container + consumer expired"
+    );
+    assert!(
+        after.watches_fired > before.watches_fired,
+        "liveness/membership watches fired"
+    );
+    assert!(
+        after.ephemerals_reaped >= before.ephemerals_reaped + 2,
+        "ephemerals reaped"
+    );
+
+    handle.stop().unwrap();
+}
+
+/// Deliberate restarts go through the same coordination machinery without
+/// double-respawning: the AM closes the old session (watch fires, but the
+/// handler sees the container already detached) and the replacement
+/// re-registers.
+#[test]
+fn deliberate_restart_coexists_with_liveness_watches() {
+    let broker = Broker::new();
+    broker
+        .create_topic("in", TopicConfig::with_partitions(2))
+        .unwrap();
+    let cluster = ClusterSim::single_node(broker.clone());
+    let handle = cluster
+        .submit(
+            JobConfig::new("echo")
+                .input(InputStreamConfig::avro("in"))
+                .containers(2),
+            Arc::new(CounterFactoryLess),
+        )
+        .unwrap();
+    let s0 = cluster.container_session("echo", 0).unwrap();
+    handle.kill_container(0).unwrap();
+    let s0b = cluster.container_session("echo", 0).unwrap();
+    assert_ne!(s0, s0b);
+    assert_eq!(cluster.container_generation("echo", 0), Some(1));
+    assert_eq!(
+        cluster.container_generation("echo", 1),
+        Some(0),
+        "other container untouched"
+    );
+    let m = cluster.coord().metrics();
+    assert_eq!(
+        m.sessions_expired, 0,
+        "deliberate restart closes, never expires"
+    );
+    handle.stop().unwrap();
+    assert!(
+        cluster.coord().exists("/samza/jobs/echo").is_none(),
+        "stop_job clears the job subtree"
+    );
+}
+
+struct CounterFactoryLess;
+impl TaskFactory for CounterFactoryLess {
+    fn create(&self, _partition: u32) -> Box<dyn StreamTask> {
+        struct Noop;
+        impl StreamTask for Noop {
+            fn process(
+                &mut self,
+                _envelope: &IncomingMessageEnvelope,
+                _ctx: &mut TaskContext,
+                _collector: &mut MessageCollector,
+                _coordinator: &mut TaskCoordinator,
+            ) -> SamzaResult<()> {
+                Ok(())
+            }
+        }
+        Box::new(Noop)
+    }
+}
+
+/// Step one / step two of two-step planning (§4.2) through the coordination
+/// service: the shell stores the SQL and schema references under
+/// `/samzasql/queries/<job>/…`, and the job's tasks re-plan from exactly
+/// those znodes at init.
+#[test]
+fn shell_publishes_query_metadata_to_coordination_service() {
+    let broker = Broker::new();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(2))
+        .unwrap();
+    let mut shell = SamzaSqlShell::new(broker.clone());
+    shell
+        .register_stream(
+            "Orders",
+            "orders",
+            Schema::record(
+                "Orders",
+                vec![
+                    ("rowtime", Schema::Timestamp),
+                    ("productId", Schema::Int),
+                    ("units", Schema::Int),
+                ],
+            ),
+            "rowtime",
+        )
+        .unwrap();
+
+    let sql = "SELECT STREAM rowtime, productId, units FROM Orders WHERE units > 50";
+    let mut handle = shell.submit(sql).unwrap();
+
+    let coord = shell.coord();
+    let jobs = coord.children("/samzasql/queries").unwrap();
+    assert_eq!(jobs.len(), 1, "one job registered");
+    let base = format!("/samzasql/queries/{}", jobs[0]);
+    assert_eq!(coord.get(format!("{base}/sql")).unwrap().0, sql);
+    assert!(coord
+        .get(format!("{base}/schema"))
+        .unwrap()
+        .0
+        .ends_with("-value"));
+    // The AM published the job model alongside.
+    let job_base = format!("/samza/jobs/{}", jobs[0]);
+    assert!(coord
+        .get(format!("{job_base}/model"))
+        .unwrap()
+        .0
+        .contains("\"containers\""));
+    assert!(
+        coord.exists(format!("{job_base}/containers/0")).is_some(),
+        "container liveness registered"
+    );
+
+    shell
+        .produce(
+            "Orders",
+            Value::record(vec![
+                ("rowtime", Value::Timestamp(1_000)),
+                ("productId", Value::Int(7)),
+                ("units", Value::Int(75)),
+            ]),
+        )
+        .unwrap();
+    let rows = handle.await_outputs(1, Duration::from_secs(5)).unwrap();
+    assert_eq!(rows[0].field("units"), Some(&Value::Int(75)));
+    handle.stop().unwrap();
+}

@@ -8,8 +8,12 @@ use samzasql::workload::{
 use std::time::Duration;
 
 fn load_workload(broker: &Broker, orders: usize) {
-    broker.create_topic("orders", TopicConfig::with_partitions(4)).unwrap();
-    broker.create_topic("products-changelog", TopicConfig::with_partitions(4)).unwrap();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(4))
+        .unwrap();
+    broker
+        .create_topic("products-changelog", TopicConfig::with_partitions(4))
+        .unwrap();
     let mut pg = ProductsGenerator::new(ProductsSpec::default());
     for m in pg.snapshot() {
         let p = samzasql::kafka::partitioner::hash_bytes(m.key.as_ref().unwrap()) % 4;
@@ -24,10 +28,17 @@ fn load_workload(broker: &Broker, orders: usize) {
 
 fn shell(broker: &Broker) -> SamzaSqlShell {
     let mut shell = SamzaSqlShell::new(broker.clone());
-    shell.register_stream("Orders", "orders", orders_schema(), "rowtime").unwrap();
+    shell
+        .register_stream("Orders", "orders", orders_schema(), "rowtime")
+        .unwrap();
     shell.set_partition_key("Orders", "productId").unwrap();
     shell
-        .register_table("Products", "products-changelog", products_schema(), "productId")
+        .register_table(
+            "Products",
+            "products-changelog",
+            products_schema(),
+            "productId",
+        )
         .unwrap();
     shell
 }
@@ -39,7 +50,9 @@ fn generated_workload_through_filter_and_join() {
     let mut sh = shell(&broker);
 
     // Bounded sanity: selectivity of units > 50 is ~50%.
-    let filtered = sh.query("SELECT orderId, units FROM Orders WHERE units > 50").unwrap();
+    let filtered = sh
+        .query("SELECT orderId, units FROM Orders WHERE units > 50")
+        .unwrap();
     assert!(
         (350..=650).contains(&filtered.len()),
         "~50% selectivity expected, got {}",
@@ -53,7 +66,9 @@ fn generated_workload_through_filter_and_join() {
              FROM Orders JOIN Products ON Orders.productId = Products.productId",
         )
         .unwrap();
-    let rows = handle.await_outputs(1_000, Duration::from_secs(30)).unwrap();
+    let rows = handle
+        .await_outputs(1_000, Duration::from_secs(30))
+        .unwrap();
     assert_eq!(rows.len(), 1_000);
     handle.stop().unwrap();
 }
@@ -66,15 +81,25 @@ fn streaming_and_bounded_answers_agree() {
     load_workload(&broker, 500);
     let mut sh = shell(&broker);
 
-    let bounded = sh.query("SELECT orderId FROM Orders WHERE units > 80").unwrap();
-    let mut streaming = sh.submit("SELECT STREAM orderId FROM Orders WHERE units > 80").unwrap();
-    let streamed = streaming.await_outputs(bounded.len(), Duration::from_secs(20)).unwrap();
+    let bounded = sh
+        .query("SELECT orderId FROM Orders WHERE units > 80")
+        .unwrap();
+    let mut streaming = sh
+        .submit("SELECT STREAM orderId FROM Orders WHERE units > 80")
+        .unwrap();
+    let streamed = streaming
+        .await_outputs(bounded.len(), Duration::from_secs(20))
+        .unwrap();
     streaming.stop().unwrap();
 
-    let mut a: Vec<i64> =
-        bounded.iter().map(|r| r.field("orderId").unwrap().as_i64().unwrap()).collect();
-    let mut b: Vec<i64> =
-        streamed.iter().map(|r| r.field("orderId").unwrap().as_i64().unwrap()).collect();
+    let mut a: Vec<i64> = bounded
+        .iter()
+        .map(|r| r.field("orderId").unwrap().as_i64().unwrap())
+        .collect();
+    let mut b: Vec<i64> = streamed
+        .iter()
+        .map(|r| r.field("orderId").unwrap().as_i64().unwrap())
+        .collect();
     a.sort_unstable();
     b.sort_unstable();
     assert_eq!(a, b, "stream and table runs must agree on the same data");
@@ -92,8 +117,14 @@ fn multi_container_join_is_correct_under_copartitioning() {
              FROM Orders JOIN Products ON Orders.productId = Products.productId",
         )
         .unwrap();
-    let rows = handle.await_outputs(2_000, Duration::from_secs(30)).unwrap();
-    assert_eq!(rows.len(), 2_000, "co-partitioned join loses nothing across 4 containers");
+    let rows = handle
+        .await_outputs(2_000, Duration::from_secs(30))
+        .unwrap();
+    assert_eq!(
+        rows.len(),
+        2_000,
+        "co-partitioned join loses nothing across 4 containers"
+    );
     // Verify a few joins against the relation.
     let mut pg = ProductsGenerator::new(ProductsSpec::default());
     let products: Vec<Value> = (0..100).map(|pid| pg.row(pid)).collect();
@@ -125,6 +156,8 @@ fn facade_reexports_compose() {
         )
         .unwrap();
     let planner = Planner::new(catalog);
-    let planned = planner.plan("SELECT STREAM * FROM Orders WHERE units > 50").unwrap();
+    let planned = planner
+        .plan("SELECT STREAM * FROM Orders WHERE units > 50")
+        .unwrap();
     assert!(planned.is_stream);
 }
