@@ -12,3 +12,6 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace
+# Benches must keep compiling (they are the paper's evaluation harness),
+# but CI does not pay to run them.
+cargo bench --workspace --no-run

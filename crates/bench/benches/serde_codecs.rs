@@ -49,7 +49,7 @@ fn bench(c: &mut Criterion) {
             // The scan/insert extra work: decode → array → record → encode.
             let rec = avro.decode(&avro_bytes).unwrap();
             let tuple = record_to_array(rec).unwrap();
-            let back = array_to_record(&tuple, &names).unwrap();
+            let back = array_to_record(tuple, &names).unwrap();
             avro.encode(&back).unwrap()
         })
     });

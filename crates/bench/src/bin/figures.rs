@@ -20,6 +20,22 @@ struct Args {
     messages: usize,
     partitions: u32,
     containers: Vec<u32>,
+    /// Where the machine-readable results go.
+    json_out: String,
+}
+
+/// One (containers, native, samzasql) measurement row.
+struct SeriesPoint {
+    containers: u32,
+    native_msgs_per_sec: f64,
+    samzasql_msgs_per_sec: f64,
+}
+
+/// Collected results for one evaluation query.
+struct QueryResults {
+    query: EvalQuery,
+    messages: usize,
+    series: Vec<SeriesPoint>,
 }
 
 fn parse_args() -> Args {
@@ -27,6 +43,7 @@ fn parse_args() -> Args {
     let mut messages = 200_000;
     let mut partitions = 32;
     let mut containers = vec![1, 2, 4, 8];
+    let mut json_out = "BENCH_figures.json".to_string();
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
@@ -56,6 +73,10 @@ fn parse_args() -> Args {
                     .unwrap_or(containers);
                 i += 2;
             }
+            "--json-out" => {
+                json_out = argv.get(i + 1).cloned().unwrap_or_else(|| json_out.clone());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -67,10 +88,11 @@ fn parse_args() -> Args {
         messages,
         partitions,
         containers,
+        json_out,
     }
 }
 
-fn throughput_figure(query: EvalQuery, args: &Args) {
+fn throughput_figure(query: EvalQuery, args: &Args) -> QueryResults {
     // KV-heavy workloads use fewer messages to keep runs short.
     let n = match query {
         EvalQuery::SlidingWindow => args.messages / 4,
@@ -90,6 +112,7 @@ fn throughput_figure(query: EvalQuery, args: &Args) {
         "{:>11} {:>18} {:>18} {:>12}",
         "containers", "native (msg/s)", "samzasql (msg/s)", "sql/native"
     );
+    let mut series = Vec::new();
     for &c in &args.containers {
         let native = measure_native(query, c, args.partitions, n);
         let sql = measure_samzasql(query, c, args.partitions, n);
@@ -100,6 +123,11 @@ fn throughput_figure(query: EvalQuery, args: &Args) {
             sql.msgs_per_sec,
             sql.msgs_per_sec / native.msgs_per_sec
         );
+        series.push(SeriesPoint {
+            containers: c,
+            native_msgs_per_sec: native.msgs_per_sec,
+            samzasql_msgs_per_sec: sql.msgs_per_sec,
+        });
     }
     let expectation = match query {
         EvalQuery::Filter | EvalQuery::Project => {
@@ -111,6 +139,49 @@ fn throughput_figure(query: EvalQuery, args: &Args) {
         }
     };
     println!("  [{expectation}]");
+    QueryResults {
+        query,
+        messages: n,
+        series,
+    }
+}
+
+/// Write the collected throughput results as JSON so before/after comparisons
+/// can be scripted. Hand-rolled: the bench crate deliberately takes no
+/// serialization dependency.
+fn write_figures_json(args: &Args, results: &[QueryResults]) {
+    if results.is_empty() {
+        return;
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"partitions\": {},\n", args.partitions));
+    out.push_str("  \"queries\": {\n");
+    for (qi, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\n      \"figure\": \"{}\",\n      \"messages\": {},\n      \"series\": [\n",
+            r.query.name(),
+            r.query.figure(),
+            r.messages
+        ));
+        for (i, p) in r.series.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"containers\": {}, \"native_msgs_per_sec\": {:.0}, \"samzasql_msgs_per_sec\": {:.0}}}{}\n",
+                p.containers,
+                p.native_msgs_per_sec,
+                p.samzasql_msgs_per_sec,
+                if i + 1 < r.series.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if qi + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    match std::fs::write(&args.json_out, &out) {
+        Ok(()) => println!("\nwrote {}", args.json_out),
+        Err(e) => eprintln!("failed to write {}: {e}", args.json_out),
+    }
 }
 
 fn msgsize_table() {
@@ -168,19 +239,20 @@ fn usability() {
 
 fn main() {
     let args = parse_args();
+    let mut results = Vec::new();
     match args.fig.as_str() {
-        "5a" => throughput_figure(EvalQuery::Filter, &args),
-        "5b" => throughput_figure(EvalQuery::Project, &args),
-        "5c" => throughput_figure(EvalQuery::Join, &args),
-        "6" => throughput_figure(EvalQuery::SlidingWindow, &args),
+        "5a" => results.push(throughput_figure(EvalQuery::Filter, &args)),
+        "5b" => results.push(throughput_figure(EvalQuery::Project, &args)),
+        "5c" => results.push(throughput_figure(EvalQuery::Join, &args)),
+        "6" => results.push(throughput_figure(EvalQuery::SlidingWindow, &args)),
         "msgsize" => msgsize_table(),
         "usability" => usability(),
         "ablation" => ablation(&args),
         "all" => {
-            throughput_figure(EvalQuery::Filter, &args);
-            throughput_figure(EvalQuery::Project, &args);
-            throughput_figure(EvalQuery::Join, &args);
-            throughput_figure(EvalQuery::SlidingWindow, &args);
+            results.push(throughput_figure(EvalQuery::Filter, &args));
+            results.push(throughput_figure(EvalQuery::Project, &args));
+            results.push(throughput_figure(EvalQuery::Join, &args));
+            results.push(throughput_figure(EvalQuery::SlidingWindow, &args));
             msgsize_table();
             usability();
             ablation(&args);
@@ -190,4 +262,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    write_figures_json(&args, &results);
 }

@@ -6,6 +6,11 @@
 //! wall-clock time. "The average throughput across containers was multiplied
 //! by the container count to get the job throughput" — here containers run
 //! as real threads in one process, so we measure the job directly.
+//!
+//! Both sides drive the batched execution path end-to-end: the container
+//! hands each task whole fetch slices (`StreamTask::process_batch`), and
+//! output flushes append per-partition runs under one log lock — so the
+//! native/SamzaSQL gap isolates per-message serde cost, as in the paper.
 
 use crate::native::{NativeTaskFactory, NativeTaskKind, NATIVE_STORE};
 use samzasql_core::shell::SamzaSqlShell;

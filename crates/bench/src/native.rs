@@ -72,6 +72,21 @@ impl StreamTask for NativeFilterTask {
         }
         Ok(())
     }
+
+    /// Batch-aware path so native/SamzaSQL comparisons stay apples-to-apples
+    /// under the container's batched delivery.
+    fn process_batch(
+        &mut self,
+        envelopes: &[IncomingMessageEnvelope],
+        ctx: &mut TaskContext,
+        collector: &mut MessageCollector,
+        coordinator: &mut TaskCoordinator,
+    ) -> Result<usize> {
+        for envelope in envelopes {
+            self.process(envelope, ctx, collector, coordinator)?;
+        }
+        Ok(envelopes.len())
+    }
 }
 
 // -------------------------------------------------------------- project
@@ -125,6 +140,21 @@ impl StreamTask for NativeProjectTask {
             OutgoingMessageEnvelope::new(self.output.clone(), payload).at(envelope.timestamp),
         );
         Ok(())
+    }
+
+    /// Batch-aware path so native/SamzaSQL comparisons stay apples-to-apples
+    /// under the container's batched delivery.
+    fn process_batch(
+        &mut self,
+        envelopes: &[IncomingMessageEnvelope],
+        ctx: &mut TaskContext,
+        collector: &mut MessageCollector,
+        coordinator: &mut TaskCoordinator,
+    ) -> Result<usize> {
+        for envelope in envelopes {
+            self.process(envelope, ctx, collector, coordinator)?;
+        }
+        Ok(envelopes.len())
     }
 }
 

@@ -1,0 +1,93 @@
+//! Metadata-handoff semantics (§4.2): the planner stores query text and
+//! schemas under a path tree and tasks read them back. These tests came from
+//! the old `samzasql_samza::coordination::MetadataStore` shim and pin the
+//! behaviors its callers relied on, now expressed directly against `Coord`.
+
+use samzasql_coord::{Coord, CoordError, CreateMode};
+
+#[test]
+fn set_get_normalizes_paths() {
+    let c = Coord::new();
+    c.upsert("jobs/q1/query", "SELECT 1").unwrap();
+    assert_eq!(c.get("/jobs/q1/query").unwrap().0, "SELECT 1");
+    assert_eq!(c.get("jobs/q1/query/").unwrap().0, "SELECT 1");
+    assert!(matches!(c.get("missing"), Err(CoordError::NoNode(_))));
+}
+
+#[test]
+fn interior_empty_segments_collapse() {
+    // The pre-coord standalone store only trimmed edge slashes, so "/a//b"
+    // silently addressed a different entry than "/a/b".
+    let c = Coord::new();
+    c.upsert("/a/b", "v").unwrap();
+    assert_eq!(c.get("/a//b").unwrap().0, "v");
+    c.upsert("/x//y", "w").unwrap();
+    assert_eq!(c.get("/x/y").unwrap().0, "w");
+    assert_eq!(c.children("//x").unwrap(), vec!["y".to_string()]);
+}
+
+#[test]
+fn versions_increment() {
+    let c = Coord::new();
+    assert_eq!(c.upsert("/a", "1").unwrap(), 1);
+    assert_eq!(c.upsert("/a", "2").unwrap(), 2);
+    assert_eq!(c.get("/a").unwrap().1.version, 2);
+}
+
+#[test]
+fn compare_and_set_enforces_version() {
+    // CAS at "version 0" is a plain create; afterwards a versioned set only
+    // succeeds when the caller's expected version matches.
+    let c = Coord::new();
+    assert!(c.create(None, "/a", "init", CreateMode::Persistent).is_ok());
+    assert!(matches!(
+        c.create(None, "/a", "stale", CreateMode::Persistent),
+        Err(CoordError::NodeExists(_))
+    ));
+    assert!(matches!(
+        c.set("/a", "stale", Some(7)),
+        Err(CoordError::BadVersion { .. })
+    ));
+    assert!(c.set("/a", "next", Some(1)).is_ok());
+    assert_eq!(c.get("/a").unwrap().0, "next");
+}
+
+#[test]
+fn children_lists_one_level() {
+    let c = Coord::new();
+    c.upsert("/jobs/q1/query", "x").unwrap();
+    c.upsert("/jobs/q1/schema", "y").unwrap();
+    c.upsert("/jobs/q2/query", "z").unwrap();
+    c.upsert("/other", "w").unwrap();
+    assert_eq!(
+        c.children("/jobs").unwrap(),
+        vec!["q1".to_string(), "q2".to_string()]
+    );
+    assert_eq!(
+        c.children("/jobs/q1").unwrap(),
+        vec!["query".to_string(), "schema".to_string()]
+    );
+    assert!(matches!(c.children("/jobs/q3"), Err(CoordError::NoNode(_))));
+}
+
+#[test]
+fn delete_removes_entry() {
+    let c = Coord::new();
+    c.upsert("/a", "1").unwrap();
+    assert!(c.exists("/a").is_some());
+    c.delete_recursive("/a").unwrap();
+    assert!(c.exists("/a").is_none());
+    assert!(matches!(c.get("/a"), Err(CoordError::NoNode(_))));
+}
+
+#[test]
+fn handles_share_one_tree() {
+    // Clones of a Coord are handles onto the same znode tree — the property
+    // the shell/task metadata handoff depends on.
+    let a = Coord::new();
+    let b = a.clone();
+    b.upsert("/shared/k", "v").unwrap();
+    assert_eq!(a.get("/shared/k").unwrap().0, "v");
+    a.upsert("/shared/k", "v2").unwrap();
+    assert_eq!(b.get("/shared/k").unwrap().0, "v2");
+}

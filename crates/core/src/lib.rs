@@ -9,11 +9,11 @@
 //!
 //! * [`shell`] — the SamzaSQL shell / JDBC-driver stand-in: plans queries,
 //!   generates job configurations (step one of two-step planning, §4.2),
-//!   ships plan metadata through the ZooKeeper-like metadata store, and
-//!   submits jobs to the simulated YARN cluster.
+//!   ships plan metadata through the ZooKeeper-like coordination service,
+//!   and submits jobs to the simulated YARN cluster.
 //! * [`task`] — the SamzaSQL stream task: at init it re-plans the SQL from
-//!   the metadata store (step two) and generates its operators and message
-//!   router.
+//!   the coordination service (step two) and generates its operators and
+//!   message router.
 //! * [`router`] — the **message router**, "a DAG of streaming SQL operators
 //!   responsible for flowing messages through query operators" (§4.2).
 //! * [`ops`] — the operator layer: scan (Avro→array), filter, project,

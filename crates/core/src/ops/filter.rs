@@ -17,12 +17,21 @@ impl FilterOp {
 }
 
 impl Operator for FilterOp {
-    fn process(&mut self, _side: Side, tuple: Tuple, _ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
-        if self.predicate.eval_bool(&tuple) {
-            Ok(vec![tuple])
-        } else {
-            Ok(Vec::new())
+    fn process_batch(
+        &mut self,
+        _side: Side,
+        input: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+        _ctx: &mut OpCtx<'_>,
+    ) -> Result<()> {
+        // Passing tuples move from the input buffer to the shared output
+        // buffer: no per-tuple allocation at all.
+        for tuple in input.drain(..) {
+            if self.predicate.eval_bool(&tuple) {
+                out.push(tuple);
+            }
         }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -51,23 +60,15 @@ mod tests {
             store: None,
             late_discards: &mut late,
         };
-        assert_eq!(
-            op.process(Side::Single, vec![Value::Int(75)], &mut ctx)
-                .unwrap()
-                .len(),
-            1
-        );
-        assert_eq!(
-            op.process(Side::Single, vec![Value::Int(25)], &mut ctx)
-                .unwrap()
-                .len(),
-            0
-        );
-        assert_eq!(
-            op.process(Side::Single, vec![Value::Null], &mut ctx)
-                .unwrap()
-                .len(),
-            0
-        );
+        let mut input = vec![
+            vec![Value::Int(75)],
+            vec![Value::Int(25)],
+            vec![Value::Null],
+        ];
+        let mut out = Vec::new();
+        op.process_batch(Side::Single, &mut input, &mut out, &mut ctx)
+            .unwrap();
+        assert!(input.is_empty());
+        assert_eq!(out, vec![vec![Value::Int(75)]]);
     }
 }

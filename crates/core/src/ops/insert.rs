@@ -4,11 +4,17 @@
 //! tuple as a record and encodes it with the output stream's serde. It also
 //! recovers the event timestamp for the outgoing envelope when the output
 //! schema retained a timestamp column.
+//!
+//! Column names are shared via an `Arc<[String]>` and the intermediate
+//! record buffer is reused across tuples, so the conversion moves values in
+//! and out without cloning names or values per emitted tuple — the schema
+//! walk inside the serde remains the paper-faithful per-message cost.
 
-use crate::error::Result;
-use crate::tuple::{array_to_record, Tuple};
+use crate::error::{CoreError, Result};
+use crate::tuple::Tuple;
 use bytes::Bytes;
-use samzasql_serde::BoxedSerde;
+use samzasql_serde::{BoxedSerde, Value};
+use std::sync::Arc;
 
 /// Encoded output of the insert operator.
 #[derive(Debug, Clone)]
@@ -22,7 +28,10 @@ pub struct EncodedOutput {
 /// Terminal operator of the router.
 pub struct InsertOp {
     serde: BoxedSerde,
-    names: Vec<String>,
+    names: Arc<[String]>,
+    /// Reusable `ArrayToAvro` record: names filled once at construction,
+    /// value slots overwritten per tuple.
+    record_buf: Vec<(String, Value)>,
     ts_index: Option<usize>,
     /// Column whose object-coded value keys the outgoing message.
     key_index: Option<usize>,
@@ -33,9 +42,12 @@ pub struct InsertOp {
 
 impl InsertOp {
     pub fn new(serde: BoxedSerde, names: Vec<String>, ts_index: Option<usize>) -> Self {
+        let names: Arc<[String]> = names.into();
+        let record_buf = names.iter().map(|n| (n.clone(), Value::Null)).collect();
         InsertOp {
             serde,
             names,
+            record_buf,
             ts_index,
             key_index: None,
             key_codec: samzasql_serde::object::ObjectCodec::new(),
@@ -56,15 +68,15 @@ impl InsertOp {
         self
     }
 
+    /// The output column names, shared with anyone who needs them.
+    pub fn names(&self) -> &Arc<[String]> {
+        &self.names
+    }
+
     /// Encode a tuple (`ArrayToAvro` + serialize; or the direct path).
-    pub fn encode(&self, tuple: &Tuple) -> Result<EncodedOutput> {
-        let payload = match &self.direct {
-            Some(codec) => codec.encode_tuple(tuple)?,
-            None => {
-                let record = array_to_record(tuple, &self.names)?;
-                self.serde.serialize(&record)?
-            }
-        };
+    /// Takes the tuple by value: column values move into the reusable
+    /// record buffer instead of being cloned.
+    pub fn encode(&mut self, tuple: Tuple) -> Result<EncodedOutput> {
         let timestamp = self
             .ts_index
             .and_then(|i| tuple.get(i))
@@ -74,11 +86,46 @@ impl InsertOp {
             Some(v) => Some(self.key_codec.encode(v)?),
             None => None,
         };
+        let payload = match &self.direct {
+            Some(codec) => codec.encode_tuple(&tuple)?,
+            None => {
+                if tuple.len() != self.names.len() {
+                    return Err(CoreError::Operator(format!(
+                        "arity mismatch: {} values for {} columns",
+                        tuple.len(),
+                        self.names.len()
+                    )));
+                }
+                for (slot, v) in self.record_buf.iter_mut().zip(tuple) {
+                    slot.1 = v;
+                }
+                let record = Value::Record(std::mem::take(&mut self.record_buf));
+                let result = self.serde.serialize(&record);
+                let Value::Record(buf) = record else {
+                    unreachable!()
+                };
+                self.record_buf = buf;
+                result?
+            }
+        };
         Ok(EncodedOutput {
             payload,
             timestamp,
             key,
         })
+    }
+
+    /// Encode a whole batch, draining `tuples` into `out`.
+    pub fn encode_batch(
+        &mut self,
+        tuples: &mut Vec<Tuple>,
+        out: &mut Vec<EncodedOutput>,
+    ) -> Result<()> {
+        out.reserve(tuples.len());
+        for tuple in tuples.drain(..) {
+            out.push(self.encode(tuple)?);
+        }
+        Ok(())
     }
 }
 
@@ -103,13 +150,13 @@ mod tests {
             vec![("rowtime", Schema::Timestamp), ("units", Schema::Int)],
         );
         let serde = build_serde(SerdeFormat::Avro, schema);
-        let op = InsertOp::new(
+        let mut op = InsertOp::new(
             serde.clone(),
             vec!["rowtime".into(), "units".into()],
             Some(0),
         );
         let out = op
-            .encode(&vec![Value::Timestamp(42), Value::Int(7)])
+            .encode(vec![Value::Timestamp(42), Value::Int(7)])
             .unwrap();
         assert_eq!(out.timestamp, 42);
         let decoded = serde.deserialize(&out.payload).unwrap();
@@ -119,11 +166,31 @@ mod tests {
     #[test]
     fn missing_timestamp_defaults_to_zero() {
         let schema = Schema::record("O", vec![("units", Schema::Int)]);
-        let op = InsertOp::new(
+        let mut op = InsertOp::new(
             build_serde(SerdeFormat::Avro, schema),
             vec!["units".into()],
             None,
         );
-        assert_eq!(op.encode(&vec![Value::Int(1)]).unwrap().timestamp, 0);
+        assert_eq!(op.encode(vec![Value::Int(1)]).unwrap().timestamp, 0);
+    }
+
+    #[test]
+    fn record_buffer_is_reused_across_encodes() {
+        let schema = Schema::record("O", vec![("units", Schema::Int)]);
+        let serde = build_serde(SerdeFormat::Avro, schema);
+        let mut op = InsertOp::new(serde.clone(), vec!["units".into()], None);
+        let mut tuples = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+        let mut out = Vec::new();
+        op.encode_batch(&mut tuples, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        let second = serde.deserialize(&out[1].payload).unwrap();
+        assert_eq!(second.field("units"), Some(&Value::Int(2)));
+        // arity errors must not corrupt the reusable buffer
+        assert!(op.encode(vec![Value::Int(1), Value::Int(2)]).is_err());
+        let third = op.encode(vec![Value::Int(3)]).unwrap();
+        assert_eq!(
+            serde.deserialize(&third.payload).unwrap().field("units"),
+            Some(&Value::Int(3))
+        );
     }
 }

@@ -87,63 +87,93 @@ impl StreamToRelationJoinOp {
 }
 
 impl Operator for StreamToRelationJoinOp {
-    fn process(&mut self, side: Side, tuple: Tuple, ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+    fn process_batch(
+        &mut self,
+        side: Side,
+        input: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+        ctx: &mut OpCtx<'_>,
+    ) -> Result<()> {
         match side {
-            // Relation changelog record: upsert the cache.
+            // Relation changelog records: upsert the cache.
             Side::Right => {
-                let key = tuple.get(self.relation_key).cloned().unwrap_or(Value::Null);
-                let ck = self.cache_key(&key)?;
-                // Cache as a named record: the generic-object serde writes
-                // class + field names, like Kryo serializing a POJO.
-                let record =
-                    Value::Record(self.relation_names.iter().cloned().zip(tuple).collect());
-                let encoded = self.codec.encode(&record)?;
-                ctx.store()?.put(&ck, encoded)?;
-                Ok(Vec::new())
-            }
-            // Stream tuple: probe the cache.
-            _ => {
-                let key = self.stream_key.eval(&tuple);
-                let ck = self.cache_key(&key)?;
-                let hit = ctx.store()?.get(&ck);
-                let relation = match hit {
-                    Some(bytes) => match self.codec.decode(&bytes)? {
-                        Value::Record(fields) => {
-                            // Generic-object (Kryo-style) reconstruction: the
-                            // decoded object is accessed through its field
-                            // table by name, not positionally — wire order is
-                            // not trusted, exactly like reflective
-                            // deserialization of a generic tuple object.
-                            let table: std::collections::BTreeMap<String, Value> =
-                                fields.into_iter().collect();
-                            Some(
-                                self.relation_names
-                                    .iter()
-                                    .map(|n| table.get(n).cloned().unwrap_or(Value::Null))
-                                    .collect::<Tuple>(),
-                            )
-                        }
-                        _ => None,
-                    },
-                    None => None,
-                };
-                let combined = match (&relation, self.kind) {
-                    (Some(rel), _) => self.combine(&tuple, Some(rel)),
-                    (None, JoinKind::Left) if self.stream_is_left => self.combine(&tuple, None),
-                    (None, JoinKind::Right) if !self.stream_is_left => self.combine(&tuple, None),
-                    (None, _) => return Ok(Vec::new()),
-                };
-                if let Some(residual) = &self.residual {
-                    if !residual.eval_bool(&combined) {
-                        return Ok(Vec::new());
-                    }
+                for tuple in input.drain(..) {
+                    let key = tuple.get(self.relation_key).cloned().unwrap_or(Value::Null);
+                    let ck = self.cache_key(&key)?;
+                    // Cache as a named record: the generic-object serde writes
+                    // class + field names, like Kryo serializing a POJO.
+                    let record =
+                        Value::Record(self.relation_names.iter().cloned().zip(tuple).collect());
+                    let encoded = self.codec.encode(&record)?;
+                    ctx.store()?.put(&ck, encoded)?;
                 }
-                Ok(vec![combined])
+                Ok(())
+            }
+            // Stream tuples: probe the cache. A batch carries one side only
+            // (relation updates arrive in their own changelog-topic batches,
+            // and the router drains buffered work before applying a
+            // tombstone), so probe results can be memoized per batch: one
+            // store get + Kryo-style decode per distinct key, not per tuple.
+            _ => {
+                let mut probes: std::collections::HashMap<Vec<u8>, Option<Tuple>> =
+                    std::collections::HashMap::new();
+                for tuple in input.drain(..) {
+                    let key = self.stream_key.eval(&tuple);
+                    let ck = self.cache_key(&key)?;
+                    if !probes.contains_key(&ck) {
+                        let hit = ctx.store()?.get(&ck);
+                        let relation = match hit {
+                            Some(bytes) => match self.codec.decode(&bytes)? {
+                                Value::Record(fields) => {
+                                    // Generic-object (Kryo-style) reconstruction:
+                                    // the decoded object is accessed through its
+                                    // field table by name, not positionally —
+                                    // wire order is not trusted, exactly like
+                                    // reflective deserialization of a generic
+                                    // tuple object.
+                                    let table: std::collections::BTreeMap<String, Value> =
+                                        fields.into_iter().collect();
+                                    Some(
+                                        self.relation_names
+                                            .iter()
+                                            .map(|n| table.get(n).cloned().unwrap_or(Value::Null))
+                                            .collect::<Tuple>(),
+                                    )
+                                }
+                                _ => None,
+                            },
+                            None => None,
+                        };
+                        probes.insert(ck.clone(), relation);
+                    }
+                    let relation = probes.get(&ck).expect("just inserted");
+                    let combined = match (relation, self.kind) {
+                        (Some(rel), _) => self.combine(&tuple, Some(rel)),
+                        (None, JoinKind::Left) if self.stream_is_left => self.combine(&tuple, None),
+                        (None, JoinKind::Right) if !self.stream_is_left => {
+                            self.combine(&tuple, None)
+                        }
+                        (None, _) => continue,
+                    };
+                    if let Some(residual) = &self.residual {
+                        if !residual.eval_bool(&combined) {
+                            continue;
+                        }
+                    }
+                    out.push(combined);
+                }
+                Ok(())
             }
         }
     }
 
-    fn on_tombstone(&mut self, side: Side, key: &[u8], ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+    fn on_tombstone(
+        &mut self,
+        side: Side,
+        key: &[u8],
+        _out: &mut Vec<Tuple>,
+        ctx: &mut OpCtx<'_>,
+    ) -> Result<()> {
         if side == Side::Right {
             // The changelog's message key carries the relation key encoded by
             // the producer; our changelog convention writes the object-coded
@@ -152,7 +182,7 @@ impl Operator for StreamToRelationJoinOp {
             ck.extend_from_slice(key);
             ctx.store()?.delete(&ck)?;
         }
-        Ok(Vec::new())
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -167,6 +197,19 @@ mod tests {
     use samzasql_planner::ScalarExpr;
     use samzasql_samza::KeyValueStore;
     use samzasql_serde::Schema;
+
+    /// Batch-of-one driver mirroring the old per-tuple API.
+    fn process(
+        j: &mut StreamToRelationJoinOp,
+        side: Side,
+        tuple: Tuple,
+        ctx: &mut OpCtx<'_>,
+    ) -> Result<Vec<Tuple>> {
+        let mut input = vec![tuple];
+        let mut out = Vec::new();
+        j.process_batch(side, &mut input, &mut out, ctx)?;
+        Ok(out)
+    }
 
     fn op(kind: JoinKind) -> StreamToRelationJoinOp {
         // Stream: (rowtime, productId, units); relation: (productId, supplierId).
@@ -199,16 +242,14 @@ mod tests {
             late_discards: &mut late,
         };
         // Bootstrap phase: relation records arrive first (Side::Right).
-        assert!(j
-            .process(Side::Right, product(7, 70), &mut ctx)
+        assert!(process(&mut j, Side::Right, product(7, 70), &mut ctx)
             .unwrap()
             .is_empty());
-        assert!(j
-            .process(Side::Right, product(8, 80), &mut ctx)
+        assert!(process(&mut j, Side::Right, product(8, 80), &mut ctx)
             .unwrap()
             .is_empty());
         // Stream probes.
-        let out = j.process(Side::Left, order(1, 7, 5), &mut ctx).unwrap();
+        let out = process(&mut j, Side::Left, order(1, 7, 5), &mut ctx).unwrap();
         assert_eq!(
             out,
             vec![vec![
@@ -220,8 +261,7 @@ mod tests {
             ]]
         );
         // Miss on inner join drops the tuple.
-        assert!(j
-            .process(Side::Left, order(2, 99, 1), &mut ctx)
+        assert!(process(&mut j, Side::Left, order(2, 99, 1), &mut ctx)
             .unwrap()
             .is_empty());
     }
@@ -235,9 +275,9 @@ mod tests {
             store: Some(&mut store),
             late_discards: &mut late,
         };
-        j.process(Side::Right, product(7, 70), &mut ctx).unwrap();
-        j.process(Side::Right, product(7, 71), &mut ctx).unwrap();
-        let out = j.process(Side::Left, order(1, 7, 5), &mut ctx).unwrap();
+        process(&mut j, Side::Right, product(7, 70), &mut ctx).unwrap();
+        process(&mut j, Side::Right, product(7, 71), &mut ctx).unwrap();
+        let out = process(&mut j, Side::Left, order(1, 7, 5), &mut ctx).unwrap();
         assert_eq!(out[0][4], Value::Int(71), "latest relation state wins");
     }
 
@@ -250,7 +290,7 @@ mod tests {
             store: Some(&mut store),
             late_discards: &mut late,
         };
-        let out = j.process(Side::Left, order(1, 42, 9), &mut ctx).unwrap();
+        let out = process(&mut j, Side::Left, order(1, 42, 9), &mut ctx).unwrap();
         assert_eq!(out[0][3], Value::Null);
         assert_eq!(out[0][4], Value::Null);
     }
@@ -264,12 +304,12 @@ mod tests {
             store: Some(&mut store),
             late_discards: &mut late,
         };
-        j.process(Side::Right, product(7, 70), &mut ctx).unwrap();
+        process(&mut j, Side::Right, product(7, 70), &mut ctx).unwrap();
         // Tombstone key = object-coded key value.
         let key_bytes = ObjectCodec::new().encode(&Value::Int(7)).unwrap();
-        j.on_tombstone(Side::Right, &key_bytes, &mut ctx).unwrap();
-        assert!(j
-            .process(Side::Left, order(1, 7, 5), &mut ctx)
+        j.on_tombstone(Side::Right, &key_bytes, &mut Vec::new(), &mut ctx)
+            .unwrap();
+        assert!(process(&mut j, Side::Left, order(1, 7, 5), &mut ctx)
             .unwrap()
             .is_empty());
     }
@@ -298,14 +338,13 @@ mod tests {
             store: Some(&mut store),
             late_discards: &mut late,
         };
-        j.process(Side::Right, product(1, 70), &mut ctx).unwrap();
-        j.process(Side::Right, product(2, 80), &mut ctx).unwrap();
-        assert!(j
-            .process(Side::Left, order(1, 1, 5), &mut ctx)
+        process(&mut j, Side::Right, product(1, 70), &mut ctx).unwrap();
+        process(&mut j, Side::Right, product(2, 80), &mut ctx).unwrap();
+        assert!(process(&mut j, Side::Left, order(1, 1, 5), &mut ctx)
             .unwrap()
             .is_empty());
         assert_eq!(
-            j.process(Side::Left, order(1, 2, 5), &mut ctx)
+            process(&mut j, Side::Left, order(1, 2, 5), &mut ctx)
                 .unwrap()
                 .len(),
             1

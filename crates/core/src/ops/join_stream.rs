@@ -96,8 +96,15 @@ impl StreamToStreamJoinOp {
     }
 }
 
-impl Operator for StreamToStreamJoinOp {
-    fn process(&mut self, side: Side, tuple: Tuple, ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+impl StreamToStreamJoinOp {
+    /// Probe + store one tuple, appending matches to `out`.
+    fn process_one(
+        &mut self,
+        side: Side,
+        tuple: Tuple,
+        out: &mut Vec<Tuple>,
+        ctx: &mut OpCtx<'_>,
+    ) -> Result<()> {
         let (key, ts) = match side {
             Side::Left => (
                 self.left_key.eval(&tuple),
@@ -112,7 +119,7 @@ impl Operator for StreamToStreamJoinOp {
             crate::error::CoreError::Operator("stream join: NULL timestamp".into())
         })?;
         if key.is_null() {
-            return Ok(Vec::new()); // NULL keys never join
+            return Ok(()); // NULL keys never join
         }
         let other_side = if side == Side::Left {
             Side::Right
@@ -141,7 +148,6 @@ impl Operator for StreamToStreamJoinOp {
         let mut to = other_prefix.clone();
         to.extend_from_slice(&encode_i64(hi.saturating_add(1)));
         let matches = ctx.store()?.range(&from, &to);
-        let mut out = Vec::new();
         for (_, v) in matches {
             if let Value::Array(other_tuple) = self.codec.decode(&v)? {
                 let combined = self.combine(side, &tuple, &other_tuple);
@@ -161,7 +167,25 @@ impl Operator for StreamToStreamJoinOp {
         self.seq += 1;
         let encoded = self.codec.encode(&Value::Array(tuple))?;
         ctx.store()?.put(&own_key, encoded)?;
-        Ok(out)
+        Ok(())
+    }
+}
+
+impl Operator for StreamToStreamJoinOp {
+    fn process_batch(
+        &mut self,
+        side: Side,
+        input: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+        ctx: &mut OpCtx<'_>,
+    ) -> Result<()> {
+        // The symmetric join interleaves probes with inserts and purges, so
+        // each tuple runs the full probe/store cycle; batching still saves
+        // the per-tuple output vector of the old pull API.
+        for tuple in input.drain(..) {
+            self.process_one(side, tuple, out, ctx)?;
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -176,6 +200,19 @@ mod tests {
     use samzasql_planner::ScalarExpr;
     use samzasql_samza::KeyValueStore;
     use samzasql_serde::Schema;
+
+    /// Batch-of-one driver mirroring the old per-tuple API.
+    fn process(
+        j: &mut StreamToStreamJoinOp,
+        side: Side,
+        tuple: Tuple,
+        ctx: &mut OpCtx<'_>,
+    ) -> Result<Vec<Tuple>> {
+        let mut input = vec![tuple];
+        let mut out = Vec::new();
+        j.process_batch(side, &mut input, &mut out, ctx)?;
+        Ok(out)
+    }
 
     /// Packets schema: (rowtime, sourcetime, packetId) on both sides.
     fn join(lower: i64, upper: i64) -> StreamToStreamJoinOp {
@@ -211,11 +248,10 @@ mod tests {
             late_discards: &mut late,
         };
         // R1 packet at t=1000, R2 same id at t=2500: |Δ| = 1500 ≤ 2000 ⇒ join.
-        assert!(j
-            .process(Side::Left, packet(1_000, 42), &mut ctx)
+        assert!(process(&mut j, Side::Left, packet(1_000, 42), &mut ctx)
             .unwrap()
             .is_empty());
-        let out = j.process(Side::Right, packet(2_500, 42), &mut ctx).unwrap();
+        let out = process(&mut j, Side::Right, packet(2_500, 42), &mut ctx).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].len(), 6, "left ++ right columns");
         assert_eq!(out[0][0], Value::Timestamp(1_000), "left side first");
@@ -231,9 +267,8 @@ mod tests {
             store: Some(&mut store),
             late_discards: &mut late,
         };
-        j.process(Side::Left, packet(1_000, 1), &mut ctx).unwrap();
-        assert!(j
-            .process(Side::Right, packet(1_000, 2), &mut ctx)
+        process(&mut j, Side::Left, packet(1_000, 1), &mut ctx).unwrap();
+        assert!(process(&mut j, Side::Right, packet(1_000, 2), &mut ctx)
             .unwrap()
             .is_empty());
     }
@@ -247,9 +282,8 @@ mod tests {
             store: Some(&mut store),
             late_discards: &mut late,
         };
-        j.process(Side::Left, packet(1_000, 42), &mut ctx).unwrap();
-        assert!(j
-            .process(Side::Right, packet(9_000, 42), &mut ctx)
+        process(&mut j, Side::Left, packet(1_000, 42), &mut ctx).unwrap();
+        assert!(process(&mut j, Side::Right, packet(9_000, 42), &mut ctx)
             .unwrap()
             .is_empty());
     }
@@ -264,8 +298,8 @@ mod tests {
             late_discards: &mut late,
         };
         // Right arrives first this time.
-        j.process(Side::Right, packet(1_000, 7), &mut ctx).unwrap();
-        let out = j.process(Side::Left, packet(1_500, 7), &mut ctx).unwrap();
+        process(&mut j, Side::Right, packet(1_000, 7), &mut ctx).unwrap();
+        let out = process(&mut j, Side::Left, packet(1_500, 7), &mut ctx).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(
             out[0][0],
@@ -283,9 +317,9 @@ mod tests {
             store: Some(&mut store),
             late_discards: &mut late,
         };
-        j.process(Side::Left, packet(1_000, 5), &mut ctx).unwrap();
-        j.process(Side::Left, packet(1_200, 5), &mut ctx).unwrap();
-        let out = j.process(Side::Right, packet(2_000, 5), &mut ctx).unwrap();
+        process(&mut j, Side::Left, packet(1_000, 5), &mut ctx).unwrap();
+        process(&mut j, Side::Left, packet(1_200, 5), &mut ctx).unwrap();
+        let out = process(&mut j, Side::Right, packet(2_000, 5), &mut ctx).unwrap();
         assert_eq!(out.len(), 2);
     }
 
@@ -300,15 +334,14 @@ mod tests {
             store: Some(&mut store),
             late_discards: &mut late,
         };
-        j.process(Side::Right, packet(1_000, 1), &mut ctx).unwrap();
+        process(&mut j, Side::Right, packet(1_000, 1), &mut ctx).unwrap();
         // left at 900 < right 1000 ⇒ no match (lower bound 0).
-        assert!(j
-            .process(Side::Left, packet(900, 1), &mut ctx)
+        assert!(process(&mut j, Side::Left, packet(900, 1), &mut ctx)
             .unwrap()
             .is_empty());
         // left at 1500 ∈ [1000, 2000] ⇒ match.
         assert_eq!(
-            j.process(Side::Left, packet(1_500, 1), &mut ctx)
+            process(&mut j, Side::Left, packet(1_500, 1), &mut ctx)
                 .unwrap()
                 .len(),
             1
@@ -324,11 +357,10 @@ mod tests {
             store: Some(&mut store),
             late_discards: &mut late,
         };
-        j.process(Side::Left, packet(1_000, 3), &mut ctx).unwrap();
+        process(&mut j, Side::Left, packet(1_000, 3), &mut ctx).unwrap();
         let before = ctx.store().unwrap().len();
         // A much later right tuple for the same key purges the stale left.
-        j.process(Side::Right, packet(100_000, 3), &mut ctx)
-            .unwrap();
+        process(&mut j, Side::Right, packet(100_000, 3), &mut ctx).unwrap();
         // Store holds: the new right tuple; the old left one is gone.
         let after = ctx.store().unwrap().len();
         assert_eq!(before, 1);

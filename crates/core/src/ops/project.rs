@@ -17,8 +17,18 @@ impl ProjectOp {
 }
 
 impl Operator for ProjectOp {
-    fn process(&mut self, _side: Side, tuple: Tuple, _ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
-        Ok(vec![self.exprs.iter().map(|e| e.eval(&tuple)).collect()])
+    fn process_batch(
+        &mut self,
+        _side: Side,
+        input: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+        _ctx: &mut OpCtx<'_>,
+    ) -> Result<()> {
+        out.reserve(input.len());
+        for tuple in input.drain(..) {
+            out.push(self.exprs.iter().map(|e| e.eval(&tuple)).collect());
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -45,12 +55,9 @@ mod tests {
             store: None,
             late_discards: &mut late,
         };
-        let out = op
-            .process(
-                Side::Single,
-                vec![Value::Timestamp(9), Value::Int(1)],
-                &mut ctx,
-            )
+        let mut input = vec![vec![Value::Timestamp(9), Value::Int(1)]];
+        let mut out = Vec::new();
+        op.process_batch(Side::Single, &mut input, &mut out, &mut ctx)
             .unwrap();
         assert_eq!(out, vec![vec![Value::Int(1), Value::Timestamp(9)]]);
     }

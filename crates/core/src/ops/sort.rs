@@ -27,12 +27,19 @@ impl SortOp {
 }
 
 impl Operator for SortOp {
-    fn process(&mut self, _side: Side, tuple: Tuple, _ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
-        self.buffer.push(tuple);
-        Ok(Vec::new())
+    fn process_batch(
+        &mut self,
+        _side: Side,
+        input: &mut Vec<Tuple>,
+        _out: &mut Vec<Tuple>,
+        _ctx: &mut OpCtx<'_>,
+    ) -> Result<()> {
+        // The whole batch moves into the buffer in one append.
+        self.buffer.append(input);
+        Ok(())
     }
 
-    fn flush(&mut self, _ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+    fn flush(&mut self, out: &mut Vec<Tuple>, _ctx: &mut OpCtx<'_>) -> Result<()> {
         let mut rows = std::mem::take(&mut self.buffer);
         rows.sort_by(|a, b| {
             for (key, asc) in &self.keys {
@@ -48,7 +55,8 @@ impl Operator for SortOp {
         if let Some(n) = self.limit {
             rows.truncate(n as usize);
         }
-        Ok(rows)
+        out.append(&mut rows);
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -72,13 +80,15 @@ mod tests {
             store: None,
             late_discards: &mut late,
         };
-        for v in [3, 1, 4, 1, 5] {
-            assert!(op
-                .process(Side::Single, vec![Value::Int(v)], &mut ctx)
-                .unwrap()
-                .is_empty());
-        }
-        let out = op.flush(&mut ctx).unwrap();
+        let mut input: Vec<Tuple> = [3, 1, 4, 1, 5]
+            .iter()
+            .map(|v| vec![Value::Int(*v)])
+            .collect();
+        let mut out = Vec::new();
+        op.process_batch(Side::Single, &mut input, &mut out, &mut ctx)
+            .unwrap();
+        assert!(out.is_empty());
+        op.flush(&mut out, &mut ctx).unwrap();
         assert_eq!(out, vec![vec![Value::Int(5)], vec![Value::Int(4)]]);
     }
 }

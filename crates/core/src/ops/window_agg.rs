@@ -29,6 +29,14 @@ use crate::tuple::Tuple;
 use samzasql_planner::GroupWindow;
 use samzasql_serde::object::ObjectCodec;
 use samzasql_serde::Value;
+use std::collections::BTreeMap;
+
+/// Per-batch cache of window accumulators: decoded accs plus a dirty flag.
+/// Keys repeat heavily within a batch (same group, adjacent timestamps), so
+/// caching saves a store get + object decode per repeat; dirty entries are
+/// written back before any closed-window range scan so the store view stays
+/// exactly what the per-tuple execution would have produced.
+type AccCache = BTreeMap<Vec<u8>, (Vec<Acc>, bool)>;
 
 /// Streaming GROUP BY aggregate operator.
 pub struct WindowAggOp {
@@ -102,8 +110,29 @@ impl WindowAggOp {
         (k_lo..=k_hi).map(|k| align + k * emit).collect()
     }
 
-    /// Finalize windows whose end passed the watermark; emit key+agg rows.
-    fn emit_closed(&self, watermark: i64, retain: i64, ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+    /// Write dirty cached accumulators back to the store.
+    fn flush_cache(&self, cache: &mut AccCache, ctx: &mut OpCtx<'_>) -> Result<()> {
+        for (k, (accs, dirty)) in cache.iter_mut() {
+            if *dirty {
+                let encoded = self.codec.encode(&accs_to_value(accs))?;
+                ctx.store()?.put(k, encoded)?;
+                *dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalize windows whose end passed the watermark; emit key+agg rows
+    /// into `out`. Emitted keys are deleted from the store and dropped from
+    /// `cache` (a re-opened window must start from a fresh accumulator).
+    fn emit_closed(
+        &self,
+        watermark: i64,
+        retain: i64,
+        cache: &mut AccCache,
+        out: &mut Vec<Tuple>,
+        ctx: &mut OpCtx<'_>,
+    ) -> Result<()> {
         let store = ctx.store()?;
         let prefix = self.window_prefix();
         // Closed ⇔ start + retain <= watermark ⇔ start <= watermark - retain.
@@ -112,7 +141,6 @@ impl WindowAggOp {
         hi.extend_from_slice(&encode_i64(boundary));
         hi.push(b'/' + 1); // one past any key with start == boundary
         let closed = store.range(&prefix, &hi);
-        let mut out = Vec::new();
         for (k, v) in closed {
             let start = decode_i64(&k[prefix.len()..]);
             let group_bytes = &k[prefix.len() + 9..];
@@ -135,84 +163,117 @@ impl WindowAggOp {
             }
             out.push(row);
             store.delete(&k)?;
+            cache.remove(&k);
         }
-        Ok(out)
+        Ok(())
     }
 }
 
 impl Operator for WindowAggOp {
-    fn process(&mut self, _side: Side, tuple: Tuple, ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+    fn process_batch(
+        &mut self,
+        _side: Side,
+        input: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+        ctx: &mut OpCtx<'_>,
+    ) -> Result<()> {
         let Some((emit, retain, align, ts_index)) = self.params() else {
-            // Plain relational aggregate: accumulate per key, emit at flush.
-            let (group, _) = self.group_key(&tuple)?;
-            let mut key = format!("K{}/", self.op_id).into_bytes();
-            key.extend_from_slice(&group);
-            let store = ctx.store()?;
-            let mut accs: Vec<Acc> = match store.get(&key) {
-                Some(bytes) => accs_from_value(&self.codec.decode(&bytes)?)?,
-                None => self.aggs.iter().map(|a| a.init()).collect(),
-            };
-            for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
-                spec.add(acc, &tuple);
+            // Plain relational aggregate: accumulate per key in memory and
+            // write each distinct key once per batch; emit at flush.
+            let mut groups: BTreeMap<Vec<u8>, Vec<Acc>> = BTreeMap::new();
+            for tuple in input.drain(..) {
+                let (group, _) = self.group_key(&tuple)?;
+                let mut key = format!("K{}/", self.op_id).into_bytes();
+                key.extend_from_slice(&group);
+                if !groups.contains_key(&key) {
+                    let store = ctx.store()?;
+                    let accs: Vec<Acc> = match store.get(&key) {
+                        Some(bytes) => accs_from_value(&self.codec.decode(&bytes)?)?,
+                        None => self.aggs.iter().map(|a| a.init()).collect(),
+                    };
+                    groups.insert(key.clone(), accs);
+                }
+                let accs = groups.get_mut(&key).expect("just inserted");
+                for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
+                    spec.add(acc, &tuple);
+                }
             }
-            store.put(&key, self.codec.encode(&accs_to_value(&accs))?)?;
-            return Ok(Vec::new());
+            for (key, accs) in &groups {
+                let encoded = self.codec.encode(&accs_to_value(accs))?;
+                ctx.store()?.put(key, encoded)?;
+            }
+            return Ok(());
         };
 
-        let ts = tuple
-            .get(ts_index)
-            .and_then(|v| v.as_i64())
-            .ok_or_else(|| {
-                crate::error::CoreError::Operator("window aggregate: NULL timestamp".into())
-            })?;
-        let (group, _) = self.group_key(&tuple)?;
-
-        // Watermark bookkeeping + late-arrival policy.
+        // Watermark read once per batch, written back once if it advanced.
         let wm_key = self.wm_key();
-        let store = ctx.store()?;
-        let watermark: i64 = store
+        let entry_watermark: i64 = ctx
+            .store()?
             .get(&wm_key)
             .map(|b| i64::from_le_bytes(b.as_ref().try_into().unwrap_or([0; 8])))
             .unwrap_or(i64::MIN);
-        // Late-arrival policy: the newest window containing ts starts at or
-        // before ts and ends by ts + retain. If that end has already passed
-        // the watermark (ts <= watermark - retain), every window this tuple
-        // belongs to is closed — discard it (§3 timeout expiration).
-        if watermark != i64::MIN && ts <= watermark - retain {
-            *ctx.late_discards += 1;
-            return Ok(Vec::new());
-        }
+        let mut watermark = entry_watermark;
+        let mut cache: AccCache = AccCache::new();
 
-        // Fold the tuple into every window containing it.
-        for start in Self::window_starts(ts, emit, retain, align) {
-            let wk = self.window_key(start, &group);
-            let store = ctx.store()?;
-            let mut accs: Vec<Acc> = match store.get(&wk) {
-                Some(bytes) => accs_from_value(&self.codec.decode(&bytes)?)?,
-                None => self.aggs.iter().map(|a| a.init()).collect(),
-            };
-            for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
-                spec.add(acc, &tuple);
+        for tuple in input.drain(..) {
+            let ts = tuple
+                .get(ts_index)
+                .and_then(|v| v.as_i64())
+                .ok_or_else(|| {
+                    crate::error::CoreError::Operator("window aggregate: NULL timestamp".into())
+                })?;
+            // Late-arrival policy: the newest window containing ts starts at
+            // or before ts and ends by ts + retain. If that end has already
+            // passed the watermark (ts <= watermark - retain), every window
+            // this tuple belongs to is closed — discard it (§3 timeout
+            // expiration).
+            if watermark != i64::MIN && ts <= watermark - retain {
+                *ctx.late_discards += 1;
+                continue;
             }
-            let encoded = self.codec.encode(&accs_to_value(&accs))?;
-            ctx.store()?.put(&wk, encoded)?;
+            let (group, _) = self.group_key(&tuple)?;
+
+            // Fold the tuple into every window containing it.
+            for start in Self::window_starts(ts, emit, retain, align) {
+                let wk = self.window_key(start, &group);
+                if !cache.contains_key(&wk) {
+                    let store = ctx.store()?;
+                    let accs: Vec<Acc> = match store.get(&wk) {
+                        Some(bytes) => accs_from_value(&self.codec.decode(&bytes)?)?,
+                        None => self.aggs.iter().map(|a| a.init()).collect(),
+                    };
+                    cache.insert(wk.clone(), (accs, false));
+                }
+                let entry = cache.get_mut(&wk).expect("just inserted");
+                for (spec, acc) in self.aggs.iter().zip(entry.0.iter_mut()) {
+                    spec.add(acc, &tuple);
+                }
+                entry.1 = true;
+            }
+
+            // Advance the watermark and emit any closed windows.
+            if ts > watermark {
+                watermark = ts;
+                self.flush_cache(&mut cache, ctx)?;
+                self.emit_closed(ts, retain, &mut cache, out, ctx)?;
+            }
         }
 
-        // Advance the watermark and emit any closed windows.
-        if ts > watermark {
-            let store = ctx.store()?;
-            store.put(&wm_key, bytes::Bytes::copy_from_slice(&ts.to_le_bytes()))?;
-            self.emit_closed(ts, retain, ctx)
-        } else {
-            Ok(Vec::new())
+        self.flush_cache(&mut cache, ctx)?;
+        if watermark > entry_watermark {
+            ctx.store()?.put(
+                &wm_key,
+                bytes::Bytes::copy_from_slice(&watermark.to_le_bytes()),
+            )?;
         }
+        Ok(())
     }
 
-    fn flush(&mut self, ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
+    fn flush(&mut self, out: &mut Vec<Tuple>, ctx: &mut OpCtx<'_>) -> Result<()> {
         match self.params() {
             Some((_, retain, _, _)) => {
                 // End of bounded input: close every remaining window.
-                self.emit_closed(i64::MAX, retain, ctx)
+                self.emit_closed(i64::MAX, retain, &mut AccCache::new(), out, ctx)
             }
             None => {
                 // Relational aggregate: emit all groups, in key order.
@@ -221,7 +282,6 @@ impl Operator for WindowAggOp {
                 hi.push(0xff);
                 let store = ctx.store()?;
                 let entries = store.range(&prefix, &hi);
-                let mut out = Vec::new();
                 for (k, v) in entries {
                     let group_vals = match self.codec.decode(&k[prefix.len()..])? {
                         Value::Array(items) => items,
@@ -235,7 +295,7 @@ impl Operator for WindowAggOp {
                     out.push(row);
                     store.delete(&k)?;
                 }
-                Ok(out)
+                Ok(())
             }
         }
     }
@@ -283,13 +343,13 @@ mod tests {
     fn run(op: &mut WindowAggOp, store: &mut KeyValueStore, tuples: Vec<Tuple>) -> Vec<Tuple> {
         let mut late = 0;
         let mut out = Vec::new();
-        for t in tuples {
-            let mut ctx = OpCtx {
-                store: Some(store),
-                late_discards: &mut late,
-            };
-            out.extend(op.process(Side::Single, t, &mut ctx).unwrap());
-        }
+        let mut input = tuples;
+        let mut ctx = OpCtx {
+            store: Some(store),
+            late_discards: &mut late,
+        };
+        op.process_batch(Side::Single, &mut input, &mut out, &mut ctx)
+            .unwrap();
         out
     }
 
@@ -299,7 +359,9 @@ mod tests {
             store: Some(store),
             late_discards: &mut late,
         };
-        op.flush(&mut ctx).unwrap()
+        let mut out = Vec::new();
+        op.flush(&mut out, &mut ctx).unwrap();
+        out
     }
 
     #[test]
@@ -427,8 +489,13 @@ mod tests {
             store: Some(&mut store),
             late_discards: &mut late,
         };
-        op.process(Side::Single, tup(100, 1, 1), &mut ctx).unwrap();
-        let out = op.process(Side::Single, tup(50, 1, 1), &mut ctx).unwrap();
+        let mut out = Vec::new();
+        // Two separate batches: the late tuple arrives after the watermark
+        // has been persisted by the first batch.
+        op.process_batch(Side::Single, &mut vec![tup(100, 1, 1)], &mut out, &mut ctx)
+            .unwrap();
+        op.process_batch(Side::Single, &mut vec![tup(50, 1, 1)], &mut out, &mut ctx)
+            .unwrap();
         assert!(out.is_empty());
         assert_eq!(
             late, 1,

@@ -30,6 +30,11 @@ use crate::ops::{encode_i64, OpCtx, Operator, Side};
 use crate::tuple::Tuple;
 use samzasql_serde::object::ObjectCodec;
 use samzasql_serde::Value;
+use std::collections::BTreeMap;
+
+/// Per-group window state: aggregate accumulators, message sequence
+/// counter, and the max event time seen (the window upper bound).
+type WindowState = (Vec<Acc>, u64, i64);
 
 /// Time- or tuple-domain sliding window appending aggregate columns.
 pub struct SlidingWindowOp {
@@ -84,139 +89,169 @@ impl SlidingWindowOp {
     }
 }
 
-impl Operator for SlidingWindowOp {
-    fn process(&mut self, _side: Side, tuple: Tuple, ctx: &mut OpCtx<'_>) -> Result<Vec<Tuple>> {
-        let ts = tuple
-            .get(self.ts_index)
-            .and_then(|v| v.as_i64())
-            .ok_or_else(|| {
-                crate::error::CoreError::Operator("sliding window: NULL timestamp".into())
-            })?;
-        let group = self.group_key(&tuple)?;
-        let state_key = self.meta_key(b'A', &group);
-        let store = ctx.store()?;
-
-        // Initialize / load the window state bundle: aggregate values,
-        // message sequence counter, and window bounds — "aggregate state,
-        // window bounds, messages task instance has seen" (§4.3) — stored
-        // as one record, read and written once per tuple.
-        let (mut accs, seq, max_ts): (Vec<Acc>, u64, i64) = match store.get(&state_key) {
+impl SlidingWindowOp {
+    /// Load a group's state bundle from the store, or initialize it.
+    fn load_state(&self, group: &[u8], ctx: &mut OpCtx<'_>) -> Result<WindowState> {
+        let state_key = self.meta_key(b'A', group);
+        match ctx.store()?.get(&state_key) {
             Some(bytes) => match self.codec.decode(&bytes)? {
                 Value::Array(parts) if parts.len() == 3 => {
                     let accs = accs_from_value(&parts[0])?;
                     let seq = parts[1].as_i64().unwrap_or(0) as u64;
                     let max_ts = parts[2].as_i64().unwrap_or(i64::MIN);
-                    (accs, seq, max_ts)
+                    Ok((accs, seq, max_ts))
                 }
-                _ => {
-                    return Err(crate::error::CoreError::Operator(
-                        "corrupt sliding-window state".into(),
-                    ))
-                }
+                _ => Err(crate::error::CoreError::Operator(
+                    "corrupt sliding-window state".into(),
+                )),
             },
-            None => (self.aggs.iter().map(|a| a.init()).collect(), 0, i64::MIN),
-        };
-
-        // Out-of-order arrival beyond the retained window: the paper's
-        // timeout-expiration policy discards it (§3).
-        if let Some(range) = self.range_ms {
-            if max_ts != i64::MIN && ts < max_ts - range {
-                *ctx.late_discards += 1;
-                return Ok(Vec::new());
-            }
+            None => Ok((self.aggs.iter().map(|a| a.init()).collect(), 0, i64::MIN)),
         }
-        let new_max = max_ts.max(ts);
+    }
+}
 
-        // Save the message in the message store (Algorithm 1 line 1).
-        let prefix = self.msg_prefix(&group);
-        let mut msg_key = prefix.clone();
-        msg_key.extend_from_slice(&encode_i64(ts));
-        msg_key.extend_from_slice(&seq.to_be_bytes());
-        store.put(&msg_key, self.codec.encode(&Value::Array(tuple.clone()))?)?;
+impl Operator for SlidingWindowOp {
+    fn process_batch(
+        &mut self,
+        _side: Side,
+        input: &mut Vec<Tuple>,
+        out: &mut Vec<Tuple>,
+        ctx: &mut OpCtx<'_>,
+    ) -> Result<()> {
+        // State bundles are cached per group for the whole batch — "aggregate
+        // state, window bounds, messages task instance has seen" (§4.3) — and
+        // written back once per group, so repeated keys within a batch cost
+        // one store read and one store write instead of one per tuple. The
+        // message store stays write-through: purge and recompute range-scan
+        // it per tuple.
+        let mut states: BTreeMap<Vec<u8>, WindowState> = BTreeMap::new();
 
-        // Purge expired messages, adjusting aggregates (lines 8–9).
-        let mut need_recompute = false;
-        let mut expired: Vec<Vec<u8>> = Vec::new();
-        match (self.range_ms, self.rows) {
-            (Some(range), _) => {
-                let cutoff = new_max - range;
-                // Range [prefix .. prefix+encode(cutoff)) = strictly older.
-                let mut hi = prefix.clone();
-                hi.extend_from_slice(&encode_i64(cutoff));
-                for (k, v) in store.range(&prefix, &hi) {
-                    let old: Tuple = match self.codec.decode(&v)? {
-                        Value::Array(items) => items,
-                        _ => continue,
-                    };
-                    for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
-                        if !spec.retract(acc, &old) {
-                            need_recompute = true;
-                        }
-                    }
-                    expired.push(k);
+        for tuple in input.drain(..) {
+            let ts = tuple
+                .get(self.ts_index)
+                .and_then(|v| v.as_i64())
+                .ok_or_else(|| {
+                    crate::error::CoreError::Operator("sliding window: NULL timestamp".into())
+                })?;
+            let group = self.group_key(&tuple)?;
+            if !states.contains_key(&group) {
+                let state = self.load_state(&group, ctx)?;
+                states.insert(group.clone(), state);
+            }
+            let state = states.get_mut(&group).expect("just inserted");
+            let (ref mut accs, ref mut seq, ref mut max_ts) = *state;
+
+            // Out-of-order arrival beyond the retained window: the paper's
+            // timeout-expiration policy discards it (§3).
+            if let Some(range) = self.range_ms {
+                if *max_ts != i64::MIN && ts < *max_ts - range {
+                    *ctx.late_discards += 1;
+                    continue;
                 }
             }
-            (None, Some(rows)) => {
-                // Tuple-domain frame: current row + `rows` preceding. Drop
-                // the oldest entries beyond the frame.
+            let new_max = (*max_ts).max(ts);
+
+            // Save the message in the message store (Algorithm 1 line 1).
+            let prefix = self.msg_prefix(&group);
+            let mut msg_key = prefix.clone();
+            msg_key.extend_from_slice(&encode_i64(ts));
+            msg_key.extend_from_slice(&seq.to_be_bytes());
+            let encoded_msg = self.codec.encode(&Value::Array(tuple.clone()))?;
+            let store = ctx.store()?;
+            store.put(&msg_key, encoded_msg)?;
+
+            // Purge expired messages, adjusting aggregates (lines 8–9).
+            let mut need_recompute = false;
+            let mut expired: Vec<Vec<u8>> = Vec::new();
+            match (self.range_ms, self.rows) {
+                (Some(range), _) => {
+                    let cutoff = new_max - range;
+                    // Range [prefix .. prefix+encode(cutoff)) = strictly older.
+                    let mut hi = prefix.clone();
+                    hi.extend_from_slice(&encode_i64(cutoff));
+                    for (k, v) in store.range(&prefix, &hi) {
+                        let old: Tuple = match self.codec.decode(&v)? {
+                            Value::Array(items) => items,
+                            _ => continue,
+                        };
+                        for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
+                            if !spec.retract(acc, &old) {
+                                need_recompute = true;
+                            }
+                        }
+                        expired.push(k);
+                    }
+                }
+                (None, Some(rows)) => {
+                    // Tuple-domain frame: current row + `rows` preceding. Drop
+                    // the oldest entries beyond the frame.
+                    let mut hi = prefix.clone();
+                    hi.extend_from_slice(&encode_i64(i64::MAX));
+                    let keep = rows as usize + 1;
+                    let mut all = store.range(&prefix, &hi);
+                    while all.len() > keep {
+                        let (k, v) = all.remove(0);
+                        let old: Tuple = match self.codec.decode(&v)? {
+                            Value::Array(items) => items,
+                            _ => continue,
+                        };
+                        for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
+                            if !spec.retract(acc, &old) {
+                                need_recompute = true;
+                            }
+                        }
+                        expired.push(k);
+                    }
+                }
+                (None, None) => {} // unbounded: nothing expires
+            }
+            for k in &expired {
+                store.delete(k)?;
+            }
+
+            // Fold in the new tuple (line 10).
+            for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
+                spec.add(acc, &tuple);
+            }
+
+            // Non-invertible aggregates: recompute from retained messages.
+            if need_recompute {
                 let mut hi = prefix.clone();
                 hi.extend_from_slice(&encode_i64(i64::MAX));
-                let keep = rows as usize + 1;
-                let mut all = store.range(&prefix, &hi);
-                while all.len() > keep {
-                    let (k, v) = all.remove(0);
-                    let old: Tuple = match self.codec.decode(&v)? {
-                        Value::Array(items) => items,
-                        _ => continue,
-                    };
-                    for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
-                        if !spec.retract(acc, &old) {
-                            need_recompute = true;
+                let retained = store.range(&prefix, &hi);
+                *accs = self.aggs.iter().map(|a| a.init()).collect();
+                for (_, v) in retained {
+                    if let Value::Array(items) = self.codec.decode(&v)? {
+                        for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
+                            spec.add(acc, &items);
                         }
                     }
-                    expired.push(k);
                 }
             }
-            (None, None) => {} // unbounded: nothing expires
-        }
-        for k in &expired {
-            store.delete(k)?;
-        }
 
-        // Fold in the new tuple (line 10).
-        for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
-            spec.add(acc, &tuple);
-        }
+            *seq += 1;
+            *max_ts = new_max;
 
-        // Non-invertible aggregates: recompute from retained messages.
-        if need_recompute {
-            let mut hi = prefix.clone();
-            hi.extend_from_slice(&encode_i64(i64::MAX));
-            let retained = store.range(&prefix, &hi);
-            accs = self.aggs.iter().map(|a| a.init()).collect();
-            for (_, v) in retained {
-                if let Value::Array(items) = self.codec.decode(&v)? {
-                    for (spec, acc) in self.aggs.iter().zip(accs.iter_mut()) {
-                        spec.add(acc, &items);
-                    }
-                }
+            // Emit input tuple + latest aggregate values (line 11).
+            let mut row = tuple;
+            for (spec, acc) in self.aggs.iter().zip(accs.iter()) {
+                row.push(spec.result(acc));
             }
+            out.push(row);
         }
 
-        // Persist the state bundle (compact positional encoding).
-        let state = Value::Array(vec![
-            accs_to_value(&accs),
-            Value::Long((seq + 1) as i64),
-            Value::Long(new_max),
-        ]);
-        store.put(&state_key, self.codec.encode(&state)?)?;
-
-        // Emit input tuple + latest aggregate values (line 11).
-        let mut out = tuple;
-        for (spec, acc) in self.aggs.iter().zip(&accs) {
-            out.push(spec.result(acc));
+        // Persist one state bundle per group touched by this batch.
+        for (group, (accs, seq, max_ts)) in &states {
+            let state_key = self.meta_key(b'A', group);
+            let state = Value::Array(vec![
+                accs_to_value(accs),
+                Value::Long(*seq as i64),
+                Value::Long(*max_ts),
+            ]);
+            let encoded = self.codec.encode(&state)?;
+            ctx.store()?.put(&state_key, encoded)?;
         }
-        Ok(vec![out])
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -277,13 +312,13 @@ mod tests {
     fn run(op: &mut SlidingWindowOp, store: &mut KeyValueStore, tuples: Vec<Tuple>) -> Vec<Tuple> {
         let mut late = 0;
         let mut out = Vec::new();
-        for t in tuples {
-            let mut ctx = OpCtx {
-                store: Some(store),
-                late_discards: &mut late,
-            };
-            out.extend(op.process(Side::Single, t, &mut ctx).unwrap());
-        }
+        let mut input = tuples;
+        let mut ctx = OpCtx {
+            store: Some(store),
+            late_discards: &mut late,
+        };
+        op.process_batch(Side::Single, &mut input, &mut out, &mut ctx)
+            .unwrap();
         out
     }
 
@@ -367,9 +402,15 @@ mod tests {
             store: Some(&mut store),
             late_discards: &mut late,
         };
-        w.process(Side::Single, tup(1_000, 1, 1), &mut ctx).unwrap();
-        let out = w.process(Side::Single, tup(500, 1, 1), &mut ctx).unwrap();
-        assert!(out.is_empty());
+        let mut out = Vec::new();
+        w.process_batch(
+            Side::Single,
+            &mut vec![tup(1_000, 1, 1), tup(500, 1, 1)],
+            &mut out,
+            &mut ctx,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1, "only the on-time tuple emits");
         assert_eq!(late, 1);
     }
 

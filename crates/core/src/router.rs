@@ -28,7 +28,6 @@ use samzasql_planner::{PhysicalPlan, PlannedQuery, ScalarExpr};
 use samzasql_samza::KeyValueStore;
 use samzasql_serde::serde_api::build_serde;
 use samzasql_serde::{Schema, SerdeFormat};
-use std::collections::VecDeque;
 
 /// Everything the router needs to instantiate a query stage's operators.
 ///
@@ -96,6 +95,13 @@ struct Entry {
 }
 
 /// The generated operator DAG for one task.
+///
+/// Batches flow through the DAG in *reusable* buffers: every node owns a
+/// pair of input buffers (slot 0 for `Single`/`Left` tuples, slot 1 for
+/// `Right`), and one shared scratch buffer ping-pongs through the
+/// decreasing-index pass of [`MessageRouter::route_batch`]. Steady state
+/// allocates nothing per tuple for stateless pipelines — buffers keep their
+/// capacity across batches.
 pub struct MessageRouter {
     entries: Vec<Entry>,
     nodes: Vec<Box<dyn Operator>>,
@@ -103,6 +109,15 @@ pub struct MessageRouter {
     insert: InsertOp,
     late_discards: u64,
     direct_data_api: bool,
+    /// Per-node input buffers: slot 0 = `Single`/`Left`, slot 1 = `Right`.
+    inbufs: Vec<[Vec<Tuple>; 2]>,
+    /// The exact [`Side`] last pushed into each slot (joins need `Left` vs
+    /// `Single` delivered precisely as the plan tagged the edge).
+    in_sides: Vec<[Side; 2]>,
+    /// Shared output staging buffer, ping-ponged between node invocations.
+    scratch: Vec<Tuple>,
+    /// Tuples awaiting sink encoding.
+    sink: Vec<Tuple>,
 }
 
 impl MessageRouter {
@@ -134,6 +149,10 @@ impl MessageRouter {
             insert,
             late_discards: 0,
             direct_data_api: false,
+            inbufs: Vec::new(),
+            in_sides: Vec::new(),
+            scratch: Vec::new(),
+            sink: Vec::new(),
         };
         // Bounded queries may carry ORDER BY / LIMIT: a sort node at the root.
         let root_dest: Dest = if !planned.order_by.is_empty() || planned.limit.is_some() {
@@ -157,6 +176,8 @@ impl MessageRouter {
     fn add_node(&mut self, op: Box<dyn Operator>, parent: Dest) -> usize {
         self.nodes.push(op);
         self.parents.push(parent);
+        self.inbufs.push([Vec::new(), Vec::new()]);
+        self.in_sides.push([Side::Single, Side::Right]);
         self.nodes.len() - 1
     }
 
@@ -337,8 +358,71 @@ impl MessageRouter {
         }
     }
 
+    /// Route a batch of incoming messages from one topic through the DAG,
+    /// appending encoded outputs for the job's output stream to `outputs`.
+    ///
+    /// All messages are decoded into the entry nodes' input buffers first,
+    /// then the DAG runs once over whole batches ([`Self::run_dag`]). The
+    /// one ordering hazard is a relation tombstone arriving mid-batch: any
+    /// buffered work is drained *before* the cache delete so earlier stream
+    /// tuples still probe the pre-delete relation state, exactly as the
+    /// per-message path behaved.
+    pub fn route_batch<'a>(
+        &mut self,
+        topic: &str,
+        messages: impl IntoIterator<Item = (Option<&'a Bytes>, &'a Bytes)>,
+        mut store: Option<&mut KeyValueStore>,
+        outputs: &mut Vec<EncodedOutput>,
+    ) -> Result<()> {
+        for (key, payload) in messages {
+            for ei in 0..self.entries.len() {
+                if self.entries[ei].topic != topic {
+                    continue;
+                }
+                let dest = self.entries[ei].dest;
+                let is_relation = self.entries[ei].is_relation;
+                match self.entries[ei].scan.decode(payload)? {
+                    Some(tuple) => self.push_dest(dest, tuple),
+                    None => {
+                        // Tombstone: only meaningful for relation caches.
+                        if is_relation {
+                            if let (Some((node, side)), Some(k)) = (dest, key) {
+                                // Drain buffered tuples so pre-tombstone
+                                // probes see the pre-delete cache state.
+                                self.run_dag(&mut store)?;
+                                let mut staged = std::mem::take(&mut self.scratch);
+                                {
+                                    let mut ctx = OpCtx {
+                                        store: store.as_deref_mut(),
+                                        late_discards: &mut self.late_discards,
+                                    };
+                                    self.nodes[node].on_tombstone(
+                                        side,
+                                        k,
+                                        &mut staged,
+                                        &mut ctx,
+                                    )?;
+                                }
+                                let parent = self.parents[node];
+                                self.dispatch(parent, &mut staged);
+                                self.scratch = staged;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.run_dag(&mut store)?;
+        let mut sink = std::mem::take(&mut self.sink);
+        let result = self.insert.encode_batch(&mut sink, outputs);
+        self.sink = sink;
+        result
+    }
+
     /// Route one incoming message through the DAG; returns encoded outputs
-    /// for the job's output stream.
+    /// for the job's output stream. Batch-of-one wrapper around
+    /// [`Self::route_batch`] — also the reference path the batched pipeline
+    /// is property-tested against.
     pub fn route(
         &mut self,
         topic: &str,
@@ -347,90 +431,109 @@ impl MessageRouter {
         store: Option<&mut KeyValueStore>,
     ) -> Result<Vec<EncodedOutput>> {
         let mut outputs = Vec::new();
-        let mut queue: VecDeque<(Dest, Tuple)> = VecDeque::new();
-        let mut store = store;
-
-        // Entry: decode via each scan bound to this topic.
-        for ei in 0..self.entries.len() {
-            if self.entries[ei].topic != topic {
-                continue;
-            }
-            match self.entries[ei].scan.decode(payload)? {
-                Some(tuple) => queue.push_back((self.entries[ei].dest, tuple)),
-                None => {
-                    // Tombstone: only meaningful for relation caches.
-                    if self.entries[ei].is_relation {
-                        if let (Some((node, side)), Some(k)) = (self.entries[ei].dest, key) {
-                            let mut ctx = OpCtx {
-                                store: store.as_deref_mut(),
-                                late_discards: &mut self.late_discards,
-                            };
-                            let outs = self.nodes[node].on_tombstone(side, k, &mut ctx)?;
-                            let parent = self.parents[node];
-                            for t in outs {
-                                queue.push_back((parent, t));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        // Propagate.
-        while let Some((dest, tuple)) = queue.pop_front() {
-            match dest {
-                None => outputs.push(self.insert.encode(&tuple)?),
-                Some((node, side)) => {
-                    let mut ctx = OpCtx {
-                        store: store.as_deref_mut(),
-                        late_discards: &mut self.late_discards,
-                    };
-                    let outs = self.nodes[node].process(side, tuple, &mut ctx)?;
-                    let parent = self.parents[node];
-                    for t in outs {
-                        queue.push_back((parent, t));
-                    }
-                }
-            }
-        }
+        self.route_batch(topic, std::iter::once((key, payload)), store, &mut outputs)?;
         Ok(outputs)
     }
 
-    /// End-of-input flush for bounded queries: flush every node child-first
-    /// so flushed tuples still traverse their downstream operators.
-    pub fn flush(&mut self, store: Option<&mut KeyValueStore>) -> Result<Vec<EncodedOutput>> {
-        let mut outputs = Vec::new();
-        let mut store = store;
+    /// Deliver a freshly decoded tuple to its destination buffer.
+    fn push_dest(&mut self, dest: Dest, tuple: Tuple) {
+        match dest {
+            None => self.sink.push(tuple),
+            Some((node, side)) => {
+                let slot = (side == Side::Right) as usize;
+                self.in_sides[node][slot] = side;
+                self.inbufs[node][slot].push(tuple);
+            }
+        }
+    }
+
+    /// Move a staged batch into its destination buffer (keeps `staged`'s
+    /// allocation, leaving it empty for reuse).
+    fn dispatch(&mut self, dest: Dest, staged: &mut Vec<Tuple>) {
+        match dest {
+            None => self.sink.append(staged),
+            Some((node, side)) => {
+                let slot = (side == Side::Right) as usize;
+                self.in_sides[node][slot] = side;
+                self.inbufs[node][slot].append(staged);
+            }
+        }
+    }
+
+    /// Run every buffered batch through the DAG.
+    ///
+    /// `build_plan` adds each operator before recursing into its inputs, so
+    /// a child node always has a larger index than its parent — one pass in
+    /// decreasing index order fully propagates every batch to the sink.
+    fn run_dag(&mut self, store: &mut Option<&mut KeyValueStore>) -> Result<()> {
         for i in (0..self.nodes.len()).rev() {
-            let mut queue: VecDeque<(Dest, Tuple)> = VecDeque::new();
+            self.drain_node(i, store)?;
+        }
+        Ok(())
+    }
+
+    /// Process node `i`'s pending input buffers (if any), dispatching its
+    /// output batch to the parent. Buffers are recycled: the drained input
+    /// goes back into the slot and the staging buffer becomes the next
+    /// scratch.
+    fn drain_node(&mut self, i: usize, store: &mut Option<&mut KeyValueStore>) -> Result<()> {
+        for slot in 0..2 {
+            if self.inbufs[i][slot].is_empty() {
+                continue;
+            }
+            let side = self.in_sides[i][slot];
+            let mut input = std::mem::take(&mut self.inbufs[i][slot]);
+            let mut staged = std::mem::take(&mut self.scratch);
             {
                 let mut ctx = OpCtx {
                     store: store.as_deref_mut(),
                     late_discards: &mut self.late_discards,
                 };
-                let outs = self.nodes[i].flush(&mut ctx)?;
-                let parent = self.parents[i];
-                for t in outs {
-                    queue.push_back((parent, t));
-                }
+                self.nodes[i].process_batch(side, &mut input, &mut staged, &mut ctx)?;
             }
-            while let Some((dest, tuple)) = queue.pop_front() {
-                match dest {
-                    None => outputs.push(self.insert.encode(&tuple)?),
-                    Some((node, side)) => {
-                        let mut ctx = OpCtx {
-                            store: store.as_deref_mut(),
-                            late_discards: &mut self.late_discards,
-                        };
-                        let outs = self.nodes[node].process(side, tuple, &mut ctx)?;
-                        let parent = self.parents[node];
-                        for t in outs {
-                            queue.push_back((parent, t));
-                        }
-                    }
-                }
-            }
+            input.clear();
+            self.inbufs[i][slot] = input;
+            let parent = self.parents[i];
+            self.dispatch(parent, &mut staged);
+            self.scratch = staged;
         }
+        Ok(())
+    }
+
+    /// End-of-input flush for bounded queries: flush every node child-first
+    /// so flushed tuples still traverse their downstream operators.
+    /// Appends encoded outputs to `outputs`.
+    pub fn flush_into(
+        &mut self,
+        mut store: Option<&mut KeyValueStore>,
+        outputs: &mut Vec<EncodedOutput>,
+    ) -> Result<()> {
+        for i in (0..self.nodes.len()).rev() {
+            // Anything a child flushed into this node's buffers goes
+            // through before the node itself flushes.
+            self.drain_node(i, &mut store)?;
+            let mut staged = std::mem::take(&mut self.scratch);
+            {
+                let mut ctx = OpCtx {
+                    store: store.as_deref_mut(),
+                    late_discards: &mut self.late_discards,
+                };
+                self.nodes[i].flush(&mut staged, &mut ctx)?;
+            }
+            let parent = self.parents[i];
+            self.dispatch(parent, &mut staged);
+            self.scratch = staged;
+        }
+        let mut sink = std::mem::take(&mut self.sink);
+        let result = self.insert.encode_batch(&mut sink, outputs);
+        self.sink = sink;
+        result
+    }
+
+    /// End-of-input flush returning the encoded outputs.
+    pub fn flush(&mut self, store: Option<&mut KeyValueStore>) -> Result<Vec<EncodedOutput>> {
+        let mut outputs = Vec::new();
+        self.flush_into(store, &mut outputs)?;
         Ok(outputs)
     }
 

@@ -81,13 +81,6 @@ impl SamzaSqlShell {
         &self.coord
     }
 
-    /// The metadata store shared with tasks.
-    #[deprecated(note = "use SamzaSqlShell::coord — the metadata store is a thin adapter now")]
-    #[allow(deprecated)]
-    pub fn metadata(&self) -> samzasql_samza::MetadataStore {
-        samzasql_samza::MetadataStore::with_coord(self.coord.clone())
-    }
-
     /// The planner/catalog.
     pub fn planner(&self) -> &Planner {
         &self.planner

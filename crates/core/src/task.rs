@@ -41,6 +41,9 @@ pub struct SamzaSqlTask {
     router: Option<MessageRouter>,
     /// Bounded queries flush window/sort state when `window()` fires.
     bounded: bool,
+    /// Reusable staging buffer for encoded outputs (capacity persists
+    /// across batches).
+    out_buf: Vec<crate::ops::insert::EncodedOutput>,
 }
 
 impl SamzaSqlTask {
@@ -59,15 +62,13 @@ impl SamzaSqlTask {
             udafs,
             router: None,
             bounded: false,
+            out_buf: Vec::new(),
         }
     }
 
-    fn send_outputs(
-        &self,
-        outputs: Vec<crate::ops::insert::EncodedOutput>,
-        collector: &mut MessageCollector,
-    ) {
-        for out in outputs {
+    /// Drain `out_buf` into the collector as outgoing envelopes.
+    fn send_outputs(&mut self, collector: &mut MessageCollector) {
+        for out in self.out_buf.drain(..) {
             let mut env = OutgoingMessageEnvelope::new(self.output_topic.clone(), out.payload)
                 .at(out.timestamp);
             if let Some(k) = out.key {
@@ -119,20 +120,41 @@ impl StreamTask for SamzaSqlTask {
         envelope: &IncomingMessageEnvelope,
         ctx: &mut TaskContext,
         collector: &mut MessageCollector,
-        _coordinator: &mut TaskCoordinator,
+        coordinator: &mut TaskCoordinator,
     ) -> SamzaResult<()> {
+        self.process_batch(std::slice::from_ref(envelope), ctx, collector, coordinator)
+            .map(|_| ())
+    }
+
+    fn process_batch(
+        &mut self,
+        envelopes: &[IncomingMessageEnvelope],
+        ctx: &mut TaskContext,
+        collector: &mut MessageCollector,
+        _coordinator: &mut TaskCoordinator,
+    ) -> SamzaResult<usize> {
         let router = self.router.as_mut().expect("init ran before process");
-        let store = ctx.store_mut(STATE_STORE).ok();
-        let outputs = router
-            .route(
-                &envelope.tp.topic,
-                envelope.key.as_ref(),
-                &envelope.payload,
-                store,
-            )
-            .map_err(SamzaError::from)?;
-        self.send_outputs(outputs, collector);
-        Ok(())
+        let mut store = ctx.store_mut(STATE_STORE).ok();
+        // Route each consecutive same-topic run as one batch.
+        let mut i = 0;
+        while i < envelopes.len() {
+            let topic = &envelopes[i].tp.topic;
+            let mut j = i + 1;
+            while j < envelopes.len() && envelopes[j].tp.topic == *topic {
+                j += 1;
+            }
+            router
+                .route_batch(
+                    topic,
+                    envelopes[i..j].iter().map(|e| (e.key.as_ref(), &e.payload)),
+                    store.as_deref_mut(),
+                    &mut self.out_buf,
+                )
+                .map_err(SamzaError::from)?;
+            i = j;
+        }
+        self.send_outputs(collector);
+        Ok(envelopes.len())
     }
 
     fn window(
@@ -146,8 +168,10 @@ impl StreamTask for SamzaSqlTask {
         }
         let router = self.router.as_mut().expect("init ran before window");
         let store = ctx.store_mut(STATE_STORE).ok();
-        let outputs = router.flush(store).map_err(SamzaError::from)?;
-        self.send_outputs(outputs, collector);
+        router
+            .flush_into(store, &mut self.out_buf)
+            .map_err(SamzaError::from)?;
+        self.send_outputs(collector);
         Ok(())
     }
 }

@@ -28,8 +28,12 @@ pub fn record_to_array(value: Value) -> Result<Tuple> {
 }
 
 /// `ArrayToAvro`: rewrap an array tuple as a named record for encoding at
-/// the stream insert operator.
-pub fn array_to_record(tuple: &Tuple, names: &[String]) -> Result<Value> {
+/// the stream insert operator. Takes the tuple by value so column values
+/// move instead of cloning; only the column names are copied. (The insert
+/// operator's hot path goes further and reuses one record buffer so the
+/// names are cloned once per operator, not once per tuple — see
+/// `ops::insert`.)
+pub fn array_to_record(tuple: Tuple, names: &[String]) -> Result<Value> {
     if tuple.len() != names.len() {
         return Err(CoreError::Operator(format!(
             "arity mismatch: {} values for {} columns",
@@ -37,9 +41,7 @@ pub fn array_to_record(tuple: &Tuple, names: &[String]) -> Result<Value> {
             names.len()
         )));
     }
-    Ok(Value::Record(
-        names.iter().cloned().zip(tuple.iter().cloned()).collect(),
-    ))
+    Ok(Value::Record(names.iter().cloned().zip(tuple).collect()))
 }
 
 #[cfg(test)]
@@ -51,7 +53,7 @@ mod tests {
         let rec = Value::record(vec![("a", Value::Int(1)), ("b", Value::String("x".into()))]);
         let arr = record_to_array(rec.clone()).unwrap();
         assert_eq!(arr, vec![Value::Int(1), Value::String("x".into())]);
-        let back = array_to_record(&arr, &["a".to_string(), "b".to_string()]).unwrap();
+        let back = array_to_record(arr, &["a".to_string(), "b".to_string()]).unwrap();
         assert_eq!(back, rec);
     }
 
@@ -62,6 +64,6 @@ mod tests {
 
     #[test]
     fn arity_mismatch_rejected() {
-        assert!(array_to_record(&vec![Value::Int(1)], &["a".into(), "b".into()]).is_err());
+        assert!(array_to_record(vec![Value::Int(1)], &["a".into(), "b".into()]).is_err());
     }
 }

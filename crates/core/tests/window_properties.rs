@@ -51,6 +51,21 @@ fn tup(ts: i64, product: i32, units: i32) -> Vec<Value> {
     vec![Value::Timestamp(ts), Value::Int(product), Value::Int(units)]
 }
 
+/// Drive one tuple through the batch API (the per-tuple reference shape).
+fn process_one(op: &mut dyn Operator, tuple: Vec<Value>, ctx: &mut OpCtx<'_>) -> Vec<Vec<Value>> {
+    let mut input = vec![tuple];
+    let mut out = Vec::new();
+    op.process_batch(Side::Single, &mut input, &mut out, ctx)
+        .unwrap();
+    out
+}
+
+fn flush_all(op: &mut dyn Operator, ctx: &mut OpCtx<'_>) -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    op.flush(&mut out, ctx).unwrap();
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -70,10 +85,10 @@ proptest! {
         let mut out = Vec::new();
         for (ts, p, u) in &orders {
             let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
-            out.extend(op.process(Side::Single, tup(*ts, *p, *u), &mut ctx).unwrap());
+            out.extend(process_one(&mut op, tup(*ts, *p, *u), &mut ctx));
         }
         let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
-        out.extend(op.flush(&mut ctx).unwrap());
+        out.extend(flush_all(&mut op, &mut ctx));
         let total: i64 = out.iter().map(|r| r[1].as_i64().unwrap()).sum();
         prop_assert_eq!(total as usize + late as usize, orders.len());
         // Window starts are aligned and unique.
@@ -105,10 +120,10 @@ proptest! {
         let mut out = Vec::new();
         for (ts, p, u) in &orders {
             let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
-            out.extend(op.process(Side::Single, tup(*ts, *p, *u), &mut ctx).unwrap());
+            out.extend(process_one(&mut op, tup(*ts, *p, *u), &mut ctx));
         }
         let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
-        out.extend(op.flush(&mut ctx).unwrap());
+        out.extend(flush_all(&mut op, &mut ctx));
         // Late discards only happen with out-of-order input; ours is ordered.
         prop_assert_eq!(late, 0);
         for r in &out {
@@ -140,7 +155,7 @@ proptest! {
         for (ts, p, u) in &orders {
             seen.push((*ts, *p, *u));
             let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
-            let out = op.process(Side::Single, tup(*ts, *p, *u), &mut ctx).unwrap();
+            let out = process_one(&mut op, tup(*ts, *p, *u), &mut ctx);
             prop_assert_eq!(out.len(), 1, "one row out per row in");
             let got = out[0][3].as_i64().unwrap();
             let expected: i64 = seen
@@ -169,7 +184,7 @@ proptest! {
         for (ts, p, u) in &orders {
             per_key.entry(*p).or_default().push(*u as i64);
             let mut ctx = OpCtx { store: Some(&mut store), late_discards: &mut late };
-            let out = op.process(Side::Single, tup(*ts, *p, *u), &mut ctx).unwrap();
+            let out = process_one(&mut op, tup(*ts, *p, *u), &mut ctx);
             let got = out[0][3].as_i64().unwrap();
             let hist = &per_key[p];
             let take = (rows as usize + 1).min(hist.len());

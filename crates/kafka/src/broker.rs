@@ -166,6 +166,51 @@ impl Broker {
         Ok(offset)
     }
 
+    /// Append a batch of messages to one partition, acquiring the partition
+    /// log's write lock once for the whole batch (and checking acks /
+    /// charging the throttle once). Returns the assigned offsets in input
+    /// order — consecutive, since the lock is held across the batch.
+    pub fn produce_batch(
+        &self,
+        topic: &str,
+        partition: u32,
+        messages: Vec<Message>,
+        acks: AckMode,
+    ) -> Result<Vec<u64>> {
+        if messages.is_empty() {
+            return Ok(Vec::new());
+        }
+        let t = self
+            .topic(topic)
+            .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
+        let log = t
+            .partition(partition)
+            .ok_or_else(|| KafkaError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })?;
+        if acks == AckMode::All {
+            let reps = self.inner.replicas.lock();
+            if let Some(rs) = reps.get(&TopicPartition::new(topic, partition)) {
+                rs.check_ack(acks, topic, partition)?;
+            }
+        }
+        let count = messages.len() as u64;
+        let bytes: u64 = messages.iter().map(|m| m.payload_len() as u64).sum();
+        if let Some(throttle) = self.inner.throttle.read().clone() {
+            let _ = throttle.charge(bytes, 0.0);
+        }
+        let mut offsets = Vec::with_capacity(messages.len());
+        {
+            let mut log = log.write();
+            for message in messages {
+                offsets.push(log.append(message));
+            }
+        }
+        self.inner.metrics.record_produce(count, bytes);
+        Ok(offsets)
+    }
+
     /// Fetch up to `max_records` from `topic`/`partition` starting at
     /// `offset`.
     pub fn fetch(
@@ -362,6 +407,46 @@ mod tests {
         assert!(b
             .produce_with_acks("t", 0, Message::new("y"), AckMode::All)
             .is_ok());
+    }
+
+    #[test]
+    fn produce_batch_assigns_consecutive_offsets() {
+        let b = Broker::new();
+        b.create_topic("t", TopicConfig::with_partitions(2))
+            .unwrap();
+        b.produce("t", 0, Message::new("seed")).unwrap();
+        let offs = b
+            .produce_batch(
+                "t",
+                0,
+                vec![Message::new("a"), Message::new("b"), Message::new("c")],
+                AckMode::Leader,
+            )
+            .unwrap();
+        assert_eq!(offs, vec![1, 2, 3]);
+        assert!(b
+            .produce_batch("t", 0, Vec::new(), AckMode::Leader)
+            .unwrap()
+            .is_empty());
+        let fetched = b.fetch("t", 0, 1, 10).unwrap();
+        assert_eq!(fetched.records.len(), 3);
+        assert_eq!(fetched.records[2].message.value.as_ref(), b"c");
+    }
+
+    #[test]
+    fn produce_batch_counts_all_records_in_metrics() {
+        let b = Broker::new();
+        b.create_topic("t", TopicConfig::with_partitions(1))
+            .unwrap();
+        b.produce_batch(
+            "t",
+            0,
+            vec![Message::new("ab"), Message::new("cd")],
+            AckMode::Leader,
+        )
+        .unwrap();
+        let (mi, bi, _, _) = b.metrics().snapshot();
+        assert_eq!((mi, bi), (2, 4));
     }
 
     #[test]

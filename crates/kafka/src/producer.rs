@@ -73,6 +73,56 @@ impl Producer {
         Ok(RecordMetadata { partition, offset })
     }
 
+    /// Send a batch to one topic: the partitioner assigns each message a
+    /// partition, then every partition's run is appended under a single
+    /// log-lock acquisition ([`Broker::produce_batch`]). Returns per-record
+    /// metadata in input order.
+    pub fn send_batch(&self, topic: &str, messages: Vec<Message>) -> Result<Vec<RecordMetadata>> {
+        let partitions = self.broker.partition_count(topic)?;
+        let total = messages.len();
+        let mut groups: std::collections::BTreeMap<u32, (Vec<usize>, Vec<Message>)> =
+            std::collections::BTreeMap::new();
+        for (i, message) in messages.into_iter().enumerate() {
+            let p = self.partitioner.partition(&message, partitions);
+            let group = groups.entry(p).or_default();
+            group.0.push(i);
+            group.1.push(message);
+        }
+        let mut metadata = vec![
+            RecordMetadata {
+                partition: 0,
+                offset: 0
+            };
+            total
+        ];
+        for (partition, (indices, msgs)) in groups {
+            let offsets = self
+                .broker
+                .produce_batch(topic, partition, msgs, self.acks)?;
+            for (i, offset) in indices.into_iter().zip(offsets) {
+                metadata[i] = RecordMetadata { partition, offset };
+            }
+        }
+        Ok(metadata)
+    }
+
+    /// Send a batch directly to an explicit partition under one log-lock
+    /// acquisition, bypassing the partitioner.
+    pub fn send_batch_to(
+        &self,
+        topic: &str,
+        partition: u32,
+        messages: Vec<Message>,
+    ) -> Result<Vec<RecordMetadata>> {
+        let offsets = self
+            .broker
+            .produce_batch(topic, partition, messages, self.acks)?;
+        Ok(offsets
+            .into_iter()
+            .map(|offset| RecordMetadata { partition, offset })
+            .collect())
+    }
+
     /// The broker this producer writes to.
     pub fn broker(&self) -> &Broker {
         &self.broker
@@ -112,6 +162,63 @@ mod tests {
                 offset: 0
             }
         );
+    }
+
+    #[test]
+    fn send_batch_returns_metadata_in_input_order() {
+        let b = Broker::new();
+        b.create_topic("t", TopicConfig::with_partitions(4))
+            .unwrap();
+        let p = Producer::key_hash(b.clone());
+        let messages: Vec<Message> = (0..40)
+            .map(|i| Message::keyed(format!("k{}", i % 5), format!("{i}")))
+            .collect();
+        let singles: Vec<RecordMetadata> = messages
+            .iter()
+            .map(|m| {
+                let partitions = b.partition_count("t").unwrap();
+                RecordMetadata {
+                    partition: Partitioner::key_hash().partition(m, partitions),
+                    offset: 0,
+                }
+            })
+            .collect();
+        let metadata = p.send_batch("t", messages).unwrap();
+        assert_eq!(metadata.len(), 40);
+        // Partition assignment matches the per-message partitioner, and
+        // offsets increase within each partition in input order.
+        let mut next: std::collections::HashMap<u32, u64> = Default::default();
+        for (md, single) in metadata.iter().zip(&singles) {
+            assert_eq!(md.partition, single.partition);
+            let expect = next.entry(md.partition).or_insert(0);
+            assert_eq!(md.offset, *expect);
+            *expect += 1;
+        }
+    }
+
+    #[test]
+    fn send_batch_to_targets_one_partition() {
+        let b = Broker::new();
+        b.create_topic("t", TopicConfig::with_partitions(4))
+            .unwrap();
+        let p = Producer::round_robin(b.clone());
+        let metadata = p
+            .send_batch_to("t", 2, vec![Message::new("x"), Message::new("y")])
+            .unwrap();
+        assert_eq!(
+            metadata,
+            vec![
+                RecordMetadata {
+                    partition: 2,
+                    offset: 0
+                },
+                RecordMetadata {
+                    partition: 2,
+                    offset: 1
+                }
+            ]
+        );
+        assert_eq!(b.end_offset("t", 2).unwrap(), 2);
     }
 
     #[test]

@@ -11,10 +11,10 @@ use crate::config::JobConfig;
 use crate::coordinator::ContainerModel;
 use crate::error::Result;
 use crate::kv::KeyValueStore;
-use crate::system::{IncomingMessageEnvelope, MessageCollector};
+use crate::system::{IncomingMessageEnvelope, MessageCollector, OutgoingMessageEnvelope};
 use crate::task::{StreamTask, TaskContext, TaskCoordinator, TaskFactory};
 use samzasql_kafka::partitioner::hash_bytes;
-use samzasql_kafka::{Broker, KafkaError, Message, TopicConfig, TopicPartition};
+use samzasql_kafka::{AckMode, Broker, KafkaError, Message, TopicConfig, TopicPartition};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How many records a task fetches from one partition per step.
@@ -32,6 +32,9 @@ struct TaskInstance {
     processed_since_commit: u64,
     processed_since_window: u64,
     shutdown: bool,
+    /// Reusable buffer for draining the collector on flush (capacity
+    /// persists across flushes).
+    out_scratch: Vec<OutgoingMessageEnvelope>,
 }
 
 /// Point-in-time view of a container's progress.
@@ -80,6 +83,7 @@ impl Container {
                 processed_since_commit: 0,
                 processed_since_window: 0,
                 shutdown: false,
+                out_scratch: Vec::new(),
             });
         }
         Ok(Container {
@@ -201,31 +205,42 @@ impl Container {
             return Ok(0);
         }
 
-        let mut batch: Vec<IncomingMessageEnvelope> = Vec::new();
+        // Fetch one contiguous slice per partition under a shared budget,
+        // so each slice can be handed to the task whole.
+        let mut slices: Vec<Vec<IncomingMessageEnvelope>> = Vec::new();
+        let mut fetched_total = 0usize;
         let n = candidates.len();
         for i in 0..n {
+            if fetched_total >= FETCH_BATCH {
+                break;
+            }
             let tp = &candidates[(ti.rotation + i) % n];
             let pos = *ti.positions.get(tp).expect("assigned partition");
-            let fetched = match broker.fetch(&tp.topic, tp.partition, pos, FETCH_BATCH) {
-                Ok(f) => f,
-                Err(KafkaError::OffsetOutOfRange { start, .. }) => {
-                    ti.positions.insert(tp.clone(), start);
-                    continue;
-                }
-                Err(e) => return Err(e.into()),
-            };
-            for rec in fetched.records {
-                batch.push(IncomingMessageEnvelope {
+            let fetched =
+                match broker.fetch(&tp.topic, tp.partition, pos, FETCH_BATCH - fetched_total) {
+                    Ok(f) => f,
+                    Err(KafkaError::OffsetOutOfRange { start, .. }) => {
+                        ti.positions.insert(tp.clone(), start);
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+            if fetched.records.is_empty() {
+                continue;
+            }
+            let slice: Vec<IncomingMessageEnvelope> = fetched
+                .records
+                .into_iter()
+                .map(|rec| IncomingMessageEnvelope {
                     tp: tp.clone(),
                     offset: rec.offset,
                     timestamp: rec.timestamp,
                     key: rec.message.key,
                     payload: rec.message.value,
-                });
-            }
-            if batch.len() >= FETCH_BATCH {
-                break;
-            }
+                })
+                .collect();
+            fetched_total += slice.len();
+            slices.push(slice);
         }
         ti.rotation = (ti.rotation + 1) % n;
 
@@ -233,43 +248,80 @@ impl Container {
         let mut coordinator = TaskCoordinator::default();
         let mut processed = 0u64;
         let task_partition = ti.ctx.partition;
-        for envelope in &batch {
-            ti.task
-                .process(envelope, &mut ti.ctx, &mut collector, &mut coordinator)?;
-            // Positions advance as messages are *processed*, so a mid-batch
-            // checkpoint never claims unprocessed input.
-            ti.positions
-                .insert(envelope.tp.clone(), envelope.offset + 1);
-            processed += 1;
-            ti.processed_since_commit += 1;
-            ti.processed_since_window += 1;
-            ti.ctx.metrics.record_processed(1);
-            if window_interval > 0 && ti.processed_since_window >= window_interval {
-                ti.processed_since_window = 0;
-                ti.task
-                    .window(&mut ti.ctx, &mut collector, &mut coordinator)?;
-                ti.ctx.metrics.record_window();
-            }
-            // Commit when the interval elapses or the task asked for it:
-            // flush pending output first, then checkpoint positions.
-            if coordinator.take_commit()
-                || (commit_interval > 0 && ti.processed_since_commit >= commit_interval)
-            {
-                ti.processed_since_commit = 0;
-                // Samza's commit sequence: flush pending output, flush state
-                // changelogs, then checkpoint input positions.
-                Self::flush_outputs(&broker, &mut collector, &ti.ctx, task_partition)?;
-                ti.ctx.flush_changelogs()?;
-                let cp = Checkpoint {
-                    offsets: ti.positions.clone(),
-                };
-                checkpoints.write(&ti.ctx.task_name, &cp)?;
-                ti.ctx.metrics.record_commit();
+        for slice in &slices {
+            let mut i = 0usize;
+            while i < slice.len() {
+                // Hand the task as much of the slice as fits before the next
+                // window/commit boundary, so batching never changes *when*
+                // those fire relative to the message stream.
+                let mut take = slice.len() - i;
+                if window_interval > 0 {
+                    take = take.min((window_interval - ti.processed_since_window) as usize);
+                }
+                if commit_interval > 0 {
+                    take = take.min((commit_interval - ti.processed_since_commit) as usize);
+                }
+                let consumed = ti.task.process_batch(
+                    &slice[i..i + take],
+                    &mut ti.ctx,
+                    &mut collector,
+                    &mut coordinator,
+                )?;
+                if consumed == 0 {
+                    return Err(crate::error::SamzaError::Task {
+                        task: ti.ctx.task_name.clone(),
+                        message: "process_batch consumed no envelopes".into(),
+                    });
+                }
+                let consumed = consumed.min(take);
+                // Positions advance as messages are *processed*, so a
+                // mid-batch checkpoint never claims unprocessed input.
+                let last = &slice[i + consumed - 1];
+                ti.positions.insert(last.tp.clone(), last.offset + 1);
+                processed += consumed as u64;
+                ti.processed_since_commit += consumed as u64;
+                ti.processed_since_window += consumed as u64;
+                ti.ctx.metrics.record_processed(consumed as u64);
+                if window_interval > 0 && ti.processed_since_window >= window_interval {
+                    ti.processed_since_window = 0;
+                    ti.task
+                        .window(&mut ti.ctx, &mut collector, &mut coordinator)?;
+                    ti.ctx.metrics.record_window();
+                }
+                // Commit when the interval elapses or the task asked for it:
+                // flush pending output first, then checkpoint positions.
+                if coordinator.take_commit()
+                    || (commit_interval > 0 && ti.processed_since_commit >= commit_interval)
+                {
+                    ti.processed_since_commit = 0;
+                    // Samza's commit sequence: flush pending output, flush
+                    // state changelogs, then checkpoint input positions.
+                    Self::flush_outputs(
+                        &broker,
+                        &mut collector,
+                        &mut ti.out_scratch,
+                        &ti.ctx,
+                        task_partition,
+                    )?;
+                    ti.ctx.flush_changelogs()?;
+                    let cp = Checkpoint {
+                        offsets: ti.positions.clone(),
+                    };
+                    checkpoints.write(&ti.ctx.task_name, &cp)?;
+                    ti.ctx.metrics.record_commit();
+                }
+                i += consumed;
             }
         }
 
         // Flush whatever remains buffered after the batch.
-        Self::flush_outputs(&broker, &mut collector, &ti.ctx, task_partition)?;
+        Self::flush_outputs(
+            &broker,
+            &mut collector,
+            &mut ti.out_scratch,
+            &ti.ctx,
+            task_partition,
+        )?;
 
         // Bootstrap bookkeeping: a pending partition is done once its
         // position reaches the end offset captured at init.
@@ -284,35 +336,56 @@ impl Container {
     /// Send everything the collector buffered, routing by explicit partition,
     /// key hash, or (keyless) the task's own partition — which preserves
     /// input partitioning on derived streams.
+    ///
+    /// Envelopes are grouped by destination so every (topic, partition) run
+    /// is appended through [`Broker::produce_batch`] under one log-lock
+    /// acquisition. The stable sort preserves send order within each
+    /// partition, which is all the log guarantees anyway.
     fn flush_outputs(
         broker: &Broker,
         collector: &mut MessageCollector,
+        scratch: &mut Vec<OutgoingMessageEnvelope>,
         ctx: &TaskContext,
         task_partition: u32,
     ) -> Result<()> {
-        let outgoing = collector.drain();
-        ctx.metrics.record_sent(outgoing.len() as u64);
-        for env in outgoing {
-            let partition = match env.partition {
-                Some(p) => p,
-                None => {
-                    let count = broker.partition_count(&env.topic)?;
-                    match &env.key {
-                        Some(k) => hash_bytes(k) % count,
-                        None => task_partition % count,
-                    }
-                }
-            };
-            broker.produce(
-                &env.topic,
-                partition,
-                Message {
-                    key: env.key,
-                    value: env.payload,
-                    timestamp: env.timestamp,
-                },
-            )?;
+        collector.drain_into(scratch);
+        ctx.metrics.record_sent(scratch.len() as u64);
+        if scratch.is_empty() {
+            return Ok(());
         }
+        for env in scratch.iter_mut() {
+            if env.partition.is_none() {
+                let count = broker.partition_count(&env.topic)?;
+                env.partition = Some(match &env.key {
+                    Some(k) => hash_bytes(k) % count,
+                    None => task_partition % count,
+                });
+            }
+        }
+        scratch
+            .sort_by(|a, b| (a.topic.as_str(), a.partition).cmp(&(b.topic.as_str(), b.partition)));
+        let mut i = 0;
+        while i < scratch.len() {
+            let topic = scratch[i].topic.clone();
+            let partition = scratch[i].partition.expect("resolved above");
+            let mut run: Vec<Message> = Vec::new();
+            let mut j = i;
+            while j < scratch.len()
+                && scratch[j].topic == topic
+                && scratch[j].partition == Some(partition)
+            {
+                let env = &mut scratch[j];
+                run.push(Message {
+                    key: env.key.take(),
+                    value: std::mem::take(&mut env.payload),
+                    timestamp: env.timestamp,
+                });
+                j += 1;
+            }
+            broker.produce_batch(&topic, partition, run, AckMode::Leader)?;
+            i = j;
+        }
+        scratch.clear();
         Ok(())
     }
 
@@ -348,7 +421,13 @@ impl Container {
                 .window(&mut ti.ctx, &mut collector, &mut coordinator)?;
             ti.ctx.metrics.record_window();
             let task_partition = ti.ctx.partition;
-            Self::flush_outputs(&broker, &mut collector, &ti.ctx, task_partition)?;
+            Self::flush_outputs(
+                &broker,
+                &mut collector,
+                &mut ti.out_scratch,
+                &ti.ctx,
+                task_partition,
+            )?;
         }
         Ok(())
     }

@@ -25,14 +25,12 @@
 //! service (`samzasql-coord`) carries planner metadata between the SamzaSQL
 //! shell and task initialization per the paper's two-step planning, tracks
 //! container liveness through ephemeral znodes, and drives failure recovery
-//! through watches ([`cluster`]). The old [`coordination`] metadata store
-//! remains as a deprecated shim over it.
+//! through watches ([`cluster`]).
 
 pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod container;
-pub mod coordination;
 pub mod coordinator;
 pub mod error;
 pub mod kv;
@@ -44,8 +42,6 @@ pub use checkpoint::{Checkpoint, CheckpointManager};
 pub use cluster::{ClusterSim, JobHandle, NodeConfig};
 pub use config::{InputStreamConfig, JobConfig, OutputStreamConfig, StoreConfig};
 pub use container::{Container, ContainerMetricsSnapshot};
-#[allow(deprecated)]
-pub use coordination::MetadataStore;
 pub use coordinator::{ContainerModel, JobModel, TaskModel};
 pub use error::{Result, SamzaError};
 pub use kv::{KeyValueStore, StoreMetricsSnapshot, TypedStore};

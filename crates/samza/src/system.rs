@@ -81,6 +81,12 @@ impl MessageCollector {
         std::mem::take(&mut self.buffered)
     }
 
+    /// Drain everything queued so far into a caller-owned buffer, reusing
+    /// its capacity (the container's flush path).
+    pub fn drain_into(&mut self, buf: &mut Vec<OutgoingMessageEnvelope>) {
+        buf.append(&mut self.buffered);
+    }
+
     /// Number of queued messages.
     pub fn len(&self) -> usize {
         self.buffered.len()

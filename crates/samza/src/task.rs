@@ -129,6 +129,31 @@ pub trait StreamTask: Send {
         coordinator: &mut TaskCoordinator,
     ) -> Result<()>;
 
+    /// Called with a whole fetched batch for one partition; returns how many
+    /// envelopes were consumed (the container advances its checkpoint
+    /// position past exactly that many).
+    ///
+    /// The default loops [`StreamTask::process`], stopping early when the
+    /// task requests a commit so per-message checkpoint semantics are
+    /// preserved for third-party tasks. Batch-aware tasks (SamzaSQL's
+    /// generated operator task) override this to run whole batches through
+    /// their pipeline.
+    fn process_batch(
+        &mut self,
+        envelopes: &[IncomingMessageEnvelope],
+        ctx: &mut TaskContext,
+        collector: &mut MessageCollector,
+        coordinator: &mut TaskCoordinator,
+    ) -> Result<usize> {
+        for (i, envelope) in envelopes.iter().enumerate() {
+            self.process(envelope, ctx, collector, coordinator)?;
+            if coordinator.commit_requested {
+                return Ok(i + 1);
+            }
+        }
+        Ok(envelopes.len())
+    }
+
     /// Called on the configured window interval (`WindowableTask`); hopping
     /// and tumbling aggregates emit here.
     fn window(
