@@ -15,3 +15,15 @@ cargo test --workspace
 # Benches must keep compiling (they are the paper's evaluation harness),
 # but CI does not pay to run them.
 cargo bench --workspace --no-run
+
+# Static plan analysis over the committed SQL corpus: every fixture must
+# emit exactly the diagnostic codes its `-- expect:` header declares, so
+# seeded-bug fixtures keep firing and the paper's canonical queries stay
+# clean (see docs/DIAGNOSTICS.md).
+cargo run --release -p samzasql-analyze --bin plan-lint -- crates/analyze/tests/corpus
+# The corpus deliberately contains Error-bearing plans; a plain error gate
+# (`--deny`, the production-lint mode) must refuse it.
+if cargo run --release -p samzasql-analyze --bin plan-lint -- --deny crates/analyze/tests/corpus >/dev/null 2>&1; then
+  echo "ci.sh: plan-lint --deny unexpectedly accepted the seeded corpus" >&2
+  exit 1
+fi

@@ -1,0 +1,95 @@
+//! `plan-lint`: run the static plan analyzer over a SQL corpus, for CI.
+//!
+//! ```text
+//! plan-lint [--deny] [--json] [DIR_OR_FILE ...]
+//! ```
+//!
+//! Default (expectation) mode: every fixture's emitted diagnostic codes must
+//! match its `-- expect:` header exactly (`-- expect: clean` or no header
+//! means zero diagnostics); any mismatch exits non-zero. This is the CI
+//! gate: seeded-bug fixtures must keep firing and clean fixtures must stay
+//! clean.
+//!
+//! `--deny` mode ignores headers and exits non-zero when any fixture
+//! produces an Error-severity diagnostic — the mode for linting a directory
+//! of production queries, and proof that the seeded corpus fails a plain
+//! error gate.
+//!
+//! `--json` prints diagnostics as line-oriented JSON instead of rustc-style
+//! text. With no paths, the committed corpus directory is used.
+
+use samzasql_analyze::corpus::{self, FixtureResult};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: plan-lint [--deny] [--json] [DIR_OR_FILE ...]");
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        paths.push(corpus::default_corpus_dir());
+    }
+
+    let planner = corpus::paper_planner();
+    let mut results: Vec<FixtureResult> = Vec::new();
+    for p in &paths {
+        let run = if p.is_dir() {
+            corpus::run_corpus(&planner, p)
+        } else {
+            corpus::run_fixture(&planner, p).map(|r| vec![r])
+        };
+        match run {
+            Ok(mut rs) => results.append(&mut rs),
+            Err(e) => {
+                eprintln!("plan-lint: {}: {e}", p.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut failed = 0usize;
+    for r in &results {
+        let bad = if deny {
+            r.diagnostics.has_errors()
+        } else {
+            !r.matches()
+        };
+        let label = if bad { "FAIL" } else { "ok" };
+        eprintln!(
+            "[{label}] {} — expected [{}], got [{}]",
+            r.path.display(),
+            r.expected.join(", "),
+            r.actual.join(", "),
+        );
+        if bad {
+            failed += 1;
+            if json {
+                print!("{}", r.diagnostics.render_json());
+            } else {
+                print!("{}", r.diagnostics.render());
+            }
+        }
+    }
+    eprintln!(
+        "plan-lint: {} fixture{} checked, {failed} failed ({} mode)",
+        results.len(),
+        if results.len() == 1 { "" } else { "s" },
+        if deny { "deny-errors" } else { "expectation" },
+    );
+    if failed > 0 || results.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

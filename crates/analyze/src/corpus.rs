@@ -1,0 +1,161 @@
+//! SQL fixture corpus support: the catalog fixtures plan against, expected-
+//! diagnostic headers, and the runner shared by the golden tests and the
+//! `plan-lint` binary.
+//!
+//! A fixture is a `.sql` file whose leading comment lines declare what the
+//! analyzer must report:
+//!
+//! ```sql
+//! -- expect: SSQL001
+//! SELECT STREAM ...
+//! ```
+//!
+//! `-- expect: clean` (or no header) means zero diagnostics. Multiple codes
+//! may be comma-separated or repeated on separate `-- expect:` lines; the
+//! fixture's emitted code multiset must match exactly.
+
+use crate::{analyze_sql, Diagnostics};
+use samzasql_planner::{Catalog, Planner};
+use samzasql_serde::Schema;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The catalog fixtures plan against: the paper's evaluation relations
+/// (§6) with declared partition keys so the alignment pass has provenance.
+pub fn paper_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register_stream(
+        "Orders",
+        "orders",
+        Schema::record(
+            "Orders",
+            vec![
+                ("rowtime", Schema::Timestamp),
+                ("productId", Schema::Int),
+                ("units", Schema::Int),
+            ],
+        ),
+        "rowtime",
+    )
+    .expect("register Orders");
+    c.set_partition_key("Orders", "productId")
+        .expect("Orders key");
+    c.register_table(
+        "Products",
+        "products-changelog",
+        Schema::record(
+            "Products",
+            vec![
+                ("productId", Schema::Int),
+                ("name", Schema::String),
+                ("supplierId", Schema::Int),
+            ],
+        ),
+    )
+    .expect("register Products");
+    c.set_partition_key("Products", "productId")
+        .expect("Products key");
+    for name in ["PacketsR1", "PacketsR2"] {
+        c.register_stream(
+            name,
+            name.to_ascii_lowercase(),
+            Schema::record(
+                name,
+                vec![
+                    ("rowtime", Schema::Timestamp),
+                    ("sourcetime", Schema::Long),
+                    ("packetId", Schema::Int),
+                ],
+            ),
+            "rowtime",
+        )
+        .unwrap_or_else(|_| panic!("register {name}"));
+    }
+    c
+}
+
+/// A planner over [`paper_catalog`], without gating checks (the corpus
+/// deliberately contains Error-bearing statements).
+pub fn paper_planner() -> Planner {
+    Planner::new(paper_catalog())
+}
+
+/// Expected codes parsed from `-- expect:` headers. Empty means clean.
+pub fn parse_expectations(src: &str) -> Vec<String> {
+    let mut codes = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("-- expect:") else {
+            continue;
+        };
+        for item in rest.split(',') {
+            let item = item.trim();
+            if item.is_empty() || item.eq_ignore_ascii_case("clean") {
+                continue;
+            }
+            codes.push(item.to_string());
+        }
+    }
+    codes.sort();
+    codes
+}
+
+/// The statement text with comment lines removed (the lexer does not skip
+/// `--` comments; fixtures keep their headers out of the parser's view).
+pub fn strip_comments(src: &str) -> String {
+    src.lines()
+        .filter(|l| !l.trim_start().starts_with("--"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// One fixture's outcome.
+#[derive(Debug)]
+pub struct FixtureResult {
+    pub path: PathBuf,
+    /// Codes the header demands (sorted).
+    pub expected: Vec<String>,
+    /// Codes the analyzer emitted (sorted).
+    pub actual: Vec<String>,
+    /// Full diagnostics, for rendering.
+    pub diagnostics: Diagnostics,
+}
+
+impl FixtureResult {
+    /// True when emitted codes match the header exactly (as multisets).
+    pub fn matches(&self) -> bool {
+        self.expected == self.actual
+    }
+}
+
+/// Run a single fixture file against a planner.
+pub fn run_fixture(planner: &Planner, path: &Path) -> std::io::Result<FixtureResult> {
+    let src = fs::read_to_string(path)?;
+    let expected = parse_expectations(&src);
+    let sql = strip_comments(&src);
+    let diagnostics = analyze_sql(planner, sql.trim());
+    let mut actual: Vec<String> = diagnostics.codes().iter().map(|c| c.to_string()).collect();
+    actual.sort();
+    Ok(FixtureResult {
+        path: path.to_path_buf(),
+        expected,
+        actual,
+        diagnostics,
+    })
+}
+
+/// Run every `.sql` file under `dir` (sorted for stable output).
+pub fn run_corpus(planner: &Planner, dir: &Path) -> std::io::Result<Vec<FixtureResult>> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sql"))
+        .collect();
+    files.sort();
+    files.iter().map(|p| run_fixture(planner, p)).collect()
+}
+
+/// The corpus directory committed with this crate.
+pub fn default_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}

@@ -1,0 +1,490 @@
+//! The structured diagnostics engine.
+//!
+//! Every finding the analyzer (or the planner front end, routed through
+//! [`Diagnostic::from_plan_error`]) reports is a [`Diagnostic`]: a stable
+//! code, a severity, a message, a span into the original SQL text, and an
+//! optional fix hint. [`Diagnostics`] collects them per statement and knows
+//! how to render rustc-style text for humans and line-oriented JSON for
+//! machines.
+
+use samzasql_planner::PlanError;
+use std::fmt;
+
+/// Stable diagnostic codes. `SSQL0xx` are analyzer passes, `SSQL1xx` are
+/// planner front-end errors routed through the diagnostics engine so
+/// EXPLAIN/ANALYZE and plan errors render identically.
+pub mod codes {
+    /// Partition-alignment / key-provenance violations.
+    pub const PARTITION_MISALIGNED: &str = "SSQL001";
+    /// Operator state grows without bound.
+    pub const UNBOUNDED_STATE: &str = "SSQL002";
+    /// Physical type-flow re-verification failed (optimizer self-check).
+    pub const TYPE_FLOW: &str = "SSQL003";
+    /// Window sanity: advance > size, zero-width or empty windows.
+    pub const WINDOW_SANITY: &str = "SSQL004";
+    /// Columns deserialized but never referenced.
+    pub const DEAD_COLUMNS: &str = "SSQL005";
+
+    /// SQL failed to parse.
+    pub const PARSE: &str = "SSQL100";
+    /// Unknown stream/table/view.
+    pub const UNKNOWN_RELATION: &str = "SSQL101";
+    /// Unknown column.
+    pub const UNKNOWN_COLUMN: &str = "SSQL102";
+    /// Ambiguous unqualified column.
+    pub const AMBIGUOUS_COLUMN: &str = "SSQL103";
+    /// Expression type error.
+    pub const TYPE_ERROR: &str = "SSQL104";
+    /// Valid SQL this engine does not support.
+    pub const UNSUPPORTED: &str = "SSQL105";
+    /// Semantic violation.
+    pub const SEMANTIC: &str = "SSQL106";
+    /// Catalog problem.
+    pub const CATALOG: &str = "SSQL107";
+    /// Analysis re-entry (an Error-bearing plan reached planning again).
+    pub const ANALYSIS: &str = "SSQL108";
+}
+
+/// Diagnostic severity, ordered most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The plan must not run; planning aborts.
+    Error,
+    /// The plan runs but is probably not what the author meant.
+    Warning,
+    /// Informational.
+    Note,
+}
+
+impl Severity {
+    /// Lowercase label used in renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// A byte range into the original SQL text, with 1-based line/column of its
+/// start. Every diagnostic carries one — errors that cannot be localized
+/// span the whole statement rather than going spanless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first spanned byte.
+    pub start: usize,
+    /// Byte offset one past the last spanned byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub column: u32,
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+impl Span {
+    /// Span over `start..end` of `sql`, computing line/column.
+    pub fn at(sql: &str, start: usize, end: usize) -> Span {
+        let start = start.min(sql.len());
+        let end = end.clamp(start, sql.len());
+        let prefix = &sql[..start];
+        let line = prefix.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+        let column = (start - prefix.rfind('\n').map_or(0, |p| p + 1)) as u32 + 1;
+        Span {
+            start,
+            end,
+            line,
+            column,
+        }
+    }
+
+    /// Span over the whole (trimmed) statement — the fallback when a
+    /// diagnostic cannot be localized to an identifier.
+    pub fn whole(sql: &str) -> Span {
+        let start = sql.len() - sql.trim_start().len();
+        let end = start + sql.trim().len();
+        Span::at(sql, start, end.max(start))
+    }
+
+    /// Best-effort location of `needle` in `sql`: case-insensitive, on
+    /// identifier boundaries, skipping string literals. Qualified names
+    /// (`Orders.productId`) match as written; a bare column name also
+    /// matches the tail of a qualified occurrence.
+    pub fn locate(sql: &str, needle: &str) -> Option<Span> {
+        if needle.is_empty() {
+            return None;
+        }
+        let hay = sql.as_bytes();
+        let lower_sql = sql.to_ascii_lowercase();
+        let lower_needle = needle.to_ascii_lowercase();
+        let n = lower_needle.len();
+        let mut in_string = false;
+        let mut i = 0;
+        while i + n <= hay.len() {
+            if hay[i] == b'\'' {
+                in_string = !in_string;
+                i += 1;
+                continue;
+            }
+            if !in_string && lower_sql[i..].starts_with(lower_needle.as_str()) {
+                let before_ok = i == 0 || !is_ident_char(hay[i - 1]);
+                let after_ok = i + n >= hay.len() || !is_ident_char(hay[i + n]);
+                if before_ok && after_ok {
+                    return Some(Span::at(sql, i, i + n));
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Locate `needle`, falling back to the whole statement.
+    pub fn locate_or_whole(sql: &str, needle: &str) -> Span {
+        Span::locate(sql, needle).unwrap_or_else(|| Span::whole(sql))
+    }
+
+    /// Span starting at a 1-based line/column (as reported by the parser),
+    /// extending to the end of the offending token.
+    pub fn from_line_col(sql: &str, line: u32, column: u32) -> Span {
+        let mut offset = 0usize;
+        for (ln, text) in sql.split('\n').enumerate() {
+            if ln as u32 + 1 == line {
+                let col = (column.max(1) as usize - 1).min(text.len());
+                let start = offset + col;
+                let rest = &sql.as_bytes()[start..];
+                let len = rest
+                    .iter()
+                    .take_while(|&&b| is_ident_char(b))
+                    .count()
+                    .max(1)
+                    .min(sql.len() - start);
+                return Span::at(sql, start, start + len);
+            }
+            offset += text.len() + 1;
+        }
+        Span::whole(sql)
+    }
+}
+
+/// One analyzer or planner finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code from [`codes`].
+    pub code: &'static str,
+    pub severity: Severity,
+    /// One-line statement of the problem.
+    pub message: String,
+    /// Location in the original SQL text.
+    pub span: Span,
+    /// Suggested fix, when the analyzer can name one.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Route a planner front-end error through the diagnostics engine so
+    /// plan errors and ANALYZE output render identically, always with a
+    /// real span.
+    pub fn from_plan_error(sql: &str, err: &PlanError) -> Diagnostic {
+        let (code, span) = match err {
+            PlanError::Parse(p) => (codes::PARSE, Span::from_line_col(sql, p.line, p.column)),
+            PlanError::UnknownRelation(_) => (codes::UNKNOWN_RELATION, hint_span(sql, err)),
+            PlanError::UnknownColumn { .. } => (codes::UNKNOWN_COLUMN, hint_span(sql, err)),
+            PlanError::AmbiguousColumn(_) => (codes::AMBIGUOUS_COLUMN, hint_span(sql, err)),
+            PlanError::Type(_) => (codes::TYPE_ERROR, Span::whole(sql)),
+            PlanError::Unsupported(_) => (codes::UNSUPPORTED, Span::whole(sql)),
+            PlanError::Semantic(_) => (codes::SEMANTIC, Span::whole(sql)),
+            PlanError::Catalog(_) => (codes::CATALOG, Span::whole(sql)),
+            PlanError::Analysis(_) => (codes::ANALYSIS, Span::whole(sql)),
+        };
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: err.to_string(),
+            span,
+            hint: None,
+        }
+    }
+
+    fn render_json_into(&self, out: &mut String) {
+        out.push_str("{\"code\":");
+        json_string(self.code, out);
+        out.push_str(",\"severity\":");
+        json_string(self.severity.label(), out);
+        out.push_str(",\"message\":");
+        json_string(&self.message, out);
+        out.push_str(&format!(
+            ",\"span\":{{\"start\":{},\"end\":{},\"line\":{},\"column\":{}}}",
+            self.span.start, self.span.end, self.span.line, self.span.column
+        ));
+        if let Some(h) = &self.hint {
+            out.push_str(",\"hint\":");
+            json_string(h, out);
+        }
+        out.push('}');
+    }
+}
+
+fn hint_span(sql: &str, err: &PlanError) -> Span {
+    match err.span_hint() {
+        Some(ident) => Span::locate(sql, ident)
+            .or_else(|| {
+                // A qualified name may appear unqualified (or vice versa);
+                // retry with the last path segment.
+                Span::locate(sql, ident.rsplit('.').next().unwrap_or(ident))
+            })
+            .unwrap_or_else(|| Span::whole(sql)),
+        None => Span::whole(sql),
+    }
+}
+
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// All diagnostics for one statement, with the SQL they point into.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    sql: String,
+    diags: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn new(sql: &str) -> Diagnostics {
+        Diagnostics {
+            sql: sql.to_string(),
+            diags: Vec::new(),
+        }
+    }
+
+    /// The SQL text the spans index into.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Convenience: push a new diagnostic from parts.
+    pub fn report(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        span: Span,
+        message: impl Into<String>,
+        hint: Option<String>,
+    ) {
+        self.push(Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span,
+            hint,
+        });
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// All codes, in emission order (for golden tests).
+    pub fn codes(&self) -> Vec<&'static str> {
+        self.diags.iter().map(|d| d.code).collect()
+    }
+
+    /// Sort most-severe-first, keeping emission order within a severity.
+    pub fn sort(&mut self) {
+        self.diags.sort_by_key(|d| d.severity);
+    }
+
+    /// Rustc-style human rendering: message, source line, caret underline,
+    /// and fix hint per diagnostic.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&format!(
+                "{}[{}]: {}\n",
+                d.severity.label(),
+                d.code,
+                d.message
+            ));
+            let line_text = self
+                .sql
+                .split('\n')
+                .nth(d.span.line as usize - 1)
+                .unwrap_or("");
+            let gutter = format!("{:>4}", d.span.line);
+            out.push_str(&format!(
+                "{} --> line {}, column {}\n",
+                " ".repeat(gutter.len()),
+                d.span.line,
+                d.span.column
+            ));
+            out.push_str(&format!("{gutter} | {line_text}\n"));
+            let col = d.span.column as usize - 1;
+            // Underline within this line only; multi-line spans underline to
+            // the end of the first line.
+            let span_on_line = (d.span.end - d.span.start).min(line_text.len().saturating_sub(col));
+            let carets = "^".repeat(span_on_line.max(1));
+            out.push_str(&format!(
+                "{} | {}{}\n",
+                " ".repeat(gutter.len()),
+                " ".repeat(col),
+                carets
+            ));
+            if let Some(h) = &d.hint {
+                out.push_str(&format!("{} = help: {}\n", " ".repeat(gutter.len()), h));
+            }
+        }
+        if !self.diags.is_empty() {
+            out.push_str(&format!("{self}\n"));
+        }
+        out
+    }
+
+    /// Machine-readable rendering: one JSON object per line.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            d.render_json_into(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    /// One-line summary: `2 errors, 1 warning`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let e = self.error_count();
+        let w = self.warning_count();
+        let n = self.len() - e - w;
+        let mut parts = Vec::new();
+        if e > 0 {
+            parts.push(format!("{e} error{}", if e == 1 { "" } else { "s" }));
+        }
+        if w > 0 {
+            parts.push(format!("{w} warning{}", if w == 1 { "" } else { "s" }));
+        }
+        if n > 0 {
+            parts.push(format!("{n} note{}", if n == 1 { "" } else { "s" }));
+        }
+        if parts.is_empty() {
+            write!(f, "no diagnostics")
+        } else {
+            write!(f, "{}", parts.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_is_case_insensitive_and_word_bounded() {
+        let sql = "SELECT STREAM units FROM Orders WHERE units > 50";
+        let s = Span::locate(sql, "orders").unwrap();
+        assert_eq!(&sql[s.start..s.end], "Orders");
+        assert_eq!((s.line, s.column), (1, 26));
+        // "unit" must not match inside "units".
+        assert!(Span::locate(sql, "unit").is_none());
+    }
+
+    #[test]
+    fn locate_skips_string_literals() {
+        let sql = "SELECT 'Orders' FROM Orders";
+        let s = Span::locate(sql, "Orders").unwrap();
+        assert_eq!(s.start, 21);
+    }
+
+    #[test]
+    fn whole_span_trims_whitespace() {
+        let s = Span::whole("  SELECT 1  ");
+        assert_eq!((s.start, s.end), (2, 10));
+    }
+
+    #[test]
+    fn from_line_col_spans_the_token() {
+        let sql = "SELECT *\nFROM Nowhere";
+        let s = Span::from_line_col(sql, 2, 6);
+        assert_eq!(&sql[s.start..s.end], "Nowhere");
+    }
+
+    #[test]
+    fn render_shows_caret_and_hint() {
+        let sql = "SELECT units FROM Orders";
+        let mut d = Diagnostics::new(sql);
+        d.report(
+            codes::DEAD_COLUMNS,
+            Severity::Warning,
+            Span::locate(sql, "Orders").unwrap(),
+            "demo",
+            Some("do the thing".into()),
+        );
+        let text = d.render();
+        assert!(text.contains("warning[SSQL005]: demo"), "{text}");
+        assert!(text.contains("^^^^^^"), "{text}");
+        assert!(text.contains("= help: do the thing"), "{text}");
+        assert!(text.contains("1 warning"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let sql = "SELECT 1";
+        let mut d = Diagnostics::new(sql);
+        d.report(
+            codes::TYPE_FLOW,
+            Severity::Error,
+            Span::whole(sql),
+            "has \"quotes\"\nand newline",
+            None,
+        );
+        let json = d.render_json();
+        assert!(json.contains("\\\"quotes\\\""), "{json}");
+        assert!(json.contains("\\n"), "{json}");
+        assert!(json.contains("\"code\":\"SSQL003\""), "{json}");
+    }
+}

@@ -1,0 +1,202 @@
+//! # samzasql-analyze
+//!
+//! Static plan analysis for SamzaSQL: a multi-pass linter over the planner's
+//! logical **and** physical plans, built on a structured diagnostics engine
+//! (stable `SSQL…` codes, severities, SQL source spans, machine-readable
+//! rendering). It is the pipeline stage between optimization and submission:
+//!
+//! ```text
+//! parse ─▶ validate ─▶ optimize ─▶ to_physical ─▶ ANALYZE ─▶ submit
+//! ```
+//!
+//! A query that survives the validator can still compile into a physical
+//! plan that is silently wrong at scale — a join whose probe side is not
+//! co-partitioned with its cache, a window whose state grows without bound,
+//! an optimizer rewrite that left a stale type. Calcite guards this class of
+//! bug with post-optimization plan validity checks; these passes are that
+//! layer for SamzaSQL:
+//!
+//! | code      | pass                                         | severity |
+//! |-----------|----------------------------------------------|----------|
+//! | `SSQL001` | partition alignment / key provenance         | Error    |
+//! | `SSQL002` | unbounded state (joins, windows, GROUP BY)   | Error/Warning |
+//! | `SSQL003` | physical type-flow re-verification           | Error    |
+//! | `SSQL004` | window sanity (advance > size, zero width)   | Error/Warning |
+//! | `SSQL005` | dead columns (decoded but never referenced)  | Warning  |
+//!
+//! `SSQL1xx` codes route the planner front end's own errors through the same
+//! diagnostics type so EXPLAIN/ANALYZE output and plan errors render
+//! identically, every one with a real source span.
+//!
+//! Wiring: [`GatingAnalyzer`] implements the planner's
+//! [`PlanCheck`](samzasql_planner::PlanCheck) hook (deny-by-default — Error
+//! diagnostics abort planning before any job exists, warnings attach to the
+//! plan as lints); the shell's `ANALYZE <sql>` command pretty-prints
+//! diagnostics; the `plan-lint` binary runs a SQL corpus for CI.
+
+pub mod corpus;
+pub mod diag;
+pub mod passes;
+
+pub use diag::{codes, Diagnostic, Diagnostics, Severity, Span};
+
+use passes::AnalysisContext;
+use samzasql_planner::{Catalog, LogicalPlan, PhysicalPlan, PlanCheck, PlanError, PlannedQuery};
+use samzasql_planner::{Planner, Result as PlanResult};
+
+/// Analyze a planned query: all five passes over its logical and physical
+/// plans, plus a cross-plan consistency check.
+pub fn analyze_planned(planned: &PlannedQuery, catalog: &Catalog) -> Diagnostics {
+    let mut out = Diagnostics::new(&planned.sql);
+    let ctx = AnalysisContext {
+        sql: &planned.sql,
+        catalog,
+    };
+    run_physical_passes(&ctx, &planned.physical, &mut out);
+    passes::deadcol::run(&ctx, &planned.logical, &mut out);
+    check_plan_consistency(&ctx, &planned.logical, &planned.physical, &mut out);
+    out.sort();
+    out
+}
+
+/// Analyze a bare physical plan (no logical counterpart) — used by
+/// seeded-bug tests that hand-mutate plans the way a buggy rewrite would.
+pub fn analyze_physical(sql: &str, physical: &PhysicalPlan, catalog: &Catalog) -> Diagnostics {
+    let mut out = Diagnostics::new(sql);
+    let ctx = AnalysisContext { sql, catalog };
+    run_physical_passes(&ctx, physical, &mut out);
+    out.sort();
+    out
+}
+
+/// Plan (unchecked) and analyze one statement. Planner front-end errors are
+/// routed through the diagnostics engine instead of surfacing as `Err`, so
+/// ANALYZE renders parse/validation failures and analyzer findings
+/// identically.
+pub fn analyze_sql(planner: &Planner, sql: &str) -> Diagnostics {
+    match planner.plan_unchecked(sql) {
+        Ok(planned) => analyze_planned(&planned, planner.catalog()),
+        Err(err) => {
+            let mut out = Diagnostics::new(sql);
+            out.push(Diagnostic::from_plan_error(sql, &err));
+            out
+        }
+    }
+}
+
+fn run_physical_passes(ctx: &AnalysisContext<'_>, plan: &PhysicalPlan, out: &mut Diagnostics) {
+    passes::partition::run(ctx, plan, out);
+    passes::state::run(ctx, plan, out);
+    passes::typeflow::run(ctx, plan, out);
+    passes::window::run(ctx, plan, out);
+}
+
+/// Optimizer self-check across layers: physical conversion must preserve the
+/// logical plan's output row shape exactly.
+fn check_plan_consistency(
+    ctx: &AnalysisContext<'_>,
+    logical: &LogicalPlan,
+    physical: &PhysicalPlan,
+    out: &mut Diagnostics,
+) {
+    if logical.output_types() != physical.output_types()
+        || logical.output_names() != physical.output_names()
+    {
+        out.report(
+            codes::TYPE_FLOW,
+            Severity::Error,
+            Span::whole(ctx.sql),
+            format!(
+                "physical plan output ({:?}) does not match the logical plan output \
+                 ({:?}); physical conversion changed the row shape",
+                physical.output_names(),
+                logical.output_names()
+            ),
+            None,
+        );
+    }
+}
+
+/// The deny-by-default [`PlanCheck`] installed into the shell's planner.
+///
+/// Error diagnostics abort planning (no job can be created from the plan);
+/// Warning/Note diagnostics become one-line lints on
+/// [`PlannedQuery::lints`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GatingAnalyzer;
+
+impl PlanCheck for GatingAnalyzer {
+    fn name(&self) -> &str {
+        "samzasql-analyze"
+    }
+
+    fn check(&self, planned: &PlannedQuery, catalog: &Catalog) -> PlanResult<Vec<String>> {
+        let diags = analyze_planned(planned, catalog);
+        if diags.has_errors() {
+            return Err(PlanError::Analysis(diags.render()));
+        }
+        Ok(diags
+            .iter()
+            .map(|d| {
+                format!(
+                    "[{}] {}{}",
+                    d.code,
+                    d.message,
+                    d.hint
+                        .as_deref()
+                        .map(|h| format!(" (help: {h})"))
+                        .unwrap_or_default()
+                )
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn gating_analyzer_blocks_error_bearing_plans() {
+        let mut planner = Planner::new(corpus::paper_catalog());
+        planner.add_check(Arc::new(GatingAnalyzer));
+        // Group keys exclude the declared partition key (productId): SSQL001.
+        let err = planner
+            .plan(
+                "SELECT STREAM units, COUNT(*) AS c FROM Orders \
+                 GROUP BY TUMBLE(rowtime, INTERVAL '1' MINUTE), units",
+            )
+            .unwrap_err();
+        match err {
+            PlanError::Analysis(msg) => assert!(msg.contains("SSQL001"), "{msg}"),
+            other => panic!("expected Analysis error, got {other:?}"),
+        }
+        // plan_unchecked still returns the plan for inspection.
+        assert!(planner
+            .plan_unchecked(
+                "SELECT STREAM units, COUNT(*) AS c FROM Orders \
+                 GROUP BY TUMBLE(rowtime, INTERVAL '1' MINUTE), units",
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn gating_analyzer_attaches_lints_on_clean_plans() {
+        let mut planner = Planner::new(corpus::paper_catalog());
+        planner.add_check(Arc::new(GatingAnalyzer));
+        // `units` is never referenced: SSQL005 warning, not an error.
+        let planned = planner
+            .plan("SELECT STREAM rowtime, productId FROM Orders")
+            .unwrap();
+        assert!(
+            planned.lints.iter().any(|l| l.contains("SSQL005")),
+            "{:?}",
+            planned.lints
+        );
+        assert!(
+            planned.warnings.is_empty(),
+            "lints must not leak into warnings"
+        );
+    }
+}

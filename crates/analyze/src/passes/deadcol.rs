@@ -1,0 +1,178 @@
+//! Pass 5 (SSQL005): dead-column lint.
+//!
+//! Every scanned column is deserialized from Avro for every message (§5.1
+//! represents tuples as full arrays), so columns nothing downstream reads are
+//! pure decode cost. This pass runs over the **logical** plan (scans still
+//! carry their object names there, which makes for better spans and fix
+//! hints), propagating a required-column set top-down and warning at each
+//! scan whose columns are never referenced. The stream's event-time column is
+//! exempt: the runtime needs it even when the query never mentions it.
+
+use super::AnalysisContext;
+use crate::diag::{codes, Diagnostics, Severity, Span};
+use samzasql_planner::LogicalPlan;
+
+pub fn run(ctx: &AnalysisContext<'_>, plan: &LogicalPlan, out: &mut Diagnostics) {
+    let all = vec![true; plan.output_names().len()];
+    mark(ctx, plan, &all, out);
+}
+
+fn req(required: &[bool], i: usize) -> bool {
+    required.get(i).copied().unwrap_or(true)
+}
+
+fn mark(ctx: &AnalysisContext<'_>, plan: &LogicalPlan, required: &[bool], out: &mut Diagnostics) {
+    match plan {
+        LogicalPlan::Scan {
+            object,
+            names,
+            ts_index,
+            ..
+        } => {
+            let dead: Vec<String> = names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !req(required, *i) && Some(*i) != *ts_index)
+                .map(|(_, n)| n.clone())
+                .collect();
+            if dead.is_empty() {
+                return;
+            }
+            let used: Vec<String> = names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| req(required, *i) || Some(*i) == *ts_index)
+                .map(|(_, n)| n.clone())
+                .collect();
+            let plural = if dead.len() == 1 { "column" } else { "columns" };
+            out.report(
+                codes::DEAD_COLUMNS,
+                Severity::Warning,
+                Span::locate_or_whole(ctx.sql, object),
+                format!(
+                    "{plural} `{}` of `{object}` {} deserialized for every row but never \
+                     referenced by the query",
+                    dead.join("`, `"),
+                    if dead.len() == 1 { "is" } else { "are" },
+                ),
+                Some(format!(
+                    "project only what the query needs at the source: \
+                     `SELECT {} FROM {object}`",
+                    used.join(", ")
+                )),
+            );
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut r = resize(required, input.arity());
+            for i in predicate.input_refs() {
+                set(&mut r, i);
+            }
+            mark(ctx, input, &r, out);
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let mut r = vec![false; input.arity()];
+            for (j, e) in exprs.iter().enumerate() {
+                if req(required, j) {
+                    for i in e.input_refs() {
+                        set(&mut r, i);
+                    }
+                }
+            }
+            mark(ctx, input, &r, out);
+        }
+        LogicalPlan::Aggregate {
+            input,
+            window,
+            keys,
+            aggs,
+            ..
+        } => {
+            // Aggregation state consumes keys, agg arguments, and the window
+            // timestamp regardless of which outputs survive upstream.
+            let mut r = vec![false; input.arity()];
+            for k in keys {
+                for i in k.input_refs() {
+                    set(&mut r, i);
+                }
+            }
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    for i in arg.input_refs() {
+                        set(&mut r, i);
+                    }
+                }
+            }
+            match window {
+                samzasql_planner::GroupWindow::None => {}
+                samzasql_planner::GroupWindow::Tumble { ts_index, .. }
+                | samzasql_planner::GroupWindow::Hop { ts_index, .. } => set(&mut r, *ts_index),
+            }
+            mark(ctx, input, &r, out);
+        }
+        LogicalPlan::SlidingWindow {
+            input,
+            partition_by,
+            ts_index,
+            aggs,
+            ..
+        } => {
+            // Output is input columns followed by one column per agg call.
+            let mut r = resize(required, input.arity());
+            for k in partition_by {
+                for i in k.input_refs() {
+                    set(&mut r, i);
+                }
+            }
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    for i in arg.input_refs() {
+                        set(&mut r, i);
+                    }
+                }
+            }
+            set(&mut r, *ts_index);
+            mark(ctx, input, &r, out);
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            equi,
+            time_bound,
+            residual,
+            ..
+        } => {
+            let ln = left.arity();
+            let mut lr = resize(required, ln);
+            let mut rr: Vec<bool> = (0..right.arity()).map(|i| req(required, ln + i)).collect();
+            for &(l, r) in equi {
+                set(&mut lr, l);
+                set(&mut rr, r);
+            }
+            if let Some(tb) = time_bound {
+                set(&mut lr, tb.left_ts);
+                set(&mut rr, tb.right_ts);
+            }
+            if let Some(res) = residual {
+                for i in res.input_refs() {
+                    if i < ln {
+                        set(&mut lr, i);
+                    } else {
+                        set(&mut rr, i - ln);
+                    }
+                }
+            }
+            mark(ctx, left, &lr, out);
+            mark(ctx, right, &rr, out);
+        }
+    }
+}
+
+fn set(v: &mut [bool], i: usize) {
+    if let Some(slot) = v.get_mut(i) {
+        *slot = true;
+    }
+}
+
+fn resize(required: &[bool], n: usize) -> Vec<bool> {
+    (0..n).map(|i| req(required, i)).collect()
+}

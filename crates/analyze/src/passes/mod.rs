@@ -1,0 +1,59 @@
+//! The analyzer passes.
+//!
+//! Each pass is a function over a plan tree pushing findings into a
+//! [`Diagnostics`](crate::diag::Diagnostics); `lib.rs` sequences them. The
+//! passes never panic and never mutate the plan — they are pure inspectors,
+//! runnable on plans the planner produced *or* on hand-mutated plans in
+//! seeded-bug tests.
+
+pub mod deadcol;
+pub mod partition;
+pub mod state;
+pub mod typeflow;
+pub mod window;
+
+use samzasql_planner::{Catalog, PhysicalPlan};
+
+/// Shared per-statement context handed to every pass.
+pub struct AnalysisContext<'a> {
+    /// The original SQL text spans index into.
+    pub sql: &'a str,
+    /// Catalog at planning time (partition keys, registry schemas).
+    pub catalog: &'a Catalog,
+}
+
+/// True when the subtree consumes at least one continuous (unbounded) scan.
+/// State-growth and partitioning findings only matter on continuous inputs;
+/// bounded historical scans drain and stop.
+pub fn is_continuous(plan: &PhysicalPlan) -> bool {
+    match plan {
+        PhysicalPlan::Scan { bounded, .. } => !bounded,
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::WindowAggregate { input, .. }
+        | PhysicalPlan::SlidingWindow { input, .. }
+        | PhysicalPlan::Repartition { input, .. } => is_continuous(input),
+        PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
+            is_continuous(left) || is_continuous(right)
+        }
+        PhysicalPlan::StreamToRelationJoin { stream, .. } => is_continuous(stream),
+    }
+}
+
+/// Visit every node of a physical plan, parents before children.
+pub fn walk_physical<'a>(plan: &'a PhysicalPlan, f: &mut dyn FnMut(&'a PhysicalPlan)) {
+    f(plan);
+    match plan {
+        PhysicalPlan::Scan { .. } => {}
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::WindowAggregate { input, .. }
+        | PhysicalPlan::SlidingWindow { input, .. }
+        | PhysicalPlan::Repartition { input, .. } => walk_physical(input, f),
+        PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
+            walk_physical(left, f);
+            walk_physical(right, f);
+        }
+        PhysicalPlan::StreamToRelationJoin { stream, .. } => walk_physical(stream, f),
+    }
+}

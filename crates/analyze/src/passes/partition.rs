@@ -1,0 +1,198 @@
+//! Pass 1 (SSQL001): partition-alignment / key-provenance.
+//!
+//! Samza gives a task only the co-partitioned slices of its input topics, so
+//! any stateful operator keyed on a column must consume a stream *partitioned*
+//! by that column. The planner inserts [`PhysicalPlan::Repartition`] where it
+//! detects a mismatch (`physical.rs`); this pass re-derives key provenance
+//! bottom-up from the catalog and **re-verifies** that decision instead of
+//! trusting it — a stripped or mis-keyed repartition stage is an Error here.
+//!
+//! Provenance is `None` when the producer never declared a partition key; the
+//! pass stays silent rather than guessing.
+
+use super::{is_continuous, walk_physical, AnalysisContext};
+use crate::diag::{codes, Diagnostics, Severity, Span};
+use samzasql_planner::{PhysicalPlan, ScalarExpr};
+
+pub fn run(ctx: &AnalysisContext<'_>, plan: &PhysicalPlan, out: &mut Diagnostics) {
+    walk_physical(plan, &mut |node| check_node(ctx, node, out));
+}
+
+fn key_is(expr: &ScalarExpr, index: usize) -> bool {
+    matches!(expr, ScalarExpr::InputRef { index: i, .. } if *i == index)
+}
+
+fn check_node(ctx: &AnalysisContext<'_>, node: &PhysicalPlan, out: &mut Diagnostics) {
+    match node {
+        PhysicalPlan::StreamToRelationJoin {
+            stream,
+            relation_topic,
+            relation_names,
+            relation_key,
+            equi,
+            ..
+        } => {
+            let Some(&(stream_key, _)) = equi.first() else {
+                return;
+            };
+            // Stream side: the probe key must be the stream's partition
+            // column, or the task-local relation cache misses rows that
+            // hashed to other tasks.
+            if let Some((idx, pcol)) = stream.partition_column(ctx.catalog) {
+                if idx != stream_key {
+                    let names = stream.output_names();
+                    let join_col = names
+                        .get(stream_key)
+                        .cloned()
+                        .unwrap_or_else(|| format!("#{stream_key}"));
+                    out.report(
+                        codes::PARTITION_MISALIGNED,
+                        Severity::Error,
+                        Span::locate_or_whole(ctx.sql, &join_col),
+                        format!(
+                            "stream side of the join is partitioned by `{pcol}` but probes \
+                             the relation on `{join_col}`; rows with equal join keys land on \
+                             different tasks and miss the task-local cache"
+                        ),
+                        Some(format!(
+                            "repartition the stream on `{join_col}` before the join (the \
+                             planner inserts a RepartitionOp for this; the plan is missing it)"
+                        )),
+                    );
+                }
+            }
+            // Relation side: the bootstrap cache is keyed by the declared
+            // table key; joining on any other column probes the wrong key.
+            if let Some(obj) = ctx.catalog.object_by_topic(relation_topic) {
+                if let Some(pk) = &obj.partition_key {
+                    let pk_idx = relation_names
+                        .iter()
+                        .position(|n| n.eq_ignore_ascii_case(pk));
+                    if let Some(pk_idx) = pk_idx {
+                        if pk_idx != *relation_key {
+                            let join_col = relation_names
+                                .get(*relation_key)
+                                .cloned()
+                                .unwrap_or_else(|| format!("#{relation_key}"));
+                            out.report(
+                                codes::PARTITION_MISALIGNED,
+                                Severity::Error,
+                                Span::locate_or_whole(ctx.sql, &join_col),
+                                format!(
+                                    "relation `{}` is keyed by `{pk}` but the join probes it \
+                                     on `{join_col}`; the bootstrap cache lookup would always \
+                                     miss",
+                                    obj.name
+                                ),
+                                Some(format!(
+                                    "join on `{pk}`, or declare `{join_col}` as the table's \
+                                     key when registering it"
+                                )),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        PhysicalPlan::StreamToStreamJoin {
+            left, right, equi, ..
+        } => {
+            // Symmetric join state is task-local: each side must arrive
+            // partitioned by (one of) its equi columns. The planner never
+            // repartitions stream-to-stream joins — this is exactly the kind
+            // of gap the analyzer exists to catch.
+            if equi.is_empty() {
+                return;
+            }
+            for (side, plan_side, pick) in [("left", left, 0usize), ("right", right, 1usize)] {
+                if let Some((idx, pcol)) = plan_side.partition_column(ctx.catalog) {
+                    let aligned = equi
+                        .iter()
+                        .any(|&(l, r)| if pick == 0 { l == idx } else { r == idx });
+                    if !aligned {
+                        let names = plan_side.output_names();
+                        let want = equi
+                            .iter()
+                            .map(|&(l, r)| {
+                                let i = if pick == 0 { l } else { r };
+                                names.get(i).cloned().unwrap_or_else(|| format!("#{i}"))
+                            })
+                            .collect::<Vec<_>>()
+                            .join("`, `");
+                        out.report(
+                            codes::PARTITION_MISALIGNED,
+                            Severity::Error,
+                            Span::locate_or_whole(ctx.sql, &want),
+                            format!(
+                                "{side} side of the stream-to-stream join is partitioned by \
+                                 `{pcol}` but joins on `{want}`; matching rows can be on \
+                                 different tasks and will never meet"
+                            ),
+                            Some(format!(
+                                "repartition the {side} input on `{want}` (stage it through \
+                                 a keyed topic) or partition the producer by `{want}`"
+                            )),
+                        );
+                    }
+                }
+            }
+        }
+        PhysicalPlan::WindowAggregate { input, keys, .. } => {
+            // Grouped streaming aggregation shards groups by task; the
+            // stream's partition column must be one of the group keys or a
+            // group's rows split across tasks and every task emits partial
+            // aggregates. Global aggregates (no keys) intentionally run
+            // per-task and are out of scope.
+            if keys.is_empty() || !is_continuous(input) {
+                return;
+            }
+            if let Some((idx, pcol)) = input.partition_column(ctx.catalog) {
+                if !keys.iter().any(|k| key_is(k, idx)) {
+                    out.report(
+                        codes::PARTITION_MISALIGNED,
+                        Severity::Error,
+                        Span::locate_or_whole(ctx.sql, "GROUP BY"),
+                        format!(
+                            "grouped streaming aggregation over a stream partitioned by \
+                             `{pcol}`, but `{pcol}` is not among the group keys; each \
+                             group's rows are split across tasks and the aggregate is \
+                             computed per-task, not per-group"
+                        ),
+                        Some(format!(
+                            "include `{pcol}` in GROUP BY, or repartition the stream on \
+                             the group key before aggregating"
+                        )),
+                    );
+                }
+            }
+        }
+        PhysicalPlan::SlidingWindow {
+            input,
+            partition_by,
+            ..
+        } => {
+            if partition_by.is_empty() || !is_continuous(input) {
+                return;
+            }
+            if let Some((idx, pcol)) = input.partition_column(ctx.catalog) {
+                if !partition_by.iter().any(|k| key_is(k, idx)) {
+                    out.report(
+                        codes::PARTITION_MISALIGNED,
+                        Severity::Error,
+                        Span::locate_or_whole(ctx.sql, "PARTITION BY"),
+                        format!(
+                            "sliding window PARTITION BY does not include the stream's \
+                             partition column `{pcol}`; a window partition's rows are \
+                             spread over tasks and each task sees a partial window"
+                        ),
+                        Some(format!(
+                            "partition the window by `{pcol}`, or repartition the stream \
+                             on the window key"
+                        )),
+                    );
+                }
+            }
+        }
+        _ => {}
+    }
+}

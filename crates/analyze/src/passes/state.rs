@@ -1,0 +1,117 @@
+//! Pass 2 (SSQL002): unbounded-state detection.
+//!
+//! Continuous queries run forever, so any operator whose retention is not
+//! bounded by its window spec grows its task store without limit: an OVER
+//! frame with no preceding bound, a relational GROUP BY that never retires
+//! groups, or a join cache whose time bound overflows. Errors here are the
+//! "silently wrong at scale" class the paper's SQL layer is meant to prevent.
+
+use super::{is_continuous, walk_physical, AnalysisContext};
+use crate::diag::{codes, Diagnostics, Severity, Span};
+use samzasql_planner::{GroupWindow, PhysicalPlan, ScalarExpr};
+
+/// Join caches retaining more than a day of both streams get a warning even
+/// though they are technically bounded.
+const LARGE_RETENTION_MS: i64 = 24 * 3600 * 1000;
+
+pub fn run(ctx: &AnalysisContext<'_>, plan: &PhysicalPlan, out: &mut Diagnostics) {
+    walk_physical(plan, &mut |node| check_node(ctx, node, out));
+}
+
+fn check_node(ctx: &AnalysisContext<'_>, node: &PhysicalPlan, out: &mut Diagnostics) {
+    match node {
+        PhysicalPlan::SlidingWindow {
+            input,
+            range_ms: None,
+            rows: None,
+            ..
+        } if is_continuous(input) => {
+            out.report(
+                codes::UNBOUNDED_STATE,
+                Severity::Error,
+                Span::locate_or_whole(ctx.sql, "OVER"),
+                "OVER window with an unbounded frame on a continuous stream; the window \
+                 state retains every row ever seen"
+                    .to_string(),
+                Some(
+                    "bound the frame: `RANGE INTERVAL '…' PRECEDING` (time) or \
+                     `ROWS n PRECEDING` (count)"
+                        .into(),
+                ),
+            );
+        }
+        PhysicalPlan::WindowAggregate {
+            input,
+            window: GroupWindow::None,
+            keys,
+            ..
+        } if is_continuous(input) => {
+            // FLOOR(ts TO unit) keys retire naturally in event time (one
+            // group per unit); anything else accumulates groups forever.
+            let floored = keys
+                .iter()
+                .any(|k| matches!(k, ScalarExpr::FloorTime { .. }));
+            if floored {
+                out.report(
+                    codes::UNBOUNDED_STATE,
+                    Severity::Warning,
+                    Span::locate_or_whole(ctx.sql, "GROUP BY"),
+                    "relational GROUP BY over a continuous stream never retires group \
+                     state; the FLOOR(ts TO unit) key bounds growth per unit but old \
+                     groups are kept forever"
+                        .to_string(),
+                    Some("prefer `GROUP BY TUMBLE(ts, INTERVAL …)`, which expires windows".into()),
+                );
+            } else {
+                out.report(
+                    codes::UNBOUNDED_STATE,
+                    Severity::Error,
+                    Span::locate_or_whole(ctx.sql, "GROUP BY"),
+                    "relational GROUP BY over a continuous stream retains every group \
+                     forever; state grows without bound"
+                        .to_string(),
+                    Some(
+                        "group by a window — `TUMBLE(ts, INTERVAL …)` or `HOP(ts, …)` — \
+                         or by `FLOOR(ts TO unit)`"
+                            .into(),
+                    ),
+                );
+            }
+        }
+        PhysicalPlan::StreamToStreamJoin { time_bound, .. } => {
+            let lower = time_bound.lower_ms;
+            let upper = time_bound.upper_ms;
+            let retention = lower.checked_add(upper);
+            if lower == i64::MAX || upper == i64::MAX || retention.is_none() {
+                out.report(
+                    codes::UNBOUNDED_STATE,
+                    Severity::Error,
+                    Span::locate_or_whole(ctx.sql, "BETWEEN"),
+                    "unbounded join cache: the join's time bound does not limit how long \
+                     either side's rows are retained"
+                        .to_string(),
+                    Some(
+                        "use a finite sliding window in the join condition \
+                         (`a.ts BETWEEN b.ts - INTERVAL '…' AND b.ts + INTERVAL '…'`)"
+                            .into(),
+                    ),
+                );
+            } else if let Some(r) = retention {
+                if r > LARGE_RETENTION_MS {
+                    out.report(
+                        codes::UNBOUNDED_STATE,
+                        Severity::Warning,
+                        Span::locate_or_whole(ctx.sql, "BETWEEN"),
+                        format!(
+                            "join cache retains {:.1} hours of both streams in task-local \
+                             state",
+                            r as f64 / 3_600_000.0
+                        ),
+                        Some("narrow the join window if the use case allows".into()),
+                    );
+                }
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,421 @@
+//! Pass 3 (SSQL003): physical type-flow re-verification.
+//!
+//! The optimizer (`rules.rs`) rewrites expression trees — constant folding,
+//! predicate pushdown, projection merging — and a buggy rewrite can leave an
+//! `InputRef` pointing at the wrong column or carrying a stale type. In the
+//! spirit of Calcite's `RelNode.isValid`, this pass recomputes every node's
+//! schema bottom-up over the *optimized physical* plan and errors on any
+//! reference the rewritten tree no longer satisfies. The executor trusts
+//! recorded types ("downstream operators never re-infer"), so a mismatch
+//! here is a wrong answer or a decode panic at runtime, not a compile error.
+
+use super::AnalysisContext;
+use crate::diag::{codes, Diagnostics, Severity, Span};
+use samzasql_planner::{PhysicalPlan, ScalarExpr};
+use samzasql_serde::Schema;
+
+pub fn run(ctx: &AnalysisContext<'_>, plan: &PhysicalPlan, out: &mut Diagnostics) {
+    check(ctx, plan, out);
+}
+
+/// Strip `Optional` wrappers for comparison; nullability does not change
+/// which column a ref reads.
+fn base(s: &Schema) -> &Schema {
+    match s {
+        Schema::Optional(inner) => base(inner),
+        other => other,
+    }
+}
+
+/// Type compatibility for re-verification: equal modulo nullability, with
+/// Timestamp/Long interchangeable (timestamps encode as longs).
+fn compat(declared: &Schema, actual: &Schema) -> bool {
+    let (d, a) = (base(declared), base(actual));
+    d == a
+        || matches!(
+            (d, a),
+            (Schema::Timestamp, Schema::Long) | (Schema::Long, Schema::Timestamp)
+        )
+}
+
+/// True when a column of this type can carry an event timestamp.
+fn time_like(s: &Schema) -> bool {
+    matches!(base(s), Schema::Timestamp | Schema::Long)
+}
+
+fn whole_or(ctx: &AnalysisContext<'_>, needle: &str) -> Span {
+    Span::locate_or_whole(ctx.sql, needle)
+}
+
+/// Verify every `InputRef` in `expr` against the recomputed input schema.
+fn verify_expr(
+    ctx: &AnalysisContext<'_>,
+    expr: &ScalarExpr,
+    input_names: &[String],
+    input_types: &[Schema],
+    site: &str,
+    out: &mut Diagnostics,
+) {
+    expr.visit(&mut |e| {
+        if let ScalarExpr::InputRef { index, ty } = e {
+            match input_types.get(*index) {
+                None => out.report(
+                    codes::TYPE_FLOW,
+                    Severity::Error,
+                    Span::whole(ctx.sql),
+                    format!(
+                        "{site} references input column #{index}, but its input has only \
+                         {} columns — an optimizer rewrite left a dangling reference",
+                        input_types.len()
+                    ),
+                    None,
+                ),
+                Some(actual) => {
+                    if !compat(ty, actual) {
+                        let name = input_names
+                            .get(*index)
+                            .cloned()
+                            .unwrap_or_else(|| format!("#{index}"));
+                        out.report(
+                            codes::TYPE_FLOW,
+                            Severity::Error,
+                            whole_or(ctx, &name),
+                            format!(
+                                "{site} reads column `{name}` as {ty:?}, but the input \
+                                 produces {actual:?}; the recorded type is stale"
+                            ),
+                            None,
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Recompute this node's output types bottom-up, reporting any mismatch.
+fn check(ctx: &AnalysisContext<'_>, plan: &PhysicalPlan, out: &mut Diagnostics) -> Vec<Schema> {
+    match plan {
+        PhysicalPlan::Scan {
+            topic,
+            names,
+            types,
+            ..
+        } => {
+            // Re-verify the scan against the schema registry when the topic
+            // has a registered record schema.
+            if let Ok(reg) = ctx.catalog.registry().latest(&format!("{topic}-value")) {
+                if let Schema::Record { fields, .. } = &reg.schema {
+                    if fields.len() == names.len() {
+                        for (i, f) in fields.iter().enumerate() {
+                            if !compat(&types[i], &f.schema) {
+                                out.report(
+                                    codes::TYPE_FLOW,
+                                    Severity::Error,
+                                    whole_or(ctx, &names[i]),
+                                    format!(
+                                        "scan of `{topic}` declares column `{}` as {:?} but \
+                                         the registry schema says {:?}",
+                                        names[i], types[i], f.schema
+                                    ),
+                                    None,
+                                );
+                            }
+                        }
+                    } else {
+                        out.report(
+                            codes::TYPE_FLOW,
+                            Severity::Error,
+                            Span::whole(ctx.sql),
+                            format!(
+                                "scan of `{topic}` declares {} columns but the registry \
+                                 schema has {}",
+                                names.len(),
+                                fields.len()
+                            ),
+                            None,
+                        );
+                    }
+                }
+            }
+            types.clone()
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let names = input.output_names();
+            let tys = check(ctx, input, out);
+            verify_expr(ctx, predicate, &names, &tys, "filter predicate", out);
+            if base(&predicate.ty()) != &Schema::Boolean {
+                out.report(
+                    codes::TYPE_FLOW,
+                    Severity::Error,
+                    whole_or(ctx, "WHERE"),
+                    format!(
+                        "filter predicate has type {:?}, expected BOOLEAN",
+                        predicate.ty()
+                    ),
+                    None,
+                );
+            }
+            tys
+        }
+        PhysicalPlan::Project { input, exprs, .. } => {
+            let names = input.output_names();
+            let tys = check(ctx, input, out);
+            for e in exprs {
+                verify_expr(ctx, e, &names, &tys, "projection", out);
+            }
+            exprs.iter().map(|e| e.ty()).collect()
+        }
+        PhysicalPlan::WindowAggregate {
+            input,
+            window,
+            keys,
+            aggs,
+            ..
+        } => {
+            let names = input.output_names();
+            let tys = check(ctx, input, out);
+            for k in keys {
+                verify_expr(ctx, k, &names, &tys, "group key", out);
+            }
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    verify_expr(ctx, arg, &names, &tys, "aggregate argument", out);
+                }
+            }
+            if let Some(ts) = window_ts_index(window) {
+                check_ts_column(ctx, ts, &names, &tys, "GROUP BY window", out);
+            }
+            let mut result: Vec<Schema> = keys.iter().map(|k| k.ty()).collect();
+            result.extend(aggs.iter().map(|a| a.result_type()));
+            result
+        }
+        PhysicalPlan::SlidingWindow {
+            input,
+            partition_by,
+            ts_index,
+            aggs,
+            ..
+        } => {
+            let names = input.output_names();
+            let tys = check(ctx, input, out);
+            for k in partition_by {
+                verify_expr(ctx, k, &names, &tys, "PARTITION BY key", out);
+            }
+            for a in aggs {
+                if let Some(arg) = &a.arg {
+                    verify_expr(ctx, arg, &names, &tys, "window aggregate argument", out);
+                }
+            }
+            check_ts_column(ctx, *ts_index, &names, &tys, "OVER window ORDER BY", out);
+            let mut result = tys;
+            result.extend(aggs.iter().map(|a| a.result_type()));
+            result
+        }
+        PhysicalPlan::StreamToStreamJoin {
+            left,
+            right,
+            equi,
+            time_bound,
+            residual,
+            ..
+        } => {
+            let lnames = left.output_names();
+            let rnames = right.output_names();
+            let ltys = check(ctx, left, out);
+            let rtys = check(ctx, right, out);
+            for &(l, r) in equi {
+                check_equi_pair(ctx, l, &lnames, &ltys, r, &rnames, &rtys, out);
+            }
+            check_ts_column(
+                ctx,
+                time_bound.left_ts,
+                &lnames,
+                &ltys,
+                "join time bound (left)",
+                out,
+            );
+            check_ts_column(
+                ctx,
+                time_bound.right_ts,
+                &rnames,
+                &rtys,
+                "join time bound (right)",
+                out,
+            );
+            let mut names = lnames;
+            names.extend(rnames);
+            let mut tys = ltys;
+            tys.extend(rtys);
+            if let Some(res) = residual {
+                verify_expr(ctx, res, &names, &tys, "join residual predicate", out);
+            }
+            tys
+        }
+        PhysicalPlan::StreamToRelationJoin {
+            stream,
+            relation_names,
+            relation_types,
+            relation_key,
+            equi,
+            stream_is_left,
+            residual,
+            ..
+        } => {
+            let snames = stream.output_names();
+            let stys = check(ctx, stream, out);
+            if *relation_key >= relation_types.len() {
+                out.report(
+                    codes::TYPE_FLOW,
+                    Severity::Error,
+                    Span::whole(ctx.sql),
+                    format!(
+                        "relation cache key #{relation_key} is out of range for a \
+                         {}-column relation",
+                        relation_types.len()
+                    ),
+                    None,
+                );
+            }
+            for &(s, r) in equi {
+                check_equi_pair(
+                    ctx,
+                    s,
+                    &snames,
+                    &stys,
+                    r,
+                    relation_names,
+                    relation_types,
+                    out,
+                );
+            }
+            let (mut names, mut tys) = if *stream_is_left {
+                (snames, stys)
+            } else {
+                (relation_names.clone(), relation_types.clone())
+            };
+            if *stream_is_left {
+                names.extend(relation_names.clone());
+                tys.extend(relation_types.clone());
+            } else {
+                names.extend(stream.output_names());
+                tys.extend(stream.output_types());
+            }
+            if let Some(res) = residual {
+                verify_expr(ctx, res, &names, &tys, "join residual predicate", out);
+            }
+            tys
+        }
+        PhysicalPlan::Repartition { input, key_index } => {
+            let tys = check(ctx, input, out);
+            if *key_index >= tys.len() {
+                out.report(
+                    codes::TYPE_FLOW,
+                    Severity::Error,
+                    Span::whole(ctx.sql),
+                    format!(
+                        "repartition key #{key_index} is out of range for a {}-column \
+                         input",
+                        tys.len()
+                    ),
+                    None,
+                );
+            }
+            tys
+        }
+    }
+}
+
+fn window_ts_index(window: &samzasql_planner::GroupWindow) -> Option<usize> {
+    match window {
+        samzasql_planner::GroupWindow::None => None,
+        samzasql_planner::GroupWindow::Tumble { ts_index, .. }
+        | samzasql_planner::GroupWindow::Hop { ts_index, .. } => Some(*ts_index),
+    }
+}
+
+fn check_ts_column(
+    ctx: &AnalysisContext<'_>,
+    index: usize,
+    names: &[String],
+    types: &[Schema],
+    site: &str,
+    out: &mut Diagnostics,
+) {
+    match types.get(index) {
+        None => out.report(
+            codes::TYPE_FLOW,
+            Severity::Error,
+            Span::whole(ctx.sql),
+            format!(
+                "{site} points at column #{index}, but the input has only {} columns",
+                types.len()
+            ),
+            None,
+        ),
+        Some(t) if !time_like(t) => {
+            let name = names
+                .get(index)
+                .cloned()
+                .unwrap_or_else(|| format!("#{index}"));
+            out.report(
+                codes::TYPE_FLOW,
+                Severity::Error,
+                whole_or(ctx, &name),
+                format!("{site} column `{name}` has type {t:?}, expected TIMESTAMP"),
+                None,
+            );
+        }
+        Some(_) => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_equi_pair(
+    ctx: &AnalysisContext<'_>,
+    l: usize,
+    lnames: &[String],
+    ltys: &[Schema],
+    r: usize,
+    rnames: &[String],
+    rtys: &[Schema],
+    out: &mut Diagnostics,
+) {
+    let lt = ltys.get(l);
+    let rt = rtys.get(r);
+    if lt.is_none() || rt.is_none() {
+        out.report(
+            codes::TYPE_FLOW,
+            Severity::Error,
+            Span::whole(ctx.sql),
+            format!(
+                "join equi key ({l}, {r}) is out of range for inputs of {} and {} columns",
+                ltys.len(),
+                rtys.len()
+            ),
+            None,
+        );
+        return;
+    }
+    let (lt, rt) = (lt.unwrap(), rt.unwrap());
+    let numeric = |s: &Schema| {
+        matches!(
+            base(s),
+            Schema::Int | Schema::Long | Schema::Float | Schema::Double
+        )
+    };
+    if !(compat(lt, rt) || (numeric(lt) && numeric(rt))) {
+        let ln = lnames.get(l).cloned().unwrap_or_else(|| format!("#{l}"));
+        let rn = rnames.get(r).cloned().unwrap_or_else(|| format!("#{r}"));
+        out.report(
+            codes::TYPE_FLOW,
+            Severity::Error,
+            whole_or(ctx, &ln),
+            format!(
+                "join compares `{ln}` ({lt:?}) with `{rn}` ({rt:?}); the key types are \
+                 not comparable"
+            ),
+            None,
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Pass 4 (SSQL004): window sanity.
+//!
+//! Windows that are syntactically valid can still be operationally absurd:
+//! a HOP that advances further than it retains silently drops events, a
+//! zero-width join window only matches exactly-equal timestamps, and a
+//! negative-width window can never match at all.
+
+use super::{walk_physical, AnalysisContext};
+use crate::diag::{codes, Diagnostics, Severity, Span};
+use samzasql_planner::{GroupWindow, PhysicalPlan};
+
+pub fn run(ctx: &AnalysisContext<'_>, plan: &PhysicalPlan, out: &mut Diagnostics) {
+    walk_physical(plan, &mut |node| check_node(ctx, node, out));
+}
+
+fn check_node(ctx: &AnalysisContext<'_>, node: &PhysicalPlan, out: &mut Diagnostics) {
+    match node {
+        PhysicalPlan::WindowAggregate { window, .. } => match window {
+            GroupWindow::None => {}
+            GroupWindow::Tumble { size_ms, .. } => {
+                if *size_ms <= 0 {
+                    out.report(
+                        codes::WINDOW_SANITY,
+                        Severity::Error,
+                        Span::locate_or_whole(ctx.sql, "TUMBLE"),
+                        format!("TUMBLE window size is {size_ms}ms; it must be positive"),
+                        None,
+                    );
+                }
+            }
+            GroupWindow::Hop {
+                emit_ms, retain_ms, ..
+            } => {
+                if *emit_ms <= 0 || *retain_ms <= 0 {
+                    out.report(
+                        codes::WINDOW_SANITY,
+                        Severity::Error,
+                        Span::locate_or_whole(ctx.sql, "HOP"),
+                        format!(
+                            "HOP window has emit={emit_ms}ms, retain={retain_ms}ms; both \
+                             must be positive"
+                        ),
+                        None,
+                    );
+                } else if emit_ms > retain_ms {
+                    // Advance > size: windows are emitted every `emit` ms
+                    // but each only covers the trailing `retain` ms, so
+                    // events in the gap never appear in any window.
+                    out.report(
+                        codes::WINDOW_SANITY,
+                        Severity::Warning,
+                        Span::locate_or_whole(ctx.sql, "HOP"),
+                        format!(
+                            "HOP advances {emit_ms}ms per emission but each window only \
+                             retains {retain_ms}ms; events in the {}ms gap are never \
+                             aggregated into any window",
+                            emit_ms - retain_ms
+                        ),
+                        Some(format!(
+                            "retain at least as long as the advance (retain >= {emit_ms}ms), \
+                             or use TUMBLE for non-overlapping windows"
+                        )),
+                    );
+                }
+            }
+        },
+        PhysicalPlan::SlidingWindow { range_ms, rows, .. } => match (range_ms, rows) {
+            (Some(r), _) if *r < 0 => out.report(
+                codes::WINDOW_SANITY,
+                Severity::Error,
+                Span::locate_or_whole(ctx.sql, "OVER"),
+                format!("OVER frame RANGE of {r}ms is negative; the frame is empty"),
+                None,
+            ),
+            (Some(0), _) => out.report(
+                codes::WINDOW_SANITY,
+                Severity::Warning,
+                Span::locate_or_whole(ctx.sql, "OVER"),
+                "OVER frame RANGE of 0ms covers only rows with exactly the current \
+                     timestamp"
+                    .to_string(),
+                Some("widen the frame, or use ROWS if per-row framing was intended".into()),
+            ),
+            (None, Some(0)) => out.report(
+                codes::WINDOW_SANITY,
+                Severity::Warning,
+                Span::locate_or_whole(ctx.sql, "OVER"),
+                "OVER frame of ROWS 0 PRECEDING covers only the current row; the \
+                     aggregate equals its argument"
+                    .to_string(),
+                None,
+            ),
+            _ => {}
+        },
+        PhysicalPlan::StreamToStreamJoin { time_bound, .. } => {
+            // Window [t-lower, t+upper] is non-empty iff lower+upper >= 0.
+            let width = time_bound.lower_ms.saturating_add(time_bound.upper_ms);
+            if width < 0 {
+                out.report(
+                    codes::WINDOW_SANITY,
+                    Severity::Error,
+                    Span::locate_or_whole(ctx.sql, "BETWEEN"),
+                    format!(
+                        "join window [-{}ms, +{}ms] is empty; no pair of rows can ever \
+                         satisfy the time bound",
+                        time_bound.lower_ms, time_bound.upper_ms
+                    ),
+                    Some("fix the window bounds so lower + upper >= 0".into()),
+                );
+            } else if width == 0 {
+                out.report(
+                    codes::WINDOW_SANITY,
+                    Severity::Warning,
+                    Span::locate_or_whole(ctx.sql, "BETWEEN"),
+                    "zero-width join window: rows match only when their timestamps are \
+                     exactly equal"
+                        .to_string(),
+                    Some("widen the window if approximate-time matching was intended".into()),
+                );
+            }
+        }
+        _ => {}
+    }
+}

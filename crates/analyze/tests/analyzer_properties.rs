@@ -1,0 +1,113 @@
+//! Property tests for the analyzer: over generated *valid, well-partitioned*
+//! queries, analysis must never panic, never emit an Error-severity
+//! diagnostic on the planner's own output, and must be deterministic.
+
+use proptest::prelude::*;
+use samzasql_analyze::corpus::paper_catalog;
+use samzasql_analyze::{analyze_planned, analyze_sql, Severity};
+use samzasql_planner::Planner;
+
+/// Valid-by-construction queries over the paper catalog, restricted to
+/// shapes the planner compiles into correctly partitioned plans: filters,
+/// projections, TUMBLE/HOP aggregates keyed by the partition key, bounded
+/// OVER windows partitioned by the partition key, and equi joins on the
+/// relation's key.
+fn clean_sql_strategy() -> impl Strategy<Value = String> {
+    let num_col = prop_oneof![Just("productId"), Just("units")];
+    let projection = prop_oneof![
+        Just("rowtime, productId, units"),
+        Just("units, productId, rowtime"),
+        Just("productId, units"),
+        Just("rowtime, productId"),
+        Just("*"),
+    ];
+    let filter = (projection, num_col, -1000i64..1000, any::<bool>()).prop_map(
+        |(cols, col, n, with_pred)| {
+            let mut q = format!("SELECT STREAM {cols} FROM Orders");
+            if with_pred {
+                q.push_str(&format!(" WHERE {col} > {n}"));
+            }
+            q
+        },
+    );
+    let tumble = (1i64..120, any::<bool>()).prop_map(|(secs, count_star)| {
+        let agg = if count_star { "COUNT(*)" } else { "SUM(units)" };
+        format!(
+            "SELECT STREAM productId, {agg} AS agg FROM Orders \
+             GROUP BY TUMBLE(rowtime, INTERVAL '{secs}' SECOND), productId"
+        )
+    });
+    // emit <= retain so no gap warning escalates anywhere near an error.
+    let hop = (1i64..60, 0i64..60).prop_map(|(emit, extra)| {
+        let retain = emit + extra;
+        format!(
+            "SELECT STREAM productId, COUNT(units) AS c FROM Orders \
+             GROUP BY HOP(rowtime, INTERVAL '{emit}' SECOND, INTERVAL '{retain}' SECOND), \
+             productId"
+        )
+    });
+    let sliding = (1i64..30,).prop_map(|(mins,)| {
+        format!(
+            "SELECT STREAM rowtime, productId, units, \
+             SUM(units) OVER (PARTITION BY productId ORDER BY rowtime \
+             RANGE INTERVAL '{mins}' MINUTE PRECEDING) AS total FROM Orders"
+        )
+    });
+    let join = (any::<bool>(), any::<bool>()).prop_map(|(flip, rekey)| {
+        // `rekey` joins on a non-key stream column, forcing the planner to
+        // insert a Repartition — still clean after analysis.
+        let stream_col = if rekey { "units" } else { "productId" };
+        let cond = if flip {
+            format!("Products.productId = Orders.{stream_col}")
+        } else {
+            format!("Orders.{stream_col} = Products.productId")
+        };
+        format!(
+            "SELECT STREAM Orders.rowtime, Orders.productId, Orders.units, \
+             Products.name, Products.supplierId FROM Orders JOIN Products ON {cond}"
+        )
+    });
+    prop_oneof![filter, tumble, hop, sliding, join]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The analyzer never emits an Error on a plan the planner itself
+    /// produced from a valid, well-partitioned query — the gate must not
+    /// reject correct plans.
+    #[test]
+    fn analyzer_accepts_planner_output(sql in clean_sql_strategy()) {
+        let planner = Planner::new(paper_catalog());
+        let planned = planner.plan_unchecked(&sql).unwrap();
+        let diags = analyze_planned(&planned, planner.catalog());
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        prop_assert!(
+            errors.is_empty(),
+            "false positive on {sql}:\n{}",
+            diags.render()
+        );
+    }
+
+    /// Analysis never panics, renders, and is deterministic — even on
+    /// queries that fail planning (those route through SSQL1xx codes).
+    #[test]
+    fn analysis_is_total_and_deterministic(sql in clean_sql_strategy(), mangle in any::<bool>()) {
+        let planner = Planner::new(paper_catalog());
+        // Half the cases are corrupted into likely-invalid statements to
+        // exercise the front-end error path.
+        let sql = if mangle { sql.replace("FROM", "FORM") } else { sql };
+        let first = analyze_sql(&planner, &sql);
+        let second = analyze_sql(&planner, &sql);
+        prop_assert_eq!(first.codes(), second.codes());
+        let rendered = first.render();
+        prop_assert!(first.is_empty() || !rendered.is_empty());
+        for d in first.iter() {
+            prop_assert!(d.span.end <= sql.len());
+            prop_assert!(d.span.start <= d.span.end);
+        }
+    }
+}

@@ -1,0 +1,3 @@
+-- Paper query shape 1 (Fig. 5a): streaming filter.
+-- expect: clean
+SELECT STREAM * FROM Orders WHERE units > 50

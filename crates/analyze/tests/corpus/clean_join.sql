@@ -1,0 +1,7 @@
+-- Paper query shape 4 (Fig. 5c): stream-to-relation join on the declared
+-- key of both sides.
+-- expect: clean
+SELECT STREAM Orders.rowtime, Orders.productId, Orders.units,
+       Products.name, Products.supplierId
+FROM Orders
+JOIN Products ON Orders.productId = Products.productId

@@ -1,0 +1,3 @@
+-- Paper query shape 2 (Fig. 5b): streaming projection.
+-- expect: clean
+SELECT STREAM rowtime, productId, units FROM Orders

@@ -1,0 +1,7 @@
+-- Paper query shape 3 (Fig. 6): sliding-window aggregation, aligned with
+-- the stream's declared partition key.
+-- expect: clean
+SELECT STREAM rowtime, productId, units,
+  SUM(units) OVER (PARTITION BY productId ORDER BY rowtime
+                   RANGE INTERVAL '5' MINUTE PRECEDING) AS totalUnits
+FROM Orders

@@ -1,0 +1,3 @@
+-- Seeded lint: `units` is deserialized for every row but never referenced.
+-- expect: SSQL005
+SELECT STREAM rowtime, productId FROM Orders

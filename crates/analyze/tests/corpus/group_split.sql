@@ -1,0 +1,6 @@
+-- Seeded bug: grouped streaming aggregation whose keys exclude the
+-- stream's partition key (productId) — groups split across tasks.
+-- expect: SSQL001
+SELECT STREAM units, COUNT(productId) AS orders
+FROM Orders
+GROUP BY TUMBLE(rowtime, INTERVAL '1' MINUTE), units

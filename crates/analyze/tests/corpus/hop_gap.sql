@@ -1,0 +1,6 @@
+-- Seeded bug: HOP advances 10s per emission but retains only 5s — events
+-- in the gap never appear in any window.
+-- expect: SSQL004
+SELECT STREAM productId, COUNT(units) AS orders
+FROM Orders
+GROUP BY HOP(rowtime, INTERVAL '10' SECOND, INTERVAL '5' SECOND), productId

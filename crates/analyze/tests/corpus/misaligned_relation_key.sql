@@ -1,0 +1,7 @@
+-- Seeded bug: the relation is keyed by productId but the join probes its
+-- supplierId column — the bootstrap cache lookup would always miss.
+-- expect: SSQL001
+SELECT STREAM Orders.rowtime, Orders.units,
+       Products.productId, Products.name
+FROM Orders
+JOIN Products ON Orders.productId = Products.supplierId

@@ -1,0 +1,4 @@
+-- Planner front-end error routed through diagnostics: parse failure, with
+-- the parser's line/column converted to a span.
+-- expect: SSQL100
+SELECT STREAM units FORM Orders

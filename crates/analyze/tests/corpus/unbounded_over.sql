@@ -1,0 +1,7 @@
+-- Seeded bug: unbounded OVER frame on a continuous stream — window state
+-- retains every row ever seen.
+-- expect: SSQL002
+SELECT STREAM rowtime, productId, units,
+  SUM(units) OVER (PARTITION BY productId ORDER BY rowtime
+                   RANGE UNBOUNDED PRECEDING) AS total
+FROM Orders

@@ -1,0 +1,4 @@
+-- Planner front-end error routed through diagnostics: unknown column, with
+-- a span pointing at the identifier.
+-- expect: SSQL102
+SELECT STREAM quantity FROM Orders

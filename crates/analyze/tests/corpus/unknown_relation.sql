@@ -1,0 +1,3 @@
+-- Planner front-end error routed through diagnostics: unknown relation.
+-- expect: SSQL101
+SELECT STREAM * FROM Nowhere

@@ -1,0 +1,10 @@
+-- Seeded bug: zero-width stream-to-stream join window — rows only match on
+-- exactly equal timestamps.
+-- expect: SSQL004
+SELECT STREAM PacketsR1.rowtime, PacketsR1.sourcetime, PacketsR1.packetId,
+       PacketsR2.rowtime AS rowtime2, PacketsR2.sourcetime AS sourcetime2,
+       PacketsR2.packetId AS packetId2
+FROM PacketsR1
+JOIN PacketsR2 ON PacketsR1.packetId = PacketsR2.packetId
+AND PacketsR1.rowtime BETWEEN PacketsR2.rowtime - INTERVAL '0' SECOND
+                          AND PacketsR2.rowtime + INTERVAL '0' SECOND

@@ -1,0 +1,131 @@
+//! Golden-diagnostics corpus: every `.sql` fixture under `tests/corpus/`
+//! declares the exact diagnostic codes it must produce (`-- expect:`), and
+//! the paper's four canonical query shapes must analyze completely clean.
+
+use samzasql_analyze::corpus::{self, paper_planner};
+use samzasql_analyze::{analyze_sql, codes, Severity};
+
+#[test]
+fn every_fixture_matches_its_expectation_header() {
+    let planner = paper_planner();
+    let results = corpus::run_corpus(&planner, &corpus::default_corpus_dir()).unwrap();
+    assert!(
+        results.len() >= 12,
+        "corpus shrank: only {} fixtures",
+        results.len()
+    );
+    for r in &results {
+        assert!(
+            r.matches(),
+            "{}: expected [{}], got [{}]\n{}",
+            r.path.display(),
+            r.expected.join(", "),
+            r.actual.join(", "),
+            r.diagnostics.render()
+        );
+    }
+}
+
+#[test]
+fn paper_canonical_queries_are_clean() {
+    let planner = paper_planner();
+    let results = corpus::run_corpus(&planner, &corpus::default_corpus_dir()).unwrap();
+    let clean: Vec<_> = results
+        .iter()
+        .filter(|r| {
+            r.path
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("clean_"))
+        })
+        .collect();
+    assert_eq!(clean.len(), 4, "the four paper shapes must be present");
+    for r in clean {
+        assert!(
+            r.diagnostics.is_empty(),
+            "{} must produce zero diagnostics, got:\n{}",
+            r.path.display(),
+            r.diagnostics.render()
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_each_front_line_pass() {
+    let planner = paper_planner();
+    let results = corpus::run_corpus(&planner, &corpus::default_corpus_dir()).unwrap();
+    let all: Vec<String> = results.iter().flat_map(|r| r.actual.clone()).collect();
+    for code in [
+        codes::PARTITION_MISALIGNED,
+        codes::UNBOUNDED_STATE,
+        codes::WINDOW_SANITY,
+        codes::DEAD_COLUMNS,
+        codes::PARSE,
+        codes::UNKNOWN_RELATION,
+        codes::UNKNOWN_COLUMN,
+    ] {
+        assert!(
+            all.iter().any(|c| c == code),
+            "no fixture exercises {code}; corpus = {all:?}"
+        );
+    }
+}
+
+#[test]
+fn seeded_corpus_fails_a_plain_error_gate() {
+    // `plan-lint --deny` must exit non-zero on this corpus: the seeded-bug
+    // fixtures carry Error-severity diagnostics.
+    let planner = paper_planner();
+    let results = corpus::run_corpus(&planner, &corpus::default_corpus_dir()).unwrap();
+    assert!(
+        results.iter().any(|r| r.diagnostics.has_errors()),
+        "the corpus must contain Error-bearing fixtures for the deny gate"
+    );
+}
+
+#[test]
+fn diagnostics_carry_real_spans() {
+    let planner = paper_planner();
+    // Unknown column: the span must point exactly at the identifier.
+    let d = analyze_sql(&planner, "SELECT STREAM quantity FROM Orders");
+    let diag = d.iter().next().expect("one diagnostic");
+    assert_eq!(diag.code, codes::UNKNOWN_COLUMN);
+    assert_eq!(diag.severity, Severity::Error);
+    assert_eq!(&d.sql()[diag.span.start..diag.span.end], "quantity");
+    let rendered = d.render();
+    assert!(rendered.contains("^^^^^^^^"), "{rendered}");
+
+    // Parse error: line/column converts to a span at the offending token.
+    let d = analyze_sql(&planner, "SELECT STREAM units\nFORM Orders");
+    let diag = d.iter().next().expect("one diagnostic");
+    assert_eq!(diag.code, codes::PARSE);
+    assert!(diag.span.start > 0, "parse errors must not span byte 0..0");
+    assert_eq!(diag.span.line, 2, "error is on line 2");
+
+    // Every planner error path yields a non-degenerate span.
+    for sql in [
+        "SELECT STREAM * FROM Nowhere",
+        "SELECT DISTINCT * FROM Orders WHERE units > 'x'",
+        "SELECT STREAM units + name FROM Orders JOIN Products ON Orders.productId = Products.productId",
+    ] {
+        let d = analyze_sql(&planner, sql);
+        for diag in d.iter() {
+            assert!(
+                diag.span.end > diag.span.start,
+                "{sql}: degenerate span {:?}",
+                diag.span
+            );
+        }
+    }
+}
+
+#[test]
+fn json_rendering_is_one_object_per_line() {
+    let planner = paper_planner();
+    let d = analyze_sql(&planner, "SELECT STREAM rowtime, productId FROM Orders");
+    let json = d.render_json();
+    assert_eq!(json.trim().lines().count(), d.len());
+    for line in json.trim().lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"span\""), "{line}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Seeded-bug detection: take a correct planner-produced physical plan,
+//! mutate it the way a buggy optimizer rewrite would, and prove the analyzer
+//! catches each class of corruption with the right code.
+
+use samzasql_analyze::corpus::{paper_catalog, paper_planner};
+use samzasql_analyze::{analyze_physical, codes, Severity};
+use samzasql_planner::{PhysicalPlan, ScalarExpr};
+use samzasql_serde::Schema;
+
+/// Apply `f` to every node of the plan, parents before children.
+fn visit_mut(plan: &mut PhysicalPlan, f: &mut impl FnMut(&mut PhysicalPlan)) {
+    f(plan);
+    match plan {
+        PhysicalPlan::Scan { .. } => {}
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::WindowAggregate { input, .. }
+        | PhysicalPlan::SlidingWindow { input, .. }
+        | PhysicalPlan::Repartition { input, .. }
+        | PhysicalPlan::StreamToRelationJoin { stream: input, .. } => visit_mut(input, f),
+        PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
+            visit_mut(left, f);
+            visit_mut(right, f);
+        }
+    }
+}
+
+fn count_nodes(plan: &PhysicalPlan, pred: impl Fn(&PhysicalPlan) -> bool) -> usize {
+    let mut n = 0;
+    let mut plan = plan.clone();
+    visit_mut(&mut plan, &mut |node| {
+        if pred(node) {
+            n += 1;
+        }
+    });
+    n
+}
+
+fn placeholder() -> PhysicalPlan {
+    PhysicalPlan::Scan {
+        topic: String::new(),
+        names: Vec::new(),
+        types: Vec::new(),
+        format: samzasql_serde::SerdeFormat::Json,
+        bounded: true,
+        ts_index: None,
+    }
+}
+
+/// Remove every Repartition node, splicing its input into its place — the
+/// seeded bug: a rewrite that forgets the planner's re-keying stage.
+fn strip_repartitions(plan: &mut PhysicalPlan) {
+    while let PhysicalPlan::Repartition { input, .. } = plan {
+        *plan = std::mem::replace(&mut **input, placeholder());
+    }
+    match plan {
+        PhysicalPlan::Scan { .. } => {}
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::WindowAggregate { input, .. }
+        | PhysicalPlan::SlidingWindow { input, .. }
+        | PhysicalPlan::Repartition { input, .. }
+        | PhysicalPlan::StreamToRelationJoin { stream: input, .. } => strip_repartitions(input),
+        PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
+            strip_repartitions(left);
+            strip_repartitions(right);
+        }
+    }
+}
+
+fn error_codes(diags: &samzasql_analyze::Diagnostics) -> Vec<&'static str> {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.code)
+        .collect()
+}
+
+#[test]
+fn stripped_repartition_is_caught_as_ssql001() {
+    let planner = paper_planner();
+    let catalog = paper_catalog();
+    // Orders is partitioned by productId but joins on units: the planner
+    // must insert a Repartition to re-key the probe side.
+    let sql = "SELECT STREAM Orders.rowtime, Orders.units, Products.name \
+               FROM Orders JOIN Products ON Orders.units = Products.productId";
+    let planned = planner.plan_unchecked(sql).unwrap();
+    assert!(
+        count_nodes(&planned.physical, |n| matches!(
+            n,
+            PhysicalPlan::Repartition { .. }
+        )) > 0,
+        "precondition: planner inserts a Repartition for this query:\n{}",
+        planned.physical.explain()
+    );
+
+    // The planner's own output is alignment-clean.
+    let before = analyze_physical(sql, &planned.physical, &catalog);
+    assert!(
+        !before.has_errors(),
+        "planner output must analyze clean:\n{}",
+        before.render()
+    );
+
+    // Seed the bug: drop the re-keying stage.
+    let mut broken = planned.physical.clone();
+    strip_repartitions(&mut broken);
+    assert_eq!(
+        count_nodes(&broken, |n| matches!(n, PhysicalPlan::Repartition { .. })),
+        0
+    );
+    let after = analyze_physical(sql, &broken, &catalog);
+    assert!(
+        error_codes(&after).contains(&codes::PARTITION_MISALIGNED),
+        "expected SSQL001 Error, got:\n{}",
+        after.render()
+    );
+}
+
+#[test]
+fn unbounded_join_cache_is_caught_as_ssql002() {
+    let planner = paper_planner();
+    let catalog = paper_catalog();
+    let sql = "SELECT STREAM PacketsR1.packetId AS p1, PacketsR2.packetId AS p2, \
+               PacketsR1.sourcetime AS t1, PacketsR2.sourcetime AS t2, \
+               PacketsR1.rowtime AS r1, PacketsR2.rowtime AS r2 \
+               FROM PacketsR1 JOIN PacketsR2 \
+               ON PacketsR1.packetId = PacketsR2.packetId \
+               AND PacketsR2.rowtime BETWEEN PacketsR1.rowtime - INTERVAL '2' SECOND \
+               AND PacketsR1.rowtime + INTERVAL '2' SECOND";
+    let planned = planner.plan_unchecked(sql).unwrap();
+    let before = analyze_physical(sql, &planned.physical, &catalog);
+    assert!(
+        !before.has_errors(),
+        "planner output must analyze clean:\n{}",
+        before.render()
+    );
+
+    // Seed the bug: a rewrite that loses the retention bound, so the join
+    // cache retains every row forever.
+    let mut broken = planned.physical.clone();
+    visit_mut(&mut broken, &mut |node| {
+        if let PhysicalPlan::StreamToStreamJoin { time_bound, .. } = node {
+            time_bound.upper_ms = i64::MAX;
+        }
+    });
+    let after = analyze_physical(sql, &broken, &catalog);
+    assert!(
+        error_codes(&after).contains(&codes::UNBOUNDED_STATE),
+        "expected SSQL002 Error, got:\n{}",
+        after.render()
+    );
+}
+
+#[test]
+fn type_mismatched_rewrite_is_caught_as_ssql003() {
+    let planner = paper_planner();
+    let catalog = paper_catalog();
+    // Reordered (non-identity) projection so the optimizer keeps the
+    // Project node.
+    let sql = "SELECT STREAM productId, units, rowtime FROM Orders";
+    let planned = planner.plan_unchecked(sql).unwrap();
+    assert!(
+        count_nodes(&planned.physical, |n| matches!(
+            n,
+            PhysicalPlan::Project { .. }
+        )) > 0,
+        "precondition: plan keeps a Project node:\n{}",
+        planned.physical.explain()
+    );
+    let before = analyze_physical(sql, &planned.physical, &catalog);
+    assert!(!before.has_errors(), "{}", before.render());
+
+    // Seed bug #1: a rewrite records a stale type for a projected column
+    // (productId is Int in the scan, String in the projection).
+    let mut stale_ty = planned.physical.clone();
+    visit_mut(&mut stale_ty, &mut |node| {
+        if let PhysicalPlan::Project { exprs, .. } = node {
+            exprs[1] = ScalarExpr::InputRef {
+                index: 1,
+                ty: Schema::String,
+            };
+        }
+    });
+    let after = analyze_physical(sql, &stale_ty, &catalog);
+    assert!(
+        error_codes(&after).contains(&codes::TYPE_FLOW),
+        "expected SSQL003 Error for stale type, got:\n{}",
+        after.render()
+    );
+
+    // Seed bug #2: a rewrite leaves a dangling column reference.
+    let mut dangling = planned.physical.clone();
+    visit_mut(&mut dangling, &mut |node| {
+        if let PhysicalPlan::Project { exprs, .. } = node {
+            exprs[2] = ScalarExpr::InputRef {
+                index: 99,
+                ty: Schema::Int,
+            };
+        }
+    });
+    let after = analyze_physical(sql, &dangling, &catalog);
+    assert!(
+        error_codes(&after).contains(&codes::TYPE_FLOW),
+        "expected SSQL003 Error for dangling input ref, got:\n{}",
+        after.render()
+    );
+}

@@ -58,11 +58,15 @@ impl SamzaSqlShell {
     /// the cluster's coordination service, so tasks (and anyone else holding
     /// the `Coord`) read exactly what the shell wrote.
     pub fn with_cluster(broker: Broker, cluster: ClusterSim) -> Self {
+        // Deny-by-default static analysis: plans with Error-severity
+        // diagnostics never reach job submission.
+        let mut planner = Planner::new(Catalog::new());
+        planner.add_check(Arc::new(samzasql_analyze::GatingAnalyzer));
         SamzaSqlShell {
             broker,
             coord: cluster.coord().clone(),
             cluster,
-            planner: Planner::new(Catalog::new()),
+            planner,
             udafs: UdafRegistry::new(),
             query_counter: 0,
             default_containers: 1,
@@ -143,9 +147,31 @@ impl SamzaSqlShell {
         Ok(self.planner.execute_ddl(sql)?)
     }
 
-    /// EXPLAIN a query.
+    /// EXPLAIN a query: physical plan with per-stage partitioning
+    /// annotations.
     pub fn explain(&self, sql: &str) -> Result<String> {
         Ok(self.planner.explain(sql)?)
+    }
+
+    /// ANALYZE a query: run the static plan analyzer and pretty-print its
+    /// diagnostics (codes, severities, source spans) without submitting
+    /// anything. Accepts either a bare statement or `ANALYZE <sql>`.
+    pub fn analyze(&self, sql: &str) -> Result<String> {
+        let stmt = sql.trim();
+        let stmt = match stmt.get(..7) {
+            Some(kw)
+                if kw.eq_ignore_ascii_case("analyze")
+                    && stmt[7..].starts_with(|c: char| c.is_whitespace()) =>
+            {
+                stmt[7..].trim_start()
+            }
+            _ => stmt,
+        };
+        let diags = samzasql_analyze::analyze_sql(&self.planner, stmt);
+        if diags.is_empty() {
+            return Ok("no diagnostics: plan is clean".to_string());
+        }
+        Ok(diags.render())
     }
 
     // ------------------------------------------------------------ producing
@@ -375,6 +401,7 @@ impl SamzaSqlShell {
             output_schema: planned.output_schema("Output"),
             positions: Vec::new(),
             warnings: planned.warnings,
+            lints: planned.lints,
         })
     }
 
@@ -473,6 +500,8 @@ pub struct QueryHandle {
     positions: Vec<u64>,
     /// Planner warnings surfaced to the user.
     pub warnings: Vec<String>,
+    /// Static-analyzer lints (Warning/Note diagnostics) attached to the plan.
+    pub lints: Vec<String>,
 }
 
 impl QueryHandle {

@@ -1,0 +1,100 @@
+//! Shell-level wiring of the static analyzer: the `ANALYZE` command, the
+//! deny-by-default submission gate, lints on the query handle, and
+//! partitioning annotations in EXPLAIN output.
+
+use samzasql_core::shell::SamzaSqlShell;
+use samzasql_kafka::{Broker, TopicConfig};
+use samzasql_serde::Schema;
+
+fn shell() -> SamzaSqlShell {
+    let broker = Broker::new();
+    broker
+        .create_topic("orders", TopicConfig::with_partitions(2))
+        .unwrap();
+    let mut shell = SamzaSqlShell::new(broker);
+    shell
+        .register_stream(
+            "Orders",
+            "orders",
+            Schema::record(
+                "Orders",
+                vec![
+                    ("rowtime", Schema::Timestamp),
+                    ("productId", Schema::Int),
+                    ("units", Schema::Int),
+                ],
+            ),
+            "rowtime",
+        )
+        .unwrap();
+    shell.set_partition_key("Orders", "productId").unwrap();
+    shell
+}
+
+#[test]
+fn analyze_command_pretty_prints_diagnostics() {
+    let shell = shell();
+    // With the ANALYZE keyword.
+    let out = shell
+        .analyze("ANALYZE SELECT STREAM rowtime, productId FROM Orders")
+        .unwrap();
+    assert!(out.contains("SSQL005"), "{out}");
+    assert!(out.contains("warning"), "{out}");
+    assert!(out.contains('^'), "must render a span caret:\n{out}");
+
+    // Bare statement, clean plan.
+    let out = shell
+        .analyze("SELECT STREAM * FROM Orders WHERE units > 50")
+        .unwrap();
+    assert!(out.contains("no diagnostics"), "{out}");
+
+    // Front-end errors render as diagnostics too, not Err.
+    let out = shell
+        .analyze("ANALYZE SELECT STREAM ghost FROM Orders")
+        .unwrap();
+    assert!(out.contains("SSQL102"), "{out}");
+    assert!(out.contains("error"), "{out}");
+}
+
+#[test]
+fn submission_gate_refuses_error_bearing_plans() {
+    let mut shell = shell();
+    // Group keys exclude the declared partition key: groups would split
+    // across tasks. The gate must refuse before any job is created.
+    let err = shell
+        .submit(
+            "SELECT STREAM units, COUNT(*) AS c FROM Orders \
+             GROUP BY TUMBLE(rowtime, INTERVAL '1' MINUTE), units",
+        )
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("SSQL001"), "{msg}");
+    assert!(msg.contains("plan analysis failed"), "{msg}");
+}
+
+#[test]
+fn lints_surface_on_the_query_handle() {
+    let mut shell = shell();
+    let handle = shell
+        .submit("SELECT STREAM rowtime, productId FROM Orders")
+        .unwrap();
+    assert!(
+        handle.lints.iter().any(|l| l.contains("SSQL005")),
+        "{:?}",
+        handle.lints
+    );
+    assert!(handle.warnings.is_empty(), "{:?}", handle.warnings);
+    handle.stop().unwrap();
+}
+
+#[test]
+fn explain_annotates_stage_partitioning() {
+    let shell = shell();
+    let out = shell
+        .explain("SELECT STREAM * FROM Orders WHERE units > 50")
+        .unwrap();
+    assert!(
+        out.contains("partition=productId"),
+        "explain must show the partitioning key per stage:\n{out}"
+    );
+}

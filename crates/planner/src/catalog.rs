@@ -178,6 +178,14 @@ impl Catalog {
             .ok_or_else(|| PlanError::UnknownRelation(name.to_string()))
     }
 
+    /// The object backed by `topic`, if any (used to recover partition-key
+    /// metadata from physical scans, which only carry the topic name).
+    pub fn object_by_topic(&self, topic: &str) -> Option<&CatalogObject> {
+        self.objects
+            .values()
+            .find(|o| o.topic.as_deref() == Some(topic))
+    }
+
     /// All object names, sorted.
     pub fn names(&self) -> Vec<String> {
         self.objects.values().map(|o| o.name.clone()).collect()

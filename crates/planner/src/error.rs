@@ -24,6 +24,23 @@ pub enum PlanError {
     Semantic(String),
     /// Catalog registration problems.
     Catalog(String),
+    /// The plan failed a post-planning static-analysis check; the payload is
+    /// the analyzer's rendered diagnostics.
+    Analysis(String),
+}
+
+impl PlanError {
+    /// The identifier that best localizes this error in the SQL text, when
+    /// one exists. Diagnostics renderers use it to attach a source span;
+    /// errors without a hint span the whole statement.
+    pub fn span_hint(&self) -> Option<&str> {
+        match self {
+            PlanError::UnknownRelation(r) => Some(r),
+            PlanError::UnknownColumn { column, .. } => Some(column),
+            PlanError::AmbiguousColumn(c) => Some(c),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for PlanError {
@@ -39,6 +56,7 @@ impl fmt::Display for PlanError {
             PlanError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             PlanError::Semantic(msg) => write!(f, "semantic error: {msg}"),
             PlanError::Catalog(msg) => write!(f, "catalog error: {msg}"),
+            PlanError::Analysis(msg) => write!(f, "plan analysis failed:\n{msg}"),
         }
     }
 }

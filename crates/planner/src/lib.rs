@@ -48,5 +48,5 @@ pub use catalog::{Catalog, CatalogObject, ObjectKind};
 pub use error::{PlanError, Result};
 pub use logical::{AggCall, AggFunc, GroupWindow, LogicalPlan, TimeBound};
 pub use physical::PhysicalPlan;
-pub use planner_api::{PlannedQuery, Planner};
+pub use planner_api::{PlanCheck, PlannedQuery, Planner};
 pub use types::{BinOp, ScalarExpr, ScalarFunc};

@@ -221,31 +221,97 @@ impl PhysicalPlan {
         }
     }
 
+    /// The column this plan's output is partitioned by, as
+    /// `(output index, column name)`, when statically known.
+    ///
+    /// Provenance flows bottom-up from the catalog's declared
+    /// `partition_key` on the scanned object (or a `Repartition` stage,
+    /// which re-keys unconditionally) through the key-preserving operators.
+    /// `None` means "unknown", not "unpartitioned" — producers that never
+    /// declared a key are simply not tracked.
+    pub fn partition_column(&self, catalog: &Catalog) -> Option<(usize, String)> {
+        match self {
+            PhysicalPlan::Scan { topic, names, .. } => {
+                let obj = catalog.object_by_topic(topic)?;
+                let pk = obj.partition_key.as_deref()?;
+                let idx = names.iter().position(|n| n.eq_ignore_ascii_case(pk))?;
+                Some((idx, names[idx].clone()))
+            }
+            PhysicalPlan::Repartition { input, key_index } => {
+                let names = input.output_names();
+                names.get(*key_index).map(|n| (*key_index, n.clone()))
+            }
+            PhysicalPlan::Filter { input, .. } => input.partition_column(catalog),
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                names,
+            } => {
+                let (i, _) = input.partition_column(catalog)?;
+                let j = exprs
+                    .iter()
+                    .position(|e| matches!(e, ScalarExpr::InputRef { index, .. } if *index == i))?;
+                Some((j, names[j].clone()))
+            }
+            PhysicalPlan::WindowAggregate {
+                input,
+                keys,
+                key_names,
+                ..
+            } => {
+                let (i, _) = input.partition_column(catalog)?;
+                let k = keys
+                    .iter()
+                    .position(|e| matches!(e, ScalarExpr::InputRef { index, .. } if *index == i))?;
+                Some((k, key_names[k].clone()))
+            }
+            PhysicalPlan::SlidingWindow { input, .. } => input.partition_column(catalog),
+            PhysicalPlan::StreamToStreamJoin { left, .. } => left.partition_column(catalog),
+            PhysicalPlan::StreamToRelationJoin {
+                stream,
+                relation_names,
+                stream_is_left,
+                ..
+            } => {
+                let (i, n) = stream.partition_column(catalog)?;
+                if *stream_is_left {
+                    Some((i, n))
+                } else {
+                    Some((i + relation_names.len(), n))
+                }
+            }
+        }
+    }
+
     /// Indented plan rendering.
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.explain_into(0, &mut out);
+        self.explain_into(0, None, &mut out);
         out
     }
 
-    fn explain_into(&self, depth: usize, out: &mut String) {
+    /// Indented plan rendering with per-stage partitioning annotations, so
+    /// `RepartitionOp` placement is auditable from EXPLAIN output.
+    pub fn explain_with_keys(&self, catalog: &Catalog) -> String {
+        let mut out = String::new();
+        self.explain_into(0, Some(catalog), &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, catalog: Option<&Catalog>, out: &mut String) {
         let pad = "  ".repeat(depth);
-        match self {
+        let line = match self {
             PhysicalPlan::Scan {
                 topic,
                 bounded,
                 format,
                 ..
-            } => out.push_str(&format!(
-                "{pad}ScanOp[topic={topic}, format={format}{}]\n",
+            } => format!(
+                "ScanOp[topic={topic}, format={format}{}]",
                 if *bounded { ", bounded" } else { "" }
-            )),
+            ),
             PhysicalPlan::Filter { input, predicate } => {
-                out.push_str(&format!(
-                    "{pad}FilterOp[{}]\n",
-                    predicate.display(&input.output_names())
-                ));
-                input.explain_into(depth + 1, out);
+                format!("FilterOp[{}]", predicate.display(&input.output_names()))
             }
             PhysicalPlan::Project {
                 input,
@@ -258,15 +324,9 @@ impl PhysicalPlan {
                     .zip(names)
                     .map(|(e, n)| format!("{n}={}", e.display(&inner)))
                     .collect();
-                out.push_str(&format!("{pad}ProjectOp[{}]\n", items.join(", ")));
-                input.explain_into(depth + 1, out);
+                format!("ProjectOp[{}]", items.join(", "))
             }
-            PhysicalPlan::WindowAggregate {
-                input,
-                window,
-                aggs,
-                ..
-            } => {
+            PhysicalPlan::WindowAggregate { window, aggs, .. } => {
                 let w = match window {
                     GroupWindow::None => "relational".to_string(),
                     GroupWindow::Tumble { size_ms, .. } => format!("tumble({size_ms}ms)"),
@@ -280,14 +340,9 @@ impl PhysicalPlan {
                     }
                 };
                 let aggs: Vec<String> = aggs.iter().map(|a| a.func.name()).collect();
-                out.push_str(&format!(
-                    "{pad}WindowAggregateOp[{w}, aggs=({})]\n",
-                    aggs.join(", ")
-                ));
-                input.explain_into(depth + 1, out);
+                format!("WindowAggregateOp[{w}, aggs=({})]", aggs.join(", "))
             }
             PhysicalPlan::SlidingWindow {
-                input,
                 range_ms,
                 rows,
                 aggs,
@@ -299,40 +354,50 @@ impl PhysicalPlan {
                     (None, None) => "unbounded".into(),
                 };
                 let aggs: Vec<String> = aggs.iter().map(|a| a.func.name()).collect();
-                out.push_str(&format!(
-                    "{pad}SlidingWindowOp[{frame}, aggs=({})]\n",
-                    aggs.join(", ")
-                ));
-                input.explain_into(depth + 1, out);
+                format!("SlidingWindowOp[{frame}, aggs=({})]", aggs.join(", "))
             }
             PhysicalPlan::StreamToStreamJoin {
-                left,
-                right,
-                time_bound,
-                equi,
-                ..
-            } => {
-                out.push_str(&format!(
-                    "{pad}StreamToStreamJoinOp[on {equi:?}, window=[-{}ms,+{}ms]]\n",
-                    time_bound.lower_ms, time_bound.upper_ms
-                ));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
+                time_bound, equi, ..
+            } => format!(
+                "StreamToStreamJoinOp[on {equi:?}, window=[-{}ms,+{}ms]]",
+                time_bound.lower_ms, time_bound.upper_ms
+            ),
             PhysicalPlan::StreamToRelationJoin {
-                stream,
                 relation_topic,
                 equi,
                 ..
-            } => {
-                out.push_str(&format!(
-                    "{pad}StreamToRelationJoinOp[relation={relation_topic} (bootstrap), on {equi:?}]\n"
-                ));
-                stream.explain_into(depth + 1, out);
+            } => format!(
+                "StreamToRelationJoinOp[relation={relation_topic} (bootstrap), on {equi:?}]"
+            ),
+            PhysicalPlan::Repartition { key_index, .. } => {
+                format!("RepartitionOp[key=#{key_index}]")
             }
-            PhysicalPlan::Repartition { input, key_index } => {
-                out.push_str(&format!("{pad}RepartitionOp[key=#{key_index}]\n"));
-                input.explain_into(depth + 1, out);
+        };
+        match catalog {
+            Some(c) => {
+                let key = self
+                    .partition_column(c)
+                    .map(|(_, n)| n)
+                    .unwrap_or_else(|| "?".into());
+                out.push_str(&format!("{pad}{line} partition={key}\n"));
+            }
+            None => out.push_str(&format!("{pad}{line}\n")),
+        }
+        match self {
+            PhysicalPlan::Scan { .. } => {}
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::WindowAggregate { input, .. }
+            | PhysicalPlan::SlidingWindow { input, .. }
+            | PhysicalPlan::Repartition { input, .. } => {
+                input.explain_into(depth + 1, catalog, out)
+            }
+            PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
+                left.explain_into(depth + 1, catalog, out);
+                right.explain_into(depth + 1, catalog, out);
+            }
+            PhysicalPlan::StreamToRelationJoin { stream, .. } => {
+                stream.explain_into(depth + 1, catalog, out)
             }
         }
     }

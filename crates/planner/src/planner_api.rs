@@ -8,6 +8,8 @@ use crate::rules::optimize;
 use crate::validator::validate_query;
 use samzasql_parser::{parse_statement, Statement};
 use samzasql_serde::Schema;
+use std::fmt;
+use std::sync::Arc;
 
 /// The result of planning one query.
 #[derive(Debug, Clone)]
@@ -21,6 +23,10 @@ pub struct PlannedQuery {
     pub physical: PhysicalPlan,
     /// Planner warnings (timestamp-propagation etc., §7).
     pub warnings: Vec<String>,
+    /// Static-analysis lints attached by [`PlanCheck`] hooks (warnings and
+    /// notes; error diagnostics abort planning instead). Kept separate from
+    /// [`PlannedQuery::warnings`] so validator warnings keep their meaning.
+    pub lints: Vec<String>,
     /// Whether this is a continuous query.
     pub is_stream: bool,
     /// Output column names.
@@ -51,16 +57,53 @@ impl PlannedQuery {
     }
 }
 
+/// A post-planning static-analysis hook (implemented by `samzasql-analyze`,
+/// which cannot be a planner dependency without a cycle).
+///
+/// Checks run deny-by-default inside [`Planner::plan`]: returning `Err`
+/// aborts planning before any job can be created from the plan, while the
+/// `Ok` value is a list of lint warnings attached to
+/// [`PlannedQuery::lints`].
+pub trait PlanCheck: Send + Sync {
+    /// Short name for debug output.
+    fn name(&self) -> &str;
+
+    /// Inspect a planned query; error diagnostics become `Err`.
+    fn check(&self, planned: &PlannedQuery, catalog: &Catalog) -> Result<Vec<String>>;
+}
+
 /// The planner: a catalog plus the parse→validate→optimize→physical
-/// pipeline (Figure 3).
-#[derive(Debug, Clone)]
+/// pipeline (Figure 3), followed by any installed [`PlanCheck`] passes.
+#[derive(Clone)]
 pub struct Planner {
     catalog: Catalog,
+    checks: Vec<Arc<dyn PlanCheck>>,
+}
+
+impl fmt::Debug for Planner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Planner")
+            .field("catalog", &self.catalog)
+            .field(
+                "checks",
+                &self.checks.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
 }
 
 impl Planner {
     pub fn new(catalog: Catalog) -> Self {
-        Planner { catalog }
+        Planner {
+            catalog,
+            checks: Vec::new(),
+        }
+    }
+
+    /// Install a post-planning check; every subsequent [`Planner::plan`]
+    /// call runs it and refuses to return an Error-bearing plan.
+    pub fn add_check(&mut self, check: Arc<dyn PlanCheck>) {
+        self.checks.push(check);
     }
 
     /// Read access to the catalog.
@@ -73,8 +116,22 @@ impl Planner {
         &mut self.catalog
     }
 
-    /// Plan a SELECT statement end to end.
+    /// Plan a SELECT statement end to end and run all installed
+    /// [`PlanCheck`] passes (deny-by-default: an Error diagnostic aborts
+    /// planning; lint warnings land in [`PlannedQuery::lints`]).
     pub fn plan(&self, sql: &str) -> Result<PlannedQuery> {
+        let mut planned = self.plan_unchecked(sql)?;
+        for check in &self.checks {
+            let lints = check.check(&planned, &self.catalog)?;
+            planned.lints.extend(lints);
+        }
+        Ok(planned)
+    }
+
+    /// Plan without running [`PlanCheck`] passes. Diagnostic tooling
+    /// (EXPLAIN, ANALYZE) uses this so an Error-bearing plan can still be
+    /// inspected; job submission must go through [`Planner::plan`].
+    pub fn plan_unchecked(&self, sql: &str) -> Result<PlannedQuery> {
         let stmt = parse_statement(sql)?;
         let query = match &stmt {
             Statement::Query(q) | Statement::Explain(q) => q,
@@ -94,6 +151,7 @@ impl Planner {
             logical,
             physical,
             warnings: validation.warnings,
+            lints: Vec::new(),
             is_stream: validation.is_stream,
             order_by: validation.order_by,
             limit: validation.limit,
@@ -121,14 +179,17 @@ impl Planner {
         }
     }
 
-    /// EXPLAIN: the logical and physical plan renderings.
+    /// EXPLAIN: the logical and physical plan renderings. The physical plan
+    /// carries per-stage partitioning annotations so `RepartitionOp`
+    /// placement is auditable. Uses [`Planner::plan_unchecked`]: EXPLAIN is
+    /// diagnostic tooling and must render Error-bearing plans too.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let planned = self.plan(sql)?;
+        let planned = self.plan_unchecked(sql)?;
         let mut out = String::new();
         out.push_str("== Logical plan ==\n");
         out.push_str(&planned.logical.explain());
         out.push_str("== Physical plan ==\n");
-        out.push_str(&planned.physical.explain());
+        out.push_str(&planned.physical.explain_with_keys(&self.catalog));
         if !planned.warnings.is_empty() {
             out.push_str("== Warnings ==\n");
             for w in &planned.warnings {

@@ -50,6 +50,7 @@
 //! big_orders.stop().unwrap();
 //! ```
 
+pub use samzasql_analyze as analyze;
 pub use samzasql_coord as coord;
 pub use samzasql_core as core;
 pub use samzasql_kafka as kafka;
