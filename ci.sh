@@ -12,6 +12,12 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace
+
+# Seeded chaos pass: six fault schedules × four query shapes must converge
+# to their fault-free baselines (see docs/CHAOS.md). Runs with the suite's
+# pinned seeds by default; export CHAOS_SEED=<n> to reproduce one failing
+# schedule — the whole run is a pure function of the seed.
+cargo test -p samzasql-samza --test chaos
 # Benches must keep compiling (they are the paper's evaluation harness),
 # but CI does not pay to run them.
 cargo bench --workspace --no-run

@@ -1,7 +1,8 @@
 //! The broker: topic registry, produce/fetch entry points, group
 //! coordinator, and offset store.
 
-use crate::error::{KafkaError, Result};
+use crate::error::{FaultOp, KafkaError, Result};
+use crate::fault::FaultInjector;
 use crate::group::GroupCoordinator;
 use crate::log::FetchResult;
 use crate::message::{Message, TopicPartition};
@@ -12,6 +13,7 @@ use crate::throttle::IoThrottle;
 use crate::topic::{Topic, TopicConfig};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Shared handle to the in-process broker "cluster".
@@ -30,6 +32,12 @@ struct BrokerInner {
     groups: GroupCoordinator,
     metrics: BrokerMetrics,
     throttle: RwLock<Option<Arc<IoThrottle>>>,
+    /// Seeded fault injector intercepting produce/fetch (off by default).
+    injector: RwLock<Option<Arc<FaultInjector>>>,
+    /// True once any topic was created with `replication_factor > 1`. Lets
+    /// the hot produce/fetch paths skip the replica-set mutex entirely in
+    /// the common single-replica configuration.
+    has_replicated: AtomicBool,
 }
 
 impl Broker {
@@ -50,6 +58,8 @@ impl Broker {
                 groups: GroupCoordinator::with_coord(coord),
                 metrics: BrokerMetrics::default(),
                 throttle: RwLock::new(None),
+                injector: RwLock::new(None),
+                has_replicated: AtomicBool::new(false),
             }),
         }
     }
@@ -63,6 +73,69 @@ impl Broker {
     /// EC2 burst-credit behaviour; off by default).
     pub fn set_throttle(&self, throttle: Option<Arc<IoThrottle>>) {
         *self.inner.throttle.write() = throttle;
+    }
+
+    /// Install (or remove) a seeded fault injector. While installed, every
+    /// produce and fetch consults it *before* touching the log, so injected
+    /// produce errors never leave a partially-appended record behind and a
+    /// client retry cannot duplicate data.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.inner.injector.write() = injector;
+    }
+
+    /// The currently installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.inner.injector.read().clone()
+    }
+
+    /// Run the fault injector for one operation; count surfaced errors.
+    fn intercept(&self, op: FaultOp, topic: &str, partition: u32) -> Result<()> {
+        let injector = self.inner.injector.read().clone();
+        if let Some(injector) = injector {
+            if let Err(e) = injector.intercept(op, topic, partition) {
+                self.inner.metrics.record_fault_injected();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Election + ack gate for one partition. While a leader election is
+    /// pending the operation fails with the retriable `LeaderNotAvailable`
+    /// (each attempt advances the election, so retries alone complete it);
+    /// once a leader exists, `acks=all` requires the configured minimum ISR.
+    fn check_leader_and_acks(&self, topic: &str, partition: u32, acks: AckMode) -> Result<()> {
+        if !self.inner.has_replicated.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let mut reps = self.inner.replicas.lock();
+        if let Some(rs) = reps.get_mut(&TopicPartition::new(topic, partition)) {
+            if rs.election_pending() {
+                let epoch = rs.leader_epoch();
+                rs.note_attempt();
+                return Err(KafkaError::LeaderNotAvailable {
+                    topic: topic.to_string(),
+                    partition,
+                    epoch,
+                });
+            }
+            rs.check_ack(acks, topic, partition)?;
+        }
+        Ok(())
+    }
+
+    /// Highest offset visible to fetches on this partition: the committed
+    /// offset (high watermark) under replication, the log end otherwise.
+    /// Capping visibility here is what makes leader failover safe — a record
+    /// that could still be truncated away is never handed to a consumer.
+    fn visible_end(&self, topic: &str, partition: u32, leader_end: u64) -> u64 {
+        if !self.inner.has_replicated.load(Ordering::Relaxed) {
+            return leader_end;
+        }
+        let reps = self.inner.replicas.lock();
+        reps.get(&TopicPartition::new(topic, partition))
+            .map(|rs| rs.committed_offset(leader_end))
+            .unwrap_or(leader_end)
     }
 
     /// Create a topic. Errors if it already exists.
@@ -86,6 +159,9 @@ impl Broker {
                     ReplicaSet::new(config.replication.clone()),
                 );
             }
+        }
+        if config.replication.replication_factor > 1 {
+            self.inner.has_replicated.store(true, Ordering::Relaxed);
         }
         topics.insert(name, topic.clone());
         Ok(topic)
@@ -149,12 +225,8 @@ impl Broker {
                 topic: topic.to_string(),
                 partition,
             })?;
-        if acks == AckMode::All {
-            let reps = self.inner.replicas.lock();
-            if let Some(rs) = reps.get(&TopicPartition::new(topic, partition)) {
-                rs.check_ack(acks, topic, partition)?;
-            }
-        }
+        self.intercept(FaultOp::Produce, topic, partition)?;
+        self.check_leader_and_acks(topic, partition, acks)?;
         let bytes = message.payload_len() as u64;
         if let Some(throttle) = self.inner.throttle.read().clone() {
             // Benchmarks feed a wall-clock derived logical time; unit tests
@@ -189,12 +261,8 @@ impl Broker {
                 topic: topic.to_string(),
                 partition,
             })?;
-        if acks == AckMode::All {
-            let reps = self.inner.replicas.lock();
-            if let Some(rs) = reps.get(&TopicPartition::new(topic, partition)) {
-                rs.check_ack(acks, topic, partition)?;
-            }
-        }
+        self.intercept(FaultOp::Produce, topic, partition)?;
+        self.check_leader_and_acks(topic, partition, acks)?;
         let count = messages.len() as u64;
         let bytes: u64 = messages.iter().map(|m| m.payload_len() as u64).sum();
         if let Some(throttle) = self.inner.throttle.read().clone() {
@@ -229,7 +297,19 @@ impl Broker {
                 topic: topic.to_string(),
                 partition,
             })?;
-        let result = log.read().fetch(offset, max_records)?;
+        self.intercept(FaultOp::Fetch, topic, partition)?;
+        self.check_leader_and_acks(topic, partition, AckMode::None)?;
+        let mut result = log.read().fetch(offset, max_records)?;
+        if self.inner.has_replicated.load(Ordering::Relaxed) {
+            // Cap visibility at the high watermark: records not yet
+            // replicated to the ISR could still be truncated by a leader
+            // failover, so consumers must not see them.
+            let visible = self.visible_end(topic, partition, result.high_watermark);
+            if visible < result.high_watermark {
+                result.records.retain(|r| r.offset < visible);
+                result.high_watermark = visible;
+            }
+        }
         let bytes: u64 = result
             .records
             .iter()
@@ -272,17 +352,103 @@ impl Broker {
     }
 
     /// Advance the replication simulation for every partition (followers
-    /// catch up, ISR recomputed).
+    /// catch up, ISR recomputed, pending elections progress).
     pub fn replication_tick(&self) {
         let topics = self.inner.topics.read();
         let mut reps = self.inner.replicas.lock();
+        let mut shrank = 0u64;
+        let mut expanded = 0u64;
         for (tp, rs) in reps.iter_mut() {
             if let Some(t) = topics.get(&tp.topic) {
                 if let Some(log) = t.partition(tp.partition) {
-                    rs.tick(log.read().end_offset());
+                    let end = log.read().end_offset();
+                    let delta = rs.tick(end);
+                    shrank += delta.shrank as u64;
+                    expanded += delta.expanded as u64;
                 }
             }
         }
+        self.inner.metrics.record_isr_delta(shrank, expanded);
+    }
+
+    /// Kill the leader of `topic`/`partition`: the most-caught-up in-sync
+    /// follower is promoted, the log truncates to the committed offset
+    /// (acknowledged-but-unreplicated records are lost, exactly as Kafka
+    /// loses `acks=1` writes), the leader epoch bumps, and clients see the
+    /// retriable `LeaderNotAvailable` until the election window passes.
+    /// Returns the new leader epoch. Errors with `NotEnoughReplicas` when no
+    /// in-sync follower exists to promote.
+    pub fn fail_leader(&self, topic: &str, partition: u32) -> Result<u64> {
+        let t = self
+            .topic(topic)
+            .ok_or_else(|| KafkaError::UnknownTopic(topic.to_string()))?;
+        let log = t
+            .partition(partition)
+            .ok_or_else(|| KafkaError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })?;
+        let mut reps = self.inner.replicas.lock();
+        let rs = reps
+            .get_mut(&TopicPartition::new(topic, partition))
+            .ok_or_else(|| KafkaError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })?;
+        // Lock order everywhere is replicas -> log.
+        let mut log = log.write();
+        let committed = rs.fail_leader(log.end_offset(), topic, partition)?;
+        log.truncate_to(committed);
+        self.inner.metrics.record_leader_epoch_bump();
+        Ok(rs.leader_epoch())
+    }
+
+    /// Fail follower `idx` of a partition's replica set (it stops
+    /// replicating and leaves the ISR).
+    pub fn fail_follower(&self, topic: &str, partition: u32, idx: usize) -> Result<()> {
+        let mut reps = self.inner.replicas.lock();
+        let rs = reps
+            .get_mut(&TopicPartition::new(topic, partition))
+            .ok_or_else(|| KafkaError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })?;
+        if rs.fail_follower(idx, true) {
+            self.inner.metrics.record_isr_delta(1, 0);
+        }
+        Ok(())
+    }
+
+    /// Restore a previously failed follower; it rejoins the ISR once caught
+    /// up via [`replication_tick`](Broker::replication_tick).
+    pub fn restore_follower(&self, topic: &str, partition: u32, idx: usize) -> Result<()> {
+        let mut reps = self.inner.replicas.lock();
+        let rs = reps
+            .get_mut(&TopicPartition::new(topic, partition))
+            .ok_or_else(|| KafkaError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })?;
+        rs.restore_follower(idx);
+        Ok(())
+    }
+
+    /// Current leader epoch of a partition (0 until the first failover).
+    pub fn leader_epoch(&self, topic: &str, partition: u32) -> Result<u64> {
+        let reps = self.inner.replicas.lock();
+        reps.get(&TopicPartition::new(topic, partition))
+            .map(|rs| rs.leader_epoch())
+            .ok_or_else(|| KafkaError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            })
+    }
+
+    /// The committed offset (high watermark) of a partition — the highest
+    /// offset fetches can observe under replication.
+    pub fn high_watermark(&self, topic: &str, partition: u32) -> Result<u64> {
+        let end = self.end_offset(topic, partition)?;
+        Ok(self.visible_end(topic, partition, end))
     }
 
     /// Access the committed-offset store (consumer group offsets).
@@ -396,6 +562,7 @@ mod tests {
                 min_insync_replicas: 2,
                 records_per_tick: 100,
                 max_lag_records: 1,
+                ..ReplicationConfig::default()
             });
         b.create_topic("t", cfg).unwrap();
         // Push the follower behind by producing with leader acks.

@@ -4,6 +4,7 @@ use crate::broker::Broker;
 use crate::error::{KafkaError, Result};
 use crate::log::Record;
 use crate::message::{Message, TopicPartition};
+use crate::retry::Retrier;
 use std::collections::BTreeMap;
 use std::ops::Range;
 
@@ -28,6 +29,8 @@ pub struct Consumer {
     positions: BTreeMap<TopicPartition, u64>,
     /// Rotation cursor so successive polls don't starve later partitions.
     rotation: usize,
+    /// Retry policy applied to each partition fetch inside `poll`.
+    retrier: Retrier,
 }
 
 impl Consumer {
@@ -36,7 +39,19 @@ impl Consumer {
             broker,
             positions: BTreeMap::new(),
             rotation: 0,
+            retrier: Retrier::default(),
         }
+    }
+
+    /// Override the retrier (builder style).
+    pub fn retry(mut self, retrier: Retrier) -> Self {
+        self.retrier = retrier;
+        self
+    }
+
+    /// This consumer's retrier (its metrics count retries/giveups).
+    pub fn retrier(&self) -> &Retrier {
+        &self.retrier
     }
 
     /// Assign a range of partitions of `topic`, starting at each partition's
@@ -129,7 +144,10 @@ impl Consumer {
                 .get(tp)
                 .expect("assigned partition has a position");
             let budget = max_records - out.len();
-            let fetched = match self.broker.fetch(&tp.topic, tp.partition, pos, budget) {
+            let attempt = self
+                .retrier
+                .run(|| self.broker.fetch(&tp.topic, tp.partition, pos, budget));
+            let fetched = match attempt {
                 Ok(f) => f,
                 Err(KafkaError::OffsetOutOfRange { start, .. }) => {
                     // Retention ran past us: jump to the earliest retained
@@ -291,6 +309,30 @@ mod tests {
             all.windows(2).all(|w| w[1] == w[0] + 1),
             "still in order: {all:?}"
         );
+    }
+
+    #[test]
+    fn poll_retries_through_injected_fetch_faults() {
+        use crate::error::FaultOp;
+        use crate::fault::{FaultInjector, FaultKind, FaultSchedule, FaultSpec};
+
+        let b = broker_with("t", 1);
+        for i in 0..3u8 {
+            b.produce("t", 0, Message::new(vec![i])).unwrap();
+        }
+        b.set_fault_injector(Some(FaultInjector::with_specs(
+            4,
+            vec![FaultSpec::any(
+                FaultKind::TransientError,
+                FaultSchedule::Window { from: 0, count: 3 },
+            )
+            .on_op(FaultOp::Fetch)],
+        )));
+        let mut c = Consumer::new(b);
+        c.assign("t", 0..1);
+        let recs = c.poll(10);
+        assert_eq!(recs.len(), 3, "first three fetch attempts retried away");
+        assert!(c.retrier().metrics().retries() >= 3);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Seeded broker fault injection.
+//!
+//! A [`FaultInjector`] installed on a [`Broker`](crate::Broker) intercepts
+//! every produce and fetch *before* the log is touched and, per policy,
+//! turns it into a transient error, an unavailability window, or a latency
+//! spike. Fail-fast interception means injected produce failures never
+//! partially append — the retry loops above never duplicate records because
+//! of the injector itself.
+//!
+//! **Determinism.** Decisions are a pure function of
+//! `(seed, topic, partition, op, per-partition op index)` — no shared RNG
+//! state whose consumption order could vary across thread interleavings. Two
+//! runs that issue the same operation sequence against a partition get the
+//! identical fault schedule, which is what makes chaos failures replayable
+//! from a seed.
+
+use crate::error::{FaultOp, KafkaError, Result};
+use crate::message::TopicPartition;
+use crate::retry::splitmix64;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// When a fault spec fires, relative to the per-(topic, partition, op)
+/// operation index (0-based).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSchedule {
+    /// Fire with probability `p` per operation (hash-derived, seeded).
+    Probability(f64),
+    /// Fire on every `n`th operation (indices n-1, 2n-1, ...).
+    EveryNth(u64),
+    /// Fire for every operation with index in `[from, from + count)`.
+    Window { from: u64, count: u64 },
+    /// Fire on every operation.
+    Always,
+}
+
+impl FaultSchedule {
+    fn fires(&self, seed: u64, key_hash: u64, index: u64) -> bool {
+        match self {
+            FaultSchedule::Probability(p) => {
+                if *p <= 0.0 {
+                    return false;
+                }
+                if *p >= 1.0 {
+                    return true;
+                }
+                let h = splitmix64(seed ^ key_hash ^ index.wrapping_mul(0x2545_f491_4f6c_dd1d));
+                (h as f64 / u64::MAX as f64) < *p
+            }
+            FaultSchedule::EveryNth(n) => *n > 0 && (index + 1).is_multiple_of(*n),
+            FaultSchedule::Window { from, count } => index >= *from && index < from + count,
+            FaultSchedule::Always => true,
+        }
+    }
+}
+
+/// What happens when a spec fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Return [`KafkaError::InjectedFault`] (retriable).
+    TransientError,
+    /// Return [`KafkaError::PartitionUnavailable`] (retriable) — models a
+    /// partition whose replicas are all offline for the schedule's duration.
+    Unavailable,
+    /// Record `ms` of injected latency (and really sleep when the injector
+    /// is configured with [`FaultInjector::real_sleeps`]); the operation
+    /// then proceeds normally.
+    Latency { ms: u64 },
+}
+
+/// One injection rule: which operations it applies to and what it does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Restrict to one topic (`None` = all topics).
+    pub topic: Option<String>,
+    /// Restrict to one partition (`None` = all partitions).
+    pub partition: Option<u32>,
+    /// Restrict to one operation (`None` = produce and fetch).
+    pub op: Option<FaultOp>,
+    pub kind: FaultKind,
+    pub schedule: FaultSchedule,
+}
+
+impl FaultSpec {
+    /// A spec applying to every topic, partition, and operation.
+    pub fn any(kind: FaultKind, schedule: FaultSchedule) -> Self {
+        FaultSpec {
+            topic: None,
+            partition: None,
+            op: None,
+            kind,
+            schedule,
+        }
+    }
+
+    /// Builder-style topic restriction.
+    pub fn on_topic(mut self, topic: impl Into<String>) -> Self {
+        self.topic = Some(topic.into());
+        self
+    }
+
+    /// Builder-style partition restriction.
+    pub fn on_partition(mut self, partition: u32) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Builder-style operation restriction.
+    pub fn on_op(mut self, op: FaultOp) -> Self {
+        self.op = Some(op);
+        self
+    }
+
+    fn matches(&self, op: FaultOp, topic: &str, partition: u32) -> bool {
+        self.op.is_none_or(|o| o == op)
+            && self.topic.as_deref().is_none_or(|t| t == topic)
+            && self.partition.is_none_or(|p| p == partition)
+    }
+}
+
+/// Counters describing injector activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultMetricsSnapshot {
+    pub injected_errors: u64,
+    pub unavailable_hits: u64,
+    pub latency_events: u64,
+    pub injected_latency_ms: u64,
+}
+
+#[derive(Debug, Default)]
+struct FaultMetrics {
+    injected_errors: AtomicU64,
+    unavailable_hits: AtomicU64,
+    latency_events: AtomicU64,
+    injected_latency_ms: AtomicU64,
+}
+
+fn fnv1a_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The injector itself. Install on a broker with
+/// [`Broker::set_fault_injector`](crate::Broker::set_fault_injector); specs
+/// can be pushed while traffic is flowing (chaos events do exactly that).
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    specs: Mutex<Vec<FaultSpec>>,
+    /// Per-(topic-partition, op) operation indices, advanced on every
+    /// intercepted call whether or not a fault fires.
+    counters: Mutex<HashMap<(TopicPartition, FaultOp), u64>>,
+    metrics: FaultMetrics,
+    real_sleeps: bool,
+}
+
+impl FaultInjector {
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            seed,
+            specs: Mutex::new(Vec::new()),
+            counters: Mutex::new(HashMap::new()),
+            metrics: FaultMetrics::default(),
+            real_sleeps: false,
+        }
+    }
+
+    /// Shared handle with the given seed and specs.
+    pub fn with_specs(seed: u64, specs: Vec<FaultSpec>) -> Arc<Self> {
+        let inj = FaultInjector::new(seed);
+        *inj.specs.lock() = specs;
+        Arc::new(inj)
+    }
+
+    /// Make latency faults really sleep (off by default: latency is
+    /// recorded, not paid, so chaos tests stay fast).
+    pub fn real_sleeps(mut self, on: bool) -> Self {
+        self.real_sleeps = on;
+        self
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Add a spec while traffic is flowing.
+    pub fn push_spec(&self, spec: FaultSpec) {
+        self.specs.lock().push(spec);
+    }
+
+    /// Remove every spec (the injector becomes a transparent pass-through).
+    pub fn clear_specs(&self) {
+        self.specs.lock().clear();
+    }
+
+    /// Operations intercepted so far for `(topic, partition, op)` — chaos
+    /// events use this to open [`FaultSchedule::Window`]s "from now on".
+    pub fn op_count(&self, topic: &str, partition: u32, op: FaultOp) -> u64 {
+        self.counters
+            .lock()
+            .get(&(TopicPartition::new(topic, partition), op))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn metrics(&self) -> FaultMetricsSnapshot {
+        FaultMetricsSnapshot {
+            injected_errors: self.metrics.injected_errors.load(Ordering::Relaxed),
+            unavailable_hits: self.metrics.unavailable_hits.load(Ordering::Relaxed),
+            latency_events: self.metrics.latency_events.load(Ordering::Relaxed),
+            injected_latency_ms: self.metrics.injected_latency_ms.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Intercept one operation: advance the per-partition index, evaluate
+    /// specs in order, and return the first firing error (latency specs
+    /// record and fall through). Called by the broker before touching the
+    /// log.
+    pub fn intercept(&self, op: FaultOp, topic: &str, partition: u32) -> Result<()> {
+        let index = {
+            let mut counters = self.counters.lock();
+            let c = counters
+                .entry((TopicPartition::new(topic, partition), op))
+                .or_insert(0);
+            let i = *c;
+            *c += 1;
+            i
+        };
+        let key_hash = fnv1a_str(topic)
+            ^ (partition as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ match op {
+                FaultOp::Produce => 0x50,
+                FaultOp::Fetch => 0xf0,
+            };
+        let specs = self.specs.lock().clone();
+        for spec in &specs {
+            if !spec.matches(op, topic, partition) {
+                continue;
+            }
+            if !spec.schedule.fires(self.seed, key_hash, index) {
+                continue;
+            }
+            match &spec.kind {
+                FaultKind::TransientError => {
+                    self.metrics.injected_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(KafkaError::InjectedFault {
+                        op,
+                        topic: topic.to_string(),
+                        partition,
+                    });
+                }
+                FaultKind::Unavailable => {
+                    self.metrics
+                        .unavailable_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(KafkaError::PartitionUnavailable {
+                        topic: topic.to_string(),
+                        partition,
+                    });
+                }
+                FaultKind::Latency { ms } => {
+                    self.metrics.latency_events.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .injected_latency_ms
+                        .fetch_add(*ms, Ordering::Relaxed);
+                    if self.real_sleeps {
+                        std::thread::sleep(std::time::Duration::from_millis(*ms));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_nth_fires_on_schedule() {
+        let inj = FaultInjector::with_specs(
+            1,
+            vec![FaultSpec::any(
+                FaultKind::TransientError,
+                FaultSchedule::EveryNth(3),
+            )],
+        );
+        let outcomes: Vec<bool> = (0..9)
+            .map(|_| inj.intercept(FaultOp::Produce, "t", 0).is_err())
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(inj.metrics().injected_errors, 3);
+    }
+
+    #[test]
+    fn window_bounds_unavailability() {
+        let inj = FaultInjector::with_specs(
+            1,
+            vec![FaultSpec::any(
+                FaultKind::Unavailable,
+                FaultSchedule::Window { from: 2, count: 3 },
+            )],
+        );
+        let outcomes: Vec<bool> = (0..8)
+            .map(|_| inj.intercept(FaultOp::Fetch, "t", 0).is_err())
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, true, true, false, false, false]
+        );
+        assert_eq!(inj.metrics().unavailable_hits, 3);
+    }
+
+    #[test]
+    fn probability_decisions_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let inj = FaultInjector::with_specs(
+                seed,
+                vec![FaultSpec::any(
+                    FaultKind::TransientError,
+                    FaultSchedule::Probability(0.5),
+                )],
+            );
+            (0..64)
+                .map(|_| inj.intercept(FaultOp::Produce, "orders", 3).is_err())
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
+        let fired = run(7).iter().filter(|b| **b).count();
+        assert!((10..=54).contains(&fired), "roughly half fire: {fired}");
+    }
+
+    #[test]
+    fn specs_scope_by_topic_partition_and_op() {
+        let inj = FaultInjector::with_specs(
+            1,
+            vec![
+                FaultSpec::any(FaultKind::TransientError, FaultSchedule::Always)
+                    .on_topic("orders")
+                    .on_partition(1)
+                    .on_op(FaultOp::Produce),
+            ],
+        );
+        assert!(inj.intercept(FaultOp::Produce, "orders", 1).is_err());
+        assert!(inj.intercept(FaultOp::Produce, "orders", 0).is_ok());
+        assert!(inj.intercept(FaultOp::Produce, "other", 1).is_ok());
+        assert!(inj.intercept(FaultOp::Fetch, "orders", 1).is_ok());
+    }
+
+    #[test]
+    fn latency_records_and_passes_through() {
+        let inj = FaultInjector::with_specs(
+            1,
+            vec![FaultSpec::any(
+                FaultKind::Latency { ms: 25 },
+                FaultSchedule::EveryNth(2),
+            )],
+        );
+        for _ in 0..4 {
+            assert!(inj.intercept(FaultOp::Produce, "t", 0).is_ok());
+        }
+        let m = inj.metrics();
+        assert_eq!(m.latency_events, 2);
+        assert_eq!(m.injected_latency_ms, 50);
+    }
+
+    #[test]
+    fn op_counts_advance_per_partition() {
+        let inj = FaultInjector::new(1);
+        inj.intercept(FaultOp::Produce, "t", 0).unwrap();
+        inj.intercept(FaultOp::Produce, "t", 0).unwrap();
+        inj.intercept(FaultOp::Fetch, "t", 0).unwrap();
+        assert_eq!(inj.op_count("t", 0, FaultOp::Produce), 2);
+        assert_eq!(inj.op_count("t", 0, FaultOp::Fetch), 1);
+        assert_eq!(inj.op_count("t", 1, FaultOp::Produce), 0);
+    }
+}

@@ -47,6 +47,7 @@
 pub mod broker;
 pub mod consumer;
 pub mod error;
+pub mod fault;
 pub mod group;
 pub mod log;
 pub mod message;
@@ -55,18 +56,21 @@ pub mod offsets;
 pub mod partitioner;
 pub mod producer;
 pub mod replication;
+pub mod retry;
 pub mod throttle;
 pub mod topic;
 
 pub use broker::Broker;
 pub use consumer::{Consumer, ConsumerRecord};
-pub use error::{KafkaError, Result};
+pub use error::{FaultOp, KafkaError, Result};
+pub use fault::{FaultInjector, FaultKind, FaultMetricsSnapshot, FaultSchedule, FaultSpec};
 pub use group::{Assignor, GroupCoordinator, GroupMember};
 pub use log::{FetchResult, PartitionLog, Record, SegmentConfig};
 pub use message::{Message, TopicPartition};
 pub use metrics::BrokerMetrics;
 pub use partitioner::Partitioner;
 pub use producer::{Producer, RecordMetadata};
-pub use replication::{AckMode, ReplicationConfig};
+pub use replication::{AckMode, IsrDelta, ReplicationConfig};
+pub use retry::{splitmix64, Clock, Retrier, RetryMetrics, RetryPolicy, SystemClock, VirtualClock};
 pub use throttle::IoThrottle;
 pub use topic::{Topic, TopicConfig};

@@ -255,6 +255,41 @@ impl PartitionLog {
         }
     }
 
+    /// Truncate the log so `offset` becomes the new end offset, dropping
+    /// every record at or past it. Used by leader failover: records beyond
+    /// the committed offset were never replicated and die with the old
+    /// leader. No-op when `offset >= end`; truncating below the start
+    /// offset clamps to the start (everything retained is dropped).
+    pub fn truncate_to(&mut self, offset: u64) {
+        let offset = offset.max(self.start_offset);
+        if offset >= self.end_offset() {
+            return;
+        }
+        while let Some(seg) = self.segments.back_mut() {
+            if seg.base_offset >= offset {
+                // Whole segment is past the truncation point.
+                self.total_bytes -= seg.bytes;
+                self.segments.pop_back();
+                continue;
+            }
+            let keep = (offset - seg.base_offset) as usize;
+            for rec in seg.records.drain(keep..) {
+                seg.bytes -= rec.message.payload_len() as u64;
+                self.total_bytes -= rec.message.payload_len() as u64;
+            }
+            seg.max_append_time = seg
+                .records
+                .iter()
+                .map(|r| r.append_time)
+                .max()
+                .unwrap_or(i64::MIN);
+            break;
+        }
+        if self.segments.is_empty() {
+            self.segments.push_back(Segment::new(offset));
+        }
+    }
+
     /// Truncate everything (used by tests and compaction simulations).
     pub fn clear(&mut self) {
         let end = self.end_offset();
@@ -366,6 +401,38 @@ mod tests {
         assert_eq!(log.offset_for_timestamp(20), 1);
         assert_eq!(log.offset_for_timestamp(25), 2);
         assert_eq!(log.offset_for_timestamp(99), 4);
+    }
+
+    #[test]
+    fn truncate_to_drops_tail_across_segments() {
+        let mut log = log_with(3, 0);
+        for i in 0..10u8 {
+            log.append(Message::new(vec![i]));
+        }
+        log.truncate_to(4);
+        assert_eq!(log.end_offset(), 4);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.retained_bytes(), 4);
+        let out = log.fetch(0, 100).unwrap();
+        let offsets: Vec<u64> = out.records.iter().map(|r| r.offset).collect();
+        assert_eq!(offsets, vec![0, 1, 2, 3]);
+        // Appends continue densely from the truncation point.
+        assert_eq!(log.append(Message::new("z")), 4);
+        // Truncating at or past the end is a no-op.
+        log.truncate_to(99);
+        assert_eq!(log.end_offset(), 5);
+    }
+
+    #[test]
+    fn truncate_to_start_empties_log() {
+        let mut log = log_with(2, 0);
+        for i in 0..5u8 {
+            log.append(Message::new(vec![i]));
+        }
+        log.truncate_to(0);
+        assert!(log.is_empty());
+        assert_eq!(log.end_offset(), 0);
+        assert_eq!(log.append(Message::new("a")), 0);
     }
 
     #[test]

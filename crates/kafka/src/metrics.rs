@@ -13,6 +13,10 @@ pub struct BrokerMetrics {
     bytes_in: AtomicU64,
     messages_out: AtomicU64,
     bytes_out: AtomicU64,
+    isr_shrinks: AtomicU64,
+    isr_expands: AtomicU64,
+    leader_epoch_bumps: AtomicU64,
+    faults_injected: AtomicU64,
 }
 
 impl BrokerMetrics {
@@ -24,6 +28,27 @@ impl BrokerMetrics {
     pub fn record_fetch(&self, messages: u64, bytes: u64) {
         self.messages_out.fetch_add(messages, Ordering::Relaxed);
         self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record ISR membership transitions observed by a replication tick or
+    /// an administrative follower failure.
+    pub fn record_isr_delta(&self, shrank: u64, expanded: u64) {
+        if shrank > 0 {
+            self.isr_shrinks.fetch_add(shrank, Ordering::Relaxed);
+        }
+        if expanded > 0 {
+            self.isr_expands.fetch_add(expanded, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a leader failover (epoch bump) on some partition.
+    pub fn record_leader_epoch_bump(&self) {
+        self.leader_epoch_bumps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a fault-injector decision that surfaced an error to a client.
+    pub fn record_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn messages_in(&self) -> u64 {
@@ -42,8 +67,24 @@ impl BrokerMetrics {
         self.bytes_out.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of all four counters (in-messages, in-bytes, out-messages,
-    /// out-bytes).
+    pub fn isr_shrinks(&self) -> u64 {
+        self.isr_shrinks.load(Ordering::Relaxed)
+    }
+
+    pub fn isr_expands(&self) -> u64 {
+        self.isr_expands.load(Ordering::Relaxed)
+    }
+
+    pub fn leader_epoch_bumps(&self) -> u64 {
+        self.leader_epoch_bumps.load(Ordering::Relaxed)
+    }
+
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the four traffic counters (in-messages, in-bytes,
+    /// out-messages, out-bytes).
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
         (
             self.messages_in(),
@@ -65,5 +106,19 @@ mod tests {
         m.record_produce(1, 100);
         m.record_fetch(3, 300);
         assert_eq!(m.snapshot(), (3, 300, 3, 300));
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let m = BrokerMetrics::default();
+        m.record_isr_delta(2, 1);
+        m.record_isr_delta(0, 0);
+        m.record_leader_epoch_bump();
+        m.record_fault_injected();
+        m.record_fault_injected();
+        assert_eq!(m.isr_shrinks(), 2);
+        assert_eq!(m.isr_expands(), 1);
+        assert_eq!(m.leader_epoch_bumps(), 1);
+        assert_eq!(m.faults_injected(), 2);
     }
 }

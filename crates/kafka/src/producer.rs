@@ -5,6 +5,7 @@ use crate::error::Result;
 use crate::message::Message;
 use crate::partitioner::Partitioner;
 use crate::replication::AckMode;
+use crate::retry::Retrier;
 
 /// Metadata returned for each produced record, like Kafka's `RecordMetadata`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,12 +14,17 @@ pub struct RecordMetadata {
     pub offset: u64,
 }
 
-/// A producer bound to one broker with a partitioning strategy and ack mode.
+/// A producer bound to one broker with a partitioning strategy, ack mode,
+/// and retry policy. Transient broker errors (injected faults, leader
+/// elections, ISR shortfalls) are retried with backoff before surfacing;
+/// injected errors fire before the log append, so a retried send never
+/// duplicates a record.
 #[derive(Debug)]
 pub struct Producer {
     broker: Broker,
     partitioner: Partitioner,
     acks: AckMode,
+    retrier: Retrier,
 }
 
 impl Producer {
@@ -28,6 +34,7 @@ impl Producer {
             broker,
             partitioner: Partitioner::key_hash(),
             acks: AckMode::Leader,
+            retrier: Retrier::default(),
         }
     }
 
@@ -37,6 +44,7 @@ impl Producer {
             broker,
             partitioner: Partitioner::round_robin(),
             acks: AckMode::Leader,
+            retrier: Retrier::default(),
         }
     }
 
@@ -46,6 +54,7 @@ impl Producer {
             broker,
             partitioner,
             acks: AckMode::Leader,
+            retrier: Retrier::default(),
         }
     }
 
@@ -55,21 +64,32 @@ impl Producer {
         self
     }
 
+    /// Override the retrier (builder style). Use
+    /// [`Retrier::disabled`] to surface the first error verbatim.
+    pub fn retry(mut self, retrier: Retrier) -> Self {
+        self.retrier = retrier;
+        self
+    }
+
+    /// This producer's retrier (its metrics count retries/giveups).
+    pub fn retrier(&self) -> &Retrier {
+        &self.retrier
+    }
+
     /// Send a message; the partitioner picks the partition.
     pub fn send(&self, topic: &str, message: Message) -> Result<RecordMetadata> {
         let partitions = self.broker.partition_count(topic)?;
         let partition = self.partitioner.partition(&message, partitions);
-        let offset = self
-            .broker
-            .produce_with_acks(topic, partition, message, self.acks)?;
-        Ok(RecordMetadata { partition, offset })
+        self.send_to(topic, partition, message)
     }
 
     /// Send directly to an explicit partition, bypassing the partitioner.
     pub fn send_to(&self, topic: &str, partition: u32, message: Message) -> Result<RecordMetadata> {
-        let offset = self
-            .broker
-            .produce_with_acks(topic, partition, message, self.acks)?;
+        // Message payloads are refcounted, so the per-attempt clone is cheap.
+        let offset = self.retrier.run(|| {
+            self.broker
+                .produce_with_acks(topic, partition, message.clone(), self.acks)
+        })?;
         Ok(RecordMetadata { partition, offset })
     }
 
@@ -96,9 +116,10 @@ impl Producer {
             total
         ];
         for (partition, (indices, msgs)) in groups {
-            let offsets = self
-                .broker
-                .produce_batch(topic, partition, msgs, self.acks)?;
+            let offsets = self.retrier.run(|| {
+                self.broker
+                    .produce_batch(topic, partition, msgs.clone(), self.acks)
+            })?;
             for (i, offset) in indices.into_iter().zip(offsets) {
                 metadata[i] = RecordMetadata { partition, offset };
             }
@@ -114,9 +135,10 @@ impl Producer {
         partition: u32,
         messages: Vec<Message>,
     ) -> Result<Vec<RecordMetadata>> {
-        let offsets = self
-            .broker
-            .produce_batch(topic, partition, messages, self.acks)?;
+        let offsets = self.retrier.run(|| {
+            self.broker
+                .produce_batch(topic, partition, messages.clone(), self.acks)
+        })?;
         Ok(offsets
             .into_iter()
             .map(|offset| RecordMetadata { partition, offset })
@@ -219,6 +241,45 @@ mod tests {
             ]
         );
         assert_eq!(b.end_offset("t", 2).unwrap(), 2);
+    }
+
+    #[test]
+    fn send_rides_out_injected_transient_faults() {
+        use crate::error::{FaultOp, KafkaError};
+        use crate::fault::{FaultInjector, FaultKind, FaultSchedule, FaultSpec};
+
+        let b = Broker::new();
+        b.create_topic("t", TopicConfig::with_partitions(1))
+            .unwrap();
+        // Every produce fails twice out of three (indices 0,1 fail; 2 ok...).
+        b.set_fault_injector(Some(FaultInjector::with_specs(
+            9,
+            vec![FaultSpec::any(
+                FaultKind::TransientError,
+                FaultSchedule::Window { from: 0, count: 2 },
+            )
+            .on_op(FaultOp::Produce)],
+        )));
+        let p = Producer::key_hash(b.clone());
+        let md = p.send("t", Message::new("x")).unwrap();
+        assert_eq!(md.offset, 0, "no duplicate appends across retries");
+        assert_eq!(b.end_offset("t", 0).unwrap(), 1);
+        assert_eq!(p.retrier().metrics().retries(), 2);
+        assert_eq!(b.metrics().faults_injected(), 2);
+
+        // With retries disabled the injected error surfaces verbatim.
+        b.set_fault_injector(Some(FaultInjector::with_specs(
+            9,
+            vec![FaultSpec::any(
+                FaultKind::TransientError,
+                FaultSchedule::Always,
+            )],
+        )));
+        let p = Producer::key_hash(b).retry(Retrier::disabled());
+        assert!(matches!(
+            p.send("t", Message::new("y")),
+            Err(KafkaError::InjectedFault { .. })
+        ));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Leader/follower replication simulation.
+//! Leader/follower replication simulation with leader failover.
 //!
 //! The evaluation cluster in the paper replicates every Kafka topic; the
 //! semantics Samza depends on are (a) acknowledged writes survive a leader
@@ -7,7 +7,21 @@
 //! advancing their fetched offset toward the leader's end offset when
 //! [`ReplicaSet::tick`] runs. Data is stored once (in the leader log) since
 //! all replicas live in one process; what we simulate is the acknowledgement
-//! and ISR-membership protocol.
+//! and ISR-membership protocol, plus **leader failover**:
+//!
+//! * every partition carries a **leader epoch**, bumped by
+//!   [`ReplicaSet::fail_leader`];
+//! * failover promotes the most-caught-up in-sync follower and truncates the
+//!   log to the **committed offset** (the high watermark) — records past it
+//!   were never replicated, so they are lost exactly as Kafka loses
+//!   `acks=1` writes on leader failure;
+//! * while the election is pending, produce and fetch fail with the
+//!   retriable [`LeaderNotAvailable`](crate::KafkaError::LeaderNotAvailable);
+//!   each failed attempt (and each [`tick`](ReplicaSet::tick)) advances the
+//!   election, so clients recover through retries alone;
+//! * fetch visibility is capped at the high watermark (see
+//!   [`Broker::fetch`](crate::Broker::fetch)), so no consumer ever observes
+//!   a record that failover could truncate.
 
 use crate::error::{KafkaError, Result};
 
@@ -34,6 +48,10 @@ pub struct ReplicationConfig {
     pub records_per_tick: u64,
     /// Followers more than this many records behind drop out of the ISR.
     pub max_lag_records: u64,
+    /// How many attempts/ticks a leader election takes to complete. Clients
+    /// see `LeaderNotAvailable` for this many operations after
+    /// [`ReplicaSet::fail_leader`]; retrying that many times rides it out.
+    pub election_ticks: u32,
 }
 
 impl Default for ReplicationConfig {
@@ -43,8 +61,18 @@ impl Default for ReplicationConfig {
             min_insync_replicas: 1,
             records_per_tick: 1024,
             max_lag_records: 4096,
+            election_ticks: 3,
         }
     }
+}
+
+/// ISR membership changes observed by one [`ReplicaSet::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IsrDelta {
+    /// Followers that left the ISR this tick.
+    pub shrank: u32,
+    /// Followers that (re)joined the ISR this tick.
+    pub expanded: u32,
 }
 
 /// Per-partition replica bookkeeping.
@@ -57,6 +85,11 @@ pub struct ReplicaSet {
     in_sync: Vec<bool>,
     /// Followers currently failed (they neither replicate nor rejoin the ISR).
     failed: Vec<bool>,
+    /// Leader epoch, bumped on every failover.
+    epoch: u64,
+    /// Remaining attempts/ticks before a pending election completes
+    /// (0 = no election in progress).
+    election_countdown: u32,
 }
 
 impl ReplicaSet {
@@ -67,6 +100,8 @@ impl ReplicaSet {
             follower_offsets: vec![0; followers],
             in_sync: vec![true; followers],
             failed: vec![false; followers],
+            epoch: 0,
+            election_countdown: 0,
         }
     }
 
@@ -87,18 +122,46 @@ impl ReplicaSet {
         1 + self.in_sync.iter().filter(|x| **x).count() as u32
     }
 
+    /// Current leader epoch.
+    pub fn leader_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True while a leader election is still in progress.
+    pub fn election_pending(&self) -> bool {
+        self.election_countdown > 0
+    }
+
+    /// Note one client attempt against this partition while an election is
+    /// pending; enough attempts complete the election, so retry loops
+    /// recover without any out-of-band tick.
+    pub fn note_attempt(&mut self) {
+        self.election_countdown = self.election_countdown.saturating_sub(1);
+    }
+
     /// Advance follower replication toward `leader_end`; recompute ISR
     /// membership from lag. Failed followers neither advance nor rejoin.
-    pub fn tick(&mut self, leader_end: u64) {
+    /// Also advances any pending leader election. Returns the ISR
+    /// transitions this tick caused.
+    pub fn tick(&mut self, leader_end: u64) -> IsrDelta {
+        self.election_countdown = self.election_countdown.saturating_sub(1);
+        let mut delta = IsrDelta::default();
         for i in 0..self.follower_offsets.len() {
+            let was = self.in_sync[i];
             if self.failed[i] {
                 self.in_sync[i] = false;
-                continue;
+            } else {
+                let off = &mut self.follower_offsets[i];
+                *off = (*off + self.config.records_per_tick).min(leader_end);
+                self.in_sync[i] = leader_end - *off <= self.config.max_lag_records;
             }
-            let off = &mut self.follower_offsets[i];
-            *off = (*off + self.config.records_per_tick).min(leader_end);
-            self.in_sync[i] = leader_end - *off <= self.config.max_lag_records;
+            match (was, self.in_sync[i]) {
+                (true, false) => delta.shrank += 1,
+                (false, true) => delta.expanded += 1,
+                _ => {}
+            }
         }
+        delta
     }
 
     /// Check whether a produce at `leader_end` satisfies `mode`, given the
@@ -119,18 +182,58 @@ impl ReplicaSet {
         }
     }
 
+    /// Fail the leader: promote the most-caught-up in-sync follower, bump
+    /// the epoch, and start an election window. Returns the committed offset
+    /// the log must be truncated to (records past it were never replicated
+    /// and die with the old leader). Errors with `NotEnoughReplicas` when no
+    /// in-sync follower exists to promote.
+    pub fn fail_leader(&mut self, leader_end: u64, topic: &str, partition: u32) -> Result<u64> {
+        let committed = self.committed_offset(leader_end);
+        // Choose the most-caught-up in-sync, non-failed follower.
+        let promoted = self
+            .follower_offsets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.in_sync[*i] && !self.failed[*i])
+            .max_by_key(|(_, off)| **off)
+            .map(|(i, _)| i);
+        let Some(promoted) = promoted else {
+            return Err(KafkaError::NotEnoughReplicas {
+                topic: topic.to_string(),
+                partition,
+            });
+        };
+        // The promoted follower leaves the follower list; the failed old
+        // leader takes its slot, truncated to the committed offset (it will
+        // rejoin by catching up from there once restored — Kafka's
+        // truncate-to-leader-epoch on rejoin).
+        self.follower_offsets[promoted] = committed;
+        self.in_sync[promoted] = false;
+        self.failed[promoted] = true;
+        // Remaining live followers truncate to the new leader's log too.
+        for off in self.follower_offsets.iter_mut() {
+            *off = (*off).min(committed);
+        }
+        self.epoch += 1;
+        self.election_countdown = self.config.election_ticks;
+        Ok(committed)
+    }
+
     /// Simulate a follower failure: it stops replicating; if `immediate`, it
     /// also leaves the ISR at once (otherwise the next tick ejects it as lag
-    /// grows).
-    pub fn fail_follower(&mut self, idx: usize, immediate: bool) {
+    /// grows). Returns whether the ISR shrank right now.
+    pub fn fail_follower(&mut self, idx: usize, immediate: bool) -> bool {
         if let Some(f) = self.failed.get_mut(idx) {
             *f = true;
         }
         if immediate {
             if let Some(isr) = self.in_sync.get_mut(idx) {
+                let was = *isr;
                 *isr = false;
+                return was;
             }
         }
+        false
     }
 
     /// Restore a failed follower; it rejoins the ISR once caught up.
@@ -151,6 +254,7 @@ mod tests {
             min_insync_replicas: min_isr,
             records_per_tick: per_tick,
             max_lag_records: max_lag,
+            election_ticks: 3,
         })
     }
 
@@ -174,8 +278,15 @@ mod tests {
     #[test]
     fn lagging_follower_leaves_isr() {
         let mut r = rs(2, 2, 1, 5);
-        r.tick(100); // follower at 1, lag 99 > 5 -> out of ISR
+        let delta = r.tick(100); // follower at 1, lag 99 > 5 -> out of ISR
         assert_eq!(r.isr_count(), 1);
+        assert_eq!(
+            delta,
+            IsrDelta {
+                shrank: 1,
+                expanded: 0
+            }
+        );
         assert!(r.check_ack(AckMode::All, "t", 0).is_err());
         // Leader acks still fine.
         assert!(r.check_ack(AckMode::Leader, "t", 0).is_ok());
@@ -189,12 +300,53 @@ mod tests {
         r.tick(100);
         assert_eq!(r.isr_count(), 1, "failed follower must not advance/rejoin");
         r.restore_follower(0);
-        r.tick(100);
-        r.tick(100);
+        let delta = r.tick(100); // 40 -> 90, lag 10 <= 10: back in the ISR
+        assert_eq!(delta.expanded, 1);
         assert_eq!(
             r.isr_count(),
             2,
             "restored follower catches up and rejoins ISR"
         );
+    }
+
+    #[test]
+    fn fail_leader_promotes_and_truncates_to_committed() {
+        let mut r = rs(3, 2, 100, 1000);
+        r.tick(50); // both followers at 50
+                    // Leader appends 20 more that never replicate.
+        let committed = r.fail_leader(70, "t", 0).unwrap();
+        assert_eq!(committed, 50, "truncate to the high watermark");
+        assert_eq!(r.leader_epoch(), 1);
+        assert!(r.election_pending());
+        // Election completes after election_ticks attempts.
+        r.note_attempt();
+        r.note_attempt();
+        r.note_attempt();
+        assert!(!r.election_pending());
+        // The old leader sits in the follower list, failed, at the HW.
+        assert_eq!(r.isr_count(), 2, "promoted slot failed, one live follower");
+    }
+
+    #[test]
+    fn fail_leader_without_in_sync_follower_errors() {
+        let mut r = rs(2, 1, 1, 5);
+        r.tick(100); // follower lags out of ISR
+        assert!(matches!(
+            r.fail_leader(100, "t", 0),
+            Err(KafkaError::NotEnoughReplicas { .. })
+        ));
+        assert_eq!(r.leader_epoch(), 0, "no epoch bump on refused failover");
+    }
+
+    #[test]
+    fn elections_also_complete_via_ticks() {
+        let mut r = rs(2, 1, 100, 1000);
+        r.tick(10);
+        r.fail_leader(10, "t", 0).unwrap();
+        assert!(r.election_pending());
+        r.tick(10);
+        r.tick(10);
+        r.tick(10);
+        assert!(!r.election_pending());
     }
 }

@@ -8,8 +8,11 @@
 
 use crate::error::Result;
 use bytes::Bytes;
-use samzasql_kafka::{Broker, Message, TopicConfig, TopicPartition};
+use samzasql_kafka::{Broker, Message, Retrier, TopicConfig, TopicPartition};
 use std::collections::BTreeMap;
+
+/// Header marking the length-prefixed v2 wire format.
+const V2_HEADER: &[u8] = b"#v2\n";
 
 /// Input positions of one task at one commit: topic-partition → next offset.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -18,18 +21,64 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Serialize to a compact text form: `topic,partition,offset` lines.
-    /// (The paper's Samza stores checkpoints as JSON; a line format keeps
-    /// this substrate dependency-free.)
+    /// Serialize to the v2 text form: a `#v2\n` header followed by one
+    /// `<topic_byte_len>:<topic>,<partition>,<offset>\n` record per entry.
+    /// The length prefix makes the encoding unambiguous for *any* topic name
+    /// — the original `topic,partition,offset` lines silently lost the whole
+    /// checkpoint when a topic contained a comma. (The paper's Samza stores
+    /// checkpoints as JSON; a framed text format keeps this substrate
+    /// dependency-free.)
     fn encode(&self) -> Bytes {
-        let mut s = String::new();
+        let mut s = String::from_utf8(V2_HEADER.to_vec()).expect("ascii header");
         for (tp, off) in &self.offsets {
-            s.push_str(&format!("{},{},{}\n", tp.topic, tp.partition, off));
+            s.push_str(&format!(
+                "{}:{},{},{}\n",
+                tp.topic.len(),
+                tp.topic,
+                tp.partition,
+                off
+            ));
         }
         Bytes::from(s)
     }
 
     fn decode(bytes: &[u8]) -> Option<Checkpoint> {
+        match bytes.strip_prefix(V2_HEADER) {
+            Some(body) => Checkpoint::decode_v2(body),
+            None => Checkpoint::decode_legacy(bytes),
+        }
+    }
+
+    /// Sequential scan of `<len>:<topic>,<partition>,<offset>\n` records.
+    /// The topic is sliced by byte length, so commas and newlines inside it
+    /// cannot confuse the field separators that follow.
+    fn decode_v2(body: &[u8]) -> Option<Checkpoint> {
+        let mut offsets = BTreeMap::new();
+        let mut rest = body;
+        while !rest.is_empty() {
+            let colon = rest.iter().position(|&b| b == b':')?;
+            let len: usize = std::str::from_utf8(&rest[..colon]).ok()?.parse().ok()?;
+            rest = &rest[colon + 1..];
+            if rest.len() < len {
+                return None;
+            }
+            let topic = std::str::from_utf8(&rest[..len]).ok()?;
+            rest = rest[len..].strip_prefix(b",")?;
+            let comma = rest.iter().position(|&b| b == b',')?;
+            let partition: u32 = std::str::from_utf8(&rest[..comma]).ok()?.parse().ok()?;
+            rest = &rest[comma + 1..];
+            let nl = rest.iter().position(|&b| b == b'\n')?;
+            let offset: u64 = std::str::from_utf8(&rest[..nl]).ok()?.parse().ok()?;
+            rest = &rest[nl + 1..];
+            offsets.insert(TopicPartition::new(topic, partition), offset);
+        }
+        Some(Checkpoint { offsets })
+    }
+
+    /// Fallback for checkpoints written before the v2 header existed:
+    /// `topic,partition,offset` lines (ambiguous when topics contain commas,
+    /// which is exactly why v2 replaced it).
+    fn decode_legacy(bytes: &[u8]) -> Option<Checkpoint> {
         let text = std::str::from_utf8(bytes).ok()?;
         let mut offsets = BTreeMap::new();
         for line in text.lines() {
@@ -43,11 +92,14 @@ impl Checkpoint {
     }
 }
 
-/// Writes and reads checkpoints for one job.
+/// Writes and reads checkpoints for one job. Broker calls route through a
+/// retrier: a checkpoint write riding out a transient broker fault is the
+/// difference between a clean commit and a spurious container crash.
 #[derive(Debug, Clone)]
 pub struct CheckpointManager {
     broker: Broker,
     topic: String,
+    retrier: Retrier,
 }
 
 impl CheckpointManager {
@@ -56,16 +108,25 @@ impl CheckpointManager {
     pub fn new(broker: Broker, job_name: &str) -> Result<Self> {
         let topic = format!("__checkpoint_{job_name}");
         broker.ensure_topic(&topic, TopicConfig::with_partitions(1))?;
-        Ok(CheckpointManager { broker, topic })
+        Ok(CheckpointManager {
+            broker,
+            topic,
+            retrier: Retrier::default(),
+        })
+    }
+
+    /// Override the retrier (builder style); containers share one metrics
+    /// sink across their checkpoint, changelog, and output retriers.
+    pub fn with_retrier(mut self, retrier: Retrier) -> Self {
+        self.retrier = retrier;
+        self
     }
 
     /// Append a checkpoint for `task_name`.
     pub fn write(&self, task_name: &str, checkpoint: &Checkpoint) -> Result<()> {
-        self.broker.produce(
-            &self.topic,
-            0,
-            Message::keyed(task_name.to_string(), checkpoint.encode()),
-        )?;
+        let message = Message::keyed(task_name.to_string(), checkpoint.encode());
+        self.retrier
+            .run(|| self.broker.produce(&self.topic, 0, message.clone()))?;
         Ok(())
     }
 
@@ -74,7 +135,9 @@ impl CheckpointManager {
         let mut offset = self.broker.start_offset(&self.topic, 0)?;
         let mut latest = None;
         loop {
-            let batch = self.broker.fetch(&self.topic, 0, offset, 1024)?;
+            let batch = self
+                .retrier
+                .run(|| self.broker.fetch(&self.topic, 0, offset, 1024))?;
             if batch.records.is_empty() {
                 break;
             }
@@ -93,7 +156,9 @@ impl CheckpointManager {
         let mut offset = self.broker.start_offset(&self.topic, 0)?;
         let mut out = BTreeMap::new();
         loop {
-            let batch = self.broker.fetch(&self.topic, 0, offset, 1024)?;
+            let batch = self
+                .retrier
+                .run(|| self.broker.fetch(&self.topic, 0, offset, 1024))?;
             if batch.records.is_empty() {
                 break;
             }
@@ -130,6 +195,61 @@ mod tests {
     fn encode_decode_roundtrip() {
         let c = cp(&[("orders", 0, 42), ("products", 3, 7)]);
         assert_eq!(Checkpoint::decode(&c.encode()), Some(c));
+    }
+
+    #[test]
+    fn topics_with_commas_and_newlines_survive() {
+        // The legacy format lost this checkpoint entirely; v2 must not.
+        let c = cp(&[
+            ("orders,eu", 0, 42),
+            ("a\nb", 1, 7),
+            ("3:tricky", 2, 9),
+            ("", 4, 11),
+        ]);
+        assert_eq!(Checkpoint::decode(&c.encode()), Some(c));
+    }
+
+    #[test]
+    fn legacy_format_still_decodes() {
+        let legacy = b"orders,0,42\nproducts,3,7\n";
+        assert_eq!(
+            Checkpoint::decode(legacy),
+            Some(cp(&[("orders", 0, 42), ("products", 3, 7)]))
+        );
+    }
+
+    #[test]
+    fn garbage_decodes_to_none_not_panic() {
+        for bad in [
+            &b"#v2\n9999:t,0,1\n"[..],
+            &b"#v2\nx:t,0,1\n"[..],
+            &b"#v2\n1:t0,1\n"[..],
+            &b"#v2\n1:t,zero,1\n"[..],
+            &b"\xff\xfe"[..],
+        ] {
+            assert_eq!(Checkpoint::decode(bad), None, "input {bad:?}");
+        }
+    }
+
+    proptest::proptest! {
+        /// Round-trip over arbitrary topic names — the generator emits any
+        /// printable ASCII, so commas, colons, and digits land inside topic
+        /// names where the legacy format fell apart.
+        #[test]
+        fn roundtrips_arbitrary_topic_names(
+            entries in proptest::collection::vec(
+                (".{0,24}", 0u32..64, proptest::any::<u64>()),
+                0..8,
+            )
+        ) {
+            let c = Checkpoint {
+                offsets: entries
+                    .into_iter()
+                    .map(|(t, p, o)| (TopicPartition::new(t, p), o))
+                    .collect(),
+            };
+            proptest::prop_assert_eq!(Checkpoint::decode(&c.encode()), Some(c));
+        }
     }
 
     #[test]

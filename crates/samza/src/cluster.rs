@@ -35,7 +35,7 @@ use std::thread::JoinHandle;
 /// so sessions only expire when a test advances it or force-expires them;
 /// the generous value keeps `advance`-driven consumer-group tests from
 /// collaterally killing containers.
-const CONTAINER_SESSION_TIMEOUT_MS: u64 = 60_000;
+pub(crate) const CONTAINER_SESSION_TIMEOUT_MS: u64 = 60_000;
 
 /// Capacity description of one simulated node.
 #[derive(Debug, Clone)]
@@ -302,7 +302,22 @@ impl ClusterSim {
                     // replacing this incarnation; keep draining until the
                     // crash flag lands rather than racing it.
                     let _ = coord2.heartbeat(session);
-                    let n = container.step()?;
+                    let n = match container.step() {
+                        Ok(n) => n,
+                        Err(e) => {
+                            // A step error IS a container crash. Retire the
+                            // session from a helper thread so the ephemeral
+                            // node vanishes and the AM's liveness watch
+                            // respawns a replacement; closing it from this
+                            // thread would self-deadlock (the watch handler
+                            // joins this very thread).
+                            let coord3 = coord2.clone();
+                            std::thread::spawn(move || {
+                                let _ = coord3.close_session(session);
+                            });
+                            return Err(e);
+                        }
+                    };
                     processed2.fetch_add(n, Ordering::Relaxed);
                     if n == 0 {
                         // Idle: yield instead of spinning hot.

@@ -14,7 +14,10 @@ use crate::kv::KeyValueStore;
 use crate::system::{IncomingMessageEnvelope, MessageCollector, OutgoingMessageEnvelope};
 use crate::task::{StreamTask, TaskContext, TaskCoordinator, TaskFactory};
 use samzasql_kafka::partitioner::hash_bytes;
-use samzasql_kafka::{AckMode, Broker, KafkaError, Message, TopicConfig, TopicPartition};
+use samzasql_kafka::{
+    AckMode, Broker, KafkaError, Message, Retrier, RetryMetrics, TopicConfig, TopicPartition,
+};
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How many records a task fetches from one partition per step.
@@ -44,6 +47,46 @@ pub struct ContainerMetricsSnapshot {
     pub messages_sent: u64,
     pub commits: u64,
     pub window_calls: u64,
+    /// Broker calls retried across all of the container's clients
+    /// (input fetch, output flush, changelog flush/restore, checkpoints).
+    pub retries: u64,
+    /// Broker calls abandoned after exhausting the retry policy.
+    pub giveups: u64,
+}
+
+/// Boundaries inside the commit sequence where a crash can be injected.
+///
+/// The sequence is: flush pending output → flush state changelogs → write
+/// the input checkpoint. Crashing at each boundary and restarting must
+/// recover to output equivalent (after at-least-once dedup) to a fault-free
+/// run — the ordering guarantees that a checkpoint never claims input whose
+/// state/output effects were not yet durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPoint {
+    /// Before any of the commit's flushes: everything since the last commit
+    /// is lost and replayed.
+    BeforeOutputFlush,
+    /// Output is durable, state and checkpoint are not: replay duplicates
+    /// output (at-least-once) but state converges.
+    AfterOutputFlush,
+    /// Output and state are durable, the checkpoint is not: replay re-applies
+    /// input against restored state.
+    AfterChangelogFlush,
+    /// The full commit landed; the crash loses only post-commit progress.
+    AfterCheckpoint,
+}
+
+/// One-shot injected-crash error surfaced as a task failure so the cluster's
+/// crash-recovery path (respawn + restore) takes over.
+fn crash_if_armed(armed: &Cell<Option<CommitPoint>>, point: CommitPoint, task: &str) -> Result<()> {
+    if armed.get() == Some(point) {
+        armed.set(None);
+        return Err(crate::error::SamzaError::Task {
+            task: task.to_string(),
+            message: format!("injected crash at {point:?}"),
+        });
+    }
+    Ok(())
 }
 
 /// A running (or runnable) container.
@@ -54,6 +97,13 @@ pub struct Container {
     checkpoints: CheckpointManager,
     tasks: Vec<TaskInstance>,
     initialized: bool,
+    /// Shared sink for every retrier the container hands out; surfaced via
+    /// [`metrics`](Self::metrics).
+    retry_metrics: RetryMetrics,
+    /// Retrier cloned into the fetch/flush paths (same policy, same sink).
+    retrier: Retrier,
+    /// Armed commit-boundary crash (test hook), consumed on first trigger.
+    commit_crash: Cell<Option<CommitPoint>>,
 }
 
 impl Container {
@@ -66,7 +116,10 @@ impl Container {
         model: ContainerModel,
         factory: &dyn TaskFactory,
     ) -> Result<Self> {
-        let checkpoints = CheckpointManager::new(broker.clone(), &config.name)?;
+        let retry_metrics = RetryMetrics::default();
+        let retrier = Retrier::default().with_metrics(retry_metrics.clone());
+        let checkpoints =
+            CheckpointManager::new(broker.clone(), &config.name)?.with_retrier(retrier.clone());
         let mut tasks = Vec::with_capacity(model.tasks.len());
         for tm in &model.tasks {
             let ctx = TaskContext::new(
@@ -93,7 +146,17 @@ impl Container {
             checkpoints,
             tasks,
             initialized: false,
+            retry_metrics,
+            retrier,
+            commit_crash: Cell::new(None),
         })
+    }
+
+    /// Arm a one-shot crash at `point` in the next commit sequence. The
+    /// injected failure surfaces as a task error, which the cluster treats
+    /// exactly like a container crash — the recovery path under test.
+    pub fn arm_commit_crash(&self, point: CommitPoint) {
+        self.commit_crash.set(Some(point));
     }
 
     /// Initialize every task: create + restore stores, position inputs from
@@ -138,6 +201,7 @@ impl Container {
                     ),
                     None => KeyValueStore::ephemeral(store_cfg.name.clone()),
                 };
+                store.set_retrier(self.retrier.clone());
                 store.restore()?;
                 ti.ctx.register_store(store);
             }
@@ -189,6 +253,8 @@ impl Container {
         // Cheap Arc-backed clones so the task borrow below doesn't conflict.
         let broker = self.broker.clone();
         let checkpoints = self.checkpoints.clone();
+        let retrier = self.retrier.clone();
+        let commit_crash = &self.commit_crash;
         let ti = &mut self.tasks[idx];
         if ti.shutdown {
             return Ok(0);
@@ -216,15 +282,19 @@ impl Container {
             }
             let tp = &candidates[(ti.rotation + i) % n];
             let pos = *ti.positions.get(tp).expect("assigned partition");
-            let fetched =
-                match broker.fetch(&tp.topic, tp.partition, pos, FETCH_BATCH - fetched_total) {
-                    Ok(f) => f,
-                    Err(KafkaError::OffsetOutOfRange { start, .. }) => {
-                        ti.positions.insert(tp.clone(), start);
-                        continue;
-                    }
-                    Err(e) => return Err(e.into()),
-                };
+            // Transient broker faults are ridden out here; OffsetOutOfRange
+            // is non-retriable, so it passes through the retrier verbatim
+            // and the position-reset path still works.
+            let attempt = retrier
+                .run(|| broker.fetch(&tp.topic, tp.partition, pos, FETCH_BATCH - fetched_total));
+            let fetched = match attempt {
+                Ok(f) => f,
+                Err(KafkaError::OffsetOutOfRange { start, .. }) => {
+                    ti.positions.insert(tp.clone(), start);
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
             if fetched.records.is_empty() {
                 continue;
             }
@@ -296,19 +366,42 @@ impl Container {
                     ti.processed_since_commit = 0;
                     // Samza's commit sequence: flush pending output, flush
                     // state changelogs, then checkpoint input positions.
+                    // Durability strictly leads the checkpoint, so a crash at
+                    // any boundary replays input rather than losing effects.
+                    crash_if_armed(
+                        commit_crash,
+                        CommitPoint::BeforeOutputFlush,
+                        &ti.ctx.task_name,
+                    )?;
                     Self::flush_outputs(
                         &broker,
+                        &retrier,
                         &mut collector,
                         &mut ti.out_scratch,
                         &ti.ctx,
                         task_partition,
                     )?;
+                    crash_if_armed(
+                        commit_crash,
+                        CommitPoint::AfterOutputFlush,
+                        &ti.ctx.task_name,
+                    )?;
                     ti.ctx.flush_changelogs()?;
+                    crash_if_armed(
+                        commit_crash,
+                        CommitPoint::AfterChangelogFlush,
+                        &ti.ctx.task_name,
+                    )?;
                     let cp = Checkpoint {
                         offsets: ti.positions.clone(),
                     };
                     checkpoints.write(&ti.ctx.task_name, &cp)?;
                     ti.ctx.metrics.record_commit();
+                    crash_if_armed(
+                        commit_crash,
+                        CommitPoint::AfterCheckpoint,
+                        &ti.ctx.task_name,
+                    )?;
                 }
                 i += consumed;
             }
@@ -317,6 +410,7 @@ impl Container {
         // Flush whatever remains buffered after the batch.
         Self::flush_outputs(
             &broker,
+            &retrier,
             &mut collector,
             &mut ti.out_scratch,
             &ti.ctx,
@@ -343,6 +437,7 @@ impl Container {
     /// partition, which is all the log guarantees anyway.
     fn flush_outputs(
         broker: &Broker,
+        retrier: &Retrier,
         collector: &mut MessageCollector,
         scratch: &mut Vec<OutgoingMessageEnvelope>,
         ctx: &TaskContext,
@@ -382,7 +477,11 @@ impl Container {
                 });
                 j += 1;
             }
-            broker.produce_batch(&topic, partition, run, AckMode::Leader)?;
+            // Message payloads are refcounted, so the per-attempt clone the
+            // retrier needs is cheap. The broker rejects a faulted batch
+            // before appending anything, so retries never duplicate records.
+            retrier
+                .run(|| broker.produce_batch(&topic, partition, run.clone(), AckMode::Leader))?;
             i = j;
         }
         scratch.clear();
@@ -414,6 +513,7 @@ impl Container {
     pub fn window_all(&mut self) -> Result<()> {
         self.init()?;
         let broker = self.broker.clone();
+        let retrier = self.retrier.clone();
         for ti in &mut self.tasks {
             let mut collector = MessageCollector::new();
             let mut coordinator = TaskCoordinator::default();
@@ -423,6 +523,7 @@ impl Container {
             let task_partition = ti.ctx.partition;
             Self::flush_outputs(
                 &broker,
+                &retrier,
                 &mut collector,
                 &mut ti.out_scratch,
                 &ti.ctx,
@@ -435,13 +536,24 @@ impl Container {
     /// Force a checkpoint of every task now (state changelogs flushed
     /// first, like the periodic commit).
     pub fn commit_all(&mut self) -> Result<()> {
+        let commit_crash = &self.commit_crash;
         for ti in &mut self.tasks {
             ti.ctx.flush_changelogs()?;
+            crash_if_armed(
+                commit_crash,
+                CommitPoint::AfterChangelogFlush,
+                &ti.ctx.task_name,
+            )?;
             let cp = Checkpoint {
                 offsets: ti.positions.clone(),
             };
             self.checkpoints.write(&ti.ctx.task_name, &cp)?;
             ti.ctx.metrics.record_commit();
+            crash_if_armed(
+                commit_crash,
+                CommitPoint::AfterCheckpoint,
+                &ti.ctx.task_name,
+            )?;
         }
         Ok(())
     }
@@ -469,6 +581,8 @@ impl Container {
             snap.commits += ti.ctx.metrics.commits();
             snap.window_calls += ti.ctx.metrics.window_calls();
         }
+        snap.retries = self.retry_metrics.retries();
+        snap.giveups = self.retry_metrics.giveups();
         snap
     }
 

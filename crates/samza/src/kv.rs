@@ -19,14 +19,18 @@
 //! store means replaying that partition from the beginning (deletes are
 //! tombstones: a null/empty value). Changelog writes are **buffered** and
 //! flushed by the container during commit, immediately before the input
-//! checkpoint is written — so restored state is always consistent with the
-//! checkpointed input positions and replay after a crash recomputes the same
-//! results (the determinism §4.3 claims). This mirrors Samza's commit
-//! sequence (flush state, then checkpoint).
+//! checkpoint is written — Samza's commit sequence (flush state, then
+//! checkpoint). Flushing state first means a crash can never *lose* state
+//! the checkpoint claims to have; the converse window — crash after the
+//! changelog flush but before the checkpoint — leaves restored state
+//! *ahead* of the checkpointed positions, so replay re-applies the
+//! replayed input to the store: at-least-once state application, exactly
+//! as in Samza. DESIGN.md §8 tabulates the per-boundary guarantees and
+//! `tests/chaos.rs` asserts them.
 
 use crate::error::Result;
 use bytes::Bytes;
-use samzasql_kafka::{Broker, Message};
+use samzasql_kafka::{AckMode, Broker, Message, Retrier};
 use samzasql_serde::{BoxedSerde, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,6 +68,8 @@ pub struct KeyValueStore {
     /// Checksum passes per access (storage-engine cost model); 0 disables.
     engine_cost_passes: u32,
     metrics: Arc<StoreMetrics>,
+    /// Retry policy for changelog flush and restore traffic.
+    retrier: Retrier,
 }
 
 /// Default checksum passes, calibrated so one access over a ~100-byte value
@@ -92,6 +98,7 @@ impl KeyValueStore {
             pending: Vec::new(),
             engine_cost_passes: DEFAULT_ENGINE_COST_PASSES,
             metrics: Arc::new(StoreMetrics::default()),
+            retrier: Retrier::default(),
         }
     }
 
@@ -110,12 +117,19 @@ impl KeyValueStore {
             pending: Vec::new(),
             engine_cost_passes: DEFAULT_ENGINE_COST_PASSES,
             metrics: Arc::new(StoreMetrics::default()),
+            retrier: Retrier::default(),
         }
     }
 
     /// Configure the storage-engine cost model (0 disables it).
     pub fn set_engine_cost_passes(&mut self, passes: u32) {
         self.engine_cost_passes = passes;
+    }
+
+    /// Override the retry policy for changelog flush/restore traffic, so a
+    /// container can share one metrics sink across all its retriers.
+    pub fn set_retrier(&mut self, retrier: Retrier) {
+        self.retrier = retrier;
     }
 
     /// Charge the engine cost for one access. RocksDB's per-operation cost
@@ -184,17 +198,24 @@ impl KeyValueStore {
             self.pending.clear();
             return Ok(());
         };
-        for (key, value) in self.pending.drain(..) {
-            broker.produce(
-                &topic,
-                partition,
-                Message {
-                    key: Some(Bytes::from(key)),
-                    value,
-                    timestamp: 0,
-                },
-            )?;
+        if self.pending.is_empty() {
+            return Ok(());
         }
+        let messages: Vec<Message> = self
+            .pending
+            .iter()
+            .map(|(key, value)| Message {
+                key: Some(Bytes::from(key.clone())),
+                value: value.clone(),
+                timestamp: 0,
+            })
+            .collect();
+        // One batched append under retry: the broker rejects a batch before
+        // appending anything, so a retried flush never half-writes, and the
+        // pending buffer is kept on failure so the next commit re-flushes.
+        self.retrier
+            .run(|| broker.produce_batch(&topic, partition, messages.clone(), AckMode::Leader))?;
+        self.pending.clear();
         Ok(())
     }
 
@@ -248,7 +269,9 @@ impl KeyValueStore {
         let mut offset = broker.start_offset(&topic, partition)?;
         let mut applied = 0u64;
         loop {
-            let batch = broker.fetch(&topic, partition, offset, 1024)?;
+            let batch = self
+                .retrier
+                .run(|| broker.fetch(&topic, partition, offset, 1024))?;
             if batch.records.is_empty() {
                 break;
             }
@@ -416,6 +439,39 @@ mod tests {
         assert_eq!(restored.len(), 1);
         // Partition 0 untouched.
         assert_eq!(broker.end_offset("clog", 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn failed_flush_keeps_pending_for_next_commit() {
+        use samzasql_kafka::{FaultInjector, FaultKind, FaultOp, FaultSchedule, FaultSpec};
+
+        let broker = Broker::new();
+        broker
+            .create_topic("clog", TopicConfig::with_partitions(1))
+            .unwrap();
+        let mut s = KeyValueStore::with_changelog("s", broker.clone(), "clog", 0);
+        s.set_retrier(Retrier::disabled());
+        s.put(b"a", Bytes::from_static(b"1")).unwrap();
+        // Permanently failing broker: flush errors, buffer survives.
+        broker.set_fault_injector(Some(FaultInjector::with_specs(
+            1,
+            vec![
+                FaultSpec::any(FaultKind::Unavailable, FaultSchedule::Always)
+                    .on_op(FaultOp::Produce),
+            ],
+        )));
+        assert!(s.flush_changelog().is_err());
+        assert_eq!(
+            s.pending_changelog(),
+            1,
+            "failed flush must not drop writes"
+        );
+        assert_eq!(broker.end_offset("clog", 0).unwrap(), 0);
+        // Fault clears; the next flush lands exactly one copy.
+        broker.set_fault_injector(None);
+        s.flush_changelog().unwrap();
+        assert_eq!(s.pending_changelog(), 0);
+        assert_eq!(broker.end_offset("clog", 0).unwrap(), 1);
     }
 
     #[test]

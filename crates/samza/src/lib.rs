@@ -27,6 +27,7 @@
 //! container liveness through ephemeral znodes, and drives failure recovery
 //! through watches ([`cluster`]).
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod cluster;
 pub mod config;
@@ -38,10 +39,11 @@ pub mod metrics;
 pub mod system;
 pub mod task;
 
+pub use chaos::{apply_fault, ChaosEvent, ChaosFault, ChaosScenario, ScenarioOptions};
 pub use checkpoint::{Checkpoint, CheckpointManager};
 pub use cluster::{ClusterSim, JobHandle, NodeConfig};
 pub use config::{InputStreamConfig, JobConfig, OutputStreamConfig, StoreConfig};
-pub use container::{Container, ContainerMetricsSnapshot};
+pub use container::{CommitPoint, Container, ContainerMetricsSnapshot};
 pub use coordinator::{ContainerModel, JobModel, TaskModel};
 pub use error::{Result, SamzaError};
 pub use kv::{KeyValueStore, StoreMetricsSnapshot, TypedStore};
