@@ -33,3 +33,9 @@ if cargo run --release -p samzasql-analyze --bin plan-lint -- --deny crates/anal
   echo "ci.sh: plan-lint --deny unexpectedly accepted the seeded corpus" >&2
   exit 1
 fi
+
+# Observability pass: EXPLAIN ANALYZE must annotate every operator of the
+# four clean paper shapes in the corpus, and the Prometheus exporter output
+# must validate (unique series, monotone counters, consistent histograms).
+# See docs/OBSERVABILITY.md.
+cargo run --release -p samzasql-bench --bin explain_analyze -- crates/analyze/tests/corpus

@@ -16,11 +16,13 @@ use crate::native::{NativeTaskFactory, NativeTaskKind, NATIVE_STORE};
 use samzasql_core::shell::SamzaSqlShell;
 use samzasql_kafka::partitioner::hash_bytes;
 use samzasql_kafka::{Broker, Message, TopicConfig};
+use samzasql_obs::{MetricValue, MetricsRegistry};
 use samzasql_samza::{ClusterSim, InputStreamConfig, JobConfig, OutputStreamConfig, StoreConfig};
 use samzasql_serde::SerdeFormat;
 use samzasql_workload::{
     orders_schema, products_schema, OrdersGenerator, OrdersSpec, ProductsGenerator, ProductsSpec,
 };
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -148,6 +150,50 @@ fn wait_processed(check: impl Fn() -> u64, expected: u64, timeout: Duration) -> 
     }
 }
 
+/// Per-operator totals for one profiled run, sourced from the shell's
+/// metrics registry (`core.operator.*` series aggregated across tasks).
+#[derive(Debug, Clone)]
+pub struct OperatorBreakdown {
+    /// Operator name plus plan-node index, e.g. `filter#1`.
+    pub op: String,
+    pub rows_in: u64,
+    pub rows_out: u64,
+    pub batches: u64,
+    pub busy_ns: u64,
+}
+
+/// Aggregate the registry's `core.operator.*` series per operator (summing
+/// across the job's tasks).
+pub fn operator_breakdown(registry: &MetricsRegistry) -> Vec<OperatorBreakdown> {
+    let snap = registry.snapshot_prefix("core.operator.");
+    let mut by_op: BTreeMap<String, OperatorBreakdown> = BTreeMap::new();
+    for e in &snap.entries {
+        let Some(op) = e.labels.iter().find(|(k, _)| k == "op").map(|(_, v)| v) else {
+            continue;
+        };
+        let MetricValue::Counter(v) = e.value else {
+            continue;
+        };
+        let row = by_op
+            .entry(op.clone())
+            .or_insert_with(|| OperatorBreakdown {
+                op: op.clone(),
+                rows_in: 0,
+                rows_out: 0,
+                batches: 0,
+                busy_ns: 0,
+            });
+        match e.name.as_str() {
+            "core.operator.rows_in" => row.rows_in += v,
+            "core.operator.rows_out" => row.rows_out += v,
+            "core.operator.batches" => row.batches += v,
+            "core.operator.busy_ns" => row.busy_ns += v,
+            _ => {}
+        }
+    }
+    by_op.into_values().collect()
+}
+
 /// Measure SamzaSQL executing `query` with `containers` containers over `n`
 /// preloaded messages on a `partitions`-partition topic.
 pub fn measure_samzasql(
@@ -156,7 +202,7 @@ pub fn measure_samzasql(
     partitions: u32,
     n: usize,
 ) -> ThroughputResult {
-    measure_samzasql_mode(query, containers, partitions, n, false)
+    measure_samzasql_mode(query, containers, partitions, n, false, false).0
 }
 
 /// Measure SamzaSQL with the direct data API enabled (§7 item 5 ablation:
@@ -167,7 +213,18 @@ pub fn measure_samzasql_direct(
     partitions: u32,
     n: usize,
 ) -> ThroughputResult {
-    measure_samzasql_mode(query, containers, partitions, n, true)
+    measure_samzasql_mode(query, containers, partitions, n, true, false).0
+}
+
+/// Measure SamzaSQL with per-operator profiling enabled; throughput comes
+/// with the registry-sourced per-operator breakdown.
+pub fn measure_samzasql_profiled(
+    query: EvalQuery,
+    containers: u32,
+    partitions: u32,
+    n: usize,
+) -> (ThroughputResult, Vec<OperatorBreakdown>) {
+    measure_samzasql_mode(query, containers, partitions, n, false, true)
 }
 
 fn measure_samzasql_mode(
@@ -176,7 +233,8 @@ fn measure_samzasql_mode(
     partitions: u32,
     n: usize,
     direct_data_api: bool,
-) -> ThroughputResult {
+    profile: bool,
+) -> (ThroughputResult, Vec<OperatorBreakdown>) {
     let broker = Broker::new();
     let expected = setup_workload(&broker, query, partitions, n);
     let mut shell = SamzaSqlShell::new(broker.clone());
@@ -198,13 +256,30 @@ fn measure_samzasql_mode(
     }
     shell.default_containers = containers;
     shell.direct_data_api = direct_data_api;
+    shell.profile_operators = profile;
 
     let start = Instant::now();
     let handle = shell.submit(query.sql()).unwrap();
     let _ = wait_processed(|| handle.processed(), expected, Duration::from_secs(600));
     let elapsed = start.elapsed();
     handle.stop().unwrap();
-    ThroughputResult::new(expected, elapsed)
+    let breakdown = if profile {
+        // Cross-check the cluster-side count against the registry the
+        // containers published into: same source of truth the METRICS
+        // command reads.
+        let processed = shell
+            .metrics_registry()
+            .snapshot_prefix("samza.task.messages_processed")
+            .counter_sum("samza.task.messages_processed");
+        assert!(
+            processed >= expected,
+            "registry undercounts: {processed}/{expected}"
+        );
+        operator_breakdown(shell.metrics_registry())
+    } else {
+        Vec::new()
+    };
+    (ThroughputResult::new(expected, elapsed), breakdown)
 }
 
 /// Measure the hand-written native Samza job for the same query.
@@ -326,6 +401,15 @@ mod tests {
     fn sliding_window_runs() {
         let r = measure_samzasql(EvalQuery::SlidingWindow, 1, 2, 500);
         assert_eq!(r.messages, 500);
+    }
+
+    #[test]
+    fn profiled_run_reports_operator_breakdown() {
+        let (r, ops) = measure_samzasql_profiled(EvalQuery::Filter, 1, 2, 1_000);
+        assert_eq!(r.messages, 1_000);
+        assert!(!ops.is_empty(), "profiled run published no operator series");
+        let rows_in: u64 = ops.iter().map(|o| o.rows_in).sum();
+        assert!(rows_in >= 1_000, "operators saw {rows_in} rows");
     }
 
     #[test]

@@ -59,6 +59,7 @@
 pub mod error;
 pub mod expr;
 pub mod ops;
+pub mod profile;
 pub mod router;
 pub mod shell;
 pub mod task;
@@ -67,6 +68,7 @@ pub mod udaf;
 
 pub use error::{CoreError, Result};
 pub use expr::CompiledExpr;
+pub use profile::{render_explain_analyze, RouterProfile};
 pub use router::MessageRouter;
 pub use shell::{QueryHandle, SamzaSqlShell};
 pub use task::SamzaSqlTask;

@@ -1,0 +1,218 @@
+//! Per-operator profiling and the EXPLAIN ANALYZE renderer.
+//!
+//! The router records, while it is built, how its operator nodes and scan
+//! entries map onto the physical plan's pre-order ([`PlanBinding`]); when
+//! profiling is enabled each `process_batch` call is timed and counted into
+//! obs instruments. [`render_explain_analyze`] then replays the plan's
+//! `explain_lines()` and annotates every line with rows-in/rows-out, batch
+//! counts, selectivity, and share of total operator busy time.
+
+use std::sync::Arc;
+
+use samzasql_obs::{Counter, MetricsRegistry, TimeSource};
+use samzasql_planner::PhysicalPlan;
+
+/// How the router's construction order maps onto the physical plan's
+/// pre-order: one binding per plan node, recorded during `build_plan`.
+/// (`build_plan` visits the plan in the same pre-order as
+/// `PhysicalPlan::explain_lines`, which is what makes the zip in
+/// [`render_explain_analyze`] valid.)
+#[derive(Debug, Clone)]
+pub enum PlanBinding {
+    /// Plan node backed by an operator node (index into the router's node
+    /// table). Stream-to-relation joins also own the relation's scan entry.
+    Node {
+        node: usize,
+        relation_entry: Option<usize>,
+    },
+    /// Plan leaf backed by a scan entry (index into the router's entries).
+    Entry(usize),
+}
+
+/// Live instruments for one operator node.
+#[derive(Debug, Clone, Default)]
+pub struct NodeProfile {
+    pub rows_in: Counter,
+    pub rows_out: Counter,
+    pub batches: Counter,
+    pub busy_ns: Counter,
+}
+
+/// Live instruments for one scan entry.
+#[derive(Debug, Clone, Default)]
+pub struct EntryProfile {
+    pub rows: Counter,
+    pub bytes: Counter,
+    pub tombstones: Counter,
+}
+
+/// Profiler attached to a router by `MessageRouter::enable_profiling`.
+#[derive(Debug)]
+pub struct RouterProfiler {
+    pub(crate) clock: Arc<dyn TimeSource>,
+    pub(crate) nodes: Vec<NodeProfile>,
+    pub(crate) entries: Vec<EntryProfile>,
+}
+
+impl RouterProfiler {
+    pub fn new(clock: Arc<dyn TimeSource>, node_count: usize, entry_count: usize) -> Self {
+        RouterProfiler {
+            clock,
+            nodes: (0..node_count).map(|_| NodeProfile::default()).collect(),
+            entries: (0..entry_count).map(|_| EntryProfile::default()).collect(),
+        }
+    }
+}
+
+/// Point-in-time stats for one operator node.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// Operator name plus node index, e.g. `filter#1`.
+    pub name: String,
+    pub rows_in: u64,
+    pub rows_out: u64,
+    pub batches: u64,
+    pub busy_ns: u64,
+}
+
+impl NodeStats {
+    /// Fraction of input rows surviving this operator (1.0 when no input).
+    pub fn selectivity(&self) -> f64 {
+        if self.rows_in == 0 {
+            1.0
+        } else {
+            self.rows_out as f64 / self.rows_in as f64
+        }
+    }
+}
+
+/// Point-in-time stats for one scan entry.
+#[derive(Debug, Clone)]
+pub struct EntryStats {
+    pub topic: String,
+    pub rows: u64,
+    pub bytes: u64,
+    pub tombstones: u64,
+}
+
+/// A full profile snapshot of one router, paired with the plan bindings
+/// needed to render it against the physical plan.
+#[derive(Debug, Clone)]
+pub struct RouterProfile {
+    pub nodes: Vec<NodeStats>,
+    pub entries: Vec<EntryStats>,
+    pub bindings: Vec<PlanBinding>,
+    /// Index of the bounded-query sort node (sits above the plan root).
+    pub sort_node: Option<usize>,
+}
+
+impl RouterProfile {
+    /// Total operator busy time across all nodes.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.nodes.iter().map(|n| n.busy_ns).sum()
+    }
+
+    /// Total rows decoded across all scan entries.
+    pub fn total_rows_in(&self) -> u64 {
+        self.entries.iter().map(|e| e.rows).sum()
+    }
+
+    /// Publish the profile's live instruments into `registry`. Node series
+    /// go under `core.operator.*` labeled `op=<name>`, entry series under
+    /// `core.scan.*` labeled `topic=<topic>`, all carrying `base` labels
+    /// (conventionally `job`/`task`).
+    pub fn register_into(
+        profiler: &RouterProfiler,
+        node_names: &[String],
+        entry_topics: &[String],
+        registry: &MetricsRegistry,
+        base: &[(&str, &str)],
+    ) {
+        for (i, node) in profiler.nodes.iter().enumerate() {
+            let op = format!("{}#{}", node_names[i], i);
+            let mut labels: Vec<(&str, &str)> = base.to_vec();
+            labels.push(("op", op.as_str()));
+            registry.adopt_counter("core.operator.rows_in", &labels, &node.rows_in);
+            registry.adopt_counter("core.operator.rows_out", &labels, &node.rows_out);
+            registry.adopt_counter("core.operator.batches", &labels, &node.batches);
+            registry.adopt_counter("core.operator.busy_ns", &labels, &node.busy_ns);
+        }
+        for (i, entry) in profiler.entries.iter().enumerate() {
+            let mut labels: Vec<(&str, &str)> = base.to_vec();
+            labels.push(("topic", entry_topics[i].as_str()));
+            registry.adopt_counter("core.scan.rows", &labels, &entry.rows);
+            registry.adopt_counter("core.scan.bytes", &labels, &entry.bytes);
+            registry.adopt_counter("core.scan.tombstones", &labels, &entry.tombstones);
+        }
+    }
+}
+
+fn pct(num: f64, den: f64) -> String {
+    if den <= 0.0 {
+        "0.0%".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * num / den)
+    }
+}
+
+/// Render the physical plan annotated with the profile's per-operator
+/// statistics: `rows=IN→OUT batches=B sel=S% time=T%` per operator node,
+/// `rows=N bytes=B` per scan leaf. The plan must be the one the profiled
+/// router was built from.
+pub fn render_explain_analyze(plan: &PhysicalPlan, profile: &RouterProfile) -> String {
+    let total_busy = profile.total_busy_ns() as f64;
+    let mut out = String::new();
+    let mut extra_depth = 0usize;
+    if let Some(sort) = profile.sort_node {
+        let n = &profile.nodes[sort];
+        out.push_str(&format!(
+            "SortOp[order/limit]  rows={}\u{2192}{} batches={} time={}\n",
+            n.rows_in,
+            n.rows_out,
+            n.batches,
+            pct(n.busy_ns as f64, total_busy),
+        ));
+        extra_depth = 1;
+    }
+    let lines = plan.explain_lines();
+    for (i, (depth, label)) in lines.iter().enumerate() {
+        let pad = "  ".repeat(depth + extra_depth);
+        let annotation = match profile.bindings.get(i) {
+            Some(PlanBinding::Node {
+                node,
+                relation_entry,
+            }) => {
+                let n = &profile.nodes[*node];
+                let mut a = format!(
+                    "rows={}\u{2192}{} batches={} sel={} time={}",
+                    n.rows_in,
+                    n.rows_out,
+                    n.batches,
+                    pct(n.rows_out as f64, n.rows_in as f64),
+                    pct(n.busy_ns as f64, total_busy),
+                );
+                if let Some(e) = relation_entry {
+                    let e = &profile.entries[*e];
+                    a.push_str(&format!(
+                        " rel_rows={} rel_tombstones={}",
+                        e.rows, e.tombstones
+                    ));
+                }
+                a
+            }
+            Some(PlanBinding::Entry(e)) => {
+                let e = &profile.entries[*e];
+                format!("rows={} bytes={}", e.rows, e.bytes)
+            }
+            // A plan/binding mismatch would be a router bug; render the
+            // bare line rather than panic in a diagnostics path.
+            None => String::new(),
+        };
+        if annotation.is_empty() {
+            out.push_str(&format!("{pad}{label}\n"));
+        } else {
+            out.push_str(&format!("{pad}{label}  {annotation}\n"));
+        }
+    }
+    out
+}

@@ -20,6 +20,7 @@ use crate::ops::sort::SortOp;
 use crate::ops::window_agg::WindowAggOp;
 use crate::ops::window_sliding::SlidingWindowOp;
 use crate::ops::{OpCtx, Operator, Side};
+use crate::profile::{EntryStats, NodeStats, PlanBinding, RouterProfile, RouterProfiler};
 use crate::tuple::Tuple;
 use crate::udaf::UdafRegistry;
 use bytes::Bytes;
@@ -118,6 +119,13 @@ pub struct MessageRouter {
     scratch: Vec<Tuple>,
     /// Tuples awaiting sink encoding.
     sink: Vec<Tuple>,
+    /// Physical-plan pre-order → node/entry mapping, recorded during
+    /// construction (powers EXPLAIN ANALYZE; see [`crate::profile`]).
+    bindings: Vec<PlanBinding>,
+    /// The bounded-query sort node, if one was added above the plan root.
+    sort_node: Option<usize>,
+    /// Per-operator instruments; `None` until profiling is enabled.
+    profiler: Option<RouterProfiler>,
 }
 
 impl MessageRouter {
@@ -153,6 +161,9 @@ impl MessageRouter {
             in_sides: Vec::new(),
             scratch: Vec::new(),
             sink: Vec::new(),
+            bindings: Vec::new(),
+            sort_node: None,
+            profiler: None,
         };
         // Bounded queries may carry ORDER BY / LIMIT: a sort node at the root.
         let root_dest: Dest = if !planned.order_by.is_empty() || planned.limit.is_some() {
@@ -161,10 +172,9 @@ impl MessageRouter {
                 .iter()
                 .map(|(e, asc)| (compile(e), *asc))
                 .collect();
-            Some((
-                router.add_node(Box::new(SortOp::new(keys, planned.limit)), None),
-                Side::Single,
-            ))
+            let sort = router.add_node(Box::new(SortOp::new(keys, planned.limit)), None);
+            router.sort_node = Some(sort);
+            Some((sort, Side::Single))
         } else {
             None
         };
@@ -179,6 +189,73 @@ impl MessageRouter {
         self.inbufs.push([Vec::new(), Vec::new()]);
         self.in_sides.push([Side::Single, Side::Right]);
         self.nodes.len() - 1
+    }
+
+    /// Record that the plan node just visited is backed by operator `id`.
+    fn bind_node(&mut self, id: usize) {
+        self.bindings.push(PlanBinding::Node {
+            node: id,
+            relation_entry: None,
+        });
+    }
+
+    /// Attach per-operator profiling instruments, timed against `clock`.
+    /// Every subsequent `process_batch` records rows-in/rows-out/batches
+    /// and busy time per node, and every scan entry records decoded rows,
+    /// bytes, and tombstones. Idempotent (re-enabling resets the counters).
+    pub fn enable_profiling(&mut self, clock: std::sync::Arc<dyn samzasql_obs::TimeSource>) {
+        self.profiler = Some(RouterProfiler::new(
+            clock,
+            self.nodes.len(),
+            self.entries.len(),
+        ));
+    }
+
+    /// Publish the profiler's instruments into a metrics registry under
+    /// `core.operator.*` / `core.scan.*` with the given base labels.
+    /// No-op until [`enable_profiling`](Self::enable_profiling) has run.
+    pub fn register_profile(
+        &self,
+        registry: &samzasql_obs::MetricsRegistry,
+        base: &[(&str, &str)],
+    ) {
+        if let Some(p) = &self.profiler {
+            let node_names: Vec<String> = self.nodes.iter().map(|n| n.name().to_string()).collect();
+            let entry_topics: Vec<String> = self.entries.iter().map(|e| e.topic.clone()).collect();
+            RouterProfile::register_into(p, &node_names, &entry_topics, registry, base);
+        }
+    }
+
+    /// Snapshot the profile (None until profiling is enabled).
+    pub fn profile(&self) -> Option<RouterProfile> {
+        let p = self.profiler.as_ref()?;
+        Some(RouterProfile {
+            nodes: p
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| NodeStats {
+                    name: format!("{}#{}", self.nodes[i].name(), i),
+                    rows_in: n.rows_in.get(),
+                    rows_out: n.rows_out.get(),
+                    batches: n.batches.get(),
+                    busy_ns: n.busy_ns.get(),
+                })
+                .collect(),
+            entries: p
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| EntryStats {
+                    topic: self.entries[i].topic.clone(),
+                    rows: e.rows.get(),
+                    bytes: e.bytes.get(),
+                    tombstones: e.tombstones.get(),
+                })
+                .collect(),
+            bindings: self.bindings.clone(),
+            sort_node: self.sort_node,
+        })
     }
 
     fn build_plan(&mut self, plan: &PhysicalPlan, dest: Dest, udafs: &UdafRegistry) -> Result<()> {
@@ -213,15 +290,19 @@ impl MessageRouter {
                     dest,
                     is_relation: false,
                 });
+                self.bindings
+                    .push(PlanBinding::Entry(self.entries.len() - 1));
                 Ok(())
             }
             PhysicalPlan::Filter { input, predicate } => {
                 let id = self.add_node(Box::new(FilterOp::new(compile(predicate))), dest);
+                self.bind_node(id);
                 self.build_plan(input, Some((id, Side::Single)), udafs)
             }
             PhysicalPlan::Project { input, exprs, .. } => {
                 let compiled = exprs.iter().map(compile).collect();
                 let id = self.add_node(Box::new(ProjectOp::new(compiled)), dest);
+                self.bind_node(id);
                 self.build_plan(input, Some((id, Side::Single)), udafs)
             }
             PhysicalPlan::WindowAggregate {
@@ -245,6 +326,7 @@ impl MessageRouter {
                     )),
                     dest,
                 );
+                self.bind_node(id);
                 self.build_plan(input, Some((id, Side::Single)), udafs)
             }
             PhysicalPlan::SlidingWindow {
@@ -271,6 +353,7 @@ impl MessageRouter {
                     )),
                     dest,
                 );
+                self.bind_node(id);
                 self.build_plan(input, Some((id, Side::Single)), udafs)
             }
             PhysicalPlan::StreamToStreamJoin {
@@ -301,6 +384,7 @@ impl MessageRouter {
                     residual.as_ref().map(compile),
                 )?;
                 let id = self.add_node(Box::new(op), dest);
+                self.bind_node(id);
                 self.build_plan(left, Some((id, Side::Left)), udafs)?;
                 self.build_plan(right, Some((id, Side::Right)), udafs)
             }
@@ -348,6 +432,10 @@ impl MessageRouter {
                     dest: Some((id, Side::Right)),
                     is_relation: true,
                 });
+                self.bindings.push(PlanBinding::Node {
+                    node: id,
+                    relation_entry: Some(self.entries.len() - 1),
+                });
                 self.build_plan(stream, Some((id, Side::Left)), udafs)
             }
             PhysicalPlan::Repartition { .. } => Err(CoreError::Operator(
@@ -382,8 +470,17 @@ impl MessageRouter {
                 let dest = self.entries[ei].dest;
                 let is_relation = self.entries[ei].is_relation;
                 match self.entries[ei].scan.decode(payload)? {
-                    Some(tuple) => self.push_dest(dest, tuple),
+                    Some(tuple) => {
+                        if let Some(p) = &self.profiler {
+                            p.entries[ei].rows.inc();
+                            p.entries[ei].bytes.add(payload.len() as u64);
+                        }
+                        self.push_dest(dest, tuple)
+                    }
                     None => {
+                        if let Some(p) = &self.profiler {
+                            p.entries[ei].tombstones.inc();
+                        }
                         // Tombstone: only meaningful for relation caches.
                         if is_relation {
                             if let (Some((node, side)), Some(k)) = (dest, key) {
@@ -484,12 +581,21 @@ impl MessageRouter {
             let side = self.in_sides[i][slot];
             let mut input = std::mem::take(&mut self.inbufs[i][slot]);
             let mut staged = std::mem::take(&mut self.scratch);
+            let rows_in = input.len() as u64;
+            let start_ns = self.profiler.as_ref().map(|p| p.clock.now_nanos());
             {
                 let mut ctx = OpCtx {
                     store: store.as_deref_mut(),
                     late_discards: &mut self.late_discards,
                 };
                 self.nodes[i].process_batch(side, &mut input, &mut staged, &mut ctx)?;
+            }
+            if let (Some(p), Some(start)) = (&self.profiler, start_ns) {
+                let n = &p.nodes[i];
+                n.rows_in.add(rows_in);
+                n.rows_out.add(staged.len() as u64);
+                n.batches.inc();
+                n.busy_ns.add(p.clock.now_nanos().saturating_sub(start));
             }
             input.clear();
             self.inbufs[i][slot] = input;
@@ -513,12 +619,18 @@ impl MessageRouter {
             // through before the node itself flushes.
             self.drain_node(i, &mut store)?;
             let mut staged = std::mem::take(&mut self.scratch);
+            let start_ns = self.profiler.as_ref().map(|p| p.clock.now_nanos());
             {
                 let mut ctx = OpCtx {
                     store: store.as_deref_mut(),
                     late_discards: &mut self.late_discards,
                 };
                 self.nodes[i].flush(&mut staged, &mut ctx)?;
+            }
+            if let (Some(p), Some(start)) = (&self.profiler, start_ns) {
+                let n = &p.nodes[i];
+                n.rows_out.add(staged.len() as u64);
+                n.busy_ns.add(p.clock.now_nanos().saturating_sub(start));
             }
             let parent = self.parents[i];
             self.dispatch(parent, &mut staged);

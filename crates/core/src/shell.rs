@@ -16,12 +16,14 @@
 //!   and returns its rows.
 
 use crate::error::{CoreError, Result};
-use crate::router::QuerySpec;
-use crate::task::{SamzaSqlTaskFactory, TaskPlanSource};
+use crate::profile::render_explain_analyze;
+use crate::router::{MessageRouter, QuerySpec};
+use crate::task::{SamzaSqlTaskFactory, TaskPlanSource, TaskProfiling};
 use crate::udaf::{UdafRegistry, UserAggregate};
 use bytes::Bytes;
 use samzasql_coord::Coord;
 use samzasql_kafka::{Broker, Message, TopicConfig};
+use samzasql_obs::Obs;
 use samzasql_planner::{Catalog, ObjectKind, PhysicalPlan, PlannedQuery, Planner};
 use samzasql_samza::{
     ClusterSim, Container, InputStreamConfig, JobConfig, JobHandle, JobModel, OutputStreamConfig,
@@ -45,6 +47,13 @@ pub struct SamzaSqlShell {
     /// Compile queries with the direct SamzaSQL Data API (§7 item 5): skip
     /// the AvroToArray/ArrayToAvro steps. Off by default (prototype path).
     pub direct_data_api: bool,
+    /// Record per-operator profiles (rows in/out, batches, busy time) for
+    /// submitted/executed jobs into the shell's metrics registry. Off by
+    /// default; `EXPLAIN ANALYZE` profiles regardless.
+    pub profile_operators: bool,
+    /// Unified observability: metrics registry, tracer, and the clock
+    /// profiling measures against. Broker and cluster metrics publish here.
+    obs: Obs,
 }
 
 impl SamzaSqlShell {
@@ -62,6 +71,11 @@ impl SamzaSqlShell {
         // diagnostics never reach job submission.
         let mut planner = Planner::new(Catalog::new());
         planner.add_check(Arc::new(samzasql_analyze::GatingAnalyzer));
+        let obs = Obs::new();
+        // One registry for the whole stack: broker-side counters and every
+        // container the cluster launches (including respawns) publish here.
+        broker.bind_metrics(&obs.registry);
+        cluster.set_metrics_registry(obs.registry.clone());
         SamzaSqlShell {
             broker,
             coord: cluster.coord().clone(),
@@ -71,6 +85,8 @@ impl SamzaSqlShell {
             query_counter: 0,
             default_containers: 1,
             direct_data_api: false,
+            profile_operators: false,
+            obs,
         }
     }
 
@@ -88,6 +104,22 @@ impl SamzaSqlShell {
     /// The planner/catalog.
     pub fn planner(&self) -> &Planner {
         &self.planner
+    }
+
+    /// The shell's observability bundle (registry + tracer + clock).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The metrics registry broker, container, and operator series publish
+    /// into.
+    pub fn metrics_registry(&self) -> &samzasql_obs::MetricsRegistry {
+        &self.obs.registry
+    }
+
+    /// The tracer recording job/query spans.
+    pub fn tracer(&self) -> &samzasql_obs::Tracer {
+        &self.obs.tracer
     }
 
     // ------------------------------------------------------------- catalog
@@ -174,6 +206,169 @@ impl SamzaSqlShell {
         Ok(diags.render())
     }
 
+    /// Render the shell's metrics registry as aligned text. Accepts a bare
+    /// prefix, `METRICS` (everything), or `METRICS <prefix>` (only series
+    /// whose dotted name starts with the prefix).
+    pub fn metrics(&self, command: &str) -> String {
+        let trimmed = command.trim();
+        let prefix = if trimmed.eq_ignore_ascii_case("metrics") {
+            ""
+        } else {
+            strip_keyword(trimmed, "metrics").unwrap_or(trimmed)
+        };
+        let snap = if prefix.is_empty() {
+            self.obs.registry.snapshot()
+        } else {
+            self.obs.registry.snapshot_prefix(prefix)
+        };
+        if snap.entries.is_empty() {
+            return format!("no metrics{}", {
+                if prefix.is_empty() {
+                    String::new()
+                } else {
+                    format!(" under prefix {prefix:?}")
+                }
+            });
+        }
+        samzasql_obs::render_text(&snap)
+    }
+
+    /// `EXPLAIN ANALYZE <sql>`: run the query over a bounded sample of its
+    /// input topics with per-operator profiling enabled, and print the
+    /// physical plan annotated with the observed rows-in/rows-out, batch
+    /// counts, selectivity, and share of operator busy time. Accepts either
+    /// a bare statement or the full `EXPLAIN ANALYZE` form. The sample run
+    /// executes in-process (no jobs are submitted, no topics created);
+    /// bootstrap inputs (relation changelogs) are fed fully, stream inputs
+    /// are capped at a few thousand rows per topic.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
+        /// Per-stream-topic row cap for the sample run.
+        const SAMPLE_ROWS: u64 = 10_000;
+        /// Rows routed per batch, mirroring the container's fetch size.
+        const SAMPLE_BATCH: usize = 256;
+
+        let stmt = sql.trim();
+        let stmt = strip_keyword(stmt, "explain")
+            .and_then(|rest| strip_keyword(rest, "analyze"))
+            .unwrap_or(stmt);
+        let planned = self.planner.plan(stmt)?;
+
+        // Stage specs mirror what submit()/query() would run, including the
+        // repartition split — but the intermediate topic stays synthetic:
+        // stage 1's outputs are piped straight into stage 2's scan entry.
+        let inter_topic = "explain-analyze-repartition";
+        let mut stages: Vec<(String, QuerySpec)> = Vec::new();
+        match split_repartition(&planned) {
+            Some((stage1, key_index, stage2_builder)) => {
+                let mut s1 = stage1;
+                s1.output_key = Some(key_index);
+                stages.push(("stage1 (repartition producer)".to_string(), s1));
+                stages.push((
+                    "stage2 (repartition consumer)".to_string(),
+                    stage2_builder(inter_topic),
+                ));
+            }
+            None => {
+                let mut spec = QuerySpec::from_planned(&planned);
+                spec.direct_data_api = self.direct_data_api;
+                stages.push((String::new(), spec));
+            }
+        }
+
+        let mut span = self.obs.tracer.span("explain-analyze");
+        let mut out = String::new();
+        let mut carried: Vec<crate::ops::insert::EncodedOutput> = Vec::new();
+        for (si, (label, spec)) in stages.iter().enumerate() {
+            let mut router = MessageRouter::build_spec(spec, &self.udafs)?;
+            router.enable_profiling(self.obs.clock.clone());
+            let task_label = if label.is_empty() {
+                "explain-analyze".to_string()
+            } else {
+                format!("explain-analyze-stage{}", si + 1)
+            };
+            router.register_profile(
+                &self.obs.registry,
+                &[("job", task_label.as_str()), ("task", "0")],
+            );
+            let mut store = (spec.physical.needs_local_state()
+                || !spec.order_by.is_empty()
+                || spec.limit.is_some())
+            .then(|| samzasql_samza::KeyValueStore::ephemeral(crate::ops::STATE_STORE));
+
+            let mut outputs = Vec::new();
+            // Bootstrap inputs (relation changelogs) drain fully first,
+            // matching the container's bootstrap-priority semantics; stream
+            // inputs follow, capped at the sample size.
+            let inputs = spec.physical.input_topics();
+            for bootstrap_pass in [true, false] {
+                for (topic, bootstrap) in &inputs {
+                    if *bootstrap != bootstrap_pass {
+                        continue;
+                    }
+                    if si > 0 && topic == inter_topic {
+                        // Synthetic repartition topic: replay the previous
+                        // stage's encoded outputs.
+                        for chunk in carried.chunks(SAMPLE_BATCH) {
+                            router.route_batch(
+                                topic,
+                                chunk.iter().map(|o| (o.key.as_ref(), &o.payload)),
+                                store.as_mut(),
+                                &mut outputs,
+                            )?;
+                        }
+                        continue;
+                    }
+                    let cap = if *bootstrap { u64::MAX } else { SAMPLE_ROWS };
+                    let mut fed = 0u64;
+                    'partitions: for p in 0..self.broker.partition_count(topic)? {
+                        let mut off = 0;
+                        loop {
+                            let batch = self.broker.fetch(topic, p, off, SAMPLE_BATCH)?;
+                            if batch.records.is_empty() {
+                                break;
+                            }
+                            router.route_batch(
+                                topic,
+                                batch
+                                    .records
+                                    .iter()
+                                    .map(|r| (r.message.key.as_ref(), &r.message.value)),
+                                store.as_mut(),
+                                &mut outputs,
+                            )?;
+                            for rec in &batch.records {
+                                off = rec.offset + 1;
+                            }
+                            fed += batch.records.len() as u64;
+                            if fed >= cap {
+                                break 'partitions;
+                            }
+                        }
+                    }
+                }
+            }
+            // End of sample: flush window/sort state so pending aggregates
+            // count toward the profile and flow into downstream stages.
+            router.flush_into(store.as_mut(), &mut outputs)?;
+
+            let profile = router.profile().expect("profiling enabled above");
+            span.event(&format!(
+                "{}: {} rows in, {} rows out",
+                if label.is_empty() { "query" } else { label },
+                profile.total_rows_in(),
+                outputs.len()
+            ));
+            if !label.is_empty() {
+                out.push_str(&format!("-- {label} --\n"));
+            }
+            out.push_str(&render_explain_analyze(&spec.physical, &profile));
+            carried = outputs;
+        }
+        out.push_str(&format!("sample output rows: {}\n", carried.len()));
+        span.finish();
+        Ok(out)
+    }
+
     // ------------------------------------------------------------ producing
 
     fn encode_for(&self, name: &str, value: &Value) -> Result<(String, Message)> {
@@ -251,6 +446,14 @@ impl SamzaSqlShell {
     fn next_query_id(&mut self) -> u64 {
         self.query_counter += 1;
         self.query_counter
+    }
+
+    /// Profiling wiring for task factories when `profile_operators` is on.
+    fn task_profiling(&self) -> Option<TaskProfiling> {
+        self.profile_operators.then(|| TaskProfiling {
+            registry: self.obs.registry.clone(),
+            clock: self.obs.clock.clone(),
+        })
     }
 
     fn output_partitions(&self, physical: &PhysicalPlan) -> Result<u32> {
@@ -391,6 +594,7 @@ impl SamzaSqlShell {
                 coord: self.coord.clone(),
                 source,
                 udafs: udafs.clone(),
+                profiling: self.task_profiling(),
             };
             jobs.push(self.cluster.submit(cfg, Arc::new(factory))?);
         }
@@ -423,11 +627,13 @@ impl SamzaSqlShell {
                 coord: self.coord.clone(),
                 source,
                 udafs: udafs.clone(),
+                profiling: self.task_profiling(),
             };
             let model = JobModel::plan(&cfg, &self.broker)?;
             for cm in &model.containers {
                 let mut container =
                     Container::new(self.broker.clone(), cfg.clone(), cm.clone(), &factory)?;
+                container.bind_obs(&self.obs.registry);
                 container.run_until_caught_up()?;
                 // End of bounded input: flush window/sort state.
                 container.window_all()?;
@@ -576,6 +782,21 @@ impl std::fmt::Debug for QueryHandle {
         f.debug_struct("QueryHandle")
             .field("output_topic", &self.output_topic)
             .finish()
+    }
+}
+
+/// Strip a leading SQL keyword (case-insensitive, followed by whitespace);
+/// returns the remainder or None when `stmt` does not start with it.
+fn strip_keyword<'a>(stmt: &'a str, keyword: &str) -> Option<&'a str> {
+    let n = keyword.len();
+    match stmt.get(..n) {
+        Some(head)
+            if head.eq_ignore_ascii_case(keyword)
+                && stmt[n..].starts_with(|c: char| c.is_whitespace()) =>
+        {
+            Some(stmt[n..].trim_start())
+        }
+        _ => None,
     }
 }
 

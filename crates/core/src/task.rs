@@ -20,6 +20,15 @@ use samzasql_samza::{
 };
 use std::sync::Arc;
 
+/// Observability wiring handed to tasks when the shell's
+/// `profile_operators` flag is on: the registry per-operator instruments
+/// publish into, and the clock busy time is measured against.
+#[derive(Clone)]
+pub struct TaskProfiling {
+    pub registry: samzasql_obs::MetricsRegistry,
+    pub clock: Arc<dyn samzasql_obs::TimeSource>,
+}
+
 /// How a task obtains its query plan at init.
 #[derive(Clone)]
 pub enum TaskPlanSource {
@@ -44,6 +53,10 @@ pub struct SamzaSqlTask {
     /// Reusable staging buffer for encoded outputs (capacity persists
     /// across batches).
     out_buf: Vec<crate::ops::insert::EncodedOutput>,
+    /// Per-operator profiling wiring (None = profiling off, zero overhead).
+    profiling: Option<TaskProfiling>,
+    /// Partition this task instance serves (labels its metrics).
+    partition: u32,
 }
 
 impl SamzaSqlTask {
@@ -63,7 +76,16 @@ impl SamzaSqlTask {
             router: None,
             bounded: false,
             out_buf: Vec::new(),
+            profiling: None,
+            partition: 0,
         }
+    }
+
+    /// Enable per-operator profiling for this task instance (builder style).
+    pub fn with_profiling(mut self, profiling: TaskProfiling, partition: u32) -> Self {
+        self.profiling = Some(profiling);
+        self.partition = partition;
+        self
     }
 
     /// Drain `out_buf` into the collector as outgoing envelopes.
@@ -105,6 +127,15 @@ impl SamzaSqlTask {
             ),
         };
         self.bounded = bounded;
+        let mut router = router;
+        if let Some(p) = &self.profiling {
+            router.enable_profiling(p.clock.clone());
+            let task = self.partition.to_string();
+            router.register_profile(
+                &p.registry,
+                &[("job", self.job_name.as_str()), ("task", task.as_str())],
+            );
+        }
         self.router = Some(router);
         Ok(())
     }
@@ -183,16 +214,22 @@ pub struct SamzaSqlTaskFactory {
     pub coord: Coord,
     pub source: TaskPlanSource,
     pub udafs: Arc<UdafRegistry>,
+    /// Per-operator profiling wiring (None = off).
+    pub profiling: Option<TaskProfiling>,
 }
 
 impl TaskFactory for SamzaSqlTaskFactory {
-    fn create(&self, _partition: u32) -> Box<dyn StreamTask> {
-        Box::new(SamzaSqlTask::new(
+    fn create(&self, partition: u32) -> Box<dyn StreamTask> {
+        let task = SamzaSqlTask::new(
             self.job_name.clone(),
             self.output_topic.clone(),
             self.coord.clone(),
             self.source.clone(),
             self.udafs.clone(),
-        ))
+        );
+        Box::new(match &self.profiling {
+            Some(p) => task.with_profiling(p.clone(), partition),
+            None => task,
+        })
     }
 }

@@ -1,0 +1,213 @@
+//! Integration tests for the unified observability subsystem: EXPLAIN
+//! ANALYZE over the paper's four §5.1 query shapes, the shell's METRICS
+//! command, and the guarantee that enabling metrics/profiling never changes
+//! query output — even under seeded broker fault injection.
+
+use samzasql_core::shell::SamzaSqlShell;
+use samzasql_kafka::{Broker, FaultInjector, FaultKind, FaultSchedule, FaultSpec};
+use samzasql_serde::Value;
+use samzasql_workload::{orders_schema, products_schema};
+
+/// Tiny deterministic PRNG (xorshift64*), so every run feeds identical
+/// input without an external randomness dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Shell over a fresh broker with the paper's Orders stream and Products
+/// table registered and seeded with deterministic data.
+fn seeded_shell(broker: Broker, seed: u64, orders: usize) -> SamzaSqlShell {
+    let mut shell = SamzaSqlShell::new(broker);
+    shell
+        .register_stream("Orders", "orders", orders_schema(), "rowtime")
+        .unwrap();
+    shell.set_partition_key("Orders", "productId").unwrap();
+    shell
+        .register_table(
+            "Products",
+            "products-changelog",
+            products_schema(),
+            "productId",
+        )
+        .unwrap();
+    let mut rng = Rng::new(seed);
+    for p in 0..10 {
+        shell
+            .produce_relation(
+                "Products",
+                Value::record(vec![
+                    ("productId", Value::Int(p)),
+                    ("name", Value::String(format!("p{p}"))),
+                    ("supplierId", Value::Int(p % 5)),
+                ]),
+            )
+            .unwrap();
+    }
+    for i in 0..orders {
+        shell
+            .produce(
+                "Orders",
+                Value::record(vec![
+                    ("rowtime", Value::Timestamp(i as i64 * 1_000)),
+                    ("productId", Value::Int(rng.below(10) as i32)),
+                    ("orderId", Value::Long(i as i64)),
+                    ("units", Value::Int(rng.below(100) as i32)),
+                    ("pad", Value::String("xxxxxxxx".into())),
+                ]),
+            )
+            .unwrap();
+    }
+    shell
+}
+
+const FILTER: &str = "SELECT STREAM * FROM Orders WHERE units > 50";
+const PROJECT: &str = "SELECT STREAM rowtime, productId, units FROM Orders";
+const SLIDING_WINDOW: &str = "SELECT STREAM rowtime, productId, units, \
+     SUM(units) OVER (PARTITION BY productId ORDER BY rowtime \
+     RANGE INTERVAL '5' MINUTE PRECEDING) unitsLastFiveMinutes FROM Orders";
+const S2R_JOIN: &str = "SELECT STREAM Orders.rowtime, Orders.productId, \
+     Orders.units, Products.name, Products.supplierId \
+     FROM Orders JOIN Products ON Orders.productId = Products.productId";
+
+#[test]
+fn explain_analyze_annotates_all_four_paper_shapes() {
+    let mut shell = seeded_shell(Broker::new(), 21, 200);
+    for (shape, sql) in [
+        ("filter", FILTER),
+        ("project", PROJECT),
+        ("sliding-window", SLIDING_WINDOW),
+        ("join", S2R_JOIN),
+    ] {
+        let report = shell
+            .explain_analyze(&format!("EXPLAIN ANALYZE {sql}"))
+            .unwrap();
+        // Every operator line carries rows-in/rows-out, batch counts,
+        // selectivity, and time share; scan leaves report rows and bytes.
+        for needle in ["rows=", "batches=", "sel=", "time=", "bytes="] {
+            assert!(
+                report.contains(needle),
+                "{shape}: missing {needle:?} in report:\n{report}"
+            );
+        }
+        assert!(
+            !report.contains("rows=0\u{2192}0"),
+            "{shape}: sample run fed no rows:\n{report}"
+        );
+        let outputs: u64 = report
+            .lines()
+            .find_map(|l| l.strip_prefix("sample output rows: "))
+            .expect("report ends with the sample row count")
+            .parse()
+            .unwrap();
+        assert!(outputs > 0, "{shape}: sample produced no output:\n{report}");
+    }
+    // The join shape also reports relation-side scan traffic on the join
+    // operator's line.
+    let join_report = shell.explain_analyze(S2R_JOIN).unwrap();
+    assert!(
+        join_report.contains("rel_rows=10"),
+        "join report misses relation rows:\n{join_report}"
+    );
+}
+
+#[test]
+fn metrics_command_renders_broker_task_and_operator_series() {
+    let mut shell = seeded_shell(Broker::new(), 33, 120);
+    shell.profile_operators = true;
+    let rows = shell
+        .query("SELECT * FROM Orders WHERE units > 50")
+        .unwrap();
+    assert!(!rows.is_empty());
+
+    let all = shell.metrics("METRICS");
+    for series in [
+        "kafka.broker.messages_in",
+        "samza.task.messages_processed",
+        "core.operator.rows_in",
+        "core.scan.rows",
+    ] {
+        assert!(all.contains(series), "missing {series} in:\n{all}");
+    }
+    // Prefix filtering narrows to one namespace.
+    let broker_only = shell.metrics("METRICS kafka.broker.");
+    assert!(broker_only.contains("kafka.broker.bytes_in"));
+    assert!(!broker_only.contains("samza.task."));
+    assert!(shell
+        .metrics("METRICS no.such.prefix")
+        .starts_with("no metrics"));
+
+    // The same registry snapshot renders as valid Prometheus exposition.
+    let prom = samzasql_obs::render_prometheus(&shell.metrics_registry().snapshot());
+    samzasql_obs::validate_prometheus(&prom).unwrap();
+}
+
+/// Run a stateful bounded query under seeded transient-fault injection on
+/// the input topics and return the raw bytes of the output topic.
+fn chaos_query_output(seed: u64, profile: bool) -> Vec<Vec<u8>> {
+    let broker = Broker::new();
+    let mut shell = seeded_shell(broker.clone(), seed, 300);
+    shell.profile_operators = profile;
+    // Faults land after the inputs are seeded, so only the job's fetch path
+    // (which retries) sees them — the injection schedule is derived from
+    // the seed and the operation sequence, identical across both runs.
+    let injector = FaultInjector::with_specs(
+        seed,
+        vec![
+            FaultSpec::any(FaultKind::TransientError, FaultSchedule::Probability(0.2))
+                .on_topic("orders"),
+            FaultSpec::any(FaultKind::TransientError, FaultSchedule::EveryNth(7))
+                .on_topic("products-changelog"),
+        ],
+    );
+    broker.set_fault_injector(Some(injector));
+    let rows = shell
+        .query("SELECT productId, COUNT(*) AS c, SUM(units) AS su FROM Orders GROUP BY productId")
+        .unwrap();
+    assert!(!rows.is_empty());
+    broker.set_fault_injector(None);
+
+    let mut raw = Vec::new();
+    for p in 0..broker.partition_count("samzasql-q1-output").unwrap() {
+        let mut off = 0;
+        loop {
+            let batch = broker.fetch("samzasql-q1-output", p, off, 1024).unwrap();
+            if batch.records.is_empty() {
+                break;
+            }
+            for rec in batch.records {
+                off = rec.offset + 1;
+                raw.push(rec.message.value.to_vec());
+            }
+        }
+    }
+    raw
+}
+
+#[test]
+fn metrics_enabled_chaos_run_output_is_byte_identical_to_disabled() {
+    for seed in [5, 91] {
+        let profiled = chaos_query_output(seed, true);
+        let plain = chaos_query_output(seed, false);
+        assert_eq!(
+            profiled, plain,
+            "profiling changed query output bytes (seed {seed})"
+        );
+    }
+}

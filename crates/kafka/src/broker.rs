@@ -31,6 +31,9 @@ struct BrokerInner {
     offsets: OffsetStore,
     groups: GroupCoordinator,
     metrics: BrokerMetrics,
+    /// Registry the broker publishes into once [`Broker::bind_metrics`] has
+    /// run; later-installed throttles register themselves here too.
+    registry: RwLock<Option<samzasql_obs::MetricsRegistry>>,
     throttle: RwLock<Option<Arc<IoThrottle>>>,
     /// Seeded fault injector intercepting produce/fetch (off by default).
     injector: RwLock<Option<Arc<FaultInjector>>>,
@@ -57,6 +60,7 @@ impl Broker {
                 offsets: OffsetStore::new(),
                 groups: GroupCoordinator::with_coord(coord),
                 metrics: BrokerMetrics::default(),
+                registry: RwLock::new(None),
                 throttle: RwLock::new(None),
                 injector: RwLock::new(None),
                 has_replicated: AtomicBool::new(false),
@@ -69,9 +73,25 @@ impl Broker {
         self.inner.groups.coord()
     }
 
+    /// Publish this broker's traffic counters (and any installed throttle's
+    /// instruments) into a shared metrics registry under `kafka.*`. The
+    /// registry is remembered so throttles installed later register too.
+    pub fn bind_metrics(&self, registry: &samzasql_obs::MetricsRegistry) {
+        self.inner.metrics.register_into(registry, &[]);
+        if let Some(throttle) = self.inner.throttle.read().clone() {
+            throttle.register_into(registry, &[]);
+        }
+        *self.inner.registry.write() = Some(registry.clone());
+    }
+
     /// Install an I/O throttle applied to all produce traffic (simulates the
-    /// EC2 burst-credit behaviour; off by default).
+    /// EC2 burst-credit behaviour; off by default). If the broker is bound
+    /// to a metrics registry, the throttle's instruments are published so
+    /// §5.1-style throttling shows up in snapshots.
     pub fn set_throttle(&self, throttle: Option<Arc<IoThrottle>>) {
+        if let (Some(t), Some(registry)) = (&throttle, self.inner.registry.read().as_ref()) {
+            t.register_into(registry, &[]);
+        }
         *self.inner.throttle.write() = throttle;
     }
 

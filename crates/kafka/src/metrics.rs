@@ -1,86 +1,112 @@
 //! Broker-side throughput counters.
 //!
-//! All counters are relaxed atomics: they are monotonically increasing
-//! statistics sampled by the benchmark harness, never used for
-//! synchronization.
+//! Since the obs migration these are thin shims over [`samzasql_obs`]
+//! counters: the accessor API is unchanged, but every counter can be
+//! adopted into a shared [`MetricsRegistry`] (see
+//! [`BrokerMetrics::register_into`]) so the broker publishes into the same
+//! snapshot/exporter pipeline as the rest of the stack. Counters remain
+//! relaxed atomics: monotonically increasing statistics sampled by the
+//! benchmark harness, never used for synchronization.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use samzasql_obs::{Counter, MetricsRegistry};
 
 /// Monotonic counters describing broker traffic.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BrokerMetrics {
-    messages_in: AtomicU64,
-    bytes_in: AtomicU64,
-    messages_out: AtomicU64,
-    bytes_out: AtomicU64,
-    isr_shrinks: AtomicU64,
-    isr_expands: AtomicU64,
-    leader_epoch_bumps: AtomicU64,
-    faults_injected: AtomicU64,
+    messages_in: Counter,
+    bytes_in: Counter,
+    messages_out: Counter,
+    bytes_out: Counter,
+    isr_shrinks: Counter,
+    isr_expands: Counter,
+    leader_epoch_bumps: Counter,
+    faults_injected: Counter,
 }
 
 impl BrokerMetrics {
+    /// Publish every counter into `registry` under `kafka.broker.*` with
+    /// the given identity labels. The registry adopts the live handles, so
+    /// subsequent broker traffic is visible in registry snapshots.
+    pub fn register_into(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        registry.adopt_counter("kafka.broker.messages_in", labels, &self.messages_in);
+        registry.adopt_counter("kafka.broker.bytes_in", labels, &self.bytes_in);
+        registry.adopt_counter("kafka.broker.messages_out", labels, &self.messages_out);
+        registry.adopt_counter("kafka.broker.bytes_out", labels, &self.bytes_out);
+        registry.adopt_counter("kafka.broker.isr_shrinks", labels, &self.isr_shrinks);
+        registry.adopt_counter("kafka.broker.isr_expands", labels, &self.isr_expands);
+        registry.adopt_counter(
+            "kafka.broker.leader_epoch_bumps",
+            labels,
+            &self.leader_epoch_bumps,
+        );
+        registry.adopt_counter(
+            "kafka.broker.faults_injected",
+            labels,
+            &self.faults_injected,
+        );
+    }
+
     pub fn record_produce(&self, messages: u64, bytes: u64) {
-        self.messages_in.fetch_add(messages, Ordering::Relaxed);
-        self.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+        self.messages_in.add(messages);
+        self.bytes_in.add(bytes);
     }
 
     pub fn record_fetch(&self, messages: u64, bytes: u64) {
-        self.messages_out.fetch_add(messages, Ordering::Relaxed);
-        self.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+        self.messages_out.add(messages);
+        self.bytes_out.add(bytes);
     }
 
     /// Record ISR membership transitions observed by a replication tick or
     /// an administrative follower failure.
     pub fn record_isr_delta(&self, shrank: u64, expanded: u64) {
         if shrank > 0 {
-            self.isr_shrinks.fetch_add(shrank, Ordering::Relaxed);
+            self.isr_shrinks.add(shrank);
         }
         if expanded > 0 {
-            self.isr_expands.fetch_add(expanded, Ordering::Relaxed);
+            self.isr_expands.add(expanded);
         }
     }
 
     /// Record a leader failover (epoch bump) on some partition.
     pub fn record_leader_epoch_bump(&self) {
-        self.leader_epoch_bumps.fetch_add(1, Ordering::Relaxed);
+        self.leader_epoch_bumps.inc();
     }
 
     /// Record a fault-injector decision that surfaced an error to a client.
     pub fn record_fault_injected(&self) {
-        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        self.faults_injected.inc();
     }
 
     pub fn messages_in(&self) -> u64 {
-        self.messages_in.load(Ordering::Relaxed)
+        self.messages_in.get()
     }
 
     pub fn bytes_in(&self) -> u64 {
-        self.bytes_in.load(Ordering::Relaxed)
+        self.bytes_in.get()
     }
 
     pub fn messages_out(&self) -> u64 {
-        self.messages_out.load(Ordering::Relaxed)
+        self.messages_out.get()
     }
 
     pub fn bytes_out(&self) -> u64 {
-        self.bytes_out.load(Ordering::Relaxed)
+        self.bytes_out.get()
     }
 
     pub fn isr_shrinks(&self) -> u64 {
-        self.isr_shrinks.load(Ordering::Relaxed)
+        self.isr_shrinks.get()
     }
 
     pub fn isr_expands(&self) -> u64 {
-        self.isr_expands.load(Ordering::Relaxed)
+        self.isr_expands.get()
     }
 
     pub fn leader_epoch_bumps(&self) -> u64 {
-        self.leader_epoch_bumps.load(Ordering::Relaxed)
+        self.leader_epoch_bumps.get()
     }
 
     pub fn faults_injected(&self) -> u64 {
-        self.faults_injected.load(Ordering::Relaxed)
+        self.faults_injected.get()
     }
 
     /// Snapshot of the four traffic counters (in-messages, in-bytes,
@@ -120,5 +146,22 @@ mod tests {
         assert_eq!(m.isr_expands(), 1);
         assert_eq!(m.leader_epoch_bumps(), 1);
         assert_eq!(m.faults_injected(), 2);
+    }
+
+    #[test]
+    fn registered_counters_publish_live_traffic() {
+        let m = BrokerMetrics::default();
+        let registry = MetricsRegistry::new();
+        m.register_into(&registry, &[("broker", "0")]);
+        m.record_produce(4, 400);
+        let snap = registry.snapshot_prefix("kafka.broker.");
+        assert_eq!(
+            snap.counter("kafka.broker.messages_in", &[("broker", "0")]),
+            Some(4)
+        );
+        assert_eq!(
+            snap.counter("kafka.broker.bytes_in", &[("broker", "0")]),
+            Some(400)
+        );
     }
 }

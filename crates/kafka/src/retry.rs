@@ -179,41 +179,52 @@ pub fn splitmix64(mut x: u64) -> u64 {
 
 /// Shared retry counters, cloneable so one metrics sink can span a
 /// container's producer, consumer, checkpoint, and changelog retriers.
+///
+/// Backed by [`samzasql_obs`] instruments since the obs migration: the
+/// accessors are unchanged, and [`RetryMetrics::register_into`] adopts the
+/// live counters (plus a per-retry backoff histogram) into a shared
+/// registry under `kafka.retry.*`.
 #[derive(Debug, Clone, Default)]
 pub struct RetryMetrics {
-    inner: Arc<RetryMetricsInner>,
-}
-
-#[derive(Debug, Default)]
-struct RetryMetricsInner {
-    retries: AtomicU64,
-    giveups: AtomicU64,
-    backoff_ms: AtomicU64,
+    retries: samzasql_obs::Counter,
+    giveups: samzasql_obs::Counter,
+    backoff_ms: samzasql_obs::Counter,
+    backoff_hist_ms: samzasql_obs::Histogram,
 }
 
 impl RetryMetrics {
+    /// Publish the retry counters into `registry` under `kafka.retry.*`
+    /// with the given identity labels.
+    pub fn register_into(&self, registry: &samzasql_obs::MetricsRegistry, labels: &[(&str, &str)]) {
+        registry.adopt_counter("kafka.retry.retries", labels, &self.retries);
+        registry.adopt_counter("kafka.retry.giveups", labels, &self.giveups);
+        registry.adopt_counter("kafka.retry.backoff_ms", labels, &self.backoff_ms);
+        registry.adopt_histogram("kafka.retry.backoff_hist_ms", labels, &self.backoff_hist_ms);
+    }
+
     /// Retried attempts (each backoff-then-try counts once).
     pub fn retries(&self) -> u64 {
-        self.inner.retries.load(Ordering::Relaxed)
+        self.retries.get()
     }
 
     /// Operations abandoned after exhausting attempts or budget.
     pub fn giveups(&self) -> u64 {
-        self.inner.giveups.load(Ordering::Relaxed)
+        self.giveups.get()
     }
 
     /// Cumulative backoff time (ms) across all retries.
     pub fn backoff_ms(&self) -> u64 {
-        self.inner.backoff_ms.load(Ordering::Relaxed)
+        self.backoff_ms.get()
     }
 
     fn record_retry(&self, backoff: u64) {
-        self.inner.retries.fetch_add(1, Ordering::Relaxed);
-        self.inner.backoff_ms.fetch_add(backoff, Ordering::Relaxed);
+        self.retries.inc();
+        self.backoff_ms.add(backoff);
+        self.backoff_hist_ms.record(backoff);
     }
 
     fn record_giveup(&self) {
-        self.inner.giveups.fetch_add(1, Ordering::Relaxed);
+        self.giveups.inc();
     }
 }
 

@@ -8,8 +8,15 @@
 //! callers charge it bytes and receive the *delay* they should simulate (the
 //! benchmark harness converts the delay into spin time, tests just assert on
 //! it).
+//!
+//! Every charge also feeds obs instruments — an event counter, an
+//! induced-delay histogram, and a credits gauge — so throttling is visible
+//! in registry snapshots instead of silently discarded by callers that
+//! ignore the returned debt (the broker produce path does exactly that).
+//! Adopt them into a registry with [`IoThrottle::register_into`].
 
 use parking_lot::Mutex;
+use samzasql_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Token-bucket throttle with burst credits.
 #[derive(Debug)]
@@ -17,6 +24,18 @@ pub struct IoThrottle {
     inner: Mutex<ThrottleState>,
     sustained_bytes_per_sec: f64,
     burst_bytes: f64,
+    /// Total `charge` calls.
+    charges: Counter,
+    /// Total bytes charged.
+    bytes_charged: Counter,
+    /// Charges that induced a nonzero stall (ran past the burst pool).
+    throttle_events: Counter,
+    /// Per-event induced delay, in microseconds.
+    induced_delay_us: Histogram,
+    /// Cumulative induced delay, in microseconds.
+    induced_delay_us_total: Counter,
+    /// Remaining burst credits, in bytes.
+    credits_gauge: Gauge,
 }
 
 #[derive(Debug)]
@@ -32,6 +51,8 @@ struct ThrottleState {
 impl IoThrottle {
     /// Create a throttle with a sustained rate and a burst-credit pool.
     pub fn new(sustained_bytes_per_sec: u64, burst_bytes: u64) -> Self {
+        let credits_gauge = Gauge::new();
+        credits_gauge.set(burst_bytes as i64);
         IoThrottle {
             inner: Mutex::new(ThrottleState {
                 credits: burst_bytes as f64,
@@ -40,7 +61,32 @@ impl IoThrottle {
             }),
             sustained_bytes_per_sec: sustained_bytes_per_sec as f64,
             burst_bytes: burst_bytes as f64,
+            charges: Counter::new(),
+            bytes_charged: Counter::new(),
+            throttle_events: Counter::new(),
+            induced_delay_us: Histogram::new(),
+            induced_delay_us_total: Counter::new(),
+            credits_gauge,
         }
+    }
+
+    /// Publish the throttle's instruments into `registry` under
+    /// `kafka.throttle.*` with the given identity labels.
+    pub fn register_into(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        registry.adopt_counter("kafka.throttle.charges", labels, &self.charges);
+        registry.adopt_counter("kafka.throttle.bytes_charged", labels, &self.bytes_charged);
+        registry.adopt_counter("kafka.throttle.events", labels, &self.throttle_events);
+        registry.adopt_histogram(
+            "kafka.throttle.induced_delay_us",
+            labels,
+            &self.induced_delay_us,
+        );
+        registry.adopt_counter(
+            "kafka.throttle.induced_delay_us_total",
+            labels,
+            &self.induced_delay_us_total,
+        );
+        registry.adopt_gauge("kafka.throttle.credits", labels, &self.credits_gauge);
     }
 
     /// Charge `bytes` of traffic at logical time `now_secs`. Returns the
@@ -58,8 +104,16 @@ impl IoThrottle {
         } else {
             let uncovered = b - s.credits;
             s.credits = 0.0;
-            s.debt_secs += uncovered / self.sustained_bytes_per_sec;
+            let induced_secs = uncovered / self.sustained_bytes_per_sec;
+            s.debt_secs += induced_secs;
+            let induced_us = (induced_secs * 1e6) as u64;
+            self.throttle_events.inc();
+            self.induced_delay_us.record(induced_us);
+            self.induced_delay_us_total.add(induced_us);
         }
+        self.charges.inc();
+        self.bytes_charged.add(bytes);
+        self.credits_gauge.set(s.credits as i64);
         s.debt_secs
     }
 
@@ -73,6 +127,16 @@ impl IoThrottle {
         let s = self.inner.lock();
         s.debt_secs > 0.0
     }
+
+    /// Charges that induced a nonzero stall.
+    pub fn throttle_events(&self) -> u64 {
+        self.throttle_events.get()
+    }
+
+    /// Cumulative induced delay in microseconds.
+    pub fn induced_delay_us_total(&self) -> u64 {
+        self.induced_delay_us_total.get()
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +149,7 @@ mod tests {
         assert_eq!(t.charge(5000, 0.0), 0.0);
         assert!(!t.is_throttling());
         assert_eq!(t.credits(), 5000);
+        assert_eq!(t.throttle_events(), 0);
     }
 
     #[test]
@@ -97,6 +162,8 @@ mod tests {
             "2000 uncovered bytes at 1000 B/s = 2 s, got {debt}"
         );
         assert!(t.is_throttling());
+        assert_eq!(t.throttle_events(), 1);
+        assert_eq!(t.induced_delay_us_total(), 2_000_000);
     }
 
     #[test]
@@ -107,5 +174,33 @@ mod tests {
         assert_eq!(t.credits(), 1000);
         t.charge(0, 100.0); // refill far beyond pool; capped
         assert_eq!(t.credits(), 2000);
+    }
+
+    #[test]
+    fn registered_instruments_observe_throttling() {
+        let t = IoThrottle::new(1000, 1000);
+        let registry = MetricsRegistry::new();
+        t.register_into(&registry, &[]);
+        t.charge(3000, 0.0);
+        let snap = registry.snapshot_prefix("kafka.throttle.");
+        assert_eq!(snap.counter("kafka.throttle.charges", &[]), Some(1));
+        assert_eq!(
+            snap.counter("kafka.throttle.bytes_charged", &[]),
+            Some(3000)
+        );
+        assert_eq!(snap.counter("kafka.throttle.events", &[]), Some(1));
+        // 2000 uncovered bytes at 1000 B/s = 2 s = 2_000_000 us.
+        assert_eq!(
+            snap.counter("kafka.throttle.induced_delay_us_total", &[]),
+            Some(2_000_000)
+        );
+        let credits = snap
+            .entries
+            .iter()
+            .find(|e| e.name == "kafka.throttle.credits");
+        assert!(matches!(
+            credits.map(|e| &e.value),
+            Some(samzasql_obs::MetricValue::Gauge(0))
+        ));
     }
 }

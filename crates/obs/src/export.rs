@@ -1,0 +1,345 @@
+//! Snapshot exporters: pretty text, line-JSON, and Prometheus text format.
+//!
+//! JSON is hand-rolled (matching the cluster/bench idiom elsewhere in the
+//! workspace) so the crate stays dependency-light. All three renderers are
+//! deterministic functions of the snapshot — the snapshot itself is sorted
+//! by (name, labels) — which the determinism tests rely on.
+
+use crate::instruments::{bucket_upper_bound, HistogramSnapshot};
+use crate::registry::{Labels, MetricValue, RegistrySnapshot};
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_suffix(labels: &Labels) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        let parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn histogram_summary(h: &HistogramSnapshot) -> String {
+    format!(
+        "count={} sum={} mean={:.1} p50={} p95={} p99={} max={}",
+        h.count,
+        h.sum,
+        h.mean(),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max
+    )
+}
+
+/// Human-oriented rendering, one series per line, aligned name column.
+pub fn render_text(snapshot: &RegistrySnapshot) -> String {
+    let width = snapshot
+        .entries
+        .iter()
+        .map(|e| e.name.len() + label_suffix(&e.labels).len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for e in &snapshot.entries {
+        let series = format!("{}{}", e.name, label_suffix(&e.labels));
+        let value = match &e.value {
+            MetricValue::Counter(v) => v.to_string(),
+            MetricValue::Gauge(v) => v.to_string(),
+            MetricValue::Histogram(h) => histogram_summary(h),
+        };
+        out.push_str(&format!("{series:width$}  {value}\n"));
+    }
+    out
+}
+
+/// One JSON object per line per series.
+pub fn render_json_lines(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for e in &snapshot.entries {
+        let labels: Vec<String> = e
+            .labels
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        let value = match &e.value {
+            MetricValue::Counter(v) => format!("\"type\":\"counter\",\"value\":{v}"),
+            MetricValue::Gauge(v) => format!("\"type\":\"gauge\",\"value\":{v}"),
+            MetricValue::Histogram(h) => format!(
+                "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}",
+                h.count,
+                h.sum,
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max
+            ),
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"labels\":{{{}}},{}}}\n",
+            json_escape(&e.name),
+            labels.join(","),
+            value
+        ));
+    }
+    out
+}
+
+/// Sanitize a dotted metric name into a Prometheus identifier.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn prom_labels(labels: &Labels, extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), json_escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Prometheus text exposition format. Histograms expand into cumulative
+/// `_bucket{le=...}` series plus `_sum` and `_count`.
+pub fn render_prometheus(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name = String::new();
+    for e in &snapshot.entries {
+        let name = prom_name(&e.name);
+        let (kind, _) = match &e.value {
+            MetricValue::Counter(_) => ("counter", 0),
+            MetricValue::Gauge(_) => ("gauge", 0),
+            MetricValue::Histogram(_) => ("histogram", 0),
+        };
+        if name != last_name {
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            last_name = name.clone();
+        }
+        match &e.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("{name}{} {v}\n", prom_labels(&e.labels, None)));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("{name}{} {v}\n", prom_labels(&e.labels, None)));
+            }
+            MetricValue::Histogram(h) => {
+                let mut cum = 0u64;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cum += n;
+                    let le = bucket_upper_bound(i).to_string();
+                    out.push_str(&format!(
+                        "{name}_bucket{} {cum}\n",
+                        prom_labels(&e.labels, Some(("le", le)))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{} {}\n",
+                    prom_labels(&e.labels, Some(("le", "+Inf".to_string()))),
+                    h.count
+                ));
+                out.push_str(&format!(
+                    "{name}_sum{} {}\n",
+                    prom_labels(&e.labels, None),
+                    h.sum
+                ));
+                out.push_str(&format!(
+                    "{name}_count{} {}\n",
+                    prom_labels(&e.labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Structural validation of Prometheus exposition text: unique series,
+/// `le` buckets cumulative/monotone, `+Inf` bucket equal to `_count`, and
+/// parseable sample lines. Returns the first problem found.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    use std::collections::{HashMap, HashSet};
+    let mut seen: HashSet<String> = HashSet::new();
+    // series base name -> (last cumulative bucket count, last le upper bound)
+    let mut bucket_state: HashMap<String, (u64, f64)> = HashMap::new();
+    let mut inf_counts: HashMap<String, u64> = HashMap::new();
+    let mut count_samples: HashMap<String, u64> = HashMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no sample value: {line:?}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {lineno}: unparseable value: {line:?}"))?;
+        {
+            // Histogram series are counts/sums of u64s: never negative.
+            let base = series.split('{').next().unwrap_or(series);
+            if value < 0.0
+                && (base.ends_with("_bucket") || base.ends_with("_count") || base.ends_with("_sum"))
+            {
+                return Err(format!("line {lineno}: negative histogram sample"));
+            }
+        }
+        if !seen.insert(series.to_string()) {
+            return Err(format!("line {lineno}: duplicate series {series:?}"));
+        }
+        let base = series.split('{').next().unwrap_or(series).to_string();
+        if let Some(le) = extract_le(series) {
+            let key = strip_le(series);
+            if le == "+Inf" {
+                inf_counts.insert(key, value as u64);
+            } else {
+                let le: f64 = le
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: bad le bound {le:?}"))?;
+                let entry = bucket_state.entry(key).or_insert((0, f64::NEG_INFINITY));
+                if le <= entry.1 {
+                    return Err(format!("line {lineno}: le bounds not increasing"));
+                }
+                if (value as u64) < entry.0 {
+                    return Err(format!("line {lineno}: bucket counts not cumulative"));
+                }
+                *entry = (value as u64, le);
+            }
+        } else if base.ends_with("_count") {
+            count_samples.insert(series.replace("_count", "_bucket"), value as u64);
+        }
+    }
+    for (key, inf) in &inf_counts {
+        if let Some((last_cum, _)) = bucket_state.get(key) {
+            if inf < last_cum {
+                return Err(format!(
+                    "series {key:?}: +Inf bucket below cumulative count"
+                ));
+            }
+        }
+        if let Some(count) = count_samples.get(key) {
+            if count != inf {
+                return Err(format!("series {key:?}: +Inf bucket != _count sample"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn extract_le(series: &str) -> Option<String> {
+    let start = series.find("le=\"")? + 4;
+    let end = series[start..].find('"')? + start;
+    Some(series[start..end].to_string())
+}
+
+/// Remove the `le="..."` label so all buckets of one histogram share a key.
+fn strip_le(series: &str) -> String {
+    match (series.find("le=\""), series.find('{')) {
+        (Some(le_start), Some(_)) => {
+            let end = series[le_start + 4..]
+                .find('"')
+                .map(|i| le_start + 4 + i + 1)
+                .unwrap_or(series.len());
+            let mut s = String::new();
+            // Also strip a leading/trailing comma left behind.
+            let before = series[..le_start].trim_end_matches(',');
+            let after = series[end..].trim_start_matches(',');
+            s.push_str(before);
+            if !before.ends_with('{') && !after.starts_with('}') && !after.is_empty() {
+                s.push(',');
+            }
+            s.push_str(after);
+            s.replace("{}", "")
+        }
+        _ => series.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter("kafka.broker.messages_in", &[("broker", "0")])
+            .add(42);
+        r.gauge("kafka.throttle.credits", &[]).set(1000);
+        let h = r.histogram("samza.task.batch_ns", &[("task", "orders-0")]);
+        for v in [10u64, 100, 1000, 1000, 5000] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn text_renders_every_series() {
+        let text = render_text(&sample_registry().snapshot());
+        assert!(text.contains("kafka.broker.messages_in{broker=0}"));
+        assert!(text.contains("42"));
+        assert!(text.contains("p95="));
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_series() {
+        let out = render_json_lines(&sample_registry().snapshot());
+        assert_eq!(out.lines().count(), 3);
+        for line in out.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(out.contains("\"type\":\"histogram\""));
+    }
+
+    #[test]
+    fn prometheus_output_validates() {
+        let out = render_prometheus(&sample_registry().snapshot());
+        assert!(out.contains("# TYPE kafka_broker_messages_in counter"));
+        assert!(out.contains("le=\"+Inf\""));
+        validate_prometheus(&out).expect("generated output must self-validate");
+    }
+
+    #[test]
+    fn validator_rejects_duplicates_and_non_monotone_buckets() {
+        let dup = "a_total 1\na_total 2\n";
+        assert!(validate_prometheus(dup).is_err());
+        let bad = "h_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 2\n";
+        assert!(validate_prometheus(bad).is_err());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

@@ -1,0 +1,256 @@
+//! Atomic instruments: counters, gauges, and log-bucketed histograms.
+//!
+//! Instruments are cheap `Arc` handles — clone freely, hand them to hot
+//! loops, and let the registry keep a shared reference for snapshotting.
+//! All updates are relaxed atomics; instruments carry statistics, never
+//! synchronization.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: one for the value 0 plus one per power of
+/// two up to `2^63..=u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Monotonic counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Log-bucketed histogram of `u64` observations.
+///
+/// Bucket 0 holds exact zeros; bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. Quantile estimates therefore carry at most a 2×
+/// relative error (one bucket), which the property suite pins down.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Bucket index for an observed value.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+pub fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, v: u64) {
+        let i = &self.inner;
+        i.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        i.count.fetch_add(1, Ordering::Relaxed);
+        i.sum.fetch_add(v, Ordering::Relaxed);
+        i.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Consistent point-in-time view of the bucket array and summary stats.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let i = &self.inner;
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|b| i.buckets[b].load(Ordering::Relaxed)),
+            count: i.count.load(Ordering::Relaxed),
+            sum: i.sum.load(Ordering::Relaxed),
+            max: i.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable histogram snapshot with quantile estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0..=1.0`). The estimate is the upper
+    /// bound of the bucket holding the rank-`ceil(q*count)` observation,
+    /// clamped to the observed maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn counter_and_gauge_share_state_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.add(5);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+
+        let g = Gauge::new();
+        let g2 = g.clone();
+        g.set(10);
+        g2.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn quantiles_track_recorded_values() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100);
+        // Exact p50 is 50 (bucket [32,63]); estimate must land in the same
+        // bucket and never exceed the observed max.
+        let p50 = s.p50();
+        assert_eq!(bucket_index(p50), bucket_index(50));
+        assert!(s.p99() <= 100);
+        assert_eq!(s.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn zero_only_histogram() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

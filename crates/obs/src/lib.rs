@@ -1,0 +1,71 @@
+//! `samzasql-obs`: unified observability for the SamzaSQL workspace.
+//!
+//! One registry, three instrument kinds, one tracer:
+//!
+//! - [`MetricsRegistry`] — thread-safe table of named, labeled
+//!   [`Counter`]/[`Gauge`]/[`Histogram`] instruments. Instruments are `Arc`
+//!   handles: the hot path updates relaxed atomics, the registry snapshots
+//!   them on demand. Legacy metric structs (`BrokerMetrics`, `TaskMetrics`,
+//!   `RetryMetrics`) *adopt* their counters into a registry so both their
+//!   original accessors and `METRICS` see the same values.
+//! - [`Tracer`] — hierarchical spans (`job → container → task → operator`)
+//!   with structured events, buffered in a bounded ring, dumpable as
+//!   line-JSON.
+//! - [`TimeSource`] — injected clock ([`MonotonicTime`] in production,
+//!   [`ManualTime`] in tests) so no obs test touches `std::time`.
+//!
+//! Exporters ([`render_text`], [`render_json_lines`], [`render_prometheus`])
+//! are deterministic functions of a sorted snapshot. Naming convention:
+//! dotted lowercase paths, `<crate>.<component>.<metric>`, e.g.
+//! `kafka.broker.messages_in`; identity labels (`job`, `container`, `task`,
+//! `op`) go in labels, never in names. See `docs/OBSERVABILITY.md`.
+
+pub mod export;
+pub mod instruments;
+pub mod registry;
+pub mod time;
+pub mod trace;
+
+pub use export::{
+    json_escape, render_json_lines, render_prometheus, render_text, validate_prometheus,
+};
+pub use instruments::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use registry::{Labels, MetricSnapshot, MetricValue, MetricsRegistry, RegistrySnapshot};
+pub use time::{ManualTime, MonotonicTime, Stopwatch, TimeSource};
+pub use trace::{Span, SpanRecord, Tracer, DEFAULT_RING_CAPACITY};
+
+use std::sync::Arc;
+
+/// Bundle of the observability facilities one process shares: a registry,
+/// a tracer, and the clock both draw time from.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    pub registry: MetricsRegistry,
+    pub tracer: Tracer,
+    pub clock: Arc<dyn TimeSource>,
+}
+
+impl Obs {
+    /// Production bundle over a monotonic wall clock.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicTime::new()))
+    }
+
+    /// Bundle over an injected clock (virtual in tests).
+    pub fn with_clock(clock: Arc<dyn TimeSource>) -> Self {
+        Obs {
+            registry: MetricsRegistry::new(),
+            tracer: Tracer::new(clock.clone()),
+            clock,
+        }
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,274 @@
+//! Hierarchical tracing spans with a bounded in-memory ring.
+//!
+//! Spans form a `job → container → task → operator` hierarchy: a handle
+//! spawns children, records structured events, and on finish (explicit or
+//! on drop) appends a [`SpanRecord`] to the tracer's ring buffer. The ring
+//! is bounded — old records fall off — and dumpable as line-JSON for
+//! offline inspection. Timing comes from the tracer's [`TimeSource`], so
+//! traces are deterministic under [`crate::ManualTime`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::export::json_escape;
+use crate::time::TimeSource;
+
+/// Default ring capacity (completed spans retained).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// A completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: Option<u64>,
+    /// `/`-joined path from the root span, e.g. `job/container-0/task-2`.
+    pub path: String,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// `(offset_ns_from_start, message)` structured events.
+    pub events: Vec<(u64, String)>,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    clock: Arc<dyn TimeSource>,
+    next_id: AtomicU64,
+    ring: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+}
+
+/// Cloneable handle to a span ring buffer.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    pub fn new(clock: Arc<dyn TimeSource>) -> Self {
+        Self::with_capacity(clock, DEFAULT_RING_CAPACITY)
+    }
+
+    pub fn with_capacity(clock: Arc<dyn TimeSource>, capacity: usize) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                clock,
+                next_id: AtomicU64::new(1),
+                ring: Mutex::new(VecDeque::new()),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Open a root span.
+    pub fn span(&self, name: &str) -> Span {
+        self.open(name.to_string(), None)
+    }
+
+    fn open(&self, path: String, parent: Option<u64>) -> Span {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        Span {
+            tracer: self.clone(),
+            id,
+            parent,
+            path,
+            start_ns: self.inner.clock.now_nanos(),
+            events: Vec::new(),
+            finished: false,
+        }
+    }
+
+    fn commit(&self, record: SpanRecord) {
+        let mut ring = self.inner.ring.lock();
+        if ring.len() == self.inner.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Completed spans currently retained, oldest first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner.ring.lock().iter().cloned().collect()
+    }
+
+    /// Number of completed spans retained.
+    pub fn len(&self) -> usize {
+        self.inner.ring.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.ring.lock().is_empty()
+    }
+
+    /// Drop all retained spans.
+    pub fn clear(&self) {
+        self.inner.ring.lock().clear();
+    }
+
+    /// Dump retained spans as line-JSON, oldest first.
+    pub fn dump_json_lines(&self) -> String {
+        let mut out = String::new();
+        for r in self.inner.ring.lock().iter() {
+            let events: Vec<String> = r
+                .events
+                .iter()
+                .map(|(at, msg)| format!("{{\"at_ns\":{at},\"msg\":\"{}\"}}", json_escape(msg)))
+                .collect();
+            let parent = match r.parent {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"id\":{},\"parent\":{},\"path\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"events\":[{}]}}\n",
+                r.id,
+                parent,
+                json_escape(&r.path),
+                r.start_ns,
+                r.dur_ns,
+                events.join(",")
+            ));
+        }
+        out
+    }
+}
+
+/// An open span. Finishes (and commits to the ring) on [`Span::finish`] or
+/// when dropped.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    parent: Option<u64>,
+    path: String,
+    start_ns: u64,
+    events: Vec<(u64, String)>,
+    finished: bool,
+}
+
+impl Span {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Open a child span whose path extends this span's.
+    pub fn child(&self, name: &str) -> Span {
+        self.tracer
+            .open(format!("{}/{}", self.path, name), Some(self.id))
+    }
+
+    /// Record a structured event at the current clock offset.
+    pub fn event(&mut self, msg: &str) {
+        let at = self
+            .tracer
+            .inner
+            .clock
+            .now_nanos()
+            .saturating_sub(self.start_ns);
+        self.events.push((at, msg.to_string()));
+    }
+
+    /// Close the span and commit it to the ring.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let dur_ns = self
+            .tracer
+            .inner
+            .clock
+            .now_nanos()
+            .saturating_sub(self.start_ns);
+        self.tracer.commit(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            path: std::mem::take(&mut self.path),
+            start_ns: self.start_ns,
+            dur_ns,
+            events: std::mem::take(&mut self.events),
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::ManualTime;
+
+    #[test]
+    fn spans_nest_and_time_under_virtual_clock() {
+        let clock = Arc::new(ManualTime::new());
+        let tracer = Tracer::new(clock.clone());
+        let mut job = tracer.span("job");
+        clock.advance_nanos(10);
+        let task = job.child("task-0");
+        clock.advance_nanos(5);
+        task.finish();
+        job.event("all tasks done");
+        clock.advance_nanos(1);
+        job.finish();
+
+        let records = tracer.records();
+        assert_eq!(records.len(), 2);
+        // Child committed first (finished first).
+        assert_eq!(records[0].path, "job/task-0");
+        assert_eq!(records[0].dur_ns, 5);
+        assert_eq!(records[0].parent, Some(records[1].id));
+        assert_eq!(records[1].path, "job");
+        assert_eq!(records[1].dur_ns, 16);
+        assert_eq!(records[1].events, vec![(15, "all tasks done".to_string())]);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let clock = Arc::new(ManualTime::new());
+        let tracer = Tracer::with_capacity(clock, 2);
+        for i in 0..5 {
+            tracer.span(&format!("s{i}")).finish();
+        }
+        let records = tracer.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].path, "s3");
+        assert_eq!(records[1].path, "s4");
+    }
+
+    #[test]
+    fn drop_commits_unfinished_spans() {
+        let clock = Arc::new(ManualTime::new());
+        let tracer = Tracer::new(clock.clone());
+        {
+            let _s = tracer.span("dropped");
+            clock.advance_nanos(7);
+        }
+        assert_eq!(tracer.records()[0].dur_ns, 7);
+    }
+
+    #[test]
+    fn dump_is_line_json() {
+        let clock = Arc::new(ManualTime::new());
+        let tracer = Tracer::new(clock);
+        let mut s = tracer.span("a");
+        s.event("ev \"quoted\"");
+        s.finish();
+        let dump = tracer.dump_json_lines();
+        assert_eq!(dump.lines().count(), 1);
+        assert!(dump.contains("\\\"quoted\\\""));
+        assert!(dump.starts_with("{\"id\":"));
+    }
+}

@@ -298,8 +298,62 @@ impl PhysicalPlan {
         out
     }
 
+    /// Pre-order `(depth, label)` plan lines — same node order and labels
+    /// as [`explain`](PhysicalPlan::explain), but structured so callers
+    /// (EXPLAIN ANALYZE) can annotate each line with runtime statistics.
+    /// The pre-order here deliberately matches the router's operator
+    /// construction order, which walks the same tree.
+    pub fn explain_lines(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        self.explain_lines_into(0, &mut out);
+        out
+    }
+
+    fn explain_lines_into(&self, depth: usize, out: &mut Vec<(usize, String)>) {
+        out.push((depth, self.explain_label(None)));
+        match self {
+            PhysicalPlan::Scan { .. } => {}
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::WindowAggregate { input, .. }
+            | PhysicalPlan::SlidingWindow { input, .. }
+            | PhysicalPlan::Repartition { input, .. } => input.explain_lines_into(depth + 1, out),
+            PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
+                left.explain_lines_into(depth + 1, out);
+                right.explain_lines_into(depth + 1, out);
+            }
+            PhysicalPlan::StreamToRelationJoin { stream, .. } => {
+                stream.explain_lines_into(depth + 1, out)
+            }
+        }
+    }
+
     fn explain_into(&self, depth: usize, catalog: Option<&Catalog>, out: &mut String) {
         let pad = "  ".repeat(depth);
+        let line = self.explain_label(catalog);
+        out.push_str(&format!("{pad}{line}\n"));
+        match self {
+            PhysicalPlan::Scan { .. } => {}
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::WindowAggregate { input, .. }
+            | PhysicalPlan::SlidingWindow { input, .. }
+            | PhysicalPlan::Repartition { input, .. } => {
+                input.explain_into(depth + 1, catalog, out)
+            }
+            PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
+                left.explain_into(depth + 1, catalog, out);
+                right.explain_into(depth + 1, catalog, out);
+            }
+            PhysicalPlan::StreamToRelationJoin { stream, .. } => {
+                stream.explain_into(depth + 1, catalog, out)
+            }
+        }
+    }
+
+    /// The one-line label for this node, with a `partition=` suffix when a
+    /// catalog is supplied (the `explain_with_keys` mode).
+    fn explain_label(&self, catalog: Option<&Catalog>) -> String {
         let line = match self {
             PhysicalPlan::Scan {
                 topic,
@@ -379,26 +433,9 @@ impl PhysicalPlan {
                     .partition_column(c)
                     .map(|(_, n)| n)
                     .unwrap_or_else(|| "?".into());
-                out.push_str(&format!("{pad}{line} partition={key}\n"));
+                format!("{line} partition={key}")
             }
-            None => out.push_str(&format!("{pad}{line}\n")),
-        }
-        match self {
-            PhysicalPlan::Scan { .. } => {}
-            PhysicalPlan::Filter { input, .. }
-            | PhysicalPlan::Project { input, .. }
-            | PhysicalPlan::WindowAggregate { input, .. }
-            | PhysicalPlan::SlidingWindow { input, .. }
-            | PhysicalPlan::Repartition { input, .. } => {
-                input.explain_into(depth + 1, catalog, out)
-            }
-            PhysicalPlan::StreamToStreamJoin { left, right, .. } => {
-                left.explain_into(depth + 1, catalog, out);
-                right.explain_into(depth + 1, catalog, out);
-            }
-            PhysicalPlan::StreamToRelationJoin { stream, .. } => {
-                stream.explain_into(depth + 1, catalog, out)
-            }
+            None => line,
         }
     }
 }

@@ -99,6 +99,9 @@ pub struct ClusterSim {
 struct ClusterState {
     nodes: Vec<Node>,
     jobs: HashMap<String, JobState>,
+    /// When set, every launched container (including respawns) publishes
+    /// its task/retry counters into this registry.
+    obs: Option<samzasql_obs::MetricsRegistry>,
 }
 
 fn coord_err(e: CoordError) -> SamzaError {
@@ -162,10 +165,17 @@ impl ClusterSim {
                     })
                     .collect(),
                 jobs: HashMap::new(),
+                obs: None,
             })),
             broker,
             coord,
         }
+    }
+
+    /// Route all container metrics (current and future launches, including
+    /// crash-recovery respawns) into `registry`.
+    pub fn set_metrics_registry(&self, registry: samzasql_obs::MetricsRegistry) {
+        self.inner.lock().obs = Some(registry);
     }
 
     /// A single-node cluster with ample capacity — the common test setup.
@@ -213,6 +223,7 @@ impl ClusterSim {
                     config.name
                 )));
             }
+            let obs = st.obs.clone();
             let mut job = JobState {
                 config: config.clone(),
                 model: model.clone(),
@@ -238,6 +249,7 @@ impl ClusterSim {
                     node_index,
                     0,
                     Arc::new(AtomicU64::new(0)),
+                    obs.as_ref(),
                 )?;
                 job.containers.insert(cm.container_id, rc);
                 registrations.push((cm.container_id, session, 0u32));
@@ -278,6 +290,7 @@ impl ClusterSim {
         node_index: usize,
         generation: u32,
         processed: Arc<AtomicU64>,
+        obs: Option<&samzasql_obs::MetricsRegistry>,
     ) -> Result<RunningContainer> {
         let cm = model
             .containers
@@ -286,6 +299,9 @@ impl ClusterSim {
             .expect("container id from model")
             .clone();
         let mut container = Container::new(broker.clone(), config.clone(), cm, factory)?;
+        if let Some(registry) = obs {
+            container.bind_obs(registry);
+        }
         let stop = Arc::new(AtomicBool::new(false));
         let crash = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
@@ -436,6 +452,7 @@ impl ClusterSim {
         {
             let mut st = self.inner.lock();
             let st_ref = &mut *st;
+            let obs = st_ref.obs.clone();
             let job = st_ref
                 .jobs
                 .get_mut(job_name)
@@ -453,6 +470,7 @@ impl ClusterSim {
                 new_node,
                 generation,
                 processed,
+                obs.as_ref(),
             )?;
             job.containers.insert(container_id, rc);
         }

@@ -572,6 +572,29 @@ impl Container {
         Ok(lag)
     }
 
+    /// Publish the container's live task and retry counters into a shared
+    /// metrics registry. Task series go under `samza.task.*` labeled
+    /// `job`/`container`/`task`; the shared retry sink under `kafka.retry.*`
+    /// labeled `job`/`container`. Respawned incarnations re-register and
+    /// take over their series (latest registration wins).
+    pub fn bind_obs(&self, registry: &samzasql_obs::MetricsRegistry) {
+        let job = self.config.name.as_str();
+        let container = self.model.container_id.to_string();
+        for ti in &self.tasks {
+            let task = ti.ctx.partition.to_string();
+            ti.ctx.metrics.register_into(
+                registry,
+                &[
+                    ("job", job),
+                    ("container", container.as_str()),
+                    ("task", task.as_str()),
+                ],
+            );
+        }
+        self.retry_metrics
+            .register_into(registry, &[("job", job), ("container", container.as_str())]);
+    }
+
     /// Aggregate metrics across the container's tasks.
     pub fn metrics(&self) -> ContainerMetricsSnapshot {
         let mut snap = ContainerMetricsSnapshot::default();

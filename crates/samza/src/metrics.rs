@@ -1,65 +1,77 @@
 //! Task-level throughput counters.
+//!
+//! Thin shim over [`samzasql_obs`] counters since the obs migration: the
+//! accessor API is unchanged (cloneable, counters shared across clones so
+//! the benchmark harness can sample while the container thread runs), and
+//! [`TaskMetrics::register_into`] adopts the live counters into a shared
+//! registry under `samza.task.*`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use samzasql_obs::{Counter, MetricsRegistry};
 
 /// Shared, monotonic counters for one task. Cloneable so the benchmark
 /// harness can sample while the container thread runs.
 #[derive(Debug, Clone, Default)]
 pub struct TaskMetrics {
-    inner: Arc<TaskMetricsInner>,
-}
-
-#[derive(Debug, Default)]
-struct TaskMetricsInner {
-    messages_processed: AtomicU64,
-    messages_sent: AtomicU64,
-    process_errors: AtomicU64,
-    commits: AtomicU64,
-    window_calls: AtomicU64,
+    messages_processed: Counter,
+    messages_sent: Counter,
+    process_errors: Counter,
+    commits: Counter,
+    window_calls: Counter,
 }
 
 impl TaskMetrics {
+    /// Publish every counter into `registry` under `samza.task.*` with the
+    /// given identity labels (conventionally `job`, `container`, `task`).
+    pub fn register_into(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        registry.adopt_counter(
+            "samza.task.messages_processed",
+            labels,
+            &self.messages_processed,
+        );
+        registry.adopt_counter("samza.task.messages_sent", labels, &self.messages_sent);
+        registry.adopt_counter("samza.task.process_errors", labels, &self.process_errors);
+        registry.adopt_counter("samza.task.commits", labels, &self.commits);
+        registry.adopt_counter("samza.task.window_calls", labels, &self.window_calls);
+    }
+
     pub fn record_processed(&self, n: u64) {
-        self.inner
-            .messages_processed
-            .fetch_add(n, Ordering::Relaxed);
+        self.messages_processed.add(n);
     }
 
     pub fn record_sent(&self, n: u64) {
-        self.inner.messages_sent.fetch_add(n, Ordering::Relaxed);
+        self.messages_sent.add(n);
     }
 
     pub fn record_error(&self) {
-        self.inner.process_errors.fetch_add(1, Ordering::Relaxed);
+        self.process_errors.inc();
     }
 
     pub fn record_commit(&self) {
-        self.inner.commits.fetch_add(1, Ordering::Relaxed);
+        self.commits.inc();
     }
 
     pub fn record_window(&self) {
-        self.inner.window_calls.fetch_add(1, Ordering::Relaxed);
+        self.window_calls.inc();
     }
 
     pub fn messages_processed(&self) -> u64 {
-        self.inner.messages_processed.load(Ordering::Relaxed)
+        self.messages_processed.get()
     }
 
     pub fn messages_sent(&self) -> u64 {
-        self.inner.messages_sent.load(Ordering::Relaxed)
+        self.messages_sent.get()
     }
 
     pub fn process_errors(&self) -> u64 {
-        self.inner.process_errors.load(Ordering::Relaxed)
+        self.process_errors.get()
     }
 
     pub fn commits(&self) -> u64 {
-        self.inner.commits.load(Ordering::Relaxed)
+        self.commits.get()
     }
 
     pub fn window_calls(&self) -> u64 {
-        self.inner.window_calls.load(Ordering::Relaxed)
+        self.window_calls.get()
     }
 }
 
@@ -75,5 +87,26 @@ mod tests {
         m2.record_sent(2);
         assert_eq!(m2.messages_processed(), 3);
         assert_eq!(m.messages_sent(), 2);
+    }
+
+    #[test]
+    fn registered_counters_publish_live_values() {
+        let m = TaskMetrics::default();
+        let registry = MetricsRegistry::new();
+        m.register_into(&registry, &[("job", "q1"), ("task", "0")]);
+        m.record_processed(5);
+        m.record_commit();
+        let snap = registry.snapshot_prefix("samza.task.");
+        assert_eq!(
+            snap.counter(
+                "samza.task.messages_processed",
+                &[("job", "q1"), ("task", "0")]
+            ),
+            Some(5)
+        );
+        assert_eq!(
+            snap.counter("samza.task.commits", &[("job", "q1"), ("task", "0")]),
+            Some(1)
+        );
     }
 }

@@ -54,6 +54,7 @@ pub use samzasql_analyze as analyze;
 pub use samzasql_coord as coord;
 pub use samzasql_core as core;
 pub use samzasql_kafka as kafka;
+pub use samzasql_obs as obs;
 pub use samzasql_parser as parser;
 pub use samzasql_planner as planner;
 pub use samzasql_samza as samza;
